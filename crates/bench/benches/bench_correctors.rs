@@ -1,0 +1,82 @@
+//! Criterion benchmarks for experiments E2/E3/E4: the three correctors on
+//! the Figure 3 composite and on crossing-group instances of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use wolves_core::correct::{Corrector, OptimalCorrector, StrongCorrector, WeakCorrector};
+use wolves_core::hardness::crossing_groups;
+use wolves_repo::figure3;
+
+fn bench_figure3(c: &mut Criterion) {
+    let fixture = figure3();
+    let mut group = c.benchmark_group("figure3_correctors");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    group.bench_function("weak", |b| {
+        b.iter(|| {
+            WeakCorrector::new()
+                .split(&fixture.spec, &fixture.members)
+                .unwrap()
+                .part_count()
+        });
+    });
+    group.bench_function("strong", |b| {
+        b.iter(|| {
+            StrongCorrector::new()
+                .split(&fixture.spec, &fixture.members)
+                .unwrap()
+                .part_count()
+        });
+    });
+    group.bench_function("optimal", |b| {
+        b.iter(|| {
+            OptimalCorrector::new()
+                .split(&fixture.spec, &fixture.members)
+                .unwrap()
+                .part_count()
+        });
+    });
+    group.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("corrector_scaling");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    for groups_count in [2usize, 3, 4, 10, 25] {
+        let instance = crossing_groups(groups_count).unwrap();
+        let n = instance.members.len();
+        group.bench_with_input(BenchmarkId::new("weak", n), &instance, |b, inst| {
+            b.iter(|| {
+                WeakCorrector::new()
+                    .split(&inst.spec, &inst.members)
+                    .unwrap()
+                    .part_count()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("strong", n), &instance, |b, inst| {
+            b.iter(|| {
+                StrongCorrector::new()
+                    .split(&inst.spec, &inst.members)
+                    .unwrap()
+                    .part_count()
+            });
+        });
+        if n <= 16 {
+            group.bench_with_input(BenchmarkId::new("optimal", n), &instance, |b, inst| {
+                b.iter(|| {
+                    OptimalCorrector::new()
+                        .split(&inst.spec, &inst.members)
+                        .unwrap()
+                        .part_count()
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure3, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benchmarks for the graph substrate: reachability-matrix
+//! construction and queries, the building block of every soundness check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use wolves_graph::reach::ReachMatrix;
+use wolves_repo::generate::{layered_workflow, LayeredConfig};
+
+fn bench_reachability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reachability");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    for target in [100usize, 400, 1600] {
+        let spec = layered_workflow(&LayeredConfig::sized(target), 41);
+        let graph = spec.graph();
+        let tasks = spec.task_count();
+        group.bench_with_input(BenchmarkId::new("build_matrix", tasks), graph, |b, graph| {
+            b.iter(|| ReachMatrix::build(graph).unwrap().node_bound());
+        });
+        let matrix = ReachMatrix::build(graph).unwrap();
+        let nodes: Vec<_> = graph.node_ids().collect();
+        group.bench_with_input(
+            BenchmarkId::new("all_pairs_queries", tasks),
+            &(&matrix, &nodes),
+            |b, (matrix, nodes)| {
+                b.iter(|| {
+                    let mut reachable_pairs = 0usize;
+                    for &u in nodes.iter() {
+                        for &v in nodes.iter() {
+                            if matrix.reachable(u, v) {
+                                reachable_pairs += 1;
+                            }
+                        }
+                    }
+                    reachable_pairs
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("topological_sort", tasks),
+            graph,
+            |b, graph| b.iter(|| wolves_graph::topo::topological_sort(graph).unwrap().len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reachability);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion benchmarks for experiment E6: provenance queries at the
+//! workflow level versus the view level.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use wolves_provenance::{simulate_execution, view_level_provenance, workflow_level_provenance};
+use wolves_repo::generate::{layered_workflow, LayeredConfig};
+use wolves_repo::views::topological_block_view;
+use wolves_workflow::TaskId;
+
+fn bench_provenance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("provenance_queries");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    for target in [60usize, 240, 960] {
+        let spec = layered_workflow(&LayeredConfig::sized(target), 31);
+        let view = topological_block_view(&spec, 5, "blocks").unwrap();
+        // query the provenance of a sink task (deepest lineage)
+        let subject: TaskId = wolves_graph::algo::leaves(spec.graph())
+            .into_iter()
+            .next()
+            .expect("workflow has a sink");
+        let tasks = spec.task_count();
+        group.bench_with_input(
+            BenchmarkId::new("workflow_level", tasks),
+            &(&spec, subject),
+            |b, (spec, subject)| b.iter(|| workflow_level_provenance(spec, *subject).tasks.len()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("view_level", tasks),
+            &(&spec, &view, subject),
+            |b, (spec, view, subject)| {
+                b.iter(|| view_level_provenance(spec, view, *subject).tasks.len())
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("execution_simulation", tasks),
+            &spec,
+            |b, spec| b.iter(|| simulate_execution(spec, 7).graph.node_count()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_provenance);
+criterion_main!(benches);

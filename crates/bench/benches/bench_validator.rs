@@ -1,0 +1,43 @@
+//! Criterion benchmarks for experiment E5: view validation via
+//! Proposition 2.1 versus the definition-based checks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use wolves_core::validate::{validate, validate_by_definition, validate_naive};
+use wolves_repo::generate::{layered_workflow, LayeredConfig};
+use wolves_repo::views::topological_block_view;
+
+fn bench_validator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("validator");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    for target in [30usize, 120, 480] {
+        let spec = layered_workflow(&LayeredConfig::sized(target), 23);
+        let view = topological_block_view(&spec, 4, "blocks").unwrap();
+        let tasks = spec.task_count();
+        // warm the reachability cache so both checks are compared fairly
+        let _ = spec.reachability();
+        group.bench_with_input(
+            BenchmarkId::new("proposition_2_1", tasks),
+            &(&spec, &view),
+            |b, (spec, view)| b.iter(|| validate(spec, view).is_sound()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("definition_closure", tasks),
+            &(&spec, &view),
+            |b, (spec, view)| b.iter(|| validate_by_definition(spec, view).is_sound()),
+        );
+        if tasks <= 40 {
+            group.bench_with_input(
+                BenchmarkId::new("naive_path_enumeration", tasks),
+                &(&spec, &view),
+                |b, (spec, view)| b.iter(|| validate_naive(spec, view, 60).map(|r| r.is_sound())),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_validator);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Experiment harness: regenerates every table recorded in `EXPERIMENTS.md`.
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments              # run all experiments with the default scale
+//! experiments --exp e3     # run a single experiment
+//! experiments --quick      # smaller seeds / sizes (used by CI smoke runs)
+//! ```
+
+use wolves_bench::{
+    e1_figure1, e2_figure3, e3_quality, e4_runtime, e5_validator, e6_provenance, e7_estimator,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let selected: Option<String> = args
+        .iter()
+        .position(|a| a == "--exp")
+        .and_then(|i| args.get(i + 1).cloned())
+        .map(|s| s.to_ascii_lowercase());
+    let wants = |name: &str| selected.as_deref().map_or(true, |s| s == name);
+
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("usage: experiments [--exp e1..e7] [--quick]");
+        return;
+    }
+
+    let (quality_seeds, quality_max) = if quick { (0..2, 10) } else { (0..8, 12) };
+    let (small_sizes, large_sizes): (Vec<usize>, Vec<usize>) = if quick {
+        (vec![8, 12], vec![40])
+    } else {
+        (vec![8, 12, 16], vec![40, 80, 160, 320])
+    };
+    let validator_sizes: Vec<usize> = if quick {
+        vec![30, 60, 120]
+    } else {
+        vec![30, 60, 120, 240, 480, 960]
+    };
+    let provenance_seeds = if quick { 0..1 } else { 0..3 };
+    let (train_seeds, eval_seeds) = if quick { (0..2, 2..3) } else { (0..6, 6..9) };
+
+    if wants("e1") {
+        println!("{}", e1_figure1().to_table().render());
+    }
+    if wants("e2") {
+        println!("{}", e2_figure3().to_table().render());
+    }
+    if wants("e3") {
+        println!(
+            "{}",
+            e3_quality(quality_seeds.clone(), quality_max).to_table().render()
+        );
+    }
+    if wants("e4") {
+        println!(
+            "{}",
+            e4_runtime(&small_sizes, &large_sizes, 16).to_table().render()
+        );
+    }
+    if wants("e5") {
+        println!("{}", e5_validator(&validator_sizes).to_table().render());
+    }
+    if wants("e6") {
+        println!("{}", e6_provenance(provenance_seeds).to_table().render());
+    }
+    if wants("e7") {
+        println!(
+            "{}",
+            e7_estimator(train_seeds, eval_seeds, quality_max).to_table().render()
+        );
+    }
+}

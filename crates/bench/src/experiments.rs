@@ -1,0 +1,835 @@
+//! The seven experiments that reproduce the paper's evaluation and claims.
+
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+use wolves_core::correct::{Corrector, OptimalCorrector, StrongCorrector, WeakCorrector};
+use wolves_core::correct::check::is_strong_local_optimal;
+use wolves_core::estimate::{CorrectionSample, EstimationRegistry, WorkloadClass};
+use wolves_core::hardness::crossing_groups;
+use wolves_core::quality::quality_from_counts;
+use wolves_core::validate::{validate, validate_by_definition, validate_naive};
+use wolves_core::Strategy;
+use wolves_provenance::{
+    compare_to_ground_truth, view_level_provenance, workflow_level_provenance,
+};
+use wolves_repo::{figure1, figure3};
+use wolves_repo::generate::{layered_workflow, LayeredConfig};
+use wolves_repo::views::topological_block_view;
+use wolves_workflow::{TaskId, WorkflowSpec};
+
+use crate::table::Table;
+use crate::workloads::{sized_composite, unsound_composites_from_suite};
+
+fn micros(run: impl FnOnce()) -> f64 {
+    let start = Instant::now();
+    run();
+    start.elapsed().as_secs_f64() * 1e6
+}
+
+fn split_parts(
+    corrector: &dyn Corrector,
+    spec: &WorkflowSpec,
+    members: &BTreeSet<TaskId>,
+) -> usize {
+    corrector
+        .split(spec, members)
+        .map(|s| s.part_count())
+        .unwrap_or(members.len())
+}
+
+// ---------------------------------------------------------------------------
+// E1 — Figure 1: unsound view detection and its provenance impact
+// ---------------------------------------------------------------------------
+
+/// Result of experiment E1 (paper Figure 1 and the §1 motivating example).
+#[derive(Debug, Clone)]
+pub struct E1Report {
+    /// Names of the unsound composite tasks found by the validator.
+    pub unsound_composites: Vec<String>,
+    /// Number of spurious view-level dependencies (Definition 2.1 check).
+    pub spurious_dependencies: usize,
+    /// Provenance precision for task (8)'s output through the unsound view.
+    pub precision_unsound: f64,
+    /// Provenance precision through the corrected view.
+    pub precision_corrected: f64,
+    /// Composite-task count before and after correction.
+    pub composites_before_after: (usize, usize),
+}
+
+impl E1Report {
+    /// Renders the report as a table.
+    #[must_use]
+    pub fn to_table(&self) -> Table {
+        let mut table = Table::new(
+            "E1  Figure 1: detecting the unsound view and its provenance impact",
+            &["metric", "value"],
+        );
+        table.push_row(vec![
+            "unsound composite tasks".into(),
+            self.unsound_composites.join(", "),
+        ]);
+        table.push_row(vec![
+            "spurious view dependencies".into(),
+            self.spurious_dependencies.to_string(),
+        ]);
+        table.push_row(vec![
+            "provenance precision (unsound view)".into(),
+            format!("{:.3}", self.precision_unsound),
+        ]);
+        table.push_row(vec![
+            "provenance precision (corrected view)".into(),
+            format!("{:.3}", self.precision_corrected),
+        ]);
+        table.push_row(vec![
+            "composite tasks before -> after".into(),
+            format!(
+                "{} -> {}",
+                self.composites_before_after.0, self.composites_before_after.1
+            ),
+        ]);
+        table
+    }
+}
+
+/// Runs experiment E1.
+#[must_use]
+pub fn e1_figure1() -> E1Report {
+    let fixture = figure1();
+    let report = validate(&fixture.spec, &fixture.view);
+    let unsound_composites = report
+        .unsound_composites()
+        .into_iter()
+        .filter_map(|id| fixture.view.composite(id).ok().map(|c| c.name.clone()))
+        .collect();
+    let definition = validate_by_definition(&fixture.spec, &fixture.view);
+    let subject = fixture.task(8);
+    let truth = workflow_level_provenance(&fixture.spec, subject);
+    let before = view_level_provenance(&fixture.spec, &fixture.view, subject);
+    let (corrected, _) =
+        wolves_core::correct::correct_view(&fixture.spec, &fixture.view, &StrongCorrector::new())
+            .expect("figure 1 correction succeeds");
+    let after = view_level_provenance(&fixture.spec, &corrected, subject);
+    E1Report {
+        unsound_composites,
+        spurious_dependencies: definition.spurious.len(),
+        precision_unsound: compare_to_ground_truth(&truth, &before).precision,
+        precision_corrected: compare_to_ground_truth(&truth, &after).precision,
+        composites_before_after: (
+            fixture.view.composite_count(),
+            corrected.composite_count(),
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// E2 — Figure 3: weak vs strong vs optimal on one composite
+// ---------------------------------------------------------------------------
+
+/// Result of experiment E2 (paper Figure 3).
+#[derive(Debug, Clone)]
+pub struct E2Report {
+    /// Parts produced by the weakly local optimal corrector.
+    pub weak_parts: usize,
+    /// Parts produced by the strongly local optimal corrector.
+    pub strong_parts: usize,
+    /// Parts produced by the optimal corrector.
+    pub optimal_parts: usize,
+    /// Whether the strong corrector's output satisfies Definition 2.6
+    /// (verified with the exhaustive checker).
+    pub strong_is_strong_local_optimal: bool,
+}
+
+impl E2Report {
+    /// Renders the report as a table.
+    #[must_use]
+    pub fn to_table(&self) -> Table {
+        let mut table = Table::new(
+            "E2  Figure 3: correcting one unsound composite task (12 atomic tasks)",
+            &["corrector", "resulting composite tasks", "quality"],
+        );
+        for (name, parts) in [
+            ("weak local optimal", self.weak_parts),
+            ("strong local optimal", self.strong_parts),
+            ("optimal (exact)", self.optimal_parts),
+        ] {
+            table.push_row(vec![
+                name.into(),
+                parts.to_string(),
+                format!("{:.3}", quality_from_counts(self.optimal_parts, parts)),
+            ]);
+        }
+        table
+    }
+}
+
+/// Runs experiment E2.
+#[must_use]
+pub fn e2_figure3() -> E2Report {
+    let fixture = figure3();
+    let weak = WeakCorrector::new()
+        .split(&fixture.spec, &fixture.members)
+        .expect("weak split");
+    let strong = StrongCorrector::new()
+        .split(&fixture.spec, &fixture.members)
+        .expect("strong split");
+    let optimal = OptimalCorrector::new()
+        .split(&fixture.spec, &fixture.members)
+        .expect("optimal split");
+    E2Report {
+        weak_parts: weak.part_count(),
+        strong_parts: strong.part_count(),
+        optimal_parts: optimal.part_count(),
+        strong_is_strong_local_optimal: is_strong_local_optimal(&fixture.spec, &strong),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// E3 — quality of the polynomial correctors vs the optimal corrector
+// ---------------------------------------------------------------------------
+
+/// One row of experiment E3: quality per workload family.
+#[derive(Debug, Clone)]
+pub struct E3Row {
+    /// Workload family ("expert", "auto", "blocks", "random").
+    pub family: &'static str,
+    /// Number of unsound composites evaluated.
+    pub instances: usize,
+    /// Mean quality of the weak corrector (optimal parts / weak parts).
+    pub weak_quality: f64,
+    /// Mean quality of the strong corrector.
+    pub strong_quality: f64,
+    /// Fraction of strong-corrector outputs that satisfy Definition 2.6.
+    pub strong_optimality_rate: f64,
+}
+
+/// Result of experiment E3.
+#[derive(Debug, Clone)]
+pub struct E3Report {
+    /// Per-family rows.
+    pub rows: Vec<E3Row>,
+}
+
+impl E3Report {
+    /// Renders the report as a table.
+    #[must_use]
+    pub fn to_table(&self) -> Table {
+        let mut table = Table::new(
+            "E3  Correction quality vs the optimal corrector (quality = optimal parts / produced parts)",
+            &["workload", "instances", "weak quality", "strong quality", "strong Def-2.6 rate"],
+        );
+        for row in &self.rows {
+            table.push_row(vec![
+                row.family.into(),
+                row.instances.to_string(),
+                format!("{:.3}", row.weak_quality),
+                format!("{:.3}", row.strong_quality),
+                format!("{:.2}", row.strong_optimality_rate),
+            ]);
+        }
+        table
+    }
+
+    /// Mean strong quality across all families (used by assertions).
+    #[must_use]
+    pub fn overall_strong_quality(&self) -> f64 {
+        mean(self.rows.iter().map(|r| r.strong_quality))
+    }
+
+    /// Mean weak quality across all families.
+    #[must_use]
+    pub fn overall_weak_quality(&self) -> f64 {
+        mean(self.rows.iter().map(|r| r.weak_quality))
+    }
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let collected: Vec<f64> = values.collect();
+    if collected.is_empty() {
+        return 0.0;
+    }
+    collected.iter().sum::<f64>() / collected.len() as f64
+}
+
+/// Runs experiment E3 over the standard suite with the given seeds.
+/// Composites larger than `max_size` are skipped (the optimal corrector is
+/// exponential).
+#[must_use]
+pub fn e3_quality(seeds: std::ops::Range<u64>, max_size: usize) -> E3Report {
+    let mut instances = unsound_composites_from_suite(seeds.clone(), 3, max_size);
+    // Composites extracted from the realistic generators are usually easy:
+    // all three correctors find the same split. The weak/strong separation
+    // the paper highlights (Figure 3) comes from crossing structures, so the
+    // quality experiment additionally evaluates crossing-group composites
+    // ("crossing" family) of every size the optimal corrector can handle.
+    for (i, _) in seeds.enumerate() {
+        for groups in 2..=(max_size / 4).max(2) {
+            if groups * 4 > max_size {
+                break;
+            }
+            let hard = crossing_groups(groups).expect("hard instance");
+            instances.push(crate::workloads::CompositeInstance {
+                label: format!("crossing-{groups}-{i}"),
+                family: "crossing",
+                spec: hard.spec,
+                members: hard.members,
+            });
+        }
+    }
+    let optimal = OptimalCorrector::with_limit(max_size.max(4));
+    let weak = WeakCorrector::new();
+    let strong = StrongCorrector::new();
+    let mut per_family: std::collections::BTreeMap<&'static str, Vec<(f64, f64, bool)>> =
+        std::collections::BTreeMap::new();
+    for instance in &instances {
+        let Ok(best) = optimal.split(&instance.spec, &instance.members) else {
+            continue;
+        };
+        let weak_split = weak
+            .split(&instance.spec, &instance.members)
+            .expect("weak split");
+        let strong_split = strong
+            .split(&instance.spec, &instance.members)
+            .expect("strong split");
+        let strong_opt = strong_split.part_count() <= 20
+            && is_strong_local_optimal(&instance.spec, &strong_split);
+        per_family.entry(instance.family).or_default().push((
+            quality_from_counts(best.part_count(), weak_split.part_count()),
+            quality_from_counts(best.part_count(), strong_split.part_count()),
+            strong_opt,
+        ));
+    }
+    let rows = per_family
+        .into_iter()
+        .map(|(family, samples)| E3Row {
+            family,
+            instances: samples.len(),
+            weak_quality: mean(samples.iter().map(|s| s.0)),
+            strong_quality: mean(samples.iter().map(|s| s.1)),
+            strong_optimality_rate: samples.iter().filter(|s| s.2).count() as f64
+                / samples.len() as f64,
+        })
+        .collect();
+    E3Report { rows }
+}
+
+// ---------------------------------------------------------------------------
+// E4 — running time of the three correctors
+// ---------------------------------------------------------------------------
+
+/// One row of experiment E4.
+#[derive(Debug, Clone)]
+pub struct E4Row {
+    /// Instance label.
+    pub label: String,
+    /// Composite size (atomic tasks).
+    pub size: usize,
+    /// Weak corrector time in microseconds.
+    pub weak_us: f64,
+    /// Strong corrector time in microseconds.
+    pub strong_us: f64,
+    /// Optimal corrector time in microseconds (None when skipped).
+    pub optimal_us: Option<f64>,
+}
+
+/// Result of experiment E4.
+#[derive(Debug, Clone)]
+pub struct E4Report {
+    /// Rows ordered by composite size.
+    pub rows: Vec<E4Row>,
+}
+
+impl E4Report {
+    /// Renders the report as a table.
+    #[must_use]
+    pub fn to_table(&self) -> Table {
+        let mut table = Table::new(
+            "E4  Corrector running time (one unsound composite task)",
+            &["instance", "tasks", "weak (us)", "strong (us)", "optimal (us)", "optimal/strong"],
+        );
+        for row in &self.rows {
+            table.push_row(vec![
+                row.label.clone(),
+                row.size.to_string(),
+                format!("{:.1}", row.weak_us),
+                format!("{:.1}", row.strong_us),
+                row.optimal_us
+                    .map_or("-".into(), |v| format!("{v:.1}")),
+                row.optimal_us
+                    .map_or("-".into(), |v| format!("{:.1}x", v / row.strong_us.max(1e-9))),
+            ]);
+        }
+        table
+    }
+}
+
+/// Runs experiment E4: times the three correctors on crossing-group hard
+/// instances of increasing size. The optimal corrector is only run on
+/// composites with at most `optimal_limit` tasks.
+#[must_use]
+pub fn e4_runtime(sizes: &[usize], large_sizes: &[usize], optimal_limit: usize) -> E4Report {
+    let mut rows = Vec::new();
+    let weak = WeakCorrector::new();
+    let strong = StrongCorrector::new();
+    let optimal = OptimalCorrector::with_limit(optimal_limit);
+    for &size in sizes.iter().chain(large_sizes.iter()) {
+        let groups = (size / 4).max(1);
+        let instance = crossing_groups(groups).expect("hard instance");
+        let n = instance.members.len();
+        let weak_us = micros(|| {
+            let _ = split_parts(&weak, &instance.spec, &instance.members);
+        });
+        let strong_us = micros(|| {
+            let _ = split_parts(&strong, &instance.spec, &instance.members);
+        });
+        let optimal_us = if n <= optimal_limit {
+            Some(micros(|| {
+                let _ = split_parts(&optimal, &instance.spec, &instance.members);
+            }))
+        } else {
+            None
+        };
+        rows.push(E4Row {
+            label: format!("crossing-groups({groups})"),
+            size: n,
+            weak_us,
+            strong_us,
+            optimal_us,
+        });
+    }
+    // one realistic instance from the generated repository for context
+    let realistic = sized_composite(10, 17);
+    let weak_us = micros(|| {
+        let _ = split_parts(&weak, &realistic.spec, &realistic.members);
+    });
+    let strong_us = micros(|| {
+        let _ = split_parts(&strong, &realistic.spec, &realistic.members);
+    });
+    let optimal_us = (realistic.size() <= optimal_limit).then(|| {
+        micros(|| {
+            let _ = split_parts(&optimal, &realistic.spec, &realistic.members);
+        })
+    });
+    rows.push(E4Row {
+        label: realistic.label.clone(),
+        size: realistic.size(),
+        weak_us,
+        strong_us,
+        optimal_us,
+    });
+    rows.sort_by_key(|r| r.size);
+    E4Report { rows }
+}
+
+// ---------------------------------------------------------------------------
+// E5 — validator: Proposition 2.1 vs definition-based checks
+// ---------------------------------------------------------------------------
+
+/// One row of experiment E5.
+#[derive(Debug, Clone)]
+pub struct E5Row {
+    /// Number of atomic tasks in the workflow.
+    pub tasks: usize,
+    /// Number of composite tasks in the view.
+    pub composites: usize,
+    /// Proposition 2.1 validator time (microseconds).
+    pub proposition_us: f64,
+    /// Definition 2.1 (transitive-closure) check time.
+    pub definition_us: f64,
+    /// Naive path-enumeration check time (only for small workflows).
+    pub naive_us: Option<f64>,
+    /// Whether the two polynomial checks agreed on soundness.
+    pub checks_agree: bool,
+}
+
+/// Result of experiment E5.
+#[derive(Debug, Clone)]
+pub struct E5Report {
+    /// Rows ordered by workflow size.
+    pub rows: Vec<E5Row>,
+}
+
+impl E5Report {
+    /// Renders the report as a table.
+    #[must_use]
+    pub fn to_table(&self) -> Table {
+        let mut table = Table::new(
+            "E5  View validation cost: Proposition 2.1 vs definition-based checks",
+            &["tasks", "composites", "Prop 2.1 (us)", "Def 2.1 closure (us)", "naive paths (us)"],
+        );
+        for row in &self.rows {
+            table.push_row(vec![
+                row.tasks.to_string(),
+                row.composites.to_string(),
+                format!("{:.1}", row.proposition_us),
+                format!("{:.1}", row.definition_us),
+                row.naive_us.map_or("-".into(), |v| format!("{v:.1}")),
+            ]);
+        }
+        table
+    }
+}
+
+/// Runs experiment E5 for the given workflow sizes (task counts).
+#[must_use]
+pub fn e5_validator(task_counts: &[usize]) -> E5Report {
+    let mut rows = Vec::new();
+    for &target in task_counts {
+        let spec = layered_workflow(&LayeredConfig::sized(target), 23);
+        let view = topological_block_view(&spec, 4, "blocks").expect("block view");
+        let proposition_us = micros(|| {
+            let _ = validate(&spec, &view);
+        });
+        let definition_us = micros(|| {
+            let _ = validate_by_definition(&spec, &view);
+        });
+        let naive_us = (spec.task_count() <= 60).then(|| {
+            micros(|| {
+                let _ = validate_naive(&spec, &view, 60);
+            })
+        });
+        let prop_sound = validate(&spec, &view).is_sound();
+        let def_sound = validate_by_definition(&spec, &view).is_sound();
+        rows.push(E5Row {
+            tasks: spec.task_count(),
+            composites: view.composite_count(),
+            proposition_us,
+            definition_us,
+            naive_us,
+            // Proposition 2.1 is conservative: composite soundness implies
+            // definition soundness, so "prop sound but def unsound" would be
+            // a bug; the reverse can legitimately differ.
+            checks_agree: !prop_sound || def_sound,
+        });
+    }
+    E5Report { rows }
+}
+
+// ---------------------------------------------------------------------------
+// E6 — provenance correctness and query cost
+// ---------------------------------------------------------------------------
+
+/// One row of experiment E6.
+#[derive(Debug, Clone)]
+pub struct E6Row {
+    /// Case label.
+    pub case: String,
+    /// Mean provenance precision through the unsound view.
+    pub precision_unsound: f64,
+    /// Mean provenance precision through the corrected view.
+    pub precision_corrected: f64,
+    /// Mean recall through the unsound view (always 1.0 — views never hide
+    /// true provenance).
+    pub recall: f64,
+    /// Mean edges traversed by view-level queries.
+    pub view_edges: f64,
+    /// Mean edges traversed by workflow-level queries.
+    pub workflow_edges: f64,
+}
+
+/// Result of experiment E6.
+#[derive(Debug, Clone)]
+pub struct E6Report {
+    /// Per-case rows.
+    pub rows: Vec<E6Row>,
+}
+
+impl E6Report {
+    /// Renders the report as a table.
+    #[must_use]
+    pub fn to_table(&self) -> Table {
+        let mut table = Table::new(
+            "E6  Provenance through views: correctness and traversal cost",
+            &[
+                "case",
+                "precision (unsound)",
+                "precision (corrected)",
+                "recall",
+                "view edges",
+                "workflow edges",
+            ],
+        );
+        for row in &self.rows {
+            table.push_row(vec![
+                row.case.clone(),
+                format!("{:.3}", row.precision_unsound),
+                format!("{:.3}", row.precision_corrected),
+                format!("{:.3}", row.recall),
+                format!("{:.1}", row.view_edges),
+                format!("{:.1}", row.workflow_edges),
+            ]);
+        }
+        table
+    }
+
+    /// Mean unsound-view precision across cases.
+    #[must_use]
+    pub fn mean_precision_unsound(&self) -> f64 {
+        mean(self.rows.iter().map(|r| r.precision_unsound))
+    }
+
+    /// Mean corrected-view precision across cases.
+    #[must_use]
+    pub fn mean_precision_corrected(&self) -> f64 {
+        mean(self.rows.iter().map(|r| r.precision_corrected))
+    }
+}
+
+/// Runs experiment E6 on the Figure 1 fixture plus generated cases.
+#[must_use]
+pub fn e6_provenance(seeds: std::ops::Range<u64>) -> E6Report {
+    let mut rows = Vec::new();
+    let fixture = figure1();
+    rows.push(provenance_row(
+        "figure-1".to_owned(),
+        &fixture.spec,
+        &fixture.view,
+    ));
+    for case in wolves_repo::suite::standard_suite(seeds) {
+        if validate(&case.spec, &case.view).is_sound() {
+            continue;
+        }
+        rows.push(provenance_row(case.name.clone(), &case.spec, &case.view));
+    }
+    E6Report { rows }
+}
+
+fn provenance_row(
+    case: String,
+    spec: &WorkflowSpec,
+    view: &wolves_workflow::WorkflowView,
+) -> E6Row {
+    let (corrected, _) =
+        wolves_core::correct::correct_view(spec, view, &StrongCorrector::new())
+            .expect("correction succeeds");
+    let mut precision_unsound = Vec::new();
+    let mut precision_corrected = Vec::new();
+    let mut recalls = Vec::new();
+    let mut view_edges = Vec::new();
+    let mut workflow_edges = Vec::new();
+    for subject in spec.task_ids() {
+        let truth = workflow_level_provenance(spec, subject);
+        if truth.tasks.is_empty() {
+            continue;
+        }
+        let before = view_level_provenance(spec, view, subject);
+        let after = view_level_provenance(spec, &corrected, subject);
+        let before_accuracy = compare_to_ground_truth(&truth, &before);
+        let after_accuracy = compare_to_ground_truth(&truth, &after);
+        precision_unsound.push(before_accuracy.precision);
+        precision_corrected.push(after_accuracy.precision);
+        recalls.push(before_accuracy.recall);
+        view_edges.push(before.edges_traversed as f64);
+        workflow_edges.push(truth.edges_traversed as f64);
+    }
+    E6Row {
+        case,
+        precision_unsound: mean(precision_unsound.into_iter()),
+        precision_corrected: mean(precision_corrected.into_iter()),
+        recall: mean(recalls.into_iter()),
+        view_edges: mean(view_edges.into_iter()),
+        workflow_edges: mean(workflow_edges.into_iter()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// E7 — estimator accuracy
+// ---------------------------------------------------------------------------
+
+/// One row of experiment E7.
+#[derive(Debug, Clone)]
+pub struct E7Row {
+    /// Corrector strategy.
+    pub strategy: &'static str,
+    /// Number of held-out composites evaluated.
+    pub evaluations: usize,
+    /// Mean relative error of the running-time estimate (|est-act| / act).
+    pub time_relative_error: f64,
+    /// Mean absolute error of the quality estimate.
+    pub quality_absolute_error: f64,
+}
+
+/// Result of experiment E7.
+#[derive(Debug, Clone)]
+pub struct E7Report {
+    /// Per-strategy rows.
+    pub rows: Vec<E7Row>,
+}
+
+impl E7Report {
+    /// Renders the report as a table.
+    #[must_use]
+    pub fn to_table(&self) -> Table {
+        let mut table = Table::new(
+            "E7  Estimator accuracy (grouping past corrections by size and density)",
+            &["corrector", "evaluations", "time rel. error", "quality abs. error"],
+        );
+        for row in &self.rows {
+            table.push_row(vec![
+                row.strategy.into(),
+                row.evaluations.to_string(),
+                format!("{:.2}", row.time_relative_error),
+                format!("{:.3}", row.quality_absolute_error),
+            ]);
+        }
+        table
+    }
+}
+
+/// Runs experiment E7: trains the estimation registry on composites from the
+/// training seeds and evaluates its predictions on the evaluation seeds.
+#[must_use]
+pub fn e7_estimator(
+    training_seeds: std::ops::Range<u64>,
+    evaluation_seeds: std::ops::Range<u64>,
+    max_size: usize,
+) -> E7Report {
+    let registry = EstimationRegistry::new();
+    let optimal = OptimalCorrector::with_limit(max_size.max(4));
+    let strategies: [(Strategy, Box<dyn Corrector>); 2] = [
+        (Strategy::Weak, Box::new(WeakCorrector::new())),
+        (Strategy::Strong, Box::new(StrongCorrector::new())),
+    ];
+    // training phase: record observed time and quality per workload class
+    for instance in unsound_composites_from_suite(training_seeds, 3, max_size) {
+        let Ok(best) = optimal.split(&instance.spec, &instance.members) else {
+            continue;
+        };
+        let class = WorkloadClass::classify(&instance.spec, &instance.members);
+        for (strategy, corrector) in &strategies {
+            let start = Instant::now();
+            let split = corrector
+                .split(&instance.spec, &instance.members)
+                .expect("polynomial correctors never fail");
+            registry.record(
+                class,
+                CorrectionSample {
+                    strategy: *strategy,
+                    elapsed: start.elapsed(),
+                    quality: quality_from_counts(best.part_count(), split.part_count()),
+                },
+            );
+        }
+    }
+    // evaluation phase: compare estimates with fresh observations
+    let mut accumulators: std::collections::BTreeMap<&'static str, (usize, f64, f64)> =
+        std::collections::BTreeMap::new();
+    for instance in unsound_composites_from_suite(evaluation_seeds, 3, max_size) {
+        let Ok(best) = optimal.split(&instance.spec, &instance.members) else {
+            continue;
+        };
+        let class = WorkloadClass::classify(&instance.spec, &instance.members);
+        for (strategy, corrector) in &strategies {
+            let Some(estimate) = registry.estimate(class, *strategy) else {
+                continue;
+            };
+            let start = Instant::now();
+            let split = corrector
+                .split(&instance.spec, &instance.members)
+                .expect("polynomial correctors never fail");
+            let actual_time = start.elapsed().as_secs_f64().max(1e-9);
+            let actual_quality = quality_from_counts(best.part_count(), split.part_count());
+            let time_error =
+                (estimate.avg_elapsed.as_secs_f64() - actual_time).abs() / actual_time;
+            let quality_error = (estimate.avg_quality - actual_quality).abs();
+            let entry = accumulators.entry(strategy.name()).or_insert((0, 0.0, 0.0));
+            entry.0 += 1;
+            entry.1 += time_error;
+            entry.2 += quality_error;
+        }
+    }
+    let rows = accumulators
+        .into_iter()
+        .map(|(strategy, (count, time_sum, quality_sum))| E7Row {
+            strategy,
+            evaluations: count,
+            time_relative_error: if count == 0 { 0.0 } else { time_sum / count as f64 },
+            quality_absolute_error: if count == 0 {
+                0.0
+            } else {
+                quality_sum / count as f64
+            },
+        })
+        .collect();
+    E7Report { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_reproduces_the_motivating_example() {
+        let report = e1_figure1();
+        assert_eq!(report.unsound_composites.len(), 1);
+        assert!(report.unsound_composites[0].contains("16"));
+        assert!(report.spurious_dependencies >= 1);
+        assert!(report.precision_unsound < 1.0);
+        assert!((report.precision_corrected - 1.0).abs() < 1e-9);
+        assert_eq!(report.composites_before_after, (7, 8));
+        assert!(report.to_table().render().contains("E1"));
+    }
+
+    #[test]
+    fn e2_reproduces_figure3_counts() {
+        let report = e2_figure3();
+        assert_eq!(report.weak_parts, 8);
+        assert_eq!(report.strong_parts, 5);
+        assert_eq!(report.optimal_parts, 5);
+        assert!(report.strong_is_strong_local_optimal);
+        assert_eq!(report.to_table().row_count(), 3);
+    }
+
+    #[test]
+    fn e3_strong_quality_dominates_weak() {
+        let report = e3_quality(0..2, 12);
+        assert!(!report.rows.is_empty());
+        assert!(report.overall_strong_quality() >= report.overall_weak_quality() - 1e-9);
+        assert!(report.overall_strong_quality() > 0.9);
+        for row in &report.rows {
+            assert!(row.strong_optimality_rate > 0.99, "family {} fell short", row.family);
+        }
+    }
+
+    #[test]
+    fn e4_orders_runtime_as_expected() {
+        let report = e4_runtime(&[8, 12], &[40], 14);
+        assert!(report.rows.len() >= 3);
+        let with_optimal: Vec<&E4Row> =
+            report.rows.iter().filter(|r| r.optimal_us.is_some()).collect();
+        assert!(!with_optimal.is_empty());
+        let large: Vec<&E4Row> = report.rows.iter().filter(|r| r.size >= 40).collect();
+        assert!(!large.is_empty());
+        assert!(large.iter().all(|r| r.optimal_us.is_none()));
+    }
+
+    #[test]
+    fn e5_validator_checks_are_consistent() {
+        let report = e5_validator(&[30, 60]);
+        assert_eq!(report.rows.len(), 2);
+        for row in &report.rows {
+            assert!(row.checks_agree);
+            assert!(row.proposition_us > 0.0);
+        }
+    }
+
+    #[test]
+    fn e6_correction_restores_precision() {
+        let report = e6_provenance(0..1);
+        assert!(!report.rows.is_empty());
+        assert!(report.mean_precision_corrected() >= report.mean_precision_unsound());
+        let figure1 = &report.rows[0];
+        assert!(figure1.precision_corrected > figure1.precision_unsound);
+        assert!((figure1.recall - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn e7_estimator_produces_rows_for_both_polynomial_correctors() {
+        let report = e7_estimator(0..2, 2..4, 10);
+        assert!(!report.rows.is_empty());
+        for row in &report.rows {
+            assert!(row.evaluations > 0);
+            assert!(row.quality_absolute_error <= 1.0);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # wolves-bench
+//!
+//! Experiment implementations reproducing the WOLVES evaluation (paper §3.1
+//! and the claims of §1/§2). Each experiment returns structured rows so that
+//! the `experiments` binary can print the tables recorded in
+//! `EXPERIMENTS.md` and the integration tests can assert the qualitative
+//! claims (who wins, by roughly what factor).
+//!
+//! | Experiment | Paper source | Function |
+//! |------------|--------------|----------|
+//! | E1 | Figure 1 + §1 motivating example | [`e1_figure1`] |
+//! | E2 | Figure 3 (weak vs strong vs optimal) | [`e2_figure3`] |
+//! | E3 | §3.1 quality comparison | [`e3_quality`] |
+//! | E4 | §3.1 running-time comparison | [`e4_runtime`] |
+//! | E5 | §2.1 validator comparison | [`e5_validator`] |
+//! | E6 | §1 provenance correctness & efficiency | [`e6_provenance`] |
+//! | E7 | §3.2 estimator accuracy | [`e7_estimator`] |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod table;
+pub mod workloads;
+
+pub use experiments::{
+    e1_figure1, e2_figure3, e3_quality, e4_runtime, e5_validator, e6_provenance, e7_estimator,
+};
+pub use table::Table;

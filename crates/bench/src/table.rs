@@ -1,0 +1,82 @@
+//! Tiny plain-text table formatter used by the experiment harness.
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    #[must_use]
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (cells are stringified by the caller).
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let columns = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(columns) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let format_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .take(columns)
+                .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&format_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (columns.saturating_sub(1))));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&format_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut table = Table::new("demo", &["name", "value"]);
+        table.push_row(vec!["short".into(), "1".into()]);
+        table.push_row(vec!["a much longer name".into(), "2".into()]);
+        let text = table.render();
+        assert!(text.contains("== demo =="));
+        assert!(text.contains("a much longer name  2"));
+        assert_eq!(table.row_count(), 2);
+        // header and separator lines are present
+        assert_eq!(text.lines().count(), 1 + 1 + 1 + 2);
+    }
+}

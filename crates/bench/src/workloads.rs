@@ -1,0 +1,124 @@
+//! Shared workload preparation for the experiments: extraction of unsound
+//! composite tasks from the standard suite and size-controlled composites
+//! for the scaling experiments.
+
+use std::collections::BTreeSet;
+
+use wolves_core::validate::validate;
+use wolves_repo::suite::{standard_suite, CaseKind};
+use wolves_repo::{generate, views};
+use wolves_workflow::{TaskId, WorkflowSpec};
+
+/// One composite task to split, together with the workflow it lives in.
+#[derive(Debug)]
+pub struct CompositeInstance {
+    /// Short instance label (for tables).
+    pub label: String,
+    /// Workload family label ("expert", "auto", …).
+    pub family: &'static str,
+    /// The workflow specification.
+    pub spec: WorkflowSpec,
+    /// The members of the unsound composite task.
+    pub members: BTreeSet<TaskId>,
+}
+
+impl CompositeInstance {
+    /// Number of atomic tasks in the composite.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+}
+
+/// Collects every unsound composite task from the standard suite whose size
+/// lies within `min_size..=max_size`. These are the instances the quality
+/// experiment (E3) evaluates.
+#[must_use]
+pub fn unsound_composites_from_suite(
+    seeds: std::ops::Range<u64>,
+    min_size: usize,
+    max_size: usize,
+) -> Vec<CompositeInstance> {
+    let mut instances = Vec::new();
+    for case in standard_suite(seeds) {
+        let report = validate(&case.spec, &case.view);
+        for composite_id in report.unsound_composites() {
+            let composite = case
+                .view
+                .composite(composite_id)
+                .expect("validator only reports existing composites");
+            let size = composite.len();
+            if size < min_size || size > max_size {
+                continue;
+            }
+            instances.push(CompositeInstance {
+                label: format!("{}/{}", case.name, composite.name),
+                family: match case.kind {
+                    CaseKind::Expert => "expert",
+                    CaseKind::Auto => "auto",
+                    CaseKind::Blocks => "blocks",
+                    CaseKind::Random => "random",
+                },
+                spec: case.spec.clone(),
+                members: composite.members().clone(),
+            });
+        }
+    }
+    instances
+}
+
+/// Builds one unsound composite with roughly `target_size` member tasks by
+/// grouping a topological block of a generated layered workflow. Used by the
+/// running-time experiment (E4), where the optimal corrector is only run on
+/// the small sizes.
+#[must_use]
+pub fn sized_composite(target_size: usize, seed: u64) -> CompositeInstance {
+    let spec = generate::layered_workflow(
+        &generate::LayeredConfig::sized(target_size.saturating_mul(3).max(12)),
+        seed,
+    );
+    let view = views::topological_block_view(&spec, target_size.max(2), "blocks")
+        .expect("block view is a partition");
+    let report = validate(&spec, &view);
+    // pick the largest unsound composite; fall back to the largest composite
+    // if (rarely) all blocks are sound
+    let members = report
+        .unsound_composites()
+        .into_iter()
+        .filter_map(|id| view.composite(id).ok())
+        .max_by_key(|c| c.len())
+        .map(|c| c.members().clone())
+        .unwrap_or_else(|| {
+            view.composites()
+                .max_by_key(|(_, c)| c.len())
+                .map(|(_, c)| c.members().clone())
+                .expect("view has at least one composite")
+        });
+    CompositeInstance {
+        label: format!("sized-{target_size}-seed{seed}"),
+        family: "blocks",
+        spec,
+        members,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_extraction_respects_size_bounds() {
+        let instances = unsound_composites_from_suite(0..2, 3, 10);
+        assert!(!instances.is_empty());
+        for instance in &instances {
+            assert!(instance.size() >= 3 && instance.size() <= 10);
+            assert!(!wolves_core::is_sound(&instance.spec, &instance.members));
+        }
+    }
+
+    #[test]
+    fn sized_composites_hit_the_requested_scale() {
+        let instance = sized_composite(8, 3);
+        assert!(instance.size() >= 4 && instance.size() <= 12);
+    }
+}

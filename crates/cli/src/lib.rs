@@ -1,0 +1,350 @@
+//! # wolves-cli
+//!
+//! The WOLVES application: a command-line realisation of the demo
+//! architecture (paper Figure 2). Each module of the figure maps to a
+//! function in this crate:
+//!
+//! | Figure 2 module | Function |
+//! |-----------------|----------|
+//! | Import and Understand Workflow and View | [`import_command`], [`show_command`] |
+//! | Workflow View Validator | [`validate_command`] |
+//! | Workflow View Corrector | [`correct_command`] |
+//! | Workflow View Feedback | [`merge_command`] |
+//! | Workflow View Displayer | [`render_command`], [`show_command`] |
+//!
+//! The binary (`wolves`) parses arguments and dispatches to these functions;
+//! they all return plain strings so they are directly testable.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+
+use wolves_core::correct::{correct_view, Strategy};
+use wolves_core::estimate::{EstimationRegistry, WorkloadClass};
+use wolves_core::validate::{validate, validate_by_definition};
+use wolves_graph::dot::{to_dot, DotOptions};
+use wolves_moml::{from_moml, read_text_format, to_moml, write_text_format, ImportedWorkflow};
+use wolves_workflow::render::{describe_spec, describe_view};
+use wolves_workflow::{WorkflowSpec, WorkflowView};
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug)]
+pub enum CliError {
+    /// The input file could not be read.
+    Io(String, std::io::Error),
+    /// The input could not be parsed as MOML or the native text format.
+    Parse(String),
+    /// The requested operation failed.
+    Operation(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Io(path, e) => write!(f, "cannot read '{path}': {e}"),
+            CliError::Parse(message) => write!(f, "parse error: {message}"),
+            CliError::Operation(message) => write!(f, "{message}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Loads a workflow (and optional view) from a file. Files ending in
+/// `.xml` / `.moml` are parsed as MOML, everything else as the native text
+/// format.
+///
+/// # Errors
+/// Reports unreadable files and parse failures.
+pub fn load_workflow(path: &str) -> Result<ImportedWorkflow, CliError> {
+    let content =
+        std::fs::read_to_string(path).map_err(|e| CliError::Io(path.to_owned(), e))?;
+    parse_workflow(path, &content)
+}
+
+/// Parses workflow content, choosing the format from the file name.
+///
+/// # Errors
+/// Reports parse failures with the underlying message.
+pub fn parse_workflow(path: &str, content: &str) -> Result<ImportedWorkflow, CliError> {
+    let lower = path.to_ascii_lowercase();
+    let imported = if lower.ends_with(".xml") || lower.ends_with(".moml") {
+        from_moml(content)
+    } else {
+        read_text_format(content)
+    };
+    imported.map_err(|e| CliError::Parse(e.to_string()))
+}
+
+/// The *Import and Understand* module: loads a file and summarises it.
+///
+/// # Errors
+/// Propagates load errors.
+pub fn import_command(path: &str) -> Result<String, CliError> {
+    let imported = load_workflow(path)?;
+    Ok(show_command(&imported.spec, imported.view.as_ref()))
+}
+
+/// The *Displayer* module: a textual summary of a specification and view.
+#[must_use]
+pub fn show_command(spec: &WorkflowSpec, view: Option<&WorkflowView>) -> String {
+    let mut out = describe_spec(spec);
+    if let Some(view) = view {
+        out.push('\n');
+        out.push_str(&describe_view(spec, view));
+    }
+    out
+}
+
+/// The *Validator* module: reports per-composite soundness, highlighting the
+/// unsound composite tasks the GUI would paint red, plus the definition-level
+/// mismatches.
+#[must_use]
+pub fn validate_command(spec: &WorkflowSpec, view: &WorkflowView) -> String {
+    let report = validate(spec, view);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "view '{}': {}",
+        view.name(),
+        if report.is_sound() { "SOUND" } else { "UNSOUND" }
+    );
+    for composite in report.reports() {
+        if composite.verdict.is_sound() {
+            let _ = writeln!(out, "  [sound]   {}", composite.name);
+        } else {
+            let _ = writeln!(
+                out,
+                "  [UNSOUND] {} ({} violating pairs)",
+                composite.name,
+                composite.verdict.witnesses.len()
+            );
+            for witness in &composite.verdict.witnesses {
+                let input = spec.task(witness.input).map(|t| t.name.clone()).unwrap_or_default();
+                let output = spec
+                    .task(witness.output)
+                    .map(|t| t.name.clone())
+                    .unwrap_or_default();
+                let _ = writeln!(out, "      no path: '{input}' -> '{output}'");
+            }
+        }
+    }
+    let definition = validate_by_definition(spec, view);
+    let _ = writeln!(
+        out,
+        "definition check: {} spurious, {} missing view dependencies",
+        definition.spurious.len(),
+        definition.missing.len()
+    );
+    out
+}
+
+/// The *Corrector* module: corrects every unsound composite task with the
+/// requested strategy and reports what changed, together with the estimated
+/// cost the demo GUI would show (when an estimation registry is supplied).
+///
+/// # Errors
+/// Reports unknown strategies and corrector failures.
+pub fn correct_command(
+    spec: &WorkflowSpec,
+    view: &WorkflowView,
+    strategy_name: &str,
+    registry: Option<&EstimationRegistry>,
+) -> Result<(WorkflowView, String), CliError> {
+    let strategy = Strategy::parse(strategy_name)
+        .ok_or_else(|| CliError::Operation(format!("unknown corrector '{strategy_name}'")))?;
+    let mut out = String::new();
+    if let Some(registry) = registry {
+        let report = validate(spec, view);
+        for composite_id in report.unsound_composites() {
+            if let Ok(composite) = view.composite(composite_id) {
+                let class = WorkloadClass::classify(spec, composite.members());
+                if let Some(estimate) = registry.estimate(class, strategy) {
+                    let _ = writeln!(
+                        out,
+                        "estimate for '{}': {:.1?} (quality {:.2}, {} past corrections)",
+                        composite.name,
+                        estimate.avg_elapsed,
+                        estimate.avg_quality,
+                        estimate.samples
+                    );
+                }
+            }
+        }
+    }
+    let corrector = strategy.corrector();
+    let (corrected, report) = correct_view(spec, view, corrector.as_ref())
+        .map_err(|e| CliError::Operation(e.to_string()))?;
+    if report.was_already_sound() {
+        let _ = writeln!(out, "view is already sound; nothing to correct");
+    }
+    for correction in &report.corrections {
+        let _ = writeln!(
+            out,
+            "split '{}' ({} tasks) into {} sound composite tasks in {:.1?}",
+            correction.original_name,
+            correction.task_count,
+            correction.replacements.len(),
+            correction.elapsed
+        );
+    }
+    let _ = writeln!(
+        out,
+        "composite tasks: {} -> {}",
+        report.composites_before, report.composites_after
+    );
+    Ok((corrected, out))
+}
+
+/// The *Feedback* module: merges composite tasks ("Create Composite Task")
+/// and reports whether the merged composite is sound.
+///
+/// # Errors
+/// Reports unknown composite names.
+pub fn merge_command(
+    spec: &WorkflowSpec,
+    view: &mut WorkflowView,
+    composite_names: &[&str],
+    merged_name: &str,
+) -> Result<String, CliError> {
+    let ids: Vec<_> = composite_names
+        .iter()
+        .map(|name| {
+            view.composites()
+                .find(|(_, c)| c.name == *name)
+                .map(|(id, _)| id)
+                .ok_or_else(|| CliError::Operation(format!("unknown composite '{name}'")))
+        })
+        .collect::<Result<_, _>>()?;
+    let merged = view
+        .merge_composites(&ids, merged_name)
+        .map_err(|e| CliError::Operation(e.to_string()))?;
+    let sound = wolves_core::is_sound(
+        spec,
+        view.composite(merged)
+            .map_err(|e| CliError::Operation(e.to_string()))?
+            .members(),
+    );
+    Ok(format!(
+        "created composite '{merged_name}' from {} composites: {}\n",
+        composite_names.len(),
+        if sound { "sound" } else { "UNSOUND — run correct again" }
+    ))
+}
+
+/// The *Displayer* module, graphical flavour: DOT output with one cluster per
+/// composite task and unsound composites' members highlighted.
+#[must_use]
+pub fn render_command(spec: &WorkflowSpec, view: Option<&WorkflowView>) -> String {
+    let mut options = DotOptions {
+        graph_name: spec.name().to_owned(),
+        ..DotOptions::default()
+    };
+    if let Some(view) = view {
+        let report = validate(spec, view);
+        let unsound = report.unsound_composites();
+        for (id, composite) in view.composites() {
+            options
+                .clusters
+                .push((composite.name.clone(), composite.members().iter().copied().collect()));
+            if unsound.contains(&id) {
+                options
+                    .highlighted
+                    .extend(composite.members().iter().copied());
+            }
+        }
+    }
+    to_dot(spec.graph(), &options, |_, task| task.name.clone())
+}
+
+/// Exports a workflow and view in the requested format (`"moml"` or
+/// `"text"`).
+///
+/// # Errors
+/// Reports unknown formats.
+pub fn export_command(
+    spec: &WorkflowSpec,
+    view: Option<&WorkflowView>,
+    format: &str,
+) -> Result<String, CliError> {
+    match format {
+        "moml" | "xml" => Ok(to_moml(spec, view)),
+        "text" | "txt" => Ok(write_text_format(spec, view)),
+        other => Err(CliError::Operation(format!("unknown export format '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wolves_repo::figure1;
+
+    #[test]
+    fn validate_command_flags_composite_16() {
+        let fixture = figure1();
+        let output = validate_command(&fixture.spec, &fixture.view);
+        assert!(output.contains("UNSOUND"));
+        assert!(output.contains("Curate & align (16)"));
+        assert!(output.contains("no path"));
+        // two spurious view-level dependencies: 14 -> 18 and 15 -> 17
+        assert!(output.contains("2 spurious"));
+    }
+
+    #[test]
+    fn correct_command_reports_the_split() {
+        let fixture = figure1();
+        let (corrected, output) =
+            correct_command(&fixture.spec, &fixture.view, "strong", None).unwrap();
+        assert!(output.contains("split 'Curate & align (16)'"));
+        assert!(output.contains("7 -> 8"));
+        assert!(validate(&fixture.spec, &corrected).is_sound());
+        assert!(correct_command(&fixture.spec, &fixture.view, "bogus", None).is_err());
+    }
+
+    #[test]
+    fn merge_command_round_trips_through_names() {
+        let fixture = figure1();
+        let mut view = fixture.view.clone();
+        let output = merge_command(
+            &fixture.spec,
+            &mut view,
+            &["Retrieve entries (13)", "Annotations (14)"],
+            "Front end",
+        )
+        .unwrap();
+        assert!(output.contains("sound"));
+        assert_eq!(view.composite_count(), 6);
+        assert!(merge_command(&fixture.spec, &mut view, &["nope"], "x").is_err());
+    }
+
+    #[test]
+    fn render_command_highlights_unsound_members() {
+        let fixture = figure1();
+        let dot = render_command(&fixture.spec, Some(&fixture.view));
+        assert!(dot.contains("subgraph cluster_"));
+        assert!(dot.contains("fillcolor"));
+        assert!(dot.contains("Curate annotations"));
+    }
+
+    #[test]
+    fn export_and_parse_round_trip() {
+        let fixture = figure1();
+        for format in ["moml", "text"] {
+            let exported = export_command(&fixture.spec, Some(&fixture.view), format).unwrap();
+            let suffix = if format == "moml" { "wf.xml" } else { "wf.txt" };
+            let imported = parse_workflow(suffix, &exported).unwrap();
+            assert_eq!(imported.spec.task_count(), 12);
+            assert!(imported.view.is_some());
+        }
+        assert!(export_command(&fixture.spec, None, "yaml").is_err());
+    }
+
+    #[test]
+    fn show_command_summarises_both_panels() {
+        let fixture = figure1();
+        let output = show_command(&fixture.spec, Some(&fixture.view));
+        assert!(output.contains("workflow 'phylogenomic-inference'"));
+        assert!(output.contains("view 'figure-1b'"));
+    }
+}

@@ -1,0 +1,160 @@
+//! The `wolves` command-line application (paper Figure 2 as a CLI).
+//!
+//! ```text
+//! wolves show <file>                          summarise a workflow and view
+//! wolves validate <file>                      check view soundness
+//! wolves correct <file> [--strategy weak|strong|optimal] [--out <file>]
+//! wolves render <file>                        emit Graphviz DOT
+//! wolves export <file> --format moml|text     convert between formats
+//! wolves demo                                 run the Figure 1 walk-through
+//! ```
+//!
+//! Input files ending in `.xml`/`.moml` are parsed as MOML; everything else
+//! uses the native text format (see `wolves-moml`).
+
+use std::process::ExitCode;
+
+use wolves_cli::{
+    correct_command, export_command, import_command, load_workflow, render_command,
+    show_command, validate_command,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn run(args: &[String]) -> Result<String, String> {
+    let command = args.first().map(String::as_str).unwrap_or("help");
+    match command {
+        "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
+        "demo" => Ok(demo()),
+        "show" | "validate" | "correct" | "render" | "export" => {
+            let path = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or_else(|| format!("'{command}' needs an input file\n{USAGE}"))?;
+            let imported = load_workflow(path).map_err(|e| e.to_string())?;
+            let spec = imported.spec;
+            let view = imported.view;
+            match command {
+                "show" => import_command(path).map_err(|e| e.to_string()),
+                "validate" => {
+                    let view = view.ok_or("the input file defines no view to validate")?;
+                    Ok(validate_command(&spec, &view))
+                }
+                "correct" => {
+                    let view = view.ok_or("the input file defines no view to correct")?;
+                    let strategy =
+                        flag_value(args, "--strategy").unwrap_or_else(|| "strong".to_owned());
+                    let (corrected, mut output) =
+                        correct_command(&spec, &view, &strategy, None).map_err(|e| e.to_string())?;
+                    if let Some(out_path) = flag_value(args, "--out") {
+                        let format = if out_path.ends_with(".xml") || out_path.ends_with(".moml") {
+                            "moml"
+                        } else {
+                            "text"
+                        };
+                        let exported = export_command(&spec, Some(&corrected), format)
+                            .map_err(|e| e.to_string())?;
+                        std::fs::write(&out_path, exported)
+                            .map_err(|e| format!("cannot write '{out_path}': {e}"))?;
+                        output.push_str(&format!("corrected view written to {out_path}\n"));
+                    }
+                    Ok(output)
+                }
+                "render" => Ok(render_command(&spec, view.as_ref())),
+                "export" => {
+                    let format = flag_value(args, "--format").unwrap_or_else(|| "text".to_owned());
+                    export_command(&spec, view.as_ref(), &format).map_err(|e| e.to_string())
+                }
+                _ => unreachable!("outer match guards the command list"),
+            }
+        }
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    }
+}
+
+/// The Figure 1 walk-through: what the paper's demonstration shows, end to
+/// end, without needing an input file.
+fn demo() -> String {
+    let fixture = wolves_repo::figure1();
+    let mut out = String::new();
+    out.push_str(&show_command(&fixture.spec, Some(&fixture.view)));
+    out.push('\n');
+    out.push_str(&validate_command(&fixture.spec, &fixture.view));
+    out.push('\n');
+    let (corrected, report) =
+        correct_command(&fixture.spec, &fixture.view, "strong", None).expect("demo correction");
+    out.push_str(&report);
+    out.push('\n');
+    out.push_str(&validate_command(&fixture.spec, &corrected));
+    out
+}
+
+const USAGE: &str = "\
+WOLVES: detecting and resolving unsound workflow views
+
+usage:
+  wolves show <file>                          summarise a workflow and its view
+  wolves validate <file>                      check the view for soundness
+  wolves correct <file> [--strategy weak|strong|optimal] [--out <file>]
+  wolves render <file>                        emit Graphviz DOT (unsound tasks highlighted)
+  wolves export <file> --format moml|text     convert between formats
+  wolves demo                                 run the built-in Figure 1 walk-through
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_walkthrough_runs() {
+        let output = run(&["demo".to_owned()]).unwrap();
+        assert!(output.contains("UNSOUND"));
+        assert!(output.contains("SOUND"));
+    }
+
+    #[test]
+    fn unknown_commands_report_usage() {
+        let err = run(&["frobnicate".to_owned()]).unwrap_err();
+        assert!(err.contains("usage"));
+        assert!(run(&[]).unwrap().contains("usage"));
+    }
+
+    #[test]
+    fn file_commands_round_trip_through_a_temp_file() {
+        let fixture = wolves_repo::figure1();
+        let text = wolves_moml::write_text_format(&fixture.spec, Some(&fixture.view));
+        let path = std::env::temp_dir().join("wolves-cli-test.txt");
+        std::fs::write(&path, text).unwrap();
+        let path = path.to_string_lossy().to_string();
+        let validated = run(&["validate".to_owned(), path.clone()]).unwrap();
+        assert!(validated.contains("UNSOUND"));
+        let corrected = run(&[
+            "correct".to_owned(),
+            path.clone(),
+            "--strategy".to_owned(),
+            "weak".to_owned(),
+        ])
+        .unwrap();
+        assert!(corrected.contains("composite tasks: 7 -> 8"));
+        let dot = run(&["render".to_owned(), path]).unwrap();
+        assert!(dot.starts_with("digraph"));
+    }
+}

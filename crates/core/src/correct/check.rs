@@ -1,0 +1,163 @@
+//! Verification of split properties.
+//!
+//! These checkers implement Definitions 2.3, 2.5 and 2.6 *literally*
+//! (including the exponential subset enumeration for strong local
+//! optimality). They are used by the test suite, by the property-based
+//! tests, and by the quality experiment (E3) to certify the output of the
+//! polynomial correctors; they are not meant for the hot path.
+
+use std::collections::BTreeSet;
+
+use wolves_workflow::{TaskId, WorkflowSpec};
+
+use crate::correct::split::Split;
+use crate::soundness::{are_combinable, is_sound};
+
+/// `true` iff `split` partitions exactly `members` and every part is a sound
+/// composite task.
+#[must_use]
+pub fn is_sound_split(spec: &WorkflowSpec, members: &BTreeSet<TaskId>, split: &Split) -> bool {
+    split.is_partition_of(members) && split.parts().iter().all(|p| is_sound(spec, p))
+}
+
+/// `true` iff no two parts of the split are combinable (Definition 2.5).
+#[must_use]
+pub fn is_weak_local_optimal(spec: &WorkflowSpec, split: &Split) -> bool {
+    let parts = split.parts();
+    for i in 0..parts.len() {
+        for j in (i + 1)..parts.len() {
+            if are_combinable(spec, [&parts[i], &parts[j]]) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// `true` iff no subset of two or more parts is combinable (Definition 2.6).
+///
+/// This enumerates all `2^k` subsets of the `k` parts and is therefore only
+/// suitable for verification on modest part counts (the experiments keep
+/// `k ≤ 20`). Returns `true` vacuously for splits with fewer than two parts.
+#[must_use]
+pub fn is_strong_local_optimal(spec: &WorkflowSpec, split: &Split) -> bool {
+    find_combinable_subset(spec, split).is_none()
+}
+
+/// Finds one combinable subset of parts (two or more), if any exists, by
+/// exhaustive enumeration. Returns the part indices.
+#[must_use]
+pub fn find_combinable_subset(spec: &WorkflowSpec, split: &Split) -> Option<Vec<usize>> {
+    let parts = split.parts();
+    let k = parts.len();
+    assert!(
+        k <= 25,
+        "exhaustive strong-local-optimality check limited to 25 parts (got {k})"
+    );
+    if k < 2 {
+        return None;
+    }
+    // enumerate subsets by increasing size so that the reported subset is a
+    // smallest combinable one (more useful in error messages)
+    let masks: u32 = 1 << k;
+    let mut subsets: Vec<u32> = (0..masks).filter(|m| m.count_ones() >= 2).collect();
+    subsets.sort_by_key(|m| m.count_ones());
+    for mask in subsets {
+        let chosen: Vec<&BTreeSet<TaskId>> = (0..k)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| &parts[i])
+            .collect();
+        if are_combinable(spec, chosen) {
+            return Some((0..k).filter(|i| mask & (1 << i) != 0).collect());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wolves_workflow::WorkflowBuilder;
+
+    /// s -> a -> b -> t,  s -> c -> t ; composite = {a, b, c}
+    fn fork() -> (WorkflowSpec, BTreeSet<TaskId>, Vec<TaskId>) {
+        let mut b = WorkflowBuilder::new("fork");
+        let s = b.task("s");
+        let a = b.task("a");
+        let m = b.task("b");
+        let c = b.task("c");
+        let t = b.task("t");
+        b.edge(s, a).unwrap();
+        b.edge(a, m).unwrap();
+        b.edge(m, t).unwrap();
+        b.edge(s, c).unwrap();
+        b.edge(c, t).unwrap();
+        let spec = b.build().unwrap();
+        let members: BTreeSet<TaskId> = [a, m, c].into_iter().collect();
+        (spec, members, vec![s, a, m, c, t])
+    }
+
+    #[test]
+    fn sound_split_requires_partition_and_soundness() {
+        let (spec, members, ids) = fork();
+        let good = Split::new(vec![
+            [ids[1], ids[2]].into_iter().collect(),
+            [ids[3]].into_iter().collect(),
+        ]);
+        assert!(is_sound_split(&spec, &members, &good));
+        // not a partition (misses c)
+        let incomplete = Split::new(vec![[ids[1], ids[2]].into_iter().collect()]);
+        assert!(!is_sound_split(&spec, &members, &incomplete));
+        // partition but unsound part {a, c}
+        let unsound = Split::new(vec![
+            [ids[1], ids[3]].into_iter().collect(),
+            [ids[2]].into_iter().collect(),
+        ]);
+        assert!(!is_sound_split(&spec, &members, &unsound));
+    }
+
+    #[test]
+    fn weak_local_optimality_detects_mergeable_pairs() {
+        let (spec, _, ids) = fork();
+        let singletons = Split::new(vec![
+            [ids[1]].into_iter().collect(),
+            [ids[2]].into_iter().collect(),
+            [ids[3]].into_iter().collect(),
+        ]);
+        // {a} and {b} can merge, so the all-singleton split is not weakly
+        // local optimal
+        assert!(!is_weak_local_optimal(&spec, &singletons));
+        let merged = Split::new(vec![
+            [ids[1], ids[2]].into_iter().collect(),
+            [ids[3]].into_iter().collect(),
+        ]);
+        assert!(is_weak_local_optimal(&spec, &merged));
+    }
+
+    #[test]
+    fn strong_local_optimality_is_at_least_as_strict_as_weak() {
+        let (spec, _, ids) = fork();
+        let merged = Split::new(vec![
+            [ids[1], ids[2]].into_iter().collect(),
+            [ids[3]].into_iter().collect(),
+        ]);
+        assert!(is_weak_local_optimal(&spec, &merged));
+        assert!(is_strong_local_optimal(&spec, &merged));
+        let singletons = Split::new(vec![
+            [ids[1]].into_iter().collect(),
+            [ids[2]].into_iter().collect(),
+            [ids[3]].into_iter().collect(),
+        ]);
+        assert!(!is_strong_local_optimal(&spec, &singletons));
+        let subset = find_combinable_subset(&spec, &singletons).unwrap();
+        assert_eq!(subset.len(), 2);
+    }
+
+    #[test]
+    fn single_part_splits_are_trivially_optimal() {
+        let (spec, _, ids) = fork();
+        let one = Split::new(vec![[ids[1]].into_iter().collect()]);
+        assert!(is_weak_local_optimal(&spec, &one));
+        assert!(is_strong_local_optimal(&spec, &one));
+    }
+}

@@ -1,0 +1,313 @@
+//! Pre-computed context for splitting one composite task.
+//!
+//! All three correctors repeatedly ask the same questions about subsets of
+//! the composite's members: what is the boundary of this subset, is it sound,
+//! which external predecessors/successors does a member have. [`SplitContext`]
+//! answers these from dense per-member tables built once per composite.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use wolves_workflow::{TaskId, WorkflowSpec};
+
+/// Dense, index-based view of one composite task, ready for the correctors.
+///
+/// Members are numbered `0..len()` in ascending [`TaskId`] order; all
+/// corrector-internal sets are sets of these indices.
+#[derive(Debug)]
+pub struct SplitContext<'a> {
+    spec: &'a WorkflowSpec,
+    members: Vec<TaskId>,
+    index_of: BTreeMap<TaskId, usize>,
+    /// `true` if the member has a predecessor outside the composite.
+    ext_in: Vec<bool>,
+    /// `true` if the member has a successor outside the composite.
+    ext_out: Vec<bool>,
+    /// Direct predecessors of each member that lie inside the composite.
+    preds_within: Vec<Vec<usize>>,
+    /// Direct successors of each member that lie inside the composite.
+    succs_within: Vec<Vec<usize>>,
+}
+
+impl<'a> SplitContext<'a> {
+    /// Builds the context for the composite task with the given members.
+    #[must_use]
+    pub fn new(spec: &'a WorkflowSpec, members: &BTreeSet<TaskId>) -> Self {
+        let member_vec: Vec<TaskId> = members.iter().copied().collect();
+        let index_of: BTreeMap<TaskId, usize> = member_vec
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, i))
+            .collect();
+        let n = member_vec.len();
+        let mut ext_in = vec![false; n];
+        let mut ext_out = vec![false; n];
+        let mut preds_within = vec![Vec::new(); n];
+        let mut succs_within = vec![Vec::new(); n];
+        for (i, &task) in member_vec.iter().enumerate() {
+            for pred in spec.predecessors(task) {
+                match index_of.get(&pred) {
+                    Some(&p) => preds_within[i].push(p),
+                    None => ext_in[i] = true,
+                }
+            }
+            for succ in spec.successors(task) {
+                match index_of.get(&succ) {
+                    Some(&s) => succs_within[i].push(s),
+                    None => ext_out[i] = true,
+                }
+            }
+            preds_within[i].sort_unstable();
+            preds_within[i].dedup();
+            succs_within[i].sort_unstable();
+            succs_within[i].dedup();
+        }
+        SplitContext {
+            spec,
+            members: member_vec,
+            index_of,
+            ext_in,
+            ext_out,
+            preds_within,
+            succs_within,
+        }
+    }
+
+    /// Number of member tasks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` if the composite has no members (never the case for composites
+    /// coming from a [`wolves_workflow::WorkflowView`]).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The member task ids in index order.
+    #[must_use]
+    pub fn members(&self) -> &[TaskId] {
+        &self.members
+    }
+
+    /// The workflow specification this context was built from.
+    #[must_use]
+    pub fn spec(&self) -> &WorkflowSpec {
+        self.spec
+    }
+
+    /// Task id of member index `i`.
+    #[must_use]
+    pub fn task(&self, i: usize) -> TaskId {
+        self.members[i]
+    }
+
+    /// Member index of a task id, if it belongs to the composite.
+    #[must_use]
+    pub fn index(&self, task: TaskId) -> Option<usize> {
+        self.index_of.get(&task).copied()
+    }
+
+    /// `reach(i, j)` in the workflow specification (paths may leave the
+    /// composite).
+    #[must_use]
+    pub fn reaches(&self, i: usize, j: usize) -> bool {
+        self.spec
+            .reachability()
+            .reachable(self.members[i], self.members[j])
+    }
+
+    /// `true` iff member `i` belongs to `U.in` for the subset `set`.
+    #[must_use]
+    pub fn is_input(&self, i: usize, set: &BTreeSet<usize>) -> bool {
+        self.ext_in[i] || self.preds_within[i].iter().any(|p| !set.contains(p))
+    }
+
+    /// `true` iff member `i` belongs to `U.out` for the subset `set`.
+    #[must_use]
+    pub fn is_output(&self, i: usize, set: &BTreeSet<usize>) -> bool {
+        self.ext_out[i] || self.succs_within[i].iter().any(|s| !set.contains(s))
+    }
+
+    /// The boundary `(U.in, U.out)` of a subset, as member indices.
+    #[must_use]
+    pub fn boundary_of(&self, set: &BTreeSet<usize>) -> (Vec<usize>, Vec<usize>) {
+        let inputs = set
+            .iter()
+            .copied()
+            .filter(|&i| self.is_input(i, set))
+            .collect();
+        let outputs = set
+            .iter()
+            .copied()
+            .filter(|&i| self.is_output(i, set))
+            .collect();
+        (inputs, outputs)
+    }
+
+    /// Returns the first `(input, output)` pair violating soundness of the
+    /// subset, or `None` if the subset is sound.
+    #[must_use]
+    pub fn first_violation(&self, set: &BTreeSet<usize>) -> Option<(usize, usize)> {
+        let (inputs, outputs) = self.boundary_of(set);
+        for &i in &inputs {
+            for &o in &outputs {
+                if !self.reaches(i, o) {
+                    return Some((i, o));
+                }
+            }
+        }
+        None
+    }
+
+    /// Soundness of a subset of member indices (Definition 2.3 restricted to
+    /// the composite being split).
+    #[must_use]
+    pub fn is_sound_subset(&self, set: &BTreeSet<usize>) -> bool {
+        self.first_violation(set).is_none()
+    }
+
+    /// Direct predecessors of member `i` that lie inside the composite but
+    /// outside `set`, plus a flag saying whether `i` also has a predecessor
+    /// outside the composite (in which case `i` can never leave `U.in`).
+    #[must_use]
+    pub fn missing_preds(&self, i: usize, set: &BTreeSet<usize>) -> (Vec<usize>, bool) {
+        let missing = self.preds_within[i]
+            .iter()
+            .copied()
+            .filter(|p| !set.contains(p))
+            .collect();
+        (missing, self.ext_in[i])
+    }
+
+    /// Direct successors of member `i` inside the composite but outside
+    /// `set`, plus a flag for successors outside the composite.
+    #[must_use]
+    pub fn missing_succs(&self, i: usize, set: &BTreeSet<usize>) -> (Vec<usize>, bool) {
+        let missing = self.succs_within[i]
+            .iter()
+            .copied()
+            .filter(|s| !set.contains(s))
+            .collect();
+        (missing, self.ext_out[i])
+    }
+
+    /// Converts a partition expressed in member indices back into task ids.
+    #[must_use]
+    pub fn to_task_sets(&self, parts: &[BTreeSet<usize>]) -> Vec<BTreeSet<TaskId>> {
+        parts
+            .iter()
+            .map(|part| part.iter().map(|&i| self.members[i]).collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wolves_workflow::WorkflowBuilder;
+
+    /// s -> a -> b -> t,  s -> c -> t  (composite = {a, b, c})
+    fn setup() -> (WorkflowSpec, BTreeSet<TaskId>, Vec<TaskId>) {
+        let mut builder = WorkflowBuilder::new("ctx");
+        let s = builder.task("s");
+        let a = builder.task("a");
+        let b = builder.task("b");
+        let c = builder.task("c");
+        let t = builder.task("t");
+        builder.edge(s, a).unwrap();
+        builder.edge(a, b).unwrap();
+        builder.edge(b, t).unwrap();
+        builder.edge(s, c).unwrap();
+        builder.edge(c, t).unwrap();
+        let spec = builder.build().unwrap();
+        let members: BTreeSet<TaskId> = [a, b, c].into_iter().collect();
+        (spec, members, vec![s, a, b, c, t])
+    }
+
+    #[test]
+    fn indices_and_members_round_trip() {
+        let (spec, members, ids) = setup();
+        let ctx = SplitContext::new(&spec, &members);
+        assert_eq!(ctx.len(), 3);
+        for &task in &[ids[1], ids[2], ids[3]] {
+            let idx = ctx.index(task).unwrap();
+            assert_eq!(ctx.task(idx), task);
+        }
+        assert!(ctx.index(ids[0]).is_none());
+    }
+
+    #[test]
+    fn boundary_of_subsets() {
+        let (spec, members, ids) = setup();
+        let ctx = SplitContext::new(&spec, &members);
+        let ia = ctx.index(ids[1]).unwrap();
+        let ib = ctx.index(ids[2]).unwrap();
+        let ic = ctx.index(ids[3]).unwrap();
+        // whole composite: in = {a, c} (from s), out = {b, c} (to t)
+        let all: BTreeSet<usize> = [ia, ib, ic].into_iter().collect();
+        let (inputs, outputs) = ctx.boundary_of(&all);
+        assert_eq!(inputs, vec![ia, ic]);
+        assert_eq!(outputs, vec![ib, ic]);
+        // {a}: both boundaries
+        let only_a: BTreeSet<usize> = [ia].into_iter().collect();
+        assert!(ctx.is_input(ia, &only_a));
+        assert!(ctx.is_output(ia, &only_a));
+    }
+
+    #[test]
+    fn soundness_of_subsets() {
+        let (spec, members, ids) = setup();
+        let ctx = SplitContext::new(&spec, &members);
+        let ia = ctx.index(ids[1]).unwrap();
+        let ib = ctx.index(ids[2]).unwrap();
+        let ic = ctx.index(ids[3]).unwrap();
+        // {a, b} is sound (a -> b), {a, c} and the whole set are not
+        let ab: BTreeSet<usize> = [ia, ib].into_iter().collect();
+        assert!(ctx.is_sound_subset(&ab));
+        let ac: BTreeSet<usize> = [ia, ic].into_iter().collect();
+        assert!(!ctx.is_sound_subset(&ac));
+        let all: BTreeSet<usize> = [ia, ib, ic].into_iter().collect();
+        assert!(!ctx.is_sound_subset(&all));
+        let violation = ctx.first_violation(&all).unwrap();
+        // a cannot reach c (or c cannot reach b) — either witness is fine,
+        // but it must be a genuine violation
+        assert!(!ctx.reaches(violation.0, violation.1));
+    }
+
+    #[test]
+    fn missing_preds_and_succs() {
+        let (spec, members, ids) = setup();
+        let ctx = SplitContext::new(&spec, &members);
+        let ia = ctx.index(ids[1]).unwrap();
+        let ib = ctx.index(ids[2]).unwrap();
+        let only_b: BTreeSet<usize> = [ib].into_iter().collect();
+        let (missing, blocked) = ctx.missing_preds(ib, &only_b);
+        assert_eq!(missing, vec![ia]);
+        assert!(!blocked, "b has no predecessors outside the composite");
+        let (missing, blocked) = ctx.missing_preds(ia, &only_b);
+        assert!(missing.is_empty());
+        assert!(blocked, "a's predecessor s is outside the composite");
+        let (_, out_blocked) = ctx.missing_succs(ib, &only_b);
+        assert!(out_blocked, "b feeds t outside the composite");
+    }
+
+    #[test]
+    fn to_task_sets_converts_back() {
+        let (spec, members, ids) = setup();
+        let ctx = SplitContext::new(&spec, &members);
+        let ia = ctx.index(ids[1]).unwrap();
+        let ib = ctx.index(ids[2]).unwrap();
+        let ic = ctx.index(ids[3]).unwrap();
+        let parts = vec![
+            [ia, ib].into_iter().collect::<BTreeSet<usize>>(),
+            [ic].into_iter().collect(),
+        ];
+        let task_parts = ctx.to_task_sets(&parts);
+        assert_eq!(task_parts.len(), 2);
+        assert!(task_parts[0].contains(&ids[1]));
+        assert!(task_parts[0].contains(&ids[2]));
+        assert!(task_parts[1].contains(&ids[3]));
+    }
+}

@@ -1,0 +1,354 @@
+//! The exact (optimal) corrector.
+//!
+//! Splitting an unsound composite task into the *minimum* number of sound
+//! composite tasks is NP-hard (Theorem 2.2 of the paper), so this corrector
+//! performs an exponential search: a memoized dynamic program over bit masks
+//! of the member set. It refuses composites larger than a configurable limit
+//! and exists to (a) measure the quality of the polynomial correctors
+//! (experiment E3) and (b) demonstrate the running-time gap (experiment E4).
+
+use std::collections::{BTreeSet, HashMap};
+
+use wolves_workflow::{TaskId, WorkflowSpec};
+
+use crate::correct::context::SplitContext;
+use crate::correct::split::Split;
+use crate::correct::strong::StrongCorrector;
+use crate::correct::Corrector;
+use crate::error::CoreError;
+
+/// Exact minimum-split corrector (exponential time, NP-hard problem).
+#[derive(Debug, Clone, Copy)]
+pub struct OptimalCorrector {
+    /// Largest composite (in atomic tasks) the corrector will attempt.
+    /// Larger inputs return [`CoreError::TooLargeForOptimal`].
+    pub max_tasks: usize,
+}
+
+impl Default for OptimalCorrector {
+    fn default() -> Self {
+        OptimalCorrector { max_tasks: 18 }
+    }
+}
+
+impl OptimalCorrector {
+    /// Creates a corrector with the default size limit (18 tasks).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a corrector with a custom size limit (capped at 60 so masks
+    /// fit into a `u64`).
+    #[must_use]
+    pub fn with_limit(max_tasks: usize) -> Self {
+        OptimalCorrector {
+            max_tasks: max_tasks.min(60),
+        }
+    }
+}
+
+impl Corrector for OptimalCorrector {
+    fn name(&self) -> &'static str {
+        "optimal"
+    }
+
+    fn split(
+        &self,
+        spec: &WorkflowSpec,
+        members: &BTreeSet<TaskId>,
+    ) -> Result<Split, CoreError> {
+        if members.len() > self.max_tasks {
+            return Err(CoreError::TooLargeForOptimal {
+                tasks: members.len(),
+                limit: self.max_tasks,
+            });
+        }
+        let ctx = SplitContext::new(spec, members);
+        let n = ctx.len();
+        if n == 0 {
+            return Ok(Split::new(Vec::new()));
+        }
+        let tables = MaskTables::new(&ctx);
+        // An upper bound from the polynomial strong corrector prunes the
+        // search considerably on easy instances.
+        let upper_bound = StrongCorrector::new()
+            .split(spec, members)
+            .map(|s| s.part_count())
+            .unwrap_or(n);
+        let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        let mut solver = Solver {
+            tables: &tables,
+            memo: HashMap::new(),
+            sound_cache: HashMap::new(),
+        };
+        let (_, parts) = solver.solve(full, upper_bound);
+        let parts_sets: Vec<BTreeSet<usize>> = parts
+            .into_iter()
+            .map(|mask| mask_to_set(mask))
+            .collect();
+        Ok(Split::new(ctx.to_task_sets(&parts_sets)))
+    }
+}
+
+/// Dense bit-mask tables describing one composite task.
+struct MaskTables {
+    n: usize,
+    /// Member has a predecessor outside the composite.
+    ext_in: Vec<bool>,
+    /// Member has a successor outside the composite.
+    ext_out: Vec<bool>,
+    /// Mask of within-composite direct predecessors per member.
+    pred_mask: Vec<u64>,
+    /// Mask of within-composite direct successors per member.
+    succ_mask: Vec<u64>,
+    /// Mask of members reachable (in the full workflow) from each member.
+    reach_mask: Vec<u64>,
+}
+
+impl MaskTables {
+    fn new(ctx: &SplitContext<'_>) -> Self {
+        let n = ctx.len();
+        assert!(n <= 64, "mask tables limited to 64 members");
+        let mut ext_in = vec![false; n];
+        let mut ext_out = vec![false; n];
+        let mut pred_mask = vec![0u64; n];
+        let mut succ_mask = vec![0u64; n];
+        let mut reach_mask = vec![0u64; n];
+        let all: BTreeSet<usize> = (0..n).collect();
+        for i in 0..n {
+            let singleton: BTreeSet<usize> = BTreeSet::from([i]);
+            // ext flags: member is a boundary node even when the whole
+            // composite is taken
+            ext_in[i] = ctx.is_input(i, &all);
+            ext_out[i] = ctx.is_output(i, &all);
+            let (preds, _) = ctx.missing_preds(i, &singleton);
+            for p in preds {
+                if p != i {
+                    pred_mask[i] |= 1 << p;
+                }
+            }
+            let (succs, _) = ctx.missing_succs(i, &singleton);
+            for s in succs {
+                if s != i {
+                    succ_mask[i] |= 1 << s;
+                }
+            }
+            for j in 0..n {
+                if ctx.reaches(i, j) {
+                    reach_mask[i] |= 1 << j;
+                }
+            }
+        }
+        MaskTables {
+            n,
+            ext_in,
+            ext_out,
+            pred_mask,
+            succ_mask,
+            reach_mask,
+        }
+    }
+
+    /// Soundness of the subset encoded by `mask`.
+    fn is_sound(&self, mask: u64) -> bool {
+        let outside = !mask;
+        let mut out_set: u64 = 0;
+        for i in 0..self.n {
+            let bit = 1u64 << i;
+            if mask & bit == 0 {
+                continue;
+            }
+            if self.ext_out[i] || self.succ_mask[i] & outside != 0 {
+                out_set |= bit;
+            }
+        }
+        for i in 0..self.n {
+            let bit = 1u64 << i;
+            if mask & bit == 0 {
+                continue;
+            }
+            let is_in = self.ext_in[i] || self.pred_mask[i] & outside != 0;
+            if is_in && out_set & !self.reach_mask[i] != 0 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+struct Solver<'a> {
+    tables: &'a MaskTables,
+    memo: HashMap<u64, (usize, Vec<u64>)>,
+    sound_cache: HashMap<u64, bool>,
+}
+
+impl Solver<'_> {
+    fn sound(&mut self, mask: u64) -> bool {
+        if let Some(&s) = self.sound_cache.get(&mask) {
+            return s;
+        }
+        let s = self.tables.is_sound(mask);
+        self.sound_cache.insert(mask, s);
+        s
+    }
+
+    /// Minimum number of sound parts partitioning `remaining`, bounded by
+    /// `budget` (inclusive); returns `(count, parts)` where `count >
+    /// budget` signals "no solution within budget" (parts then empty).
+    fn solve(&mut self, remaining: u64, budget: usize) -> (usize, Vec<u64>) {
+        if remaining == 0 {
+            return (0, Vec::new());
+        }
+        if budget == 0 {
+            return (usize::MAX, Vec::new());
+        }
+        if let Some((count, parts)) = self.memo.get(&remaining) {
+            return (*count, parts.clone());
+        }
+        // quick win: the whole remainder is sound
+        if self.sound(remaining) {
+            let result = (1, vec![remaining]);
+            self.memo.insert(remaining, result.clone());
+            return result;
+        }
+        let lowest = remaining & remaining.wrapping_neg();
+        let rest = remaining ^ lowest;
+        let mut best_count = usize::MAX;
+        let mut best_parts: Vec<u64> = Vec::new();
+        // Enumerate every subset of `remaining` containing the lowest bit,
+        // as the part that covers that member.
+        let mut sub = rest;
+        loop {
+            let candidate = sub | lowest;
+            if self.sound(candidate) {
+                let inner_budget = best_count.saturating_sub(2).min(budget - 1);
+                let (count, parts) = self.solve(remaining ^ candidate, inner_budget);
+                if count != usize::MAX && count + 1 < best_count {
+                    best_count = count + 1;
+                    let mut all = vec![candidate];
+                    all.extend(parts);
+                    best_parts = all;
+                    if best_count == 1 {
+                        break;
+                    }
+                }
+            }
+            if sub == 0 {
+                break;
+            }
+            sub = (sub - 1) & rest;
+        }
+        // Only memoize exact results (unbounded-budget semantics); bounded
+        // failures must not poison the cache.
+        if best_count != usize::MAX {
+            self.memo.insert(remaining, (best_count, best_parts.clone()));
+            (best_count, best_parts)
+        } else {
+            (usize::MAX, Vec::new())
+        }
+    }
+}
+
+fn mask_to_set(mask: u64) -> BTreeSet<usize> {
+    (0..64).filter(|&i| mask & (1 << i) != 0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correct::check::{is_sound_split, is_strong_local_optimal};
+    use crate::correct::weak::WeakCorrector;
+    use wolves_workflow::WorkflowBuilder;
+
+    #[test]
+    fn optimal_matches_manual_analysis_on_figure1_composite() {
+        // Composite (16) of Figure 1(b) = {Curate annotations, Create
+        // alignment}: the only sound split is two singletons.
+        let mut b = WorkflowBuilder::new("f1");
+        let t3 = b.task("3");
+        let t4 = b.task("4");
+        let t5 = b.task("5");
+        let t6 = b.task("6");
+        let t7 = b.task("7");
+        let t8 = b.task("8");
+        b.edge(t3, t4).unwrap();
+        b.edge(t4, t5).unwrap();
+        b.edge(t6, t7).unwrap();
+        b.edge(t7, t8).unwrap();
+        let spec = b.build().unwrap();
+        let members: BTreeSet<TaskId> = [t4, t7].into_iter().collect();
+        let split = OptimalCorrector::new().split(&spec, &members).unwrap();
+        assert_eq!(split.part_count(), 2);
+        assert!(is_sound_split(&spec, &members, &split));
+    }
+
+    #[test]
+    fn optimal_finds_the_five_part_solution_of_figure3() {
+        let (spec, members) = figure3_like();
+        let optimal = OptimalCorrector::new().split(&spec, &members).unwrap();
+        assert_eq!(optimal.part_count(), 5);
+        assert!(is_sound_split(&spec, &members, &optimal));
+        assert!(is_strong_local_optimal(&spec, &optimal));
+        // and it is never worse than the polynomial correctors
+        let weak = WeakCorrector::new().split(&spec, &members).unwrap();
+        assert!(optimal.part_count() <= weak.part_count());
+    }
+
+    #[test]
+    fn size_limit_is_enforced() {
+        let mut b = WorkflowBuilder::new("big");
+        let source = b.task("source");
+        let mut members = BTreeSet::new();
+        for i in 0..25 {
+            let t = b.task(format!("t{i}"));
+            b.edge(source, t).unwrap();
+            members.insert(t);
+        }
+        let spec = b.build().unwrap();
+        let err = OptimalCorrector::with_limit(10)
+            .split(&spec, &members)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::TooLargeForOptimal { tasks: 25, limit: 10 }));
+    }
+
+    #[test]
+    fn sound_composite_is_a_single_part() {
+        let mut b = WorkflowBuilder::new("chain");
+        let s = b.task("s");
+        let x = b.task("x");
+        let y = b.task("y");
+        let t = b.task("t");
+        b.chain(&[s, x, y, t]).unwrap();
+        let spec = b.build().unwrap();
+        let members: BTreeSet<TaskId> = [x, y].into_iter().collect();
+        let split = OptimalCorrector::new().split(&spec, &members).unwrap();
+        assert_eq!(split.part_count(), 1);
+    }
+
+    /// Same construction as the strong corrector's Figure 3 fixture.
+    fn figure3_like() -> (WorkflowSpec, BTreeSet<TaskId>) {
+        let mut builder = WorkflowBuilder::new("figure3");
+        let source = builder.task("source");
+        let sink = builder.task("sink");
+        let names = ["a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k", "m"];
+        let tasks: Vec<TaskId> = names.iter().map(|n| builder.task(*n)).collect();
+        let idx = |name: &str| tasks[names.iter().position(|&n| n == name).unwrap()];
+        for (x, y) in [("a", "b"), ("e", "h"), ("i", "j"), ("k", "m")] {
+            builder.edge(source, idx(x)).unwrap();
+            builder.edge(idx(x), idx(y)).unwrap();
+            builder.edge(idx(y), sink).unwrap();
+        }
+        builder.edge(source, idx("c")).unwrap();
+        builder.edge(source, idx("f")).unwrap();
+        builder.edge(idx("c"), idx("d")).unwrap();
+        builder.edge(idx("c"), idx("g")).unwrap();
+        builder.edge(idx("f"), idx("d")).unwrap();
+        builder.edge(idx("f"), idx("g")).unwrap();
+        builder.edge(idx("d"), sink).unwrap();
+        builder.edge(idx("g"), sink).unwrap();
+        let spec = builder.build().unwrap();
+        let members: BTreeSet<TaskId> = tasks.iter().copied().collect();
+        (spec, members)
+    }
+}

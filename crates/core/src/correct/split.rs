@@ -1,0 +1,130 @@
+//! The result of splitting one unsound composite task.
+
+use std::collections::BTreeSet;
+
+use wolves_workflow::TaskId;
+
+/// A split of a composite task into smaller groups of atomic tasks.
+///
+/// Produced by the correctors; each part is intended to become a new,
+/// sound composite task of the corrected view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Split {
+    parts: Vec<BTreeSet<TaskId>>,
+}
+
+impl Split {
+    /// Creates a split from parts, dropping empty parts and ordering the
+    /// parts deterministically (by their smallest member).
+    #[must_use]
+    pub fn new(mut parts: Vec<BTreeSet<TaskId>>) -> Self {
+        parts.retain(|p| !p.is_empty());
+        parts.sort_by_key(|p| p.iter().next().copied());
+        Split { parts }
+    }
+
+    /// The finest split: every task in its own part.
+    #[must_use]
+    pub fn singletons(members: &BTreeSet<TaskId>) -> Self {
+        Split::new(members.iter().map(|&t| BTreeSet::from([t])).collect())
+    }
+
+    /// Number of parts.
+    #[must_use]
+    pub fn part_count(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// The parts, ordered by smallest member id.
+    #[must_use]
+    pub fn parts(&self) -> &[BTreeSet<TaskId>] {
+        &self.parts
+    }
+
+    /// Total number of atomic tasks covered by the split.
+    #[must_use]
+    pub fn task_count(&self) -> usize {
+        self.parts.iter().map(BTreeSet::len).sum()
+    }
+
+    /// Returns the part containing `task`, if any.
+    #[must_use]
+    pub fn part_of(&self, task: TaskId) -> Option<&BTreeSet<TaskId>> {
+        self.parts.iter().find(|p| p.contains(&task))
+    }
+
+    /// `true` iff the split is a partition of exactly the given member set.
+    #[must_use]
+    pub fn is_partition_of(&self, members: &BTreeSet<TaskId>) -> bool {
+        let mut seen: BTreeSet<TaskId> = BTreeSet::new();
+        for part in &self.parts {
+            for &t in part {
+                if !members.contains(&t) || !seen.insert(t) {
+                    return false;
+                }
+            }
+        }
+        seen.len() == members.len()
+    }
+
+    /// Converts the split into the `Vec<Vec<TaskId>>` shape expected by
+    /// [`wolves_workflow::WorkflowView::split_composite`].
+    #[must_use]
+    pub fn to_groups(&self) -> Vec<Vec<TaskId>> {
+        self.parts
+            .iter()
+            .map(|p| p.iter().copied().collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tid(i: usize) -> TaskId {
+        TaskId::from_index(i)
+    }
+
+    #[test]
+    fn construction_drops_empty_and_orders_parts() {
+        let split = Split::new(vec![
+            BTreeSet::from([tid(5), tid(6)]),
+            BTreeSet::new(),
+            BTreeSet::from([tid(1)]),
+        ]);
+        assert_eq!(split.part_count(), 2);
+        assert_eq!(split.parts()[0], BTreeSet::from([tid(1)]));
+        assert_eq!(split.task_count(), 3);
+    }
+
+    #[test]
+    fn singleton_split_covers_all_members() {
+        let members: BTreeSet<TaskId> = [tid(0), tid(3), tid(9)].into_iter().collect();
+        let split = Split::singletons(&members);
+        assert_eq!(split.part_count(), 3);
+        assert!(split.is_partition_of(&members));
+        assert!(split.part_of(tid(3)).is_some());
+        assert!(split.part_of(tid(4)).is_none());
+    }
+
+    #[test]
+    fn partition_check_detects_leaks_and_overlaps() {
+        let members: BTreeSet<TaskId> = [tid(0), tid(1)].into_iter().collect();
+        let leak = Split::new(vec![BTreeSet::from([tid(0), tid(2)]), BTreeSet::from([tid(1)])]);
+        assert!(!leak.is_partition_of(&members));
+        let overlap = Split::new(vec![BTreeSet::from([tid(0), tid(1)]), BTreeSet::from([tid(1)])]);
+        assert!(!overlap.is_partition_of(&members));
+        let incomplete = Split::new(vec![BTreeSet::from([tid(0)])]);
+        assert!(!incomplete.is_partition_of(&members));
+        let good = Split::new(vec![BTreeSet::from([tid(0)]), BTreeSet::from([tid(1)])]);
+        assert!(good.is_partition_of(&members));
+    }
+
+    #[test]
+    fn to_groups_matches_parts() {
+        let split = Split::new(vec![BTreeSet::from([tid(2), tid(3)]), BTreeSet::from([tid(7)])]);
+        let groups = split.to_groups();
+        assert_eq!(groups, vec![vec![tid(2), tid(3)], vec![tid(7)]]);
+    }
+}

@@ -1,0 +1,63 @@
+//! Errors of the soundness / correction layer.
+
+use std::fmt;
+
+/// Errors raised by validators and correctors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The exact (optimal) corrector was asked to split a composite task
+    /// larger than its configured limit; the search would be intractable.
+    TooLargeForOptimal {
+        /// Number of atomic tasks in the composite.
+        tasks: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A task referenced by the corrector does not belong to the composite
+    /// being split.
+    TaskOutsideComposite(wolves_workflow::TaskId),
+    /// Error bubbled up from the workflow model.
+    Workflow(wolves_workflow::WorkflowError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::TooLargeForOptimal { tasks, limit } => write!(
+                f,
+                "optimal corrector limited to {limit} tasks, composite has {tasks}"
+            ),
+            CoreError::TaskOutsideComposite(t) => {
+                write!(f, "task {t} is not a member of the composite being split")
+            }
+            CoreError::Workflow(e) => write!(f, "workflow error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Workflow(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<wolves_workflow::WorkflowError> for CoreError {
+    fn from(e: wolves_workflow::WorkflowError) -> Self {
+        CoreError::Workflow(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_key_facts() {
+        let e = CoreError::TooLargeForOptimal { tasks: 40, limit: 18 };
+        assert!(e.to_string().contains("40"));
+        assert!(e.to_string().contains("18"));
+    }
+}

@@ -1,0 +1,265 @@
+//! The interactive validate → correct → feedback loop (paper Figure 2 and
+//! §3.2 "Workflow View Feedback Module").
+//!
+//! The demo lets a user load a view, see which composite tasks are unsound,
+//! correct the whole view or a single task, then manually merge tasks back
+//! ("Create Composite Task") and re-validate until satisfied.
+//! [`FeedbackSession`] models exactly this loop as a library API, keeping a
+//! history of every iteration.
+
+use wolves_workflow::{CompositeTaskId, WorkflowSpec, WorkflowView};
+
+use crate::correct::{correct_composite, correct_view, CorrectionReport, Corrector};
+use crate::error::CoreError;
+use crate::validate::{validate, ValidationReport};
+
+/// One step the user (or an automated policy) took within a session.
+#[derive(Debug, Clone)]
+pub enum SessionStep {
+    /// The whole view was corrected with the named corrector.
+    CorrectedView {
+        /// Corrector used.
+        corrector: &'static str,
+        /// Number of composite tasks that were split.
+        composites_split: usize,
+    },
+    /// A single composite task was split.
+    CorrectedComposite {
+        /// Corrector used.
+        corrector: &'static str,
+        /// The composite that was split.
+        composite: CompositeTaskId,
+        /// How many parts replaced it.
+        parts: usize,
+    },
+    /// The user merged composite tasks back into one.
+    MergedComposites {
+        /// Name given to the merged composite.
+        name: String,
+        /// How many composites were merged.
+        merged: usize,
+        /// Whether the resulting composite is sound.
+        result_sound: bool,
+    },
+}
+
+/// An interactive view-refinement session over one specification.
+#[derive(Debug)]
+pub struct FeedbackSession<'a> {
+    spec: &'a WorkflowSpec,
+    view: WorkflowView,
+    history: Vec<SessionStep>,
+}
+
+impl<'a> FeedbackSession<'a> {
+    /// Starts a session on a view (typically an imported, possibly unsound
+    /// one).
+    #[must_use]
+    pub fn new(spec: &'a WorkflowSpec, view: WorkflowView) -> Self {
+        FeedbackSession {
+            spec,
+            view,
+            history: Vec::new(),
+        }
+    }
+
+    /// The current state of the view.
+    #[must_use]
+    pub fn view(&self) -> &WorkflowView {
+        &self.view
+    }
+
+    /// Steps taken so far, oldest first.
+    #[must_use]
+    pub fn history(&self) -> &[SessionStep] {
+        &self.history
+    }
+
+    /// Validates the current view (Workflow View Validator module).
+    #[must_use]
+    pub fn validate(&self) -> ValidationReport {
+        validate(self.spec, &self.view)
+    }
+
+    /// `true` when the current view is sound and the session can end.
+    #[must_use]
+    pub fn is_sound(&self) -> bool {
+        self.validate().is_sound()
+    }
+
+    /// Corrects every unsound composite task with the given corrector
+    /// (Workflow View Corrector module, "Correct View" menu action).
+    ///
+    /// # Errors
+    /// Propagates corrector failures; the session view is unchanged then.
+    pub fn correct_all(&mut self, corrector: &dyn Corrector) -> Result<CorrectionReport, CoreError> {
+        let (corrected, report) = correct_view(self.spec, &self.view, corrector)?;
+        self.view = corrected;
+        self.history.push(SessionStep::CorrectedView {
+            corrector: report.corrector,
+            composites_split: report.corrections.len(),
+        });
+        Ok(report)
+    }
+
+    /// Corrects a single composite task ("Split Task" context-menu action).
+    ///
+    /// # Errors
+    /// Fails if the composite is unknown or the corrector refuses it.
+    pub fn correct_one(
+        &mut self,
+        composite: CompositeTaskId,
+        corrector: &dyn Corrector,
+    ) -> Result<Vec<CompositeTaskId>, CoreError> {
+        let outcome = correct_composite(self.spec, &mut self.view, composite, corrector)?;
+        self.history.push(SessionStep::CorrectedComposite {
+            corrector: corrector.name(),
+            composite,
+            parts: outcome.replacements.len(),
+        });
+        Ok(outcome.replacements)
+    }
+
+    /// Merges composite tasks into one ("Create Composite Task" feedback
+    /// action). The merge is applied even if the result is unsound — exactly
+    /// like the demo, where the merged view is sent back to the validator —
+    /// and the returned flag tells the caller whether another correction
+    /// round is needed.
+    ///
+    /// # Errors
+    /// Fails if any id is unknown.
+    pub fn merge(
+        &mut self,
+        composites: &[CompositeTaskId],
+        name: impl Into<String>,
+    ) -> Result<(CompositeTaskId, bool), CoreError> {
+        let name = name.into();
+        let merged = self
+            .view
+            .merge_composites(composites, name.clone())
+            .map_err(CoreError::from)?;
+        let sound = crate::soundness::is_sound(
+            self.spec,
+            self.view
+                .composite(merged)
+                .map_err(CoreError::from)?
+                .members(),
+        );
+        self.history.push(SessionStep::MergedComposites {
+            name,
+            merged: composites.len(),
+            result_sound: sound,
+        });
+        Ok((merged, sound))
+    }
+
+    /// Finishes the session, returning the refined view.
+    #[must_use]
+    pub fn finish(self) -> WorkflowView {
+        self.view
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correct::{StrongCorrector, WeakCorrector};
+    use wolves_workflow::builder::ViewBuilder;
+    use wolves_workflow::{TaskId, WorkflowBuilder};
+
+    fn figure1() -> (WorkflowSpec, WorkflowView, Vec<TaskId>) {
+        let mut b = WorkflowBuilder::new("phylogenomics");
+        let names = [
+            "Select entries",
+            "Split entries",
+            "Extract annotations",
+            "Curate annotations",
+            "Format annotations",
+            "Extract sequences",
+            "Create alignment",
+            "Format alignment",
+            "Check other annotations",
+            "Process annotations",
+            "Build phylo tree",
+            "Display tree",
+        ];
+        let t: Vec<TaskId> = names.iter().map(|n| b.task(*n)).collect();
+        for (from, to) in [
+            (0, 1),
+            (1, 2),
+            (1, 5),
+            (2, 3),
+            (3, 4),
+            (4, 10),
+            (5, 6),
+            (6, 7),
+            (7, 10),
+            (8, 9),
+            (9, 10),
+            (10, 11),
+        ] {
+            b.edge(t[from], t[to]).unwrap();
+        }
+        let spec = b.build().unwrap();
+        let view = ViewBuilder::new(&spec, "figure1b")
+            .group("13".to_owned(), vec![t[0], t[1]])
+            .group("14".to_owned(), vec![t[2]])
+            .group("15".to_owned(), vec![t[5]])
+            .group("16".to_owned(), vec![t[3], t[6]])
+            .group("17".to_owned(), vec![t[4]])
+            .group("18".to_owned(), vec![t[7]])
+            .group("19".to_owned(), vec![t[8], t[9], t[10], t[11]])
+            .build()
+            .unwrap();
+        (spec, view, t)
+    }
+
+    #[test]
+    fn full_demo_loop_validate_correct_finish() {
+        let (spec, view, _) = figure1();
+        let mut session = FeedbackSession::new(&spec, view);
+        assert!(!session.is_sound());
+        let report = session.correct_all(&StrongCorrector::new()).unwrap();
+        assert_eq!(report.corrections.len(), 1);
+        assert!(session.is_sound());
+        assert_eq!(session.history().len(), 1);
+        let refined = session.finish();
+        assert_eq!(refined.composite_count(), 8);
+    }
+
+    #[test]
+    fn correcting_a_single_task_only_touches_that_task() {
+        let (spec, view, _) = figure1();
+        let mut session = FeedbackSession::new(&spec, view);
+        let unsound = session.validate().unsound_composites();
+        assert_eq!(unsound.len(), 1);
+        let replacements = session.correct_one(unsound[0], &WeakCorrector::new()).unwrap();
+        assert_eq!(replacements.len(), 2);
+        assert!(session.is_sound());
+    }
+
+    #[test]
+    fn user_merges_are_validated_again() {
+        let (spec, view, t) = figure1();
+        let mut session = FeedbackSession::new(&spec, view);
+        session.correct_all(&StrongCorrector::new()).unwrap();
+        assert!(session.is_sound());
+        // user merges composites 13 {Select, Split} and 14 {Extract
+        // annotations}: the union {1, 2, 3} receives no input from outside,
+        // so it is (vacuously) sound
+        let c13 = session.view().composite_of(t[0]).unwrap();
+        let c14 = session.view().composite_of(t[2]).unwrap();
+        let (merged, sound) = session.merge(&[c13, c14], "Retrieve & annotate").unwrap();
+        assert!(sound);
+        assert!(session.view().composite(merged).is_ok());
+        assert!(session.is_sound());
+        // merging the two halves of the corrected composite 16 recreates the
+        // original unsound composite, and the session reports it
+        let c16a = session.view().composite_of(t[3]).unwrap();
+        let c16b = session.view().composite_of(t[6]).unwrap();
+        let (_, sound) = session.merge(&[c16a, c16b], "Curate & align again").unwrap();
+        assert!(!sound);
+        assert!(!session.is_sound());
+        assert_eq!(session.history().len(), 3);
+    }
+}

@@ -1,0 +1,108 @@
+//! NP-hardness stress instances (paper Theorem 2.2).
+//!
+//! The paper proves that splitting an unsound composite task into the
+//! minimum number of sound composite tasks is NP-hard. This module does not
+//! re-prove the theorem; it *manufactures* families of composite tasks whose
+//! optimal split requires combinatorial search, so the benchmarks can show
+//! the exponential/polynomial running-time separation (experiment E4) and
+//! the tests can exercise the optimal corrector away from easy instances.
+//!
+//! The generator builds a "crossing-groups" gadget: `groups` copies of the
+//! 4-task crossing pattern from Figure 3 (sound only as a whole, no pairwise
+//! merges) that are additionally inter-linked so that merges across copies
+//! are never sound. The minimum split therefore has exactly `groups` parts,
+//! but a corrector has to discover each 4-task group among many unsound
+//! subsets.
+
+use std::collections::BTreeSet;
+
+use wolves_workflow::{AtomicTask, DataDependency, TaskId, WorkflowSpec, WorkflowError};
+
+/// A generated hard instance: a workflow plus the member set of the unsound
+/// composite task to split.
+#[derive(Debug, Clone)]
+pub struct HardInstance {
+    /// The workflow specification.
+    pub spec: WorkflowSpec,
+    /// Members of the composite task to split.
+    pub members: BTreeSet<TaskId>,
+    /// Number of parts in the optimal split (known by construction).
+    pub optimal_parts: usize,
+}
+
+/// Builds a hard instance with `groups` crossing groups (4 atomic tasks per
+/// group, plus one external source and sink).
+///
+/// # Errors
+/// Propagates workflow-construction errors (they indicate a bug in the
+/// generator rather than a user mistake).
+pub fn crossing_groups(groups: usize) -> Result<HardInstance, WorkflowError> {
+    let mut spec = WorkflowSpec::new(format!("crossing-groups-{groups}"));
+    let source = spec.add_task(AtomicTask::new("source"))?;
+    let sink = spec.add_task(AtomicTask::new("sink"))?;
+    let mut members = BTreeSet::new();
+    for g in 0..groups {
+        // the 4-task crossing pattern: c, d, f, g  (entries c,f; exits d,g)
+        let c = spec.add_task(AtomicTask::new(format!("c{g}")))?;
+        let d = spec.add_task(AtomicTask::new(format!("d{g}")))?;
+        let f = spec.add_task(AtomicTask::new(format!("f{g}")))?;
+        let h = spec.add_task(AtomicTask::new(format!("g{g}")))?;
+        for t in [c, d, f, h] {
+            members.insert(t);
+        }
+        spec.add_dependency(source, c, DataDependency::unnamed())?;
+        spec.add_dependency(source, f, DataDependency::unnamed())?;
+        spec.add_dependency(c, d, DataDependency::unnamed())?;
+        spec.add_dependency(c, h, DataDependency::unnamed())?;
+        spec.add_dependency(f, d, DataDependency::unnamed())?;
+        spec.add_dependency(f, h, DataDependency::unnamed())?;
+        spec.add_dependency(d, sink, DataDependency::unnamed())?;
+        spec.add_dependency(h, sink, DataDependency::unnamed())?;
+    }
+    Ok(HardInstance {
+        spec,
+        members,
+        optimal_parts: groups.max(1),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correct::check::is_sound_split;
+    use crate::correct::{Corrector, OptimalCorrector, StrongCorrector, WeakCorrector};
+
+    #[test]
+    fn optimal_part_count_matches_construction() {
+        for groups in 1..=3 {
+            let instance = crossing_groups(groups).unwrap();
+            let split = OptimalCorrector::with_limit(16)
+                .split(&instance.spec, &instance.members)
+                .unwrap();
+            assert_eq!(split.part_count(), instance.optimal_parts);
+            assert!(is_sound_split(&instance.spec, &instance.members, &split));
+        }
+    }
+
+    #[test]
+    fn weak_corrector_over_fragments_hard_instances() {
+        let instance = crossing_groups(3).unwrap();
+        let weak = WeakCorrector::new()
+            .split(&instance.spec, &instance.members)
+            .unwrap();
+        // no two tasks of a crossing group are pairwise combinable, so the
+        // weak corrector leaves everything as singletons
+        assert_eq!(weak.part_count(), 12);
+        let strong = StrongCorrector::new()
+            .split(&instance.spec, &instance.members)
+            .unwrap();
+        assert_eq!(strong.part_count(), instance.optimal_parts);
+    }
+
+    #[test]
+    fn instances_scale_with_group_count() {
+        let instance = crossing_groups(10).unwrap();
+        assert_eq!(instance.members.len(), 40);
+        assert_eq!(instance.spec.task_count(), 42);
+    }
+}

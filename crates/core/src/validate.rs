@@ -1,0 +1,382 @@
+//! The Workflow View Validator (paper §2.1).
+//!
+//! Three checks are implemented:
+//!
+//! * [`validate`] — the efficient check of Proposition 2.1: a view is sound
+//!   if every composite task is sound, which only requires examining each
+//!   composite's `T.in × T.out` pairs against the workflow reachability
+//!   matrix.
+//! * [`validate_by_definition`] — Definition 2.1 applied with polynomial
+//!   machinery: compare view-level reachability with the existence of
+//!   workflow-level paths between members of composite pairs.
+//! * [`validate_naive`] — Definition 2.1 applied literally by enumerating
+//!   simple paths (exponential in the worst case); only used by experiment
+//!   E5 to illustrate why the paper's per-composite check matters.
+//!
+//! Note on Proposition 2.1: composite-level soundness *implies*
+//! definition-level soundness (every view path is backed by a workflow path),
+//! so [`validate`] never accepts a view that [`validate_by_definition`]
+//! rejects. The converse can fail on contrived views (a composite may be
+//! unsound while every view-level dependency happens to be realised through
+//! other paths); the property-based tests pin down exactly this relationship.
+
+use std::collections::BTreeSet;
+
+use wolves_graph::ReachMatrix;
+use wolves_workflow::{CompositeTaskId, TaskId, WorkflowSpec, WorkflowView};
+
+use crate::soundness::{soundness_verdict, SoundnessVerdict};
+
+/// Soundness verdict for one composite task of a view.
+#[derive(Debug, Clone)]
+pub struct CompositeReport {
+    /// The composite task.
+    pub composite: CompositeTaskId,
+    /// Name of the composite task.
+    pub name: String,
+    /// The detailed soundness verdict (boundary + witnesses).
+    pub verdict: SoundnessVerdict,
+}
+
+/// Result of validating a view with the per-composite check
+/// (Proposition 2.1).
+#[derive(Debug, Clone)]
+pub struct ValidationReport {
+    per_composite: Vec<CompositeReport>,
+}
+
+impl ValidationReport {
+    /// `true` iff every composite task is sound.
+    #[must_use]
+    pub fn is_sound(&self) -> bool {
+        self.per_composite
+            .iter()
+            .all(|c| c.verdict.is_sound())
+    }
+
+    /// The ids of the unsound composite tasks, in view order.
+    #[must_use]
+    pub fn unsound_composites(&self) -> Vec<CompositeTaskId> {
+        self.per_composite
+            .iter()
+            .filter(|c| !c.verdict.is_sound())
+            .map(|c| c.composite)
+            .collect()
+    }
+
+    /// Per-composite reports (sound and unsound alike).
+    #[must_use]
+    pub fn reports(&self) -> &[CompositeReport] {
+        &self.per_composite
+    }
+
+    /// Number of composite tasks examined.
+    #[must_use]
+    pub fn composite_count(&self) -> usize {
+        self.per_composite.len()
+    }
+}
+
+/// Validates a view using Proposition 2.1: check each composite task's
+/// soundness (Definition 2.3) against the workflow reachability matrix.
+#[must_use]
+pub fn validate(spec: &WorkflowSpec, view: &WorkflowView) -> ValidationReport {
+    let per_composite = view
+        .composites()
+        .map(|(id, composite)| CompositeReport {
+            composite: id,
+            name: composite.name.clone(),
+            verdict: soundness_verdict(spec, composite.members()),
+        })
+        .collect();
+    ValidationReport { per_composite }
+}
+
+/// A pair of composite tasks whose view-level and workflow-level
+/// connectivity disagree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DependencyMismatch {
+    /// Source composite task.
+    pub from: CompositeTaskId,
+    /// Target composite task.
+    pub to: CompositeTaskId,
+}
+
+/// Result of checking Definition 2.1 directly.
+#[derive(Debug, Clone)]
+pub struct DefinitionReport {
+    /// Composite pairs connected in the view but not in the workflow —
+    /// *spurious* dependencies that would mislead provenance analysis
+    /// (e.g. composite 14 → 18 in the paper's Figure 1).
+    pub spurious: Vec<DependencyMismatch>,
+    /// Composite pairs connected in the workflow but not in the view —
+    /// *missing* dependencies. These cannot occur for views that preserve
+    /// all inter-composite edges, but imported views are checked anyway.
+    pub missing: Vec<DependencyMismatch>,
+}
+
+impl DefinitionReport {
+    /// `true` iff view-level and workflow-level connectivity agree exactly.
+    #[must_use]
+    pub fn is_sound(&self) -> bool {
+        self.spurious.is_empty() && self.missing.is_empty()
+    }
+}
+
+/// Validates a view against Definition 2.1 using polynomial reachability
+/// computations: there must be a view-level path between two composite tasks
+/// iff some pair of their members is connected in the workflow.
+#[must_use]
+pub fn validate_by_definition(spec: &WorkflowSpec, view: &WorkflowView) -> DefinitionReport {
+    let induced = view.induced_graph(spec);
+    let view_reach =
+        ReachMatrix::build(&induced.graph).expect("induced view graph reachability");
+    let workflow_reach = spec.reachability();
+
+    // workflow-level connectivity between composites: connected[(a, b)] iff
+    // ∃ t1 ∈ a, t2 ∈ b with a workflow path t1 -> t2.
+    let composites: Vec<CompositeTaskId> = view.composite_ids().collect();
+    let mut connected: BTreeSet<(CompositeTaskId, CompositeTaskId)> = BTreeSet::new();
+    let tasks: Vec<TaskId> = spec.task_ids().collect();
+    for &u in &tasks {
+        for &v in &tasks {
+            if u == v || !workflow_reach.reachable(u, v) {
+                continue;
+            }
+            let (Some(cu), Some(cv)) = (view.composite_of(u), view.composite_of(v)) else {
+                continue;
+            };
+            if cu != cv {
+                connected.insert((cu, cv));
+            }
+        }
+    }
+
+    let mut spurious = Vec::new();
+    let mut missing = Vec::new();
+    for &a in &composites {
+        for &b in &composites {
+            if a == b {
+                continue;
+            }
+            let in_view = match (induced.node_of(a), induced.node_of(b)) {
+                (Some(na), Some(nb)) => view_reach.reachable(na, nb),
+                _ => false,
+            };
+            let in_workflow = connected.contains(&(a, b));
+            match (in_view, in_workflow) {
+                (true, false) => spurious.push(DependencyMismatch { from: a, to: b }),
+                (false, true) => missing.push(DependencyMismatch { from: a, to: b }),
+                _ => {}
+            }
+        }
+    }
+    DefinitionReport { spurious, missing }
+}
+
+/// Validates a view against Definition 2.1 by literally enumerating simple
+/// paths (no transitive-closure data structures). Exponential in the worst
+/// case; refuse large inputs with `None`.
+///
+/// `max_nodes` bounds the size of graphs this is willing to touch.
+#[must_use]
+pub fn validate_naive(
+    spec: &WorkflowSpec,
+    view: &WorkflowView,
+    max_nodes: usize,
+) -> Option<DefinitionReport> {
+    if spec.task_count() > max_nodes {
+        return None;
+    }
+    let induced = view.induced_graph(spec);
+    let composites: Vec<CompositeTaskId> = view.composite_ids().collect();
+
+    let mut spurious = Vec::new();
+    let mut missing = Vec::new();
+    for &a in &composites {
+        for &b in &composites {
+            if a == b {
+                continue;
+            }
+            let in_view = match (induced.node_of(a), induced.node_of(b)) {
+                (Some(na), Some(nb)) => {
+                    path_exists_by_enumeration(&induced.graph, na, nb)
+                }
+                _ => false,
+            };
+            let members_a: Vec<TaskId> =
+                view.composite(a).map(|c| c.members().iter().copied().collect()).unwrap_or_default();
+            let members_b: Vec<TaskId> =
+                view.composite(b).map(|c| c.members().iter().copied().collect()).unwrap_or_default();
+            let in_workflow = members_a.iter().any(|&t1| {
+                members_b
+                    .iter()
+                    .any(|&t2| path_exists_by_enumeration(spec.graph(), t1, t2))
+            });
+            match (in_view, in_workflow) {
+                (true, false) => spurious.push(DependencyMismatch { from: a, to: b }),
+                (false, true) => missing.push(DependencyMismatch { from: a, to: b }),
+                _ => {}
+            }
+        }
+    }
+    Some(DefinitionReport { spurious, missing })
+}
+
+/// Naive DFS path enumeration without memoisation — deliberately the
+/// textbook-exponential procedure the paper warns about.
+fn path_exists_by_enumeration<N, E>(
+    graph: &wolves_graph::DiGraph<N, E>,
+    from: wolves_graph::NodeId,
+    to: wolves_graph::NodeId,
+) -> bool {
+    fn dfs<N, E>(
+        graph: &wolves_graph::DiGraph<N, E>,
+        current: wolves_graph::NodeId,
+        to: wolves_graph::NodeId,
+        on_path: &mut Vec<wolves_graph::NodeId>,
+    ) -> bool {
+        if current == to {
+            return true;
+        }
+        for next in graph.successors(current).collect::<Vec<_>>() {
+            if on_path.contains(&next) {
+                continue;
+            }
+            on_path.push(next);
+            if dfs(graph, next, to, on_path) {
+                return true;
+            }
+            on_path.pop();
+        }
+        false
+    }
+    let mut on_path = vec![from];
+    dfs(graph, from, to, &mut on_path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wolves_workflow::builder::ViewBuilder;
+    use wolves_workflow::WorkflowBuilder;
+
+    fn figure1() -> (WorkflowSpec, WorkflowView, Vec<TaskId>) {
+        let mut b = WorkflowBuilder::new("phylogenomics");
+        let names = [
+            "Select entries",
+            "Split entries",
+            "Extract annotations",
+            "Curate annotations",
+            "Format annotations",
+            "Extract sequences",
+            "Create alignment",
+            "Format alignment",
+            "Check other annotations",
+            "Process annotations",
+            "Build phylo tree",
+            "Display tree",
+        ];
+        let t: Vec<TaskId> = names.iter().map(|n| b.task(*n)).collect();
+        for (from, to) in [
+            (0, 1),
+            (1, 2),
+            (1, 5),
+            (2, 3),
+            (3, 4),
+            (4, 10),
+            (5, 6),
+            (6, 7),
+            (7, 10),
+            (8, 9),
+            (9, 10),
+            (10, 11),
+        ] {
+            b.edge(t[from], t[to]).unwrap();
+        }
+        let spec = b.build().unwrap();
+        let view = ViewBuilder::new(&spec, "figure1b")
+            .group("13".to_owned(), vec![t[0], t[1]])
+            .group("14".to_owned(), vec![t[2]])
+            .group("15".to_owned(), vec![t[5]])
+            .group("16".to_owned(), vec![t[3], t[6]])
+            .group("17".to_owned(), vec![t[4]])
+            .group("18".to_owned(), vec![t[7]])
+            .group("19".to_owned(), vec![t[8], t[9], t[10], t[11]])
+            .build()
+            .unwrap();
+        (spec, view, t)
+    }
+
+    #[test]
+    fn figure1_view_is_unsound_because_of_composite_16() {
+        let (spec, view, _) = figure1();
+        let report = validate(&spec, &view);
+        assert!(!report.is_sound());
+        let unsound = report.unsound_composites();
+        assert_eq!(unsound.len(), 1);
+        let detail = report
+            .reports()
+            .iter()
+            .find(|r| r.composite == unsound[0])
+            .unwrap();
+        assert_eq!(detail.name, "16");
+        // T.in = T.out = {Curate annotations, Create alignment}; neither can
+        // reach the other, so both ordered pairs are reported.
+        assert_eq!(detail.verdict.witnesses.len(), 2);
+    }
+
+    #[test]
+    fn figure1_definition_check_finds_the_spurious_14_to_18_dependency() {
+        let (spec, view, t) = figure1();
+        let report = validate_by_definition(&spec, &view);
+        assert!(!report.is_sound());
+        assert!(report.missing.is_empty());
+        let c14 = view.composite_of(t[2]).unwrap();
+        let c18 = view.composite_of(t[7]).unwrap();
+        assert!(report
+            .spurious
+            .iter()
+            .any(|m| m.from == c14 && m.to == c18));
+    }
+
+    #[test]
+    fn singleton_views_are_sound_under_all_checks() {
+        let (spec, _, _) = figure1();
+        let view = WorkflowView::singletons(&spec, "fine");
+        assert!(validate(&spec, &view).is_sound());
+        assert!(validate_by_definition(&spec, &view).is_sound());
+        assert!(validate_naive(&spec, &view, 64).unwrap().is_sound());
+    }
+
+    #[test]
+    fn naive_check_agrees_with_polynomial_definition_check() {
+        let (spec, view, _) = figure1();
+        let poly = validate_by_definition(&spec, &view);
+        let naive = validate_naive(&spec, &view, 64).unwrap();
+        assert_eq!(poly.is_sound(), naive.is_sound());
+        assert_eq!(poly.spurious.len(), naive.spurious.len());
+        assert_eq!(poly.missing.len(), naive.missing.len());
+    }
+
+    #[test]
+    fn naive_check_refuses_oversized_inputs() {
+        let (spec, view, _) = figure1();
+        assert!(validate_naive(&spec, &view, 4).is_none());
+    }
+
+    #[test]
+    fn proposition_2_1_soundness_implies_definition_soundness() {
+        // the corrected Figure 1 view must be sound under both checks
+        let (spec, view, _) = figure1();
+        let (corrected, _) = crate::correct::correct_view(
+            &spec,
+            &view,
+            &crate::correct::StrongCorrector::new(),
+        )
+        .unwrap();
+        let prop = validate(&spec, &corrected);
+        assert!(prop.is_sound());
+        assert!(validate_by_definition(&spec, &corrected).is_sound());
+    }
+}

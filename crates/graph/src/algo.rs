@@ -1,0 +1,190 @@
+//! Miscellaneous DAG utilities used by workload generators, renderers and
+//! the view-construction heuristics.
+
+use crate::digraph::DiGraph;
+use crate::error::GraphError;
+use crate::id::NodeId;
+use crate::reach::ReachMatrix;
+use crate::topo::topological_sort;
+
+/// Returns the nodes with no incoming edges (sources), in id order.
+pub fn roots<N, E>(graph: &DiGraph<N, E>) -> Vec<NodeId> {
+    graph
+        .node_ids()
+        .filter(|&n| graph.in_degree(n) == 0)
+        .collect()
+}
+
+/// Returns the nodes with no outgoing edges (sinks), in id order.
+pub fn leaves<N, E>(graph: &DiGraph<N, E>) -> Vec<NodeId> {
+    graph
+        .node_ids()
+        .filter(|&n| graph.out_degree(n) == 0)
+        .collect()
+}
+
+/// Assigns every node to a layer: sources are layer 0, and every other node
+/// sits one past the maximum layer of its predecessors (longest-path
+/// layering). Returns a dense table indexed by [`NodeId::index`], with
+/// removed nodes at `usize::MAX`.
+///
+/// # Errors
+/// Fails on cyclic graphs.
+pub fn layering<N, E>(graph: &DiGraph<N, E>) -> Result<Vec<usize>, GraphError> {
+    let order = topological_sort(graph)?;
+    let mut layer = vec![usize::MAX; graph.node_bound()];
+    for &node in &order {
+        let max_pred = graph
+            .predecessors(node)
+            .map(|p| layer[p.index()])
+            .filter(|&l| l != usize::MAX)
+            .max();
+        layer[node.index()] = match max_pred {
+            Some(l) => l + 1,
+            None => 0,
+        };
+    }
+    Ok(layer)
+}
+
+/// Groups nodes by their layer (see [`layering`]); entry `i` lists the nodes
+/// of layer `i` in id order.
+///
+/// # Errors
+/// Fails on cyclic graphs.
+pub fn layers<N, E>(graph: &DiGraph<N, E>) -> Result<Vec<Vec<NodeId>>, GraphError> {
+    let table = layering(graph)?;
+    let depth = table
+        .iter()
+        .filter(|&&l| l != usize::MAX)
+        .max()
+        .map_or(0, |&m| m + 1);
+    let mut out = vec![Vec::new(); depth];
+    for node in graph.node_ids() {
+        out[table[node.index()]].push(node);
+    }
+    Ok(out)
+}
+
+/// Length (in edges) of the longest directed path in the DAG.
+///
+/// # Errors
+/// Fails on cyclic graphs.
+pub fn longest_path_length<N, E>(graph: &DiGraph<N, E>) -> Result<usize, GraphError> {
+    let table = layering(graph)?;
+    Ok(table
+        .iter()
+        .filter(|&&l| l != usize::MAX)
+        .max()
+        .copied()
+        .unwrap_or(0))
+}
+
+/// Lists the edges that are *transitively redundant*: edges `(u, v)` such
+/// that `v` is still reachable from `u` after removing the edge. Workflow
+/// generators use this to control graph density; the view renderer uses it to
+/// declutter drawings.
+///
+/// # Errors
+/// Fails on cyclic graphs.
+pub fn transitive_redundant_edges<N, E>(
+    graph: &DiGraph<N, E>,
+) -> Result<Vec<(NodeId, NodeId)>, GraphError> {
+    // An edge (u, v) in a DAG is redundant iff some other successor w of u
+    // reaches v.
+    let reach = ReachMatrix::build(graph)?;
+    let mut redundant = Vec::new();
+    for (_, u, v, _) in graph.edges() {
+        let bypass = graph
+            .successors(u)
+            .any(|w| w != v && reach.reachable(w, v));
+        if bypass {
+            redundant.push((u, v));
+        }
+    }
+    Ok(redundant)
+}
+
+/// Density of the graph relative to the densest possible DAG on the same
+/// number of nodes: `edges / (n·(n−1)/2)`. Returns 0.0 for graphs with fewer
+/// than two nodes.
+pub fn dag_density<N, E>(graph: &DiGraph<N, E>) -> f64 {
+    let n = graph.node_count();
+    if n < 2 {
+        return 0.0;
+    }
+    let max_edges = (n * (n - 1)) / 2;
+    graph.edge_count() as f64 / max_edges as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (DiGraph<(), ()>, Vec<NodeId>) {
+        // 0 -> 1 -> 3 -> 4
+        // 0 -> 2 -> 3
+        // 0 -> 4 (redundant)
+        let mut g = DiGraph::new();
+        let n: Vec<NodeId> = (0..5).map(|_| g.add_node(())).collect();
+        g.add_edge(n[0], n[1], ()).unwrap();
+        g.add_edge(n[0], n[2], ()).unwrap();
+        g.add_edge(n[1], n[3], ()).unwrap();
+        g.add_edge(n[2], n[3], ()).unwrap();
+        g.add_edge(n[3], n[4], ()).unwrap();
+        g.add_edge(n[0], n[4], ()).unwrap();
+        (g, n)
+    }
+
+    #[test]
+    fn roots_and_leaves() {
+        let (g, n) = sample();
+        assert_eq!(roots(&g), vec![n[0]]);
+        assert_eq!(leaves(&g), vec![n[4]]);
+    }
+
+    #[test]
+    fn layering_assigns_longest_path_depth() {
+        let (g, n) = sample();
+        let layer = layering(&g).unwrap();
+        assert_eq!(layer[n[0].index()], 0);
+        assert_eq!(layer[n[1].index()], 1);
+        assert_eq!(layer[n[2].index()], 1);
+        assert_eq!(layer[n[3].index()], 2);
+        assert_eq!(layer[n[4].index()], 3);
+        assert_eq!(longest_path_length(&g).unwrap(), 3);
+    }
+
+    #[test]
+    fn layers_group_nodes() {
+        let (g, n) = sample();
+        let ls = layers(&g).unwrap();
+        assert_eq!(ls.len(), 4);
+        assert_eq!(ls[0], vec![n[0]]);
+        assert_eq!(ls[1], vec![n[1], n[2]]);
+    }
+
+    #[test]
+    fn redundant_edge_detection() {
+        let (g, n) = sample();
+        let redundant = transitive_redundant_edges(&g).unwrap();
+        assert_eq!(redundant, vec![(n[0], n[4])]);
+    }
+
+    #[test]
+    fn density_of_small_graphs() {
+        let (g, _) = sample();
+        let d = dag_density(&g);
+        assert!(d > 0.0 && d <= 1.0);
+        let empty: DiGraph<(), ()> = DiGraph::new();
+        assert_eq!(dag_density(&empty), 0.0);
+    }
+
+    #[test]
+    fn empty_graph_has_no_roots_or_leaves() {
+        let g: DiGraph<(), ()> = DiGraph::new();
+        assert!(roots(&g).is_empty());
+        assert!(leaves(&g).is_empty());
+        assert_eq!(longest_path_length(&g).unwrap(), 0);
+    }
+}

@@ -1,0 +1,354 @@
+//! A fixed-capacity bit set.
+//!
+//! Reachability matrices, partition membership masks and frontier bookkeeping
+//! all need dense bit sets. The workspace intentionally implements its own
+//! small, well-tested bit set rather than pulling in an external crate — the
+//! graph substrate is part of the reproduction (see `DESIGN.md`).
+
+use std::fmt;
+
+/// A fixed-capacity set of `usize` values backed by `u64` words.
+///
+/// The capacity is chosen at construction time; all operations on indices
+/// `>= len` panic in debug builds and are undefined-but-safe (masked) in
+/// release builds only through [`FixedBitSet::insert_unchecked_growth`] which
+/// does not exist — every public method checks bounds.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct FixedBitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl FixedBitSet {
+    /// Creates an empty bit set able to hold values in `0..len`.
+    #[must_use]
+    pub fn with_capacity(len: usize) -> Self {
+        let word_count = len.div_ceil(64);
+        FixedBitSet {
+            words: vec![0; word_count],
+            len,
+        }
+    }
+
+    /// Number of distinct values this set can hold (`0..len`).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Inserts `bit` into the set. Returns `true` if the bit was newly set.
+    ///
+    /// # Panics
+    /// Panics if `bit >= capacity`.
+    pub fn insert(&mut self, bit: usize) -> bool {
+        assert!(bit < self.len, "bit {bit} out of range 0..{}", self.len);
+        let word = &mut self.words[bit / 64];
+        let mask = 1u64 << (bit % 64);
+        let was_set = *word & mask != 0;
+        *word |= mask;
+        !was_set
+    }
+
+    /// Removes `bit` from the set. Returns `true` if the bit was present.
+    ///
+    /// # Panics
+    /// Panics if `bit >= capacity`.
+    pub fn remove(&mut self, bit: usize) -> bool {
+        assert!(bit < self.len, "bit {bit} out of range 0..{}", self.len);
+        let word = &mut self.words[bit / 64];
+        let mask = 1u64 << (bit % 64);
+        let was_set = *word & mask != 0;
+        *word &= !mask;
+        was_set
+    }
+
+    /// Returns `true` if `bit` is in the set.
+    ///
+    /// # Panics
+    /// Panics if `bit >= capacity`.
+    #[must_use]
+    pub fn contains(&self, bit: usize) -> bool {
+        assert!(bit < self.len, "bit {bit} out of range 0..{}", self.len);
+        self.words[bit / 64] & (1u64 << (bit % 64)) != 0
+    }
+
+    /// Number of bits currently set.
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if no bits are set.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Clears all bits.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// Sets every bit in `0..capacity`.
+    pub fn insert_all(&mut self) {
+        for w in &mut self.words {
+            *w = u64::MAX;
+        }
+        self.mask_tail();
+    }
+
+    /// In-place union: `self |= other`.
+    ///
+    /// # Panics
+    /// Panics if the capacities differ.
+    pub fn union_with(&mut self, other: &FixedBitSet) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+    }
+
+    /// In-place intersection: `self &= other`.
+    ///
+    /// # Panics
+    /// Panics if the capacities differ.
+    pub fn intersect_with(&mut self, other: &FixedBitSet) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+        }
+    }
+
+    /// In-place difference: `self &= !other`.
+    ///
+    /// # Panics
+    /// Panics if the capacities differ.
+    pub fn difference_with(&mut self, other: &FixedBitSet) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !*b;
+        }
+    }
+
+    /// Returns `true` if `self` and `other` share at least one bit.
+    ///
+    /// # Panics
+    /// Panics if the capacities differ.
+    #[must_use]
+    pub fn intersects(&self, other: &FixedBitSet) -> bool {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Returns `true` if every bit of `self` is also set in `other`.
+    ///
+    /// # Panics
+    /// Panics if the capacities differ.
+    #[must_use]
+    pub fn is_subset(&self, other: &FixedBitSet) -> bool {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterates over the indices of the set bits in ascending order.
+    pub fn ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            OnesInWord { word }.map(move |bit| wi * 64 + bit)
+        })
+    }
+
+    /// Collects the set bits into a vector (ascending order).
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.ones().collect()
+    }
+
+    fn mask_tail(&mut self) {
+        let tail_bits = self.len % 64;
+        if tail_bits != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail_bits) - 1;
+            }
+        }
+        if self.len == 0 {
+            self.words.clear();
+        }
+    }
+}
+
+struct OnesInWord {
+    word: u64,
+}
+
+impl Iterator for OnesInWord {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.word == 0 {
+            return None;
+        }
+        let bit = self.word.trailing_zeros() as usize;
+        self.word &= self.word - 1;
+        Some(bit)
+    }
+}
+
+impl fmt::Debug for FixedBitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.ones()).finish()
+    }
+}
+
+impl FromIterator<usize> for FixedBitSet {
+    /// Builds a bit set whose capacity is one past the maximum element.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let cap = items.iter().copied().max().map_or(0, |m| m + 1);
+        let mut set = FixedBitSet::with_capacity(cap);
+        for item in items {
+            set.insert(item);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = FixedBitSet::with_capacity(130);
+        assert!(!s.contains(0));
+        assert!(s.insert(0));
+        assert!(!s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(s.contains(0));
+        assert!(s.contains(64));
+        assert!(s.contains(129));
+        assert_eq!(s.count_ones(), 3);
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert_eq!(s.count_ones(), 2);
+    }
+
+    #[test]
+    fn ones_iterates_in_order() {
+        let mut s = FixedBitSet::with_capacity(200);
+        for &b in &[3usize, 70, 5, 199, 64] {
+            s.insert(b);
+        }
+        assert_eq!(s.to_vec(), vec![3, 5, 64, 70, 199]);
+    }
+
+    #[test]
+    fn insert_all_respects_capacity() {
+        let mut s = FixedBitSet::with_capacity(67);
+        s.insert_all();
+        assert_eq!(s.count_ones(), 67);
+        assert_eq!(s.to_vec().last(), Some(&66));
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let mut a = FixedBitSet::with_capacity(10);
+        let mut b = FixedBitSet::with_capacity(10);
+        a.insert(1);
+        a.insert(3);
+        b.insert(3);
+        b.insert(5);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.to_vec(), vec![1, 3, 5]);
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.to_vec(), vec![3]);
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(d.to_vec(), vec![1]);
+        assert!(a.intersects(&b));
+        assert!(i.is_subset(&a));
+        assert!(!a.is_subset(&b));
+    }
+
+    #[test]
+    fn empty_set_behaviour() {
+        let s = FixedBitSet::with_capacity(0);
+        assert!(s.is_empty());
+        assert_eq!(s.count_ones(), 0);
+        assert_eq!(s.to_vec(), Vec::<usize>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_insert_panics() {
+        let mut s = FixedBitSet::with_capacity(4);
+        s.insert(4);
+    }
+
+    #[test]
+    fn from_iterator_builds_tight_capacity() {
+        let s: FixedBitSet = [2usize, 9, 4].into_iter().collect();
+        assert_eq!(s.capacity(), 10);
+        assert_eq!(s.to_vec(), vec![2, 4, 9]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_insert_then_contains(bits in proptest::collection::vec(0usize..500, 0..60)) {
+            let mut s = FixedBitSet::with_capacity(500);
+            for &b in &bits {
+                s.insert(b);
+            }
+            for &b in &bits {
+                prop_assert!(s.contains(b));
+            }
+            let mut sorted: Vec<usize> = bits.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(s.to_vec(), sorted);
+        }
+
+        #[test]
+        fn prop_union_is_commutative(
+            xs in proptest::collection::vec(0usize..300, 0..40),
+            ys in proptest::collection::vec(0usize..300, 0..40),
+        ) {
+            let mut a = FixedBitSet::with_capacity(300);
+            let mut b = FixedBitSet::with_capacity(300);
+            for &x in &xs { a.insert(x); }
+            for &y in &ys { b.insert(y); }
+            let mut ab = a.clone();
+            ab.union_with(&b);
+            let mut ba = b.clone();
+            ba.union_with(&a);
+            prop_assert_eq!(ab, ba);
+        }
+
+        #[test]
+        fn prop_difference_removes_only_other(
+            xs in proptest::collection::vec(0usize..200, 0..40),
+            ys in proptest::collection::vec(0usize..200, 0..40),
+        ) {
+            let mut a = FixedBitSet::with_capacity(200);
+            let mut b = FixedBitSet::with_capacity(200);
+            for &x in &xs { a.insert(x); }
+            for &y in &ys { b.insert(y); }
+            let mut d = a.clone();
+            d.difference_with(&b);
+            for bit in d.ones() {
+                prop_assert!(a.contains(bit));
+                prop_assert!(!b.contains(bit));
+            }
+            for &x in &xs {
+                if !ys.contains(&x) {
+                    prop_assert!(d.contains(x));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,527 @@
+//! Adjacency-list directed graph with stable typed indices.
+
+use crate::error::GraphError;
+use crate::id::{EdgeId, NodeId};
+
+/// Internal node storage.
+#[derive(Debug, Clone)]
+struct NodeSlot<N> {
+    weight: Option<N>,
+    outgoing: Vec<EdgeId>,
+    incoming: Vec<EdgeId>,
+}
+
+/// Internal edge storage.
+#[derive(Debug, Clone)]
+struct EdgeSlot<E> {
+    weight: Option<E>,
+    source: NodeId,
+    target: NodeId,
+}
+
+/// A directed graph with node payloads `N` and edge payloads `E`.
+///
+/// * Node and edge ids are **stable**: removing a node or edge never changes
+///   the id of any other node or edge (removed slots become tombstones).
+/// * Parallel edges are allowed by [`DiGraph::add_edge`]; the stricter
+///   [`DiGraph::add_edge_unique`] rejects duplicates, which is what the
+///   workflow layer uses (a data dependency either exists or it does not).
+/// * Self loops are rejected by both insertion methods, since workflow
+///   specifications and provenance graphs never contain them.
+#[derive(Debug, Clone)]
+pub struct DiGraph<N, E> {
+    nodes: Vec<NodeSlot<N>>,
+    edges: Vec<EdgeSlot<E>>,
+    live_nodes: usize,
+    live_edges: usize,
+}
+
+impl<N, E> Default for DiGraph<N, E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<N, E> DiGraph<N, E> {
+    /// Creates an empty graph.
+    #[must_use]
+    pub fn new() -> Self {
+        DiGraph {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            live_nodes: 0,
+            live_edges: 0,
+        }
+    }
+
+    /// Creates an empty graph with pre-allocated capacity.
+    #[must_use]
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        DiGraph {
+            nodes: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+            live_nodes: 0,
+            live_edges: 0,
+        }
+    }
+
+    /// Number of live (non-removed) nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.live_nodes
+    }
+
+    /// Number of live (non-removed) edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.live_edges
+    }
+
+    /// Upper bound (exclusive) on node indices ever allocated, including
+    /// tombstones. Useful for sizing dense per-node tables.
+    #[must_use]
+    pub fn node_bound(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the graph contains no live nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.live_nodes == 0
+    }
+
+    /// Adds a node with the given payload and returns its id.
+    pub fn add_node(&mut self, weight: N) -> NodeId {
+        let id = NodeId::from_index(self.nodes.len());
+        self.nodes.push(NodeSlot {
+            weight: Some(weight),
+            outgoing: Vec::new(),
+            incoming: Vec::new(),
+        });
+        self.live_nodes += 1;
+        id
+    }
+
+    /// Returns `true` if `node` refers to a live node of this graph.
+    #[must_use]
+    pub fn contains_node(&self, node: NodeId) -> bool {
+        self.nodes
+            .get(node.index())
+            .is_some_and(|slot| slot.weight.is_some())
+    }
+
+    /// Returns `true` if `edge` refers to a live edge of this graph.
+    #[must_use]
+    pub fn contains_edge(&self, edge: EdgeId) -> bool {
+        self.edges
+            .get(edge.index())
+            .is_some_and(|slot| slot.weight.is_some())
+    }
+
+    /// Returns a reference to a node's payload.
+    pub fn node_weight(&self, node: NodeId) -> Result<&N, GraphError> {
+        self.nodes
+            .get(node.index())
+            .and_then(|slot| slot.weight.as_ref())
+            .ok_or(GraphError::InvalidNode(node))
+    }
+
+    /// Returns a mutable reference to a node's payload.
+    pub fn node_weight_mut(&mut self, node: NodeId) -> Result<&mut N, GraphError> {
+        self.nodes
+            .get_mut(node.index())
+            .and_then(|slot| slot.weight.as_mut())
+            .ok_or(GraphError::InvalidNode(node))
+    }
+
+    /// Returns a reference to an edge's payload.
+    pub fn edge_weight(&self, edge: EdgeId) -> Result<&E, GraphError> {
+        self.edges
+            .get(edge.index())
+            .and_then(|slot| slot.weight.as_ref())
+            .ok_or(GraphError::InvalidEdge(edge))
+    }
+
+    /// Returns the `(source, target)` endpoints of an edge.
+    pub fn edge_endpoints(&self, edge: EdgeId) -> Result<(NodeId, NodeId), GraphError> {
+        let slot = self
+            .edges
+            .get(edge.index())
+            .filter(|slot| slot.weight.is_some())
+            .ok_or(GraphError::InvalidEdge(edge))?;
+        Ok((slot.source, slot.target))
+    }
+
+    /// Adds a directed edge `source -> target`, allowing parallel edges.
+    ///
+    /// # Errors
+    /// Returns an error if either endpoint is invalid or if the edge would be
+    /// a self loop.
+    pub fn add_edge(&mut self, source: NodeId, target: NodeId, weight: E) -> Result<EdgeId, GraphError> {
+        if source == target {
+            return Err(GraphError::SelfLoop(source));
+        }
+        if !self.contains_node(source) {
+            return Err(GraphError::InvalidNode(source));
+        }
+        if !self.contains_node(target) {
+            return Err(GraphError::InvalidNode(target));
+        }
+        let id = EdgeId::from_index(self.edges.len());
+        self.edges.push(EdgeSlot {
+            weight: Some(weight),
+            source,
+            target,
+        });
+        self.nodes[source.index()].outgoing.push(id);
+        self.nodes[target.index()].incoming.push(id);
+        self.live_edges += 1;
+        Ok(id)
+    }
+
+    /// Adds a directed edge, rejecting duplicates between the same endpoints.
+    ///
+    /// # Errors
+    /// Returns [`GraphError::DuplicateEdge`] if an edge `source -> target`
+    /// already exists, plus the errors of [`DiGraph::add_edge`].
+    pub fn add_edge_unique(
+        &mut self,
+        source: NodeId,
+        target: NodeId,
+        weight: E,
+    ) -> Result<EdgeId, GraphError> {
+        if self.find_edge(source, target).is_some() {
+            return Err(GraphError::DuplicateEdge(source, target));
+        }
+        self.add_edge(source, target, weight)
+    }
+
+    /// Finds an edge between `source` and `target`, if one exists.
+    #[must_use]
+    pub fn find_edge(&self, source: NodeId, target: NodeId) -> Option<EdgeId> {
+        if !self.contains_node(source) {
+            return None;
+        }
+        self.nodes[source.index()]
+            .outgoing
+            .iter()
+            .copied()
+            .find(|&e| {
+                let slot = &self.edges[e.index()];
+                slot.weight.is_some() && slot.target == target
+            })
+    }
+
+    /// Removes an edge, returning its payload.
+    pub fn remove_edge(&mut self, edge: EdgeId) -> Result<E, GraphError> {
+        let slot = self
+            .edges
+            .get_mut(edge.index())
+            .ok_or(GraphError::InvalidEdge(edge))?;
+        let weight = slot.weight.take().ok_or(GraphError::InvalidEdge(edge))?;
+        let source = slot.source;
+        let target = slot.target;
+        self.nodes[source.index()].outgoing.retain(|&e| e != edge);
+        self.nodes[target.index()].incoming.retain(|&e| e != edge);
+        self.live_edges -= 1;
+        Ok(weight)
+    }
+
+    /// Removes a node and all incident edges, returning its payload.
+    pub fn remove_node(&mut self, node: NodeId) -> Result<N, GraphError> {
+        if !self.contains_node(node) {
+            return Err(GraphError::InvalidNode(node));
+        }
+        let incident: Vec<EdgeId> = self.nodes[node.index()]
+            .outgoing
+            .iter()
+            .chain(self.nodes[node.index()].incoming.iter())
+            .copied()
+            .collect();
+        for edge in incident {
+            if self.contains_edge(edge) {
+                self.remove_edge(edge)?;
+            }
+        }
+        let weight = self.nodes[node.index()]
+            .weight
+            .take()
+            .ok_or(GraphError::InvalidNode(node))?;
+        self.live_nodes -= 1;
+        Ok(weight)
+    }
+
+    /// Iterates over the ids of all live nodes in ascending id order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter().enumerate().filter_map(|(i, slot)| {
+            slot.weight.as_ref().map(|_| NodeId::from_index(i))
+        })
+    }
+
+    /// Iterates over `(id, &payload)` for all live nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &N)> + '_ {
+        self.nodes.iter().enumerate().filter_map(|(i, slot)| {
+            slot.weight.as_ref().map(|w| (NodeId::from_index(i), w))
+        })
+    }
+
+    /// Iterates over the ids of all live edges in ascending id order.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.edges.iter().enumerate().filter_map(|(i, slot)| {
+            slot.weight.as_ref().map(|_| EdgeId::from_index(i))
+        })
+    }
+
+    /// Iterates over `(id, source, target, &payload)` for all live edges.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, NodeId, NodeId, &E)> + '_ {
+        self.edges.iter().enumerate().filter_map(|(i, slot)| {
+            slot.weight
+                .as_ref()
+                .map(|w| (EdgeId::from_index(i), slot.source, slot.target, w))
+        })
+    }
+
+    /// Iterates over the direct successors of `node` (ignoring removed edges).
+    ///
+    /// Parallel edges yield the same successor multiple times.
+    pub fn successors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes
+            .get(node.index())
+            .map(|slot| slot.outgoing.as_slice())
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(move |&e| {
+                let slot = &self.edges[e.index()];
+                slot.weight.as_ref().map(|_| slot.target)
+            })
+    }
+
+    /// Iterates over the direct predecessors of `node`.
+    pub fn predecessors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes
+            .get(node.index())
+            .map(|slot| slot.incoming.as_slice())
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(move |&e| {
+                let slot = &self.edges[e.index()];
+                slot.weight.as_ref().map(|_| slot.source)
+            })
+    }
+
+    /// Out-degree of a node (0 for unknown nodes).
+    #[must_use]
+    pub fn out_degree(&self, node: NodeId) -> usize {
+        self.successors(node).count()
+    }
+
+    /// In-degree of a node (0 for unknown nodes).
+    #[must_use]
+    pub fn in_degree(&self, node: NodeId) -> usize {
+        self.predecessors(node).count()
+    }
+
+    /// Iterates over outgoing edge ids of `node`.
+    pub fn outgoing_edges(&self, node: NodeId) -> impl Iterator<Item = EdgeId> + '_ {
+        self.nodes
+            .get(node.index())
+            .map(|slot| slot.outgoing.as_slice())
+            .unwrap_or(&[])
+            .iter()
+            .copied()
+            .filter(move |&e| self.edges[e.index()].weight.is_some())
+    }
+
+    /// Iterates over incoming edge ids of `node`.
+    pub fn incoming_edges(&self, node: NodeId) -> impl Iterator<Item = EdgeId> + '_ {
+        self.nodes
+            .get(node.index())
+            .map(|slot| slot.incoming.as_slice())
+            .unwrap_or(&[])
+            .iter()
+            .copied()
+            .filter(move |&e| self.edges[e.index()].weight.is_some())
+    }
+
+    /// Maps the graph into a structurally identical graph with different
+    /// payload types.
+    pub fn map<N2, E2>(
+        &self,
+        mut node_map: impl FnMut(NodeId, &N) -> N2,
+        mut edge_map: impl FnMut(EdgeId, &E) -> E2,
+    ) -> DiGraph<N2, E2> {
+        let nodes = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, slot)| NodeSlot {
+                weight: slot
+                    .weight
+                    .as_ref()
+                    .map(|w| node_map(NodeId::from_index(i), w)),
+                outgoing: slot.outgoing.clone(),
+                incoming: slot.incoming.clone(),
+            })
+            .collect();
+        let edges = self
+            .edges
+            .iter()
+            .enumerate()
+            .map(|(i, slot)| EdgeSlot {
+                weight: slot
+                    .weight
+                    .as_ref()
+                    .map(|w| edge_map(EdgeId::from_index(i), w)),
+                source: slot.source,
+                target: slot.target,
+            })
+            .collect();
+        DiGraph {
+            nodes,
+            edges,
+            live_nodes: self.live_nodes,
+            live_edges: self.live_edges,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (DiGraph<&'static str, u32>, [NodeId; 4]) {
+        let mut g = DiGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        let d = g.add_node("d");
+        g.add_edge(a, b, 1).unwrap();
+        g.add_edge(a, c, 2).unwrap();
+        g.add_edge(b, d, 3).unwrap();
+        g.add_edge(c, d, 4).unwrap();
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn counts_and_membership() {
+        let (g, [a, b, c, d]) = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        for n in [a, b, c, d] {
+            assert!(g.contains_node(n));
+        }
+        assert!(!g.contains_node(NodeId::from_index(99)));
+    }
+
+    #[test]
+    fn successors_and_predecessors() {
+        let (g, [a, b, c, d]) = diamond();
+        let succ_a: Vec<NodeId> = g.successors(a).collect();
+        assert_eq!(succ_a, vec![b, c]);
+        let pred_d: Vec<NodeId> = g.predecessors(d).collect();
+        assert_eq!(pred_d, vec![b, c]);
+        assert_eq!(g.out_degree(a), 2);
+        assert_eq!(g.in_degree(d), 2);
+        assert_eq!(g.out_degree(d), 0);
+    }
+
+    #[test]
+    fn self_loops_rejected() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        assert_eq!(g.add_edge(a, a, ()), Err(GraphError::SelfLoop(a)));
+    }
+
+    #[test]
+    fn duplicate_edges_rejected_by_unique_insert() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge_unique(a, b, ()).unwrap();
+        assert_eq!(
+            g.add_edge_unique(a, b, ()),
+            Err(GraphError::DuplicateEdge(a, b))
+        );
+        // the permissive method still allows parallel edges
+        assert!(g.add_edge(a, b, ()).is_ok());
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn invalid_endpoints_rejected() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let ghost = NodeId::from_index(17);
+        assert_eq!(g.add_edge(a, ghost, ()), Err(GraphError::InvalidNode(ghost)));
+        assert_eq!(g.add_edge(ghost, a, ()), Err(GraphError::InvalidNode(ghost)));
+    }
+
+    #[test]
+    fn edge_lookup_and_endpoints() {
+        let (g, [a, b, _, d]) = diamond();
+        let e = g.find_edge(a, b).unwrap();
+        assert_eq!(g.edge_endpoints(e).unwrap(), (a, b));
+        assert_eq!(*g.edge_weight(e).unwrap(), 1);
+        assert!(g.find_edge(a, d).is_none());
+    }
+
+    #[test]
+    fn remove_edge_keeps_other_ids_stable() {
+        let (mut g, [a, b, c, d]) = diamond();
+        let e_ab = g.find_edge(a, b).unwrap();
+        let e_cd = g.find_edge(c, d).unwrap();
+        assert_eq!(g.remove_edge(e_ab).unwrap(), 1);
+        assert_eq!(g.edge_count(), 3);
+        assert!(!g.contains_edge(e_ab));
+        assert!(g.contains_edge(e_cd));
+        assert_eq!(g.edge_endpoints(e_cd).unwrap(), (c, d));
+        assert!(g.remove_edge(e_ab).is_err());
+        let succ_a: Vec<NodeId> = g.successors(a).collect();
+        assert_eq!(succ_a, vec![c]);
+    }
+
+    #[test]
+    fn remove_node_removes_incident_edges() {
+        let (mut g, [a, b, c, d]) = diamond();
+        assert_eq!(g.remove_node(b).unwrap(), "b");
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert!(!g.contains_node(b));
+        assert!(g.contains_node(a));
+        let succ_a: Vec<NodeId> = g.successors(a).collect();
+        assert_eq!(succ_a, vec![c]);
+        let pred_d: Vec<NodeId> = g.predecessors(d).collect();
+        assert_eq!(pred_d, vec![c]);
+    }
+
+    #[test]
+    fn node_weight_access_and_mutation() {
+        let (mut g, [a, ..]) = diamond();
+        assert_eq!(*g.node_weight(a).unwrap(), "a");
+        *g.node_weight_mut(a).unwrap() = "alpha";
+        assert_eq!(*g.node_weight(a).unwrap(), "alpha");
+        assert!(g.node_weight(NodeId::from_index(50)).is_err());
+    }
+
+    #[test]
+    fn iteration_skips_tombstones() {
+        let (mut g, [a, b, _, _]) = diamond();
+        g.remove_node(b).unwrap();
+        let ids: Vec<NodeId> = g.node_ids().collect();
+        assert_eq!(ids.len(), 3);
+        assert!(!ids.contains(&b));
+        assert!(ids.contains(&a));
+        assert_eq!(g.edges().count(), 2);
+    }
+
+    #[test]
+    fn map_preserves_structure() {
+        let (g, [a, _, _, d]) = diamond();
+        let mapped: DiGraph<String, String> =
+            g.map(|_, w| w.to_uppercase(), |_, w| format!("w{w}"));
+        assert_eq!(mapped.node_count(), 4);
+        assert_eq!(mapped.edge_count(), 4);
+        assert_eq!(mapped.node_weight(a).unwrap(), "A");
+        assert_eq!(mapped.predecessors(d).count(), 2);
+    }
+}

@@ -1,0 +1,187 @@
+//! Graphviz DOT export.
+//!
+//! The WOLVES demo GUI (paper Figure 4) renders workflows and views as
+//! interactive diagrams; the reproduction exports DOT so users can obtain
+//! equivalent pictures with standard tooling, and the CLI displayer embeds
+//! this output.
+
+use std::fmt::Write as _;
+
+use crate::digraph::DiGraph;
+use crate::id::NodeId;
+
+/// Options controlling DOT output.
+#[derive(Debug, Clone)]
+pub struct DotOptions {
+    /// Name of the digraph in the DOT source.
+    pub graph_name: String,
+    /// Rank direction, e.g. `"LR"` or `"TB"`.
+    pub rankdir: String,
+    /// Nodes to highlight (drawn filled red) — the validator uses this for
+    /// unsound composite tasks, mirroring the paper's GUI.
+    pub highlighted: Vec<NodeId>,
+    /// Optional clusters: `(label, members)` drawn as subgraphs. The view
+    /// displayer uses one cluster per composite task.
+    pub clusters: Vec<(String, Vec<NodeId>)>,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            graph_name: "wolves".to_owned(),
+            rankdir: "LR".to_owned(),
+            highlighted: Vec::new(),
+            clusters: Vec::new(),
+        }
+    }
+}
+
+/// Renders the graph to DOT, labelling nodes with `label_of`.
+pub fn to_dot<N, E>(
+    graph: &DiGraph<N, E>,
+    options: &DotOptions,
+    mut label_of: impl FnMut(NodeId, &N) -> String,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", sanitize_id(&options.graph_name));
+    let _ = writeln!(out, "  rankdir={};", options.rankdir);
+    let _ = writeln!(out, "  node [shape=box, fontname=\"Helvetica\"];");
+
+    let clustered: Vec<NodeId> = options
+        .clusters
+        .iter()
+        .flat_map(|(_, members)| members.iter().copied())
+        .collect();
+
+    for (ci, (label, members)) in options.clusters.iter().enumerate() {
+        let _ = writeln!(out, "  subgraph cluster_{ci} {{");
+        let _ = writeln!(out, "    label=\"{}\";", escape(label));
+        for &node in members {
+            if let Ok(weight) = graph.node_weight(node) {
+                let _ = writeln!(
+                    out,
+                    "    {} [label=\"{}\"{}];",
+                    node_id(node),
+                    escape(&label_of(node, weight)),
+                    highlight_attr(options, node)
+                );
+            }
+        }
+        let _ = writeln!(out, "  }}");
+    }
+
+    for (node, weight) in graph.nodes() {
+        if clustered.contains(&node) {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "  {} [label=\"{}\"{}];",
+            node_id(node),
+            escape(&label_of(node, weight)),
+            highlight_attr(options, node)
+        );
+    }
+
+    for (_, source, target, _) in graph.edges() {
+        let _ = writeln!(out, "  {} -> {};", node_id(source), node_id(target));
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn highlight_attr(options: &DotOptions, node: NodeId) -> &'static str {
+    if options.highlighted.contains(&node) {
+        ", style=filled, fillcolor=\"#ff9999\""
+    } else {
+        ""
+    }
+}
+
+fn node_id(node: NodeId) -> String {
+    format!("n{}", node.index())
+}
+
+fn sanitize_id(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if cleaned.is_empty() {
+        "g".to_owned()
+    } else {
+        cleaned
+    }
+}
+
+fn escape(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_output_contains_nodes_and_edges() {
+        let mut g: DiGraph<&str, ()> = DiGraph::new();
+        let a = g.add_node("select");
+        let b = g.add_node("split");
+        g.add_edge(a, b, ()).unwrap();
+        let dot = to_dot(&g, &DotOptions::default(), |_, w| (*w).to_owned());
+        assert!(dot.starts_with("digraph wolves {"));
+        assert!(dot.contains("n0 [label=\"select\"]"));
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn highlighted_nodes_are_filled() {
+        let mut g: DiGraph<&str, ()> = DiGraph::new();
+        let a = g.add_node("bad");
+        let options = DotOptions {
+            highlighted: vec![a],
+            ..DotOptions::default()
+        };
+        let dot = to_dot(&g, &options, |_, w| (*w).to_owned());
+        assert!(dot.contains("fillcolor"));
+    }
+
+    #[test]
+    fn clusters_render_as_subgraphs() {
+        let mut g: DiGraph<&str, ()> = DiGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        g.add_edge(a, b, ()).unwrap();
+        g.add_edge(b, c, ()).unwrap();
+        let options = DotOptions {
+            clusters: vec![("Composite".to_owned(), vec![a, b])],
+            ..DotOptions::default()
+        };
+        let dot = to_dot(&g, &options, |_, w| (*w).to_owned());
+        assert!(dot.contains("subgraph cluster_0"));
+        assert!(dot.contains("label=\"Composite\""));
+        // the un-clustered node still appears at top level
+        assert!(dot.contains("n2 [label=\"c\"]"));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let mut g: DiGraph<String, ()> = DiGraph::new();
+        g.add_node("say \"hi\"".to_owned());
+        let dot = to_dot(&g, &DotOptions::default(), |_, w| w.clone());
+        assert!(dot.contains("say \\\"hi\\\""));
+    }
+
+    #[test]
+    fn graph_names_are_sanitized() {
+        let g: DiGraph<(), ()> = DiGraph::new();
+        let options = DotOptions {
+            graph_name: "my graph!".to_owned(),
+            ..DotOptions::default()
+        };
+        let dot = to_dot(&g, &options, |_, _| String::new());
+        assert!(dot.starts_with("digraph my_graph_ {"));
+    }
+}

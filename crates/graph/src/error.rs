@@ -1,0 +1,53 @@
+//! Error type shared by the graph algorithms.
+
+use std::fmt;
+
+use crate::NodeId;
+
+/// Errors produced by graph construction and graph algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node id referenced a node that does not exist (or was removed).
+    InvalidNode(NodeId),
+    /// An edge id referenced an edge that does not exist (or was removed).
+    InvalidEdge(crate::EdgeId),
+    /// The requested algorithm requires an acyclic graph but a cycle was
+    /// found. The payload carries one node that participates in a cycle.
+    CycleDetected(NodeId),
+    /// An operation attempted to add a self-loop where self-loops are not
+    /// permitted (workflow specifications never contain them).
+    SelfLoop(NodeId),
+    /// A duplicate edge between the same endpoints was rejected.
+    DuplicateEdge(NodeId, NodeId),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::InvalidNode(n) => write!(f, "node {n} does not exist"),
+            GraphError::InvalidEdge(e) => write!(f, "edge {e} does not exist"),
+            GraphError::CycleDetected(n) => {
+                write!(f, "graph contains a cycle through node {n}")
+            }
+            GraphError::SelfLoop(n) => write!(f, "self loop on node {n} is not permitted"),
+            GraphError::DuplicateEdge(a, b) => {
+                write!(f, "duplicate edge {a} -> {b} rejected")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_human_readable_messages() {
+        let n = NodeId::from_index(1);
+        assert!(GraphError::InvalidNode(n).to_string().contains("n1"));
+        assert!(GraphError::CycleDetected(n).to_string().contains("cycle"));
+        assert!(GraphError::SelfLoop(n).to_string().contains("self loop"));
+    }
+}

@@ -1,0 +1,106 @@
+//! Typed index newtypes for graph nodes and edges.
+//!
+//! Using dedicated wrapper types instead of bare `usize` prevents an entire
+//! class of index-mixup bugs (e.g. using a node index to address an edge
+//! table) at compile time, while still being `Copy` and cheap to pass around.
+
+use std::fmt;
+
+/// Identifier of a node inside a [`crate::DiGraph`].
+///
+/// Node ids are dense, stable indices: they are never re-used after a node is
+/// removed, which makes them safe to store in external structures such as
+/// workflow views, partitions and provenance records.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct NodeId(pub(crate) u32);
+
+/// Identifier of an edge inside a [`crate::DiGraph`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EdgeId(pub(crate) u32);
+
+impl NodeId {
+    /// Creates a node id from a raw index.
+    ///
+    /// This is primarily useful for tests and for deserialising external
+    /// formats; ids produced this way are only meaningful for the graph they
+    /// were taken from.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32 range"))
+    }
+
+    /// Returns the raw index backing this id.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// Creates an edge id from a raw index.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        EdgeId(u32::try_from(index).expect("edge index exceeds u32 range"))
+    }
+
+    /// Returns the raw index backing this id.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trips_through_index() {
+        let id = NodeId::from_index(42);
+        assert_eq!(id.index(), 42);
+    }
+
+    #[test]
+    fn edge_id_round_trips_through_index() {
+        let id = EdgeId::from_index(7);
+        assert_eq!(id.index(), 7);
+    }
+
+    #[test]
+    fn ids_format_compactly() {
+        assert_eq!(format!("{}", NodeId::from_index(3)), "n3");
+        assert_eq!(format!("{:?}", EdgeId::from_index(9)), "e9");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(NodeId::from_index(1) < NodeId::from_index(2));
+        assert!(EdgeId::from_index(0) < EdgeId::from_index(10));
+    }
+}

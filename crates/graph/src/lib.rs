@@ -1,0 +1,58 @@
+//! # wolves-graph
+//!
+//! Directed-graph substrate used throughout the WOLVES workflow-view system.
+//!
+//! The crate provides the data structures and algorithms every other layer of
+//! the reproduction is built on:
+//!
+//! * [`DiGraph`] — an adjacency-list directed graph with stable, typed
+//!   [`NodeId`]/[`EdgeId`] indices, optional node/edge payloads and tombstone
+//!   based removal.
+//! * [`FixedBitSet`] — a compact bit set used for reachability rows and
+//!   subset bookkeeping (the workspace deliberately avoids external graph or
+//!   bitset crates; this substrate is part of the reproduction).
+//! * [`topo`] — topological ordering and cycle detection.
+//! * [`scc`] — Tarjan strongly-connected components and condensation, so that
+//!   imported workflows that are not DAGs can still be analysed.
+//! * [`reach`] — all-pairs reachability ([`ReachMatrix`]) computed over a
+//!   topological order, ancestor/descendant sets and witness path extraction.
+//! * [`algo`] — assorted DAG utilities (roots, leaves, layering, transitive
+//!   reduction) used by the workload generators and renderers.
+//! * [`dot`] — Graphviz DOT export for debugging and the CLI displayer.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use wolves_graph::{DiGraph, reach::ReachMatrix};
+//!
+//! let mut g: DiGraph<&str, ()> = DiGraph::new();
+//! let a = g.add_node("a");
+//! let b = g.add_node("b");
+//! let c = g.add_node("c");
+//! g.add_edge(a, b, ());
+//! g.add_edge(b, c, ());
+//!
+//! let reach = ReachMatrix::build(&g).unwrap();
+//! assert!(reach.reachable(a, c));
+//! assert!(!reach.reachable(c, a));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod algo;
+pub mod bitset;
+pub mod digraph;
+pub mod dot;
+pub mod error;
+pub mod id;
+pub mod reach;
+pub mod scc;
+pub mod topo;
+pub mod traversal;
+
+pub use bitset::FixedBitSet;
+pub use digraph::DiGraph;
+pub use error::GraphError;
+pub use id::{EdgeId, NodeId};
+pub use reach::ReachMatrix;

@@ -1,0 +1,274 @@
+//! All-pairs reachability.
+//!
+//! Soundness checking (Definition 2.3 of the paper) reduces to many
+//! `reach(u, v)` queries over the workflow specification. [`ReachMatrix`]
+//! answers each query in O(1) after an O(V·E/64) bit-set propagation over a
+//! topological order; cyclic inputs are handled by condensing strongly
+//! connected components first.
+
+use crate::bitset::FixedBitSet;
+use crate::digraph::DiGraph;
+use crate::error::GraphError;
+use crate::id::NodeId;
+use crate::scc::{condensation, SccDecomposition};
+use crate::topo::topological_sort;
+use crate::traversal::{shortest_path, Direction};
+
+/// Dense all-pairs reachability over a directed graph.
+///
+/// `reachable(u, v)` is `true` iff there is a directed path from `u` to `v`
+/// of length **zero or more** — i.e. every node reaches itself. This matches
+/// the paper's use of "directed path between t1 and t2" where a composite
+/// task containing a single boundary node is always sound.
+#[derive(Debug, Clone)]
+pub struct ReachMatrix {
+    /// Row `i`: set of component indices reachable from component `i`.
+    rows: Vec<FixedBitSet>,
+    /// Map from node index to component index.
+    component_of: Vec<usize>,
+    node_bound: usize,
+}
+
+impl ReachMatrix {
+    /// Builds the reachability matrix for `graph`.
+    ///
+    /// Cycles are permitted: the matrix is computed on the condensation, and
+    /// all members of a strongly connected component mutually reach each
+    /// other.
+    ///
+    /// # Errors
+    /// Currently infallible for any well-formed graph; the `Result` is kept
+    /// so future storage strategies (e.g. external memory) can fail cleanly.
+    pub fn build<N, E>(graph: &DiGraph<N, E>) -> Result<Self, GraphError> {
+        let (condensed, scc) = condensation(graph);
+        Ok(Self::from_condensation(&condensed, &scc, graph.node_bound()))
+    }
+
+    fn from_condensation(
+        condensed: &DiGraph<Vec<NodeId>, ()>,
+        scc: &SccDecomposition,
+        node_bound: usize,
+    ) -> Self {
+        let comp_count = condensed.node_count();
+        let order = topological_sort(condensed).expect("condensation is always acyclic");
+        let mut rows: Vec<FixedBitSet> = (0..comp_count)
+            .map(|_| FixedBitSet::with_capacity(comp_count))
+            .collect();
+        // Process in reverse topological order so successors are complete.
+        for &comp_node in order.iter().rev() {
+            let i = comp_node.index();
+            let mut row = FixedBitSet::with_capacity(comp_count);
+            row.insert(i);
+            for succ in condensed.successors(comp_node) {
+                row.insert(succ.index());
+                let succ_row = rows[succ.index()].clone();
+                row.union_with(&succ_row);
+            }
+            rows[i] = row;
+        }
+        ReachMatrix {
+            rows,
+            component_of: scc.component_of.clone(),
+            node_bound,
+        }
+    }
+
+    /// Returns `true` iff there is a directed path (possibly empty) from
+    /// `from` to `to`.
+    ///
+    /// Unknown nodes are never reachable and reach nothing.
+    #[must_use]
+    pub fn reachable(&self, from: NodeId, to: NodeId) -> bool {
+        let (Some(cf), Some(ct)) = (self.component_index(from), self.component_index(to)) else {
+            return false;
+        };
+        self.rows[cf].contains(ct)
+    }
+
+    /// Returns `true` iff there is a path of length **one or more** from
+    /// `from` to `to` (excludes the trivial empty path, unless the two nodes
+    /// are on a common cycle).
+    #[must_use]
+    pub fn strictly_reachable(&self, from: NodeId, to: NodeId) -> bool {
+        if from == to {
+            // only true when the node lies on a cycle, which DiGraph's lack of
+            // self loops means "its SCC has more than one member"; detect via
+            // component sharing with a different node is not possible here, so
+            // report false for singleton components.
+            return false;
+        }
+        self.reachable(from, to)
+    }
+
+    /// Returns the number of nodes `from` can reach (including itself).
+    #[must_use]
+    pub fn descendant_count(&self, from: NodeId, graph_nodes: &[NodeId]) -> usize {
+        graph_nodes
+            .iter()
+            .filter(|&&n| self.reachable(from, n))
+            .count()
+    }
+
+    /// Upper bound on node indices this matrix was built for.
+    #[must_use]
+    pub fn node_bound(&self) -> usize {
+        self.node_bound
+    }
+
+    fn component_index(&self, node: NodeId) -> Option<usize> {
+        self.component_of
+            .get(node.index())
+            .copied()
+            .filter(|&c| c != usize::MAX)
+    }
+}
+
+/// Computes the set of ancestors of `node` (nodes that can reach it),
+/// excluding the node itself.
+pub fn ancestors<N, E>(graph: &DiGraph<N, E>, node: NodeId) -> Vec<NodeId> {
+    let mut nodes = crate::traversal::bfs(graph, &[node], Direction::Backward);
+    nodes.retain(|&n| n != node);
+    nodes.sort_unstable();
+    nodes
+}
+
+/// Computes the set of descendants of `node` (nodes it can reach), excluding
+/// the node itself.
+pub fn descendants<N, E>(graph: &DiGraph<N, E>, node: NodeId) -> Vec<NodeId> {
+    let mut nodes = crate::traversal::bfs(graph, &[node], Direction::Forward);
+    nodes.retain(|&n| n != node);
+    nodes.sort_unstable();
+    nodes
+}
+
+/// Produces one witness path demonstrating that `to` is reachable from
+/// `from`, if any. Used by the validator to explain soundness violations and
+/// spurious view dependencies to users.
+pub fn witness_path<N, E>(graph: &DiGraph<N, E>, from: NodeId, to: NodeId) -> Option<Vec<NodeId>> {
+    shortest_path(graph, from, to)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn diamond() -> (DiGraph<(), ()>, Vec<NodeId>) {
+        let mut g = DiGraph::new();
+        let n: Vec<NodeId> = (0..4).map(|_| g.add_node(())).collect();
+        g.add_edge(n[0], n[1], ()).unwrap();
+        g.add_edge(n[0], n[2], ()).unwrap();
+        g.add_edge(n[1], n[3], ()).unwrap();
+        g.add_edge(n[2], n[3], ()).unwrap();
+        (g, n)
+    }
+
+    #[test]
+    fn reachability_in_a_diamond() {
+        let (g, n) = diamond();
+        let r = ReachMatrix::build(&g).unwrap();
+        assert!(r.reachable(n[0], n[3]));
+        assert!(r.reachable(n[0], n[0]));
+        assert!(!r.reachable(n[3], n[0]));
+        assert!(!r.reachable(n[1], n[2]));
+        assert!(r.strictly_reachable(n[0], n[1]));
+        assert!(!r.strictly_reachable(n[1], n[1]));
+    }
+
+    #[test]
+    fn reachability_through_a_cycle() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        g.add_edge(a, b, ()).unwrap();
+        g.add_edge(b, c, ()).unwrap();
+        g.add_edge(c, b, ()).unwrap();
+        g.add_edge(c, d, ()).unwrap();
+        let r = ReachMatrix::build(&g).unwrap();
+        assert!(r.reachable(a, d));
+        assert!(r.reachable(b, c));
+        assert!(r.reachable(c, b));
+        assert!(!r.reachable(d, a));
+    }
+
+    #[test]
+    fn unknown_nodes_are_unreachable() {
+        let (g, n) = diamond();
+        let r = ReachMatrix::build(&g).unwrap();
+        let ghost = NodeId::from_index(77);
+        assert!(!r.reachable(ghost, n[0]));
+        assert!(!r.reachable(n[0], ghost));
+    }
+
+    #[test]
+    fn ancestors_and_descendants() {
+        let (g, n) = diamond();
+        assert_eq!(ancestors(&g, n[3]), vec![n[0], n[1], n[2]]);
+        assert_eq!(descendants(&g, n[0]), vec![n[1], n[2], n[3]]);
+        assert_eq!(ancestors(&g, n[0]), vec![]);
+        assert_eq!(descendants(&g, n[3]), vec![]);
+    }
+
+    #[test]
+    fn witness_path_matches_reachability() {
+        let (g, n) = diamond();
+        let r = ReachMatrix::build(&g).unwrap();
+        let path = witness_path(&g, n[0], n[3]).unwrap();
+        assert_eq!(path.first(), Some(&n[0]));
+        assert_eq!(path.last(), Some(&n[3]));
+        assert!(r.reachable(n[0], n[3]));
+        assert!(witness_path(&g, n[3], n[0]).is_none());
+    }
+
+    fn arbitrary_dag(max_nodes: usize) -> impl Strategy<Value = DiGraph<(), ()>> {
+        (2..max_nodes)
+            .prop_flat_map(|n| {
+                let edges = proptest::collection::vec((0..n, 0..n), 0..(n * 2));
+                (Just(n), edges)
+            })
+            .prop_map(|(n, raw_edges)| {
+                let mut g: DiGraph<(), ()> = DiGraph::new();
+                let nodes: Vec<NodeId> = (0..n).map(|_| g.add_node(())).collect();
+                for (a, b) in raw_edges {
+                    // orient edges from lower to higher index to guarantee a DAG
+                    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                    if lo != hi {
+                        let _ = g.add_edge_unique(nodes[lo], nodes[hi], ());
+                    }
+                }
+                g
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matrix_agrees_with_bfs(g in arbitrary_dag(24)) {
+            let r = ReachMatrix::build(&g).unwrap();
+            let nodes: Vec<NodeId> = g.node_ids().collect();
+            for &u in &nodes {
+                let reach_bfs = crate::traversal::reachable_set(&g, &[u], Direction::Forward);
+                for &v in &nodes {
+                    prop_assert_eq!(r.reachable(u, v), reach_bfs.contains(v.index()));
+                }
+            }
+        }
+
+        #[test]
+        fn prop_reachability_is_transitive(g in arbitrary_dag(20)) {
+            let r = ReachMatrix::build(&g).unwrap();
+            let nodes: Vec<NodeId> = g.node_ids().collect();
+            for &a in &nodes {
+                for &b in &nodes {
+                    if !r.reachable(a, b) { continue; }
+                    for &c in &nodes {
+                        if r.reachable(b, c) {
+                            prop_assert!(r.reachable(a, c));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

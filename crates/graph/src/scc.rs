@@ -1,0 +1,249 @@
+//! Strongly connected components (Tarjan) and condensation.
+//!
+//! Workflow specifications are expected to be DAGs, but imported MOML files
+//! and user-edited graphs may accidentally contain cycles. The validator and
+//! the reachability matrix therefore condense general digraphs first.
+
+use crate::digraph::DiGraph;
+use crate::id::NodeId;
+
+/// Result of a strongly-connected-component decomposition.
+#[derive(Debug, Clone)]
+pub struct SccDecomposition {
+    /// The components, each a non-empty list of node ids. Components are
+    /// emitted in reverse topological order of the condensation (standard
+    /// Tarjan output order).
+    pub components: Vec<Vec<NodeId>>,
+    /// Dense lookup from [`NodeId::index`] to the index of its component in
+    /// [`SccDecomposition::components`]. Removed nodes map to `usize::MAX`.
+    pub component_of: Vec<usize>,
+}
+
+impl SccDecomposition {
+    /// Number of components.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Returns `true` if there are no components (empty graph).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Returns `true` if every component is a single node, i.e. the graph is
+    /// acyclic (self-loops are impossible in [`DiGraph`]).
+    #[must_use]
+    pub fn is_acyclic(&self) -> bool {
+        self.components.iter().all(|c| c.len() == 1)
+    }
+
+    /// Returns the component index of a node, if the node exists.
+    #[must_use]
+    pub fn component(&self, node: NodeId) -> Option<usize> {
+        self.component_of
+            .get(node.index())
+            .copied()
+            .filter(|&c| c != usize::MAX)
+    }
+}
+
+/// Computes the strongly connected components of the graph using an
+/// iterative Tarjan algorithm (no recursion, so arbitrarily deep graphs are
+/// safe).
+pub fn strongly_connected_components<N, E>(graph: &DiGraph<N, E>) -> SccDecomposition {
+    let bound = graph.node_bound();
+    const UNVISITED: usize = usize::MAX;
+    let mut index_of: Vec<usize> = vec![UNVISITED; bound];
+    let mut low_link: Vec<usize> = vec![0; bound];
+    let mut on_stack: Vec<bool> = vec![false; bound];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut components: Vec<Vec<NodeId>> = Vec::new();
+    let mut component_of: Vec<usize> = vec![usize::MAX; bound];
+    let mut next_index = 0usize;
+
+    // Explicit DFS call stack: (node, iterator position over successors).
+    enum Frame {
+        Enter(NodeId),
+        Continue(NodeId, usize),
+    }
+
+    for root in graph.node_ids() {
+        if index_of[root.index()] != UNVISITED {
+            continue;
+        }
+        let mut call_stack = vec![Frame::Enter(root)];
+        while let Some(frame) = call_stack.pop() {
+            match frame {
+                Frame::Enter(v) => {
+                    index_of[v.index()] = next_index;
+                    low_link[v.index()] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v.index()] = true;
+                    call_stack.push(Frame::Continue(v, 0));
+                }
+                Frame::Continue(v, child_pos) => {
+                    let successors: Vec<NodeId> = graph.successors(v).collect();
+                    if child_pos > 0 {
+                        // we just returned from exploring successors[child_pos - 1]
+                        let w = successors[child_pos - 1];
+                        low_link[v.index()] = low_link[v.index()].min(low_link[w.index()]);
+                    }
+                    let mut advanced = false;
+                    for (offset, &w) in successors.iter().enumerate().skip(child_pos) {
+                        if index_of[w.index()] == UNVISITED {
+                            call_stack.push(Frame::Continue(v, offset + 1));
+                            call_stack.push(Frame::Enter(w));
+                            advanced = true;
+                            break;
+                        } else if on_stack[w.index()] {
+                            low_link[v.index()] =
+                                low_link[v.index()].min(index_of[w.index()]);
+                        }
+                    }
+                    if advanced {
+                        continue;
+                    }
+                    if low_link[v.index()] == index_of[v.index()] {
+                        let mut component = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w.index()] = false;
+                            component_of[w.index()] = components.len();
+                            component.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        component.sort_unstable();
+                        components.push(component);
+                    }
+                }
+            }
+        }
+    }
+
+    SccDecomposition {
+        components,
+        component_of,
+    }
+}
+
+/// Builds the condensation of the graph: one node per strongly connected
+/// component (payload: member node ids), and an edge between two components
+/// whenever any cross-component edge exists in the input (deduplicated).
+pub fn condensation<N, E>(graph: &DiGraph<N, E>) -> (DiGraph<Vec<NodeId>, ()>, SccDecomposition) {
+    let scc = strongly_connected_components(graph);
+    let mut condensed: DiGraph<Vec<NodeId>, ()> = DiGraph::with_capacity(scc.len(), scc.len());
+    let comp_nodes: Vec<NodeId> = scc
+        .components
+        .iter()
+        .map(|members| condensed.add_node(members.clone()))
+        .collect();
+    for (_, source, target, _) in graph.edges() {
+        let cs = scc.component_of[source.index()];
+        let ct = scc.component_of[target.index()];
+        if cs != ct {
+            // ignore duplicates
+            let _ = condensed.add_edge_unique(comp_nodes[cs], comp_nodes[ct], ());
+        }
+    }
+    (condensed, scc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo::is_acyclic;
+
+    #[test]
+    fn acyclic_graph_has_singleton_components() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, ()).unwrap();
+        g.add_edge(b, c, ()).unwrap();
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.len(), 3);
+        assert!(scc.is_acyclic());
+    }
+
+    #[test]
+    fn cycle_collapses_into_one_component() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        g.add_edge(a, b, ()).unwrap();
+        g.add_edge(b, c, ()).unwrap();
+        g.add_edge(c, a, ()).unwrap();
+        g.add_edge(c, d, ()).unwrap();
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.len(), 2);
+        assert!(!scc.is_acyclic());
+        assert_eq!(scc.component(a), scc.component(b));
+        assert_eq!(scc.component(a), scc.component(c));
+        assert_ne!(scc.component(a), scc.component(d));
+    }
+
+    #[test]
+    fn condensation_is_acyclic_and_preserves_cross_edges() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        let e = g.add_node(());
+        // cycle {a,b}, cycle {c,d}, bridge b->c, d->e
+        g.add_edge(a, b, ()).unwrap();
+        g.add_edge(b, a, ()).unwrap();
+        g.add_edge(c, d, ()).unwrap();
+        g.add_edge(d, c, ()).unwrap();
+        g.add_edge(b, c, ()).unwrap();
+        g.add_edge(d, e, ()).unwrap();
+        let (condensed, scc) = condensation(&g);
+        assert_eq!(scc.len(), 3);
+        assert_eq!(condensed.node_count(), 3);
+        assert_eq!(condensed.edge_count(), 2);
+        assert!(is_acyclic(&condensed));
+    }
+
+    #[test]
+    fn empty_graph_condensation() {
+        let g: DiGraph<(), ()> = DiGraph::new();
+        let (condensed, scc) = condensation(&g);
+        assert!(scc.is_empty());
+        assert_eq!(condensed.node_count(), 0);
+    }
+
+    #[test]
+    fn two_mutually_unreachable_cycles_stay_separate() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        g.add_edge(a, b, ()).unwrap();
+        g.add_edge(b, a, ()).unwrap();
+        g.add_edge(c, d, ()).unwrap();
+        g.add_edge(d, c, ()).unwrap();
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.len(), 2);
+        assert_ne!(scc.component(a), scc.component(c));
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let nodes: Vec<NodeId> = (0..50_000).map(|_| g.add_node(())).collect();
+        for w in nodes.windows(2) {
+            g.add_edge(w[0], w[1], ()).unwrap();
+        }
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.len(), 50_000);
+    }
+}

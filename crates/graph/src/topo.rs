@@ -1,0 +1,163 @@
+//! Topological ordering and cycle detection.
+
+use std::collections::VecDeque;
+
+use crate::digraph::DiGraph;
+use crate::error::GraphError;
+use crate::id::NodeId;
+
+/// Computes a topological order of the live nodes using Kahn's algorithm.
+///
+/// Node ids appear before all of their descendants. Ties are broken by node
+/// id so the order is deterministic for a given graph.
+///
+/// # Errors
+/// Returns [`GraphError::CycleDetected`] if the graph contains a directed
+/// cycle; the payload names one node on a cycle.
+pub fn topological_sort<N, E>(graph: &DiGraph<N, E>) -> Result<Vec<NodeId>, GraphError> {
+    let bound = graph.node_bound();
+    let mut in_degree: Vec<usize> = vec![0; bound];
+    let mut live = vec![false; bound];
+    for node in graph.node_ids() {
+        live[node.index()] = true;
+        in_degree[node.index()] = graph.in_degree(node);
+    }
+    // A BinaryHeap would give the smallest-id-first guarantee directly, but a
+    // sorted initial frontier plus FIFO processing keeps this linear and is
+    // deterministic, which is all the callers need.
+    let mut frontier: Vec<NodeId> = graph
+        .node_ids()
+        .filter(|n| in_degree[n.index()] == 0)
+        .collect();
+    frontier.sort_unstable();
+    let mut queue: VecDeque<NodeId> = frontier.into();
+    let mut order = Vec::with_capacity(graph.node_count());
+    while let Some(node) = queue.pop_front() {
+        order.push(node);
+        let mut newly_free: Vec<NodeId> = Vec::new();
+        for succ in graph.successors(node) {
+            let d = &mut in_degree[succ.index()];
+            *d -= 1;
+            if *d == 0 {
+                newly_free.push(succ);
+            }
+        }
+        newly_free.sort_unstable();
+        newly_free.dedup();
+        for n in newly_free {
+            queue.push_back(n);
+        }
+    }
+    if order.len() != graph.node_count() {
+        let culprit = graph
+            .node_ids()
+            .find(|n| live[n.index()] && !order.contains(n))
+            .expect("cycle implies at least one unordered node");
+        return Err(GraphError::CycleDetected(culprit));
+    }
+    Ok(order)
+}
+
+/// Returns `true` if the graph is a directed acyclic graph.
+pub fn is_acyclic<N, E>(graph: &DiGraph<N, E>) -> bool {
+    topological_sort(graph).is_ok()
+}
+
+/// Returns the position of every node in a topological order as a dense
+/// lookup table indexed by [`NodeId::index`]. Positions of removed nodes are
+/// `usize::MAX`.
+///
+/// # Errors
+/// Returns [`GraphError::CycleDetected`] for cyclic graphs.
+pub fn topological_positions<N, E>(graph: &DiGraph<N, E>) -> Result<Vec<usize>, GraphError> {
+    let order = topological_sort(graph)?;
+    let mut positions = vec![usize::MAX; graph.node_bound()];
+    for (pos, node) in order.iter().enumerate() {
+        positions[node.index()] = pos;
+    }
+    Ok(positions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topological_sort_orders_dependencies_first() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        g.add_edge(a, b, ()).unwrap();
+        g.add_edge(a, c, ()).unwrap();
+        g.add_edge(b, d, ()).unwrap();
+        g.add_edge(c, d, ()).unwrap();
+        let order = topological_sort(&g).unwrap();
+        let pos = |n: NodeId| order.iter().position(|&x| x == n).unwrap();
+        assert!(pos(a) < pos(b));
+        assert!(pos(a) < pos(c));
+        assert!(pos(b) < pos(d));
+        assert!(pos(c) < pos(d));
+        assert_eq!(order.len(), 4);
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, ()).unwrap();
+        g.add_edge(b, c, ()).unwrap();
+        g.add_edge(c, a, ()).unwrap();
+        assert!(matches!(
+            topological_sort(&g),
+            Err(GraphError::CycleDetected(_))
+        ));
+        assert!(!is_acyclic(&g));
+    }
+
+    #[test]
+    fn empty_graph_is_acyclic() {
+        let g: DiGraph<(), ()> = DiGraph::new();
+        assert!(is_acyclic(&g));
+        assert!(topological_sort(&g).unwrap().is_empty());
+    }
+
+    #[test]
+    fn removed_nodes_are_skipped() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, ()).unwrap();
+        g.add_edge(b, c, ()).unwrap();
+        g.remove_node(b).unwrap();
+        let order = topological_sort(&g).unwrap();
+        assert_eq!(order.len(), 2);
+        assert!(order.contains(&a));
+        assert!(order.contains(&c));
+    }
+
+    #[test]
+    fn positions_match_order() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ()).unwrap();
+        let positions = topological_positions(&g).unwrap();
+        assert!(positions[a.index()] < positions[b.index()]);
+    }
+
+    #[test]
+    fn disconnected_components_all_appear() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let nodes: Vec<NodeId> = (0..6).map(|_| g.add_node(())).collect();
+        g.add_edge(nodes[0], nodes[1], ()).unwrap();
+        g.add_edge(nodes[2], nodes[3], ()).unwrap();
+        // nodes[4] and nodes[5] are isolated
+        let order = topological_sort(&g).unwrap();
+        assert_eq!(order.len(), 6);
+    }
+}

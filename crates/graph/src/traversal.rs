@@ -1,0 +1,204 @@
+//! Breadth-first and depth-first traversal helpers.
+
+use std::collections::VecDeque;
+
+use crate::bitset::FixedBitSet;
+use crate::digraph::DiGraph;
+use crate::id::NodeId;
+
+/// Direction in which a traversal follows edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Follow edges from source to target (descendants).
+    Forward,
+    /// Follow edges from target to source (ancestors).
+    Backward,
+}
+
+/// Breadth-first traversal from a set of start nodes.
+///
+/// Visits each reachable node exactly once, including the start nodes.
+pub fn bfs<N, E>(graph: &DiGraph<N, E>, starts: &[NodeId], direction: Direction) -> Vec<NodeId> {
+    let mut visited = FixedBitSet::with_capacity(graph.node_bound());
+    let mut queue: VecDeque<NodeId> = VecDeque::new();
+    let mut order = Vec::new();
+    for &start in starts {
+        if graph.contains_node(start) && visited.insert(start.index()) {
+            queue.push_back(start);
+        }
+    }
+    while let Some(node) = queue.pop_front() {
+        order.push(node);
+        let neighbours: Vec<NodeId> = match direction {
+            Direction::Forward => graph.successors(node).collect(),
+            Direction::Backward => graph.predecessors(node).collect(),
+        };
+        for next in neighbours {
+            if visited.insert(next.index()) {
+                queue.push_back(next);
+            }
+        }
+    }
+    order
+}
+
+/// Depth-first preorder traversal from a set of start nodes.
+pub fn dfs<N, E>(graph: &DiGraph<N, E>, starts: &[NodeId], direction: Direction) -> Vec<NodeId> {
+    let mut visited = FixedBitSet::with_capacity(graph.node_bound());
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut order = Vec::new();
+    for &start in starts.iter().rev() {
+        if graph.contains_node(start) {
+            stack.push(start);
+        }
+    }
+    while let Some(node) = stack.pop() {
+        if !visited.insert(node.index()) {
+            continue;
+        }
+        order.push(node);
+        let mut neighbours: Vec<NodeId> = match direction {
+            Direction::Forward => graph.successors(node).collect(),
+            Direction::Backward => graph.predecessors(node).collect(),
+        };
+        neighbours.reverse();
+        for next in neighbours {
+            if !visited.contains(next.index()) {
+                stack.push(next);
+            }
+        }
+    }
+    order
+}
+
+/// Returns the set of nodes reachable from `starts` (inclusive) as a bit set
+/// indexed by [`NodeId::index`].
+pub fn reachable_set<N, E>(
+    graph: &DiGraph<N, E>,
+    starts: &[NodeId],
+    direction: Direction,
+) -> FixedBitSet {
+    let mut set = FixedBitSet::with_capacity(graph.node_bound());
+    for node in bfs(graph, starts, direction) {
+        set.insert(node.index());
+    }
+    set
+}
+
+/// Finds one shortest directed path from `from` to `to` (inclusive of both
+/// endpoints), or `None` if `to` is unreachable. A path from a node to itself
+/// is the single-node path `[from]`.
+pub fn shortest_path<N, E>(graph: &DiGraph<N, E>, from: NodeId, to: NodeId) -> Option<Vec<NodeId>> {
+    if !graph.contains_node(from) || !graph.contains_node(to) {
+        return None;
+    }
+    if from == to {
+        return Some(vec![from]);
+    }
+    let bound = graph.node_bound();
+    let mut visited = FixedBitSet::with_capacity(bound);
+    let mut parent: Vec<Option<NodeId>> = vec![None; bound];
+    let mut queue = VecDeque::new();
+    visited.insert(from.index());
+    queue.push_back(from);
+    while let Some(node) = queue.pop_front() {
+        for next in graph.successors(node).collect::<Vec<_>>() {
+            if visited.insert(next.index()) {
+                parent[next.index()] = Some(node);
+                if next == to {
+                    let mut path = vec![to];
+                    let mut cur = to;
+                    while let Some(p) = parent[cur.index()] {
+                        path.push(p);
+                        cur = p;
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(next);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_with_branch() -> (DiGraph<usize, ()>, Vec<NodeId>) {
+        // 0 -> 1 -> 2 -> 4
+        //       \-> 3 ---^
+        let mut g = DiGraph::new();
+        let n: Vec<NodeId> = (0..5).map(|i| g.add_node(i)).collect();
+        g.add_edge(n[0], n[1], ()).unwrap();
+        g.add_edge(n[1], n[2], ()).unwrap();
+        g.add_edge(n[1], n[3], ()).unwrap();
+        g.add_edge(n[2], n[4], ()).unwrap();
+        g.add_edge(n[3], n[4], ()).unwrap();
+        (g, n)
+    }
+
+    #[test]
+    fn bfs_visits_each_node_once_in_level_order() {
+        let (g, n) = chain_with_branch();
+        let order = bfs(&g, &[n[0]], Direction::Forward);
+        assert_eq!(order, vec![n[0], n[1], n[2], n[3], n[4]]);
+    }
+
+    #[test]
+    fn bfs_backward_finds_ancestors() {
+        let (g, n) = chain_with_branch();
+        let order = bfs(&g, &[n[4]], Direction::Backward);
+        assert_eq!(order.len(), 5);
+        assert_eq!(order[0], n[4]);
+        assert!(order.contains(&n[0]));
+    }
+
+    #[test]
+    fn dfs_preorder_is_depth_first() {
+        let (g, n) = chain_with_branch();
+        let order = dfs(&g, &[n[0]], Direction::Forward);
+        assert_eq!(order[0], n[0]);
+        assert_eq!(order[1], n[1]);
+        // after n[2] the traversal must dive to n[4] before visiting n[3]
+        assert_eq!(order[2], n[2]);
+        assert_eq!(order[3], n[4]);
+        assert_eq!(order[4], n[3]);
+    }
+
+    #[test]
+    fn reachable_set_contains_start_and_descendants() {
+        let (g, n) = chain_with_branch();
+        let set = reachable_set(&g, &[n[1]], Direction::Forward);
+        assert!(set.contains(n[1].index()));
+        assert!(set.contains(n[4].index()));
+        assert!(!set.contains(n[0].index()));
+    }
+
+    #[test]
+    fn shortest_path_finds_a_minimal_route() {
+        let (g, n) = chain_with_branch();
+        let path = shortest_path(&g, n[0], n[4]).unwrap();
+        assert_eq!(path.len(), 4);
+        assert_eq!(path[0], n[0]);
+        assert_eq!(path[3], n[4]);
+        assert_eq!(shortest_path(&g, n[4], n[0]), None);
+        assert_eq!(shortest_path(&g, n[2], n[2]), Some(vec![n[2]]));
+    }
+
+    #[test]
+    fn traversal_from_multiple_starts() {
+        let (g, n) = chain_with_branch();
+        let order = bfs(&g, &[n[2], n[3]], Direction::Forward);
+        assert_eq!(order.len(), 3);
+        assert!(order.contains(&n[4]));
+    }
+
+    #[test]
+    fn traversal_ignores_unknown_starts() {
+        let (g, _) = chain_with_branch();
+        let order = bfs(&g, &[NodeId::from_index(99)], Direction::Forward);
+        assert!(order.is_empty());
+    }
+}

@@ -1,0 +1,82 @@
+//! Errors of the import/export layer.
+
+use std::fmt;
+
+/// Errors raised while parsing or generating MOML / text-format documents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MomlError {
+    /// Malformed XML input; the payload describes the problem and the byte
+    /// offset where it was detected.
+    Xml {
+        /// Human-readable description.
+        message: String,
+        /// Byte offset into the input.
+        offset: usize,
+    },
+    /// The XML was well-formed but not a valid MOML workflow document.
+    Structure(String),
+    /// A link referenced an entity or relation that was never declared.
+    DanglingReference(String),
+    /// Error bubbled up from workflow construction (duplicate names,
+    /// cycles, partition violations).
+    Workflow(wolves_workflow::WorkflowError),
+    /// Malformed native text-format input (line number, description).
+    Text {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for MomlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MomlError::Xml { message, offset } => {
+                write!(f, "XML error at byte {offset}: {message}")
+            }
+            MomlError::Structure(message) => write!(f, "not a MOML workflow: {message}"),
+            MomlError::DanglingReference(name) => {
+                write!(f, "link references undeclared name '{name}'")
+            }
+            MomlError::Workflow(e) => write!(f, "workflow error: {e}"),
+            MomlError::Text { line, message } => {
+                write!(f, "text format error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MomlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MomlError::Workflow(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<wolves_workflow::WorkflowError> for MomlError {
+    fn from(e: wolves_workflow::WorkflowError) -> Self {
+        MomlError::Workflow(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_position_information() {
+        let e = MomlError::Xml {
+            message: "unexpected '<'".into(),
+            offset: 17,
+        };
+        assert!(e.to_string().contains("byte 17"));
+        let e = MomlError::Text {
+            line: 3,
+            message: "unknown directive".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Workflow specification + view → MOML.
+
+use std::fmt::Write as _;
+
+use wolves_workflow::{WorkflowSpec, WorkflowView};
+
+use crate::model::{ATOMIC_CLASS, COMPOSITE_CLASS, RELATION_CLASS};
+use crate::xml::escape_attribute;
+
+/// Serialises a workflow (and optionally a view) as a MOML document that
+/// [`crate::import::from_moml`] reads back.
+///
+/// When a view is given, each non-singleton composite task becomes a nested
+/// composite entity; singleton composites are emitted as plain atomic
+/// entities (this matches how view tools author MOML and keeps the output
+/// readable).
+#[must_use]
+pub fn to_moml(spec: &WorkflowSpec, view: Option<&WorkflowView>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, r#"<?xml version="1.0" standalone="no"?>"#);
+    let _ = writeln!(
+        out,
+        r#"<entity name="{}" class="{}">"#,
+        escape_attribute(spec.name()),
+        COMPOSITE_CLASS
+    );
+
+    let composite_of = |task| view.and_then(|v| v.composite_of(task));
+    let mut emitted: std::collections::BTreeSet<wolves_workflow::TaskId> =
+        std::collections::BTreeSet::new();
+
+    if let Some(view) = view {
+        for (_, composite) in view.composites() {
+            if composite.is_singleton() {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                r#"  <entity name="{}" class="{}">"#,
+                escape_attribute(&composite.name),
+                COMPOSITE_CLASS
+            );
+            for &member in composite.members() {
+                if let Ok(task) = spec.task(member) {
+                    let class = task
+                        .params
+                        .get("class")
+                        .cloned()
+                        .unwrap_or_else(|| ATOMIC_CLASS.to_owned());
+                    let _ = writeln!(
+                        out,
+                        r#"    <entity name="{}" class="{}"/>"#,
+                        escape_attribute(&task.name),
+                        escape_attribute(&class)
+                    );
+                    emitted.insert(member);
+                }
+            }
+            let _ = writeln!(out, "  </entity>");
+        }
+    }
+    for (id, task) in spec.tasks() {
+        if emitted.contains(&id) {
+            continue;
+        }
+        // singleton composites and un-viewed tasks are emitted flat
+        let _ = composite_of(id);
+        let class = task
+            .params
+            .get("class")
+            .cloned()
+            .unwrap_or_else(|| ATOMIC_CLASS.to_owned());
+        let _ = writeln!(
+            out,
+            r#"  <entity name="{}" class="{}"/>"#,
+            escape_attribute(&task.name),
+            escape_attribute(&class)
+        );
+    }
+
+    for (index, (from, to)) in spec.dependencies().enumerate() {
+        let _ = writeln!(
+            out,
+            r#"  <relation name="r{index}" class="{RELATION_CLASS}"/>"#
+        );
+        let from_name = spec.task(from).map(|t| t.name.clone()).unwrap_or_default();
+        let to_name = spec.task(to).map(|t| t.name.clone()).unwrap_or_default();
+        let _ = writeln!(
+            out,
+            r#"  <link port="{}.output" relation="r{index}"/>"#,
+            escape_attribute(&from_name)
+        );
+        let _ = writeln!(
+            out,
+            r#"  <link port="{}.input" relation="r{index}"/>"#,
+            escape_attribute(&to_name)
+        );
+    }
+    let _ = writeln!(out, "</entity>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::import::from_moml;
+    use wolves_repo::figure1;
+
+    #[test]
+    fn figure1_round_trips_through_moml() {
+        let fixture = figure1();
+        let moml = to_moml(&fixture.spec, Some(&fixture.view));
+        let imported = from_moml(&moml).unwrap();
+        assert_eq!(imported.spec.task_count(), fixture.spec.task_count());
+        assert_eq!(
+            imported.spec.dependency_count(),
+            fixture.spec.dependency_count()
+        );
+        let view = imported.view.expect("view was exported");
+        assert_eq!(view.composite_count(), fixture.view.composite_count());
+        // the re-imported view is still unsound in exactly one composite
+        let report = wolves_core::validate::validate(&imported.spec, &view);
+        assert_eq!(report.unsound_composites().len(), 1);
+    }
+
+    #[test]
+    fn spec_only_export_omits_composites() {
+        let fixture = figure1();
+        let moml = to_moml(&fixture.spec, None);
+        assert!(!moml.contains(COMPOSITE_CLASS.to_owned().as_str()) || moml.matches(COMPOSITE_CLASS).count() == 1);
+        let imported = from_moml(&moml).unwrap();
+        assert!(imported.view.is_none());
+        assert_eq!(imported.spec.task_count(), 12);
+    }
+
+    #[test]
+    fn task_names_with_special_characters_survive() {
+        let mut builder = wolves_workflow::WorkflowBuilder::new("weird & <wonderful>");
+        let a = builder.task("select \"entries\"");
+        let b = builder.task("align & format");
+        builder.edge(a, b).unwrap();
+        let spec = builder.build().unwrap();
+        let moml = to_moml(&spec, None);
+        let imported = from_moml(&moml).unwrap();
+        assert_eq!(imported.spec.name(), "weird & <wonderful>");
+        assert!(imported.spec.task_by_name("select \"entries\"").is_some());
+        assert_eq!(imported.spec.dependency_count(), 1);
+    }
+}

@@ -1,0 +1,260 @@
+//! The MOML document model used by the importer and exporter.
+//!
+//! MOML (Modeling Markup Language) describes Ptolemy II / Kepler models as
+//! nested *entities* connected through *relations* by *links* between ports.
+//! The subset relevant for WOLVES:
+//!
+//! * the root `<entity>` is the workflow;
+//! * nested leaf `<entity>` elements are atomic tasks;
+//! * nested composite `<entity>` elements (class `…TypedCompositeActor`)
+//!   are the composite tasks of a pre-defined view, their children the
+//!   member atomic tasks;
+//! * `<relation>` elements plus `<link port="Task.output" relation="r"/>` /
+//!   `<link port="Task.input" relation="r"/>` pairs encode data
+//!   dependencies.
+
+use crate::error::MomlError;
+use crate::xml::XmlElement;
+
+/// Class name MOML uses for composite actors.
+pub const COMPOSITE_CLASS: &str = "ptolemy.actor.TypedCompositeActor";
+/// Class name used for generated atomic actors.
+pub const ATOMIC_CLASS: &str = "ptolemy.actor.TypedAtomicActor";
+/// Class name used for relations.
+pub const RELATION_CLASS: &str = "ptolemy.actor.TypedIORelation";
+
+/// One atomic actor (task) of a MOML document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MomlAtomicEntity {
+    /// Entity name (unique within the document).
+    pub name: String,
+    /// Entity class.
+    pub class: String,
+    /// Name of the composite entity containing it, if any.
+    pub parent_composite: Option<String>,
+}
+
+/// One composite actor of a MOML document — a candidate composite task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MomlCompositeEntity {
+    /// Entity name.
+    pub name: String,
+    /// Names of the member atomic entities.
+    pub members: Vec<String>,
+}
+
+/// A dataflow connection extracted from relations and links.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MomlConnection {
+    /// Name of the producing entity.
+    pub from: String,
+    /// Name of the consuming entity.
+    pub to: String,
+}
+
+/// The parsed MOML document, flattened into the parts WOLVES needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MomlDocument {
+    /// Workflow name (root entity name).
+    pub name: String,
+    /// All atomic entities in document order.
+    pub atomics: Vec<MomlAtomicEntity>,
+    /// All composite entities (the pre-defined view, if any).
+    pub composites: Vec<MomlCompositeEntity>,
+    /// Dataflow connections.
+    pub connections: Vec<MomlConnection>,
+}
+
+impl MomlDocument {
+    /// Builds the document model from a parsed XML root element.
+    ///
+    /// # Errors
+    /// Fails when the root is not an `entity`, when links reference unknown
+    /// relations/entities, or when ports are not of the `Name.port` form.
+    pub fn from_xml(root: &XmlElement) -> Result<Self, MomlError> {
+        if root.name != "entity" {
+            return Err(MomlError::Structure(format!(
+                "root element must be <entity>, found <{}>",
+                root.name
+            )));
+        }
+        let name = root
+            .attribute("name")
+            .unwrap_or("imported-workflow")
+            .to_owned();
+        let mut doc = MomlDocument {
+            name,
+            atomics: Vec::new(),
+            composites: Vec::new(),
+            connections: Vec::new(),
+        };
+        // entities (one level of composite nesting, as produced by view tools)
+        for child in root.children_named("entity") {
+            let child_name = child
+                .attribute("name")
+                .ok_or_else(|| MomlError::Structure("entity without a name".into()))?
+                .to_owned();
+            let class = child.attribute("class").unwrap_or(ATOMIC_CLASS).to_owned();
+            let is_composite =
+                class.contains("CompositeActor") || child.children_named("entity").count() > 0;
+            if is_composite {
+                let mut members = Vec::new();
+                for grandchild in child.children_named("entity") {
+                    let member_name = grandchild
+                        .attribute("name")
+                        .ok_or_else(|| MomlError::Structure("entity without a name".into()))?
+                        .to_owned();
+                    doc.atomics.push(MomlAtomicEntity {
+                        name: member_name.clone(),
+                        class: grandchild.attribute("class").unwrap_or(ATOMIC_CLASS).to_owned(),
+                        parent_composite: Some(child_name.clone()),
+                    });
+                    members.push(member_name);
+                }
+                doc.composites.push(MomlCompositeEntity {
+                    name: child_name,
+                    members,
+                });
+            } else {
+                doc.atomics.push(MomlAtomicEntity {
+                    name: child_name,
+                    class,
+                    parent_composite: None,
+                });
+            }
+        }
+        // relations and links: collect, per relation, the producing and
+        // consuming entities, then emit the cross product as connections
+        let mut relations: Vec<String> = Vec::new();
+        for relation in root.children_named("relation") {
+            let rel_name = relation
+                .attribute("name")
+                .ok_or_else(|| MomlError::Structure("relation without a name".into()))?;
+            relations.push(rel_name.to_owned());
+        }
+        let known_entity = |name: &str| doc.atomics.iter().any(|a| a.name == name);
+        let mut producers: Vec<(String, Vec<String>)> =
+            relations.iter().map(|r| (r.clone(), Vec::new())).collect();
+        let mut consumers: Vec<(String, Vec<String>)> =
+            relations.iter().map(|r| (r.clone(), Vec::new())).collect();
+        for link in root.children_named("link") {
+            let port = link
+                .attribute("port")
+                .ok_or_else(|| MomlError::Structure("link without a port".into()))?;
+            let relation = link
+                .attribute("relation")
+                .ok_or_else(|| MomlError::Structure("link without a relation".into()))?;
+            let (entity, port_name) = port.rsplit_once('.').ok_or_else(|| {
+                MomlError::Structure(format!("port '{port}' is not of the form Entity.port"))
+            })?;
+            if !known_entity(entity) {
+                return Err(MomlError::DanglingReference(entity.to_owned()));
+            }
+            let bucket = if port_name.contains("out") {
+                &mut producers
+            } else {
+                &mut consumers
+            };
+            let slot = bucket
+                .iter_mut()
+                .find(|(r, _)| r == relation)
+                .ok_or_else(|| MomlError::DanglingReference(relation.to_owned()))?;
+            slot.1.push(entity.to_owned());
+        }
+        for ((relation, from_list), (_, to_list)) in producers.iter().zip(consumers.iter()) {
+            let _ = relation;
+            for from in from_list {
+                for to in to_list {
+                    if from != to {
+                        doc.connections.push(MomlConnection {
+                            from: from.clone(),
+                            to: to.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(doc)
+    }
+
+    /// `true` when the document carries a pre-defined view (at least one
+    /// composite entity).
+    #[must_use]
+    pub fn has_view(&self) -> bool {
+        !self.composites.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xml::parse;
+
+    const SAMPLE: &str = r#"<?xml version="1.0"?>
+<entity name="phylo" class="ptolemy.actor.TypedCompositeActor">
+  <entity name="Select" class="org.kepler.Select"/>
+  <entity name="Group16" class="ptolemy.actor.TypedCompositeActor">
+    <entity name="Curate" class="org.kepler.Curate"/>
+    <entity name="Align" class="org.kepler.Align"/>
+  </entity>
+  <relation name="r1" class="ptolemy.actor.TypedIORelation"/>
+  <relation name="r2" class="ptolemy.actor.TypedIORelation"/>
+  <link port="Select.output" relation="r1"/>
+  <link port="Curate.input" relation="r1"/>
+  <link port="Curate.output" relation="r2"/>
+  <link port="Align.input" relation="r2"/>
+</entity>"#;
+
+    #[test]
+    fn sample_document_is_flattened() {
+        let doc = MomlDocument::from_xml(&parse(SAMPLE).unwrap()).unwrap();
+        assert_eq!(doc.name, "phylo");
+        assert_eq!(doc.atomics.len(), 3);
+        assert_eq!(doc.composites.len(), 1);
+        assert!(doc.has_view());
+        assert_eq!(doc.composites[0].members, vec!["Curate", "Align"]);
+        assert_eq!(
+            doc.connections,
+            vec![
+                MomlConnection { from: "Select".into(), to: "Curate".into() },
+                MomlConnection { from: "Curate".into(), to: "Align".into() },
+            ]
+        );
+        let curate = doc.atomics.iter().find(|a| a.name == "Curate").unwrap();
+        assert_eq!(curate.parent_composite.as_deref(), Some("Group16"));
+    }
+
+    #[test]
+    fn links_to_unknown_entities_are_rejected() {
+        let doc = r#"<entity name="w">
+  <entity name="a" class="X"/>
+  <relation name="r1" class="R"/>
+  <link port="ghost.output" relation="r1"/>
+</entity>"#;
+        let err = MomlDocument::from_xml(&parse(doc).unwrap()).unwrap_err();
+        assert!(matches!(err, MomlError::DanglingReference(name) if name == "ghost"));
+    }
+
+    #[test]
+    fn links_to_unknown_relations_are_rejected() {
+        let doc = r#"<entity name="w">
+  <entity name="a" class="X"/>
+  <link port="a.output" relation="nope"/>
+</entity>"#;
+        let err = MomlDocument::from_xml(&parse(doc).unwrap()).unwrap_err();
+        assert!(matches!(err, MomlError::DanglingReference(name) if name == "nope"));
+    }
+
+    #[test]
+    fn non_entity_roots_are_rejected() {
+        let err = MomlDocument::from_xml(&parse("<model name=\"x\"/>").unwrap()).unwrap_err();
+        assert!(matches!(err, MomlError::Structure(_)));
+    }
+
+    #[test]
+    fn documents_without_composites_have_no_view() {
+        let doc = r#"<entity name="w"><entity name="a" class="X"/></entity>"#;
+        let doc = MomlDocument::from_xml(&parse(doc).unwrap()).unwrap();
+        assert!(!doc.has_view());
+    }
+}

@@ -1,0 +1,387 @@
+//! A minimal XML reader sufficient for MOML documents.
+//!
+//! Supported: nested elements, attributes in single or double quotes,
+//! self-closing tags, comments, XML declarations / processing instructions,
+//! DOCTYPE lines, character data (collected but unused by MOML), and the
+//! five predefined entities (`&lt; &gt; &amp; &quot; &apos;`) plus decimal
+//! and hexadecimal character references. Namespaces, CDATA sections and DTD
+//! internal subsets are out of scope — MOML does not use them.
+
+use crate::error::MomlError;
+
+/// An XML element: name, attributes and child elements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlElement {
+    /// Tag name.
+    pub name: String,
+    /// Attributes in document order.
+    pub attributes: Vec<(String, String)>,
+    /// Child elements in document order (text content is not preserved —
+    /// MOML is attribute-only).
+    pub children: Vec<XmlElement>,
+}
+
+impl XmlElement {
+    /// Creates an element with no attributes or children.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        XmlElement {
+            name: name.into(),
+            attributes: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Looks up an attribute value by name.
+    #[must_use]
+    pub fn attribute(&self, name: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Iterates over the child elements with the given tag name.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a XmlElement> {
+        self.children.iter().filter(move |c| c.name == name)
+    }
+}
+
+/// Parses an XML document and returns its root element.
+///
+/// # Errors
+/// Returns [`MomlError::Xml`] for malformed input.
+pub fn parse(input: &str) -> Result<XmlElement, MomlError> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_prolog()?;
+    let root = parser.parse_element()?;
+    parser.skip_misc();
+    if parser.pos < parser.bytes.len() {
+        return Err(parser.error("trailing content after the root element"));
+    }
+    Ok(root)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> MomlError {
+        MomlError::Xml {
+            message: message.to_owned(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, prefix: &str) -> bool {
+        self.bytes[self.pos..].starts_with(prefix.as_bytes())
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Skips the XML declaration, comments, DOCTYPE and whitespace before
+    /// the root element.
+    fn skip_prolog(&mut self) -> Result<(), MomlError> {
+        loop {
+            self.skip_whitespace();
+            if self.starts_with("<?") {
+                self.skip_until("?>")?;
+            } else if self.starts_with("<!--") {
+                self.skip_until("-->")?;
+            } else if self.starts_with("<!DOCTYPE") || self.starts_with("<!doctype") {
+                self.skip_until(">")?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Skips comments and whitespace after the root element.
+    fn skip_misc(&mut self) {
+        loop {
+            self.skip_whitespace();
+            if self.starts_with("<!--") {
+                if self.skip_until("-->").is_err() {
+                    return;
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn skip_until(&mut self, marker: &str) -> Result<(), MomlError> {
+        match find_from(self.bytes, self.pos, marker.as_bytes()) {
+            Some(found) => {
+                self.pos = found + marker.len();
+                Ok(())
+            }
+            None => Err(self.error(&format!("unterminated construct, expected '{marker}'"))),
+        }
+    }
+
+    fn parse_element(&mut self) -> Result<XmlElement, MomlError> {
+        self.skip_whitespace();
+        if self.peek() != Some(b'<') {
+            return Err(self.error("expected '<'"));
+        }
+        self.pos += 1;
+        let name = self.parse_name()?;
+        let mut element = XmlElement::new(name);
+        loop {
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek() != Some(b'>') {
+                        return Err(self.error("expected '>' after '/'"));
+                    }
+                    self.pos += 1;
+                    return Ok(element);
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    self.parse_children(&mut element)?;
+                    return Ok(element);
+                }
+                Some(_) => {
+                    let key = self.parse_name()?;
+                    self.skip_whitespace();
+                    if self.peek() != Some(b'=') {
+                        return Err(self.error("expected '=' in attribute"));
+                    }
+                    self.pos += 1;
+                    self.skip_whitespace();
+                    let value = self.parse_quoted_value()?;
+                    element.attributes.push((key, value));
+                }
+                None => return Err(self.error("unexpected end of input inside a tag")),
+            }
+        }
+    }
+
+    fn parse_children(&mut self, element: &mut XmlElement) -> Result<(), MomlError> {
+        loop {
+            // skip character data (MOML carries no meaningful text nodes)
+            while self.peek().is_some() && self.peek() != Some(b'<') {
+                self.pos += 1;
+            }
+            if self.peek().is_none() {
+                return Err(self.error(&format!("unterminated element <{}>", element.name)));
+            }
+            if self.starts_with("<!--") {
+                self.skip_until("-->")?;
+                continue;
+            }
+            if self.starts_with("<?") {
+                self.skip_until("?>")?;
+                continue;
+            }
+            if self.starts_with("</") {
+                self.pos += 2;
+                let closing = self.parse_name()?;
+                if closing != element.name {
+                    return Err(self.error(&format!(
+                        "mismatched closing tag </{closing}> for <{}>",
+                        element.name
+                    )));
+                }
+                self.skip_whitespace();
+                if self.peek() != Some(b'>') {
+                    return Err(self.error("expected '>' in closing tag"));
+                }
+                self.pos += 1;
+                return Ok(());
+            }
+            let child = self.parse_element()?;
+            element.children.push(child);
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String, MomlError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            let c = b as char;
+            if c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.' | ':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.error("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+    }
+
+    fn parse_quoted_value(&mut self) -> Result<String, MomlError> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.error("expected a quoted attribute value")),
+        };
+        self.pos += 1;
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == quote {
+                let raw = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                self.pos += 1;
+                return unescape(&raw).map_err(|message| MomlError::Xml {
+                    message,
+                    offset: start,
+                });
+            }
+            self.pos += 1;
+        }
+        Err(self.error("unterminated attribute value"))
+    }
+}
+
+fn find_from(haystack: &[u8], from: usize, needle: &[u8]) -> Option<usize> {
+    if from >= haystack.len() {
+        return None;
+    }
+    haystack[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|p| p + from)
+}
+
+/// Expands XML entity and character references in attribute values.
+fn unescape(raw: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(raw.len());
+    let mut rest = raw;
+    while let Some(pos) = rest.find('&') {
+        out.push_str(&rest[..pos]);
+        rest = &rest[pos..];
+        let end = rest
+            .find(';')
+            .ok_or_else(|| "unterminated entity reference".to_owned())?;
+        let entity = &rest[1..end];
+        match entity {
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "amp" => out.push('&'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if entity.starts_with("#x") || entity.starts_with("#X") => {
+                let code = u32::from_str_radix(&entity[2..], 16)
+                    .map_err(|_| format!("bad character reference '&{entity};'"))?;
+                out.push(char::from_u32(code).ok_or("invalid character code")?);
+            }
+            _ if entity.starts_with('#') => {
+                let code: u32 = entity[1..]
+                    .parse()
+                    .map_err(|_| format!("bad character reference '&{entity};'"))?;
+                out.push(char::from_u32(code).ok_or("invalid character code")?);
+            }
+            _ => return Err(format!("unknown entity '&{entity};'")),
+        }
+        rest = &rest[end + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+/// Escapes a string for use inside a double-quoted XML attribute.
+#[must_use]
+pub fn escape_attribute(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_elements_and_attributes() {
+        let doc = r#"<?xml version="1.0"?>
+<!-- a MOML-ish document -->
+<entity name="wf" class="ptolemy.actor.TypedCompositeActor">
+  <entity name="t1" class="Leaf"/>
+  <relation name="r1" class="TypedIORelation"></relation>
+  <link port="t1.output" relation="r1"/>
+</entity>"#;
+        let root = parse(doc).unwrap();
+        assert_eq!(root.name, "entity");
+        assert_eq!(root.attribute("name"), Some("wf"));
+        assert_eq!(root.children.len(), 3);
+        assert_eq!(root.children_named("entity").count(), 1);
+        assert_eq!(root.children_named("link").count(), 1);
+        assert_eq!(
+            root.children_named("link").next().unwrap().attribute("port"),
+            Some("t1.output")
+        );
+    }
+
+    #[test]
+    fn entities_in_attributes_are_unescaped() {
+        let doc = r#"<e name="a &amp; b &lt;tag&gt; &#65;&#x42;"/>"#;
+        let root = parse(doc).unwrap();
+        assert_eq!(root.attribute("name"), Some("a & b <tag> AB"));
+    }
+
+    #[test]
+    fn single_quoted_attributes_work() {
+        let root = parse("<e name='it\"s fine'/>").unwrap();
+        assert_eq!(root.attribute("name"), Some("it\"s fine"));
+    }
+
+    #[test]
+    fn mismatched_tags_are_rejected() {
+        let err = parse("<a><b></a></a>").unwrap_err();
+        assert!(matches!(err, MomlError::Xml { .. }));
+        assert!(err.to_string().contains("mismatched"));
+    }
+
+    #[test]
+    fn unterminated_documents_are_rejected() {
+        assert!(parse("<a><b/>").is_err());
+        assert!(parse("<a attr=\"x>").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected_but_comments_allowed() {
+        assert!(parse("<a/><b/>").is_err());
+        assert!(parse("<a/>\n<!-- fine -->\n").is_ok());
+    }
+
+    #[test]
+    fn doctype_and_processing_instructions_are_skipped() {
+        let doc = "<?xml version=\"1.0\" standalone=\"no\"?>\n<!DOCTYPE entity PUBLIC \"x\" \"y\">\n<entity name=\"e\"/>";
+        let root = parse(doc).unwrap();
+        assert_eq!(root.attribute("name"), Some("e"));
+    }
+
+    #[test]
+    fn escape_round_trips() {
+        let original = "a<b>&\"c'";
+        let doc = format!("<e v=\"{}\"/>", escape_attribute(original));
+        let root = parse(&doc).unwrap();
+        assert_eq!(root.attribute("v"), Some(original));
+    }
+}

@@ -1,0 +1,132 @@
+//! Accuracy of view-level provenance answers.
+
+use std::collections::BTreeSet;
+
+use wolves_workflow::TaskId;
+
+use crate::query::ProvenanceAnswer;
+
+/// Precision/recall of a view-level provenance answer against the
+/// workflow-level ground truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProvenanceAccuracy {
+    /// Fraction of reported tasks that are truly in the provenance
+    /// (1.0 when nothing spurious is reported; 1.0 for empty reports).
+    pub precision: f64,
+    /// Fraction of true provenance tasks that were reported.
+    pub recall: f64,
+    /// Tasks reported although they are not in the true provenance.
+    pub spurious: BTreeSet<TaskId>,
+    /// True provenance tasks that were not reported.
+    pub missing: BTreeSet<TaskId>,
+}
+
+impl ProvenanceAccuracy {
+    /// `true` when the answer is exactly the ground truth.
+    #[must_use]
+    pub fn is_exact(&self) -> bool {
+        self.spurious.is_empty() && self.missing.is_empty()
+    }
+}
+
+/// Compares a view-level answer against the workflow-level ground truth for
+/// the same subject.
+///
+/// # Panics
+/// Panics if the two answers refer to different subjects — comparing them
+/// would be meaningless.
+#[must_use]
+pub fn compare_to_ground_truth(
+    truth: &ProvenanceAnswer,
+    answer: &ProvenanceAnswer,
+) -> ProvenanceAccuracy {
+    assert_eq!(
+        truth.subject, answer.subject,
+        "accuracy comparison requires answers about the same task"
+    );
+    let spurious: BTreeSet<TaskId> = answer
+        .tasks
+        .difference(&truth.tasks)
+        .copied()
+        .collect();
+    let missing: BTreeSet<TaskId> = truth
+        .tasks
+        .difference(&answer.tasks)
+        .copied()
+        .collect();
+    let true_positives = answer.tasks.len() - spurious.len();
+    let precision = if answer.tasks.is_empty() {
+        1.0
+    } else {
+        true_positives as f64 / answer.tasks.len() as f64
+    };
+    let recall = if truth.tasks.is_empty() {
+        1.0
+    } else {
+        true_positives as f64 / truth.tasks.len() as f64
+    };
+    ProvenanceAccuracy {
+        precision,
+        recall,
+        spurious,
+        missing,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{view_level_provenance, workflow_level_provenance};
+    use wolves_core::correct::{correct_view, StrongCorrector};
+    use wolves_repo::figure1;
+
+    #[test]
+    fn unsound_views_lose_precision_but_not_recall() {
+        let fixture = figure1();
+        let subject = fixture.task(8);
+        let truth = workflow_level_provenance(&fixture.spec, subject);
+        let answer = view_level_provenance(&fixture.spec, &fixture.view, subject);
+        let accuracy = compare_to_ground_truth(&truth, &answer);
+        assert!(accuracy.precision < 1.0, "spurious provenance must hurt precision");
+        assert!((accuracy.recall - 1.0).abs() < 1e-9, "views never hide true provenance");
+        assert!(accuracy.spurious.contains(&fixture.task(3)));
+        assert!(accuracy.missing.is_empty());
+        assert!(!accuracy.is_exact());
+    }
+
+    #[test]
+    fn corrected_views_are_exact() {
+        let fixture = figure1();
+        let (corrected, _) =
+            correct_view(&fixture.spec, &fixture.view, &StrongCorrector::new()).unwrap();
+        let subject = fixture.task(8);
+        let truth = workflow_level_provenance(&fixture.spec, subject);
+        let answer = view_level_provenance(&fixture.spec, &corrected, subject);
+        let accuracy = compare_to_ground_truth(&truth, &answer);
+        assert!(accuracy.is_exact());
+        assert!((accuracy.precision - 1.0).abs() < 1e-9);
+        assert!((accuracy.recall - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "same task")]
+    fn comparing_different_subjects_panics() {
+        let fixture = figure1();
+        let a = workflow_level_provenance(&fixture.spec, fixture.task(8));
+        let b = workflow_level_provenance(&fixture.spec, fixture.task(11));
+        let _ = compare_to_ground_truth(&a, &b);
+    }
+
+    #[test]
+    fn empty_answers_score_perfect_precision() {
+        let fixture = figure1();
+        // task 1 has no provenance at all
+        let truth = workflow_level_provenance(&fixture.spec, fixture.task(1));
+        let answer = view_level_provenance(&fixture.spec, &fixture.view, fixture.task(1));
+        let accuracy = compare_to_ground_truth(&truth, &answer);
+        assert!(truth.tasks.is_empty());
+        // the view groups task 1 with task 2, so the composite's other
+        // member is reported; recall is vacuously 1.0
+        assert!((accuracy.recall - 1.0).abs() < 1e-9);
+    }
+}

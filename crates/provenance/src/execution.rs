@@ -1,0 +1,176 @@
+//! Workflow-execution simulation.
+//!
+//! Real provenance systems record, for every run, which task invocation read
+//! and produced which data items. No such traces ship with the paper, so the
+//! simulator executes a specification once per run: every task becomes one
+//! invocation, every data dependency becomes one data item flowing between
+//! the corresponding invocations (the paper's Figure 1 notes that data items
+//! are omitted from the drawing "for simplicity"; here they are explicit).
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wolves_graph::{DiGraph, NodeId};
+use wolves_workflow::{TaskId, WorkflowSpec};
+
+/// A node of the provenance graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProvNode {
+    /// One invocation of an atomic task.
+    Invocation {
+        /// The workflow task that was invoked.
+        task: TaskId,
+        /// Task name (copied so the provenance graph is self-contained).
+        name: String,
+        /// Simulated execution duration in milliseconds.
+        duration_ms: u64,
+    },
+    /// One data item produced by an invocation and consumed by another.
+    Data {
+        /// Human-readable label of the data item.
+        label: String,
+        /// Simulated payload size in bytes.
+        size_bytes: u64,
+    },
+}
+
+impl ProvNode {
+    /// `true` for invocation nodes.
+    #[must_use]
+    pub fn is_invocation(&self) -> bool {
+        matches!(self, ProvNode::Invocation { .. })
+    }
+}
+
+/// A simulated execution (run) of a workflow: the provenance graph plus the
+/// mapping from workflow tasks to their invocation nodes.
+#[derive(Debug, Clone)]
+pub struct Execution {
+    /// Identifier of the run (the simulation seed).
+    pub run_id: u64,
+    /// The provenance graph: invocation and data nodes, edges directed along
+    /// the dataflow (producer → data → consumer).
+    pub graph: DiGraph<ProvNode, ()>,
+    invocation_of: BTreeMap<TaskId, NodeId>,
+}
+
+impl Execution {
+    /// The invocation node of a workflow task, if the task was executed.
+    #[must_use]
+    pub fn invocation_of(&self, task: TaskId) -> Option<NodeId> {
+        self.invocation_of.get(&task).copied()
+    }
+
+    /// Number of invocation nodes.
+    #[must_use]
+    pub fn invocation_count(&self) -> usize {
+        self.graph
+            .nodes()
+            .filter(|(_, n)| n.is_invocation())
+            .count()
+    }
+
+    /// Number of data-item nodes.
+    #[must_use]
+    pub fn data_item_count(&self) -> usize {
+        self.graph.node_count() - self.invocation_count()
+    }
+}
+
+/// Simulates one run of the workflow. The structure is deterministic;
+/// durations and data sizes vary with the seed.
+#[must_use]
+pub fn simulate_execution(spec: &WorkflowSpec, run_id: u64) -> Execution {
+    let mut rng = StdRng::seed_from_u64(run_id);
+    let mut graph: DiGraph<ProvNode, ()> = DiGraph::with_capacity(
+        spec.task_count() + spec.dependency_count(),
+        spec.dependency_count() * 2,
+    );
+    let mut invocation_of = BTreeMap::new();
+    for (task, payload) in spec.tasks() {
+        let node = graph.add_node(ProvNode::Invocation {
+            task,
+            name: payload.name.clone(),
+            duration_ms: rng.gen_range(5..5_000),
+        });
+        invocation_of.insert(task, node);
+    }
+    for (from, to) in spec.dependencies() {
+        let from_name = spec.task(from).map(|t| t.name.clone()).unwrap_or_default();
+        let to_name = spec.task(to).map(|t| t.name.clone()).unwrap_or_default();
+        let data = graph.add_node(ProvNode::Data {
+            label: format!("{from_name} -> {to_name}"),
+            size_bytes: rng.gen_range(1_024..10_000_000),
+        });
+        graph
+            .add_edge(invocation_of[&from], data, ())
+            .expect("valid producer edge");
+        graph
+            .add_edge(data, invocation_of[&to], ())
+            .expect("valid consumer edge");
+    }
+    Execution {
+        run_id,
+        graph,
+        invocation_of,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wolves_repo::figure1;
+
+    #[test]
+    fn execution_mirrors_the_workflow_structure() {
+        let fixture = figure1();
+        let run = simulate_execution(&fixture.spec, 1);
+        assert_eq!(run.invocation_count(), fixture.spec.task_count());
+        assert_eq!(run.data_item_count(), fixture.spec.dependency_count());
+        // every workflow edge becomes producer -> data -> consumer
+        assert_eq!(
+            run.graph.edge_count(),
+            fixture.spec.dependency_count() * 2
+        );
+    }
+
+    #[test]
+    fn provenance_graph_is_acyclic() {
+        let fixture = figure1();
+        let run = simulate_execution(&fixture.spec, 2);
+        assert!(wolves_graph::topo::is_acyclic(&run.graph));
+    }
+
+    #[test]
+    fn invocation_lookup_and_determinism() {
+        let fixture = figure1();
+        let a = simulate_execution(&fixture.spec, 7);
+        let b = simulate_execution(&fixture.spec, 7);
+        for task in fixture.spec.task_ids() {
+            assert!(a.invocation_of(task).is_some());
+            assert_eq!(a.invocation_of(task), b.invocation_of(task));
+        }
+        assert!(a
+            .invocation_of(wolves_workflow::TaskId::from_index(999))
+            .is_none());
+    }
+
+    #[test]
+    fn runs_differ_in_measured_values_not_structure() {
+        let fixture = figure1();
+        let a = simulate_execution(&fixture.spec, 1);
+        let b = simulate_execution(&fixture.spec, 2);
+        assert_eq!(a.graph.node_count(), b.graph.node_count());
+        let durations = |e: &Execution| -> Vec<u64> {
+            e.graph
+                .nodes()
+                .filter_map(|(_, n)| match n {
+                    ProvNode::Invocation { duration_ms, .. } => Some(*duration_ms),
+                    ProvNode::Data { .. } => None,
+                })
+                .collect()
+        };
+        assert_ne!(durations(&a), durations(&b));
+    }
+}

@@ -1,0 +1,34 @@
+//! # wolves-provenance
+//!
+//! Provenance substrate for the WOLVES reproduction.
+//!
+//! The paper motivates workflow views with provenance analysis: the
+//! provenance of a data item is the set of upstream steps and data that
+//! produced it, queried as a transitive closure over a provenance graph.
+//! Views make those queries cheaper (the view graph is much smaller), but an
+//! *unsound* view returns wrong answers — the Figure 1 example reports task
+//! (14) as provenance of task (18)'s output although no such dependency
+//! exists.
+//!
+//! This crate provides:
+//!
+//! * [`execution`] — simulation of workflow runs producing provenance graphs
+//!   (task invocations + data items), standing in for the traces a workflow
+//!   engine would record.
+//! * [`query`] — provenance (lineage) queries at the workflow level and at
+//!   the view level, with traversal-cost accounting so the efficiency claim
+//!   can be measured.
+//! * [`accuracy`] — precision/recall of view-level provenance answers
+//!   against the workflow-level ground truth, quantifying how much damage an
+//!   unsound view does and verifying that corrected views answer correctly.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod accuracy;
+pub mod execution;
+pub mod query;
+
+pub use accuracy::{compare_to_ground_truth, ProvenanceAccuracy};
+pub use execution::{simulate_execution, Execution, ProvNode};
+pub use query::{view_level_provenance, workflow_level_provenance, ProvenanceAnswer};

@@ -1,0 +1,237 @@
+//! The paper's running examples as ready-made fixtures.
+
+use std::collections::BTreeSet;
+
+use wolves_workflow::builder::ViewBuilder;
+use wolves_workflow::{TaskId, WorkflowBuilder, WorkflowSpec, WorkflowView};
+
+/// The Figure 1 fixture: the phylogenomic-inference workflow (12 atomic
+/// tasks) and the unsound view of Figure 1(b) (7 composite tasks).
+#[derive(Debug, Clone)]
+pub struct Figure1 {
+    /// The workflow specification of Figure 1(a).
+    pub spec: WorkflowSpec,
+    /// The workflow view of Figure 1(b); composite task "16" is unsound.
+    pub view: WorkflowView,
+    /// Task ids in paper numbering order: `tasks[0]` is task (1) "Select
+    /// entries", …, `tasks[11]` is task (12) "Display tree".
+    pub tasks: Vec<TaskId>,
+}
+
+impl Figure1 {
+    /// Task id by paper number (1-based, 1..=12).
+    #[must_use]
+    pub fn task(&self, paper_number: usize) -> TaskId {
+        self.tasks[paper_number - 1]
+    }
+}
+
+/// Builds the Figure 1 fixture.
+///
+/// The workflow models the paper's description: entries are selected from a
+/// database (1) and split (2) into annotations (3) and sequences (6); the
+/// annotations are curated (4) and formatted (5); an alignment is created
+/// (7) and formatted (8); other annotations are considered (9) and processed
+/// (10); the phylogenomic tree is built (11) and displayed (12).
+///
+/// The view groups: 13 = {1, 2}, 14 = {3}, 15 = {6}, 16 = {4, 7},
+/// 17 = {5}, 18 = {8}, 19 = {9, 10, 11, 12}. Composite 16 is unsound
+/// (there is no path from task 4 to task 7), which creates the spurious
+/// view-level dependency 14 → 18 discussed in the introduction.
+#[must_use]
+pub fn figure1() -> Figure1 {
+    let mut b = WorkflowBuilder::new("phylogenomic-inference");
+    let names = [
+        "Select entries from DB",      // 1
+        "Split entries",               // 2
+        "Extract annotations",         // 3
+        "Curate annotations",          // 4
+        "Format annotations",          // 5
+        "Extract sequences",           // 6
+        "Create alignment",            // 7
+        "Format alignment",            // 8
+        "Check additional annotations", // 9
+        "Process additional annotations", // 10
+        "Build phylo tree",            // 11
+        "Display tree",                // 12
+    ];
+    let tasks: Vec<TaskId> = names.iter().map(|n| b.task(*n)).collect();
+    for (from, to) in [
+        (1, 2),
+        (2, 3),
+        (2, 6),
+        (3, 4),
+        (4, 5),
+        (5, 11),
+        (6, 7),
+        (7, 8),
+        (8, 11),
+        (9, 10),
+        (10, 11),
+        (11, 12),
+    ] {
+        b.edge(tasks[from - 1], tasks[to - 1]).unwrap();
+    }
+    let spec = b.build().expect("figure 1 workflow is a DAG");
+    let view = ViewBuilder::new(&spec, "figure-1b")
+        .group("Retrieve entries (13)", vec![tasks[0], tasks[1]])
+        .group("Annotations (14)", vec![tasks[2]])
+        .group("Sequences (15)", vec![tasks[5]])
+        .group("Curate & align (16)", vec![tasks[3], tasks[6]])
+        .group("Format annotations (17)", vec![tasks[4]])
+        .group("Format alignment (18)", vec![tasks[7]])
+        .group(
+            "Build Phylo Tree (19)",
+            vec![tasks[8], tasks[9], tasks[10], tasks[11]],
+        )
+        .build()
+        .expect("figure 1(b) view is a partition");
+    Figure1 { spec, view, tasks }
+}
+
+/// The Figure 3 fixture: one unsound composite task on which the weakly
+/// local optimal corrector produces 8 parts while the strongly local optimal
+/// (and the optimal) corrector produces 5.
+#[derive(Debug, Clone)]
+pub struct Figure3 {
+    /// Workflow containing the composite's tasks plus an external source and
+    /// sink providing the boundary dataflow.
+    pub spec: WorkflowSpec,
+    /// The unsound composite task's members (tasks a–m, 12 of them).
+    pub members: BTreeSet<TaskId>,
+    /// A three-composite view: {source}, the unsound composite, {sink}.
+    pub view: WorkflowView,
+    /// The member task named `name` ("a" … "m").
+    pub tasks: Vec<(String, TaskId)>,
+}
+
+impl Figure3 {
+    /// Looks up a member task by its single-letter name.
+    #[must_use]
+    pub fn task(&self, name: &str) -> TaskId {
+        self.tasks
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, id)| *id)
+            .expect("figure 3 task name")
+    }
+}
+
+/// Builds the Figure 3 fixture.
+///
+/// The 12 member tasks form four independent two-task chains (a→b, e→h,
+/// i→j, k→m) plus the four-task crossing component {c, d, f, g} in which no
+/// two tasks are pairwise combinable although the whole component is sound —
+/// exactly the situation that separates weak from strong local optimality in
+/// the paper's Figure 3.
+#[must_use]
+pub fn figure3() -> Figure3 {
+    let mut builder = WorkflowBuilder::new("figure-3");
+    let source = builder.task("upstream source");
+    let sink = builder.task("downstream sink");
+    let names = ["a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k", "m"];
+    let ids: Vec<TaskId> = names.iter().map(|n| builder.task(*n)).collect();
+    let idx = |name: &str| ids[names.iter().position(|&n| n == name).unwrap()];
+    for (x, y) in [("a", "b"), ("e", "h"), ("i", "j"), ("k", "m")] {
+        builder.edge(source, idx(x)).unwrap();
+        builder.edge(idx(x), idx(y)).unwrap();
+        builder.edge(idx(y), sink).unwrap();
+    }
+    builder.edge(source, idx("c")).unwrap();
+    builder.edge(source, idx("f")).unwrap();
+    builder.edge(idx("c"), idx("d")).unwrap();
+    builder.edge(idx("c"), idx("g")).unwrap();
+    builder.edge(idx("f"), idx("d")).unwrap();
+    builder.edge(idx("f"), idx("g")).unwrap();
+    builder.edge(idx("d"), sink).unwrap();
+    builder.edge(idx("g"), sink).unwrap();
+    let spec = builder.build().expect("figure 3 workflow is a DAG");
+    let view = ViewBuilder::new(&spec, "figure-3")
+        .group("Upstream", vec![source])
+        .group("Unsound composite", ids.clone())
+        .group("Downstream", vec![sink])
+        .build()
+        .expect("figure 3 view is a partition");
+    let members: BTreeSet<TaskId> = ids.iter().copied().collect();
+    let tasks = names
+        .iter()
+        .map(|n| ((*n).to_owned(), idx(n)))
+        .collect();
+    Figure3 {
+        spec,
+        members,
+        view,
+        tasks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wolves_core::correct::{Corrector, OptimalCorrector, StrongCorrector, WeakCorrector};
+    use wolves_core::validate::{validate, validate_by_definition};
+
+    #[test]
+    fn figure1_matches_the_paper_narrative() {
+        let fixture = figure1();
+        assert_eq!(fixture.spec.task_count(), 12);
+        assert_eq!(fixture.view.composite_count(), 7);
+        let report = validate(&fixture.spec, &fixture.view);
+        assert!(!report.is_sound());
+        let unsound = report.unsound_composites();
+        assert_eq!(unsound.len(), 1);
+        assert!(fixture
+            .view
+            .composite(unsound[0])
+            .unwrap()
+            .name
+            .contains("16"));
+        // the spurious provenance dependency 14 -> 18 exists at the view level
+        let definition = validate_by_definition(&fixture.spec, &fixture.view);
+        let c14 = fixture.view.composite_of(fixture.task(3)).unwrap();
+        let c18 = fixture.view.composite_of(fixture.task(8)).unwrap();
+        assert!(definition
+            .spurious
+            .iter()
+            .any(|m| m.from == c14 && m.to == c18));
+        // but there is no workflow path from task 3 to task 8
+        assert!(!fixture.spec.reaches(fixture.task(3), fixture.task(8)));
+    }
+
+    #[test]
+    fn figure3_separates_weak_from_strong() {
+        let fixture = figure3();
+        let weak = WeakCorrector::new()
+            .split(&fixture.spec, &fixture.members)
+            .unwrap();
+        let strong = StrongCorrector::new()
+            .split(&fixture.spec, &fixture.members)
+            .unwrap();
+        let optimal = OptimalCorrector::new()
+            .split(&fixture.spec, &fixture.members)
+            .unwrap();
+        assert_eq!(weak.part_count(), 8);
+        assert_eq!(strong.part_count(), 5);
+        assert_eq!(optimal.part_count(), 5);
+    }
+
+    #[test]
+    fn figure3_view_flags_only_the_composite() {
+        let fixture = figure3();
+        let report = validate(&fixture.spec, &fixture.view);
+        assert_eq!(report.unsound_composites().len(), 1);
+        assert_eq!(report.composite_count(), 3);
+    }
+
+    #[test]
+    fn task_lookup_helpers() {
+        let f1 = figure1();
+        assert_eq!(
+            f1.spec.task(f1.task(11)).unwrap().name,
+            "Build phylo tree"
+        );
+        let f3 = figure3();
+        assert_ne!(f3.task("c"), f3.task("d"));
+        assert_eq!(f3.members.len(), 12);
+    }
+}

@@ -1,0 +1,295 @@
+//! Synthetic workflow generators.
+//!
+//! Scientific-workflow repositories (Kepler, myExperiment) are dominated by
+//! a few structural shapes: layered analysis pipelines with fan-out/fan-in,
+//! branching pipelines around a main data path, and series-parallel
+//! compositions of sub-workflows. The generators below produce DAGs in these
+//! shapes with controllable size and density; they are deterministic for a
+//! given seed so every experiment is reproducible.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use wolves_workflow::{AtomicTask, DataDependency, TaskId, WorkflowSpec};
+
+/// Configuration for [`layered_workflow`].
+#[derive(Debug, Clone)]
+pub struct LayeredConfig {
+    /// Number of layers (≥ 2).
+    pub layers: usize,
+    /// Minimum tasks per layer.
+    pub min_width: usize,
+    /// Maximum tasks per layer (inclusive).
+    pub max_width: usize,
+    /// Probability of an edge between a task and each task of the next
+    /// layer, beyond the one mandatory edge that keeps the graph connected.
+    pub edge_probability: f64,
+    /// Probability of a "skip" edge jumping over one layer.
+    pub skip_probability: f64,
+}
+
+impl Default for LayeredConfig {
+    fn default() -> Self {
+        LayeredConfig {
+            layers: 5,
+            min_width: 2,
+            max_width: 4,
+            edge_probability: 0.35,
+            skip_probability: 0.1,
+        }
+    }
+}
+
+impl LayeredConfig {
+    /// A configuration that produces roughly `target_tasks` tasks.
+    #[must_use]
+    pub fn sized(target_tasks: usize) -> Self {
+        let width = 3usize;
+        let layers = (target_tasks / width).max(2);
+        LayeredConfig {
+            layers,
+            min_width: width.saturating_sub(1).max(1),
+            max_width: width + 1,
+            ..LayeredConfig::default()
+        }
+    }
+}
+
+/// Generates a layered DAG workflow: tasks are organised in layers, every
+/// task has at least one predecessor in the previous layer (except layer 0),
+/// and extra forward/skip edges are added with the configured probabilities.
+#[must_use]
+pub fn layered_workflow(config: &LayeredConfig, seed: u64) -> WorkflowSpec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut spec = WorkflowSpec::new(format!("layered-{seed}"));
+    let mut layers: Vec<Vec<TaskId>> = Vec::with_capacity(config.layers);
+    let mut counter = 0usize;
+    for layer in 0..config.layers {
+        let width = if config.max_width <= config.min_width {
+            config.min_width.max(1)
+        } else {
+            rng.gen_range(config.min_width..=config.max_width).max(1)
+        };
+        let mut ids = Vec::with_capacity(width);
+        for _ in 0..width {
+            let task = AtomicTask::new(format!("L{layer}-task{counter}"))
+                .with_param("layer", layer.to_string());
+            ids.push(spec.add_task(task).expect("unique generated name"));
+            counter += 1;
+        }
+        layers.push(ids);
+    }
+    for layer in 1..config.layers {
+        let previous = layers[layer - 1].clone();
+        for &task in &layers[layer] {
+            // one mandatory predecessor keeps every task connected
+            let mandatory = previous[rng.gen_range(0..previous.len())];
+            let _ = spec.add_dependency(mandatory, task, DataDependency::unnamed());
+            for &candidate in &previous {
+                if candidate != mandatory && rng.gen_bool(config.edge_probability) {
+                    let _ = spec.add_dependency(candidate, task, DataDependency::unnamed());
+                }
+            }
+            if layer >= 2 {
+                for &candidate in &layers[layer - 2] {
+                    if rng.gen_bool(config.skip_probability) {
+                        let _ = spec.add_dependency(candidate, task, DataDependency::unnamed());
+                    }
+                }
+            }
+        }
+    }
+    spec
+}
+
+/// Generates a branching pipeline: a source task fans out into `branches`
+/// parallel chains of `stage_length` tasks each, which join into a sink, and
+/// this pattern repeats `segments` times end to end. This is the shape of
+/// the paper's Figure 1 (split into annotation and sequence branches that
+/// re-join at the tree-building step).
+#[must_use]
+pub fn pipeline_workflow(
+    segments: usize,
+    branches: usize,
+    stage_length: usize,
+    seed: u64,
+) -> WorkflowSpec {
+    let mut spec = WorkflowSpec::new(format!("pipeline-{seed}"));
+    let mut previous_sink: Option<TaskId> = None;
+    let mut counter = 0usize;
+    let name = |counter: &mut usize, label: &str| {
+        let n = format!("{label}-{counter}");
+        *counter += 1;
+        n
+    };
+    for segment in 0..segments.max(1) {
+        let source = spec
+            .add_task(AtomicTask::new(name(&mut counter, &format!("seg{segment}-split"))))
+            .expect("unique name");
+        if let Some(prev) = previous_sink {
+            spec.add_dependency(prev, source, DataDependency::unnamed())
+                .expect("valid edge");
+        }
+        let sink = spec
+            .add_task(AtomicTask::new(name(&mut counter, &format!("seg{segment}-join"))))
+            .expect("unique name");
+        for branch in 0..branches.max(1) {
+            let mut previous = source;
+            for _ in 0..stage_length.max(1) {
+                let task = spec
+                    .add_task(AtomicTask::new(name(
+                        &mut counter,
+                        &format!("seg{segment}-b{branch}"),
+                    )))
+                    .expect("unique name");
+                spec.add_dependency(previous, task, DataDependency::unnamed())
+                    .expect("valid edge");
+                previous = task;
+            }
+            spec.add_dependency(previous, sink, DataDependency::unnamed())
+                .expect("valid edge");
+        }
+        previous_sink = Some(sink);
+    }
+    spec
+}
+
+/// Generates a series-parallel workflow by recursively composing chains and
+/// parallel blocks, a common abstraction of nested sub-workflows.
+#[must_use]
+pub fn series_parallel_workflow(depth: usize, seed: u64) -> WorkflowSpec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut spec = WorkflowSpec::new(format!("series-parallel-{seed}"));
+    let mut counter = 0usize;
+    let source = add(&mut spec, &mut counter);
+    let sink = add(&mut spec, &mut counter);
+    expand(&mut spec, &mut rng, &mut counter, source, sink, depth);
+    return spec;
+
+    fn add(spec: &mut WorkflowSpec, counter: &mut usize) -> TaskId {
+        let id = spec
+            .add_task(AtomicTask::new(format!("sp-task{counter}")))
+            .expect("unique name");
+        *counter += 1;
+        id
+    }
+
+    fn expand(
+        spec: &mut WorkflowSpec,
+        rng: &mut StdRng,
+        counter: &mut usize,
+        from: TaskId,
+        to: TaskId,
+        depth: usize,
+    ) {
+        if depth == 0 {
+            let _ = spec.add_dependency(from, to, DataDependency::unnamed());
+            return;
+        }
+        if rng.gen_bool(0.5) {
+            // series: from -> mid -> to, both halves expanded
+            let mid = add(spec, counter);
+            expand(spec, rng, counter, from, mid, depth - 1);
+            expand(spec, rng, counter, mid, to, depth - 1);
+        } else {
+            // parallel: two or three independent branches from -> to
+            let branches = rng.gen_range(2..=3);
+            for _ in 0..branches {
+                let node = add(spec, counter);
+                expand(spec, rng, counter, from, node, depth - 1);
+                expand(spec, rng, counter, node, to, depth - 1);
+            }
+        }
+    }
+}
+
+/// Picks `count` distinct tasks of the workflow uniformly at random — used
+/// by the automatic view construction to select "user-relevant" tasks.
+#[must_use]
+pub fn sample_tasks(spec: &WorkflowSpec, count: usize, seed: u64) -> Vec<TaskId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tasks: Vec<TaskId> = spec.task_ids().collect();
+    tasks.shuffle(&mut rng);
+    tasks.truncate(count.min(tasks.len()));
+    tasks.sort_unstable();
+    tasks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layered_workflows_are_dags_of_expected_size() {
+        let config = LayeredConfig {
+            layers: 6,
+            min_width: 2,
+            max_width: 5,
+            edge_probability: 0.4,
+            skip_probability: 0.2,
+        };
+        let spec = layered_workflow(&config, 7);
+        assert!(spec.ensure_acyclic().is_ok());
+        assert!(spec.task_count() >= 12 && spec.task_count() <= 30);
+        assert!(spec.dependency_count() >= spec.task_count() - config.layers);
+        // every non-first-layer task has at least one predecessor
+        for (id, task) in spec.tasks() {
+            if task.params.get("layer").map(String::as_str) != Some("0") {
+                assert!(spec.predecessors(id).count() >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let config = LayeredConfig::default();
+        let a = layered_workflow(&config, 42);
+        let b = layered_workflow(&config, 42);
+        let c = layered_workflow(&config, 43);
+        assert_eq!(a.task_count(), b.task_count());
+        assert_eq!(a.dependency_count(), b.dependency_count());
+        let edges = |s: &WorkflowSpec| s.dependencies().collect::<Vec<_>>();
+        assert_eq!(edges(&a), edges(&b));
+        assert!(edges(&a) != edges(&c) || a.task_count() != c.task_count());
+    }
+
+    #[test]
+    fn sized_config_hits_the_target_roughly() {
+        let spec = layered_workflow(&LayeredConfig::sized(60), 1);
+        assert!(spec.task_count() >= 40 && spec.task_count() <= 90);
+    }
+
+    #[test]
+    fn pipelines_have_single_source_and_sink_per_segment() {
+        let spec = pipeline_workflow(2, 3, 2, 5);
+        assert!(spec.ensure_acyclic().is_ok());
+        // 2 segments * (split + join + 3 branches * 2 stages) = 2 * 8 = 16
+        assert_eq!(spec.task_count(), 16);
+        let roots = wolves_graph::algo::roots(spec.graph());
+        let leaves = wolves_graph::algo::leaves(spec.graph());
+        assert_eq!(roots.len(), 1);
+        assert_eq!(leaves.len(), 1);
+    }
+
+    #[test]
+    fn series_parallel_workflows_are_connected_dags() {
+        for seed in 0..4 {
+            let spec = series_parallel_workflow(3, seed);
+            assert!(spec.ensure_acyclic().is_ok());
+            assert!(spec.task_count() >= 3);
+            let roots = wolves_graph::algo::roots(spec.graph());
+            assert_eq!(roots.len(), 1, "single entry point");
+        }
+    }
+
+    #[test]
+    fn sample_tasks_returns_distinct_tasks() {
+        let spec = pipeline_workflow(2, 2, 2, 9);
+        let sample = sample_tasks(&spec, 5, 3);
+        assert_eq!(sample.len(), 5);
+        let unique: std::collections::BTreeSet<_> = sample.iter().collect();
+        assert_eq!(unique.len(), 5);
+        assert_eq!(sample_tasks(&spec, 5, 3), sample, "deterministic");
+        assert_eq!(sample_tasks(&spec, 100, 3).len(), spec.task_count());
+    }
+}

@@ -1,0 +1,35 @@
+//! # wolves-repo
+//!
+//! Workload generation for the WOLVES experiments.
+//!
+//! The paper evaluates WOLVES on workflows from real repositories (Kepler,
+//! myExperiment.org) with views defined by expert users or constructed
+//! automatically by the tool of Biton et al. Neither resource is available
+//! offline, so this crate provides:
+//!
+//! * [`fixtures`] — faithful reconstructions of the paper's running
+//!   examples: the Figure 1 phylogenomics workflow with its unsound view and
+//!   the Figure 3 unsound composite task.
+//! * [`generate`] — synthetic workflow generators in the shapes that
+//!   dominate scientific-workflow repositories: layered DAGs, branching
+//!   pipelines and series-parallel graphs.
+//! * [`views`] — view generators: structure-aware "expert" views,
+//!   automatically constructed views driven by a set of user-relevant tasks
+//!   (in the spirit of Biton et al.), topological-block views and random
+//!   partitions, all with controllable granularity.
+//! * [`suite`] — the named workload suite used by the experiment harness
+//!   (`wolves-bench`) so every table in `EXPERIMENTS.md` is regenerated from
+//!   the same instances.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod fixtures;
+pub mod generate;
+pub mod suite;
+pub mod views;
+
+pub use fixtures::{figure1, figure3, Figure1, Figure3};
+pub use generate::{layered_workflow, pipeline_workflow, series_parallel_workflow, LayeredConfig};
+pub use suite::{standard_suite, Case};
+pub use views::{auto_view, expert_view, random_partition_view, topological_block_view};

@@ -1,0 +1,134 @@
+//! The named workload suite shared by the experiment harness and the
+//! integration tests, so that every number in `EXPERIMENTS.md` comes from a
+//! reproducible instance.
+
+use wolves_workflow::{WorkflowSpec, WorkflowView};
+
+use crate::generate::{layered_workflow, pipeline_workflow, sample_tasks, LayeredConfig};
+use crate::views::{auto_view, expert_view, random_partition_view, topological_block_view};
+
+/// The family a case belongs to, mirroring the paper's workload description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaseKind {
+    /// Views defined by (synthetic) expert users.
+    Expert,
+    /// Views constructed automatically from relevant tasks (Biton et al.).
+    Auto,
+    /// Coarse topological-block views.
+    Blocks,
+    /// Random partitions (stress baseline).
+    Random,
+}
+
+impl CaseKind {
+    /// Display label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            CaseKind::Expert => "expert",
+            CaseKind::Auto => "auto",
+            CaseKind::Blocks => "blocks",
+            CaseKind::Random => "random",
+        }
+    }
+}
+
+/// One workload instance: a workflow and a (possibly unsound) view over it.
+#[derive(Debug)]
+pub struct Case {
+    /// Short, unique case name (used in experiment output).
+    pub name: String,
+    /// Workload family.
+    pub kind: CaseKind,
+    /// The workflow specification.
+    pub spec: WorkflowSpec,
+    /// The view to validate / correct.
+    pub view: WorkflowView,
+}
+
+/// Builds the standard suite used by experiments E3–E6: for each seed, one
+/// workflow of each generator shape with one expert view, one automatic
+/// view, one block view and one random partition.
+#[must_use]
+pub fn standard_suite(seeds: std::ops::Range<u64>) -> Vec<Case> {
+    let mut cases = Vec::new();
+    for seed in seeds {
+        let layered = layered_workflow(&LayeredConfig::default(), seed);
+        let pipeline = pipeline_workflow(2, 3, 2, seed);
+        for (shape, spec) in [("layered", layered), ("pipeline", pipeline)] {
+            let expert = expert_view(&spec, 4, 0.25, seed, "expert")
+                .expect("expert view is a partition");
+            cases.push(Case {
+                name: format!("{shape}-{seed}-expert"),
+                kind: CaseKind::Expert,
+                spec: spec.clone(),
+                view: expert,
+            });
+            let relevant = sample_tasks(&spec, 4, seed.wrapping_mul(31).wrapping_add(1));
+            let auto = auto_view(&spec, &relevant, "auto").expect("auto view is a partition");
+            cases.push(Case {
+                name: format!("{shape}-{seed}-auto"),
+                kind: CaseKind::Auto,
+                spec: spec.clone(),
+                view: auto,
+            });
+            let blocks =
+                topological_block_view(&spec, 4, "blocks").expect("block view is a partition");
+            cases.push(Case {
+                name: format!("{shape}-{seed}-blocks"),
+                kind: CaseKind::Blocks,
+                spec: spec.clone(),
+                view: blocks,
+            });
+            let random = random_partition_view(&spec, spec.task_count() / 4 + 1, seed, "random")
+                .expect("random view is a partition");
+            cases.push(Case {
+                name: format!("{shape}-{seed}-random"),
+                kind: CaseKind::Random,
+                spec,
+                view: random,
+            });
+        }
+    }
+    cases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wolves_core::validate::validate;
+
+    #[test]
+    fn suite_produces_four_cases_per_shape_and_seed() {
+        let cases = standard_suite(0..2);
+        assert_eq!(cases.len(), 2 * 2 * 4);
+        let names: std::collections::BTreeSet<&str> =
+            cases.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names.len(), cases.len(), "case names are unique");
+    }
+
+    #[test]
+    fn every_case_view_is_a_valid_partition() {
+        for case in standard_suite(0..2) {
+            assert!(
+                case.view.validate_against(&case.spec).is_ok(),
+                "case {} has a broken view",
+                case.name
+            );
+        }
+    }
+
+    #[test]
+    fn the_suite_contains_unsound_views_to_correct() {
+        let cases = standard_suite(0..3);
+        let unsound = cases
+            .iter()
+            .filter(|c| !validate(&c.spec, &c.view).is_sound())
+            .count();
+        assert!(
+            unsound >= cases.len() / 3,
+            "expected a healthy share of unsound views, got {unsound}/{}",
+            cases.len()
+        );
+    }
+}

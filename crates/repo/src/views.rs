@@ -1,0 +1,276 @@
+//! View generators.
+//!
+//! The paper evaluates corrections on two families of views: views defined
+//! manually by expert users, and views constructed automatically from a set
+//! of tasks the user cares about (Biton et al., ICDE 2008). Both families
+//! contain unsound views in practice, which is the motivation for WOLVES.
+//! This module synthesises both, plus two baselines (topological blocks and
+//! random partitions) with tunable granularity.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use wolves_workflow::{TaskId, WorkflowError, WorkflowSpec, WorkflowView};
+
+/// Groups the tasks of a topological order into consecutive blocks of
+/// `block_size`. Blocks frequently straddle parallel branches, which makes
+/// many of them unsound — a good stand-in for carelessly drawn user views.
+///
+/// # Errors
+/// Propagates view-construction errors (cyclic specifications).
+pub fn topological_block_view(
+    spec: &WorkflowSpec,
+    block_size: usize,
+    name: &str,
+) -> Result<WorkflowView, WorkflowError> {
+    let order = spec.topological_order()?;
+    let block_size = block_size.max(1);
+    let groups: Vec<(String, Vec<TaskId>)> = order
+        .chunks(block_size)
+        .enumerate()
+        .map(|(i, chunk)| (format!("block-{i}"), chunk.to_vec()))
+        .collect();
+    WorkflowView::from_groups(spec, name, groups)
+}
+
+/// Assigns every task to one of `groups` composites uniformly at random.
+/// Random partitions are almost always unsound and exercise the correctors
+/// on worst-case-ish composites.
+///
+/// # Errors
+/// Propagates view-construction errors.
+pub fn random_partition_view(
+    spec: &WorkflowSpec,
+    groups: usize,
+    seed: u64,
+    name: &str,
+) -> Result<WorkflowView, WorkflowError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let groups = groups.clamp(1, spec.task_count().max(1));
+    let mut buckets: Vec<Vec<TaskId>> = vec![Vec::new(); groups];
+    let mut tasks: Vec<TaskId> = spec.task_ids().collect();
+    tasks.shuffle(&mut rng);
+    // guarantee no bucket is empty by dealing the first `groups` tasks round
+    // robin, then assigning the rest randomly
+    for (i, task) in tasks.iter().enumerate() {
+        if i < groups {
+            buckets[i].push(*task);
+        } else {
+            buckets[rng.gen_range(0..groups)].push(*task);
+        }
+    }
+    let groups = buckets
+        .into_iter()
+        .enumerate()
+        .map(|(i, members)| (format!("random-{i}"), members))
+        .collect();
+    WorkflowView::from_groups(spec, name, groups)
+}
+
+/// A structure-aware "expert" view: groups are grown along data
+/// dependencies starting from seed tasks, so most composites follow the
+/// dataflow; a configurable fraction of tasks is then swapped between groups
+/// to model the grouping mistakes observed in real repositories.
+///
+/// `target_group_size` controls granularity, `error_rate` the fraction of
+/// tasks moved to a random other group (0.0 produces mostly sound views).
+///
+/// # Errors
+/// Propagates view-construction errors.
+pub fn expert_view(
+    spec: &WorkflowSpec,
+    target_group_size: usize,
+    error_rate: f64,
+    seed: u64,
+    name: &str,
+) -> Result<WorkflowView, WorkflowError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let target = target_group_size.max(1);
+    let order = spec.topological_order()?;
+    let mut assigned: BTreeMap<TaskId, usize> = BTreeMap::new();
+    let mut groups: Vec<Vec<TaskId>> = Vec::new();
+    // grow groups along the dataflow: walk the topological order and attach
+    // each task to the group of one of its predecessors if that group still
+    // has room, otherwise start a new group
+    for &task in &order {
+        let preferred = spec
+            .predecessors(task)
+            .filter_map(|p| assigned.get(&p).copied())
+            .find(|&g| groups[g].len() < target);
+        let group = match preferred {
+            Some(g) => g,
+            None => {
+                groups.push(Vec::new());
+                groups.len() - 1
+            }
+        };
+        groups[group].push(task);
+        assigned.insert(task, group);
+    }
+    // inject grouping errors: move a fraction of tasks into a random other
+    // group (this is what produces unsound composites)
+    if groups.len() > 1 && error_rate > 0.0 {
+        let tasks: Vec<TaskId> = spec.task_ids().collect();
+        for task in tasks {
+            if !rng.gen_bool(error_rate.clamp(0.0, 1.0)) {
+                continue;
+            }
+            let current = assigned[&task];
+            if groups[current].len() <= 1 {
+                continue; // never empty a group
+            }
+            let target_group = rng.gen_range(0..groups.len());
+            if target_group == current {
+                continue;
+            }
+            groups[current].retain(|&t| t != task);
+            groups[target_group].push(task);
+            assigned.insert(task, target_group);
+        }
+    }
+    let groups = groups
+        .into_iter()
+        .filter(|g| !g.is_empty())
+        .enumerate()
+        .map(|(i, members)| (format!("expert-{i}"), members))
+        .collect();
+    WorkflowView::from_groups(spec, name, groups)
+}
+
+/// Automatic view construction in the spirit of Biton et al. (ICDE 2008):
+/// given a set of *relevant* tasks, every relevant task becomes its own
+/// composite and the remaining tasks are grouped by their *relevance
+/// signature* — which relevant tasks they can reach and which can reach
+/// them. Tasks that are indistinguishable with respect to the relevant set
+/// end up in the same composite.
+///
+/// # Errors
+/// Propagates view-construction errors.
+pub fn auto_view(
+    spec: &WorkflowSpec,
+    relevant: &[TaskId],
+    name: &str,
+) -> Result<WorkflowView, WorkflowError> {
+    let relevant_set: BTreeSet<TaskId> = relevant.iter().copied().collect();
+    let reach = spec.reachability();
+    let mut signature_groups: BTreeMap<(Vec<TaskId>, Vec<TaskId>), Vec<TaskId>> = BTreeMap::new();
+    let mut groups: Vec<(String, Vec<TaskId>)> = Vec::new();
+    for task in spec.task_ids() {
+        if relevant_set.contains(&task) {
+            let label = spec
+                .task(task)
+                .map(|t| t.name.clone())
+                .unwrap_or_else(|_| task.to_string());
+            groups.push((format!("relevant:{label}"), vec![task]));
+            continue;
+        }
+        let reaches: Vec<TaskId> = relevant
+            .iter()
+            .copied()
+            .filter(|&r| reach.reachable(task, r))
+            .collect();
+        let reached_by: Vec<TaskId> = relevant
+            .iter()
+            .copied()
+            .filter(|&r| reach.reachable(r, task))
+            .collect();
+        signature_groups
+            .entry((reaches, reached_by))
+            .or_default()
+            .push(task);
+    }
+    for (i, (_, members)) in signature_groups.into_iter().enumerate() {
+        groups.push((format!("context-{i}"), members));
+    }
+    WorkflowView::from_groups(spec, name, groups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{layered_workflow, pipeline_workflow, sample_tasks, LayeredConfig};
+    use wolves_core::validate::validate;
+
+    fn spec() -> WorkflowSpec {
+        layered_workflow(&LayeredConfig::default(), 11)
+    }
+
+    #[test]
+    fn topological_blocks_partition_the_workflow() {
+        let spec = spec();
+        let view = topological_block_view(&spec, 3, "blocks").unwrap();
+        assert!(view.validate_against(&spec).is_ok());
+        let expected = spec.task_count().div_ceil(3);
+        assert_eq!(view.composite_count(), expected);
+    }
+
+    #[test]
+    fn random_partitions_have_no_empty_groups() {
+        let spec = spec();
+        for seed in 0..5 {
+            let view = random_partition_view(&spec, 4, seed, "random").unwrap();
+            assert_eq!(view.composite_count(), 4);
+            assert!(view.validate_against(&spec).is_ok());
+            for (_, composite) in view.composites() {
+                assert!(!composite.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn expert_views_without_errors_are_mostly_sound() {
+        let spec = pipeline_workflow(2, 2, 3, 3);
+        let clean = expert_view(&spec, 3, 0.0, 1, "clean").unwrap();
+        let report = validate(&spec, &clean);
+        // dataflow-following groups over a pipeline are sound
+        assert!(report.is_sound(), "unsound: {:?}", report.unsound_composites());
+    }
+
+    #[test]
+    fn expert_views_with_errors_become_unsound() {
+        let spec = spec();
+        let mut any_unsound = false;
+        for seed in 0..6 {
+            let noisy = expert_view(&spec, 4, 0.4, seed, "noisy").unwrap();
+            assert!(noisy.validate_against(&spec).is_ok());
+            if !validate(&spec, &noisy).is_sound() {
+                any_unsound = true;
+            }
+        }
+        assert!(any_unsound, "40% grouping errors must break soundness somewhere");
+    }
+
+    #[test]
+    fn auto_views_keep_relevant_tasks_as_singletons() {
+        let spec = spec();
+        let relevant = sample_tasks(&spec, 3, 7);
+        let view = auto_view(&spec, &relevant, "auto").unwrap();
+        assert!(view.validate_against(&spec).is_ok());
+        for &task in &relevant {
+            let composite = view.composite_of(task).unwrap();
+            assert!(view.composite(composite).unwrap().is_singleton());
+        }
+        assert!(view.composite_count() >= relevant.len());
+    }
+
+    #[test]
+    fn auto_views_group_tasks_with_identical_signatures() {
+        // diamond: s -> a, s -> b, a -> t, b -> t; with only s and t
+        // relevant, a and b share a signature and must be grouped together
+        let mut builder = wolves_workflow::WorkflowBuilder::new("diamond");
+        let s = builder.task("s");
+        let a = builder.task("a");
+        let b = builder.task("b");
+        let t = builder.task("t");
+        builder.edge(s, a).unwrap();
+        builder.edge(s, b).unwrap();
+        builder.edge(a, t).unwrap();
+        builder.edge(b, t).unwrap();
+        let spec = builder.build().unwrap();
+        let view = auto_view(&spec, &[s, t], "auto").unwrap();
+        assert_eq!(view.composite_count(), 3);
+        assert_eq!(view.composite_of(a), view.composite_of(b));
+    }
+}

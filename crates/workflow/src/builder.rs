@@ -1,0 +1,263 @@
+//! Fluent builders for workflow specifications and views.
+
+use crate::error::WorkflowError;
+use crate::spec::WorkflowSpec;
+use crate::task::{AtomicTask, DataDependency, TaskId};
+use crate::view::WorkflowView;
+
+/// Incremental builder for a [`WorkflowSpec`].
+///
+/// The builder keeps adding tasks and dependencies and performs the
+/// acyclicity check once at [`WorkflowBuilder::build`] time, which is both
+/// cheaper and gives better error locality than checking after every edge.
+#[derive(Debug)]
+pub struct WorkflowBuilder {
+    spec: WorkflowSpec,
+    pending_error: Option<WorkflowError>,
+}
+
+impl WorkflowBuilder {
+    /// Starts a new builder for a workflow with the given name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        WorkflowBuilder {
+            spec: WorkflowSpec::new(name),
+            pending_error: None,
+        }
+    }
+
+    /// Adds a task by name and returns its id.
+    ///
+    /// Duplicate names are recorded as a deferred error reported by
+    /// [`WorkflowBuilder::build`]; the returned id in that case refers to the
+    /// previously added task so that call sites can keep chaining.
+    pub fn task(&mut self, name: impl Into<String>) -> TaskId {
+        self.task_full(AtomicTask::new(name))
+    }
+
+    /// Adds a fully specified task and returns its id (same deferred-error
+    /// contract as [`WorkflowBuilder::task`]).
+    pub fn task_full(&mut self, task: AtomicTask) -> TaskId {
+        let name = task.name.clone();
+        match self.spec.add_task(task) {
+            Ok(id) => id,
+            Err(e) => {
+                if self.pending_error.is_none() {
+                    self.pending_error = Some(e);
+                }
+                self.spec
+                    .task_by_name(&name)
+                    .expect("duplicate name implies the task exists")
+            }
+        }
+    }
+
+    /// Adds a data dependency between two previously added tasks.
+    ///
+    /// # Errors
+    /// Fails immediately on unknown endpoints, self-loops or duplicates.
+    pub fn edge(&mut self, from: TaskId, to: TaskId) -> Result<&mut Self, WorkflowError> {
+        self.spec
+            .add_dependency(from, to, DataDependency::unnamed())?;
+        Ok(self)
+    }
+
+    /// Adds a labelled data dependency.
+    ///
+    /// # Errors
+    /// Same as [`WorkflowBuilder::edge`].
+    pub fn edge_named(
+        &mut self,
+        from: TaskId,
+        to: TaskId,
+        data: impl Into<String>,
+    ) -> Result<&mut Self, WorkflowError> {
+        self.spec
+            .add_dependency(from, to, DataDependency::named(data))?;
+        Ok(self)
+    }
+
+    /// Adds a chain of dependencies `tasks[0] -> tasks[1] -> …`.
+    ///
+    /// # Errors
+    /// Same as [`WorkflowBuilder::edge`].
+    pub fn chain(&mut self, tasks: &[TaskId]) -> Result<&mut Self, WorkflowError> {
+        for pair in tasks.windows(2) {
+            self.edge(pair[0], pair[1])?;
+        }
+        Ok(self)
+    }
+
+    /// Finishes the build, checking deferred errors and acyclicity.
+    ///
+    /// # Errors
+    /// Reports the first duplicate-name error, or a cycle in the resulting
+    /// specification.
+    pub fn build(self) -> Result<WorkflowSpec, WorkflowError> {
+        if let Some(e) = self.pending_error {
+            return Err(e);
+        }
+        self.spec.ensure_acyclic()?;
+        Ok(self.spec)
+    }
+}
+
+/// Builder for [`WorkflowView`]s over an existing specification, allowing
+/// groups to be declared by task id or by task name.
+#[derive(Debug)]
+pub struct ViewBuilder<'a> {
+    spec: &'a WorkflowSpec,
+    name: String,
+    groups: Vec<(String, Vec<TaskId>)>,
+    pending_error: Option<WorkflowError>,
+}
+
+impl<'a> ViewBuilder<'a> {
+    /// Starts building a view named `name` over `spec`.
+    #[must_use]
+    pub fn new(spec: &'a WorkflowSpec, name: impl Into<String>) -> Self {
+        ViewBuilder {
+            spec,
+            name: name.into(),
+            groups: Vec::new(),
+            pending_error: None,
+        }
+    }
+
+    /// Adds a composite task with explicit member ids.
+    #[must_use]
+    pub fn group(mut self, name: impl Into<String>, members: Vec<TaskId>) -> Self {
+        self.groups.push((name.into(), members));
+        self
+    }
+
+    /// Adds a composite task whose members are given by task name.
+    #[must_use]
+    pub fn group_by_name(mut self, name: impl Into<String>, members: &[&str]) -> Self {
+        let mut ids = Vec::with_capacity(members.len());
+        for &member in members {
+            match self.spec.task_by_name(member) {
+                Some(id) => ids.push(id),
+                None => {
+                    if self.pending_error.is_none() {
+                        self.pending_error =
+                            Some(WorkflowError::UnknownTaskName(member.to_owned()));
+                    }
+                }
+            }
+        }
+        self.groups.push((name.into(), ids));
+        self
+    }
+
+    /// Puts every task not mentioned by a previous group into its own
+    /// singleton composite named after the task.
+    #[must_use]
+    pub fn singletons_for_rest(mut self) -> Self {
+        let covered: std::collections::BTreeSet<TaskId> = self
+            .groups
+            .iter()
+            .flat_map(|(_, members)| members.iter().copied())
+            .collect();
+        for (id, task) in self.spec.tasks() {
+            if !covered.contains(&id) {
+                self.groups.push((task.name.clone(), vec![id]));
+            }
+        }
+        self
+    }
+
+    /// Builds the view.
+    ///
+    /// # Errors
+    /// Reports unknown task names and partition violations.
+    pub fn build(self) -> Result<WorkflowView, WorkflowError> {
+        if let Some(e) = self.pending_error {
+            return Err(e);
+        }
+        WorkflowView::from_groups(self.spec, self.name, self.groups)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_constructs_a_valid_spec() {
+        let mut b = WorkflowBuilder::new("demo");
+        let s = b.task("select");
+        let p = b.task("process");
+        let d = b.task("display");
+        b.chain(&[s, p, d]).unwrap();
+        let spec = b.build().unwrap();
+        assert_eq!(spec.task_count(), 3);
+        assert!(spec.reaches(s, d));
+    }
+
+    #[test]
+    fn builder_reports_duplicate_names_at_build_time() {
+        let mut b = WorkflowBuilder::new("demo");
+        let a1 = b.task("same");
+        let a2 = b.task("same");
+        assert_eq!(a1, a2);
+        assert!(matches!(
+            b.build(),
+            Err(WorkflowError::DuplicateTaskName(_))
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_cycles_at_build_time() {
+        let mut b = WorkflowBuilder::new("demo");
+        let a = b.task("a");
+        let c = b.task("b");
+        b.edge(a, c).unwrap();
+        b.edge(c, a).unwrap();
+        assert!(matches!(
+            b.build(),
+            Err(WorkflowError::CyclicSpecification(_))
+        ));
+    }
+
+    #[test]
+    fn view_builder_by_name_and_rest() {
+        let mut b = WorkflowBuilder::new("demo");
+        let s = b.task("select");
+        let p = b.task("process");
+        let d = b.task("display");
+        b.chain(&[s, p, d]).unwrap();
+        let spec = b.build().unwrap();
+
+        let view = ViewBuilder::new(&spec, "grouped")
+            .group_by_name("prepare", &["select", "process"])
+            .singletons_for_rest()
+            .build()
+            .unwrap();
+        assert_eq!(view.composite_count(), 2);
+        assert_eq!(view.composite_of(s), view.composite_of(p));
+        assert_ne!(view.composite_of(s), view.composite_of(d));
+    }
+
+    #[test]
+    fn view_builder_flags_unknown_names() {
+        let mut b = WorkflowBuilder::new("demo");
+        b.task("only");
+        let spec = b.build().unwrap();
+        let err = ViewBuilder::new(&spec, "v")
+            .group_by_name("g", &["missing"])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, WorkflowError::UnknownTaskName(_)));
+    }
+
+    #[test]
+    fn edge_named_carries_data_label() {
+        let mut b = WorkflowBuilder::new("demo");
+        let a = b.task("a");
+        let c = b.task("b");
+        b.edge_named(a, c, "sequences").unwrap();
+        let spec = b.build().unwrap();
+        assert_eq!(spec.dependency_count(), 1);
+    }
+}

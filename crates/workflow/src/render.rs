@@ -1,0 +1,102 @@
+//! Plain-text rendering of specifications and views.
+//!
+//! The demo GUI (paper Figure 4) has a specification panel and a view panel;
+//! this module produces equivalent textual summaries for the CLI and for the
+//! experiment logs. Rich, cluster-aware DOT output lives in
+//! [`wolves_graph::dot`] and the CLI displayer.
+
+use std::fmt::Write as _;
+
+use crate::spec::WorkflowSpec;
+use crate::view::WorkflowView;
+
+/// Renders a textual summary of a specification: task list and dependency
+/// list in deterministic order.
+#[must_use]
+pub fn describe_spec(spec: &WorkflowSpec) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "workflow '{}' ({} tasks, {} dependencies)",
+        spec.name(),
+        spec.task_count(),
+        spec.dependency_count()
+    );
+    for (id, task) in spec.tasks() {
+        let _ = writeln!(out, "  task {id}: {}", task.name);
+    }
+    for (from, to) in spec.dependencies() {
+        let from_name = spec.task(from).map(|t| t.name.clone()).unwrap_or_default();
+        let to_name = spec.task(to).map(|t| t.name.clone()).unwrap_or_default();
+        let _ = writeln!(out, "  dep  {from_name} -> {to_name}");
+    }
+    out
+}
+
+/// Renders a textual summary of a view: each composite task with its member
+/// tasks, plus the induced view-level edges.
+#[must_use]
+pub fn describe_view(spec: &WorkflowSpec, view: &WorkflowView) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "view '{}' ({} composite tasks)",
+        view.name(),
+        view.composite_count()
+    );
+    for (id, composite) in view.composites() {
+        let members: Vec<String> = composite
+            .members()
+            .iter()
+            .map(|&t| spec.task(t).map(|a| a.name.clone()).unwrap_or_default())
+            .collect();
+        let _ = writeln!(out, "  {id} '{}' = {{{}}}", composite.name, members.join(", "));
+    }
+    let induced = view.induced_graph(spec);
+    for (_, from, to, _) in induced.graph.edges() {
+        let cf = induced.composite_of(from).expect("induced node has composite");
+        let ct = induced.composite_of(to).expect("induced node has composite");
+        let from_name = view.composite(cf).map(|c| c.name.clone()).unwrap_or_default();
+        let to_name = view.composite(ct).map(|c| c.name.clone()).unwrap_or_default();
+        let _ = writeln!(out, "  edge {from_name} -> {to_name}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{ViewBuilder, WorkflowBuilder};
+
+    #[test]
+    fn describe_spec_lists_tasks_and_edges() {
+        let mut b = WorkflowBuilder::new("phylo");
+        let a = b.task("select");
+        let c = b.task("split");
+        b.edge(a, c).unwrap();
+        let spec = b.build().unwrap();
+        let text = describe_spec(&spec);
+        assert!(text.contains("workflow 'phylo' (2 tasks, 1 dependencies)"));
+        assert!(text.contains("task n0: select"));
+        assert!(text.contains("dep  select -> split"));
+    }
+
+    #[test]
+    fn describe_view_lists_composites_and_induced_edges() {
+        let mut b = WorkflowBuilder::new("phylo");
+        let a = b.task("select");
+        let c = b.task("split");
+        let d = b.task("align");
+        b.chain(&[a, c, d]).unwrap();
+        let spec = b.build().unwrap();
+        let view = ViewBuilder::new(&spec, "coarse")
+            .group_by_name("prep", &["select", "split"])
+            .singletons_for_rest()
+            .build()
+            .unwrap();
+        let text = describe_view(&spec, &view);
+        assert!(text.contains("view 'coarse' (2 composite tasks)"));
+        assert!(text.contains("'prep' = {select, split}"));
+        assert!(text.contains("edge prep -> align"));
+    }
+}

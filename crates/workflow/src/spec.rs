@@ -1,0 +1,297 @@
+//! Workflow specifications.
+
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+use wolves_graph::{DiGraph, ReachMatrix};
+
+use crate::error::WorkflowError;
+use crate::task::{AtomicTask, DataDependency, TaskId};
+
+/// A workflow specification: a DAG of atomic tasks connected by data
+/// dependencies (paper Figure 1(a)).
+///
+/// The specification owns a lazily computed all-pairs reachability matrix;
+/// every soundness question ultimately reduces to `reach(t1, t2)` queries
+/// against it. Mutating the specification invalidates the cache.
+#[derive(Debug)]
+pub struct WorkflowSpec {
+    name: String,
+    graph: DiGraph<AtomicTask, DataDependency>,
+    by_name: BTreeMap<String, TaskId>,
+    reach: OnceLock<ReachMatrix>,
+}
+
+impl Clone for WorkflowSpec {
+    fn clone(&self) -> Self {
+        WorkflowSpec {
+            name: self.name.clone(),
+            graph: self.graph.clone(),
+            by_name: self.by_name.clone(),
+            reach: OnceLock::new(),
+        }
+    }
+}
+
+impl WorkflowSpec {
+    /// Creates an empty specification.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        WorkflowSpec {
+            name: name.into(),
+            graph: DiGraph::new(),
+            by_name: BTreeMap::new(),
+            reach: OnceLock::new(),
+        }
+    }
+
+    /// The specification's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of atomic tasks.
+    #[must_use]
+    pub fn task_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Number of data dependencies.
+    #[must_use]
+    pub fn dependency_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// Adds an atomic task.
+    ///
+    /// # Errors
+    /// Fails if a task with the same name already exists.
+    pub fn add_task(&mut self, task: AtomicTask) -> Result<TaskId, WorkflowError> {
+        if self.by_name.contains_key(&task.name) {
+            return Err(WorkflowError::DuplicateTaskName(task.name));
+        }
+        let name = task.name.clone();
+        let id = self.graph.add_node(task);
+        self.by_name.insert(name, id);
+        self.invalidate();
+        Ok(id)
+    }
+
+    /// Adds a data dependency `from -> to`.
+    ///
+    /// Duplicate dependencies between the same tasks are rejected — a data
+    /// dependency either exists or it does not.
+    ///
+    /// # Errors
+    /// Fails on unknown endpoints, self-loops and duplicates.
+    pub fn add_dependency(
+        &mut self,
+        from: TaskId,
+        to: TaskId,
+        dependency: DataDependency,
+    ) -> Result<(), WorkflowError> {
+        self.graph.add_edge_unique(from, to, dependency)?;
+        self.invalidate();
+        Ok(())
+    }
+
+    /// Looks up a task id by name.
+    #[must_use]
+    pub fn task_by_name(&self, name: &str) -> Option<TaskId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Returns the task payload for an id.
+    ///
+    /// # Errors
+    /// Fails if the id does not belong to this specification.
+    pub fn task(&self, id: TaskId) -> Result<&AtomicTask, WorkflowError> {
+        self.graph
+            .node_weight(id)
+            .map_err(|_| WorkflowError::UnknownTask(id))
+    }
+
+    /// Returns `true` if `id` names a task of this specification.
+    #[must_use]
+    pub fn contains_task(&self, id: TaskId) -> bool {
+        self.graph.contains_node(id)
+    }
+
+    /// Iterates over all task ids in id order.
+    pub fn task_ids(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.graph.node_ids()
+    }
+
+    /// Iterates over `(id, task)` pairs.
+    pub fn tasks(&self) -> impl Iterator<Item = (TaskId, &AtomicTask)> + '_ {
+        self.graph.nodes()
+    }
+
+    /// Iterates over all `(from, to)` data dependencies.
+    pub fn dependencies(&self) -> impl Iterator<Item = (TaskId, TaskId)> + '_ {
+        self.graph.edges().map(|(_, s, t, _)| (s, t))
+    }
+
+    /// Direct successors (downstream tasks) of a task.
+    pub fn successors(&self, id: TaskId) -> impl Iterator<Item = TaskId> + '_ {
+        self.graph.successors(id)
+    }
+
+    /// Direct predecessors (upstream tasks) of a task.
+    pub fn predecessors(&self, id: TaskId) -> impl Iterator<Item = TaskId> + '_ {
+        self.graph.predecessors(id)
+    }
+
+    /// The underlying graph, for algorithms that need direct access (layout,
+    /// DOT export, provenance simulation).
+    #[must_use]
+    pub fn graph(&self) -> &DiGraph<AtomicTask, DataDependency> {
+        &self.graph
+    }
+
+    /// Checks that the specification is a DAG.
+    ///
+    /// # Errors
+    /// Returns [`WorkflowError::CyclicSpecification`] naming a task on a
+    /// cycle.
+    pub fn ensure_acyclic(&self) -> Result<(), WorkflowError> {
+        match wolves_graph::topo::topological_sort(&self.graph) {
+            Ok(_) => Ok(()),
+            Err(wolves_graph::GraphError::CycleDetected(n)) => {
+                Err(WorkflowError::CyclicSpecification(n))
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Returns the all-pairs reachability matrix, computing it on first use.
+    ///
+    /// `reachability().reachable(a, b)` is `true` iff there is a directed
+    /// path (of length ≥ 0) from `a` to `b` in the specification — exactly
+    /// the "directed path in the workflow specification" of Definitions 2.1
+    /// and 2.3.
+    #[must_use]
+    pub fn reachability(&self) -> &ReachMatrix {
+        self.reach
+            .get_or_init(|| ReachMatrix::build(&self.graph).expect("reachability is infallible"))
+    }
+
+    /// Convenience wrapper for a single reachability query.
+    #[must_use]
+    pub fn reaches(&self, from: TaskId, to: TaskId) -> bool {
+        self.reachability().reachable(from, to)
+    }
+
+    /// A deterministic topological order of the tasks.
+    ///
+    /// # Errors
+    /// Fails if the specification is cyclic.
+    pub fn topological_order(&self) -> Result<Vec<TaskId>, WorkflowError> {
+        wolves_graph::topo::topological_sort(&self.graph).map_err(Into::into)
+    }
+
+    fn invalidate(&mut self) {
+        self.reach = OnceLock::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_spec() -> (WorkflowSpec, Vec<TaskId>) {
+        let mut spec = WorkflowSpec::new("linear");
+        let ids: Vec<TaskId> = (0..4)
+            .map(|i| spec.add_task(AtomicTask::new(format!("t{i}"))).unwrap())
+            .collect();
+        for w in ids.windows(2) {
+            spec.add_dependency(w[0], w[1], DataDependency::unnamed())
+                .unwrap();
+        }
+        (spec, ids)
+    }
+
+    #[test]
+    fn build_and_query_tasks() {
+        let (spec, ids) = linear_spec();
+        assert_eq!(spec.task_count(), 4);
+        assert_eq!(spec.dependency_count(), 3);
+        assert_eq!(spec.task(ids[0]).unwrap().name, "t0");
+        assert_eq!(spec.task_by_name("t2"), Some(ids[2]));
+        assert_eq!(spec.task_by_name("zzz"), None);
+        assert!(spec.contains_task(ids[3]));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut spec = WorkflowSpec::new("dups");
+        spec.add_task(AtomicTask::new("same")).unwrap();
+        assert!(matches!(
+            spec.add_task(AtomicTask::new("same")),
+            Err(WorkflowError::DuplicateTaskName(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_dependencies_rejected() {
+        let (mut spec, ids) = linear_spec();
+        assert!(spec
+            .add_dependency(ids[0], ids[1], DataDependency::unnamed())
+            .is_err());
+    }
+
+    #[test]
+    fn reachability_follows_paths() {
+        let (spec, ids) = linear_spec();
+        assert!(spec.reaches(ids[0], ids[3]));
+        assert!(spec.reaches(ids[2], ids[2]));
+        assert!(!spec.reaches(ids[3], ids[0]));
+    }
+
+    #[test]
+    fn reachability_cache_invalidated_on_mutation() {
+        let (mut spec, ids) = linear_spec();
+        assert!(!spec.reaches(ids[3], ids[0]));
+        let extra = spec.add_task(AtomicTask::new("extra")).unwrap();
+        spec.add_dependency(ids[3], extra, DataDependency::unnamed())
+            .unwrap();
+        assert!(spec.reaches(ids[0], extra));
+    }
+
+    #[test]
+    fn acyclicity_check() {
+        let (spec, _) = linear_spec();
+        assert!(spec.ensure_acyclic().is_ok());
+        // the graph substrate allows cycles (imported workflows might have
+        // them); ensure_acyclic must flag them
+        let mut cyclic = WorkflowSpec::new("cyclic");
+        let a = cyclic.add_task(AtomicTask::new("a")).unwrap();
+        let b = cyclic.add_task(AtomicTask::new("b")).unwrap();
+        cyclic
+            .add_dependency(a, b, DataDependency::unnamed())
+            .unwrap();
+        cyclic
+            .add_dependency(b, a, DataDependency::unnamed())
+            .unwrap();
+        assert!(matches!(
+            cyclic.ensure_acyclic(),
+            Err(WorkflowError::CyclicSpecification(_))
+        ));
+    }
+
+    #[test]
+    fn topological_order_respects_dependencies() {
+        let (spec, ids) = linear_spec();
+        let order = spec.topological_order().unwrap();
+        assert_eq!(order, ids);
+    }
+
+    #[test]
+    fn clone_preserves_structure() {
+        let (spec, ids) = linear_spec();
+        let cloned = spec.clone();
+        assert_eq!(cloned.task_count(), 4);
+        assert!(cloned.reaches(ids[0], ids[3]));
+    }
+}

@@ -1,0 +1,111 @@
+//! Atomic tasks and data-dependency edges.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of an atomic task within a [`crate::WorkflowSpec`].
+///
+/// Task ids are the node ids of the underlying graph; they are stable across
+/// view construction, correction and rendering.
+pub type TaskId = wolves_graph::NodeId;
+
+/// An atomic task of a workflow specification — one node of Figure 1(a) in
+/// the paper (e.g. *"Select entries from DB"* or *"Create alignment"*).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomicTask {
+    /// Human-readable task name. Names are unique within a specification.
+    pub name: String,
+    /// Optional longer description shown by the displayer.
+    pub description: Option<String>,
+    /// Free-form key/value parameters (module name, script, tool version…).
+    pub params: BTreeMap<String, String>,
+}
+
+impl AtomicTask {
+    /// Creates a task with just a name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        AtomicTask {
+            name: name.into(),
+            description: None,
+            params: BTreeMap::new(),
+        }
+    }
+
+    /// Builder-style setter for the description.
+    #[must_use]
+    pub fn with_description(mut self, description: impl Into<String>) -> Self {
+        self.description = Some(description.into());
+        self
+    }
+
+    /// Builder-style setter adding one parameter.
+    #[must_use]
+    pub fn with_param(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.params.insert(key.into(), value.into());
+        self
+    }
+}
+
+impl fmt::Display for AtomicTask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// A data dependency between two atomic tasks: the edge of the workflow
+/// specification. The paper's Figure 1 omits the data items "for simplicity";
+/// we keep an optional label so provenance simulation can name the data that
+/// flows along the edge.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DataDependency {
+    /// Optional name of the data item carried by this dependency.
+    pub label: Option<String>,
+}
+
+impl DataDependency {
+    /// A dependency carrying an unnamed data item.
+    #[must_use]
+    pub fn unnamed() -> Self {
+        DataDependency { label: None }
+    }
+
+    /// A dependency carrying a named data item.
+    #[must_use]
+    pub fn named(label: impl Into<String>) -> Self {
+        DataDependency {
+            label: Some(label.into()),
+        }
+    }
+}
+
+impl fmt::Display for DataDependency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.label {
+            Some(label) => write!(f, "{label}"),
+            None => write!(f, "(data)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_task_builder_style() {
+        let t = AtomicTask::new("Curate annotations")
+            .with_description("manual curation step")
+            .with_param("tool", "curator-2.1");
+        assert_eq!(t.name, "Curate annotations");
+        assert_eq!(t.description.as_deref(), Some("manual curation step"));
+        assert_eq!(t.params.get("tool").map(String::as_str), Some("curator-2.1"));
+        assert_eq!(t.to_string(), "Curate annotations");
+    }
+
+    #[test]
+    fn data_dependency_display() {
+        assert_eq!(DataDependency::unnamed().to_string(), "(data)");
+        assert_eq!(DataDependency::named("alignment").to_string(), "alignment");
+    }
+}

@@ -1,0 +1,549 @@
+//! Workflow views: partitions of a specification's tasks into composite
+//! tasks, and the induced view-level graph.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use wolves_graph::{DiGraph, NodeId};
+
+use crate::error::WorkflowError;
+use crate::spec::WorkflowSpec;
+use crate::task::TaskId;
+
+/// Identifier of a composite task within a [`WorkflowView`].
+///
+/// Composite ids are stable: splitting or merging composites never renumbers
+/// the untouched ones.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CompositeTaskId(u32);
+
+impl CompositeTaskId {
+    /// Creates a composite id from a raw index (mainly for tests / formats).
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        CompositeTaskId(u32::try_from(index).expect("composite index exceeds u32"))
+    }
+
+    /// Raw index of the id.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for CompositeTaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl fmt::Display for CompositeTaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A composite task: a named, non-empty set of atomic tasks (paper §1 —
+/// "abstracting groups of tasks in a workflow into high level composite
+/// tasks").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompositeTask {
+    /// Display name of the composite task (e.g. *"Build Phylo Tree"*).
+    pub name: String,
+    members: BTreeSet<TaskId>,
+}
+
+impl CompositeTask {
+    /// Creates a composite task from a name and member set.
+    ///
+    /// # Errors
+    /// Fails if the member set is empty.
+    pub fn new(
+        name: impl Into<String>,
+        members: impl IntoIterator<Item = TaskId>,
+    ) -> Result<Self, WorkflowError> {
+        let name = name.into();
+        let members: BTreeSet<TaskId> = members.into_iter().collect();
+        if members.is_empty() {
+            return Err(WorkflowError::EmptyComposite(name));
+        }
+        Ok(CompositeTask { name, members })
+    }
+
+    /// The member atomic tasks, in ascending id order.
+    #[must_use]
+    pub fn members(&self) -> &BTreeSet<TaskId> {
+        &self.members
+    }
+
+    /// Number of member atomic tasks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` for composites wrapping exactly one atomic task.
+    #[must_use]
+    pub fn is_singleton(&self) -> bool {
+        self.members.len() == 1
+    }
+
+    /// Never true — composites are non-empty by construction. Provided for
+    /// API symmetry with collections.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Membership test.
+    #[must_use]
+    pub fn contains(&self, task: TaskId) -> bool {
+        self.members.contains(&task)
+    }
+}
+
+/// A workflow view: a partition of the atomic tasks of one specification
+/// into composite tasks (paper Figure 1(b)).
+#[derive(Debug, Clone)]
+pub struct WorkflowView {
+    name: String,
+    composites: Vec<Option<CompositeTask>>,
+    task_to_composite: BTreeMap<TaskId, CompositeTaskId>,
+}
+
+impl WorkflowView {
+    /// Builds a view from named groups of task ids.
+    ///
+    /// # Errors
+    /// Fails if the groups are not a partition of the specification's tasks
+    /// (some task missing or assigned twice), reference unknown tasks, or if
+    /// any group is empty.
+    pub fn from_groups(
+        spec: &WorkflowSpec,
+        name: impl Into<String>,
+        groups: Vec<(String, Vec<TaskId>)>,
+    ) -> Result<Self, WorkflowError> {
+        let mut view = WorkflowView {
+            name: name.into(),
+            composites: Vec::with_capacity(groups.len()),
+            task_to_composite: BTreeMap::new(),
+        };
+        let mut duplicated = Vec::new();
+        for (group_name, members) in groups {
+            for &m in &members {
+                if !spec.contains_task(m) {
+                    return Err(WorkflowError::UnknownTask(m));
+                }
+            }
+            let composite = CompositeTask::new(group_name, members)?;
+            let id = CompositeTaskId::from_index(view.composites.len());
+            for &m in composite.members() {
+                if view.task_to_composite.insert(m, id).is_some() {
+                    duplicated.push(m);
+                }
+            }
+            view.composites.push(Some(composite));
+        }
+        let missing: Vec<TaskId> = spec
+            .task_ids()
+            .filter(|t| !view.task_to_composite.contains_key(t))
+            .collect();
+        if !missing.is_empty() || !duplicated.is_empty() {
+            return Err(WorkflowError::NotAPartition {
+                missing,
+                duplicated,
+            });
+        }
+        Ok(view)
+    }
+
+    /// Builds the finest view: one composite task per atomic task, named
+    /// after the task.
+    #[must_use]
+    pub fn singletons(spec: &WorkflowSpec, name: impl Into<String>) -> Self {
+        let groups = spec
+            .tasks()
+            .map(|(id, task)| (task.name.clone(), vec![id]))
+            .collect();
+        Self::from_groups(spec, name, groups).expect("singleton view is always a partition")
+    }
+
+    /// The view's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of live composite tasks.
+    #[must_use]
+    pub fn composite_count(&self) -> usize {
+        self.composites.iter().flatten().count()
+    }
+
+    /// Iterates over `(id, composite)` pairs in id order.
+    pub fn composites(&self) -> impl Iterator<Item = (CompositeTaskId, &CompositeTask)> + '_ {
+        self.composites.iter().enumerate().filter_map(|(i, c)| {
+            c.as_ref().map(|c| (CompositeTaskId::from_index(i), c))
+        })
+    }
+
+    /// Iterates over live composite ids.
+    pub fn composite_ids(&self) -> impl Iterator<Item = CompositeTaskId> + '_ {
+        self.composites().map(|(id, _)| id)
+    }
+
+    /// Returns a composite task by id.
+    ///
+    /// # Errors
+    /// Fails for unknown or removed ids.
+    pub fn composite(&self, id: CompositeTaskId) -> Result<&CompositeTask, WorkflowError> {
+        self.composites
+            .get(id.index())
+            .and_then(|c| c.as_ref())
+            .ok_or(WorkflowError::UnknownComposite(id))
+    }
+
+    /// Returns the composite task containing `task`, if any.
+    #[must_use]
+    pub fn composite_of(&self, task: TaskId) -> Option<CompositeTaskId> {
+        self.task_to_composite.get(&task).copied()
+    }
+
+    /// Checks that the view is still a partition of `spec`'s tasks (used
+    /// after specs and views are loaded from separate files).
+    ///
+    /// # Errors
+    /// Returns [`WorkflowError::NotAPartition`] describing the mismatch.
+    pub fn validate_against(&self, spec: &WorkflowSpec) -> Result<(), WorkflowError> {
+        let missing: Vec<TaskId> = spec
+            .task_ids()
+            .filter(|t| !self.task_to_composite.contains_key(t))
+            .collect();
+        let unknown: Vec<TaskId> = self
+            .task_to_composite
+            .keys()
+            .copied()
+            .filter(|t| !spec.contains_task(*t))
+            .collect();
+        if missing.is_empty() && unknown.is_empty() {
+            Ok(())
+        } else {
+            Err(WorkflowError::NotAPartition {
+                missing,
+                duplicated: unknown,
+            })
+        }
+    }
+
+    /// Replaces one composite task by several smaller ones covering exactly
+    /// the same member tasks — the *split* operation used by the view
+    /// correctors (paper §2.2).
+    ///
+    /// Part names are derived from the original name (`"name/1"`, `"name/2"`,
+    /// …) unless only one part is supplied, which keeps the original name.
+    ///
+    /// # Errors
+    /// Fails if the id is unknown, any part is empty, or the parts do not
+    /// partition the original member set.
+    pub fn split_composite(
+        &mut self,
+        id: CompositeTaskId,
+        parts: Vec<Vec<TaskId>>,
+    ) -> Result<Vec<CompositeTaskId>, WorkflowError> {
+        let original = self.composite(id)?.clone();
+        // verify the parts partition the original members
+        let mut seen: BTreeSet<TaskId> = BTreeSet::new();
+        let mut duplicated = Vec::new();
+        for part in &parts {
+            if part.is_empty() {
+                return Err(WorkflowError::EmptyComposite(original.name.clone()));
+            }
+            for &t in part {
+                if !original.contains(t) {
+                    return Err(WorkflowError::UnknownTask(t));
+                }
+                if !seen.insert(t) {
+                    duplicated.push(t);
+                }
+            }
+        }
+        let missing: Vec<TaskId> = original
+            .members()
+            .iter()
+            .copied()
+            .filter(|t| !seen.contains(t))
+            .collect();
+        if !missing.is_empty() || !duplicated.is_empty() {
+            return Err(WorkflowError::NotAPartition {
+                missing,
+                duplicated,
+            });
+        }
+        // perform the replacement
+        self.composites[id.index()] = None;
+        let single = parts.len() == 1;
+        let mut new_ids = Vec::with_capacity(parts.len());
+        for (i, part) in parts.into_iter().enumerate() {
+            let name = if single {
+                original.name.clone()
+            } else {
+                format!("{}/{}", original.name, i + 1)
+            };
+            let composite = CompositeTask::new(name, part)?;
+            let new_id = CompositeTaskId::from_index(self.composites.len());
+            for &m in composite.members() {
+                self.task_to_composite.insert(m, new_id);
+            }
+            self.composites.push(Some(composite));
+            new_ids.push(new_id);
+        }
+        Ok(new_ids)
+    }
+
+    /// Merges several composite tasks into one — the *Create Composite Task*
+    /// feedback operation of the demo (paper §3.2).
+    ///
+    /// # Errors
+    /// Fails if fewer than one id is given or any id is unknown.
+    pub fn merge_composites(
+        &mut self,
+        ids: &[CompositeTaskId],
+        name: impl Into<String>,
+    ) -> Result<CompositeTaskId, WorkflowError> {
+        let name = name.into();
+        if ids.is_empty() {
+            return Err(WorkflowError::EmptyComposite(name));
+        }
+        let mut members: BTreeSet<TaskId> = BTreeSet::new();
+        for &id in ids {
+            let composite = self.composite(id)?;
+            members.extend(composite.members().iter().copied());
+        }
+        for &id in ids {
+            self.composites[id.index()] = None;
+        }
+        let composite = CompositeTask::new(name, members)?;
+        let new_id = CompositeTaskId::from_index(self.composites.len());
+        for &m in composite.members() {
+            self.task_to_composite.insert(m, new_id);
+        }
+        self.composites.push(Some(composite));
+        Ok(new_id)
+    }
+
+    /// Builds the induced view-level graph: one node per composite task, and
+    /// an edge `A -> B` whenever the specification has a data dependency from
+    /// a member of `A` to a member of `B` (A ≠ B). This is the graph users
+    /// query for provenance at the view level.
+    #[must_use]
+    pub fn induced_graph(&self, spec: &WorkflowSpec) -> InducedViewGraph {
+        let mut graph: DiGraph<CompositeTaskId, ()> = DiGraph::new();
+        let mut node_of: BTreeMap<CompositeTaskId, NodeId> = BTreeMap::new();
+        for (id, _) in self.composites() {
+            let node = graph.add_node(id);
+            node_of.insert(id, node);
+        }
+        for (from, to) in spec.dependencies() {
+            let (Some(cf), Some(ct)) = (self.composite_of(from), self.composite_of(to)) else {
+                continue;
+            };
+            if cf != ct {
+                let _ = graph.add_edge_unique(node_of[&cf], node_of[&ct], ());
+            }
+        }
+        InducedViewGraph { graph, node_of }
+    }
+}
+
+/// The view-level graph induced by a [`WorkflowView`] over a specification,
+/// plus the mapping between composite ids and graph nodes.
+#[derive(Debug, Clone)]
+pub struct InducedViewGraph {
+    /// The induced graph; node payloads are composite ids.
+    pub graph: DiGraph<CompositeTaskId, ()>,
+    node_of: BTreeMap<CompositeTaskId, NodeId>,
+}
+
+impl InducedViewGraph {
+    /// The graph node representing a composite task.
+    #[must_use]
+    pub fn node_of(&self, composite: CompositeTaskId) -> Option<NodeId> {
+        self.node_of.get(&composite).copied()
+    }
+
+    /// The composite task represented by a graph node.
+    #[must_use]
+    pub fn composite_of(&self, node: NodeId) -> Option<CompositeTaskId> {
+        self.graph.node_weight(node).ok().copied()
+    }
+
+    /// `true` iff the view has a direct edge from one composite to another.
+    #[must_use]
+    pub fn has_edge(&self, from: CompositeTaskId, to: CompositeTaskId) -> bool {
+        match (self.node_of(from), self.node_of(to)) {
+            (Some(f), Some(t)) => self.graph.find_edge(f, t).is_some(),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{AtomicTask, DataDependency};
+
+    fn spec_chain(n: usize) -> (WorkflowSpec, Vec<TaskId>) {
+        let mut spec = WorkflowSpec::new("chain");
+        let ids: Vec<TaskId> = (0..n)
+            .map(|i| spec.add_task(AtomicTask::new(format!("t{i}"))).unwrap())
+            .collect();
+        for w in ids.windows(2) {
+            spec.add_dependency(w[0], w[1], DataDependency::unnamed())
+                .unwrap();
+        }
+        (spec, ids)
+    }
+
+    #[test]
+    fn from_groups_requires_a_partition() {
+        let (spec, ids) = spec_chain(4);
+        // missing ids[3]
+        let err = WorkflowView::from_groups(
+            &spec,
+            "v",
+            vec![("a".into(), vec![ids[0], ids[1]]), ("b".into(), vec![ids[2]])],
+        )
+        .unwrap_err();
+        assert!(matches!(err, WorkflowError::NotAPartition { .. }));
+        // duplicated ids[1]
+        let err = WorkflowView::from_groups(
+            &spec,
+            "v",
+            vec![
+                ("a".into(), vec![ids[0], ids[1]]),
+                ("b".into(), vec![ids[1], ids[2], ids[3]]),
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, WorkflowError::NotAPartition { .. }));
+    }
+
+    #[test]
+    fn from_groups_rejects_unknown_and_empty() {
+        let (spec, ids) = spec_chain(2);
+        let ghost = TaskId::from_index(99);
+        assert!(matches!(
+            WorkflowView::from_groups(&spec, "v", vec![("a".into(), vec![ids[0], ids[1], ghost])]),
+            Err(WorkflowError::UnknownTask(_))
+        ));
+        assert!(matches!(
+            WorkflowView::from_groups(
+                &spec,
+                "v",
+                vec![("a".into(), vec![ids[0], ids[1]]), ("b".into(), vec![])]
+            ),
+            Err(WorkflowError::EmptyComposite(_))
+        ));
+    }
+
+    #[test]
+    fn singleton_view_covers_every_task() {
+        let (spec, ids) = spec_chain(5);
+        let view = WorkflowView::singletons(&spec, "fine");
+        assert_eq!(view.composite_count(), 5);
+        for id in ids {
+            let c = view.composite_of(id).unwrap();
+            assert!(view.composite(c).unwrap().is_singleton());
+        }
+    }
+
+    #[test]
+    fn induced_graph_preserves_cross_edges_only() {
+        let (spec, ids) = spec_chain(4);
+        let view = WorkflowView::from_groups(
+            &spec,
+            "v",
+            vec![
+                ("ab".into(), vec![ids[0], ids[1]]),
+                ("cd".into(), vec![ids[2], ids[3]]),
+            ],
+        )
+        .unwrap();
+        let induced = view.induced_graph(&spec);
+        assert_eq!(induced.graph.node_count(), 2);
+        assert_eq!(induced.graph.edge_count(), 1);
+        let a = view.composite_of(ids[0]).unwrap();
+        let b = view.composite_of(ids[2]).unwrap();
+        assert!(induced.has_edge(a, b));
+        assert!(!induced.has_edge(b, a));
+    }
+
+    #[test]
+    fn split_composite_replaces_and_keeps_partition() {
+        let (spec, ids) = spec_chain(4);
+        let mut view = WorkflowView::from_groups(
+            &spec,
+            "v",
+            vec![("all".into(), ids.clone())],
+        )
+        .unwrap();
+        let target = view.composite_of(ids[0]).unwrap();
+        let new_ids = view
+            .split_composite(target, vec![vec![ids[0], ids[1]], vec![ids[2], ids[3]]])
+            .unwrap();
+        assert_eq!(new_ids.len(), 2);
+        assert_eq!(view.composite_count(), 2);
+        assert!(view.validate_against(&spec).is_ok());
+        assert!(view.composite(target).is_err());
+        assert_ne!(view.composite_of(ids[0]), view.composite_of(ids[3]));
+        let names: Vec<&str> = view.composites().map(|(_, c)| c.name.as_str()).collect();
+        assert!(names.contains(&"all/1"));
+        assert!(names.contains(&"all/2"));
+    }
+
+    #[test]
+    fn split_rejects_non_partitions_of_members() {
+        let (spec, ids) = spec_chain(3);
+        let mut view =
+            WorkflowView::from_groups(&spec, "v", vec![("all".into(), ids.clone())]).unwrap();
+        let target = view.composite_of(ids[0]).unwrap();
+        // missing ids[2]
+        assert!(view
+            .split_composite(target, vec![vec![ids[0]], vec![ids[1]]])
+            .is_err());
+        // foreign task
+        let (_, other_ids) = spec_chain(5);
+        assert!(view
+            .split_composite(target, vec![ids.clone(), vec![other_ids[4]]])
+            .is_err());
+        // the failed splits must not have corrupted the view
+        assert!(view.validate_against(&spec).is_ok());
+        assert_eq!(view.composite_count(), 1);
+    }
+
+    #[test]
+    fn merge_composites_implements_feedback() {
+        let (spec, ids) = spec_chain(4);
+        let mut view = WorkflowView::singletons(&spec, "fine");
+        let a = view.composite_of(ids[0]).unwrap();
+        let b = view.composite_of(ids[1]).unwrap();
+        let merged = view.merge_composites(&[a, b], "front").unwrap();
+        assert_eq!(view.composite_count(), 3);
+        assert_eq!(view.composite_of(ids[0]), Some(merged));
+        assert_eq!(view.composite_of(ids[1]), Some(merged));
+        assert_eq!(view.composite(merged).unwrap().len(), 2);
+        assert!(view.validate_against(&spec).is_ok());
+    }
+
+    #[test]
+    fn composite_ids_are_stable_across_edits() {
+        let (spec, ids) = spec_chain(4);
+        let mut view = WorkflowView::singletons(&spec, "fine");
+        let untouched = view.composite_of(ids[3]).unwrap();
+        let a = view.composite_of(ids[0]).unwrap();
+        let b = view.composite_of(ids[1]).unwrap();
+        view.merge_composites(&[a, b], "front").unwrap();
+        assert_eq!(view.composite_of(ids[3]), Some(untouched));
+        assert_eq!(view.composite(untouched).unwrap().name, "t3");
+    }
+}

@@ -1,0 +1,84 @@
+//! Repository audit: generate a synthetic workflow repository (standing in
+//! for Kepler / myExperiment.org), audit every stored view for soundness,
+//! correct the unsound ones, and print summary statistics — the batch-mode
+//! counterpart of the interactive demo.
+//!
+//! Run with `cargo run --example repository_audit [seed-count]`.
+
+use wolves::core::correct::{correct_view, Strategy};
+use wolves::core::estimate::{CorrectionSample, EstimationRegistry, WorkloadClass};
+use wolves::core::validate::validate;
+use wolves::repo::suite::standard_suite;
+
+fn main() {
+    let seeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let cases = standard_suite(0..seeds);
+    println!(
+        "audited repository: {} workflow/view pairs (seeds 0..{seeds})",
+        cases.len()
+    );
+
+    let registry = EstimationRegistry::new();
+    let mut sound = 0usize;
+    let mut unsound = 0usize;
+    let mut composites_split = 0usize;
+
+    for case in &cases {
+        let report = validate(&case.spec, &case.view);
+        if report.is_sound() {
+            sound += 1;
+            continue;
+        }
+        unsound += 1;
+        let unsound_ids = report.unsound_composites();
+        println!(
+            "  {:<28} {} unsound composite task(s)",
+            case.name,
+            unsound_ids.len()
+        );
+        // correct with the strong corrector and record the outcome in the
+        // estimation registry (what the demo uses to predict future costs)
+        let corrector = Strategy::Strong.corrector();
+        let (corrected, correction) =
+            correct_view(&case.spec, &case.view, corrector.as_ref()).expect("correction succeeds");
+        assert!(validate(&case.spec, &corrected).is_sound());
+        composites_split += correction.corrections.len();
+        for outcome in &correction.corrections {
+            let members = case
+                .view
+                .composite(outcome.original)
+                .expect("original composite exists")
+                .members()
+                .clone();
+            let class = WorkloadClass::classify(&case.spec, &members);
+            registry.record(
+                class,
+                CorrectionSample {
+                    strategy: Strategy::Strong,
+                    elapsed: outcome.elapsed,
+                    quality: 1.0,
+                },
+            );
+        }
+    }
+
+    println!();
+    println!("sound views            : {sound}");
+    println!("unsound views          : {unsound}");
+    println!("composite tasks split  : {composites_split}");
+    println!("recorded samples       : {}", registry.len());
+    // show what the estimator would now predict for a mid-sized composite
+    let class = WorkloadClass {
+        size_bucket: 8,
+        density_decile: 3,
+    };
+    if let Some(estimate) = registry.estimate(class, Strategy::Strong) {
+        println!(
+            "estimated strong-corrector time for an 8-task composite: {:.1?} (from {} samples)",
+            estimate.avg_elapsed, estimate.samples
+        );
+    }
+}

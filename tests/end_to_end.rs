@@ -1,0 +1,125 @@
+//! End-to-end integration tests spanning the whole workspace: import,
+//! validation, correction, feedback, provenance and export.
+
+use wolves::core::correct::{correct_view, Strategy};
+use wolves::core::feedback::FeedbackSession;
+use wolves::core::validate::{validate, validate_by_definition};
+use wolves::moml::{from_moml, read_text_format, to_moml, write_text_format};
+use wolves::provenance::{
+    compare_to_ground_truth, view_level_provenance, workflow_level_provenance,
+};
+use wolves::repo::{figure1, figure3};
+use wolves::repo::suite::standard_suite;
+
+#[test]
+fn figure1_full_pipeline_import_validate_correct_query() {
+    // export the fixture to MOML, re-import it, and run the whole pipeline
+    // on the imported copy — exercising the demo's "Import and Understand"
+    // module together with validator, corrector and provenance analysis
+    let fixture = figure1();
+    let moml = to_moml(&fixture.spec, Some(&fixture.view));
+    let imported = from_moml(&moml).expect("exported MOML re-imports");
+    let spec = imported.spec;
+    let view = imported.view.expect("view was exported");
+
+    let validation = validate(&spec, &view);
+    assert!(!validation.is_sound());
+    assert_eq!(validation.unsound_composites().len(), 1);
+
+    for strategy in Strategy::ALL {
+        let corrector = strategy.corrector();
+        let (corrected, report) = correct_view(&spec, &view, corrector.as_ref()).unwrap();
+        assert!(validate(&spec, &corrected).is_sound());
+        assert!(validate_by_definition(&spec, &corrected).is_sound());
+        assert_eq!(report.corrections.len(), 1);
+
+        // provenance of the formatted alignment is exact after correction
+        let subject = spec.task_by_name("Format alignment").unwrap();
+        let truth = workflow_level_provenance(&spec, subject);
+        let answer = view_level_provenance(&spec, &corrected, subject);
+        assert!(compare_to_ground_truth(&truth, &answer).is_exact());
+    }
+}
+
+#[test]
+fn figure3_corrector_separation_matches_the_paper() {
+    let fixture = figure3();
+    let weak = Strategy::Weak.corrector();
+    let strong = Strategy::Strong.corrector();
+    let optimal = Strategy::Optimal.corrector();
+    let weak_split = weak.split(&fixture.spec, &fixture.members).unwrap();
+    let strong_split = strong.split(&fixture.spec, &fixture.members).unwrap();
+    let optimal_split = optimal.split(&fixture.spec, &fixture.members).unwrap();
+    assert_eq!(weak_split.part_count(), 8);
+    assert_eq!(strong_split.part_count(), 5);
+    assert_eq!(optimal_split.part_count(), 5);
+}
+
+#[test]
+fn interactive_feedback_session_over_an_imported_workflow() {
+    let fixture = figure1();
+    let text = write_text_format(&fixture.spec, Some(&fixture.view));
+    let imported = read_text_format(&text).expect("text format round-trips");
+    let spec = imported.spec;
+    let view = imported.view.expect("view present");
+
+    let mut session = FeedbackSession::new(&spec, view);
+    assert!(!session.is_sound());
+    session
+        .correct_all(Strategy::Strong.corrector().as_ref())
+        .unwrap();
+    assert!(session.is_sound());
+
+    // the user merges two composites; if the merge is unsound another
+    // correction round fixes it again
+    let ids: Vec<_> = session.view().composite_ids().take(2).collect();
+    let (_, merged_sound) = session.merge(&ids, "user merge").unwrap();
+    if !merged_sound {
+        session
+            .correct_all(Strategy::Weak.corrector().as_ref())
+            .unwrap();
+    }
+    assert!(session.is_sound());
+    let refined = session.finish();
+    assert!(refined.validate_against(&spec).is_ok());
+}
+
+#[test]
+fn every_suite_view_can_be_corrected_by_both_polynomial_correctors() {
+    for case in standard_suite(0..2) {
+        for strategy in [Strategy::Weak, Strategy::Strong] {
+            let corrector = strategy.corrector();
+            let (corrected, _) = correct_view(&case.spec, &case.view, corrector.as_ref())
+                .unwrap_or_else(|e| panic!("{} failed on {}: {e}", strategy, case.name));
+            let report = validate(&case.spec, &corrected);
+            assert!(
+                report.is_sound(),
+                "{} left {} unsound composites in {}",
+                strategy,
+                report.unsound_composites().len(),
+                case.name
+            );
+            assert!(corrected.validate_against(&case.spec).is_ok());
+        }
+    }
+}
+
+#[test]
+fn moml_and_text_formats_agree_on_suite_workflows() {
+    for case in standard_suite(0..1) {
+        let moml = to_moml(&case.spec, Some(&case.view));
+        let text = write_text_format(&case.spec, Some(&case.view));
+        let from_xml = from_moml(&moml).expect("MOML round-trips");
+        let from_text = read_text_format(&text).expect("text round-trips");
+        assert_eq!(from_xml.spec.task_count(), case.spec.task_count());
+        assert_eq!(from_text.spec.task_count(), case.spec.task_count());
+        assert_eq!(
+            from_xml.spec.dependency_count(),
+            from_text.spec.dependency_count()
+        );
+        let soundness_original = validate(&case.spec, &case.view).is_sound();
+        let view_xml = from_xml.view.expect("view exported via MOML");
+        let soundness_xml = validate(&from_xml.spec, &view_xml).is_sound();
+        assert_eq!(soundness_original, soundness_xml);
+    }
+}
