@@ -15,9 +15,13 @@ fn bench_reachability(c: &mut Criterion) {
         let spec = layered_workflow(&LayeredConfig::sized(target), 41);
         let graph = spec.graph();
         let tasks = spec.task_count();
-        group.bench_with_input(BenchmarkId::new("build_matrix", tasks), graph, |b, graph| {
-            b.iter(|| ReachMatrix::build(graph).unwrap().node_bound());
-        });
+        group.bench_with_input(
+            BenchmarkId::new("build_matrix", tasks),
+            graph,
+            |b, graph| {
+                b.iter(|| ReachMatrix::build(graph).unwrap().node_bound());
+            },
+        );
         let matrix = ReachMatrix::build(graph).unwrap();
         let nodes: Vec<_> = graph.node_ids().collect();
         group.bench_with_input(

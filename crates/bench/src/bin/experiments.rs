@@ -50,13 +50,17 @@ fn main() {
     if wants("e3") {
         println!(
             "{}",
-            e3_quality(quality_seeds.clone(), quality_max).to_table().render()
+            e3_quality(quality_seeds.clone(), quality_max)
+                .to_table()
+                .render()
         );
     }
     if wants("e4") {
         println!(
             "{}",
-            e4_runtime(&small_sizes, &large_sizes, 16).to_table().render()
+            e4_runtime(&small_sizes, &large_sizes, 16)
+                .to_table()
+                .render()
         );
     }
     if wants("e5") {
@@ -68,7 +72,9 @@ fn main() {
     if wants("e7") {
         println!(
             "{}",
-            e7_estimator(train_seeds, eval_seeds, quality_max).to_table().render()
+            e7_estimator(train_seeds, eval_seeds, quality_max)
+                .to_table()
+                .render()
         );
     }
 }

@@ -3,8 +3,8 @@
 use std::collections::BTreeSet;
 use std::time::Instant;
 
-use wolves_core::correct::{Corrector, OptimalCorrector, StrongCorrector, WeakCorrector};
 use wolves_core::correct::check::is_strong_local_optimal;
+use wolves_core::correct::{Corrector, OptimalCorrector, StrongCorrector, WeakCorrector};
 use wolves_core::estimate::{CorrectionSample, EstimationRegistry, WorkloadClass};
 use wolves_core::hardness::crossing_groups;
 use wolves_core::quality::quality_from_counts;
@@ -13,9 +13,9 @@ use wolves_core::Strategy;
 use wolves_provenance::{
     compare_to_ground_truth, view_level_provenance, workflow_level_provenance,
 };
-use wolves_repo::{figure1, figure3};
 use wolves_repo::generate::{layered_workflow, LayeredConfig};
 use wolves_repo::views::topological_block_view;
+use wolves_repo::{figure1, figure3};
 use wolves_workflow::{TaskId, WorkflowSpec};
 
 use crate::table::Table;
@@ -115,10 +115,7 @@ pub fn e1_figure1() -> E1Report {
         spurious_dependencies: definition.spurious.len(),
         precision_unsound: compare_to_ground_truth(&truth, &before).precision,
         precision_corrected: compare_to_ground_truth(&truth, &after).precision,
-        composites_before_after: (
-            fixture.view.composite_count(),
-            corrected.composite_count(),
-        ),
+        composites_before_after: (fixture.view.composite_count(), corrected.composite_count()),
     }
 }
 
@@ -345,7 +342,14 @@ impl E4Report {
     pub fn to_table(&self) -> Table {
         let mut table = Table::new(
             "E4  Corrector running time (one unsound composite task)",
-            &["instance", "tasks", "weak (us)", "strong (us)", "optimal (us)", "optimal/strong"],
+            &[
+                "instance",
+                "tasks",
+                "weak (us)",
+                "strong (us)",
+                "optimal (us)",
+                "optimal/strong",
+            ],
         );
         for row in &self.rows {
             table.push_row(vec![
@@ -353,10 +357,10 @@ impl E4Report {
                 row.size.to_string(),
                 format!("{:.1}", row.weak_us),
                 format!("{:.1}", row.strong_us),
-                row.optimal_us
-                    .map_or("-".into(), |v| format!("{v:.1}")),
-                row.optimal_us
-                    .map_or("-".into(), |v| format!("{:.1}x", v / row.strong_us.max(1e-9))),
+                row.optimal_us.map_or("-".into(), |v| format!("{v:.1}")),
+                row.optimal_us.map_or("-".into(), |v| {
+                    format!("{:.1}x", v / row.strong_us.max(1e-9))
+                }),
             ]);
         }
         table
@@ -455,7 +459,13 @@ impl E5Report {
     pub fn to_table(&self) -> Table {
         let mut table = Table::new(
             "E5  View validation cost: Proposition 2.1 vs definition-based checks",
-            &["tasks", "composites", "Prop 2.1 (us)", "Def 2.1 closure (us)", "naive paths (us)"],
+            &[
+                "tasks",
+                "composites",
+                "Prop 2.1 (us)",
+                "Def 2.1 closure (us)",
+                "naive paths (us)",
+            ],
         );
         for row in &self.rows {
             table.push_row(vec![
@@ -599,9 +609,8 @@ fn provenance_row(
     spec: &WorkflowSpec,
     view: &wolves_workflow::WorkflowView,
 ) -> E6Row {
-    let (corrected, _) =
-        wolves_core::correct::correct_view(spec, view, &StrongCorrector::new())
-            .expect("correction succeeds");
+    let (corrected, _) = wolves_core::correct::correct_view(spec, view, &StrongCorrector::new())
+        .expect("correction succeeds");
     let mut precision_unsound = Vec::new();
     let mut precision_corrected = Vec::new();
     let mut recalls = Vec::new();
@@ -662,7 +671,12 @@ impl E7Report {
     pub fn to_table(&self) -> Table {
         let mut table = Table::new(
             "E7  Estimator accuracy (grouping past corrections by size and density)",
-            &["corrector", "evaluations", "time rel. error", "quality abs. error"],
+            &[
+                "corrector",
+                "evaluations",
+                "time rel. error",
+                "quality abs. error",
+            ],
         );
         for row in &self.rows {
             table.push_row(vec![
@@ -729,8 +743,7 @@ pub fn e7_estimator(
                 .expect("polynomial correctors never fail");
             let actual_time = start.elapsed().as_secs_f64().max(1e-9);
             let actual_quality = quality_from_counts(best.part_count(), split.part_count());
-            let time_error =
-                (estimate.avg_elapsed.as_secs_f64() - actual_time).abs() / actual_time;
+            let time_error = (estimate.avg_elapsed.as_secs_f64() - actual_time).abs() / actual_time;
             let quality_error = (estimate.avg_quality - actual_quality).abs();
             let entry = accumulators.entry(strategy.name()).or_insert((0, 0.0, 0.0));
             entry.0 += 1;
@@ -743,7 +756,11 @@ pub fn e7_estimator(
         .map(|(strategy, (count, time_sum, quality_sum))| E7Row {
             strategy,
             evaluations: count,
-            time_relative_error: if count == 0 { 0.0 } else { time_sum / count as f64 },
+            time_relative_error: if count == 0 {
+                0.0
+            } else {
+                time_sum / count as f64
+            },
             quality_absolute_error: if count == 0 {
                 0.0
             } else {
@@ -787,7 +804,11 @@ mod tests {
         assert!(report.overall_strong_quality() >= report.overall_weak_quality() - 1e-9);
         assert!(report.overall_strong_quality() > 0.9);
         for row in &report.rows {
-            assert!(row.strong_optimality_rate > 0.99, "family {} fell short", row.family);
+            assert!(
+                row.strong_optimality_rate > 0.99,
+                "family {} fell short",
+                row.family
+            );
         }
     }
 
@@ -795,8 +816,11 @@ mod tests {
     fn e4_orders_runtime_as_expected() {
         let report = e4_runtime(&[8, 12], &[40], 14);
         assert!(report.rows.len() >= 3);
-        let with_optimal: Vec<&E4Row> =
-            report.rows.iter().filter(|r| r.optimal_us.is_some()).collect();
+        let with_optimal: Vec<&E4Row> = report
+            .rows
+            .iter()
+            .filter(|r| r.optimal_us.is_some())
+            .collect();
         assert!(!with_optimal.is_empty());
         let large: Vec<&E4Row> = report.rows.iter().filter(|r| r.size >= 40).collect();
         assert!(!large.is_empty());

@@ -58,8 +58,7 @@ impl std::error::Error for CliError {}
 /// # Errors
 /// Reports unreadable files and parse failures.
 pub fn load_workflow(path: &str) -> Result<ImportedWorkflow, CliError> {
-    let content =
-        std::fs::read_to_string(path).map_err(|e| CliError::Io(path.to_owned(), e))?;
+    let content = std::fs::read_to_string(path).map_err(|e| CliError::Io(path.to_owned(), e))?;
     parse_workflow(path, &content)
 }
 
@@ -108,7 +107,11 @@ pub fn validate_command(spec: &WorkflowSpec, view: &WorkflowView) -> String {
         out,
         "view '{}': {}",
         view.name(),
-        if report.is_sound() { "SOUND" } else { "UNSOUND" }
+        if report.is_sound() {
+            "SOUND"
+        } else {
+            "UNSOUND"
+        }
     );
     for composite in report.reports() {
         if composite.verdict.is_sound() {
@@ -121,7 +124,10 @@ pub fn validate_command(spec: &WorkflowSpec, view: &WorkflowView) -> String {
                 composite.verdict.witnesses.len()
             );
             for witness in &composite.verdict.witnesses {
-                let input = spec.task(witness.input).map(|t| t.name.clone()).unwrap_or_default();
+                let input = spec
+                    .task(witness.input)
+                    .map(|t| t.name.clone())
+                    .unwrap_or_default();
                 let output = spec
                     .task(witness.output)
                     .map(|t| t.name.clone())
@@ -229,7 +235,11 @@ pub fn merge_command(
     Ok(format!(
         "created composite '{merged_name}' from {} composites: {}\n",
         composite_names.len(),
-        if sound { "sound" } else { "UNSOUND — run correct again" }
+        if sound {
+            "sound"
+        } else {
+            "UNSOUND — run correct again"
+        }
     ))
 }
 
@@ -245,9 +255,10 @@ pub fn render_command(spec: &WorkflowSpec, view: Option<&WorkflowView>) -> Strin
         let report = validate(spec, view);
         let unsound = report.unsound_composites();
         for (id, composite) in view.composites() {
-            options
-                .clusters
-                .push((composite.name.clone(), composite.members().iter().copied().collect()));
+            options.clusters.push((
+                composite.name.clone(),
+                composite.members().iter().copied().collect(),
+            ));
             if unsound.contains(&id) {
                 options
                     .highlighted
@@ -271,7 +282,9 @@ pub fn export_command(
     match format {
         "moml" | "xml" => Ok(to_moml(spec, view)),
         "text" | "txt" => Ok(write_text_format(spec, view)),
-        other => Err(CliError::Operation(format!("unknown export format '{other}'"))),
+        other => Err(CliError::Operation(format!(
+            "unknown export format '{other}'"
+        ))),
     }
 }
 

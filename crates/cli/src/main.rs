@@ -15,8 +15,8 @@
 use std::process::ExitCode;
 
 use wolves_cli::{
-    correct_command, export_command, import_command, load_workflow, render_command,
-    show_command, validate_command,
+    correct_command, export_command, import_command, load_workflow, render_command, show_command,
+    validate_command,
 };
 
 fn main() -> ExitCode {
@@ -62,8 +62,8 @@ fn run(args: &[String]) -> Result<String, String> {
                     let view = view.ok_or("the input file defines no view to correct")?;
                     let strategy =
                         flag_value(args, "--strategy").unwrap_or_else(|| "strong".to_owned());
-                    let (corrected, mut output) =
-                        correct_command(&spec, &view, &strategy, None).map_err(|e| e.to_string())?;
+                    let (corrected, mut output) = correct_command(&spec, &view, &strategy, None)
+                        .map_err(|e| e.to_string())?;
                     if let Some(out_path) = flag_value(args, "--out") {
                         let format = if out_path.ends_with(".xml") || out_path.ends_with(".moml") {
                             "moml"

@@ -97,8 +97,7 @@ pub trait Corrector {
     /// # Errors
     /// Implementations may refuse inputs (e.g. the optimal corrector limits
     /// the composite size).
-    fn split(&self, spec: &WorkflowSpec, members: &BTreeSet<TaskId>)
-        -> Result<Split, CoreError>;
+    fn split(&self, spec: &WorkflowSpec, members: &BTreeSet<TaskId>) -> Result<Split, CoreError>;
 }
 
 /// What happened to one composite task during view correction.
@@ -143,10 +142,7 @@ impl CorrectionReport {
     /// Total number of new composite tasks produced by splitting.
     #[must_use]
     pub fn parts_produced(&self) -> usize {
-        self.corrections
-            .iter()
-            .map(|c| c.replacements.len())
-            .sum()
+        self.corrections.iter().map(|c| c.replacements.len()).sum()
     }
 }
 
@@ -256,7 +252,10 @@ mod tests {
             .group("Curate & align (16)".to_owned(), vec![t[3], t[6]])
             .group("Format annotations (17)".to_owned(), vec![t[4]])
             .group("Format alignment (18)".to_owned(), vec![t[7]])
-            .group("Build phylo tree (19)".to_owned(), vec![t[8], t[9], t[10], t[11]])
+            .group(
+                "Build phylo tree (19)".to_owned(),
+                vec![t[8], t[9], t[10], t[11]],
+            )
             .build()
             .unwrap();
         (spec, view)
@@ -269,7 +268,10 @@ mod tests {
         for strategy in Strategy::ALL {
             let corrector = strategy.corrector();
             let (corrected, report) = correct_view(&spec, &view, corrector.as_ref()).unwrap();
-            assert!(validate(&spec, &corrected).is_sound(), "{strategy} must produce a sound view");
+            assert!(
+                validate(&spec, &corrected).is_sound(),
+                "{strategy} must produce a sound view"
+            );
             assert_eq!(report.corrections.len(), 1);
             assert_eq!(report.corrections[0].task_count, 2);
             assert_eq!(report.corrections[0].replacements.len(), 2);
@@ -287,7 +289,10 @@ mod tests {
             correct_view(&spec, &singleton_view, &WeakCorrector::new()).unwrap();
         assert!(report.was_already_sound());
         assert_eq!(report.parts_produced(), 0);
-        assert_eq!(corrected.composite_count(), singleton_view.composite_count());
+        assert_eq!(
+            corrected.composite_count(),
+            singleton_view.composite_count()
+        );
     }
 
     #[test]
@@ -298,7 +303,7 @@ mod tests {
         assert_eq!(Strategy::parse("nonsense"), None);
         for s in Strategy::ALL {
             assert_eq!(Strategy::parse(s.name()), Some(s));
-            assert_eq!(s.corrector().name().is_empty(), false);
+            assert!(!s.corrector().name().is_empty());
         }
     }
 

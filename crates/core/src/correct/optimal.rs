@@ -53,11 +53,7 @@ impl Corrector for OptimalCorrector {
         "optimal"
     }
 
-    fn split(
-        &self,
-        spec: &WorkflowSpec,
-        members: &BTreeSet<TaskId>,
-    ) -> Result<Split, CoreError> {
+    fn split(&self, spec: &WorkflowSpec, members: &BTreeSet<TaskId>) -> Result<Split, CoreError> {
         if members.len() > self.max_tasks {
             return Err(CoreError::TooLargeForOptimal {
                 tasks: members.len(),
@@ -83,10 +79,7 @@ impl Corrector for OptimalCorrector {
             sound_cache: HashMap::new(),
         };
         let (_, parts) = solver.solve(full, upper_bound);
-        let parts_sets: Vec<BTreeSet<usize>> = parts
-            .into_iter()
-            .map(|mask| mask_to_set(mask))
-            .collect();
+        let parts_sets: Vec<BTreeSet<usize>> = parts.into_iter().map(mask_to_set).collect();
         Ok(Split::new(ctx.to_task_sets(&parts_sets)))
     }
 }
@@ -242,7 +235,8 @@ impl Solver<'_> {
         // Only memoize exact results (unbounded-budget semantics); bounded
         // failures must not poison the cache.
         if best_count != usize::MAX {
-            self.memo.insert(remaining, (best_count, best_parts.clone()));
+            self.memo
+                .insert(remaining, (best_count, best_parts.clone()));
             (best_count, best_parts)
         } else {
             (usize::MAX, Vec::new())
@@ -309,7 +303,13 @@ mod tests {
         let err = OptimalCorrector::with_limit(10)
             .split(&spec, &members)
             .unwrap_err();
-        assert!(matches!(err, CoreError::TooLargeForOptimal { tasks: 25, limit: 10 }));
+        assert!(matches!(
+            err,
+            CoreError::TooLargeForOptimal {
+                tasks: 25,
+                limit: 10
+            }
+        ));
     }
 
     #[test]

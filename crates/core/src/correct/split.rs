@@ -111,9 +111,15 @@ mod tests {
     #[test]
     fn partition_check_detects_leaks_and_overlaps() {
         let members: BTreeSet<TaskId> = [tid(0), tid(1)].into_iter().collect();
-        let leak = Split::new(vec![BTreeSet::from([tid(0), tid(2)]), BTreeSet::from([tid(1)])]);
+        let leak = Split::new(vec![
+            BTreeSet::from([tid(0), tid(2)]),
+            BTreeSet::from([tid(1)]),
+        ]);
         assert!(!leak.is_partition_of(&members));
-        let overlap = Split::new(vec![BTreeSet::from([tid(0), tid(1)]), BTreeSet::from([tid(1)])]);
+        let overlap = Split::new(vec![
+            BTreeSet::from([tid(0), tid(1)]),
+            BTreeSet::from([tid(1)]),
+        ]);
         assert!(!overlap.is_partition_of(&members));
         let incomplete = Split::new(vec![BTreeSet::from([tid(0)])]);
         assert!(!incomplete.is_partition_of(&members));
@@ -123,7 +129,10 @@ mod tests {
 
     #[test]
     fn to_groups_matches_parts() {
-        let split = Split::new(vec![BTreeSet::from([tid(2), tid(3)]), BTreeSet::from([tid(7)])]);
+        let split = Split::new(vec![
+            BTreeSet::from([tid(2), tid(3)]),
+            BTreeSet::from([tid(7)]),
+        ]);
         let groups = split.to_groups();
         assert_eq!(groups, vec![vec![tid(2), tid(3)], vec![tid(7)]]);
     }

@@ -62,14 +62,9 @@ impl Corrector for StrongCorrector {
         "strong-local-optimal"
     }
 
-    fn split(
-        &self,
-        spec: &WorkflowSpec,
-        members: &BTreeSet<TaskId>,
-    ) -> Result<Split, CoreError> {
+    fn split(&self, spec: &WorkflowSpec, members: &BTreeSet<TaskId>) -> Result<Split, CoreError> {
         let ctx = SplitContext::new(spec, members);
-        let mut parts: Vec<BTreeSet<usize>> =
-            (0..ctx.len()).map(|i| BTreeSet::from([i])).collect();
+        let mut parts: Vec<BTreeSet<usize>> = (0..ctx.len()).map(|i| BTreeSet::from([i])).collect();
         loop {
             merge_pairs_until_fixpoint(&ctx, &mut parts);
             if !closure_merge_once(&ctx, &mut parts) {
@@ -211,8 +206,16 @@ mod tests {
         let (spec, members, _) = figure3();
         let weak = WeakCorrector::new().split(&spec, &members).unwrap();
         let strong = StrongCorrector::new().split(&spec, &members).unwrap();
-        assert_eq!(weak.part_count(), 8, "weak corrector: 4 chains merged + 4 singletons");
-        assert_eq!(strong.part_count(), 5, "strong corrector additionally merges {{c,d,f,g}}");
+        assert_eq!(
+            weak.part_count(),
+            8,
+            "weak corrector: 4 chains merged + 4 singletons"
+        );
+        assert_eq!(
+            strong.part_count(),
+            5,
+            "strong corrector additionally merges {{c,d,f,g}}"
+        );
         assert!(is_sound_split(&spec, &members, &weak));
         assert!(is_sound_split(&spec, &members, &strong));
         assert!(is_weak_local_optimal(&spec, &weak));

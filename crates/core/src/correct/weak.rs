@@ -31,14 +31,9 @@ impl Corrector for WeakCorrector {
         "weak-local-optimal"
     }
 
-    fn split(
-        &self,
-        spec: &WorkflowSpec,
-        members: &BTreeSet<TaskId>,
-    ) -> Result<Split, CoreError> {
+    fn split(&self, spec: &WorkflowSpec, members: &BTreeSet<TaskId>) -> Result<Split, CoreError> {
         let ctx = SplitContext::new(spec, members);
-        let mut parts: Vec<BTreeSet<usize>> =
-            (0..ctx.len()).map(|i| BTreeSet::from([i])).collect();
+        let mut parts: Vec<BTreeSet<usize>> = (0..ctx.len()).map(|i| BTreeSet::from([i])).collect();
         merge_pairs_until_fixpoint(&ctx, &mut parts);
         Ok(Split::new(ctx.to_task_sets(&parts)))
     }

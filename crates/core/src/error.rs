@@ -56,7 +56,10 @@ mod tests {
 
     #[test]
     fn messages_mention_key_facts() {
-        let e = CoreError::TooLargeForOptimal { tasks: 40, limit: 18 };
+        let e = CoreError::TooLargeForOptimal {
+            tasks: 40,
+            limit: 18,
+        };
         assert!(e.to_string().contains("40"));
         assert!(e.to_string().contains("18"));
     }

@@ -124,7 +124,8 @@ impl EstimationRegistry {
             if *name != strategy.name() || samples.is_empty() {
                 continue;
             }
-            let size_distance = (other.size_bucket as i64 - class.size_bucket as i64).unsigned_abs();
+            let size_distance =
+                (other.size_bucket as i64 - class.size_bucket as i64).unsigned_abs();
             let density_distance =
                 (other.density_decile as i64 - class.density_decile as i64).unsigned_abs();
             let distance = size_distance * 100 + density_distance;

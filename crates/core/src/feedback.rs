@@ -92,7 +92,10 @@ impl<'a> FeedbackSession<'a> {
     ///
     /// # Errors
     /// Propagates corrector failures; the session view is unchanged then.
-    pub fn correct_all(&mut self, corrector: &dyn Corrector) -> Result<CorrectionReport, CoreError> {
+    pub fn correct_all(
+        &mut self,
+        corrector: &dyn Corrector,
+    ) -> Result<CorrectionReport, CoreError> {
         let (corrected, report) = correct_view(self.spec, &self.view, corrector)?;
         self.view = corrected;
         self.history.push(SessionStep::CorrectedView {
@@ -233,7 +236,9 @@ mod tests {
         let mut session = FeedbackSession::new(&spec, view);
         let unsound = session.validate().unsound_composites();
         assert_eq!(unsound.len(), 1);
-        let replacements = session.correct_one(unsound[0], &WeakCorrector::new()).unwrap();
+        let replacements = session
+            .correct_one(unsound[0], &WeakCorrector::new())
+            .unwrap();
         assert_eq!(replacements.len(), 2);
         assert!(session.is_sound());
     }
@@ -257,7 +262,9 @@ mod tests {
         // original unsound composite, and the session reports it
         let c16a = session.view().composite_of(t[3]).unwrap();
         let c16b = session.view().composite_of(t[6]).unwrap();
-        let (_, sound) = session.merge(&[c16a, c16b], "Curate & align again").unwrap();
+        let (_, sound) = session
+            .merge(&[c16a, c16b], "Curate & align again")
+            .unwrap();
         assert!(!sound);
         assert!(!session.is_sound());
         assert_eq!(session.history().len(), 3);

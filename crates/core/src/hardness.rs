@@ -16,7 +16,7 @@
 
 use std::collections::BTreeSet;
 
-use wolves_workflow::{AtomicTask, DataDependency, TaskId, WorkflowSpec, WorkflowError};
+use wolves_workflow::{AtomicTask, DataDependency, TaskId, WorkflowError, WorkflowSpec};
 
 /// A generated hard instance: a workflow plus the member set of the unsound
 /// composite task to split.

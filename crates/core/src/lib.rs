@@ -7,7 +7,7 @@
 //! The crate provides the two central modules of the paper's architecture
 //! (Figure 2):
 //!
-//! * **Workflow View Validator** ([`validate`]) — detects unsound views in
+//! * **Workflow View Validator** ([`mod@validate`]) — detects unsound views in
 //!   polynomial time using the per-composite-task criterion of
 //!   Proposition 2.1, with slower definition-based checks for comparison.
 //! * **Unsound View Corrector** ([`correct`]) — repairs unsound composite

@@ -110,14 +110,14 @@ mod tests {
     fn figure1() -> (WorkflowSpec, Vec<TaskId>) {
         let mut b = WorkflowBuilder::new("phylogenomics");
         let names = [
-            "Select entries", // 1 (index 0)
-            "Split entries",  // 2
-            "Extract annotations", // 3
-            "Curate annotations",  // 4
-            "Format annotations",  // 5
-            "Extract sequences",   // 6
-            "Create alignment",    // 7
-            "Format alignment",    // 8
+            "Select entries",          // 1 (index 0)
+            "Split entries",           // 2
+            "Extract annotations",     // 3
+            "Curate annotations",      // 4
+            "Format annotations",      // 5
+            "Extract sequences",       // 6
+            "Create alignment",        // 7
+            "Format alignment",        // 8
             "Check other annotations", // 9
             "Process annotations",     // 10
             "Build phylo tree",        // 11
@@ -125,17 +125,17 @@ mod tests {
         ];
         let t: Vec<TaskId> = names.iter().map(|n| b.task(*n)).collect();
         for (from, to) in [
-            (0, 1), // 1 -> 2
-            (1, 2), // 2 -> 3 annotations
-            (1, 5), // 2 -> 6 sequences
-            (2, 3), // 3 -> 4
-            (3, 4), // 4 -> 5
-            (4, 10), // 5 -> 11
-            (5, 6), // 6 -> 7
-            (6, 7), // 7 -> 8
-            (7, 10), // 8 -> 11
-            (8, 9),  // 9 -> 10
-            (9, 10), // 10 -> 11
+            (0, 1),   // 1 -> 2
+            (1, 2),   // 2 -> 3 annotations
+            (1, 5),   // 2 -> 6 sequences
+            (2, 3),   // 3 -> 4
+            (3, 4),   // 4 -> 5
+            (4, 10),  // 5 -> 11
+            (5, 6),   // 6 -> 7
+            (6, 7),   // 7 -> 8
+            (7, 10),  // 8 -> 11
+            (8, 9),   // 9 -> 10
+            (9, 10),  // 10 -> 11
             (10, 11), // 11 -> 12
         ] {
             b.edge(t[from], t[to]).unwrap();

@@ -49,9 +49,7 @@ impl ValidationReport {
     /// `true` iff every composite task is sound.
     #[must_use]
     pub fn is_sound(&self) -> bool {
-        self.per_composite
-            .iter()
-            .all(|c| c.verdict.is_sound())
+        self.per_composite.iter().all(|c| c.verdict.is_sound())
     }
 
     /// The ids of the unsound composite tasks, in view order.
@@ -129,8 +127,7 @@ impl DefinitionReport {
 #[must_use]
 pub fn validate_by_definition(spec: &WorkflowSpec, view: &WorkflowView) -> DefinitionReport {
     let induced = view.induced_graph(spec);
-    let view_reach =
-        ReachMatrix::build(&induced.graph).expect("induced view graph reachability");
+    let view_reach = ReachMatrix::build(&induced.graph).expect("induced view graph reachability");
     let workflow_reach = spec.reachability();
 
     // workflow-level connectivity between composites: connected[(a, b)] iff
@@ -199,15 +196,17 @@ pub fn validate_naive(
                 continue;
             }
             let in_view = match (induced.node_of(a), induced.node_of(b)) {
-                (Some(na), Some(nb)) => {
-                    path_exists_by_enumeration(&induced.graph, na, nb)
-                }
+                (Some(na), Some(nb)) => path_exists_by_enumeration(&induced.graph, na, nb),
                 _ => false,
             };
-            let members_a: Vec<TaskId> =
-                view.composite(a).map(|c| c.members().iter().copied().collect()).unwrap_or_default();
-            let members_b: Vec<TaskId> =
-                view.composite(b).map(|c| c.members().iter().copied().collect()).unwrap_or_default();
+            let members_a: Vec<TaskId> = view
+                .composite(a)
+                .map(|c| c.members().iter().copied().collect())
+                .unwrap_or_default();
+            let members_b: Vec<TaskId> = view
+                .composite(b)
+                .map(|c| c.members().iter().copied().collect())
+                .unwrap_or_default();
             let in_workflow = members_a.iter().any(|&t1| {
                 members_b
                     .iter()
@@ -334,10 +333,7 @@ mod tests {
         assert!(report.missing.is_empty());
         let c14 = view.composite_of(t[2]).unwrap();
         let c18 = view.composite_of(t[7]).unwrap();
-        assert!(report
-            .spurious
-            .iter()
-            .any(|m| m.from == c14 && m.to == c18));
+        assert!(report.spurious.iter().any(|m| m.from == c14 && m.to == c18));
     }
 
     #[test]
@@ -369,12 +365,9 @@ mod tests {
     fn proposition_2_1_soundness_implies_definition_soundness() {
         // the corrected Figure 1 view must be sound under both checks
         let (spec, view, _) = figure1();
-        let (corrected, _) = crate::correct::correct_view(
-            &spec,
-            &view,
-            &crate::correct::StrongCorrector::new(),
-        )
-        .unwrap();
+        let (corrected, _) =
+            crate::correct::correct_view(&spec, &view, &crate::correct::StrongCorrector::new())
+                .unwrap();
         let prop = validate(&spec, &corrected);
         assert!(prop.is_sound());
         assert!(validate_by_definition(&spec, &corrected).is_sound());

@@ -95,9 +95,7 @@ pub fn transitive_redundant_edges<N, E>(
     let reach = ReachMatrix::build(graph)?;
     let mut redundant = Vec::new();
     for (_, u, v, _) in graph.edges() {
-        let bypass = graph
-            .successors(u)
-            .any(|w| w != v && reach.reachable(w, v));
+        let bypass = graph.successors(u).any(|w| w != v && reach.reachable(w, v));
         if bypass {
             redundant.push((u, v));
         }

@@ -9,10 +9,9 @@ use std::fmt;
 
 /// A fixed-capacity set of `usize` values backed by `u64` words.
 ///
-/// The capacity is chosen at construction time; all operations on indices
-/// `>= len` panic in debug builds and are undefined-but-safe (masked) in
-/// release builds only through [`FixedBitSet::insert_unchecked_growth`] which
-/// does not exist — every public method checks bounds.
+/// The capacity is chosen at construction time and never grows; every public
+/// method checks bounds, and operations on indices `>= capacity` panic in
+/// both debug and release builds.
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct FixedBitSet {
     words: Vec<u64>,
@@ -149,14 +148,18 @@ impl FixedBitSet {
     #[must_use]
     pub fn is_subset(&self, other: &FixedBitSet) -> bool {
         assert_eq!(self.len, other.len, "bitset capacity mismatch");
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterates over the indices of the set bits in ascending order.
     pub fn ones(&self) -> impl Iterator<Item = usize> + '_ {
-        self.words.iter().enumerate().flat_map(|(wi, &word)| {
-            OnesInWord { word }.map(move |bit| wi * 64 + bit)
-        })
+        self.words
+            .iter()
+            .enumerate()
+            .flat_map(|(wi, &word)| OnesInWord { word }.map(move |bit| wi * 64 + bit))
     }
 
     /// Collects the set bits into a vector (ascending order).

@@ -157,7 +157,12 @@ impl<N, E> DiGraph<N, E> {
     /// # Errors
     /// Returns an error if either endpoint is invalid or if the edge would be
     /// a self loop.
-    pub fn add_edge(&mut self, source: NodeId, target: NodeId, weight: E) -> Result<EdgeId, GraphError> {
+    pub fn add_edge(
+        &mut self,
+        source: NodeId,
+        target: NodeId,
+        weight: E,
+    ) -> Result<EdgeId, GraphError> {
         if source == target {
             return Err(GraphError::SelfLoop(source));
         }
@@ -253,23 +258,26 @@ impl<N, E> DiGraph<N, E> {
 
     /// Iterates over the ids of all live nodes in ascending id order.
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes.iter().enumerate().filter_map(|(i, slot)| {
-            slot.weight.as_ref().map(|_| NodeId::from_index(i))
-        })
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.weight.as_ref().map(|_| NodeId::from_index(i)))
     }
 
     /// Iterates over `(id, &payload)` for all live nodes.
     pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &N)> + '_ {
-        self.nodes.iter().enumerate().filter_map(|(i, slot)| {
-            slot.weight.as_ref().map(|w| (NodeId::from_index(i), w))
-        })
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.weight.as_ref().map(|w| (NodeId::from_index(i), w)))
     }
 
     /// Iterates over the ids of all live edges in ascending id order.
     pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
-        self.edges.iter().enumerate().filter_map(|(i, slot)| {
-            slot.weight.as_ref().map(|_| EdgeId::from_index(i))
-        })
+        self.edges
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.weight.as_ref().map(|_| EdgeId::from_index(i)))
     }
 
     /// Iterates over `(id, source, target, &payload)` for all live edges.
@@ -452,8 +460,14 @@ mod tests {
         let mut g: DiGraph<(), ()> = DiGraph::new();
         let a = g.add_node(());
         let ghost = NodeId::from_index(17);
-        assert_eq!(g.add_edge(a, ghost, ()), Err(GraphError::InvalidNode(ghost)));
-        assert_eq!(g.add_edge(ghost, a, ()), Err(GraphError::InvalidNode(ghost)));
+        assert_eq!(
+            g.add_edge(a, ghost, ()),
+            Err(GraphError::InvalidNode(ghost))
+        );
+        assert_eq!(
+            g.add_edge(ghost, a, ()),
+            Err(GraphError::InvalidNode(ghost))
+        );
     }
 
     #[test]

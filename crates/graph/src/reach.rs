@@ -41,7 +41,11 @@ impl ReachMatrix {
     /// so future storage strategies (e.g. external memory) can fail cleanly.
     pub fn build<N, E>(graph: &DiGraph<N, E>) -> Result<Self, GraphError> {
         let (condensed, scc) = condensation(graph);
-        Ok(Self::from_condensation(&condensed, &scc, graph.node_bound()))
+        Ok(Self::from_condensation(
+            &condensed,
+            &scc,
+            graph.node_bound(),
+        ))
     }
 
     fn from_condensation(

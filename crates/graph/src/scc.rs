@@ -99,8 +99,7 @@ pub fn strongly_connected_components<N, E>(graph: &DiGraph<N, E>) -> SccDecompos
                             advanced = true;
                             break;
                         } else if on_stack[w.index()] {
-                            low_link[v.index()] =
-                                low_link[v.index()].min(index_of[w.index()]);
+                            low_link[v.index()] = low_link[v.index()].min(index_of[w.index()]);
                         }
                     }
                     if advanced {

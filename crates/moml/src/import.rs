@@ -41,9 +41,8 @@ pub fn import_document(document: &MomlDocument) -> Result<ImportedWorkflow, Moml
         let id = spec.add_task(task)?;
         ids.push((atomic.name.clone(), id));
     }
-    let id_of = |name: &str| -> Option<TaskId> {
-        ids.iter().find(|(n, _)| n == name).map(|(_, id)| *id)
-    };
+    let id_of =
+        |name: &str| -> Option<TaskId> { ids.iter().find(|(n, _)| n == name).map(|(_, id)| *id) };
     for connection in &document.connections {
         let from = id_of(&connection.from)
             .ok_or_else(|| MomlError::DanglingReference(connection.from.clone()))?;
@@ -77,7 +76,11 @@ pub fn import_document(document: &MomlDocument) -> Result<ImportedWorkflow, Moml
                 groups.push((atomic.name.clone(), vec![id]));
             }
         }
-        Some(WorkflowView::from_groups(&spec, format!("{}-view", document.name), groups)?)
+        Some(WorkflowView::from_groups(
+            &spec,
+            format!("{}-view", document.name),
+            groups,
+        )?)
     } else {
         None
     };

@@ -106,7 +106,10 @@ impl MomlDocument {
                         .to_owned();
                     doc.atomics.push(MomlAtomicEntity {
                         name: member_name.clone(),
-                        class: grandchild.attribute("class").unwrap_or(ATOMIC_CLASS).to_owned(),
+                        class: grandchild
+                            .attribute("class")
+                            .unwrap_or(ATOMIC_CLASS)
+                            .to_owned(),
                         parent_composite: Some(child_name.clone()),
                     });
                     members.push(member_name);
@@ -216,8 +219,14 @@ mod tests {
         assert_eq!(
             doc.connections,
             vec![
-                MomlConnection { from: "Select".into(), to: "Curate".into() },
-                MomlConnection { from: "Curate".into(), to: "Align".into() },
+                MomlConnection {
+                    from: "Select".into(),
+                    to: "Curate".into()
+                },
+                MomlConnection {
+                    from: "Curate".into(),
+                    to: "Align".into()
+                },
             ]
         );
         let curate = doc.atomics.iter().find(|a| a.name == "Curate").unwrap();

@@ -1,14 +1,16 @@
 //! A minimal native text format for workflows and views.
 //!
-//! One declaration per line, fields separated by tabs, `#` starts a comment:
+//! One declaration per line, fields separated by a single TAB character,
+//! `#` starts a comment. With `<TAB>` standing in for the tab byte (`\t`) —
+//! the column gaps below are *not* spaces:
 //!
 //! ```text
-//! workflow	phylogenomic-inference
-//! task	Select entries
-//! task	Split entries
-//! edge	Select entries	Split entries
-//! view	figure-1b
-//! composite	Retrieve entries (13)	Select entries|Split entries
+//! workflow<TAB>phylogenomic-inference
+//! task<TAB>Select entries
+//! task<TAB>Split entries
+//! edge<TAB>Select entries<TAB>Split entries
+//! view<TAB>figure-1b
+//! composite<TAB>Retrieve entries (13)<TAB>Select entries|Split entries
 //! ```
 //!
 //! The format is what the CLI reads and writes by default; it is easier to
@@ -124,8 +126,7 @@ pub fn read_text_format(input: &str) -> Result<ImportedWorkflow, MomlError> {
     }
     let id_of = |name: &str| ids.iter().find(|(n, _)| n == name).map(|(_, id)| *id);
     for (from, to) in &edges {
-        let from_id =
-            id_of(from).ok_or_else(|| MomlError::DanglingReference(from.clone()))?;
+        let from_id = id_of(from).ok_or_else(|| MomlError::DanglingReference(from.clone()))?;
         let to_id = id_of(to).ok_or_else(|| MomlError::DanglingReference(to.clone()))?;
         spec.add_dependency(from_id, to_id, DataDependency::unnamed())?;
     }

@@ -332,7 +332,10 @@ mod tests {
         assert_eq!(root.children_named("entity").count(), 1);
         assert_eq!(root.children_named("link").count(), 1);
         assert_eq!(
-            root.children_named("link").next().unwrap().attribute("port"),
+            root.children_named("link")
+                .next()
+                .unwrap()
+                .attribute("port"),
             Some("t1.output")
         );
     }

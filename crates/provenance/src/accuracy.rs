@@ -44,16 +44,8 @@ pub fn compare_to_ground_truth(
         truth.subject, answer.subject,
         "accuracy comparison requires answers about the same task"
     );
-    let spurious: BTreeSet<TaskId> = answer
-        .tasks
-        .difference(&truth.tasks)
-        .copied()
-        .collect();
-    let missing: BTreeSet<TaskId> = truth
-        .tasks
-        .difference(&answer.tasks)
-        .copied()
-        .collect();
+    let spurious: BTreeSet<TaskId> = answer.tasks.difference(&truth.tasks).copied().collect();
+    let missing: BTreeSet<TaskId> = truth.tasks.difference(&answer.tasks).copied().collect();
     let true_positives = answer.tasks.len() - spurious.len();
     let precision = if answer.tasks.is_empty() {
         1.0
@@ -87,8 +79,14 @@ mod tests {
         let truth = workflow_level_provenance(&fixture.spec, subject);
         let answer = view_level_provenance(&fixture.spec, &fixture.view, subject);
         let accuracy = compare_to_ground_truth(&truth, &answer);
-        assert!(accuracy.precision < 1.0, "spurious provenance must hurt precision");
-        assert!((accuracy.recall - 1.0).abs() < 1e-9, "views never hide true provenance");
+        assert!(
+            accuracy.precision < 1.0,
+            "spurious provenance must hurt precision"
+        );
+        assert!(
+            (accuracy.recall - 1.0).abs() < 1e-9,
+            "views never hide true provenance"
+        );
         assert!(accuracy.spurious.contains(&fixture.task(3)));
         assert!(accuracy.missing.is_empty());
         assert!(!accuracy.is_exact());

@@ -129,10 +129,7 @@ mod tests {
         assert_eq!(run.invocation_count(), fixture.spec.task_count());
         assert_eq!(run.data_item_count(), fixture.spec.dependency_count());
         // every workflow edge becomes producer -> data -> consumer
-        assert_eq!(
-            run.graph.edge_count(),
-            fixture.spec.dependency_count() * 2
-        );
+        assert_eq!(run.graph.edge_count(), fixture.spec.dependency_count() * 2);
     }
 
     #[test]

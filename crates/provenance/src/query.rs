@@ -120,10 +120,14 @@ mod tests {
         let fixture = figure1();
         // provenance of Format alignment (8): 1, 2, 6, 7
         let answer = workflow_level_provenance(&fixture.spec, fixture.task(8));
-        let expected: BTreeSet<TaskId> =
-            [fixture.task(1), fixture.task(2), fixture.task(6), fixture.task(7)]
-                .into_iter()
-                .collect();
+        let expected: BTreeSet<TaskId> = [
+            fixture.task(1),
+            fixture.task(2),
+            fixture.task(6),
+            fixture.task(7),
+        ]
+        .into_iter()
+        .collect();
         assert_eq!(answer.tasks, expected);
         assert!(answer.edges_traversed >= expected.len());
     }
@@ -135,7 +139,10 @@ mod tests {
         // composite 14 (Extract annotations), i.e. on task 3.
         let fixture = figure1();
         let answer = view_level_provenance(&fixture.spec, &fixture.view, fixture.task(8));
-        assert!(answer.tasks.contains(&fixture.task(3)), "spurious task 3 reported");
+        assert!(
+            answer.tasks.contains(&fixture.task(3)),
+            "spurious task 3 reported"
+        );
         let truth = workflow_level_provenance(&fixture.spec, fixture.task(8));
         assert!(!truth.tasks.contains(&fixture.task(3)));
         // composites 13, 14, 15, 16 are all reported, as the paper states

@@ -42,18 +42,18 @@ impl Figure1 {
 pub fn figure1() -> Figure1 {
     let mut b = WorkflowBuilder::new("phylogenomic-inference");
     let names = [
-        "Select entries from DB",      // 1
-        "Split entries",               // 2
-        "Extract annotations",         // 3
-        "Curate annotations",          // 4
-        "Format annotations",          // 5
-        "Extract sequences",           // 6
-        "Create alignment",            // 7
-        "Format alignment",            // 8
-        "Check additional annotations", // 9
+        "Select entries from DB",         // 1
+        "Split entries",                  // 2
+        "Extract annotations",            // 3
+        "Curate annotations",             // 4
+        "Format annotations",             // 5
+        "Extract sequences",              // 6
+        "Create alignment",               // 7
+        "Format alignment",               // 8
+        "Check additional annotations",   // 9
         "Process additional annotations", // 10
-        "Build phylo tree",            // 11
-        "Display tree",                // 12
+        "Build phylo tree",               // 11
+        "Display tree",                   // 12
     ];
     let tasks: Vec<TaskId> = names.iter().map(|n| b.task(*n)).collect();
     for (from, to) in [
@@ -153,10 +153,7 @@ pub fn figure3() -> Figure3 {
         .build()
         .expect("figure 3 view is a partition");
     let members: BTreeSet<TaskId> = ids.iter().copied().collect();
-    let tasks = names
-        .iter()
-        .map(|n| ((*n).to_owned(), idx(n)))
-        .collect();
+    let tasks = names.iter().map(|n| ((*n).to_owned(), idx(n))).collect();
     Figure3 {
         spec,
         members,
@@ -226,10 +223,7 @@ mod tests {
     #[test]
     fn task_lookup_helpers() {
         let f1 = figure1();
-        assert_eq!(
-            f1.spec.task(f1.task(11)).unwrap().name,
-            "Build phylo tree"
-        );
+        assert_eq!(f1.spec.task(f1.task(11)).unwrap().name, "Build phylo tree");
         let f3 = figure3();
         assert_ne!(f3.task("c"), f3.task("d"));
         assert_eq!(f3.members.len(), 12);

@@ -124,14 +124,20 @@ pub fn pipeline_workflow(
     };
     for segment in 0..segments.max(1) {
         let source = spec
-            .add_task(AtomicTask::new(name(&mut counter, &format!("seg{segment}-split"))))
+            .add_task(AtomicTask::new(name(
+                &mut counter,
+                &format!("seg{segment}-split"),
+            )))
             .expect("unique name");
         if let Some(prev) = previous_sink {
             spec.add_dependency(prev, source, DataDependency::unnamed())
                 .expect("valid edge");
         }
         let sink = spec
-            .add_task(AtomicTask::new(name(&mut counter, &format!("seg{segment}-join"))))
+            .add_task(AtomicTask::new(name(
+                &mut counter,
+                &format!("seg{segment}-join"),
+            )))
             .expect("unique name");
         for branch in 0..branches.max(1) {
             let mut previous = source;

@@ -56,8 +56,8 @@ pub fn standard_suite(seeds: std::ops::Range<u64>) -> Vec<Case> {
         let layered = layered_workflow(&LayeredConfig::default(), seed);
         let pipeline = pipeline_workflow(2, 3, 2, seed);
         for (shape, spec) in [("layered", layered), ("pipeline", pipeline)] {
-            let expert = expert_view(&spec, 4, 0.25, seed, "expert")
-                .expect("expert view is a partition");
+            let expert =
+                expert_view(&spec, 4, 0.25, seed, "expert").expect("expert view is a partition");
             cases.push(Case {
                 name: format!("{shape}-{seed}-expert"),
                 kind: CaseKind::Expert,

@@ -225,7 +225,11 @@ mod tests {
         let clean = expert_view(&spec, 3, 0.0, 1, "clean").unwrap();
         let report = validate(&spec, &clean);
         // dataflow-following groups over a pipeline are sound
-        assert!(report.is_sound(), "unsound: {:?}", report.unsound_composites());
+        assert!(
+            report.is_sound(),
+            "unsound: {:?}",
+            report.unsound_composites()
+        );
     }
 
     #[test]
@@ -239,7 +243,10 @@ mod tests {
                 any_unsound = true;
             }
         }
-        assert!(any_unsound, "40% grouping errors must break soundness somewhere");
+        assert!(
+            any_unsound,
+            "40% grouping errors must break soundness somewhere"
+        );
     }
 
     #[test]

@@ -50,14 +50,29 @@ pub fn describe_view(spec: &WorkflowSpec, view: &WorkflowView) -> String {
             .iter()
             .map(|&t| spec.task(t).map(|a| a.name.clone()).unwrap_or_default())
             .collect();
-        let _ = writeln!(out, "  {id} '{}' = {{{}}}", composite.name, members.join(", "));
+        let _ = writeln!(
+            out,
+            "  {id} '{}' = {{{}}}",
+            composite.name,
+            members.join(", ")
+        );
     }
     let induced = view.induced_graph(spec);
     for (_, from, to, _) in induced.graph.edges() {
-        let cf = induced.composite_of(from).expect("induced node has composite");
-        let ct = induced.composite_of(to).expect("induced node has composite");
-        let from_name = view.composite(cf).map(|c| c.name.clone()).unwrap_or_default();
-        let to_name = view.composite(ct).map(|c| c.name.clone()).unwrap_or_default();
+        let cf = induced
+            .composite_of(from)
+            .expect("induced node has composite");
+        let ct = induced
+            .composite_of(to)
+            .expect("induced node has composite");
+        let from_name = view
+            .composite(cf)
+            .map(|c| c.name.clone())
+            .unwrap_or_default();
+        let to_name = view
+            .composite(ct)
+            .map(|c| c.name.clone())
+            .unwrap_or_default();
         let _ = writeln!(out, "  edge {from_name} -> {to_name}");
     }
     out

@@ -99,7 +99,10 @@ mod tests {
             .with_param("tool", "curator-2.1");
         assert_eq!(t.name, "Curate annotations");
         assert_eq!(t.description.as_deref(), Some("manual curation step"));
-        assert_eq!(t.params.get("tool").map(String::as_str), Some("curator-2.1"));
+        assert_eq!(
+            t.params.get("tool").map(String::as_str),
+            Some("curator-2.1")
+        );
         assert_eq!(t.to_string(), "Curate annotations");
     }
 

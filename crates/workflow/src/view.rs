@@ -182,9 +182,10 @@ impl WorkflowView {
 
     /// Iterates over `(id, composite)` pairs in id order.
     pub fn composites(&self) -> impl Iterator<Item = (CompositeTaskId, &CompositeTask)> + '_ {
-        self.composites.iter().enumerate().filter_map(|(i, c)| {
-            c.as_ref().map(|c| (CompositeTaskId::from_index(i), c))
-        })
+        self.composites
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.as_ref().map(|c| (CompositeTaskId::from_index(i), c)))
     }
 
     /// Iterates over live composite ids.
@@ -411,7 +412,10 @@ mod tests {
         let err = WorkflowView::from_groups(
             &spec,
             "v",
-            vec![("a".into(), vec![ids[0], ids[1]]), ("b".into(), vec![ids[2]])],
+            vec![
+                ("a".into(), vec![ids[0], ids[1]]),
+                ("b".into(), vec![ids[2]]),
+            ],
         )
         .unwrap_err();
         assert!(matches!(err, WorkflowError::NotAPartition { .. }));
@@ -481,12 +485,8 @@ mod tests {
     #[test]
     fn split_composite_replaces_and_keeps_partition() {
         let (spec, ids) = spec_chain(4);
-        let mut view = WorkflowView::from_groups(
-            &spec,
-            "v",
-            vec![("all".into(), ids.clone())],
-        )
-        .unwrap();
+        let mut view =
+            WorkflowView::from_groups(&spec, "v", vec![("all".into(), ids.clone())]).unwrap();
         let target = view.composite_of(ids[0]).unwrap();
         let new_ids = view
             .split_composite(target, vec![vec![ids[0], ids[1]], vec![ids[2], ids[3]]])

@@ -8,8 +8,7 @@
 use wolves::core::correct::{correct_view, StrongCorrector};
 use wolves::core::validate::validate;
 use wolves::provenance::{
-    compare_to_ground_truth, simulate_execution, view_level_provenance,
-    workflow_level_provenance,
+    compare_to_ground_truth, simulate_execution, view_level_provenance, workflow_level_provenance,
 };
 use wolves::repo::generate::{layered_workflow, LayeredConfig};
 use wolves::repo::views::topological_block_view;
@@ -40,7 +39,11 @@ fn main() {
     let report = validate(&spec, &view);
     println!(
         "view is {} ({} unsound composite tasks)",
-        if report.is_sound() { "sound" } else { "UNSOUND" },
+        if report.is_sound() {
+            "sound"
+        } else {
+            "UNSOUND"
+        },
         report.unsound_composites().len()
     );
     let (corrected, _) = correct_view(&spec, &view, &StrongCorrector::new()).unwrap();
@@ -60,17 +63,20 @@ fn main() {
         workflow_edges += truth.edges_traversed;
         let unsound_answer = view_level_provenance(&spec, &view, subject);
         view_edges += unsound_answer.edges_traversed;
-        spurious_total += compare_to_ground_truth(&truth, &unsound_answer).spurious.len();
+        spurious_total += compare_to_ground_truth(&truth, &unsound_answer)
+            .spurious
+            .len();
         let corrected_answer = view_level_provenance(&spec, &corrected, subject);
-        if compare_to_ground_truth(&truth, &corrected_answer).spurious.is_empty() {
+        if compare_to_ground_truth(&truth, &corrected_answer)
+            .spurious
+            .is_empty()
+        {
             corrected_exact += 1;
         }
     }
     println!("provenance queries evaluated      : {queries}");
     println!("spurious tasks via unsound view   : {spurious_total}");
-    println!(
-        "queries with no spurious tasks via corrected view: {corrected_exact}/{queries}"
-    );
+    println!("queries with no spurious tasks via corrected view: {corrected_exact}/{queries}");
     println!(
         "mean edges traversed: view level {:.1}, workflow level {:.1}",
         view_edges as f64 / queries as f64,

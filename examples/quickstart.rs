@@ -17,7 +17,9 @@ fn main() {
     let features = builder.task("Extract features");
     let model = builder.task("Fit model");
     let report = builder.task("Final report");
-    builder.chain(&[fetch, split, qc, qc_report, report]).unwrap();
+    builder
+        .chain(&[fetch, split, qc, qc_report, report])
+        .unwrap();
     builder.chain(&[split, features, model, report]).unwrap();
     let spec = builder.build().expect("the workflow is a DAG");
 

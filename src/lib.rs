@@ -34,8 +34,7 @@ pub use wolves_workflow as workflow;
 /// Convenience prelude bringing the most commonly used items into scope.
 pub mod prelude {
     pub use wolves_core::correct::{
-        correct_view, Corrector, OptimalCorrector, Split, Strategy, StrongCorrector,
-        WeakCorrector,
+        correct_view, Corrector, OptimalCorrector, Split, Strategy, StrongCorrector, WeakCorrector,
     };
     pub use wolves_core::feedback::FeedbackSession;
     pub use wolves_core::validate::{validate, validate_by_definition};

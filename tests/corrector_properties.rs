@@ -10,16 +10,18 @@ use wolves::core::correct::check::{
 };
 use wolves::core::correct::{Corrector, OptimalCorrector, StrongCorrector, WeakCorrector};
 use wolves::core::validate::{validate, validate_by_definition};
-use wolves::workflow::{
-    AtomicTask, DataDependency, TaskId, WorkflowSpec, WorkflowView,
-};
+use wolves::workflow::{AtomicTask, DataDependency, TaskId, WorkflowSpec, WorkflowView};
 
 /// A random small DAG workflow: nodes 0..n with edges oriented from lower to
 /// higher index, plus an external source and sink so composites have real
 /// boundaries.
 fn arbitrary_workflow() -> impl Strategy<Value = (WorkflowSpec, Vec<TaskId>)> {
-    (3usize..9, proptest::collection::vec((0usize..9, 0usize..9), 2..20), 0u8..=1).prop_map(
-        |(n, raw_edges, connect_boundary)| {
+    (
+        3usize..9,
+        proptest::collection::vec((0usize..9, 0usize..9), 2..20),
+        0u8..=1,
+    )
+        .prop_map(|(n, raw_edges, connect_boundary)| {
             let mut spec = WorkflowSpec::new("prop-workflow");
             let source = spec.add_task(AtomicTask::new("source")).unwrap();
             let sink = spec.add_task(AtomicTask::new("sink")).unwrap();
@@ -47,8 +49,7 @@ fn arbitrary_workflow() -> impl Strategy<Value = (WorkflowSpec, Vec<TaskId>)> {
                 }
             }
             (spec, tasks)
-        },
-    )
+        })
 }
 
 proptest! {

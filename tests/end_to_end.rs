@@ -8,8 +8,8 @@ use wolves::moml::{from_moml, read_text_format, to_moml, write_text_format};
 use wolves::provenance::{
     compare_to_ground_truth, view_level_provenance, workflow_level_provenance,
 };
-use wolves::repo::{figure1, figure3};
 use wolves::repo::suite::standard_suite;
+use wolves::repo::{figure1, figure3};
 
 #[test]
 fn figure1_full_pipeline_import_validate_correct_query() {

@@ -1,0 +1,293 @@
+//! Offline shim for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! Implements the subset of the API the WOLVES benches use — benchmark
+//! groups, [`BenchmarkId`], `bench_function` / `bench_with_input`, and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — with a simple
+//! wall-clock measurement loop instead of criterion's statistical engine.
+//! Each benchmark is warmed up briefly, then timed in batches for roughly
+//! the configured measurement time; the best batch mean is reported as
+//! ns/iter, which is enough to compare the correctors' asymptotics.
+//!
+//! When invoked by `cargo test` (criterion receives `--test`), every
+//! benchmark body runs exactly once so the suite stays fast.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Identifies a benchmark within a group, optionally parameterised.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Creates an id with a function name and a parameter rendered via
+    /// [`Display`] (e.g. the input size).
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Creates an id carrying only a parameter (criterion's
+    /// `from_parameter`).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match &self.parameter {
+            Some(p) if self.name.is_empty() => p.clone(),
+            Some(p) => format!("{}/{}", self.name, p),
+            None => self.name.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_owned(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            name,
+            parameter: None,
+        }
+    }
+}
+
+/// Timer handed to each benchmark closure.
+pub struct Bencher {
+    test_mode: bool,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    /// Best observed mean, in nanoseconds per iteration.
+    result_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the best batch mean for the caller to print.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            self.result_ns = 0.0;
+            return;
+        }
+
+        // warm-up: run until the warm-up budget is spent, measuring a rough
+        // per-iteration cost to size the batches
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        // measurement: `sample_size` batches within the measurement budget
+        let budget = self.measurement_time.as_secs_f64();
+        let batch_iters =
+            ((budget / self.sample_size as f64) / per_iter.max(1e-9)).clamp(1.0, 1e7) as u64;
+        let mut best = f64::INFINITY;
+        let run_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch_iters {
+                black_box(routine());
+            }
+            let mean = start.elapsed().as_secs_f64() / batch_iters as f64;
+            best = best.min(mean);
+            if run_start.elapsed().as_secs_f64() > budget * 2.0 {
+                break;
+            }
+        }
+        self.result_ns = best * 1e9;
+    }
+}
+
+/// A named collection of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measurement batches.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id, |b| routine(b));
+        self
+    }
+
+    /// Benchmarks `routine` under `id`, passing `input` through.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.run(&id, |b| routine(b, input));
+        self
+    }
+
+    fn run<F: FnOnce(&mut Bencher)>(&self, id: &BenchmarkId, routine: F) {
+        let mut bencher = Bencher {
+            test_mode: self.criterion.test_mode,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            result_ns: 0.0,
+        };
+        routine(&mut bencher);
+        let label = format!("{}/{}", self.name, id.render());
+        if self.criterion.test_mode {
+            println!("test {label} ... ok (ran once, --test mode)");
+        } else {
+            println!("{label:<60} {:>14.1} ns/iter", bencher.result_ns);
+        }
+    }
+
+    /// Ends the group (kept for API compatibility; prints a separator).
+    pub fn finish(self) {
+        if !self.criterion.test_mode {
+            println!();
+        }
+    }
+}
+
+/// Entry point mirroring criterion's `Criterion` configuration struct.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` / `cargo bench` pass harness flags straight through to
+        // harness = false bench binaries; `--test` means "just check it runs"
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Kept for compatibility with criterion's CLI handling; the shim parses
+    /// its arguments in [`Criterion::default`].
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a benchmark group named `name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+
+    /// Benchmarks `routine` outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(name);
+        group.bench_function("run", &mut routine);
+        group.finish();
+        self
+    }
+}
+
+/// Declares a function that runs a list of benchmark functions, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the `main` function of a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("weak", 25).render(), "weak/25");
+        assert_eq!(BenchmarkId::from_parameter(7).render(), "7");
+        assert_eq!(BenchmarkId::from("plain").render(), "plain");
+    }
+
+    #[test]
+    fn bench_runs_the_closure() {
+        let mut criterion = Criterion { test_mode: true };
+        let mut group = criterion.benchmark_group("g");
+        group
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(1));
+        let mut ran = 0u32;
+        group.bench_function("f", |b| b.iter(|| ran += 1));
+        group.bench_with_input(BenchmarkId::new("g", 1), &3u32, |b, &x| b.iter(|| x + 1));
+        group.finish();
+        assert!(ran >= 1);
+    }
+}
