@@ -1,0 +1,148 @@
+//! Throughput benchmark for `wolves-service`: requests/sec over a grid of
+//! shard counts × worker-thread counts, driven by the concurrent batch
+//! client over a real loopback TCP connection.
+//!
+//! Usage:
+//!
+//! ```text
+//! service_bench                     # full grid, JSON on stdout
+//! service_bench --quick             # smaller grid / fewer requests (CI)
+//! service_bench --out BENCH_service.json
+//! ```
+//!
+//! The output is machine-readable JSON (handwritten — no serde in the
+//! workspace), one row per grid point, so perf trajectories can be recorded
+//! across PRs.
+
+use std::fmt::Write as _;
+
+use wolves_repo::{figure1, layered_workflow, topological_block_view, LayeredConfig};
+use wolves_service::{serve, validate_throughput, BatchConfig, ServerConfig, WorkflowId};
+
+struct Row {
+    shards: usize,
+    workers: usize,
+    clients: usize,
+    completed: usize,
+    errors: usize,
+    elapsed_ms: f64,
+    requests_per_sec: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("usage: service_bench [--quick] [--out <file>]");
+        return;
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path: Option<String> = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned());
+
+    let (shard_grid, worker_grid, clients, requests_per_client): (Vec<usize>, Vec<usize>, _, _) =
+        if quick {
+            (vec![1, 4], vec![2, 4], 4, 50)
+        } else {
+            (vec![1, 2, 4, 8], vec![1, 2, 4, 8], 8, 250)
+        };
+
+    let mut rows = Vec::new();
+    for &shards in &shard_grid {
+        for &workers in &worker_grid {
+            rows.push(run_grid_point(
+                shards,
+                workers,
+                clients,
+                requests_per_client,
+            ));
+        }
+    }
+
+    let json = render_json(&rows, quick);
+    if let Some(path) = out_path {
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("cannot write '{path}': {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+    println!("{json}");
+}
+
+/// One grid point: a fresh server, a mixed workload of small (Figure 1) and
+/// mid-size generated workflows, then the batch validate driver.
+fn run_grid_point(shards: usize, workers: usize, clients: usize, requests: usize) -> Row {
+    let server = serve(&ServerConfig {
+        shards,
+        workers,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback server");
+    let store = server.store();
+
+    let mut ids: Vec<WorkflowId> = Vec::new();
+    for seed in 0..8u64 {
+        let fixture = figure1();
+        ids.push(store.register(fixture.spec, Some(fixture.view)));
+        let spec = layered_workflow(&LayeredConfig::sized(96), seed);
+        let view = topological_block_view(&spec, 6, "blocks").expect("layered spec is a DAG");
+        ids.push(store.register(spec, Some(view)));
+    }
+
+    let report = validate_throughput(
+        server.local_addr(),
+        &ids,
+        BatchConfig {
+            clients,
+            requests_per_client: requests,
+        },
+    )
+    .expect("throughput driver");
+    let stats = store.stats();
+    server.shutdown();
+
+    Row {
+        shards,
+        workers,
+        clients,
+        completed: report.completed,
+        errors: report.errors,
+        elapsed_ms: report.elapsed.as_secs_f64() * 1e3,
+        requests_per_sec: report.requests_per_sec(),
+        cache_hits: stats.validate_hits(),
+        cache_misses: stats.validate_misses(),
+    }
+}
+
+fn render_json(rows: &[Row], quick: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"benchmark\": \"wolves-service throughput\",");
+    let _ = writeln!(out, "  \"workload\": \"validate over loopback TCP\",");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    out.push_str("  \"rows\": [\n");
+    for (index, row) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"shards\": {}, \"workers\": {}, \"clients\": {}, \"completed\": {}, \
+             \"errors\": {}, \"elapsed_ms\": {:.3}, \"requests_per_sec\": {:.1}, \
+             \"cache_hits\": {}, \"cache_misses\": {}}}",
+            row.shards,
+            row.workers,
+            row.clients,
+            row.completed,
+            row.errors,
+            row.elapsed_ms,
+            row.requests_per_sec,
+            row.cache_hits,
+            row.cache_misses
+        );
+        out.push_str(if index + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -12,6 +12,12 @@
 //! | Workflow View Feedback | [`merge_command`] |
 //! | Workflow View Displayer | [`render_command`], [`show_command`] |
 //!
+//! Beyond Figure 2, the serving layer (`wolves-service`) is exposed through
+//! `wolves serve` (see the binary) and the [`remote_register`],
+//! [`remote_validate`], [`remote_correct`], [`remote_provenance`],
+//! [`remote_stats`] and [`remote_shutdown`] client commands, plus
+//! [`fixture_command`] to materialise the paper fixtures as input files.
+//!
 //! The binary (`wolves`) parses arguments and dispatches to these functions;
 //! they all return plain strings so they are directly testable.
 
@@ -25,6 +31,7 @@ use wolves_core::estimate::{EstimationRegistry, WorkloadClass};
 use wolves_core::validate::{validate, validate_by_definition};
 use wolves_graph::dot::{to_dot, DotOptions};
 use wolves_moml::{from_moml, read_text_format, to_moml, write_text_format, ImportedWorkflow};
+use wolves_service::{ServiceClient, ServiceError, WorkflowId};
 use wolves_workflow::render::{describe_spec, describe_view};
 use wolves_workflow::{WorkflowSpec, WorkflowView};
 
@@ -37,6 +44,8 @@ pub enum CliError {
     Parse(String),
     /// The requested operation failed.
     Operation(String),
+    /// A request to a `wolves serve` instance failed.
+    Service(ServiceError),
 }
 
 impl std::fmt::Display for CliError {
@@ -45,7 +54,14 @@ impl std::fmt::Display for CliError {
             CliError::Io(path, e) => write!(f, "cannot read '{path}': {e}"),
             CliError::Parse(message) => write!(f, "parse error: {message}"),
             CliError::Operation(message) => write!(f, "{message}"),
+            CliError::Service(e) => write!(f, "{e}"),
         }
+    }
+}
+
+impl From<ServiceError> for CliError {
+    fn from(e: ServiceError) -> Self {
+        CliError::Service(e)
     }
 }
 
@@ -288,6 +304,150 @@ pub fn export_command(
     }
 }
 
+/// Materialises a paper fixture in the native text format, ready to be fed
+/// back to `wolves validate` / `wolves request … register`.
+///
+/// # Errors
+/// Reports unknown fixture names.
+pub fn fixture_command(name: &str) -> Result<String, CliError> {
+    match name {
+        "figure1" => {
+            let fixture = wolves_repo::figure1();
+            Ok(write_text_format(&fixture.spec, Some(&fixture.view)))
+        }
+        "figure3" => {
+            let fixture = wolves_repo::figure3();
+            Ok(write_text_format(&fixture.spec, Some(&fixture.view)))
+        }
+        other => Err(CliError::Operation(format!(
+            "unknown fixture '{other}' (expected figure1 or figure3)"
+        ))),
+    }
+}
+
+fn connect(addr: &str) -> Result<ServiceClient, CliError> {
+    ServiceClient::connect(addr).map_err(CliError::from)
+}
+
+/// `wolves request <addr> register <file>`: registers a workflow file with a
+/// running server and prints the assigned id.
+///
+/// # Errors
+/// Reports unreadable files and transport/server failures.
+pub fn remote_register(addr: &str, path: &str) -> Result<String, CliError> {
+    let imported = load_workflow(path)?;
+    let payload = write_text_format(&imported.spec, imported.view.as_ref());
+    let id = connect(addr)?.register_text(&payload)?;
+    Ok(format!("registered workflow {id}\n"))
+}
+
+/// `wolves request <addr> validate <id>`: validates a registered view and
+/// prints the verdict, the view version and whether the shard cache answered.
+///
+/// # Errors
+/// Reports transport/server failures.
+pub fn remote_validate(
+    addr: &str,
+    workflow: WorkflowId,
+    version: Option<usize>,
+) -> Result<String, CliError> {
+    let verdict = connect(addr)?.validate(workflow, version)?;
+    let mut out = format!(
+        "workflow {workflow} view version {}: {} (cache {})\n",
+        verdict.version,
+        if verdict.sound { "SOUND" } else { "UNSOUND" },
+        if verdict.cached { "hit" } else { "miss" }
+    );
+    for name in &verdict.unsound {
+        let _ = writeln!(out, "  [UNSOUND] {name}");
+    }
+    Ok(out)
+}
+
+/// `wolves request <addr> correct <id>`: corrects the current view with the
+/// given strategy; the corrected view becomes the workflow's current version
+/// server-side and is optionally written to `out_path`.
+///
+/// # Errors
+/// Reports unknown strategies, unwritable output paths and transport/server
+/// failures.
+pub fn remote_correct(
+    addr: &str,
+    workflow: WorkflowId,
+    strategy_name: &str,
+    out_path: Option<&str>,
+) -> Result<String, CliError> {
+    let strategy = Strategy::parse(strategy_name)
+        .ok_or_else(|| CliError::Operation(format!("unknown corrector '{strategy_name}'")))?;
+    let corrected = connect(addr)?.correct(workflow, strategy)?;
+    let mut out = format!(
+        "workflow {workflow}: composite tasks {} -> {} (now view version {})\n",
+        corrected.composites_before, corrected.composites_after, corrected.version
+    );
+    if let Some(path) = out_path {
+        std::fs::write(path, &corrected.payload)
+            .map_err(|e| CliError::Operation(format!("cannot write '{path}': {e}")))?;
+        let _ = writeln!(out, "corrected view written to {path}");
+    }
+    Ok(out)
+}
+
+/// `wolves request <addr> provenance <id> <task>`: prints the view-level
+/// provenance of the named task through the workflow's current view.
+///
+/// # Errors
+/// Reports transport/server failures.
+pub fn remote_provenance(
+    addr: &str,
+    workflow: WorkflowId,
+    subject: &str,
+) -> Result<String, CliError> {
+    let tasks = connect(addr)?.provenance(workflow, subject)?;
+    let mut out = format!("provenance of '{subject}' ({} tasks):\n", tasks.len());
+    for task in &tasks {
+        let _ = writeln!(out, "  {task}");
+    }
+    Ok(out)
+}
+
+/// `wolves request <addr> stats`: prints the per-shard serving counters.
+///
+/// # Errors
+/// Reports transport/server failures.
+pub fn remote_stats(addr: &str) -> Result<String, CliError> {
+    let stats = connect(addr)?.stats()?;
+    let mut out = String::new();
+    for shard in &stats.shards {
+        let _ = writeln!(
+            out,
+            "shard {}: {} workflows, {} requests, validate cache {} hits / {} misses, {:.1?} validating",
+            shard.shard,
+            shard.workflows,
+            shard.requests,
+            shard.validate_hits,
+            shard.validate_misses,
+            std::time::Duration::from_nanos(shard.validate_ns)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "total: {} workflows, {} requests; estimation registry holds {} correction samples",
+        stats.workflows(),
+        stats.requests(),
+        stats.registry_samples
+    );
+    Ok(out)
+}
+
+/// `wolves request <addr> shutdown`: asks the server to exit.
+///
+/// # Errors
+/// Reports transport/server failures.
+pub fn remote_shutdown(addr: &str) -> Result<String, CliError> {
+    connect(addr)?.shutdown()?;
+    Ok("server shutting down\n".to_owned())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -359,5 +519,57 @@ mod tests {
         let output = show_command(&fixture.spec, Some(&fixture.view));
         assert!(output.contains("workflow 'phylogenomic-inference'"));
         assert!(output.contains("view 'figure-1b'"));
+    }
+
+    #[test]
+    fn fixture_command_round_trips_through_the_parser() {
+        for name in ["figure1", "figure3"] {
+            let text = fixture_command(name).unwrap();
+            let imported = parse_workflow("fixture.txt", &text).unwrap();
+            assert!(imported.view.is_some());
+        }
+        assert!(fixture_command("figure9").is_err());
+    }
+
+    #[test]
+    fn remote_commands_drive_a_loopback_server() {
+        let server = wolves_service::serve(&wolves_service::ServerConfig {
+            shards: 2,
+            workers: 2,
+            ..wolves_service::ServerConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr().to_string();
+
+        let path = std::env::temp_dir().join("wolves-cli-remote-test.txt");
+        std::fs::write(&path, fixture_command("figure1").unwrap()).unwrap();
+        let registered = remote_register(&addr, &path.to_string_lossy()).unwrap();
+        assert!(registered.contains("registered workflow 1"));
+
+        let id = WorkflowId(1);
+        let unsound = remote_validate(&addr, id, None).unwrap();
+        assert!(unsound.contains("UNSOUND"));
+        assert!(unsound.contains("cache miss"));
+
+        let corrected = remote_correct(&addr, id, "strong", None).unwrap();
+        assert!(corrected.contains("7 -> 8"));
+        assert!(remote_correct(&addr, id, "bogus", None).is_err());
+
+        let sound = remote_validate(&addr, id, None).unwrap();
+        assert!(sound.contains("SOUND"));
+
+        let provenance = remote_provenance(&addr, id, "Format alignment").unwrap();
+        assert!(provenance.contains("Create alignment"));
+
+        let stats = remote_stats(&addr).unwrap();
+        assert!(stats.contains("estimation registry holds 1 correction samples"));
+
+        assert!(matches!(
+            remote_validate(&addr, WorkflowId(77), None),
+            Err(CliError::Service(ServiceError::Remote(_)))
+        ));
+
+        assert!(remote_shutdown(&addr).is_ok());
+        server.join();
     }
 }

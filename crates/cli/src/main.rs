@@ -1,4 +1,5 @@
-//! The `wolves` command-line application (paper Figure 2 as a CLI).
+//! The `wolves` command-line application (paper Figure 2 as a CLI, plus the
+//! serving layer of `wolves-service`).
 //!
 //! ```text
 //! wolves show <file>                          summarise a workflow and view
@@ -6,18 +7,25 @@
 //! wolves correct <file> [--strategy weak|strong|optimal] [--out <file>]
 //! wolves render <file>                        emit Graphviz DOT
 //! wolves export <file> --format moml|text     convert between formats
+//! wolves fixture figure1|figure3              print a paper fixture
 //! wolves demo                                 run the Figure 1 walk-through
+//! wolves serve [--addr A] [--shards N] [--threads N]
+//! wolves request <addr> <verb> …              talk to a running server
 //! ```
 //!
-//! Input files ending in `.xml`/`.moml` are parsed as MOML; everything else
-//! uses the native text format (see `wolves-moml`).
+//! Unknown subcommands, unknown options and malformed arguments exit with a
+//! nonzero status and print the usage text on stderr. Input files ending in
+//! `.xml`/`.moml` are parsed as MOML; everything else uses the native text
+//! format (see `wolves-moml`).
 
 use std::process::ExitCode;
 
 use wolves_cli::{
-    correct_command, export_command, import_command, load_workflow, render_command, show_command,
-    validate_command,
+    correct_command, export_command, fixture_command, import_command, load_workflow,
+    remote_correct, remote_provenance, remote_register, remote_shutdown, remote_stats,
+    remote_validate, render_command, show_command, validate_command,
 };
+use wolves_service::{serve, ServerConfig, WorkflowId};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,38 +41,113 @@ fn main() -> ExitCode {
     }
 }
 
-fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1).cloned())
+/// `--flag value` pairs extracted by [`parse_args`].
+type Flags = Vec<(String, String)>;
+
+/// Splits `args` into positionals and `--flag value` pairs, rejecting flags
+/// outside `allowed` — the malformed-argument guard of the CLI.
+fn parse_args(
+    command: &str,
+    args: &[String],
+    allowed: &[&str],
+) -> Result<(Vec<String>, Flags), String> {
+    let mut positionals = Vec::new();
+    let mut flags = Vec::new();
+    let mut index = 0;
+    while index < args.len() {
+        let arg = &args[index];
+        if let Some(name) = arg.strip_prefix("--") {
+            if !allowed.contains(&name) {
+                return Err(format!(
+                    "unknown option '--{name}' for '{command}'\n{USAGE}"
+                ));
+            }
+            let value = args
+                .get(index + 1)
+                .ok_or_else(|| format!("option '--{name}' needs a value\n{USAGE}"))?;
+            flags.push((name.to_owned(), value.clone()));
+            index += 2;
+        } else {
+            positionals.push(arg.clone());
+            index += 1;
+        }
+    }
+    Ok((positionals, flags))
+}
+
+fn flag<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    flags
+        .iter()
+        .rev()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn one_positional(command: &str, positionals: &[String]) -> Result<String, String> {
+    match positionals {
+        [single] => Ok(single.clone()),
+        [] => Err(format!("'{command}' needs an input file\n{USAGE}")),
+        _ => Err(format!(
+            "'{command}' takes exactly one input file, got {}\n{USAGE}",
+            positionals.len()
+        )),
+    }
+}
+
+fn parse_number<T: std::str::FromStr>(value: &str, what: &str) -> Result<T, String> {
+    value
+        .parse::<T>()
+        .map_err(|_| format!("invalid {what} '{value}'\n{USAGE}"))
 }
 
 fn run(args: &[String]) -> Result<String, String> {
     let command = args.first().map(String::as_str).unwrap_or("help");
+    let rest = args.get(1..).unwrap_or_default();
     match command {
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
-        "demo" => Ok(demo()),
+        "demo" => {
+            parse_args(command, rest, &[])?;
+            Ok(demo())
+        }
+        "fixture" => {
+            let (positionals, _) = parse_args(command, rest, &[])?;
+            let name = match positionals.as_slice() {
+                [single] => single.clone(),
+                [] => return Err(format!("'fixture' needs a fixture name\n{USAGE}")),
+                _ => {
+                    return Err(format!(
+                        "'fixture' takes exactly one fixture name, got {}\n{USAGE}",
+                        positionals.len()
+                    ))
+                }
+            };
+            fixture_command(&name).map_err(|e| e.to_string())
+        }
+        "serve" => serve_blocking(rest),
+        "request" => request(rest),
         "show" | "validate" | "correct" | "render" | "export" => {
-            let path = args
-                .get(1)
-                .filter(|a| !a.starts_with("--"))
-                .ok_or_else(|| format!("'{command}' needs an input file\n{USAGE}"))?;
-            let imported = load_workflow(path).map_err(|e| e.to_string())?;
+            let allowed: &[&str] = match command {
+                "correct" => &["strategy", "out"],
+                "export" => &["format"],
+                _ => &[],
+            };
+            let (positionals, flags) = parse_args(command, rest, allowed)?;
+            let path = one_positional(command, &positionals)?;
+            let imported = load_workflow(&path).map_err(|e| e.to_string())?;
             let spec = imported.spec;
             let view = imported.view;
             match command {
-                "show" => import_command(path).map_err(|e| e.to_string()),
+                "show" => import_command(&path).map_err(|e| e.to_string()),
                 "validate" => {
                     let view = view.ok_or("the input file defines no view to validate")?;
                     Ok(validate_command(&spec, &view))
                 }
                 "correct" => {
                     let view = view.ok_or("the input file defines no view to correct")?;
-                    let strategy =
-                        flag_value(args, "--strategy").unwrap_or_else(|| "strong".to_owned());
-                    let (corrected, mut output) = correct_command(&spec, &view, &strategy, None)
-                        .map_err(|e| e.to_string())?;
-                    if let Some(out_path) = flag_value(args, "--out") {
+                    let strategy = flag(&flags, "strategy").unwrap_or("strong");
+                    let (corrected, mut output) =
+                        correct_command(&spec, &view, strategy, None).map_err(|e| e.to_string())?;
+                    if let Some(out_path) = flag(&flags, "out") {
                         let format = if out_path.ends_with(".xml") || out_path.ends_with(".moml") {
                             "moml"
                         } else {
@@ -72,7 +155,7 @@ fn run(args: &[String]) -> Result<String, String> {
                         };
                         let exported = export_command(&spec, Some(&corrected), format)
                             .map_err(|e| e.to_string())?;
-                        std::fs::write(&out_path, exported)
+                        std::fs::write(out_path, exported)
                             .map_err(|e| format!("cannot write '{out_path}': {e}"))?;
                         output.push_str(&format!("corrected view written to {out_path}\n"));
                     }
@@ -80,13 +163,118 @@ fn run(args: &[String]) -> Result<String, String> {
                 }
                 "render" => Ok(render_command(&spec, view.as_ref())),
                 "export" => {
-                    let format = flag_value(args, "--format").unwrap_or_else(|| "text".to_owned());
-                    export_command(&spec, view.as_ref(), &format).map_err(|e| e.to_string())
+                    let format = flag(&flags, "format").unwrap_or("text");
+                    export_command(&spec, view.as_ref(), format).map_err(|e| e.to_string())
                 }
                 _ => unreachable!("outer match guards the command list"),
             }
         }
         other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    }
+}
+
+/// `wolves serve`: starts the server and blocks until a client sends a
+/// `shutdown` request.
+fn serve_blocking(args: &[String]) -> Result<String, String> {
+    let (positionals, flags) = parse_args("serve", args, &["addr", "shards", "threads"])?;
+    if !positionals.is_empty() {
+        return Err(format!("'serve' takes no positional arguments\n{USAGE}"));
+    }
+    let config = ServerConfig {
+        addr: flag(&flags, "addr").unwrap_or("127.0.0.1:7878").to_owned(),
+        shards: flag(&flags, "shards")
+            .map(|v| parse_number(v, "shard count"))
+            .transpose()?
+            .unwrap_or(4),
+        workers: flag(&flags, "threads")
+            .map(|v| parse_number(v, "thread count"))
+            .transpose()?
+            .unwrap_or(4),
+    };
+    let handle = serve(&config).map_err(|e| format!("cannot bind '{}': {e}", config.addr))?;
+    println!(
+        "wolves-service listening on {} ({} shards, {} worker threads)",
+        handle.local_addr(),
+        config.shards.max(1),
+        config.workers.max(1)
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    handle.join();
+    Ok("server stopped\n".to_owned())
+}
+
+/// `wolves request <addr> <verb> …`: one-shot client requests.
+fn request(args: &[String]) -> Result<String, String> {
+    let (positionals, flags) = parse_args("request", args, &["strategy", "out", "view-version"])?;
+    let [addr, verb, verb_args @ ..] = positionals.as_slice() else {
+        return Err(format!("'request' needs an address and a verb\n{USAGE}"));
+    };
+    // each verb accepts only its own options; anything else is malformed
+    let allowed_for_verb: &[&str] = match verb.as_str() {
+        "validate" => &["view-version"],
+        "correct" => &["strategy", "out"],
+        _ => &[],
+    };
+    if let Some((name, _)) = flags
+        .iter()
+        .find(|(n, _)| !allowed_for_verb.contains(&n.as_str()))
+    {
+        return Err(format!(
+            "unknown option '--{name}' for 'request {verb}'\n{USAGE}"
+        ));
+    }
+    let parse_id = |text: Option<&String>| -> Result<WorkflowId, String> {
+        let text = text.ok_or_else(|| format!("'{verb}' needs a workflow id\n{USAGE}"))?;
+        parse_number::<u64>(text, "workflow id").map(WorkflowId)
+    };
+    let expect_args = |count: usize| -> Result<(), String> {
+        if verb_args.len() == count {
+            Ok(())
+        } else {
+            Err(format!(
+                "'request {verb}' takes {count} argument(s), got {}\n{USAGE}",
+                verb_args.len()
+            ))
+        }
+    };
+    match verb.as_str() {
+        "register" => {
+            expect_args(1)?;
+            remote_register(addr, &verb_args[0]).map_err(|e| e.to_string())
+        }
+        "validate" => {
+            expect_args(1)?;
+            let version = flag(&flags, "view-version")
+                .map(|v| parse_number::<usize>(v, "view version"))
+                .transpose()?;
+            remote_validate(addr, parse_id(verb_args.first())?, version).map_err(|e| e.to_string())
+        }
+        "correct" => {
+            expect_args(1)?;
+            let strategy = flag(&flags, "strategy").unwrap_or("strong");
+            remote_correct(
+                addr,
+                parse_id(verb_args.first())?,
+                strategy,
+                flag(&flags, "out"),
+            )
+            .map_err(|e| e.to_string())
+        }
+        "provenance" => {
+            expect_args(2)?;
+            remote_provenance(addr, parse_id(verb_args.first())?, &verb_args[1])
+                .map_err(|e| e.to_string())
+        }
+        "stats" => {
+            expect_args(0)?;
+            remote_stats(addr).map_err(|e| e.to_string())
+        }
+        "shutdown" => {
+            expect_args(0)?;
+            remote_shutdown(addr).map_err(|e| e.to_string())
+        }
+        other => Err(format!("unknown request verb '{other}'\n{USAGE}")),
     }
 }
 
@@ -116,7 +304,19 @@ usage:
   wolves correct <file> [--strategy weak|strong|optimal] [--out <file>]
   wolves render <file>                        emit Graphviz DOT (unsound tasks highlighted)
   wolves export <file> --format moml|text     convert between formats
+  wolves fixture figure1|figure3              print a paper fixture in the text format
   wolves demo                                 run the built-in Figure 1 walk-through
+
+serving (wolves-service):
+  wolves serve [--addr <host:port>] [--shards N] [--threads N]
+                                              serve validation/correction requests
+                                              (default 127.0.0.1:7878, 4 shards, 4 threads)
+  wolves request <addr> register <file>       register a workflow, prints its id
+  wolves request <addr> validate <id> [--view-version N]
+  wolves request <addr> correct <id> [--strategy weak|strong|optimal] [--out <file>]
+  wolves request <addr> provenance <id> <task>
+  wolves request <addr> stats
+  wolves request <addr> shutdown
 ";
 
 #[cfg(test)]
@@ -138,6 +338,64 @@ mod tests {
     }
 
     #[test]
+    fn malformed_arguments_report_usage() {
+        let args = |list: &[&str]| list.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>();
+        // unknown option
+        let err = run(&args(&["validate", "f.txt", "--bogus", "x"])).unwrap_err();
+        assert!(err.contains("unknown option '--bogus'"));
+        assert!(err.contains("usage"));
+        // option without a value
+        let err = run(&args(&["correct", "f.txt", "--strategy"])).unwrap_err();
+        assert!(err.contains("needs a value"));
+        // too many positionals
+        let err = run(&args(&["validate", "a.txt", "b.txt"])).unwrap_err();
+        assert!(err.contains("exactly one input file"));
+        // request verb arity and id parsing
+        let err = run(&args(&["request"])).unwrap_err();
+        assert!(err.contains("needs an address"));
+        let err = run(&args(&["request", "127.0.0.1:1", "validate", "nope"])).unwrap_err();
+        assert!(err.contains("invalid workflow id"));
+        let err = run(&args(&["request", "127.0.0.1:1", "frobnicate"])).unwrap_err();
+        assert!(err.contains("unknown request verb"));
+        // options foreign to the verb are rejected, not silently ignored
+        let err = run(&args(&[
+            "request",
+            "127.0.0.1:1",
+            "stats",
+            "--strategy",
+            "weak",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("unknown option '--strategy' for 'request stats'"));
+        let err = run(&args(&[
+            "request",
+            "127.0.0.1:1",
+            "validate",
+            "1",
+            "--out",
+            "f",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("unknown option '--out' for 'request validate'"));
+        // fixture arity errors name the actual problem
+        let err = run(&args(&["fixture", "figure1", "figure3"])).unwrap_err();
+        assert!(err.contains("exactly one fixture name"));
+        // serve argument validation (no server is started on error paths)
+        let err = run(&args(&["serve", "extra"])).unwrap_err();
+        assert!(err.contains("no positional arguments"));
+        let err = run(&args(&["serve", "--shards", "many"])).unwrap_err();
+        assert!(err.contains("invalid shard count"));
+    }
+
+    #[test]
+    fn fixture_prints_parseable_text() {
+        let output = run(&["fixture".to_owned(), "figure1".to_owned()]).unwrap();
+        assert!(output.starts_with("workflow\tphylogenomic-inference"));
+        assert!(run(&["fixture".to_owned(), "nope".to_owned()]).is_err());
+        assert!(run(&["fixture".to_owned()]).is_err());
+    }
+
+    #[test]
     fn file_commands_round_trip_through_a_temp_file() {
         let fixture = wolves_repo::figure1();
         let text = wolves_moml::write_text_format(&fixture.spec, Some(&fixture.view));
@@ -156,5 +414,38 @@ mod tests {
         assert!(corrected.contains("composite tasks: 7 -> 8"));
         let dot = run(&["render".to_owned(), path]).unwrap();
         assert!(dot.starts_with("digraph"));
+    }
+
+    #[test]
+    fn request_commands_drive_a_real_server() {
+        // bind on an ephemeral port, then drive the whole verb set through
+        // the same code paths the binary uses
+        let handle = serve(&ServerConfig {
+            shards: 2,
+            workers: 4,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let addr = handle.local_addr().to_string();
+        let path = std::env::temp_dir().join("wolves-cli-main-request.txt");
+        std::fs::write(
+            &path,
+            run(&["fixture".to_owned(), "figure1".to_owned()]).unwrap(),
+        )
+        .unwrap();
+        let args = |list: &[&str]| list.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>();
+        let out = request(&args(&[&addr, "register", &path.to_string_lossy()])).unwrap();
+        assert!(out.contains("registered workflow"));
+        let out = request(&args(&[&addr, "validate", "1"])).unwrap();
+        assert!(out.contains("UNSOUND"));
+        let out = request(&args(&[&addr, "correct", "1", "--strategy", "strong"])).unwrap();
+        assert!(out.contains("7 -> 8"));
+        let out = request(&args(&[&addr, "validate", "1"])).unwrap();
+        assert!(out.contains("SOUND"));
+        let out = request(&args(&[&addr, "stats"])).unwrap();
+        assert!(out.contains("correction samples"));
+        let out = request(&args(&[&addr, "shutdown"])).unwrap();
+        assert!(out.contains("shutting down"));
+        handle.join();
     }
 }

@@ -224,6 +224,60 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_recording_loses_no_samples() {
+        // the registry is the shared sink of the serving layer: many worker
+        // threads record correction outcomes while others ask for estimates.
+        // No sample may be lost, and the observable sample count must only
+        // ever grow.
+        const WRITERS: usize = 8;
+        const PER_WRITER: usize = 200;
+        let registry = EstimationRegistry::new();
+        let class_of = |w: usize| WorkloadClass {
+            size_bucket: 1 << (w % 4),
+            density_decile: w % 10,
+        };
+        std::thread::scope(|scope| {
+            for writer in 0..WRITERS {
+                let registry = &registry;
+                scope.spawn(move || {
+                    for i in 0..PER_WRITER {
+                        registry.record(
+                            class_of(writer),
+                            sample(Strategy::ALL[i % 3], i as u64 + 1, 0.5),
+                        );
+                    }
+                });
+            }
+            // concurrent readers: estimates and lengths stay consistent and
+            // the sample count is monotone while writers are active
+            for _ in 0..4 {
+                let registry = &registry;
+                scope.spawn(move || {
+                    let mut last_len = 0;
+                    for _ in 0..500 {
+                        let len = registry.len();
+                        assert!(len >= last_len, "sample count went backwards");
+                        assert!(len <= WRITERS * PER_WRITER);
+                        last_len = len;
+                        if let Some(estimate) = registry.estimate(class_of(0), Strategy::Weak) {
+                            assert!(estimate.samples > 0);
+                            assert!(estimate.avg_elapsed > Duration::ZERO);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(registry.len(), WRITERS * PER_WRITER);
+        // every (class, strategy) group the writers touched is queryable
+        for writer in 0..WRITERS {
+            for strategy in Strategy::ALL {
+                let estimate = registry.estimate(class_of(writer), strategy).unwrap();
+                assert!(estimate.samples > 0);
+            }
+        }
+    }
+
+    #[test]
     fn estimate_all_reports_each_recorded_strategy() {
         let registry = EstimationRegistry::new();
         let class = WorkloadClass {

@@ -12,12 +12,10 @@ use std::fmt;
 /// removed, which makes them safe to store in external structures such as
 /// workflow views, partitions and provenance records.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NodeId(pub(crate) u32);
 
 /// Identifier of an edge inside a [`crate::DiGraph`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EdgeId(pub(crate) u32);
 
 impl NodeId {

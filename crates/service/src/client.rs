@@ -1,0 +1,306 @@
+//! Client library: a typed connection to a running server, plus the batch
+//! driver used by the CLI and the throughput benchmark.
+
+use std::io::BufReader;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use wolves_core::correct::Strategy;
+use wolves_moml::write_text_format;
+use wolves_workflow::{WorkflowSpec, WorkflowView};
+
+use crate::error::ServiceError;
+use crate::proto::{read_frame, write_frame, Corrected, Request, Response, StatsReport, Verdict};
+use crate::store::WorkflowId;
+
+/// A persistent connection to a `wolves-service` server. One request is in
+/// flight at a time; responses arrive in request order.
+#[derive(Debug)]
+pub struct ServiceClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl ServiceClient {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    /// Reports connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServiceError> {
+        let stream = TcpStream::connect(addr)?;
+        // see the server side: Nagle + delayed ACKs would add ~40ms to
+        // every request/response exchange
+        let _ = stream.set_nodelay(true);
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(ServiceClient {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Sends one request and reads its response. Server-side failures are
+    /// surfaced as [`ServiceError::Remote`].
+    ///
+    /// # Errors
+    /// Reports I/O failures, protocol violations and server-side errors.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ServiceError> {
+        write_frame(&mut self.writer, &request.to_lines())?;
+        let frame = read_frame(&mut self.reader)?
+            .ok_or_else(|| ServiceError::Protocol("server closed the connection".to_owned()))?;
+        let response = Response::from_lines(&frame)?;
+        if let Response::Error(message) = response {
+            return Err(ServiceError::Remote(message));
+        }
+        Ok(response)
+    }
+
+    /// Registers a workflow from a native text-format payload.
+    ///
+    /// # Errors
+    /// Propagates transport and server errors.
+    pub fn register_text(&mut self, payload: &str) -> Result<WorkflowId, ServiceError> {
+        match self.call(&Request::Register {
+            payload: payload.to_owned(),
+        })? {
+            Response::Registered(id) => Ok(id),
+            other => Err(unexpected("registered", &other)),
+        }
+    }
+
+    /// Registers an in-memory workflow and view.
+    ///
+    /// # Errors
+    /// Propagates transport and server errors.
+    pub fn register(
+        &mut self,
+        spec: &WorkflowSpec,
+        view: Option<&WorkflowView>,
+    ) -> Result<WorkflowId, ServiceError> {
+        self.register_text(&write_text_format(spec, view))
+    }
+
+    /// Validates a view version (`None` = current).
+    ///
+    /// # Errors
+    /// Propagates transport and server errors.
+    pub fn validate(
+        &mut self,
+        workflow: WorkflowId,
+        version: Option<usize>,
+    ) -> Result<Verdict, ServiceError> {
+        match self.call(&Request::Validate { workflow, version })? {
+            Response::Verdict(verdict) => Ok(verdict),
+            other => Err(unexpected("verdict", &other)),
+        }
+    }
+
+    /// Corrects the current view with `strategy`.
+    ///
+    /// # Errors
+    /// Propagates transport and server errors.
+    pub fn correct(
+        &mut self,
+        workflow: WorkflowId,
+        strategy: Strategy,
+    ) -> Result<Corrected, ServiceError> {
+        match self.call(&Request::Correct { workflow, strategy })? {
+            Response::Corrected(corrected) => Ok(corrected),
+            other => Err(unexpected("corrected", &other)),
+        }
+    }
+
+    /// Queries view-level provenance of the named task.
+    ///
+    /// # Errors
+    /// Propagates transport and server errors.
+    pub fn provenance(
+        &mut self,
+        workflow: WorkflowId,
+        subject: &str,
+    ) -> Result<Vec<String>, ServiceError> {
+        match self.call(&Request::Provenance {
+            workflow,
+            subject: subject.to_owned(),
+        })? {
+            Response::Provenance(tasks) => Ok(tasks),
+            other => Err(unexpected("provenance", &other)),
+        }
+    }
+
+    /// Fetches the per-shard serving statistics.
+    ///
+    /// # Errors
+    /// Propagates transport and server errors.
+    pub fn stats(&mut self) -> Result<StatsReport, ServiceError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(unexpected("stats", &other)),
+        }
+    }
+
+    /// Asks the server to shut down.
+    ///
+    /// # Errors
+    /// Propagates transport and server errors.
+    pub fn shutdown(&mut self) -> Result<(), ServiceError> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected("shutdown", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ServiceError {
+    ServiceError::Protocol(format!("expected a {wanted} response, got {got:?}"))
+}
+
+/// Configuration of the concurrent batch driver.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchConfig {
+    /// Number of concurrent client connections.
+    pub clients: usize,
+    /// Validate requests issued per client.
+    pub requests_per_client: usize,
+}
+
+/// Outcome of one [`validate_throughput`] run.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputReport {
+    /// Requests answered successfully.
+    pub completed: usize,
+    /// Requests that failed (transport or server error).
+    pub errors: usize,
+    /// Wall-clock time of the whole batch.
+    pub elapsed: Duration,
+}
+
+impl ThroughputReport {
+    /// Successful requests per second.
+    #[must_use]
+    pub fn requests_per_sec(&self) -> f64 {
+        let seconds = self.elapsed.as_secs_f64();
+        if seconds <= 0.0 {
+            return 0.0;
+        }
+        self.completed as f64 / seconds
+    }
+}
+
+/// The batch driver: spawns `clients` threads, each opening one connection
+/// and issuing `requests_per_client` validate requests round-robin over the
+/// given workflows. This is the workload behind `wolves-bench`'s
+/// `service_bench` binary.
+///
+/// # Errors
+/// Reports a failure to spawn or join client threads; per-request failures
+/// are counted in the report instead.
+pub fn validate_throughput(
+    addr: impl ToSocketAddrs,
+    workflows: &[WorkflowId],
+    config: BatchConfig,
+) -> Result<ThroughputReport, ServiceError> {
+    let addrs: Vec<std::net::SocketAddr> = addr.to_socket_addrs()?.collect();
+    let start = Instant::now();
+    let outcomes = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(config.clients.max(1));
+        for client_index in 0..config.clients.max(1) {
+            let addrs = addrs.clone();
+            handles.push(scope.spawn(move || {
+                let mut completed = 0usize;
+                let mut errors = 0usize;
+                let Ok(mut client) = ServiceClient::connect(addrs.as_slice()) else {
+                    return (0, config.requests_per_client);
+                };
+                for request_index in 0..config.requests_per_client {
+                    if workflows.is_empty() {
+                        errors += 1;
+                        continue;
+                    }
+                    let workflow = workflows[(client_index + request_index) % workflows.len()];
+                    match client.validate(workflow, None) {
+                        Ok(_) => completed += 1,
+                        Err(_) => errors += 1,
+                    }
+                }
+                (completed, errors)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or((0, 0)))
+            .collect::<Vec<_>>()
+    });
+    let elapsed = start.elapsed();
+    Ok(ThroughputReport {
+        completed: outcomes.iter().map(|(c, _)| c).sum(),
+        errors: outcomes.iter().map(|(_, e)| e).sum(),
+        elapsed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{serve, ServerConfig};
+    use wolves_repo::figure1;
+
+    #[test]
+    fn client_round_trip_register_validate_correct() {
+        let server = serve(&ServerConfig {
+            shards: 2,
+            workers: 2,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let mut client = ServiceClient::connect(server.local_addr()).unwrap();
+        let fixture = figure1();
+        let id = client.register(&fixture.spec, Some(&fixture.view)).unwrap();
+        let verdict = client.validate(id, None).unwrap();
+        assert!(!verdict.sound);
+        let corrected = client.correct(id, Strategy::Strong).unwrap();
+        assert_eq!(corrected.composites_after, 8);
+        assert!(client.validate(id, None).unwrap().sound);
+        let err = client.validate(WorkflowId(999), None).unwrap_err();
+        assert!(matches!(err, ServiceError::Remote(_)));
+        client.shutdown().unwrap();
+        drop(client);
+        server.join();
+    }
+
+    #[test]
+    fn throughput_driver_counts_all_requests() {
+        let server = serve(&ServerConfig {
+            shards: 2,
+            workers: 4,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let fixture = figure1();
+        let store = server.store();
+        let ids: Vec<WorkflowId> = (0..4)
+            .map(|_| {
+                let f = figure1();
+                store.register(f.spec, Some(f.view))
+            })
+            .collect();
+        drop(fixture);
+        let report = validate_throughput(
+            server.local_addr(),
+            &ids,
+            BatchConfig {
+                clients: 4,
+                requests_per_client: 25,
+            },
+        )
+        .unwrap();
+        assert_eq!(report.completed, 100);
+        assert_eq!(report.errors, 0);
+        assert!(report.requests_per_sec() > 0.0);
+        // each workflow was validated repeatedly: exactly one miss per
+        // workflow, everything else a cache hit
+        let stats = store.stats();
+        assert_eq!(stats.validate_misses(), 4);
+        assert_eq!(stats.validate_hits(), 96);
+        server.shutdown();
+    }
+}

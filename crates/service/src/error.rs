@@ -1,0 +1,70 @@
+//! Error type shared by the store, server and client.
+
+use wolves_core::error::CoreError;
+use wolves_moml::MomlError;
+
+use crate::store::WorkflowId;
+
+/// Errors produced while serving or issuing requests.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// No workflow is registered under the given id.
+    UnknownWorkflow(WorkflowId),
+    /// The workflow exists but has no view at the requested version.
+    UnknownView(WorkflowId, usize),
+    /// The workflow has no view at all (registered without one).
+    NoView(WorkflowId),
+    /// A task name mentioned in a request does not exist in the workflow.
+    UnknownTask(String),
+    /// The request named a corrector strategy that does not exist.
+    UnknownStrategy(String),
+    /// A request or response frame could not be parsed.
+    Protocol(String),
+    /// The registered payload could not be parsed as a workflow.
+    Parse(String),
+    /// Correction failed inside `wolves-core`.
+    Correction(String),
+    /// An I/O error on the underlying connection.
+    Io(std::io::Error),
+    /// The server answered a request with an error message.
+    Remote(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::UnknownWorkflow(id) => write!(f, "unknown workflow {id}"),
+            ServiceError::UnknownView(id, version) => {
+                write!(f, "workflow {id} has no view version {version}")
+            }
+            ServiceError::NoView(id) => write!(f, "workflow {id} was registered without a view"),
+            ServiceError::UnknownTask(name) => write!(f, "unknown task '{name}'"),
+            ServiceError::UnknownStrategy(name) => write!(f, "unknown strategy '{name}'"),
+            ServiceError::Protocol(message) => write!(f, "protocol error: {message}"),
+            ServiceError::Parse(message) => write!(f, "parse error: {message}"),
+            ServiceError::Correction(message) => write!(f, "correction failed: {message}"),
+            ServiceError::Io(e) => write!(f, "i/o error: {e}"),
+            ServiceError::Remote(message) => write!(f, "server error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<std::io::Error> for ServiceError {
+    fn from(e: std::io::Error) -> Self {
+        ServiceError::Io(e)
+    }
+}
+
+impl From<MomlError> for ServiceError {
+    fn from(e: MomlError) -> Self {
+        ServiceError::Parse(e.to_string())
+    }
+}
+
+impl From<CoreError> for ServiceError {
+    fn from(e: CoreError) -> Self {
+        ServiceError::Correction(e.to_string())
+    }
+}

@@ -1,0 +1,50 @@
+//! # wolves-service
+//!
+//! The concurrent serving layer of the WOLVES workspace: everything below
+//! this crate is a pure in-memory theory library; this crate turns it into a
+//! long-running process that serves validation, correction and provenance
+//! requests to many clients at once.
+//!
+//! * [`store`] — a sharded [`store::WorkflowStore`]: workflows hashed over
+//!   `N` independently locked shards, with per-version validation-verdict
+//!   caching and reachability-matrix reuse.
+//! * [`proto`] — the typed request/response protocol, framed as
+//!   newline-delimited text reusing the native format of
+//!   [`wolves_moml::textfmt`].
+//! * [`server`] — a thread-pool TCP server (plain `std::net`, no runtime
+//!   dependency) with graceful shutdown and per-shard serving counters; live
+//!   correction timings feed [`wolves_core::estimate::EstimationRegistry`].
+//! * [`client`] — a typed client plus the concurrent batch driver used by
+//!   the `wolves request` CLI and the `service_bench` throughput benchmark.
+//!
+//! Quickstart (in-process; the CLI wraps exactly this):
+//!
+//! ```
+//! use wolves_service::client::ServiceClient;
+//! use wolves_service::server::{serve, ServerConfig};
+//! use wolves_core::correct::Strategy;
+//!
+//! let server = serve(&ServerConfig::default()).unwrap();
+//! let mut client = ServiceClient::connect(server.local_addr()).unwrap();
+//! let fixture = wolves_repo::figure1();
+//! let id = client.register(&fixture.spec, Some(&fixture.view)).unwrap();
+//! assert!(!client.validate(id, None).unwrap().sound);
+//! client.correct(id, Strategy::Strong).unwrap();
+//! assert!(client.validate(id, None).unwrap().sound);
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod error;
+pub mod proto;
+pub mod server;
+pub mod store;
+
+pub use client::{validate_throughput, BatchConfig, ServiceClient, ThroughputReport};
+pub use error::ServiceError;
+pub use proto::{Request, Response, StatsReport, Verdict};
+pub use server::{serve, ServerConfig, ServerHandle};
+pub use store::{WorkflowId, WorkflowStore};

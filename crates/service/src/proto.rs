@@ -1,0 +1,563 @@
+//! The wire protocol: typed requests and responses over a newline-delimited
+//! framing.
+//!
+//! A *frame* is a sequence of text lines terminated by a line containing a
+//! single `.` (SMTP-style; payload lines that start with `.` are escaped by
+//! doubling the dot). The first line of a frame is a TAB-separated header;
+//! any further lines are a payload in the native text format of
+//! [`wolves_moml::textfmt`]:
+//!
+//! ```text
+//! register                          ok<TAB>registered<TAB><id>
+//! <textfmt lines…>                  .
+//! .
+//!
+//! validate<TAB><id>[<TAB><ver>]    ok<TAB>verdict<TAB>sound|unsound<TAB><ver><TAB>hit|miss<TAB><n>
+//!                                   <unsound composite names…>
+//! correct<TAB><id><TAB><strategy>  ok<TAB>corrected<TAB><ver><TAB><before><TAB><after>
+//!                                   <textfmt of the corrected view…>
+//! provenance<TAB><id><TAB><task>   ok<TAB>provenance<TAB><n> + task names
+//! stats                             ok<TAB>stats + one line per shard
+//! shutdown                          ok<TAB>shutdown
+//! ```
+//!
+//! Errors are reported as `err<TAB><message>`. The format reuses the text
+//! serialisation the CLI already speaks, so a workflow file can be piped to
+//! the server verbatim — no new dependency, no binary encoding.
+
+use std::io::{BufRead, Write};
+
+use wolves_core::correct::Strategy;
+
+use crate::error::ServiceError;
+use crate::store::WorkflowId;
+
+/// Terminator line closing every frame.
+pub const FRAME_END: &str = ".";
+
+/// A request from client to server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Register a workflow (and optional view) from a textfmt payload.
+    Register {
+        /// The workflow in the native text format.
+        payload: String,
+    },
+    /// Validate a registered view, serving a cached verdict when available.
+    Validate {
+        /// The workflow to validate.
+        workflow: WorkflowId,
+        /// View version to validate; `None` means the current version.
+        version: Option<usize>,
+    },
+    /// Correct the current view with the given strategy, registering the
+    /// corrected view as a new version.
+    Correct {
+        /// The workflow to correct.
+        workflow: WorkflowId,
+        /// Corrector strategy to apply.
+        strategy: Strategy,
+    },
+    /// Query view-level provenance of a task through the current view.
+    Provenance {
+        /// The workflow to query.
+        workflow: WorkflowId,
+        /// Name of the subject task.
+        subject: String,
+    },
+    /// Fetch per-shard serving statistics.
+    Stats,
+    /// Ask the server to stop accepting connections and exit.
+    Shutdown,
+}
+
+/// Validation verdict as reported over the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Verdict {
+    /// `true` iff every composite task of the view is sound.
+    pub sound: bool,
+    /// The view version that was validated.
+    pub version: usize,
+    /// `true` when the verdict came from the shard's validation cache.
+    pub cached: bool,
+    /// Names of the unsound composite tasks.
+    pub unsound: Vec<String>,
+}
+
+/// Result of a correction as reported over the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Corrected {
+    /// Version under which the corrected view was registered (equals the
+    /// validated version when the view was already sound).
+    pub version: usize,
+    /// Composite-task count before correction.
+    pub composites_before: usize,
+    /// Composite-task count after correction.
+    pub composites_after: usize,
+    /// The corrected workflow + view in the native text format.
+    pub payload: String,
+}
+
+/// One shard's serving counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStat {
+    /// Shard index.
+    pub shard: usize,
+    /// Workflows stored in the shard.
+    pub workflows: usize,
+    /// Validation-cache hits.
+    pub validate_hits: u64,
+    /// Validation-cache misses (fresh validations).
+    pub validate_misses: u64,
+    /// Total nanoseconds spent answering validate requests.
+    pub validate_ns: u64,
+    /// Requests of any kind routed to the shard.
+    pub requests: u64,
+}
+
+/// Store-wide statistics snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StatsReport {
+    /// Per-shard counters.
+    pub shards: Vec<ShardStat>,
+    /// Correction samples accumulated in the estimation registry.
+    pub registry_samples: usize,
+}
+
+impl StatsReport {
+    /// Total validation-cache hits across shards.
+    #[must_use]
+    pub fn validate_hits(&self) -> u64 {
+        self.shards.iter().map(|s| s.validate_hits).sum()
+    }
+
+    /// Total validation-cache misses across shards.
+    #[must_use]
+    pub fn validate_misses(&self) -> u64 {
+        self.shards.iter().map(|s| s.validate_misses).sum()
+    }
+
+    /// Total requests routed to any shard.
+    #[must_use]
+    pub fn requests(&self) -> u64 {
+        self.shards.iter().map(|s| s.requests).sum()
+    }
+
+    /// Total workflows stored.
+    #[must_use]
+    pub fn workflows(&self) -> usize {
+        self.shards.iter().map(|s| s.workflows).sum()
+    }
+}
+
+/// A response from server to client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// The workflow was registered under this id.
+    Registered(WorkflowId),
+    /// Validation verdict.
+    Verdict(Verdict),
+    /// Correction outcome.
+    Corrected(Corrected),
+    /// Names of the tasks in the subject's view-level provenance.
+    Provenance(Vec<String>),
+    /// Statistics snapshot.
+    Stats(StatsReport),
+    /// The server acknowledged a shutdown request.
+    ShuttingDown,
+    /// The request failed server-side.
+    Error(String),
+}
+
+/// Writes one frame: the given lines followed by the terminator. Lines
+/// starting with `.` are dot-escaped. The frame is assembled in memory and
+/// written in a single call so each request/response costs one TCP segment.
+///
+/// # Errors
+/// Propagates I/O errors from the writer.
+pub fn write_frame<W: Write>(writer: &mut W, lines: &[String]) -> std::io::Result<()> {
+    let mut frame = String::with_capacity(lines.iter().map(|l| l.len() + 2).sum::<usize>() + 2);
+    for line in lines {
+        if line.starts_with('.') {
+            frame.push('.');
+        }
+        frame.push_str(line);
+        frame.push('\n');
+    }
+    frame.push_str(FRAME_END);
+    frame.push('\n');
+    writer.write_all(frame.as_bytes())?;
+    writer.flush()
+}
+
+/// Reads one frame, un-escaping dot-stuffed lines. Returns `None` on a clean
+/// end-of-stream before any line was read.
+///
+/// # Errors
+/// Propagates I/O errors; a stream ending mid-frame is reported as
+/// `UnexpectedEof`.
+pub fn read_frame<R: BufRead>(reader: &mut R) -> std::io::Result<Option<Vec<String>>> {
+    let mut lines = Vec::new();
+    let mut buffer = String::new();
+    loop {
+        buffer.clear();
+        let n = reader.read_line(&mut buffer)?;
+        if n == 0 {
+            if lines.is_empty() {
+                return Ok(None);
+            }
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "stream ended mid-frame",
+            ));
+        }
+        let line = buffer.trim_end_matches(['\r', '\n']);
+        if line == FRAME_END {
+            return Ok(Some(lines));
+        }
+        let line = line.strip_prefix('.').unwrap_or(line);
+        lines.push(line.to_owned());
+    }
+}
+
+fn parse_id(text: &str) -> Result<WorkflowId, ServiceError> {
+    text.parse::<u64>()
+        .map(WorkflowId)
+        .map_err(|_| ServiceError::Protocol(format!("invalid workflow id '{text}'")))
+}
+
+fn parse_usize(text: &str, what: &str) -> Result<usize, ServiceError> {
+    text.parse::<usize>()
+        .map_err(|_| ServiceError::Protocol(format!("invalid {what} '{text}'")))
+}
+
+fn parse_u64(text: &str, what: &str) -> Result<u64, ServiceError> {
+    text.parse::<u64>()
+        .map_err(|_| ServiceError::Protocol(format!("invalid {what} '{text}'")))
+}
+
+impl Request {
+    /// Serialises the request into frame lines (header + payload).
+    #[must_use]
+    pub fn to_lines(&self) -> Vec<String> {
+        match self {
+            Request::Register { payload } => {
+                let mut lines = vec!["register".to_owned()];
+                lines.extend(payload.lines().map(str::to_owned));
+                lines
+            }
+            Request::Validate { workflow, version } => match version {
+                Some(v) => vec![format!("validate\t{workflow}\t{v}")],
+                None => vec![format!("validate\t{workflow}")],
+            },
+            Request::Correct { workflow, strategy } => {
+                vec![format!("correct\t{workflow}\t{}", strategy.name())]
+            }
+            Request::Provenance { workflow, subject } => {
+                vec![format!("provenance\t{workflow}\t{subject}")]
+            }
+            Request::Stats => vec!["stats".to_owned()],
+            Request::Shutdown => vec!["shutdown".to_owned()],
+        }
+    }
+
+    /// Parses a request from frame lines.
+    ///
+    /// # Errors
+    /// Reports empty frames, unknown verbs and malformed arguments.
+    pub fn from_lines(lines: &[String]) -> Result<Self, ServiceError> {
+        let header = lines
+            .first()
+            .ok_or_else(|| ServiceError::Protocol("empty request frame".to_owned()))?;
+        let fields: Vec<&str> = header.split('\t').collect();
+        match fields[0] {
+            "register" => Ok(Request::Register {
+                payload: lines[1..].join("\n"),
+            }),
+            "validate" => {
+                let workflow = parse_id(fields.get(1).copied().unwrap_or_default())?;
+                let version = match fields.get(2) {
+                    Some(v) => Some(parse_usize(v, "view version")?),
+                    None => None,
+                };
+                Ok(Request::Validate { workflow, version })
+            }
+            "correct" => {
+                let workflow = parse_id(fields.get(1).copied().unwrap_or_default())?;
+                let name = fields.get(2).copied().unwrap_or("strong");
+                let strategy = Strategy::parse(name)
+                    .ok_or_else(|| ServiceError::UnknownStrategy(name.to_owned()))?;
+                Ok(Request::Correct { workflow, strategy })
+            }
+            "provenance" => {
+                let workflow = parse_id(fields.get(1).copied().unwrap_or_default())?;
+                let subject = fields
+                    .get(2)
+                    .filter(|s| !s.is_empty())
+                    .ok_or_else(|| ServiceError::Protocol("provenance needs a task".to_owned()))?;
+                Ok(Request::Provenance {
+                    workflow,
+                    subject: (*subject).to_owned(),
+                })
+            }
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(ServiceError::Protocol(format!("unknown verb '{other}'"))),
+        }
+    }
+}
+
+impl Response {
+    /// Serialises the response into frame lines (header + payload).
+    #[must_use]
+    pub fn to_lines(&self) -> Vec<String> {
+        match self {
+            Response::Registered(id) => vec![format!("ok\tregistered\t{id}")],
+            Response::Verdict(v) => {
+                let mut lines = vec![format!(
+                    "ok\tverdict\t{}\t{}\t{}\t{}",
+                    if v.sound { "sound" } else { "unsound" },
+                    v.version,
+                    if v.cached { "hit" } else { "miss" },
+                    v.unsound.len()
+                )];
+                lines.extend(v.unsound.iter().cloned());
+                lines
+            }
+            Response::Corrected(c) => {
+                let mut lines = vec![format!(
+                    "ok\tcorrected\t{}\t{}\t{}",
+                    c.version, c.composites_before, c.composites_after
+                )];
+                lines.extend(c.payload.lines().map(str::to_owned));
+                lines
+            }
+            Response::Provenance(tasks) => {
+                let mut lines = vec![format!("ok\tprovenance\t{}", tasks.len())];
+                lines.extend(tasks.iter().cloned());
+                lines
+            }
+            Response::Stats(stats) => {
+                let mut lines = vec![format!("ok\tstats\t{}", stats.registry_samples)];
+                for s in &stats.shards {
+                    lines.push(format!(
+                        "shard\t{}\t{}\t{}\t{}\t{}\t{}",
+                        s.shard,
+                        s.workflows,
+                        s.validate_hits,
+                        s.validate_misses,
+                        s.validate_ns,
+                        s.requests
+                    ));
+                }
+                lines
+            }
+            Response::ShuttingDown => vec!["ok\tshutdown".to_owned()],
+            Response::Error(message) => {
+                vec![format!("err\t{}", message.replace(['\t', '\n'], " "))]
+            }
+        }
+    }
+
+    /// Parses a response from frame lines.
+    ///
+    /// # Errors
+    /// Reports empty frames, unknown kinds and malformed fields.
+    pub fn from_lines(lines: &[String]) -> Result<Self, ServiceError> {
+        let header = lines
+            .first()
+            .ok_or_else(|| ServiceError::Protocol("empty response frame".to_owned()))?;
+        let fields: Vec<&str> = header.split('\t').collect();
+        match (fields[0], fields.get(1).copied()) {
+            ("err", _) => Ok(Response::Error(
+                header
+                    .split_once('\t')
+                    .map(|(_, message)| message)
+                    .unwrap_or_default()
+                    .to_owned(),
+            )),
+            ("ok", Some("registered")) => Ok(Response::Registered(parse_id(
+                fields.get(2).copied().unwrap_or_default(),
+            )?)),
+            ("ok", Some("verdict")) => {
+                let sound = match fields.get(2).copied() {
+                    Some("sound") => true,
+                    Some("unsound") => false,
+                    other => {
+                        return Err(ServiceError::Protocol(format!(
+                            "invalid verdict '{}'",
+                            other.unwrap_or_default()
+                        )))
+                    }
+                };
+                let version = parse_usize(fields.get(3).copied().unwrap_or_default(), "version")?;
+                let cached = fields.get(4).copied() == Some("hit");
+                Ok(Response::Verdict(Verdict {
+                    sound,
+                    version,
+                    cached,
+                    unsound: lines[1..].to_vec(),
+                }))
+            }
+            ("ok", Some("corrected")) => Ok(Response::Corrected(Corrected {
+                version: parse_usize(fields.get(2).copied().unwrap_or_default(), "version")?,
+                composites_before: parse_usize(
+                    fields.get(3).copied().unwrap_or_default(),
+                    "composite count",
+                )?,
+                composites_after: parse_usize(
+                    fields.get(4).copied().unwrap_or_default(),
+                    "composite count",
+                )?,
+                payload: lines[1..].join("\n"),
+            })),
+            ("ok", Some("provenance")) => Ok(Response::Provenance(lines[1..].to_vec())),
+            ("ok", Some("stats")) => {
+                let registry_samples = parse_usize(
+                    fields.get(2).copied().unwrap_or_default(),
+                    "registry sample count",
+                )?;
+                let mut shards = Vec::new();
+                for line in &lines[1..] {
+                    let f: Vec<&str> = line.split('\t').collect();
+                    if f.first().copied() != Some("shard") || f.len() != 7 {
+                        return Err(ServiceError::Protocol(format!(
+                            "malformed shard line '{line}'"
+                        )));
+                    }
+                    shards.push(ShardStat {
+                        shard: parse_usize(f[1], "shard index")?,
+                        workflows: parse_usize(f[2], "workflow count")?,
+                        validate_hits: parse_u64(f[3], "hit count")?,
+                        validate_misses: parse_u64(f[4], "miss count")?,
+                        validate_ns: parse_u64(f[5], "latency")?,
+                        requests: parse_u64(f[6], "request count")?,
+                    });
+                }
+                Ok(Response::Stats(StatsReport {
+                    shards,
+                    registry_samples,
+                }))
+            }
+            ("ok", Some("shutdown")) => Ok(Response::ShuttingDown),
+            _ => Err(ServiceError::Protocol(format!(
+                "unknown response header '{header}'"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn round_trip_request(request: &Request) {
+        let lines = request.to_lines();
+        let parsed = Request::from_lines(&lines).unwrap();
+        assert_eq!(&parsed, request);
+    }
+
+    fn round_trip_response(response: &Response) {
+        let lines = response.to_lines();
+        let parsed = Response::from_lines(&lines).unwrap();
+        assert_eq!(&parsed, response);
+    }
+
+    #[test]
+    fn requests_round_trip_through_lines() {
+        round_trip_request(&Request::Register {
+            payload: "workflow\tdemo\ntask\ta".to_owned(),
+        });
+        round_trip_request(&Request::Validate {
+            workflow: WorkflowId(7),
+            version: None,
+        });
+        round_trip_request(&Request::Validate {
+            workflow: WorkflowId(7),
+            version: Some(2),
+        });
+        round_trip_request(&Request::Correct {
+            workflow: WorkflowId(1),
+            strategy: Strategy::Optimal,
+        });
+        round_trip_request(&Request::Provenance {
+            workflow: WorkflowId(3),
+            subject: "Build phylo tree".to_owned(),
+        });
+        round_trip_request(&Request::Stats);
+        round_trip_request(&Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_round_trip_through_lines() {
+        round_trip_response(&Response::Registered(WorkflowId(42)));
+        round_trip_response(&Response::Verdict(Verdict {
+            sound: false,
+            version: 0,
+            cached: true,
+            unsound: vec!["Curate & align (16)".to_owned()],
+        }));
+        round_trip_response(&Response::Corrected(Corrected {
+            version: 1,
+            composites_before: 7,
+            composites_after: 8,
+            payload: "workflow\tdemo\ntask\ta".to_owned(),
+        }));
+        round_trip_response(&Response::Provenance(vec!["a".to_owned(), "b".to_owned()]));
+        round_trip_response(&Response::Stats(StatsReport {
+            shards: vec![ShardStat {
+                shard: 0,
+                workflows: 3,
+                validate_hits: 10,
+                validate_misses: 2,
+                validate_ns: 12345,
+                requests: 15,
+            }],
+            registry_samples: 4,
+        }));
+        round_trip_response(&Response::ShuttingDown);
+        round_trip_response(&Response::Error("boom".to_owned()));
+    }
+
+    #[test]
+    fn frames_round_trip_with_dot_stuffing() {
+        let lines = vec![
+            "header\tx".to_owned(),
+            ".starts with a dot".to_owned(),
+            String::new(),
+        ];
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &lines).unwrap();
+        let mut reader = BufReader::new(wire.as_slice());
+        let read = read_frame(&mut reader).unwrap().unwrap();
+        assert_eq!(read, lines);
+        assert!(read_frame(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn mid_frame_eof_is_an_error() {
+        let mut reader = BufReader::new(b"header\n".as_slice());
+        let err = read_frame(&mut reader).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        let bad = |lines: &[&str]| {
+            Request::from_lines(&lines.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>())
+                .unwrap_err()
+        };
+        assert!(matches!(bad(&["frobnicate"]), ServiceError::Protocol(_)));
+        assert!(matches!(
+            bad(&["validate\tnope"]),
+            ServiceError::Protocol(_)
+        ));
+        assert!(matches!(
+            bad(&["correct\t1\tbogus"]),
+            ServiceError::UnknownStrategy(_)
+        ));
+        assert!(matches!(bad(&["provenance\t1"]), ServiceError::Protocol(_)));
+        assert!(Request::from_lines(&[]).is_err());
+    }
+}

@@ -1,0 +1,301 @@
+//! The thread-pool TCP server.
+//!
+//! One acceptor thread hands accepted connections to a fixed pool of worker
+//! threads over a channel (worker-per-connection: a worker owns a connection
+//! until the client disconnects, answering any number of requests on it).
+//!
+//! Shutdown — triggered by a client's `shutdown` request or by
+//! [`ServerHandle::request_shutdown`] — raises a flag, wakes the acceptor
+//! with a loopback connection, and closes every tracked connection, so
+//! [`ServerHandle::join`] returns even when clients leave connections idle.
+
+use std::io::BufReader;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use crate::proto::{read_frame, write_frame, Request, Response};
+use crate::store::WorkflowStore;
+
+/// Configuration of a [`serve`] call.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind; port 0 picks a free port (see
+    /// [`ServerHandle::local_addr`]).
+    pub addr: String,
+    /// Number of store shards.
+    pub shards: usize,
+    /// Number of worker threads.
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            shards: 4,
+            workers: 4,
+        }
+    }
+}
+
+/// State shared between the acceptor, the workers and the handle.
+#[derive(Debug)]
+struct Shared {
+    addr: SocketAddr,
+    shutdown: AtomicBool,
+    connections: Mutex<Vec<(u64, TcpStream)>>,
+    next_connection: AtomicU64,
+}
+
+impl Shared {
+    /// Registers a connection so shutdown can close it; returns its id.
+    fn track(&self, stream: &TcpStream) -> u64 {
+        let id = self.next_connection.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            self.connections.lock().push((id, clone));
+        }
+        id
+    }
+
+    fn untrack(&self, id: u64) {
+        self.connections.lock().retain(|(other, _)| *other != id);
+    }
+
+    /// Raises the shutdown flag, wakes the acceptor and closes every open
+    /// connection (unblocking workers stuck reading from idle clients).
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // a throwaway connection unblocks accept(); if the listener is
+        // already gone the connect simply fails
+        let _ = TcpStream::connect(self.addr);
+        for (_, stream) in self.connections.lock().iter() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+
+    fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// A running server: the bound address, the shared store and the threads to
+/// join on shutdown.
+#[derive(Debug)]
+pub struct ServerHandle {
+    store: Arc<WorkflowStore>,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (relevant with port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The store backing the server (shared with the worker threads).
+    #[must_use]
+    pub fn store(&self) -> Arc<WorkflowStore> {
+        Arc::clone(&self.store)
+    }
+
+    /// Begins shutdown without waiting for the threads; follow with
+    /// [`ServerHandle::join`].
+    pub fn request_shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Waits for the acceptor and all workers to exit — either after a
+    /// shutdown was requested, or once a client sends a `shutdown` request
+    /// (this is what `wolves serve` blocks on).
+    pub fn join(mut self) {
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+    }
+
+    /// Convenience: [`ServerHandle::request_shutdown`] then
+    /// [`ServerHandle::join`].
+    pub fn shutdown(self) {
+        self.request_shutdown();
+        self.join();
+    }
+}
+
+/// Binds a listener and starts the acceptor + worker threads.
+///
+/// # Errors
+/// Reports bind failures.
+pub fn serve(config: &ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(config.addr.as_str())?;
+    let shared = Arc::new(Shared {
+        addr: listener.local_addr()?,
+        shutdown: AtomicBool::new(false),
+        connections: Mutex::new(Vec::new()),
+        next_connection: AtomicU64::new(0),
+    });
+    let store = Arc::new(WorkflowStore::new(config.shards));
+    let (sender, receiver) = mpsc::channel::<TcpStream>();
+    let receiver = Arc::new(Mutex::new(receiver));
+
+    let mut threads = Vec::with_capacity(config.workers.max(1) + 1);
+    for _ in 0..config.workers.max(1) {
+        let receiver = Arc::clone(&receiver);
+        let store = Arc::clone(&store);
+        let shared = Arc::clone(&shared);
+        threads.push(std::thread::spawn(move || {
+            worker_loop(&receiver, &store, &shared);
+        }));
+    }
+
+    let acceptor_shared = Arc::clone(&shared);
+    threads.push(std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            if acceptor_shared.is_shutdown() {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            if sender.send(stream).is_err() {
+                break;
+            }
+        }
+        // dropping the listener and the sender lets idle workers drain
+    }));
+
+    Ok(ServerHandle {
+        store,
+        shared,
+        threads,
+    })
+}
+
+fn worker_loop(
+    receiver: &Mutex<mpsc::Receiver<TcpStream>>,
+    store: &WorkflowStore,
+    shared: &Shared,
+) {
+    loop {
+        // hold the mutex only while waiting for the next connection
+        let next = { receiver.lock().recv() };
+        match next {
+            Ok(stream) => {
+                let id = shared.track(&stream);
+                // re-check AFTER tracking: a begin_shutdown() racing with
+                // this hand-off either set the flag before track() (seen
+                // here) or finds the stream in the tracked list and closes
+                // it — either way the worker cannot block on an idle client
+                if shared.is_shutdown() {
+                    shared.untrack(id);
+                    break;
+                }
+                handle_connection(stream, store, shared);
+                shared.untrack(id);
+            }
+            Err(_) => break, // acceptor gone and channel drained
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, store: &WorkflowStore, shared: &Shared) {
+    // without TCP_NODELAY, Nagle + delayed ACKs cost ~40ms per small
+    // request/response exchange on loopback
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    while let Ok(Some(frame)) = read_frame(&mut reader) {
+        let (response, stop) = match Request::from_lines(&frame) {
+            Ok(request) => respond(store, request),
+            Err(e) => (Response::Error(e.to_string()), false),
+        };
+        if write_frame(&mut writer, &response.to_lines()).is_err() {
+            break;
+        }
+        if stop {
+            shared.begin_shutdown();
+            break;
+        }
+        if shared.is_shutdown() {
+            break;
+        }
+    }
+}
+
+/// Dispatches one request against the store; the boolean asks the worker to
+/// begin server shutdown after replying.
+fn respond(store: &WorkflowStore, request: Request) -> (Response, bool) {
+    let response = match request {
+        Request::Register { payload } => store.register_text(&payload).map(Response::Registered),
+        Request::Validate { workflow, version } => {
+            store.validate(workflow, version).map(Response::Verdict)
+        }
+        Request::Correct { workflow, strategy } => {
+            store.correct(workflow, strategy).map(Response::Corrected)
+        }
+        Request::Provenance { workflow, subject } => store
+            .provenance(workflow, &subject)
+            .map(Response::Provenance),
+        Request::Stats => Ok(Response::Stats(store.stats())),
+        Request::Shutdown => return (Response::ShuttingDown, true),
+    };
+    (
+        response.unwrap_or_else(|e| Response::Error(e.to_string())),
+        false,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+
+    fn local_server() -> ServerHandle {
+        serve(&ServerConfig {
+            shards: 2,
+            workers: 2,
+            ..ServerConfig::default()
+        })
+        .expect("bind loopback")
+    }
+
+    #[test]
+    fn malformed_frames_get_an_error_response_and_keep_the_connection() {
+        let server = local_server();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        writer.write_all(b"frobnicate\n.\n").unwrap();
+        let frame = read_frame(&mut reader).unwrap().unwrap();
+        assert!(frame[0].starts_with("err\t"));
+        // the connection is still usable after an error
+        write_frame(&mut writer, &Request::Stats.to_lines()).unwrap();
+        let frame = read_frame(&mut reader).unwrap().unwrap();
+        assert!(frame[0].starts_with("ok\tstats"));
+        // shutdown must not hang even though this client keeps its
+        // connection open (reader still holds a cloned socket)
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_request_stops_the_server() {
+        let server = local_server();
+        let addr = server.local_addr();
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        write_frame(&mut writer, &Request::Shutdown.to_lines()).unwrap();
+        let frame = read_frame(&mut reader).unwrap().unwrap();
+        assert_eq!(frame[0], "ok\tshutdown");
+        server.join();
+        // the port is released: a fresh bind to the same address succeeds
+        let rebound = TcpListener::bind(addr);
+        assert!(rebound.is_ok());
+    }
+}

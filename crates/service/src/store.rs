@@ -1,0 +1,441 @@
+//! The sharded, cached workflow store.
+//!
+//! Workflows are spread over `N` shards by hashing their id; each shard is an
+//! independently `RwLock`-guarded map, so requests for workflows on different
+//! shards never contend. Two levels of caching keep repeated requests cheap:
+//!
+//! * **Reachability reuse** — a registered [`WorkflowSpec`] is stored behind
+//!   an `Arc` and its lazily built `ReachMatrix` is primed at registration
+//!   time, so no validate/correct request ever rebuilds reachability.
+//! * **Verdict caching** — every stored view version carries a `OnceLock`'d
+//!   validation verdict; repeated `Validate` requests on the same version are
+//!   answered from the cache (counted as shard *hits*).
+//!
+//! Corrections append the corrected view as a new version (versions are
+//! immutable once stored, which is what makes the verdict cache sound) and
+//! feed observed timings into the [`EstimationRegistry`] so the estimator
+//! learns from live traffic.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use parking_lot::RwLock;
+use wolves_core::correct::{correct_view, Strategy};
+use wolves_core::estimate::{CorrectionSample, EstimationRegistry, WorkloadClass};
+use wolves_core::validate::validate;
+use wolves_moml::{read_text_format, write_text_format};
+use wolves_provenance::view_level_provenance;
+use wolves_workflow::{WorkflowSpec, WorkflowView};
+
+use crate::error::ServiceError;
+use crate::proto::{Corrected, ShardStat, StatsReport, Verdict};
+
+/// Identifier of a registered workflow, assigned by the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WorkflowId(pub u64);
+
+impl fmt::Display for WorkflowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// One immutable view version plus its lazily computed verdict.
+#[derive(Debug)]
+struct StoredView {
+    view: Arc<WorkflowView>,
+    verdict: OnceLock<VerdictSummary>,
+}
+
+#[derive(Debug, Clone)]
+struct VerdictSummary {
+    sound: bool,
+    unsound: Vec<String>,
+}
+
+impl StoredView {
+    fn new(view: WorkflowView) -> Arc<Self> {
+        Arc::new(StoredView {
+            view: Arc::new(view),
+            verdict: OnceLock::new(),
+        })
+    }
+}
+
+/// One registered workflow: the spec and its view versions.
+#[derive(Debug)]
+struct Entry {
+    spec: Arc<WorkflowSpec>,
+    views: Vec<Arc<StoredView>>,
+    current: usize,
+}
+
+/// Monotone serving counters of one shard. All counters are relaxed atomics:
+/// they are statistics, not synchronisation.
+#[derive(Debug, Default)]
+struct ShardMetrics {
+    validate_hits: AtomicU64,
+    validate_misses: AtomicU64,
+    validate_ns: AtomicU64,
+    requests: AtomicU64,
+}
+
+#[derive(Debug)]
+struct Shard {
+    entries: RwLock<HashMap<u64, Entry>>,
+    metrics: ShardMetrics,
+}
+
+/// The sharded workflow store described in the module docs.
+#[derive(Debug)]
+pub struct WorkflowStore {
+    shards: Vec<Shard>,
+    next_id: AtomicU64,
+    registry: EstimationRegistry,
+}
+
+impl WorkflowStore {
+    /// Creates a store with `shard_count` shards (at least one).
+    #[must_use]
+    pub fn new(shard_count: usize) -> Self {
+        let shards = (0..shard_count.max(1))
+            .map(|_| Shard {
+                entries: RwLock::new(HashMap::new()),
+                metrics: ShardMetrics::default(),
+            })
+            .collect();
+        WorkflowStore {
+            shards,
+            next_id: AtomicU64::new(0),
+            registry: EstimationRegistry::new(),
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The estimation registry fed by correction requests.
+    #[must_use]
+    pub fn registry(&self) -> &EstimationRegistry {
+        &self.registry
+    }
+
+    fn shard_of(&self, id: WorkflowId) -> &Shard {
+        let mut hasher = DefaultHasher::new();
+        id.0.hash(&mut hasher);
+        let index = (hasher.finish() as usize) % self.shards.len();
+        &self.shards[index]
+    }
+
+    /// Registers a workflow and optional view, returning the assigned id.
+    ///
+    /// The spec's reachability matrix is primed here, outside any lock, so
+    /// every later request shares the already-built matrix.
+    pub fn register(&self, spec: WorkflowSpec, view: Option<WorkflowView>) -> WorkflowId {
+        let _ = spec.reachability();
+        let id = WorkflowId(self.next_id.fetch_add(1, Ordering::Relaxed) + 1);
+        let entry = Entry {
+            spec: Arc::new(spec),
+            views: view.map(StoredView::new).into_iter().collect(),
+            current: 0,
+        };
+        let shard = self.shard_of(id);
+        shard.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        shard.entries.write().insert(id.0, entry);
+        id
+    }
+
+    /// Registers a workflow from a native text-format payload.
+    ///
+    /// # Errors
+    /// Reports payloads that do not parse as the text format.
+    pub fn register_text(&self, payload: &str) -> Result<WorkflowId, ServiceError> {
+        let imported = read_text_format(payload)?;
+        Ok(self.register(imported.spec, imported.view))
+    }
+
+    /// Snapshot of a workflow's spec and a view version (current when
+    /// `version` is `None`), taken under the shard read lock.
+    fn snapshot(
+        &self,
+        id: WorkflowId,
+        version: Option<usize>,
+    ) -> Result<(Arc<WorkflowSpec>, Arc<StoredView>, usize), ServiceError> {
+        let shard = self.shard_of(id);
+        shard.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        let entries = shard.entries.read();
+        let entry = entries
+            .get(&id.0)
+            .ok_or(ServiceError::UnknownWorkflow(id))?;
+        if entry.views.is_empty() {
+            return Err(ServiceError::NoView(id));
+        }
+        let index = version.unwrap_or(entry.current);
+        let stored = entry
+            .views
+            .get(index)
+            .ok_or(ServiceError::UnknownView(id, index))?;
+        Ok((Arc::clone(&entry.spec), Arc::clone(stored), index))
+    }
+
+    /// Validates a view version, serving the cached verdict when one exists.
+    ///
+    /// # Errors
+    /// Reports unknown workflows and view versions.
+    pub fn validate(
+        &self,
+        id: WorkflowId,
+        version: Option<usize>,
+    ) -> Result<Verdict, ServiceError> {
+        let start = Instant::now();
+        let (spec, stored, index) = self.snapshot(id, version)?;
+        // exactly one caller's closure runs per version — racers block on
+        // the OnceLock and are counted as cache hits, keeping the hit/miss
+        // counters deterministic (one miss per version) under concurrency
+        let mut computed = false;
+        let summary = stored.verdict.get_or_init(|| {
+            computed = true;
+            let report = validate(&spec, &stored.view);
+            VerdictSummary {
+                sound: report.is_sound(),
+                unsound: report
+                    .reports()
+                    .iter()
+                    .filter(|c| !c.verdict.is_sound())
+                    .map(|c| c.name.clone())
+                    .collect(),
+            }
+        });
+        let cached = !computed;
+        let metrics = &self.shard_of(id).metrics;
+        if cached {
+            metrics.validate_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            metrics.validate_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        metrics.validate_ns.fetch_add(
+            u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
+        Ok(Verdict {
+            sound: summary.sound,
+            version: index,
+            cached,
+            unsound: summary.unsound.clone(),
+        })
+    }
+
+    /// Corrects the current view with `strategy`. When the view was unsound,
+    /// the corrected view is appended as a new version and becomes current;
+    /// observed per-composite timings are recorded in the estimation
+    /// registry. The expensive correction runs outside the shard lock.
+    ///
+    /// # Errors
+    /// Reports unknown workflows and corrector failures.
+    pub fn correct(&self, id: WorkflowId, strategy: Strategy) -> Result<Corrected, ServiceError> {
+        let (spec, stored, index) = self.snapshot(id, None)?;
+        let corrector = strategy.corrector();
+        let (corrected, report) = correct_view(&spec, &stored.view, corrector.as_ref())?;
+        for correction in &report.corrections {
+            if let Ok(original) = stored.view.composite(correction.original) {
+                let class = WorkloadClass::classify(&spec, original.members());
+                self.registry.record(
+                    class,
+                    CorrectionSample {
+                        strategy,
+                        elapsed: correction.elapsed,
+                        // observed quality is unknown without running the
+                        // exact corrector; record the neutral 1.0
+                        quality: 1.0,
+                    },
+                );
+            }
+        }
+        if report.was_already_sound() {
+            return Ok(Corrected {
+                version: index,
+                composites_before: report.composites_before,
+                composites_after: report.composites_after,
+                payload: write_text_format(&spec, Some(&stored.view)),
+            });
+        }
+        let payload = write_text_format(&spec, Some(&corrected));
+        let new_view = StoredView::new(corrected);
+        let shard = self.shard_of(id);
+        let mut entries = shard.entries.write();
+        let entry = entries
+            .get_mut(&id.0)
+            .ok_or(ServiceError::UnknownWorkflow(id))?;
+        if entry.current != index {
+            // a concurrent correction already replaced the version we
+            // corrected; adopt the winner instead of appending a duplicate
+            let winner = &entry.views[entry.current];
+            return Ok(Corrected {
+                version: entry.current,
+                composites_before: report.composites_before,
+                composites_after: winner.view.composite_count(),
+                payload: write_text_format(&spec, Some(&winner.view)),
+            });
+        }
+        entry.views.push(new_view);
+        entry.current = entry.views.len() - 1;
+        Ok(Corrected {
+            version: entry.current,
+            composites_before: report.composites_before,
+            composites_after: report.composites_after,
+            payload,
+        })
+    }
+
+    /// Answers a view-level provenance query for the named task through the
+    /// workflow's current view, returning the provenance task names in
+    /// deterministic (task-id) order.
+    ///
+    /// # Errors
+    /// Reports unknown workflows and task names.
+    pub fn provenance(&self, id: WorkflowId, subject: &str) -> Result<Vec<String>, ServiceError> {
+        let (spec, stored, _) = self.snapshot(id, None)?;
+        let task = spec
+            .task_by_name(subject)
+            .ok_or_else(|| ServiceError::UnknownTask(subject.to_owned()))?;
+        let answer = view_level_provenance(&spec, &stored.view, task);
+        Ok(answer
+            .tasks
+            .iter()
+            .filter_map(|&t| spec.task(t).ok().map(|task| task.name.clone()))
+            .collect())
+    }
+
+    /// Snapshot of the per-shard serving counters.
+    #[must_use]
+    pub fn stats(&self) -> StatsReport {
+        let shards = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(index, shard)| ShardStat {
+                shard: index,
+                workflows: shard.entries.read().len(),
+                validate_hits: shard.metrics.validate_hits.load(Ordering::Relaxed),
+                validate_misses: shard.metrics.validate_misses.load(Ordering::Relaxed),
+                validate_ns: shard.metrics.validate_ns.load(Ordering::Relaxed),
+                requests: shard.metrics.requests.load(Ordering::Relaxed),
+            })
+            .collect();
+        StatsReport {
+            shards,
+            registry_samples: self.registry.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wolves_repo::figure1;
+
+    #[test]
+    fn register_validate_and_cache() {
+        let store = WorkflowStore::new(4);
+        let fixture = figure1();
+        let id = store.register(fixture.spec, Some(fixture.view));
+        let first = store.validate(id, None).unwrap();
+        assert!(!first.sound);
+        assert!(!first.cached);
+        assert_eq!(first.unsound, vec!["Curate & align (16)".to_owned()]);
+        let second = store.validate(id, None).unwrap();
+        assert!(second.cached);
+        assert_eq!(second.unsound, first.unsound);
+        let stats = store.stats();
+        assert_eq!(stats.validate_hits(), 1);
+        assert_eq!(stats.validate_misses(), 1);
+        assert_eq!(stats.workflows(), 1);
+    }
+
+    #[test]
+    fn correction_appends_a_sound_version() {
+        let store = WorkflowStore::new(2);
+        let fixture = figure1();
+        let id = store.register(fixture.spec, Some(fixture.view));
+        let corrected = store.correct(id, Strategy::Strong).unwrap();
+        assert_eq!(corrected.version, 1);
+        assert_eq!(corrected.composites_before, 7);
+        assert_eq!(corrected.composites_after, 8);
+        // the current view is now the corrected one and validates sound...
+        let verdict = store.validate(id, None).unwrap();
+        assert!(verdict.sound);
+        assert_eq!(verdict.version, 1);
+        // ...while the original version is still queryable and unsound
+        let original = store.validate(id, Some(0)).unwrap();
+        assert!(!original.sound);
+        // the correction fed the estimation registry
+        assert_eq!(store.registry().len(), 1);
+        // correcting a sound view is a no-op that keeps the version
+        let again = store.correct(id, Strategy::Strong).unwrap();
+        assert_eq!(again.version, 1);
+        assert_eq!(again.composites_before, again.composites_after);
+    }
+
+    #[test]
+    fn provenance_is_exact_through_the_corrected_view() {
+        let store = WorkflowStore::new(2);
+        let fixture = figure1();
+        let id = store.register(fixture.spec.clone(), Some(fixture.view));
+        store.correct(id, Strategy::Strong).unwrap();
+        let names = store.provenance(id, "Format alignment").unwrap();
+        assert!(names.contains(&"Create alignment".to_owned()));
+        assert!(names.contains(&"Extract sequences".to_owned()));
+        assert!(!names.contains(&"Curate annotations".to_owned()));
+        assert!(matches!(
+            store.provenance(id, "No such task"),
+            Err(ServiceError::UnknownTask(_))
+        ));
+    }
+
+    #[test]
+    fn text_registration_and_errors() {
+        let store = WorkflowStore::new(3);
+        let fixture = figure1();
+        let payload = write_text_format(&fixture.spec, Some(&fixture.view));
+        let id = store.register_text(&payload).unwrap();
+        assert!(!store.validate(id, None).unwrap().sound);
+        assert!(matches!(
+            store.register_text("garbage\tline"),
+            Err(ServiceError::Parse(_))
+        ));
+        assert!(matches!(
+            store.validate(WorkflowId(999), None),
+            Err(ServiceError::UnknownWorkflow(_))
+        ));
+        assert!(matches!(
+            store.validate(id, Some(5)),
+            Err(ServiceError::UnknownView(_, 5))
+        ));
+        let bare = store.register(figure1().spec, None);
+        assert!(matches!(
+            store.validate(bare, None),
+            Err(ServiceError::NoView(_))
+        ));
+    }
+
+    #[test]
+    fn ids_spread_over_shards() {
+        let store = WorkflowStore::new(4);
+        for _ in 0..32 {
+            let fixture = figure1();
+            store.register(fixture.spec, Some(fixture.view));
+        }
+        let stats = store.stats();
+        assert_eq!(stats.workflows(), 32);
+        let populated = stats.shards.iter().filter(|s| s.workflows > 0).count();
+        assert!(populated >= 2, "expected ≥2 shards in use, got {populated}");
+    }
+}

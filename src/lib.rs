@@ -17,6 +17,8 @@
 //!   generators.
 //! * [`provenance`] — execution simulation and view-level provenance
 //!   analysis.
+//! * [`service`] — the concurrent serving layer: sharded workflow store,
+//!   line-framed TCP protocol, thread-pool server and client.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` for
 //! the system inventory.
@@ -29,6 +31,7 @@ pub use wolves_graph as graph;
 pub use wolves_moml as moml;
 pub use wolves_provenance as provenance;
 pub use wolves_repo as repo;
+pub use wolves_service as service;
 pub use wolves_workflow as workflow;
 
 /// Convenience prelude bringing the most commonly used items into scope.

@@ -1,5 +1,6 @@
 //! End-to-end integration tests spanning the whole workspace: import,
-//! validation, correction, feedback, provenance and export.
+//! validation, correction, feedback, provenance and export — plus the
+//! `wolves` binary's exit-code contract.
 
 use wolves::core::correct::{correct_view, Strategy};
 use wolves::core::feedback::FeedbackSession;
@@ -101,6 +102,87 @@ fn every_suite_view_can_be_corrected_by_both_polynomial_correctors() {
             );
             assert!(corrected.validate_against(&case.spec).is_ok());
         }
+    }
+}
+
+/// Builds the `wolves` binary (tier-1 `cargo test` does not build workspace
+/// binaries) and returns its path. Uses the same cargo and target directory
+/// as the running test, so the build is a cheap no-op when already fresh.
+fn wolves_binary() -> std::path::PathBuf {
+    let exe = std::env::current_exe().expect("test executable path");
+    let profile_dir = exe
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("target profile directory");
+    let cargo = std::env::var_os("CARGO").unwrap_or_else(|| "cargo".into());
+    let mut build = std::process::Command::new(cargo);
+    build
+        .args(["build", "-q", "-p", "wolves-cli", "--bin", "wolves"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"));
+    if profile_dir.file_name().is_some_and(|n| n == "release") {
+        build.arg("--release");
+    }
+    let status = build.status().expect("spawn cargo build for the CLI");
+    assert!(status.success(), "building the wolves binary failed");
+    let binary = profile_dir.join(format!("wolves{}", std::env::consts::EXE_SUFFIX));
+    assert!(binary.exists(), "no binary at {}", binary.display());
+    binary
+}
+
+#[test]
+fn cli_exit_codes_distinguish_success_from_malformed_invocations() {
+    let binary = wolves_binary();
+    let run = |args: &[&str]| {
+        std::process::Command::new(&binary)
+            .args(args)
+            .output()
+            .expect("run the wolves binary")
+    };
+
+    // malformed invocations exit nonzero with a usage message on stderr
+    for args in [
+        &["frobnicate"][..],
+        &["validate"],
+        &["validate", "--bogus-flag", "x"],
+        &["correct", "no-such-file.txt", "--strategy"],
+        &["request"],
+        &["serve", "--shards", "many"],
+        &["fixture", "figure9"],
+    ] {
+        let output = run(args);
+        assert_eq!(
+            output.status.code(),
+            Some(1),
+            "expected exit code 1 for {args:?}"
+        );
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            stderr.starts_with("error:"),
+            "stderr for {args:?} must lead with the error: {stderr}"
+        );
+        if args != ["fixture", "figure9"] {
+            assert!(
+                stderr.contains("usage"),
+                "stderr for {args:?} must include usage: {stderr}"
+            );
+        }
+    }
+
+    // unreadable input files are reported as errors, not usage problems
+    let output = run(&["validate", "no-such-file.txt"]);
+    assert_eq!(output.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&output.stderr).contains("cannot read"));
+
+    // successful invocations exit zero with output on stdout only
+    for args in [&["demo"][..], &["help"], &["fixture", "figure1"]] {
+        let output = run(args);
+        assert_eq!(
+            output.status.code(),
+            Some(0),
+            "expected success for {args:?}"
+        );
+        assert!(output.stderr.is_empty(), "no stderr expected for {args:?}");
+        assert!(!output.stdout.is_empty());
     }
 }
 
