@@ -42,6 +42,18 @@ fn bench_reachability(c: &mut Criterion) {
             },
         );
         group.bench_with_input(
+            BenchmarkId::new("descendant_counts", tasks),
+            &(&matrix, &nodes),
+            |b, (matrix, nodes)| {
+                b.iter(|| {
+                    nodes
+                        .iter()
+                        .map(|&u| matrix.descendant_count(u))
+                        .sum::<usize>()
+                })
+            },
+        );
+        group.bench_with_input(
             BenchmarkId::new("topological_sort", tasks),
             graph,
             |b, graph| b.iter(|| wolves_graph::topo::topological_sort(graph).unwrap().len()),

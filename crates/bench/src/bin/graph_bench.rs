@@ -1,0 +1,186 @@
+//! Micro-benchmark for the reachability engine: matrix build, all-pairs
+//! row queries and the two validator checks over a grid of task counts.
+//!
+//! Usage:
+//!
+//! ```text
+//! graph_bench                     # full grid, JSON on stdout
+//! graph_bench --quick             # smaller grid / fewer iterations (CI)
+//! graph_bench --out BENCH_graph.json
+//! ```
+//!
+//! The output is machine-readable JSON (handwritten — no serde in the
+//! workspace), one row per (workload, task count) point, so the perf
+//! trajectory of the graph substrate can be recorded across PRs alongside
+//! `BENCH_service.json`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use wolves_core::validate::{validate, validate_by_definition};
+use wolves_graph::reach::ReachMatrix;
+use wolves_repo::generate::{layered_workflow, LayeredConfig};
+use wolves_repo::views::topological_block_view;
+
+struct Row {
+    workload: &'static str,
+    tasks: usize,
+    edges: usize,
+    iterations: usize,
+    median_us: f64,
+    min_us: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("usage: graph_bench [--quick] [--out <file>]");
+        return;
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path: Option<String> = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned());
+
+    let targets: Vec<usize> = if quick {
+        vec![120, 480]
+    } else {
+        vec![120, 480, 960, 1920]
+    };
+
+    let mut rows = Vec::new();
+    for &target in &targets {
+        let spec = layered_workflow(&LayeredConfig::sized(target), 23);
+        let view = topological_block_view(&spec, 4, "blocks").expect("layered spec is a DAG");
+        let tasks = spec.task_count();
+        let edges = spec.dependency_count();
+        // warm the spec's cached reachability so the validator rows time the
+        // checks themselves, not the first-touch matrix build
+        let _ = spec.reachability();
+
+        let iters = iterations_for(target, quick);
+        rows.push(measure("graph/matrix_build", tasks, edges, iters, || {
+            ReachMatrix::build(spec.graph()).unwrap().node_bound()
+        }));
+        let matrix = ReachMatrix::build(spec.graph()).unwrap();
+        let nodes: Vec<_> = spec.graph().node_ids().collect();
+        rows.push(measure(
+            "graph/all_pairs_queries",
+            tasks,
+            edges,
+            iters,
+            || {
+                let mut reachable_pairs = 0usize;
+                for &u in &nodes {
+                    for &v in &nodes {
+                        if matrix.reachable(u, v) {
+                            reachable_pairs += 1;
+                        }
+                    }
+                }
+                reachable_pairs
+            },
+        ));
+        rows.push(measure(
+            "validator/proposition_2_1",
+            tasks,
+            edges,
+            iters,
+            || usize::from(validate(&spec, &view).is_sound()),
+        ));
+        rows.push(measure(
+            "validator/definition_closure",
+            tasks,
+            edges,
+            iters.min(40),
+            || usize::from(validate_by_definition(&spec, &view).is_sound()),
+        ));
+    }
+
+    let json = render_json(&rows, quick);
+    if let Some(path) = out_path {
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("cannot write '{path}': {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+    println!("{json}");
+}
+
+fn iterations_for(target: usize, quick: bool) -> usize {
+    let base = match target {
+        0..=200 => 200,
+        201..=600 => 80,
+        601..=1200 => 30,
+        _ => 10,
+    };
+    if quick {
+        (base / 4).max(5)
+    } else {
+        base
+    }
+}
+
+/// Times `body` for `iterations` runs (after 2 warm-ups) and reports the
+/// median and minimum wall-clock time per run in microseconds. A black-box
+/// accumulator keeps the optimiser from discarding the work.
+fn measure(
+    workload: &'static str,
+    tasks: usize,
+    edges: usize,
+    iterations: usize,
+    mut body: impl FnMut() -> usize,
+) -> Row {
+    let mut sink = 0usize;
+    for _ in 0..2 {
+        sink = sink.wrapping_add(body());
+    }
+    let mut samples_us: Vec<f64> = Vec::with_capacity(iterations);
+    for _ in 0..iterations {
+        let start = Instant::now();
+        sink = sink.wrapping_add(body());
+        samples_us.push(start.elapsed().as_secs_f64() * 1e6);
+    }
+    // prevent dead-code elimination of the measured bodies
+    assert!(sink != usize::MAX, "benchmark sink overflowed");
+    samples_us.sort_by(|a, b| a.total_cmp(b));
+    let median_us = samples_us[samples_us.len() / 2];
+    let min_us = samples_us[0];
+    eprintln!("{workload:>32} @ {tasks:>5} tasks: median {median_us:>10.1} µs (min {min_us:.1})");
+    Row {
+        workload,
+        tasks,
+        edges,
+        iterations,
+        median_us,
+        min_us,
+    }
+}
+
+fn render_json(rows: &[Row], quick: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(
+        out,
+        "  \"benchmark\": \"wolves-graph reachability engine\","
+    );
+    let _ = writeln!(
+        out,
+        "  \"workload\": \"matrix build + row queries + validator checks\","
+    );
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    out.push_str("  \"rows\": [\n");
+    for (index, row) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"workload\": \"{}\", \"tasks\": {}, \"edges\": {}, \"iterations\": {}, \
+             \"median_us\": {:.2}, \"min_us\": {:.2}}}",
+            row.workload, row.tasks, row.edges, row.iterations, row.median_us, row.min_us
+        );
+        out.push_str(if index + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -28,7 +28,7 @@ use std::fmt::Write as _;
 
 use wolves_core::correct::{correct_view, Strategy};
 use wolves_core::estimate::{EstimationRegistry, WorkloadClass};
-use wolves_core::validate::{validate, validate_by_definition};
+use wolves_core::validate::{validate, validate_by_definition, validate_naive};
 use wolves_graph::dot::{to_dot, DotOptions};
 use wolves_moml::{from_moml, read_text_format, to_moml, write_text_format, ImportedWorkflow};
 use wolves_service::{ServiceClient, ServiceError, WorkflowId};
@@ -160,6 +160,27 @@ pub fn validate_command(spec: &WorkflowSpec, view: &WorkflowView) -> String {
         definition.missing.len()
     );
     out
+}
+
+/// Cross-checks a view with the exponential path-enumeration check
+/// (`wolves validate --naive`). The check is guarded by
+/// [`validate_naive`]'s `max_nodes` refusal: oversized workflows are
+/// declined with an explanatory message instead of hanging the process.
+#[must_use]
+pub fn naive_check_command(spec: &WorkflowSpec, view: &WorkflowView, max_nodes: usize) -> String {
+    match validate_naive(spec, view, max_nodes) {
+        Some(report) => format!(
+            "naive definition check: {} spurious, {} missing view dependencies\n",
+            report.spurious.len(),
+            report.missing.len()
+        ),
+        None => format!(
+            "naive check refused: {} tasks exceeds the --naive limit of {max_nodes} \
+             (the check enumerates paths and is exponential; the polynomial checks \
+             above already cover Definition 2.1)\n",
+            spec.task_count()
+        ),
+    }
 }
 
 /// The *Corrector* module: corrects every unsound composite task with the

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! wolves show <file>                          summarise a workflow and view
-//! wolves validate <file>                      check view soundness
+//! wolves validate <file> [--naive <max-nodes>]  check view soundness
 //! wolves correct <file> [--strategy weak|strong|optimal] [--out <file>]
 //! wolves render <file>                        emit Graphviz DOT
 //! wolves export <file> --format moml|text     convert between formats
@@ -22,8 +22,8 @@ use std::process::ExitCode;
 
 use wolves_cli::{
     correct_command, export_command, fixture_command, import_command, load_workflow,
-    remote_correct, remote_provenance, remote_register, remote_shutdown, remote_stats,
-    remote_validate, render_command, show_command, validate_command,
+    naive_check_command, remote_correct, remote_provenance, remote_register, remote_shutdown,
+    remote_stats, remote_validate, render_command, show_command, validate_command,
 };
 use wolves_service::{serve, ServerConfig, WorkflowId};
 
@@ -129,6 +129,7 @@ fn run(args: &[String]) -> Result<String, String> {
             let allowed: &[&str] = match command {
                 "correct" => &["strategy", "out"],
                 "export" => &["format"],
+                "validate" => &["naive"],
                 _ => &[],
             };
             let (positionals, flags) = parse_args(command, rest, allowed)?;
@@ -140,7 +141,15 @@ fn run(args: &[String]) -> Result<String, String> {
                 "show" => import_command(&path).map_err(|e| e.to_string()),
                 "validate" => {
                     let view = view.ok_or("the input file defines no view to validate")?;
-                    Ok(validate_command(&spec, &view))
+                    let mut output = validate_command(&spec, &view);
+                    if let Some(limit) = flag(&flags, "naive") {
+                        // the exponential path-enumeration check only runs
+                        // under an explicit node budget, so a stray flag can
+                        // never hang on a big workflow
+                        let max_nodes: usize = parse_number(limit, "naive node limit")?;
+                        output.push_str(&naive_check_command(&spec, &view, max_nodes));
+                    }
+                    Ok(output)
                 }
                 "correct" => {
                     let view = view.ok_or("the input file defines no view to correct")?;
@@ -300,7 +309,11 @@ WOLVES: detecting and resolving unsound workflow views
 
 usage:
   wolves show <file>                          summarise a workflow and its view
-  wolves validate <file>                      check the view for soundness
+  wolves validate <file> [--naive <max-nodes>]
+                                              check the view for soundness; --naive
+                                              additionally runs the exponential
+                                              path-enumeration check, refused above
+                                              the given task count
   wolves correct <file> [--strategy weak|strong|optimal] [--out <file>]
   wolves render <file>                        emit Graphviz DOT (unsound tasks highlighted)
   wolves export <file> --format moml|text     convert between formats
@@ -404,6 +417,32 @@ mod tests {
         let path = path.to_string_lossy().to_string();
         let validated = run(&["validate".to_owned(), path.clone()]).unwrap();
         assert!(validated.contains("UNSOUND"));
+        // --naive runs the path-enumeration cross-check under a node budget…
+        let naive = run(&[
+            "validate".to_owned(),
+            path.clone(),
+            "--naive".to_owned(),
+            "60".to_owned(),
+        ])
+        .unwrap();
+        assert!(naive.contains("naive definition check: 2 spurious"));
+        // …and refuses budgets smaller than the workflow instead of hanging
+        let refused = run(&[
+            "validate".to_owned(),
+            path.clone(),
+            "--naive".to_owned(),
+            "4".to_owned(),
+        ])
+        .unwrap();
+        assert!(refused.contains("naive check refused"));
+        assert!(run(&[
+            "validate".to_owned(),
+            path.clone(),
+            "--naive".to_owned(),
+            "lots".to_owned(),
+        ])
+        .unwrap_err()
+        .contains("invalid naive node limit"));
         let corrected = run(&[
             "correct".to_owned(),
             path.clone(),

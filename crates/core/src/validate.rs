@@ -20,8 +20,6 @@
 //! unsound while every view-level dependency happens to be realised through
 //! other paths); the property-based tests pin down exactly this relationship.
 
-use std::collections::BTreeSet;
-
 use wolves_graph::ReachMatrix;
 use wolves_workflow::{CompositeTaskId, TaskId, WorkflowSpec, WorkflowView};
 
@@ -124,43 +122,64 @@ impl DefinitionReport {
 /// Validates a view against Definition 2.1 using polynomial reachability
 /// computations: there must be a view-level path between two composite tasks
 /// iff some pair of their members is connected in the workflow.
+///
+/// Workflow-level connectivity between composites is derived with bitset
+/// algebra over the reachability matrix's component rows instead of a
+/// quadratic task-pair loop: each composite gets a *member mask* (the SCC
+/// components its members occupy) and a *reach row* (the OR of its members'
+/// reachability rows), and `connected(a, b)` is one word-level
+/// mask-intersection `reach(a) ∩ mask(b) ≠ ∅`. Since a view partitions the
+/// tasks, any member of `a` whose reachable set touches a component holding
+/// a member of `b ≠ a` witnesses a workflow path between *distinct* tasks,
+/// so this is exactly the pairwise ∃-path check — in
+/// O(members · V/64 + composites² · V/64) word operations (mask building
+/// plus one stride-wide intersection per ordered composite pair).
 #[must_use]
 pub fn validate_by_definition(spec: &WorkflowSpec, view: &WorkflowView) -> DefinitionReport {
     let induced = view.induced_graph(spec);
     let view_reach = ReachMatrix::build(&induced.graph).expect("induced view graph reachability");
     let workflow_reach = spec.reachability();
 
-    // workflow-level connectivity between composites: connected[(a, b)] iff
-    // ∃ t1 ∈ a, t2 ∈ b with a workflow path t1 -> t2.
     let composites: Vec<CompositeTaskId> = view.composite_ids().collect();
-    let mut connected: BTreeSet<(CompositeTaskId, CompositeTaskId)> = BTreeSet::new();
-    let tasks: Vec<TaskId> = spec.task_ids().collect();
-    for &u in &tasks {
-        for &v in &tasks {
-            if u == v || !workflow_reach.reachable(u, v) {
-                continue;
+    let stride = workflow_reach.row_stride();
+    // per-composite member masks and unioned reach rows, both flat row-major
+    // buffers over component indices (stride words per composite)
+    let mut masks = vec![0u64; composites.len() * stride];
+    let mut rows = vec![0u64; composites.len() * stride];
+    for (slot, &composite) in composites.iter().enumerate() {
+        let Ok(composite_task) = view.composite(composite) else {
+            continue;
+        };
+        let mask = &mut masks[slot * stride..(slot + 1) * stride];
+        for &task in composite_task.members() {
+            if let Some(comp) = workflow_reach.component_of(task) {
+                mask[comp / 64] |= 1u64 << (comp % 64);
             }
-            let (Some(cu), Some(cv)) = (view.composite_of(u), view.composite_of(v)) else {
-                continue;
-            };
-            if cu != cv {
-                connected.insert((cu, cv));
+        }
+        let row = &mut rows[slot * stride..(slot + 1) * stride];
+        for &task in composite_task.members() {
+            if let Some(reach_row) = workflow_reach.reachable_row(task) {
+                for (acc, &word) in row.iter_mut().zip(reach_row.words()) {
+                    *acc |= word;
+                }
             }
         }
     }
 
     let mut spurious = Vec::new();
     let mut missing = Vec::new();
-    for &a in &composites {
-        for &b in &composites {
-            if a == b {
+    for (sa, &a) in composites.iter().enumerate() {
+        let row_a = &rows[sa * stride..(sa + 1) * stride];
+        for (sb, &b) in composites.iter().enumerate() {
+            if sa == sb {
                 continue;
             }
             let in_view = match (induced.node_of(a), induced.node_of(b)) {
                 (Some(na), Some(nb)) => view_reach.reachable(na, nb),
                 _ => false,
             };
-            let in_workflow = connected.contains(&(a, b));
+            let mask_b = &masks[sb * stride..(sb + 1) * stride];
+            let in_workflow = row_a.iter().zip(mask_b).any(|(r, m)| r & m != 0);
             match (in_view, in_workflow) {
                 (true, false) => spurious.push(DependencyMismatch { from: a, to: b }),
                 (false, true) => missing.push(DependencyMismatch { from: a, to: b }),
@@ -238,6 +257,8 @@ fn path_exists_by_enumeration<N, E>(
         if current == to {
             return true;
         }
+        // deliberately naive: the per-call collect (and the absence of any
+        // memoisation) IS the E5 baseline — do not optimise this path
         for next in graph.successors(current).collect::<Vec<_>>() {
             if on_path.contains(&next) {
                 continue;
@@ -371,5 +392,144 @@ mod tests {
         let prop = validate(&spec, &corrected);
         assert!(prop.is_sound());
         assert!(validate_by_definition(&spec, &corrected).is_sound());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+        use std::collections::BTreeSet;
+        use wolves_graph::traversal::{reachable_set, Direction};
+        use wolves_workflow::{AtomicTask, DataDependency};
+
+        /// The pre-bitset-algebra semantics of `validate_by_definition`,
+        /// reimplemented on plain BFS so the comparison is independent of
+        /// `ReachMatrix`: a quadratic task-pair loop for workflow-level
+        /// connectivity, per-pair BFS for view-level connectivity.
+        fn pairwise_reference(spec: &WorkflowSpec, view: &WorkflowView) -> DefinitionReport {
+            let induced = view.induced_graph(spec);
+            let composites: Vec<CompositeTaskId> = view.composite_ids().collect();
+            let tasks: Vec<TaskId> = spec.task_ids().collect();
+            let mut connected: BTreeSet<(CompositeTaskId, CompositeTaskId)> = BTreeSet::new();
+            for &u in &tasks {
+                let reach = reachable_set(spec.graph(), &[u], Direction::Forward);
+                for &v in &tasks {
+                    if u == v || !reach.contains(v.index()) {
+                        continue;
+                    }
+                    let (Some(cu), Some(cv)) = (view.composite_of(u), view.composite_of(v)) else {
+                        continue;
+                    };
+                    if cu != cv {
+                        connected.insert((cu, cv));
+                    }
+                }
+            }
+            let mut spurious = Vec::new();
+            let mut missing = Vec::new();
+            for &a in &composites {
+                for &b in &composites {
+                    if a == b {
+                        continue;
+                    }
+                    let in_view = match (induced.node_of(a), induced.node_of(b)) {
+                        (Some(na), Some(nb)) => {
+                            reachable_set(&induced.graph, &[na], Direction::Forward)
+                                .contains(nb.index())
+                        }
+                        _ => false,
+                    };
+                    let in_workflow = connected.contains(&(a, b));
+                    match (in_view, in_workflow) {
+                        (true, false) => spurious.push(DependencyMismatch { from: a, to: b }),
+                        (false, true) => missing.push(DependencyMismatch { from: a, to: b }),
+                        _ => {}
+                    }
+                }
+            }
+            DefinitionReport { spurious, missing }
+        }
+
+        /// Arbitrary specs (DAG when `cyclic` is false, back edges permitted
+        /// when true) with an arbitrary partition into composite tasks.
+        fn arbitrary_spec_and_view(
+            max_nodes: usize,
+            cyclic: bool,
+        ) -> impl Strategy<Value = (WorkflowSpec, WorkflowView)> {
+            (3..max_nodes)
+                .prop_flat_map(move |n| {
+                    let edges = proptest::collection::vec((0..n, 0..n), 0..(n * 2));
+                    let slots = proptest::collection::vec(0..n.div_ceil(2), n..(n + 1));
+                    (Just(n), edges, slots)
+                })
+                .prop_map(move |(n, raw_edges, slots)| {
+                    let mut spec = WorkflowSpec::new("prop");
+                    let ids: Vec<TaskId> = (0..n)
+                        .map(|i| spec.add_task(AtomicTask::new(format!("t{i}"))).unwrap())
+                        .collect();
+                    for (a, b) in raw_edges {
+                        let (from, to) = if cyclic {
+                            (a, b)
+                        } else {
+                            // orient low → high to guarantee a DAG
+                            if a < b {
+                                (a, b)
+                            } else {
+                                (b, a)
+                            }
+                        };
+                        if from != to {
+                            let _ =
+                                spec.add_dependency(ids[from], ids[to], DataDependency::unnamed());
+                        }
+                    }
+                    let slot_count = slots.iter().copied().max().unwrap_or(0) + 1;
+                    let mut buckets: Vec<Vec<TaskId>> = vec![Vec::new(); slot_count];
+                    for (task, &slot) in ids.iter().zip(&slots) {
+                        buckets[slot].push(*task);
+                    }
+                    let groups: Vec<(String, Vec<TaskId>)> = buckets
+                        .into_iter()
+                        .filter(|bucket| !bucket.is_empty())
+                        .enumerate()
+                        .map(|(index, bucket)| (format!("g{index}"), bucket))
+                        .collect();
+                    let view = WorkflowView::from_groups(&spec, "prop-view", groups)
+                        .expect("buckets partition the tasks");
+                    (spec, view)
+                })
+        }
+
+        fn assert_reports_agree(spec: &WorkflowSpec, view: &WorkflowView) {
+            let fast = validate_by_definition(spec, view);
+            let reference = pairwise_reference(spec, view);
+            assert_eq!(fast.spurious, reference.spurious);
+            assert_eq!(fast.missing, reference.missing);
+        }
+
+        proptest! {
+            #[test]
+            fn prop_bitset_algebra_matches_pairwise_on_dags(
+                (spec, view) in arbitrary_spec_and_view(14, false)
+            ) {
+                assert_reports_agree(&spec, &view);
+            }
+
+            #[test]
+            fn prop_bitset_algebra_matches_pairwise_on_cyclic_specs(
+                (spec, view) in arbitrary_spec_and_view(12, true)
+            ) {
+                assert_reports_agree(&spec, &view);
+            }
+
+            #[test]
+            fn prop_proposition_2_1_never_accepts_what_the_definition_rejects(
+                (spec, view) in arbitrary_spec_and_view(12, false)
+            ) {
+                // Proposition 2.1 soundness ⇒ Definition 2.1 soundness
+                if validate(&spec, &view).is_sound() {
+                    prop_assert!(validate_by_definition(&spec, &view).is_sound());
+                }
+            }
+        }
     }
 }

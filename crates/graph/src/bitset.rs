@@ -181,8 +181,9 @@ impl FixedBitSet {
     }
 }
 
-struct OnesInWord {
-    word: u64,
+/// Iterator over the set-bit positions (0..64) of one word, ascending.
+pub(crate) struct OnesInWord {
+    pub(crate) word: u64,
 }
 
 impl Iterator for OnesInWord {

@@ -1,0 +1,345 @@
+//! Frozen CSR (compressed sparse row) adjacency snapshots.
+//!
+//! [`DiGraph`] is built for mutation: neighbour iteration chases
+//! `Vec<EdgeId>` → edge-slot indirection and filters tombstones on every
+//! step. The build-time algorithms (Tarjan SCC, condensation, topological
+//! sort, the reachability-matrix propagation) only ever *read* the graph, so
+//! they run over a [`Csr`] snapshot instead: successors and predecessors of
+//! each node are contiguous `&[NodeId]` slices, laid out once in two flat
+//! arrays. Taking the snapshot is a single O(V + E) counting sort; every
+//! neighbour access afterwards is a bounds-checked slice index with no
+//! branching on tombstones.
+
+use crate::bitset::FixedBitSet;
+use crate::digraph::DiGraph;
+use crate::id::NodeId;
+use crate::traversal::Direction;
+
+/// An immutable adjacency snapshot of a directed graph in CSR form.
+///
+/// Node ids are carried over verbatim from the source graph (including the
+/// gaps left by removed nodes), so a `Csr` can be used interchangeably with
+/// the `DiGraph` it was taken from. Parallel edges are preserved.
+#[derive(Debug, Clone)]
+pub struct Csr {
+    /// `succ_offsets[i]..succ_offsets[i + 1]` indexes `succ_targets` for the
+    /// successors of node `i`; `succ_offsets.len() == node_bound + 1`.
+    succ_offsets: Vec<usize>,
+    succ_targets: Vec<NodeId>,
+    pred_offsets: Vec<usize>,
+    pred_targets: Vec<NodeId>,
+    live: Vec<bool>,
+    node_count: usize,
+}
+
+impl Csr {
+    /// Takes a CSR snapshot of `graph` in O(V + E).
+    #[must_use]
+    pub fn from_graph<N, E>(graph: &DiGraph<N, E>) -> Self {
+        let bound = graph.node_bound();
+        let mut live = vec![false; bound];
+        for node in graph.node_ids() {
+            live[node.index()] = true;
+        }
+        let mut succ_counts = vec![0usize; bound];
+        let mut pred_counts = vec![0usize; bound];
+        for (_, source, target, _) in graph.edges() {
+            succ_counts[source.index()] += 1;
+            pred_counts[target.index()] += 1;
+        }
+        let succ_offsets = prefix_sums(&succ_counts);
+        let pred_offsets = prefix_sums(&pred_counts);
+        let edge_count = graph.edge_count();
+        let mut succ_targets = vec![NodeId::from_index(0); edge_count];
+        let mut pred_targets = vec![NodeId::from_index(0); edge_count];
+        let mut succ_fill = succ_offsets.clone();
+        let mut pred_fill = pred_offsets.clone();
+        for (_, source, target, _) in graph.edges() {
+            succ_targets[succ_fill[source.index()]] = target;
+            succ_fill[source.index()] += 1;
+            pred_targets[pred_fill[target.index()]] = source;
+            pred_fill[target.index()] += 1;
+        }
+        Csr {
+            succ_offsets,
+            succ_targets,
+            pred_offsets,
+            pred_targets,
+            live,
+            node_count: graph.node_count(),
+        }
+    }
+
+    /// Builds a CSR over nodes `0..node_count` (all live) from a raw edge
+    /// list of `(source, target)` index pairs. This is how the condensation
+    /// is materialised directly in CSR form, without an intermediate
+    /// [`DiGraph`].
+    ///
+    /// # Panics
+    /// Panics if an edge endpoint is `>= node_count`.
+    #[must_use]
+    pub fn from_edge_list(node_count: usize, edges: &[(usize, usize)]) -> Self {
+        let mut succ_counts = vec![0usize; node_count];
+        let mut pred_counts = vec![0usize; node_count];
+        for &(source, target) in edges {
+            succ_counts[source] += 1;
+            pred_counts[target] += 1;
+        }
+        let succ_offsets = prefix_sums(&succ_counts);
+        let pred_offsets = prefix_sums(&pred_counts);
+        let mut succ_targets = vec![NodeId::from_index(0); edges.len()];
+        let mut pred_targets = vec![NodeId::from_index(0); edges.len()];
+        let mut succ_fill = succ_offsets.clone();
+        let mut pred_fill = pred_offsets.clone();
+        for &(source, target) in edges {
+            succ_targets[succ_fill[source]] = NodeId::from_index(target);
+            succ_fill[source] += 1;
+            pred_targets[pred_fill[target]] = NodeId::from_index(source);
+            pred_fill[target] += 1;
+        }
+        Csr {
+            succ_offsets,
+            succ_targets,
+            pred_offsets,
+            pred_targets,
+            live: vec![true; node_count],
+            node_count,
+        }
+    }
+
+    /// Upper bound (exclusive) on node indices, including tombstone gaps
+    /// carried over from the source graph.
+    #[must_use]
+    pub fn node_bound(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Number of live nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of edges (parallel edges counted individually).
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.succ_targets.len()
+    }
+
+    /// Returns `true` if `node` was live in the snapshotted graph.
+    #[must_use]
+    pub fn is_live(&self, node: NodeId) -> bool {
+        self.live.get(node.index()).copied().unwrap_or(false)
+    }
+
+    /// Iterates over the ids of all live nodes in ascending order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.live
+            .iter()
+            .enumerate()
+            .filter(|(_, &alive)| alive)
+            .map(|(i, _)| NodeId::from_index(i))
+    }
+
+    /// The successors of `node` as a contiguous slice (empty for unknown
+    /// nodes).
+    #[must_use]
+    pub fn successors(&self, node: NodeId) -> &[NodeId] {
+        self.slice(&self.succ_offsets, &self.succ_targets, node)
+    }
+
+    /// The predecessors of `node` as a contiguous slice (empty for unknown
+    /// nodes).
+    #[must_use]
+    pub fn predecessors(&self, node: NodeId) -> &[NodeId] {
+        self.slice(&self.pred_offsets, &self.pred_targets, node)
+    }
+
+    /// Neighbours of `node` in the given traversal direction.
+    #[must_use]
+    pub fn neighbours(&self, node: NodeId, direction: Direction) -> &[NodeId] {
+        match direction {
+            Direction::Forward => self.successors(node),
+            Direction::Backward => self.predecessors(node),
+        }
+    }
+
+    /// Out-degree of `node` (0 for unknown nodes).
+    #[must_use]
+    pub fn out_degree(&self, node: NodeId) -> usize {
+        self.successors(node).len()
+    }
+
+    /// In-degree of `node` (0 for unknown nodes).
+    #[must_use]
+    pub fn in_degree(&self, node: NodeId) -> usize {
+        self.predecessors(node).len()
+    }
+
+    /// Breadth-first traversal over the snapshot; visits each reachable node
+    /// exactly once, start nodes included. Shares the BFS core with
+    /// [`crate::traversal::bfs`] — only the neighbour source differs.
+    #[must_use]
+    pub fn bfs(&self, starts: &[NodeId], direction: Direction) -> Vec<NodeId> {
+        crate::traversal::bfs_over(
+            self.node_bound(),
+            starts,
+            |node| self.is_live(node),
+            |node, visit| {
+                for &next in self.neighbours(node, direction) {
+                    visit(next);
+                }
+            },
+        )
+    }
+
+    /// The set of nodes reachable from `starts` (inclusive) as a bit set
+    /// indexed by [`NodeId::index`].
+    #[must_use]
+    pub fn reachable_set(&self, starts: &[NodeId], direction: Direction) -> FixedBitSet {
+        let mut set = FixedBitSet::with_capacity(self.node_bound());
+        for node in self.bfs(starts, direction) {
+            set.insert(node.index());
+        }
+        set
+    }
+
+    fn slice<'a>(&self, offsets: &'a [usize], targets: &'a [NodeId], node: NodeId) -> &'a [NodeId] {
+        let i = node.index();
+        if i + 1 >= offsets.len() {
+            return &[];
+        }
+        &targets[offsets[i]..offsets[i + 1]]
+    }
+}
+
+/// Exclusive prefix sums with a trailing total: `[c0, c1, c2]` becomes
+/// `[0, c0, c0+c1, c0+c1+c2]`.
+fn prefix_sums(counts: &[usize]) -> Vec<usize> {
+    let mut offsets = Vec::with_capacity(counts.len() + 1);
+    let mut total = 0usize;
+    offsets.push(0);
+    for &count in counts {
+        total += count;
+        offsets.push(total);
+    }
+    offsets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal;
+
+    fn diamond() -> (DiGraph<(), ()>, Vec<NodeId>) {
+        let mut g = DiGraph::new();
+        let n: Vec<NodeId> = (0..4).map(|_| g.add_node(())).collect();
+        g.add_edge(n[0], n[1], ()).unwrap();
+        g.add_edge(n[0], n[2], ()).unwrap();
+        g.add_edge(n[1], n[3], ()).unwrap();
+        g.add_edge(n[2], n[3], ()).unwrap();
+        (g, n)
+    }
+
+    #[test]
+    fn snapshot_matches_digraph_adjacency() {
+        let (g, n) = diamond();
+        let csr = Csr::from_graph(&g);
+        assert_eq!(csr.node_count(), 4);
+        assert_eq!(csr.edge_count(), 4);
+        assert_eq!(csr.successors(n[0]), &[n[1], n[2]]);
+        assert_eq!(csr.predecessors(n[3]), &[n[1], n[2]]);
+        assert_eq!(csr.out_degree(n[0]), 2);
+        assert_eq!(csr.in_degree(n[3]), 2);
+        assert!(csr.successors(n[3]).is_empty());
+        assert!(csr.successors(NodeId::from_index(99)).is_empty());
+        assert!(!csr.is_live(NodeId::from_index(99)));
+    }
+
+    #[test]
+    fn snapshot_skips_tombstones() {
+        let (mut g, n) = diamond();
+        g.remove_node(n[1]).unwrap();
+        let csr = Csr::from_graph(&g);
+        assert_eq!(csr.node_count(), 3);
+        assert_eq!(csr.edge_count(), 2);
+        assert!(!csr.is_live(n[1]));
+        assert_eq!(csr.successors(n[0]), &[n[2]]);
+        assert_eq!(csr.predecessors(n[3]), &[n[2]]);
+        let ids: Vec<NodeId> = csr.node_ids().collect();
+        assert_eq!(ids, vec![n[0], n[2], n[3]]);
+    }
+
+    #[test]
+    fn from_edge_list_builds_both_directions() {
+        let csr = Csr::from_edge_list(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(csr.node_count(), 3);
+        assert_eq!(csr.edge_count(), 3);
+        assert_eq!(
+            csr.successors(NodeId::from_index(0)),
+            &[NodeId::from_index(1), NodeId::from_index(2)]
+        );
+        assert_eq!(
+            csr.predecessors(NodeId::from_index(2)),
+            &[NodeId::from_index(1), NodeId::from_index(0)]
+        );
+    }
+
+    /// Textbook queue-based BFS straight over the `DiGraph`, independent of
+    /// the CSR machinery — the reference `Csr::bfs` (and through delegation
+    /// `traversal::bfs`) is checked against.
+    fn reference_bfs(g: &DiGraph<(), ()>, start: NodeId, direction: Direction) -> Vec<NodeId> {
+        let mut visited = vec![false; g.node_bound()];
+        let mut queue = std::collections::VecDeque::from([start]);
+        let mut order = Vec::new();
+        visited[start.index()] = true;
+        while let Some(node) = queue.pop_front() {
+            order.push(node);
+            let neighbours: Vec<NodeId> = match direction {
+                Direction::Forward => g.successors(node).collect(),
+                Direction::Backward => g.predecessors(node).collect(),
+            };
+            for next in neighbours {
+                if !visited[next.index()] {
+                    visited[next.index()] = true;
+                    queue.push_back(next);
+                }
+            }
+        }
+        order
+    }
+
+    #[test]
+    fn bfs_agrees_with_a_reference_traversal() {
+        let (g, n) = diamond();
+        let csr = Csr::from_graph(&g);
+        for direction in [Direction::Forward, Direction::Backward] {
+            for &start in &n {
+                let want = reference_bfs(&g, start, direction);
+                assert_eq!(
+                    csr.bfs(&[start], direction),
+                    want,
+                    "bfs from {start:?} ({direction:?})"
+                );
+                // the DiGraph entry points delegate here; check them too
+                assert_eq!(traversal::bfs(&g, &[start], direction), want);
+                let got_set = csr.reachable_set(&[start], direction);
+                assert_eq!(got_set.to_vec().len(), want.len());
+                for &node in &want {
+                    assert!(got_set.contains(node.index()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_ignores_unknown_and_duplicate_starts() {
+        let (g, n) = diamond();
+        let csr = Csr::from_graph(&g);
+        assert!(csr
+            .bfs(&[NodeId::from_index(50)], Direction::Forward)
+            .is_empty());
+        let order = csr.bfs(&[n[0], n[0]], Direction::Forward);
+        assert_eq!(order.len(), 4);
+    }
+}

@@ -8,14 +8,19 @@
 //! * [`DiGraph`] — an adjacency-list directed graph with stable, typed
 //!   [`NodeId`]/[`EdgeId`] indices, optional node/edge payloads and tombstone
 //!   based removal.
-//! * [`FixedBitSet`] — a compact bit set used for reachability rows and
+//! * [`FixedBitSet`] — a compact bit set used for partition masks and
 //!   subset bookkeeping (the workspace deliberately avoids external graph or
 //!   bitset crates; this substrate is part of the reproduction).
+//! * [`Csr`] — a frozen compressed-sparse-row adjacency snapshot with
+//!   contiguous successor/predecessor slices; the read-only algorithms below
+//!   run over it instead of chasing `DiGraph`'s edge-slot indirection.
 //! * [`topo`] — topological ordering and cycle detection.
 //! * [`scc`] — Tarjan strongly-connected components and condensation, so that
 //!   imported workflows that are not DAGs can still be analysed.
-//! * [`reach`] — all-pairs reachability ([`ReachMatrix`]) computed over a
-//!   topological order, ancestor/descendant sets and witness path extraction.
+//! * [`reach`] — all-pairs reachability ([`ReachMatrix`]): a flat row-major
+//!   bit matrix over the condensation, built by in-place row unions over a
+//!   topological order, with row-level ops ([`reach::ReachRow`]) for
+//!   bitset-algebra consumers.
 //! * [`algo`] — assorted DAG utilities (roots, leaves, layering, transitive
 //!   reduction) used by the workload generators and renderers.
 //! * [`dot`] — Graphviz DOT export for debugging and the CLI displayer.
@@ -42,6 +47,7 @@
 
 pub mod algo;
 pub mod bitset;
+pub mod csr;
 pub mod digraph;
 pub mod dot;
 pub mod error;
@@ -52,7 +58,8 @@ pub mod topo;
 pub mod traversal;
 
 pub use bitset::FixedBitSet;
+pub use csr::Csr;
 pub use digraph::DiGraph;
 pub use error::GraphError;
 pub use id::{EdgeId, NodeId};
-pub use reach::ReachMatrix;
+pub use reach::{ReachMatrix, ReachRow};

@@ -5,13 +5,24 @@
 //! answers each query in O(1) after an O(V·E/64) bit-set propagation over a
 //! topological order; cyclic inputs are handled by condensing strongly
 //! connected components first.
+//!
+//! ## Storage layout
+//!
+//! The matrix is one flat row-major `Vec<u64>`: row `i` (the set of
+//! components reachable from component `i`) occupies words
+//! `i·stride .. (i+1)·stride` with `stride = comp_count.div_ceil(64)`.
+//! Building the matrix unions successor rows *in place* through disjoint
+//! row slices — no per-edge row clone, no per-row allocation — and
+//! consumers can borrow whole rows ([`ReachMatrix::reachable_row`]) to run
+//! word-level bitset algebra (mask intersections, popcounts) instead of
+//! per-node `reachable()` loops.
 
-use crate::bitset::FixedBitSet;
+use crate::csr::Csr;
 use crate::digraph::DiGraph;
 use crate::error::GraphError;
 use crate::id::NodeId;
-use crate::scc::{condensation, SccDecomposition};
-use crate::topo::topological_sort;
+use crate::scc::{condense_to_csr, strongly_connected_components_csr};
+use crate::topo::topological_sort_csr;
 use crate::traversal::{shortest_path, Direction};
 
 /// Dense all-pairs reachability over a directed graph.
@@ -22,10 +33,18 @@ use crate::traversal::{shortest_path, Direction};
 /// task containing a single boundary node is always sound.
 #[derive(Debug, Clone)]
 pub struct ReachMatrix {
-    /// Row `i`: set of component indices reachable from component `i`.
-    rows: Vec<FixedBitSet>,
-    /// Map from node index to component index.
+    /// Row-major reachability words: row `i` is `words[i*stride..(i+1)*stride]`,
+    /// bit `j` of row `i` set iff component `j` is reachable from component `i`.
+    words: Vec<u64>,
+    /// Words per row: `comp_count.div_ceil(64)`.
+    stride: usize,
+    /// Number of strongly connected components (= number of rows).
+    comp_count: usize,
+    /// Map from node index to component index (`usize::MAX` for removed nodes).
     component_of: Vec<usize>,
+    /// Number of member nodes per component; components with more than one
+    /// member are cycles.
+    comp_size: Vec<u32>,
     node_bound: usize,
 }
 
@@ -40,40 +59,41 @@ impl ReachMatrix {
     /// Currently infallible for any well-formed graph; the `Result` is kept
     /// so future storage strategies (e.g. external memory) can fail cleanly.
     pub fn build<N, E>(graph: &DiGraph<N, E>) -> Result<Self, GraphError> {
-        let (condensed, scc) = condensation(graph);
-        Ok(Self::from_condensation(
-            &condensed,
-            &scc,
-            graph.node_bound(),
-        ))
+        Ok(Self::build_from_csr(&Csr::from_graph(graph)))
     }
 
-    fn from_condensation(
-        condensed: &DiGraph<Vec<NodeId>, ()>,
-        scc: &SccDecomposition,
-        node_bound: usize,
-    ) -> Self {
-        let comp_count = condensed.node_count();
-        let order = topological_sort(condensed).expect("condensation is always acyclic");
-        let mut rows: Vec<FixedBitSet> = (0..comp_count)
-            .map(|_| FixedBitSet::with_capacity(comp_count))
-            .collect();
-        // Process in reverse topological order so successors are complete.
-        for &comp_node in order.iter().rev() {
-            let i = comp_node.index();
-            let mut row = FixedBitSet::with_capacity(comp_count);
-            row.insert(i);
-            for succ in condensed.successors(comp_node) {
-                row.insert(succ.index());
-                let succ_row = rows[succ.index()].clone();
-                row.union_with(&succ_row);
+    /// Builds the matrix from an existing CSR snapshot: SCC decomposition,
+    /// condensation (also in CSR form) and one in-place bit-row propagation
+    /// over the reverse topological order.
+    #[must_use]
+    pub fn build_from_csr(csr: &Csr) -> Self {
+        let scc = strongly_connected_components_csr(csr);
+        let condensed = condense_to_csr(csr, &scc);
+        let order = topological_sort_csr(&condensed).expect("condensation is always acyclic");
+        let comp_count = scc.len();
+        let stride = comp_count.div_ceil(64);
+        let mut words = vec![0u64; comp_count * stride];
+        // Process in reverse topological order so successor rows are complete
+        // before they are unioned into their predecessors.
+        for &comp in order.iter().rev() {
+            let i = comp.index();
+            words[i * stride + i / 64] |= 1u64 << (i % 64);
+            for &succ in condensed.successors(comp) {
+                union_rows(&mut words, stride, i, succ.index());
             }
-            rows[i] = row;
         }
+        let comp_size = scc
+            .components
+            .iter()
+            .map(|members| u32::try_from(members.len()).expect("component size exceeds u32"))
+            .collect();
         ReachMatrix {
-            rows,
-            component_of: scc.component_of.clone(),
-            node_bound,
+            words,
+            stride,
+            comp_count,
+            component_of: scc.component_of,
+            comp_size,
+            node_bound: csr.node_bound(),
         }
     }
 
@@ -86,7 +106,7 @@ impl ReachMatrix {
         let (Some(cf), Some(ct)) = (self.component_index(from), self.component_index(to)) else {
             return false;
         };
-        self.rows[cf].contains(ct)
+        self.words[cf * self.stride + ct / 64] & (1u64 << (ct % 64)) != 0
     }
 
     /// Returns `true` iff there is a path of length **one or more** from
@@ -95,22 +115,89 @@ impl ReachMatrix {
     #[must_use]
     pub fn strictly_reachable(&self, from: NodeId, to: NodeId) -> bool {
         if from == to {
-            // only true when the node lies on a cycle, which DiGraph's lack of
-            // self loops means "its SCC has more than one member"; detect via
-            // component sharing with a different node is not possible here, so
-            // report false for singleton components.
-            return false;
+            // a node strictly reaches itself iff it lies on a cycle, i.e. its
+            // strongly connected component has more than one member (DiGraph
+            // rejects self-loops, so singleton components are cycle-free)
+            return self
+                .component_index(from)
+                .is_some_and(|c| self.comp_size[c] > 1);
         }
         self.reachable(from, to)
     }
 
-    /// Returns the number of nodes `from` can reach (including itself).
+    /// Returns the number of nodes `from` can reach (including itself):
+    /// a popcount over the node's reachability row, weighted by the member
+    /// counts of the reached components. O(comp_count/64) words — no node
+    /// list and no allocation.
     #[must_use]
-    pub fn descendant_count(&self, from: NodeId, graph_nodes: &[NodeId]) -> usize {
+    pub fn descendant_count(&self, from: NodeId) -> usize {
+        self.reachable_row(from).map_or(0, |row| row.node_count())
+    }
+
+    /// Counts the members of `graph_nodes` reachable from `from`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `descendant_count(from)`, which popcounts the reachability \
+                row instead of filtering a caller-supplied node list"
+    )]
+    #[must_use]
+    pub fn descendant_count_among(&self, from: NodeId, graph_nodes: &[NodeId]) -> usize {
         graph_nodes
             .iter()
             .filter(|&&n| self.reachable(from, n))
             .count()
+    }
+
+    /// Borrows the reachability row of `from`'s strongly connected component,
+    /// or `None` for unknown nodes. The row supports word-level set algebra;
+    /// see [`ReachRow`].
+    #[must_use]
+    pub fn reachable_row(&self, from: NodeId) -> Option<ReachRow<'_>> {
+        let comp = self.component_index(from)?;
+        Some(ReachRow {
+            matrix: self,
+            words: self.row_words(comp),
+        })
+    }
+
+    /// Number of strongly connected components (rows of the matrix).
+    #[must_use]
+    pub fn comp_count(&self) -> usize {
+        self.comp_count
+    }
+
+    /// Words per reachability row (`comp_count.div_ceil(64)`).
+    #[must_use]
+    pub fn row_stride(&self) -> usize {
+        self.stride
+    }
+
+    /// The component index of a node, or `None` for unknown/removed nodes.
+    /// Component indices address matrix rows and row bits.
+    #[must_use]
+    pub fn component_of(&self, node: NodeId) -> Option<usize> {
+        self.component_index(node)
+    }
+
+    /// Number of member nodes of a component (components with more than one
+    /// member are cycles).
+    ///
+    /// # Panics
+    /// Panics if `comp >= comp_count()`.
+    #[must_use]
+    pub fn component_size(&self, comp: usize) -> usize {
+        self.comp_size[comp] as usize
+    }
+
+    /// The raw reachability words of one component's row; bit `j` is set iff
+    /// component `j` is reachable. This is the substrate for bitset-algebra
+    /// consumers (e.g. the definition-level validator's mask intersections).
+    ///
+    /// # Panics
+    /// Panics if `comp >= comp_count()`.
+    #[must_use]
+    pub fn row_words(&self, comp: usize) -> &[u64] {
+        &self.words[comp * self.stride..(comp + 1) * self.stride]
     }
 
     /// Upper bound on node indices this matrix was built for.
@@ -124,6 +211,89 @@ impl ReachMatrix {
             .get(node.index())
             .copied()
             .filter(|&c| c != usize::MAX)
+    }
+}
+
+/// One borrowed row of a [`ReachMatrix`]: the set of components reachable
+/// from a node, with word-level operations so consumers can answer
+/// set-shaped questions (counts, intersections) without per-node queries.
+#[derive(Debug, Clone, Copy)]
+pub struct ReachRow<'a> {
+    matrix: &'a ReachMatrix,
+    words: &'a [u64],
+}
+
+impl ReachRow<'_> {
+    /// Returns `true` iff `to` is reachable from the row's origin.
+    #[must_use]
+    pub fn contains(&self, to: NodeId) -> bool {
+        self.matrix
+            .component_index(to)
+            .is_some_and(|c| self.words[c / 64] & (1u64 << (c % 64)) != 0)
+    }
+
+    /// Number of reachable *nodes* (origin included): popcount over the row,
+    /// weighted by component member counts.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.components()
+            .map(|c| self.matrix.comp_size[c] as usize)
+            .sum()
+    }
+
+    /// Number of reachable *components* (a plain popcount).
+    #[must_use]
+    pub fn component_count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates over the reachable component indices in ascending order.
+    pub fn components(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            crate::bitset::OnesInWord { word }.map(move |bit| wi * 64 + bit)
+        })
+    }
+
+    /// The raw row words (bit `j` ⇔ component `j` reachable).
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        self.words
+    }
+
+    /// Returns `true` iff the row shares a component with `mask`, given as
+    /// raw words over component indices (same stride as the row).
+    ///
+    /// # Panics
+    /// Panics if `mask` is shorter than the row.
+    #[must_use]
+    pub fn intersects_words(&self, mask: &[u64]) -> bool {
+        assert!(
+            mask.len() >= self.words.len(),
+            "mask shorter than reachability row"
+        );
+        self.words.iter().zip(mask).any(|(a, b)| a & b != 0)
+    }
+}
+
+/// ORs row `src` into row `dst` in place. The rows are disjoint because the
+/// condensation is acyclic and self-loop free, so `split_at_mut` yields one
+/// mutable and one shared slice without copying either row.
+fn union_rows(words: &mut [u64], stride: usize, dst: usize, src: usize) {
+    debug_assert_ne!(dst, src, "condensation rows cannot self-union");
+    if dst < src {
+        let (head, tail) = words.split_at_mut(src * stride);
+        let dst_row = &mut head[dst * stride..dst * stride + stride];
+        let src_row = &tail[..stride];
+        for (d, s) in dst_row.iter_mut().zip(src_row) {
+            *d |= *s;
+        }
+    } else {
+        let (head, tail) = words.split_at_mut(dst * stride);
+        let src_row = &head[src * stride..src * stride + stride];
+        let dst_row = &mut tail[..stride];
+        for (d, s) in dst_row.iter_mut().zip(src_row) {
+            *d |= *s;
+        }
     }
 }
 
@@ -198,12 +368,87 @@ mod tests {
     }
 
     #[test]
+    fn self_queries_are_strict_only_on_cycles() {
+        // a -> b -> c -> b (b and c share a cycle), c -> d
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        g.add_edge(a, b, ()).unwrap();
+        g.add_edge(b, c, ()).unwrap();
+        g.add_edge(c, b, ()).unwrap();
+        g.add_edge(c, d, ()).unwrap();
+        let r = ReachMatrix::build(&g).unwrap();
+        // on-cycle nodes strictly reach themselves (regression: this used to
+        // unconditionally return false)
+        assert!(r.strictly_reachable(b, b));
+        assert!(r.strictly_reachable(c, c));
+        // off-cycle nodes do not
+        assert!(!r.strictly_reachable(a, a));
+        assert!(!r.strictly_reachable(d, d));
+        // unknown nodes do not
+        assert!(!r.strictly_reachable(NodeId::from_index(50), NodeId::from_index(50)));
+    }
+
+    #[test]
     fn unknown_nodes_are_unreachable() {
         let (g, n) = diamond();
         let r = ReachMatrix::build(&g).unwrap();
         let ghost = NodeId::from_index(77);
         assert!(!r.reachable(ghost, n[0]));
         assert!(!r.reachable(n[0], ghost));
+        assert!(r.reachable_row(ghost).is_none());
+        assert_eq!(r.descendant_count(ghost), 0);
+    }
+
+    #[test]
+    fn descendant_count_popcounts_scc_sizes() {
+        // a -> {b <-> c} -> d: a reaches 4 nodes, b reaches 3, d reaches 1
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        g.add_edge(a, b, ()).unwrap();
+        g.add_edge(b, c, ()).unwrap();
+        g.add_edge(c, b, ()).unwrap();
+        g.add_edge(c, d, ()).unwrap();
+        let r = ReachMatrix::build(&g).unwrap();
+        assert_eq!(r.descendant_count(a), 4);
+        assert_eq!(r.descendant_count(b), 3);
+        assert_eq!(r.descendant_count(c), 3);
+        assert_eq!(r.descendant_count(d), 1);
+        #[allow(deprecated)]
+        {
+            let nodes = [a, b, c, d];
+            for &n in &nodes {
+                assert_eq!(r.descendant_count(n), r.descendant_count_among(n, &nodes));
+            }
+        }
+    }
+
+    #[test]
+    fn rows_expose_word_level_algebra() {
+        let (g, n) = diamond();
+        let r = ReachMatrix::build(&g).unwrap();
+        let row = r.reachable_row(n[0]).unwrap();
+        assert!(row.contains(n[3]));
+        assert_eq!(row.node_count(), 4);
+        assert_eq!(row.component_count(), 4);
+        assert_eq!(row.components().count(), 4);
+        assert_eq!(row.words().len(), r.row_stride());
+        // a mask holding only n[3]'s component intersects the row
+        let mut mask = vec![0u64; r.row_stride()];
+        let c3 = r.component_of(n[3]).unwrap();
+        mask[c3 / 64] |= 1 << (c3 % 64);
+        assert!(row.intersects_words(&mask));
+        // the row of the sink intersects nothing but itself
+        let sink_row = r.reachable_row(n[3]).unwrap();
+        let mut other = vec![0u64; r.row_stride()];
+        let c0 = r.component_of(n[0]).unwrap();
+        other[c0 / 64] |= 1 << (c0 % 64);
+        assert!(!sink_row.intersects_words(&other));
     }
 
     #[test]
@@ -226,6 +471,22 @@ mod tests {
         assert!(witness_path(&g, n[3], n[0]).is_none());
     }
 
+    #[test]
+    fn matrix_handles_more_than_64_components() {
+        // a 200-node chain spans multiple row words
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let nodes: Vec<NodeId> = (0..200).map(|_| g.add_node(())).collect();
+        for w in nodes.windows(2) {
+            g.add_edge(w[0], w[1], ()).unwrap();
+        }
+        let r = ReachMatrix::build(&g).unwrap();
+        assert_eq!(r.row_stride(), 200usize.div_ceil(64));
+        assert!(r.reachable(nodes[0], nodes[199]));
+        assert!(!r.reachable(nodes[199], nodes[0]));
+        assert_eq!(r.descendant_count(nodes[0]), 200);
+        assert_eq!(r.descendant_count(nodes[120]), 80);
+    }
+
     fn arbitrary_dag(max_nodes: usize) -> impl Strategy<Value = DiGraph<(), ()>> {
         (2..max_nodes)
             .prop_flat_map(|n| {
@@ -246,21 +507,69 @@ mod tests {
             })
     }
 
+    /// Arbitrary digraphs *including cycles*: edges keep their raw
+    /// orientation, so back edges (and thus non-trivial SCCs) are common.
+    fn arbitrary_digraph(max_nodes: usize) -> impl Strategy<Value = DiGraph<(), ()>> {
+        (2..max_nodes)
+            .prop_flat_map(|n| {
+                let edges = proptest::collection::vec((0..n, 0..n), 0..(n * 2));
+                (Just(n), edges)
+            })
+            .prop_map(|(n, raw_edges)| {
+                let mut g: DiGraph<(), ()> = DiGraph::new();
+                let nodes: Vec<NodeId> = (0..n).map(|_| g.add_node(())).collect();
+                for (a, b) in raw_edges {
+                    if a != b {
+                        let _ = g.add_edge_unique(nodes[a], nodes[b], ());
+                    }
+                }
+                g
+            })
+    }
+
+    fn assert_matrix_matches_bfs(g: &DiGraph<(), ()>) {
+        let r = ReachMatrix::build(g).unwrap();
+        let nodes: Vec<NodeId> = g.node_ids().collect();
+        for &u in &nodes {
+            let reach_bfs = crate::traversal::reachable_set(g, &[u], Direction::Forward);
+            let row = r.reachable_row(u).unwrap();
+            for &v in &nodes {
+                assert_eq!(r.reachable(u, v), reach_bfs.contains(v.index()));
+                assert_eq!(row.contains(v), reach_bfs.contains(v.index()));
+            }
+            assert_eq!(r.descendant_count(u), reach_bfs.count_ones());
+            assert_eq!(row.node_count(), reach_bfs.count_ones());
+        }
+    }
+
     proptest! {
         #[test]
         fn prop_matrix_agrees_with_bfs(g in arbitrary_dag(24)) {
+            assert_matrix_matches_bfs(&g);
+        }
+
+        #[test]
+        fn prop_matrix_agrees_with_bfs_on_cyclic_graphs(g in arbitrary_digraph(20)) {
+            assert_matrix_matches_bfs(&g);
+        }
+
+        #[test]
+        fn prop_strict_self_reachability_detects_cycles(g in arbitrary_digraph(16)) {
             let r = ReachMatrix::build(&g).unwrap();
-            let nodes: Vec<NodeId> = g.node_ids().collect();
-            for &u in &nodes {
-                let reach_bfs = crate::traversal::reachable_set(&g, &[u], Direction::Forward);
-                for &v in &nodes {
-                    prop_assert_eq!(r.reachable(u, v), reach_bfs.contains(v.index()));
-                }
+            for u in g.node_ids() {
+                // u strictly reaches itself iff some successor path loops back
+                let on_cycle = g
+                    .successors(u)
+                    .any(|s| {
+                        crate::traversal::reachable_set(&g, &[s], Direction::Forward)
+                            .contains(u.index())
+                    });
+                prop_assert_eq!(r.strictly_reachable(u, u), on_cycle);
             }
         }
 
         #[test]
-        fn prop_reachability_is_transitive(g in arbitrary_dag(20)) {
+        fn prop_reachability_is_transitive(g in arbitrary_digraph(16)) {
             let r = ReachMatrix::build(&g).unwrap();
             let nodes: Vec<NodeId> = g.node_ids().collect();
             for &a in &nodes {

@@ -3,7 +3,14 @@
 //! Workflow specifications are expected to be DAGs, but imported MOML files
 //! and user-edited graphs may accidentally contain cycles. The validator and
 //! the reachability matrix therefore condense general digraphs first.
+//!
+//! All algorithms here run over a [`Csr`] snapshot: neighbour access is a
+//! contiguous slice index, and the iterative Tarjan keeps a cursor into that
+//! slice per stack frame instead of re-collecting the successor list on
+//! every re-entry (which made the old `DiGraph`-based version O(V·deg²) in
+//! allocations on deep graphs).
 
+use crate::csr::Csr;
 use crate::digraph::DiGraph;
 use crate::id::NodeId;
 
@@ -51,9 +58,15 @@ impl SccDecomposition {
 
 /// Computes the strongly connected components of the graph using an
 /// iterative Tarjan algorithm (no recursion, so arbitrarily deep graphs are
-/// safe).
+/// safe). Convenience wrapper that snapshots the graph first; algorithms
+/// that already hold a [`Csr`] should call [`strongly_connected_components_csr`].
 pub fn strongly_connected_components<N, E>(graph: &DiGraph<N, E>) -> SccDecomposition {
-    let bound = graph.node_bound();
+    strongly_connected_components_csr(&Csr::from_graph(graph))
+}
+
+/// Iterative Tarjan over a CSR snapshot.
+pub fn strongly_connected_components_csr(csr: &Csr) -> SccDecomposition {
+    let bound = csr.node_bound();
     const UNVISITED: usize = usize::MAX;
     let mut index_of: Vec<usize> = vec![UNVISITED; bound];
     let mut low_link: Vec<usize> = vec![0; bound];
@@ -62,64 +75,53 @@ pub fn strongly_connected_components<N, E>(graph: &DiGraph<N, E>) -> SccDecompos
     let mut components: Vec<Vec<NodeId>> = Vec::new();
     let mut component_of: Vec<usize> = vec![usize::MAX; bound];
     let mut next_index = 0usize;
+    // Explicit DFS call stack: (node, cursor into its successor slice).
+    let mut call_stack: Vec<(NodeId, usize)> = Vec::new();
 
-    // Explicit DFS call stack: (node, iterator position over successors).
-    enum Frame {
-        Enter(NodeId),
-        Continue(NodeId, usize),
-    }
-
-    for root in graph.node_ids() {
+    for root in csr.node_ids() {
         if index_of[root.index()] != UNVISITED {
             continue;
         }
-        let mut call_stack = vec![Frame::Enter(root)];
-        while let Some(frame) = call_stack.pop() {
-            match frame {
-                Frame::Enter(v) => {
-                    index_of[v.index()] = next_index;
-                    low_link[v.index()] = next_index;
+        index_of[root.index()] = next_index;
+        low_link[root.index()] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root.index()] = true;
+        call_stack.push((root, 0));
+        while let Some(&mut (v, ref mut cursor)) = call_stack.last_mut() {
+            let successors = csr.successors(v);
+            if let Some(&w) = successors.get(*cursor) {
+                *cursor += 1;
+                if index_of[w.index()] == UNVISITED {
+                    index_of[w.index()] = next_index;
+                    low_link[w.index()] = next_index;
                     next_index += 1;
-                    stack.push(v);
-                    on_stack[v.index()] = true;
-                    call_stack.push(Frame::Continue(v, 0));
+                    stack.push(w);
+                    on_stack[w.index()] = true;
+                    call_stack.push((w, 0));
+                } else if on_stack[w.index()] {
+                    low_link[v.index()] = low_link[v.index()].min(index_of[w.index()]);
                 }
-                Frame::Continue(v, child_pos) => {
-                    let successors: Vec<NodeId> = graph.successors(v).collect();
-                    if child_pos > 0 {
-                        // we just returned from exploring successors[child_pos - 1]
-                        let w = successors[child_pos - 1];
-                        low_link[v.index()] = low_link[v.index()].min(low_link[w.index()]);
-                    }
-                    let mut advanced = false;
-                    for (offset, &w) in successors.iter().enumerate().skip(child_pos) {
-                        if index_of[w.index()] == UNVISITED {
-                            call_stack.push(Frame::Continue(v, offset + 1));
-                            call_stack.push(Frame::Enter(w));
-                            advanced = true;
-                            break;
-                        } else if on_stack[w.index()] {
-                            low_link[v.index()] = low_link[v.index()].min(index_of[w.index()]);
-                        }
-                    }
-                    if advanced {
-                        continue;
-                    }
-                    if low_link[v.index()] == index_of[v.index()] {
-                        let mut component = Vec::new();
-                        loop {
-                            let w = stack.pop().expect("tarjan stack underflow");
-                            on_stack[w.index()] = false;
-                            component_of[w.index()] = components.len();
-                            component.push(w);
-                            if w == v {
-                                break;
-                            }
-                        }
-                        component.sort_unstable();
-                        components.push(component);
+                continue;
+            }
+            // all successors explored: close v, propagate its low link
+            call_stack.pop();
+            if let Some(&(parent, _)) = call_stack.last() {
+                low_link[parent.index()] = low_link[parent.index()].min(low_link[v.index()]);
+            }
+            if low_link[v.index()] == index_of[v.index()] {
+                let mut component = Vec::new();
+                loop {
+                    let w = stack.pop().expect("tarjan stack underflow");
+                    on_stack[w.index()] = false;
+                    component_of[w.index()] = components.len();
+                    component.push(w);
+                    if w == v {
+                        break;
                     }
                 }
+                component.sort_unstable();
+                components.push(component);
             }
         }
     }
@@ -134,22 +136,48 @@ pub fn strongly_connected_components<N, E>(graph: &DiGraph<N, E>) -> SccDecompos
 /// component (payload: member node ids), and an edge between two components
 /// whenever any cross-component edge exists in the input (deduplicated).
 pub fn condensation<N, E>(graph: &DiGraph<N, E>) -> (DiGraph<Vec<NodeId>, ()>, SccDecomposition) {
-    let scc = strongly_connected_components(graph);
+    let csr = Csr::from_graph(graph);
+    let scc = strongly_connected_components_csr(&csr);
     let mut condensed: DiGraph<Vec<NodeId>, ()> = DiGraph::with_capacity(scc.len(), scc.len());
     let comp_nodes: Vec<NodeId> = scc
         .components
         .iter()
         .map(|members| condensed.add_node(members.clone()))
         .collect();
-    for (_, source, target, _) in graph.edges() {
-        let cs = scc.component_of[source.index()];
-        let ct = scc.component_of[target.index()];
-        if cs != ct {
-            // ignore duplicates
-            let _ = condensed.add_edge_unique(comp_nodes[cs], comp_nodes[ct], ());
-        }
+    for (cs, ct) in cross_component_edges(&csr, &scc) {
+        condensed
+            .add_edge(comp_nodes[cs], comp_nodes[ct], ())
+            .expect("component endpoints are valid");
     }
     (condensed, scc)
+}
+
+/// Builds the condensation directly as a [`Csr`] over component indices,
+/// skipping the intermediate [`DiGraph`]. This is the form the reachability
+/// matrix consumes: component `i` of `scc` becomes node `i`, and cross-
+/// component edges are deduplicated.
+#[must_use]
+pub fn condense_to_csr(csr: &Csr, scc: &SccDecomposition) -> Csr {
+    let edges = cross_component_edges(csr, scc);
+    Csr::from_edge_list(scc.len(), &edges)
+}
+
+/// Sorted, deduplicated `(source component, target component)` pairs for all
+/// cross-component edges of the snapshot.
+fn cross_component_edges(csr: &Csr, scc: &SccDecomposition) -> Vec<(usize, usize)> {
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for source in csr.node_ids() {
+        let cs = scc.component_of[source.index()];
+        for &target in csr.successors(source) {
+            let ct = scc.component_of[target.index()];
+            if cs != ct {
+                edges.push((cs, ct));
+            }
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    edges
 }
 
 #[cfg(test)]
@@ -209,6 +237,34 @@ mod tests {
         assert_eq!(condensed.node_count(), 3);
         assert_eq!(condensed.edge_count(), 2);
         assert!(is_acyclic(&condensed));
+    }
+
+    #[test]
+    fn csr_condensation_matches_the_digraph_one() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let n: Vec<NodeId> = (0..6).map(|_| g.add_node(())).collect();
+        for (s, t) in [(0, 1), (1, 0), (1, 2), (2, 3), (3, 2), (3, 4), (0, 5)] {
+            g.add_edge(n[s], n[t], ()).unwrap();
+        }
+        let csr = Csr::from_graph(&g);
+        let scc = strongly_connected_components_csr(&csr);
+        let condensed_csr = condense_to_csr(&csr, &scc);
+        let (condensed, scc2) = condensation(&g);
+        assert_eq!(scc.len(), scc2.len());
+        assert_eq!(condensed_csr.node_count(), condensed.node_count());
+        assert_eq!(condensed_csr.edge_count(), condensed.edge_count());
+        for comp in 0..scc.len() {
+            let node = NodeId::from_index(comp);
+            let mut got: Vec<usize> = condensed_csr
+                .successors(node)
+                .iter()
+                .map(|c| c.index())
+                .collect();
+            got.sort_unstable();
+            let mut want: Vec<usize> = condensed.successors(node).map(|c| c.index()).collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "successor sets of component {comp}");
+        }
     }
 
     #[test]

@@ -1,7 +1,6 @@
 //! Topological ordering and cycle detection.
 
-use std::collections::VecDeque;
-
+use crate::csr::Csr;
 use crate::digraph::DiGraph;
 use crate::error::GraphError;
 use crate::id::NodeId;
@@ -11,31 +10,45 @@ use crate::id::NodeId;
 /// Node ids appear before all of their descendants. Ties are broken by node
 /// id so the order is deterministic for a given graph.
 ///
+/// Convenience wrapper that snapshots the graph into a [`Csr`] first;
+/// algorithms that already hold a snapshot should call
+/// [`topological_sort_csr`] directly.
+///
 /// # Errors
 /// Returns [`GraphError::CycleDetected`] if the graph contains a directed
 /// cycle; the payload names one node on a cycle.
 pub fn topological_sort<N, E>(graph: &DiGraph<N, E>) -> Result<Vec<NodeId>, GraphError> {
-    let bound = graph.node_bound();
+    topological_sort_csr(&Csr::from_graph(graph))
+}
+
+/// Kahn's algorithm over a CSR snapshot: in-degrees are slice lengths and
+/// successor iteration is contiguous, so the sort is a single pass with no
+/// per-node neighbour collection.
+///
+/// # Errors
+/// Returns [`GraphError::CycleDetected`] if the snapshot contains a directed
+/// cycle; the payload names one node on a cycle.
+pub fn topological_sort_csr(csr: &Csr) -> Result<Vec<NodeId>, GraphError> {
+    let bound = csr.node_bound();
     let mut in_degree: Vec<usize> = vec![0; bound];
-    let mut live = vec![false; bound];
-    for node in graph.node_ids() {
-        live[node.index()] = true;
-        in_degree[node.index()] = graph.in_degree(node);
+    for node in csr.node_ids() {
+        in_degree[node.index()] = csr.in_degree(node);
     }
     // A BinaryHeap would give the smallest-id-first guarantee directly, but a
     // sorted initial frontier plus FIFO processing keeps this linear and is
-    // deterministic, which is all the callers need.
-    let mut frontier: Vec<NodeId> = graph
+    // deterministic, which is all the callers need. `order` doubles as the
+    // FIFO queue: nodes are appended once and scanned once.
+    let mut order: Vec<NodeId> = csr
         .node_ids()
         .filter(|n| in_degree[n.index()] == 0)
         .collect();
-    frontier.sort_unstable();
-    let mut queue: VecDeque<NodeId> = frontier.into();
-    let mut order = Vec::with_capacity(graph.node_count());
-    while let Some(node) = queue.pop_front() {
-        order.push(node);
-        let mut newly_free: Vec<NodeId> = Vec::new();
-        for succ in graph.successors(node) {
+    let mut head = 0;
+    let mut newly_free: Vec<NodeId> = Vec::new();
+    while head < order.len() {
+        let node = order[head];
+        head += 1;
+        newly_free.clear();
+        for &succ in csr.successors(node) {
             let d = &mut in_degree[succ.index()];
             *d -= 1;
             if *d == 0 {
@@ -43,15 +56,16 @@ pub fn topological_sort<N, E>(graph: &DiGraph<N, E>) -> Result<Vec<NodeId>, Grap
             }
         }
         newly_free.sort_unstable();
-        newly_free.dedup();
-        for n in newly_free {
-            queue.push_back(n);
-        }
+        order.extend_from_slice(&newly_free);
     }
-    if order.len() != graph.node_count() {
-        let culprit = graph
+    if order.len() != csr.node_count() {
+        let mut ordered = vec![false; bound];
+        for &n in &order {
+            ordered[n.index()] = true;
+        }
+        let culprit = csr
             .node_ids()
-            .find(|n| live[n.index()] && !order.contains(n))
+            .find(|n| !ordered[n.index()])
             .expect("cycle implies at least one unordered node");
         return Err(GraphError::CycleDetected(culprit));
     }

@@ -1,4 +1,10 @@
 //! Breadth-first and depth-first traversal helpers.
+//!
+//! The BFS core (`bfs_over`) is generic over the neighbour source: the
+//! [`DiGraph`] entry points here and [`crate::csr::Csr::bfs`] share the one
+//! implementation, each paying only its own neighbour-access cost (a
+//! one-shot walk over a `DiGraph` stays O(reached region); a walk over an
+//! already-taken CSR snapshot streams contiguous slices).
 
 use std::collections::VecDeque;
 
@@ -15,31 +21,49 @@ pub enum Direction {
     Backward,
 }
 
+/// The shared breadth-first core: visits each reachable node exactly once
+/// (start nodes included, unknown starts skipped) in level order. The
+/// returned vector doubles as the frontier queue during the walk, so the
+/// only allocations are the visited set and the result itself.
+pub(crate) fn bfs_over(
+    node_bound: usize,
+    starts: &[NodeId],
+    is_live: impl Fn(NodeId) -> bool,
+    mut visit_neighbours: impl FnMut(NodeId, &mut dyn FnMut(NodeId)),
+) -> Vec<NodeId> {
+    let mut visited = FixedBitSet::with_capacity(node_bound);
+    let mut order = Vec::new();
+    for &start in starts {
+        if is_live(start) && visited.insert(start.index()) {
+            order.push(start);
+        }
+    }
+    let mut head = 0;
+    while head < order.len() {
+        let node = order[head];
+        head += 1;
+        visit_neighbours(node, &mut |next| {
+            if visited.insert(next.index()) {
+                order.push(next);
+            }
+        });
+    }
+    order
+}
+
 /// Breadth-first traversal from a set of start nodes.
 ///
 /// Visits each reachable node exactly once, including the start nodes.
 pub fn bfs<N, E>(graph: &DiGraph<N, E>, starts: &[NodeId], direction: Direction) -> Vec<NodeId> {
-    let mut visited = FixedBitSet::with_capacity(graph.node_bound());
-    let mut queue: VecDeque<NodeId> = VecDeque::new();
-    let mut order = Vec::new();
-    for &start in starts {
-        if graph.contains_node(start) && visited.insert(start.index()) {
-            queue.push_back(start);
-        }
-    }
-    while let Some(node) = queue.pop_front() {
-        order.push(node);
-        let neighbours: Vec<NodeId> = match direction {
-            Direction::Forward => graph.successors(node).collect(),
-            Direction::Backward => graph.predecessors(node).collect(),
-        };
-        for next in neighbours {
-            if visited.insert(next.index()) {
-                queue.push_back(next);
-            }
-        }
-    }
-    order
+    bfs_over(
+        graph.node_bound(),
+        starts,
+        |node| graph.contains_node(node),
+        |node, visit| match direction {
+            Direction::Forward => graph.successors(node).for_each(visit),
+            Direction::Backward => graph.predecessors(node).for_each(visit),
+        },
+    )
 }
 
 /// Depth-first preorder traversal from a set of start nodes.
@@ -52,17 +76,20 @@ pub fn dfs<N, E>(graph: &DiGraph<N, E>, starts: &[NodeId], direction: Direction)
             stack.push(start);
         }
     }
+    let mut neighbours: Vec<NodeId> = Vec::new();
     while let Some(node) = stack.pop() {
         if !visited.insert(node.index()) {
             continue;
         }
         order.push(node);
-        let mut neighbours: Vec<NodeId> = match direction {
-            Direction::Forward => graph.successors(node).collect(),
-            Direction::Backward => graph.predecessors(node).collect(),
-        };
-        neighbours.reverse();
-        for next in neighbours {
+        // preorder needs the first neighbour popped first, so buffer and
+        // reverse — into a scratch vector reused across iterations
+        neighbours.clear();
+        match direction {
+            Direction::Forward => neighbours.extend(graph.successors(node)),
+            Direction::Backward => neighbours.extend(graph.predecessors(node)),
+        }
+        for &next in neighbours.iter().rev() {
             if !visited.contains(next.index()) {
                 stack.push(next);
             }
@@ -102,7 +129,7 @@ pub fn shortest_path<N, E>(graph: &DiGraph<N, E>, from: NodeId, to: NodeId) -> O
     visited.insert(from.index());
     queue.push_back(from);
     while let Some(node) = queue.pop_front() {
-        for next in graph.successors(node).collect::<Vec<_>>() {
+        for next in graph.successors(node) {
             if visited.insert(next.index()) {
                 parent[next.index()] = Some(node);
                 if next == to {

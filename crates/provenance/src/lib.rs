@@ -31,4 +31,7 @@ pub mod query;
 
 pub use accuracy::{compare_to_ground_truth, ProvenanceAccuracy};
 pub use execution::{simulate_execution, Execution, ProvNode};
-pub use query::{view_level_provenance, workflow_level_provenance, ProvenanceAnswer};
+pub use query::{
+    view_level_provenance, workflow_level_impact, workflow_level_provenance, ProvenanceAnswer,
+    ViewProvenanceIndex,
+};

@@ -8,6 +8,7 @@
 
 use std::collections::BTreeSet;
 
+use wolves_graph::ReachMatrix;
 use wolves_workflow::{CompositeTaskId, TaskId, WorkflowSpec, WorkflowView};
 
 /// Result of a provenance query.
@@ -47,6 +48,103 @@ pub fn workflow_level_provenance(spec: &WorkflowSpec, subject: TaskId) -> Proven
         tasks: visited,
         composites: BTreeSet::new(),
         edges_traversed: edges,
+    }
+}
+
+/// Forward provenance (*impact*): the exact set of tasks whose inputs
+/// transitively depend on `subject`'s output. Answered straight off the
+/// specification's cached reachability matrix — one row borrow plus an O(V)
+/// membership filter, no graph traversal at all (`edges_traversed` is 0).
+#[must_use]
+pub fn workflow_level_impact(spec: &WorkflowSpec, subject: TaskId) -> ProvenanceAnswer {
+    let reach = spec.reachability();
+    let tasks: BTreeSet<TaskId> = match reach.reachable_row(subject) {
+        Some(row) => spec
+            .task_ids()
+            .filter(|&t| t != subject && row.contains(t))
+            .collect(),
+        None => BTreeSet::new(),
+    };
+    ProvenanceAnswer {
+        subject,
+        tasks,
+        composites: BTreeSet::new(),
+        edges_traversed: 0,
+    }
+}
+
+/// A reusable, matrix-backed index answering view-level provenance queries.
+///
+/// [`view_level_provenance`] rebuilds the induced view graph and walks it on
+/// every call; a server answering many queries against the same `(spec,
+/// view)` pair should build this index once and reuse it — each query is
+/// then O(composites) reachability lookups against the view-level
+/// [`ReachMatrix`] plus the member collection, with no per-request graph
+/// construction.
+#[derive(Debug, Clone)]
+pub struct ViewProvenanceIndex {
+    induced: wolves_workflow::view::InducedViewGraph,
+    view_reach: ReachMatrix,
+}
+
+impl ViewProvenanceIndex {
+    /// Builds the index: the induced view graph plus its reachability
+    /// matrix.
+    #[must_use]
+    pub fn new(spec: &WorkflowSpec, view: &WorkflowView) -> Self {
+        let induced = view.induced_graph(spec);
+        let view_reach =
+            ReachMatrix::build(&induced.graph).expect("induced view graph reachability");
+        ViewProvenanceIndex {
+            induced,
+            view_reach,
+        }
+    }
+
+    /// Answers the same question as [`view_level_provenance`], from the
+    /// index: every composite with a view-level path **to** the subject's
+    /// composite (the subject's own composite included exactly when it lies
+    /// on a view-level cycle), expanded to member tasks. `edges_traversed`
+    /// is 0 — no edges are walked.
+    #[must_use]
+    pub fn provenance(&self, view: &WorkflowView, subject: TaskId) -> ProvenanceAnswer {
+        let Some(start_composite) = view.composite_of(subject) else {
+            return ProvenanceAnswer {
+                subject,
+                tasks: BTreeSet::new(),
+                composites: BTreeSet::new(),
+                edges_traversed: 0,
+            };
+        };
+        let mut composites: BTreeSet<CompositeTaskId> = BTreeSet::new();
+        if let Some(start_node) = self.induced.node_of(start_composite) {
+            for (id, _) in view.composites() {
+                let Some(node) = self.induced.node_of(id) else {
+                    continue;
+                };
+                // strictly_reachable makes the self query come out true only
+                // when the composite sits on a view-level cycle, matching
+                // the backward traversal of `view_level_provenance`
+                if self.view_reach.strictly_reachable(node, start_node) {
+                    composites.insert(id);
+                }
+            }
+        }
+        let mut tasks: BTreeSet<TaskId> = BTreeSet::new();
+        if let Ok(own) = view.composite(start_composite) {
+            tasks.extend(own.members().iter().copied().filter(|&t| t != subject));
+        }
+        for &composite in &composites {
+            if let Ok(c) = view.composite(composite) {
+                tasks.extend(c.members().iter().copied());
+            }
+        }
+        ProvenanceAnswer {
+            subject,
+            tasks,
+            composites,
+            edges_traversed: 0,
+        }
     }
 }
 
@@ -174,5 +272,74 @@ mod tests {
         let answer = view_level_provenance(&fixture.spec, &fixture.view, ghost);
         assert!(answer.tasks.is_empty());
         assert_eq!(answer.edges_traversed, 0);
+        let index = ViewProvenanceIndex::new(&fixture.spec, &fixture.view);
+        assert!(index.provenance(&fixture.view, ghost).tasks.is_empty());
+        assert!(workflow_level_impact(&fixture.spec, ghost).tasks.is_empty());
+    }
+
+    #[test]
+    fn impact_is_the_descendant_set() {
+        let fixture = figure1();
+        // impact of Create alignment (7): 8, 11, 12
+        let answer = workflow_level_impact(&fixture.spec, fixture.task(7));
+        let expected: BTreeSet<TaskId> = [fixture.task(8), fixture.task(11), fixture.task(12)]
+            .into_iter()
+            .collect();
+        assert_eq!(answer.tasks, expected);
+        assert_eq!(answer.edges_traversed, 0);
+        // impact and provenance are converses
+        for &t in &answer.tasks {
+            let upstream = workflow_level_provenance(&fixture.spec, t);
+            assert!(upstream.tasks.contains(&fixture.task(7)));
+        }
+    }
+
+    #[test]
+    fn index_answers_match_the_traversal_for_every_subject() {
+        let fixture = figure1();
+        let index = ViewProvenanceIndex::new(&fixture.spec, &fixture.view);
+        for subject in fixture.spec.task_ids() {
+            let walked = view_level_provenance(&fixture.spec, &fixture.view, subject);
+            let indexed = index.provenance(&fixture.view, subject);
+            assert_eq!(indexed.tasks, walked.tasks, "tasks for {subject:?}");
+            assert_eq!(
+                indexed.composites, walked.composites,
+                "composites for {subject:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn index_matches_traversal_through_a_view_level_cycle() {
+        // two composites with edges both ways: a <-> b at the view level
+        // (the spec is a DAG; the cycle exists only after grouping)
+        use wolves_workflow::{AtomicTask, DataDependency, WorkflowView};
+        let mut spec = wolves_workflow::WorkflowSpec::new("viewcycle");
+        let t: Vec<TaskId> = (0..4)
+            .map(|i| spec.add_task(AtomicTask::new(format!("t{i}"))).unwrap())
+            .collect();
+        // t0 -> t1 (a -> b), t2 -> t3 (b -> a)
+        spec.add_dependency(t[0], t[1], DataDependency::unnamed())
+            .unwrap();
+        spec.add_dependency(t[2], t[3], DataDependency::unnamed())
+            .unwrap();
+        let view = WorkflowView::from_groups(
+            &spec,
+            "cyclic-view",
+            vec![
+                ("a".into(), vec![t[0], t[3]]),
+                ("b".into(), vec![t[1], t[2]]),
+            ],
+        )
+        .unwrap();
+        let index = ViewProvenanceIndex::new(&spec, &view);
+        for &subject in &t {
+            let walked = view_level_provenance(&spec, &view, subject);
+            let indexed = index.provenance(&view, subject);
+            assert_eq!(indexed.tasks, walked.tasks);
+            assert_eq!(indexed.composites, walked.composites);
+            // both composites sit on the view-level cycle, so both appear
+            assert_eq!(indexed.composites.len(), 2);
+        }
     }
 }

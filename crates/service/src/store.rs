@@ -29,7 +29,7 @@ use wolves_core::correct::{correct_view, Strategy};
 use wolves_core::estimate::{CorrectionSample, EstimationRegistry, WorkloadClass};
 use wolves_core::validate::validate;
 use wolves_moml::{read_text_format, write_text_format};
-use wolves_provenance::view_level_provenance;
+use wolves_provenance::ViewProvenanceIndex;
 use wolves_workflow::{WorkflowSpec, WorkflowView};
 
 use crate::error::ServiceError;
@@ -45,11 +45,16 @@ impl fmt::Display for WorkflowId {
     }
 }
 
-/// One immutable view version plus its lazily computed verdict.
+/// One immutable view version plus its lazily computed verdict and
+/// provenance index.
 #[derive(Debug)]
 struct StoredView {
     view: Arc<WorkflowView>,
     verdict: OnceLock<VerdictSummary>,
+    /// Matrix-backed provenance index, built on the first provenance query
+    /// for this version and reused by every later one (version immutability
+    /// makes the cache sound, exactly like the verdict).
+    provenance: OnceLock<ViewProvenanceIndex>,
 }
 
 #[derive(Debug, Clone)]
@@ -63,6 +68,7 @@ impl StoredView {
         Arc::new(StoredView {
             view: Arc::new(view),
             verdict: OnceLock::new(),
+            provenance: OnceLock::new(),
         })
     }
 }
@@ -299,6 +305,11 @@ impl WorkflowStore {
     /// workflow's current view, returning the provenance task names in
     /// deterministic (task-id) order.
     ///
+    /// Served off the per-version [`ViewProvenanceIndex`]: the induced view
+    /// graph and its reachability matrix are built once per view version
+    /// (outside the shard lock) and every query afterwards is row lookups —
+    /// no per-request graph construction or traversal.
+    ///
     /// # Errors
     /// Reports unknown workflows and task names.
     pub fn provenance(&self, id: WorkflowId, subject: &str) -> Result<Vec<String>, ServiceError> {
@@ -306,7 +317,10 @@ impl WorkflowStore {
         let task = spec
             .task_by_name(subject)
             .ok_or_else(|| ServiceError::UnknownTask(subject.to_owned()))?;
-        let answer = view_level_provenance(&spec, &stored.view, task);
+        let index = stored
+            .provenance
+            .get_or_init(|| ViewProvenanceIndex::new(&spec, &stored.view));
+        let answer = index.provenance(&stored.view, task);
         Ok(answer
             .tasks
             .iter()
@@ -398,6 +412,28 @@ mod tests {
             store.provenance(id, "No such task"),
             Err(ServiceError::UnknownTask(_))
         ));
+    }
+
+    #[test]
+    fn repeated_provenance_queries_reuse_the_cached_index() {
+        let store = WorkflowStore::new(2);
+        let fixture = figure1();
+        let id = store.register(fixture.spec.clone(), Some(fixture.view.clone()));
+        let first = store.provenance(id, "Format alignment").unwrap();
+        // second query (different subject) rides the already-built index
+        let other = store.provenance(id, "Display tree").unwrap();
+        assert!(other.len() > first.len());
+        // answers are stable across repeated queries
+        assert_eq!(store.provenance(id, "Format alignment").unwrap(), first);
+        // the cached answers agree with a fresh traversal
+        let task = fixture.spec.task_by_name("Format alignment").unwrap();
+        let walked = wolves_provenance::view_level_provenance(&fixture.spec, &fixture.view, task);
+        let walked_names: Vec<String> = walked
+            .tasks
+            .iter()
+            .filter_map(|&t| fixture.spec.task(t).ok().map(|task| task.name.clone()))
+            .collect();
+        assert_eq!(first, walked_names);
     }
 
     #[test]
