@@ -1,5 +1,7 @@
 //! Micro-benchmark for the reachability engine: matrix build, all-pairs
-//! row queries and the two validator checks over a grid of task counts.
+//! row queries, the two validator checks and the **mutation workload**
+//! (incremental single-edge edits vs from-scratch rebuilds) over a grid of
+//! task counts.
 //!
 //! Usage:
 //!
@@ -7,20 +9,32 @@
 //! graph_bench                     # full grid, JSON on stdout
 //! graph_bench --quick             # smaller grid / fewer iterations (CI)
 //! graph_bench --out BENCH_graph.json
+//! graph_bench --mutation-out BENCH_mutation.json
 //! ```
 //!
 //! The output is machine-readable JSON (handwritten — no serde in the
 //! workspace), one row per (workload, task count) point, so the perf
 //! trajectory of the graph substrate can be recorded across PRs alongside
-//! `BENCH_service.json`.
+//! `BENCH_service.json`. The mutation workload applies N random edge
+//! inserts to a live spec: the `*_incremental` rows maintain the matrix /
+//! definition index in place (`ReachMatrix::insert_edge`,
+//! `DefinitionIndex::refresh` over the dirty rows), the `*_rebuild` rows
+//! pay the full pipeline per edit — the speedup between the two is the
+//! headline number of the mutation-epoch engine and is emitted into the
+//! mutation JSON alongside the raw rows.
 
+use std::collections::HashSet;
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use wolves_core::validate::{validate, validate_by_definition};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use wolves_core::validate::{validate, validate_by_definition, DefinitionIndex};
 use wolves_graph::reach::ReachMatrix;
 use wolves_repo::generate::{layered_workflow, LayeredConfig};
 use wolves_repo::views::topological_block_view;
+use wolves_workflow::{DataDependency, SpecMutation, TaskId, WorkflowSpec};
 
 struct Row {
     workload: &'static str,
@@ -34,13 +48,17 @@ struct Row {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        println!("usage: graph_bench [--quick] [--out <file>]");
+        println!("usage: graph_bench [--quick] [--out <file>] [--mutation-out <file>]");
         return;
     }
     let quick = args.iter().any(|a| a == "--quick");
     let out_path: Option<String> = args
         .iter()
         .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned());
+    let mutation_out_path: Option<String> = args
+        .iter()
+        .position(|a| a == "--mutation-out")
         .and_then(|i| args.get(i + 1).cloned());
 
     let targets: Vec<usize> = if quick {
@@ -98,6 +116,18 @@ fn main() {
         ));
     }
 
+    // the mutation workload pays a full matrix rebuild per edit for its
+    // *_rebuild rows; only run it when its JSON is actually requested
+    if let Some(path) = mutation_out_path {
+        let mutation_rows = mutation_workload(&targets, quick);
+        let mutation_json = render_mutation_json(&mutation_rows, quick);
+        if let Err(e) = std::fs::write(&path, &mutation_json) {
+            eprintln!("cannot write '{path}': {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+
     let json = render_json(&rows, quick);
     if let Some(path) = out_path {
         if let Err(e) = std::fs::write(&path, &json) {
@@ -107,6 +137,193 @@ fn main() {
         eprintln!("wrote {path}");
     }
     println!("{json}");
+}
+
+/// Deterministic low→high candidate edges absent from `spec` — enough for
+/// `needed` edits plus the measurement warm-ups, shared by every mutation
+/// workload so incremental and rebuild time identical edit sequences.
+fn candidate_edges(spec: &WorkflowSpec, needed: usize) -> Vec<(TaskId, TaskId)> {
+    let nodes: Vec<TaskId> = spec.task_ids().collect();
+    let mut existing: HashSet<(usize, usize)> = spec
+        .dependencies()
+        .map(|(a, b)| (a.index(), b.index()))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(0xD1B5_4A32 ^ nodes.len() as u64);
+    let mut candidates = Vec::with_capacity(needed);
+    while candidates.len() < needed {
+        let a = rng.gen_range(0..nodes.len());
+        let b = rng.gen_range(0..nodes.len());
+        if a == b {
+            continue;
+        }
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        if existing.insert((lo, hi)) {
+            candidates.push((nodes[lo], nodes[hi]));
+        }
+    }
+    candidates
+}
+
+/// The mutation workload: N single-edge inserts per task count, incremental
+/// maintenance vs full rebuild, for both the reachability matrix and the
+/// definition-level validator.
+fn mutation_workload(targets: &[usize], quick: bool) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &target in targets {
+        let spec = layered_workflow(&LayeredConfig::sized(target), 23);
+        let view = topological_block_view(&spec, 4, "blocks").expect("layered spec is a DAG");
+        let tasks = spec.task_count();
+        let edges = spec.dependency_count();
+        let iters = iterations_for(target, quick);
+        let candidates = candidate_edges(&spec, iters + 2);
+
+        // incremental: one live matrix absorbs a fresh edge per iteration
+        let mut matrix = ReachMatrix::build(spec.graph()).unwrap();
+        let mut cursor = 0usize;
+        rows.push(measure(
+            "mutation/edge_insert_incremental",
+            tasks,
+            edges,
+            iters,
+            || {
+                let (from, to) = candidates[cursor];
+                cursor += 1;
+                matrix.insert_edge(from, to).unwrap();
+                matrix.comp_count()
+            },
+        ));
+
+        // rebuild: the same edge sequence, full matrix build per edit
+        let mut graph = spec.graph().clone();
+        let mut cursor = 0usize;
+        rows.push(measure(
+            "mutation/edge_insert_rebuild",
+            tasks,
+            edges,
+            iters,
+            || {
+                let (from, to) = candidates[cursor];
+                cursor += 1;
+                graph
+                    .add_edge_unique(from, to, DataDependency::unnamed())
+                    .unwrap();
+                ReachMatrix::build(&graph).unwrap().node_bound()
+            },
+        ));
+
+        // definition-level validation after each edit: dirty-row refresh of
+        // a DefinitionIndex vs a from-scratch validate_by_definition
+        let definition_iters = iters.min(40);
+        let mut inc_spec = spec.clone();
+        let _ = inc_spec.reachability();
+        let _ = inc_spec.take_dirty();
+        let mut index = DefinitionIndex::new(&inc_spec, &view);
+        let mut cursor = 0usize;
+        rows.push(measure(
+            "mutation/definition_refresh",
+            tasks,
+            edges,
+            definition_iters,
+            || {
+                let (from, to) = candidates[cursor];
+                cursor += 1;
+                inc_spec
+                    .apply(SpecMutation::AddDependency { from, to })
+                    .unwrap();
+                let dirty = inc_spec.take_dirty();
+                usize::from(index.refresh(&inc_spec, &view, &dirty).is_sound())
+            },
+        ));
+
+        let mut rebuild_spec = spec.clone();
+        let _ = rebuild_spec.reachability();
+        let mut cursor = 0usize;
+        rows.push(measure(
+            "mutation/definition_rebuild",
+            tasks,
+            edges,
+            definition_iters,
+            || {
+                let (from, to) = candidates[cursor];
+                cursor += 1;
+                rebuild_spec
+                    .apply(SpecMutation::AddDependency { from, to })
+                    .unwrap();
+                usize::from(validate_by_definition(&rebuild_spec, &view).is_sound())
+            },
+        ));
+    }
+    rows
+}
+
+/// Renders the mutation rows plus derived incremental-vs-rebuild speedups.
+fn render_mutation_json(rows: &[Row], quick: bool) -> String {
+    let median_of = |workload: &str, tasks: usize| -> Option<f64> {
+        rows.iter()
+            .find(|r| r.workload == workload && r.tasks == tasks)
+            .map(|r| r.median_us)
+    };
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"benchmark\": \"wolves mutation epochs\",");
+    let _ = writeln!(
+        out,
+        "  \"workload\": \"single-edge inserts: incremental maintenance vs full rebuild\","
+    );
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    out.push_str("  \"rows\": [\n");
+    for (index, row) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"workload\": \"{}\", \"tasks\": {}, \"edges\": {}, \"iterations\": {}, \
+             \"median_us\": {:.2}, \"min_us\": {:.2}}}",
+            row.workload, row.tasks, row.edges, row.iterations, row.median_us, row.min_us
+        );
+        out.push_str(if index + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"speedups\": [\n");
+    let task_counts: Vec<usize> = {
+        let mut seen = Vec::new();
+        for row in rows {
+            if !seen.contains(&row.tasks) {
+                seen.push(row.tasks);
+            }
+        }
+        seen
+    };
+    let mut entries = Vec::new();
+    for &tasks in &task_counts {
+        for pair in ["edge_insert", "definition"] {
+            let incremental = median_of(
+                &format!("mutation/{pair}_{}", incremental_suffix(pair)),
+                tasks,
+            );
+            let rebuild = median_of(&format!("mutation/{pair}_rebuild"), tasks);
+            if let (Some(incremental), Some(rebuild)) = (incremental, rebuild) {
+                entries.push(format!(
+                    "    {{\"workload\": \"{pair}\", \"tasks\": {tasks}, \
+                     \"incremental_median_us\": {incremental:.2}, \
+                     \"rebuild_median_us\": {rebuild:.2}, \"speedup\": {:.1}}}",
+                    rebuild / incremental.max(f64::MIN_POSITIVE)
+                ));
+            }
+        }
+    }
+    out.push_str(&entries.join(",\n"));
+    out.push('\n');
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// The incremental row's suffix for a speedup pair (`edge_insert` rows are
+/// named `_incremental`, `definition` rows `_refresh`).
+fn incremental_suffix(pair: &str) -> &'static str {
+    if pair == "edge_insert" {
+        "incremental"
+    } else {
+        "refresh"
+    }
 }
 
 fn iterations_for(target: usize, quick: bool) -> usize {

@@ -14,9 +14,13 @@
 //!
 //! Beyond Figure 2, the serving layer (`wolves-service`) is exposed through
 //! `wolves serve` (see the binary) and the [`remote_register`],
-//! [`remote_validate`], [`remote_correct`], [`remote_provenance`],
-//! [`remote_stats`] and [`remote_shutdown`] client commands, plus
-//! [`fixture_command`] to materialise the paper fixtures as input files.
+//! [`remote_validate`], [`remote_correct`], [`remote_mutate`],
+//! [`remote_provenance`], [`remote_stats`] and [`remote_shutdown`] client
+//! commands, plus [`fixture_command`] to materialise the paper fixtures as
+//! input files. `wolves mutate` drives the interactive correction loop:
+//! registered workflows are edited in place (add/remove task or edge, split
+//! or merge composites) and the server invalidates only the cached verdicts
+//! the edit could have changed.
 //!
 //! The binary (`wolves`) parses arguments and dispatches to these functions;
 //! they all return plain strings so they are directly testable.
@@ -31,7 +35,7 @@ use wolves_core::estimate::{EstimationRegistry, WorkloadClass};
 use wolves_core::validate::{validate, validate_by_definition, validate_naive};
 use wolves_graph::dot::{to_dot, DotOptions};
 use wolves_moml::{from_moml, read_text_format, to_moml, write_text_format, ImportedWorkflow};
-use wolves_service::{ServiceClient, ServiceError, WorkflowId};
+use wolves_service::{MutateOp, ServiceClient, ServiceError, WorkflowId};
 use wolves_workflow::render::{describe_spec, describe_view};
 use wolves_workflow::{WorkflowSpec, WorkflowView};
 
@@ -431,6 +435,104 @@ pub fn remote_provenance(
     Ok(out)
 }
 
+/// Parses the argument form of a mutation op, as accepted by
+/// `wolves mutate <addr> <id> <op> …`:
+///
+/// ```text
+/// add-task <name>            remove-task <name>
+/// add-edge <from> <to>       remove-edge <from> <to>
+/// split <composite> <a,b;c>  merge <new-name> <c1;c2>
+/// ```
+///
+/// `split` parts are `;`-separated lists of `,`-separated member task
+/// names; `merge` takes a `;`-separated composite list.
+///
+/// # Errors
+/// Reports unknown ops and wrong arities.
+pub fn parse_mutate_op(op: &str, args: &[String]) -> Result<MutateOp, CliError> {
+    let arity = |want: usize| -> Result<(), CliError> {
+        if args.len() == want {
+            Ok(())
+        } else {
+            Err(CliError::Operation(format!(
+                "mutate {op} takes {want} argument(s), got {}",
+                args.len()
+            )))
+        }
+    };
+    match op {
+        "add-task" => {
+            arity(1)?;
+            Ok(MutateOp::AddTask {
+                name: args[0].clone(),
+            })
+        }
+        "remove-task" => {
+            arity(1)?;
+            Ok(MutateOp::RemoveTask {
+                name: args[0].clone(),
+            })
+        }
+        "add-edge" => {
+            arity(2)?;
+            Ok(MutateOp::AddEdge {
+                from: args[0].clone(),
+                to: args[1].clone(),
+            })
+        }
+        "remove-edge" => {
+            arity(2)?;
+            Ok(MutateOp::RemoveEdge {
+                from: args[0].clone(),
+                to: args[1].clone(),
+            })
+        }
+        "split" => {
+            arity(2)?;
+            Ok(MutateOp::Split {
+                composite: args[0].clone(),
+                parts: args[1]
+                    .split(';')
+                    .map(|part| part.split(',').map(str::to_owned).collect())
+                    .collect(),
+            })
+        }
+        "merge" => {
+            arity(2)?;
+            Ok(MutateOp::Merge {
+                name: args[0].clone(),
+                composites: args[1].split(';').map(str::to_owned).collect(),
+            })
+        }
+        other => Err(CliError::Operation(format!(
+            "unknown mutate op '{other}' (expected add-task, remove-task, \
+             add-edge, remove-edge, split or merge)"
+        ))),
+    }
+}
+
+/// `wolves mutate <addr> <id> <op> …`: edits a registered workflow in place
+/// and reports the epoch, the delta class and how many cached composite
+/// verdicts survived — the interactive correction loop without re-uploading
+/// the workflow.
+///
+/// # Errors
+/// Reports malformed ops and transport/server failures.
+pub fn remote_mutate(
+    addr: &str,
+    workflow: WorkflowId,
+    op: &str,
+    args: &[String],
+) -> Result<String, CliError> {
+    let op = parse_mutate_op(op, args)?;
+    let outcome = connect(addr)?.mutate(workflow, op)?;
+    Ok(format!(
+        "workflow {workflow} epoch {}: {} delta; {} cached verdicts invalidated, \
+         {} retained (view version {})\n",
+        outcome.epoch, outcome.class, outcome.invalidated, outcome.retained, outcome.version
+    ))
+}
+
 /// `wolves request <addr> stats`: prints the per-shard serving counters.
 ///
 /// # Errors
@@ -441,12 +543,15 @@ pub fn remote_stats(addr: &str) -> Result<String, CliError> {
     for shard in &stats.shards {
         let _ = writeln!(
             out,
-            "shard {}: {} workflows, {} requests, validate cache {} hits / {} misses, {:.1?} validating",
+            "shard {}: {} workflows, {} requests, validate cache {} hits / {} misses \
+             (composites {} / {}), {:.1?} validating",
             shard.shard,
             shard.workflows,
             shard.requests,
             shard.validate_hits,
             shard.validate_misses,
+            shard.composite_hits,
+            shard.composite_misses,
             std::time::Duration::from_nanos(shard.validate_ns)
         );
     }
@@ -581,6 +686,20 @@ mod tests {
 
         let provenance = remote_provenance(&addr, id, "Format alignment").unwrap();
         assert!(provenance.contains("Create alignment"));
+
+        let mutated = remote_mutate(
+            &addr,
+            id,
+            "add-edge",
+            &[
+                "Check additional annotations".to_owned(),
+                "Build phylo tree".to_owned(),
+            ],
+        )
+        .unwrap();
+        assert!(mutated.contains("monotone-safe delta"));
+        assert!(mutated.contains("retained"));
+        assert!(remote_mutate(&addr, id, "frobnicate", &[]).is_err());
 
         let stats = remote_stats(&addr).unwrap();
         assert!(stats.contains("estimation registry holds 1 correction samples"));

@@ -11,6 +11,7 @@
 //! wolves demo                                 run the Figure 1 walk-through
 //! wolves serve [--addr A] [--shards N] [--threads N]
 //! wolves request <addr> <verb> …              talk to a running server
+//! wolves mutate <addr> <id> <op> …            edit a registered workflow in place
 //! ```
 //!
 //! Unknown subcommands, unknown options and malformed arguments exit with a
@@ -22,8 +23,8 @@ use std::process::ExitCode;
 
 use wolves_cli::{
     correct_command, export_command, fixture_command, import_command, load_workflow,
-    naive_check_command, remote_correct, remote_provenance, remote_register, remote_shutdown,
-    remote_stats, remote_validate, render_command, show_command, validate_command,
+    naive_check_command, remote_correct, remote_mutate, remote_provenance, remote_register,
+    remote_shutdown, remote_stats, remote_validate, render_command, show_command, validate_command,
 };
 use wolves_service::{serve, ServerConfig, WorkflowId};
 
@@ -125,6 +126,7 @@ fn run(args: &[String]) -> Result<String, String> {
         }
         "serve" => serve_blocking(rest),
         "request" => request(rest),
+        "mutate" => mutate(rest),
         "show" | "validate" | "correct" | "render" | "export" => {
             let allowed: &[&str] = match command {
                 "correct" => &["strategy", "out"],
@@ -287,6 +289,18 @@ fn request(args: &[String]) -> Result<String, String> {
     }
 }
 
+/// `wolves mutate <addr> <id> <op> …`: edit a registered workflow in place.
+fn mutate(args: &[String]) -> Result<String, String> {
+    let (positionals, _) = parse_args("mutate", args, &[])?;
+    let [addr, id, op, op_args @ ..] = positionals.as_slice() else {
+        return Err(format!(
+            "'mutate' needs an address, a workflow id and an op\n{USAGE}"
+        ));
+    };
+    let workflow = parse_number::<u64>(id, "workflow id").map(WorkflowId)?;
+    remote_mutate(addr, workflow, op, op_args).map_err(|e| e.to_string())
+}
+
 /// The Figure 1 walk-through: what the paper's demonstration shows, end to
 /// end, without needing an input file.
 fn demo() -> String {
@@ -330,6 +344,17 @@ serving (wolves-service):
   wolves request <addr> provenance <id> <task>
   wolves request <addr> stats
   wolves request <addr> shutdown
+
+interactive editing (mutation epochs):
+  wolves mutate <addr> <id> add-task <name>
+  wolves mutate <addr> <id> remove-task <name>
+  wolves mutate <addr> <id> add-edge <from> <to>
+  wolves mutate <addr> <id> remove-edge <from> <to>
+  wolves mutate <addr> <id> split <composite> <a,b;c>
+  wolves mutate <addr> <id> merge <new-name> <c1;c2>
+                                              edit a registered workflow in place;
+                                              only cached verdicts the edit could
+                                              have changed are recomputed
 ";
 
 #[cfg(test)]
@@ -483,6 +508,35 @@ mod tests {
         assert!(out.contains("SOUND"));
         let out = request(&args(&[&addr, "stats"])).unwrap();
         assert!(out.contains("correction samples"));
+        // the interactive editing loop over `wolves mutate`
+        let out = mutate(&args(&[
+            &addr,
+            "1",
+            "add-edge",
+            "Select entries from DB",
+            "Extract sequences",
+        ]))
+        .unwrap();
+        assert!(out.contains("monotone-safe delta"), "got: {out}");
+        let out = mutate(&args(&[
+            &addr,
+            "1",
+            "merge",
+            "Front end",
+            "Retrieve entries (13);Annotations (14)",
+        ]))
+        .unwrap();
+        assert!(out.contains("view-edit delta"));
+        let out = request(&args(&[&addr, "validate", "1"])).unwrap();
+        assert!(out.contains("SOUND"));
+        // malformed mutate invocations
+        assert!(mutate(&args(&[&addr])).unwrap_err().contains("usage"));
+        assert!(mutate(&args(&[&addr, "1", "frobnicate"]))
+            .unwrap_err()
+            .contains("unknown mutate op"));
+        assert!(mutate(&args(&[&addr, "1", "add-edge", "only-one"]))
+            .unwrap_err()
+            .contains("takes 2 argument(s)"));
         let out = request(&args(&[&addr, "shutdown"])).unwrap();
         assert!(out.contains("shutting down"));
         handle.join();

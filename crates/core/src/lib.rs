@@ -68,4 +68,7 @@ pub use correct::{
 };
 pub use error::CoreError;
 pub use soundness::{is_sound, soundness_verdict, UnsoundnessWitness};
-pub use validate::{validate, validate_by_definition, ValidationReport};
+pub use validate::{
+    validate, validate_by_definition, validate_by_definition_incremental, DefinitionIndex,
+    ValidationReport,
+};

@@ -20,7 +20,7 @@
 //! unsound while every view-level dependency happens to be realised through
 //! other paths); the property-based tests pin down exactly this relationship.
 
-use wolves_graph::ReachMatrix;
+use wolves_graph::{DirtyRows, ReachMatrix};
 use wolves_workflow::{CompositeTaskId, TaskId, WorkflowSpec, WorkflowView};
 
 use crate::soundness::{soundness_verdict, SoundnessVerdict};
@@ -134,30 +134,181 @@ impl DefinitionReport {
 /// so this is exactly the pairwise ∃-path check — in
 /// O(members · V/64 + composites² · V/64) word operations (mask building
 /// plus one stride-wide intersection per ordered composite pair).
+///
+/// For repeated checks against a mutating spec, build a [`DefinitionIndex`]
+/// once and [`DefinitionIndex::refresh`] it with the spec's dirty rows — the
+/// index re-derives masks, rows and pair verdicts only for composites an
+/// edit could have changed.
 #[must_use]
 pub fn validate_by_definition(spec: &WorkflowSpec, view: &WorkflowView) -> DefinitionReport {
-    let induced = view.induced_graph(spec);
-    let view_reach = ReachMatrix::build(&induced.graph).expect("induced view graph reachability");
-    let workflow_reach = spec.reachability();
+    DefinitionIndex::new(spec, view).report(spec, view)
+}
 
-    let composites: Vec<CompositeTaskId> = view.composite_ids().collect();
-    let stride = workflow_reach.row_stride();
-    // per-composite member masks and unioned reach rows, both flat row-major
-    // buffers over component indices (stride words per composite)
-    let mut masks = vec![0u64; composites.len() * stride];
-    let mut rows = vec![0u64; composites.len() * stride];
-    for (slot, &composite) in composites.iter().enumerate() {
-        let Ok(composite_task) = view.composite(composite) else {
-            continue;
+/// Incremental flavour of [`validate_by_definition`]: refreshes `index`
+/// against the spec's dirty rows and returns the merged report (unchanged
+/// composite pairs keep their previous workflow-connectivity verdict).
+#[must_use]
+pub fn validate_by_definition_incremental(
+    spec: &WorkflowSpec,
+    view: &WorkflowView,
+    dirty: &DirtyRows,
+    index: &mut DefinitionIndex,
+) -> DefinitionReport {
+    index.refresh(spec, view, dirty)
+}
+
+/// Reusable state of the definition-level check: per-composite member masks
+/// and unioned reach rows (flat row-major word buffers over component
+/// indices) plus the derived workflow-level connectivity matrix.
+///
+/// The masks/rows are the expensive part at scale (O(members · V/64) to
+/// build); the index keeps them across spec mutations and re-derives only
+/// the composites whose member components appear in the [`DirtyRows`] set a
+/// mutation reported. The cheap view-level side (the induced graph over a
+/// handful of composites) is recomputed on every report, so direct-edge
+/// changes are always reflected.
+#[derive(Debug, Clone)]
+pub struct DefinitionIndex {
+    /// The view's composites at build time, with a fingerprint of each
+    /// member set — membership-only view edits (e.g. `remove_member`) change
+    /// the fingerprint and force a rebuild even when the id set is stable.
+    composites: Vec<(CompositeTaskId, u64)>,
+    stride: usize,
+    masks: Vec<u64>,
+    rows: Vec<u64>,
+    /// `in_workflow[a * n + b]`: some member of composite slot `a` reaches a
+    /// member of slot `b` in the workflow.
+    in_workflow: Vec<bool>,
+}
+
+/// FNV-1a over the member task indices: cheap detection of membership-only
+/// view edits between refreshes.
+fn member_fingerprint(view: &WorkflowView, composite: CompositeTaskId) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    if let Ok(composite) = view.composite(composite) {
+        for &task in composite.members() {
+            hash ^= task.index() as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    hash
+}
+
+/// The view's live composites with their member fingerprints.
+fn fingerprinted_composites(view: &WorkflowView) -> Vec<(CompositeTaskId, u64)> {
+    view.composite_ids()
+        .map(|id| (id, member_fingerprint(view, id)))
+        .collect()
+}
+
+impl DefinitionIndex {
+    /// Builds the index from scratch for `(spec, view)`.
+    #[must_use]
+    pub fn new(spec: &WorkflowSpec, view: &WorkflowView) -> Self {
+        let workflow_reach = spec.reachability();
+        let composites = fingerprinted_composites(view);
+        let stride = workflow_reach.row_stride();
+        let mut index = DefinitionIndex {
+            composites,
+            stride,
+            masks: Vec::new(),
+            rows: Vec::new(),
+            in_workflow: Vec::new(),
         };
-        let mask = &mut masks[slot * stride..(slot + 1) * stride];
-        for &task in composite_task.members() {
+        index.masks = vec![0u64; index.composites.len() * stride];
+        index.rows = vec![0u64; index.composites.len() * stride];
+        for slot in 0..index.composites.len() {
+            index.derive_slot(spec, view, slot);
+        }
+        index.in_workflow = vec![false; index.composites.len() * index.composites.len()];
+        for a in 0..index.composites.len() {
+            index.derive_pairs_of(a);
+        }
+        index
+    }
+
+    /// Refreshes the index after spec mutations whose accumulated dirty rows
+    /// are `dirty` (typically `spec.take_dirty()`), then reports. Structural
+    /// dirt, any change to the view's composites (ids *or* memberships) or a
+    /// changed row stride fall back to a full rebuild; otherwise only
+    /// composites holding a member in a dirty component get their rows and
+    /// pair verdicts re-derived.
+    pub fn refresh(
+        &mut self,
+        spec: &WorkflowSpec,
+        view: &WorkflowView,
+        dirty: &DirtyRows,
+    ) -> DefinitionReport {
+        let workflow_reach = spec.reachability();
+        if dirty.is_all()
+            || fingerprinted_composites(view) != self.composites
+            || workflow_reach.row_stride() != self.stride
+        {
+            *self = DefinitionIndex::new(spec, view);
+        } else if !dirty.is_clean() {
+            for slot in 0..self.composites.len() {
+                let Ok(composite) = view.composite(self.composites[slot].0) else {
+                    continue;
+                };
+                let touched = composite.members().iter().any(|&task| {
+                    workflow_reach
+                        .component_of(task)
+                        .map_or(true, |comp| dirty.contains(comp))
+                });
+                if touched {
+                    self.rows[slot * self.stride..(slot + 1) * self.stride].fill(0);
+                    self.derive_slot(spec, view, slot);
+                    self.derive_pairs_of(slot);
+                }
+            }
+        }
+        self.report(spec, view)
+    }
+
+    /// Combines the cached workflow-level connectivity with a freshly
+    /// computed view-level reachability into a [`DefinitionReport`].
+    #[must_use]
+    pub fn report(&self, spec: &WorkflowSpec, view: &WorkflowView) -> DefinitionReport {
+        let induced = view.induced_graph(spec);
+        let view_reach =
+            ReachMatrix::build(&induced.graph).expect("induced view graph reachability");
+        let n = self.composites.len();
+        let mut spurious = Vec::new();
+        let mut missing = Vec::new();
+        for (sa, &(a, _)) in self.composites.iter().enumerate() {
+            for (sb, &(b, _)) in self.composites.iter().enumerate() {
+                if sa == sb {
+                    continue;
+                }
+                let in_view = match (induced.node_of(a), induced.node_of(b)) {
+                    (Some(na), Some(nb)) => view_reach.reachable(na, nb),
+                    _ => false,
+                };
+                let in_workflow = self.in_workflow[sa * n + sb];
+                match (in_view, in_workflow) {
+                    (true, false) => spurious.push(DependencyMismatch { from: a, to: b }),
+                    (false, true) => missing.push(DependencyMismatch { from: a, to: b }),
+                    _ => {}
+                }
+            }
+        }
+        DefinitionReport { spurious, missing }
+    }
+
+    /// (Re)derives the member mask and unioned reach row of one slot.
+    fn derive_slot(&mut self, spec: &WorkflowSpec, view: &WorkflowView, slot: usize) {
+        let workflow_reach = spec.reachability();
+        let Ok(composite) = view.composite(self.composites[slot].0) else {
+            return;
+        };
+        let mask = &mut self.masks[slot * self.stride..(slot + 1) * self.stride];
+        for &task in composite.members() {
             if let Some(comp) = workflow_reach.component_of(task) {
                 mask[comp / 64] |= 1u64 << (comp % 64);
             }
         }
-        let row = &mut rows[slot * stride..(slot + 1) * stride];
-        for &task in composite_task.members() {
+        let row = &mut self.rows[slot * self.stride..(slot + 1) * self.stride];
+        for &task in composite.members() {
             if let Some(reach_row) = workflow_reach.reachable_row(task) {
                 for (acc, &word) in row.iter_mut().zip(reach_row.words()) {
                     *acc |= word;
@@ -166,28 +317,20 @@ pub fn validate_by_definition(spec: &WorkflowSpec, view: &WorkflowView) -> Defin
         }
     }
 
-    let mut spurious = Vec::new();
-    let mut missing = Vec::new();
-    for (sa, &a) in composites.iter().enumerate() {
-        let row_a = &rows[sa * stride..(sa + 1) * stride];
-        for (sb, &b) in composites.iter().enumerate() {
-            if sa == sb {
+    /// Recomputes `in_workflow` for every ordered pair with `a` as the
+    /// source (a row change can only affect pairs where the changed
+    /// composite is the source; the masks of targets are stable).
+    fn derive_pairs_of(&mut self, a: usize) {
+        let n = self.composites.len();
+        let row_a = &self.rows[a * self.stride..(a + 1) * self.stride];
+        for b in 0..n {
+            if a == b {
                 continue;
             }
-            let in_view = match (induced.node_of(a), induced.node_of(b)) {
-                (Some(na), Some(nb)) => view_reach.reachable(na, nb),
-                _ => false,
-            };
-            let mask_b = &masks[sb * stride..(sb + 1) * stride];
-            let in_workflow = row_a.iter().zip(mask_b).any(|(r, m)| r & m != 0);
-            match (in_view, in_workflow) {
-                (true, false) => spurious.push(DependencyMismatch { from: a, to: b }),
-                (false, true) => missing.push(DependencyMismatch { from: a, to: b }),
-                _ => {}
-            }
+            let mask_b = &self.masks[b * self.stride..(b + 1) * self.stride];
+            self.in_workflow[a * n + b] = row_a.iter().zip(mask_b).any(|(r, m)| r & m != 0);
         }
     }
-    DefinitionReport { spurious, missing }
 }
 
 /// Validates a view against Definition 2.1 by literally enumerating simple
@@ -358,6 +501,85 @@ mod tests {
     }
 
     #[test]
+    fn incremental_definition_check_tracks_an_edit_loop() {
+        use wolves_workflow::SpecMutation;
+        let (mut spec, view, t) = figure1();
+        let _ = spec.reachability();
+        let _ = spec.take_dirty();
+        let mut index = DefinitionIndex::new(&spec, &view);
+        let baseline = index.report(&spec, &view);
+        assert_eq!(baseline.spurious.len(), 2);
+
+        let c14 = view.composite_of(t[2]).unwrap();
+        let c18 = view.composite_of(t[7]).unwrap();
+
+        // the user repairs the workflow instead of the view: connecting
+        // Curate annotations -> Create alignment realises the 14 -> 18 path
+        let report = spec
+            .apply(SpecMutation::AddDependency {
+                from: t[3],
+                to: t[6],
+            })
+            .unwrap();
+        assert_eq!(report.class, wolves_graph::DeltaClass::MonotoneSafe);
+        let dirty = spec.take_dirty();
+        let refreshed = validate_by_definition_incremental(&spec, &view, &dirty, &mut index);
+        assert!(!refreshed
+            .spurious
+            .iter()
+            .any(|m| m.from == c14 && m.to == c18));
+        // the unrelated 15 -> 17 spurious dependency is still reported
+        assert_eq!(refreshed.spurious.len(), 1);
+        let fresh = validate_by_definition(&spec, &view);
+        assert_eq!(refreshed.spurious, fresh.spurious);
+        assert_eq!(refreshed.missing, fresh.missing);
+
+        // undoing the edit is structural: the refresh falls back to a full
+        // rebuild and the spurious dependency reappears
+        spec.apply(SpecMutation::RemoveDependency {
+            from: t[3],
+            to: t[6],
+        })
+        .unwrap();
+        let dirty = spec.take_dirty();
+        assert!(dirty.is_all());
+        let reverted = index.refresh(&spec, &view, &dirty);
+        assert_eq!(reverted.spurious.len(), 2);
+        let fresh = validate_by_definition(&spec, &view);
+        assert_eq!(reverted.spurious, fresh.spurious);
+    }
+
+    #[test]
+    fn refresh_detects_membership_only_view_edits() {
+        use wolves_workflow::{AtomicTask, DataDependency};
+        // t0, t1, t2 with the single edge t1 -> t2; view {t0, t1} | {t2}
+        let mut spec = WorkflowSpec::new("membership");
+        let t: Vec<TaskId> = (0..3)
+            .map(|i| spec.add_task(AtomicTask::new(format!("t{i}"))).unwrap())
+            .collect();
+        spec.add_dependency(t[1], t[2], DataDependency::unnamed())
+            .unwrap();
+        let mut view = WorkflowView::from_groups(
+            &spec,
+            "v",
+            vec![("ab".into(), vec![t[0], t[1]]), ("c".into(), vec![t[2]])],
+        )
+        .unwrap();
+        let _ = spec.reachability();
+        let _ = spec.take_dirty();
+        let mut index = DefinitionIndex::new(&spec, &view);
+        // dropping t1 from 'ab' keeps the composite-id set identical but
+        // changes the membership: the cached rows would still claim
+        // ab -> c workflow connectivity through the departed t1
+        view.remove_member(t[1]).unwrap();
+        let refreshed = index.refresh(&spec, &view, &spec.dirty_rows().clone());
+        let fresh = validate_by_definition(&spec, &view);
+        assert_eq!(refreshed.spurious, fresh.spurious);
+        assert_eq!(refreshed.missing, fresh.missing);
+        assert!(refreshed.missing.is_empty());
+    }
+
+    #[test]
     fn singleton_views_are_sound_under_all_checks() {
         let (spec, _, _) = figure1();
         let view = WorkflowView::singletons(&spec, "fine");
@@ -506,12 +728,69 @@ mod tests {
             assert_eq!(fast.missing, reference.missing);
         }
 
+        /// Drives a random mutation sequence through `spec.apply`, refreshing
+        /// a [`DefinitionIndex`] with the accumulated dirty rows after every
+        /// step and asserting the incremental report is identical to a
+        /// from-scratch [`validate_by_definition`] — the epoch-incremental
+        /// pipeline end to end, over all three delta classes.
+        fn assert_incremental_matches_rebuild(
+            spec: &mut WorkflowSpec,
+            view: &WorkflowView,
+            ops: Vec<(usize, usize, usize)>,
+        ) {
+            use wolves_workflow::SpecMutation;
+            let tasks: Vec<TaskId> = spec.task_ids().collect();
+            let _ = spec.reachability();
+            let _ = spec.take_dirty();
+            let mut index = DefinitionIndex::new(spec, view);
+            for (op, raw_a, raw_b) in ops {
+                let from = tasks[raw_a % tasks.len()];
+                let to = tasks[raw_b % tasks.len()];
+                if from == to {
+                    continue;
+                }
+                let mutation = if op % 3 == 0 {
+                    SpecMutation::RemoveDependency { from, to }
+                } else {
+                    // raw orientation: back edges (SCC merges and splits
+                    // through later removals) are common
+                    SpecMutation::AddDependency { from, to }
+                };
+                if spec.apply(mutation).is_err() {
+                    continue; // duplicate insert or missing edge to remove
+                }
+                let dirty = spec.take_dirty();
+                let incremental = index.refresh(spec, view, &dirty);
+                let fresh = validate_by_definition(spec, view);
+                assert_eq!(incremental.spurious, fresh.spurious);
+                assert_eq!(incremental.missing, fresh.missing);
+            }
+        }
+
         proptest! {
             #[test]
             fn prop_bitset_algebra_matches_pairwise_on_dags(
                 (spec, view) in arbitrary_spec_and_view(14, false)
             ) {
                 assert_reports_agree(&spec, &view);
+            }
+
+            #[test]
+            fn prop_incremental_definition_check_matches_rebuild_on_dags(
+                (spec, view) in arbitrary_spec_and_view(12, false),
+                ops in proptest::collection::vec((0usize..3, 0usize..32, 0usize..32), 1..16)
+            ) {
+                let mut spec = spec;
+                assert_incremental_matches_rebuild(&mut spec, &view, ops);
+            }
+
+            #[test]
+            fn prop_incremental_definition_check_matches_rebuild_on_cyclic_specs(
+                (spec, view) in arbitrary_spec_and_view(10, true),
+                ops in proptest::collection::vec((0usize..3, 0usize..32, 0usize..32), 1..16)
+            ) {
+                let mut spec = spec;
+                assert_incremental_matches_rebuild(&mut spec, &view, ops);
             }
 
             #[test]

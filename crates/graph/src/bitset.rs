@@ -9,9 +9,10 @@ use std::fmt;
 
 /// A fixed-capacity set of `usize` values backed by `u64` words.
 ///
-/// The capacity is chosen at construction time and never grows; every public
-/// method checks bounds, and operations on indices `>= capacity` panic in
-/// both debug and release builds.
+/// The capacity is chosen at construction time and only changes through an
+/// explicit [`FixedBitSet::grow`]; every public method checks bounds, and
+/// operations on indices `>= capacity` panic in both debug and release
+/// builds.
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct FixedBitSet {
     words: Vec<u64>,
@@ -33,6 +34,16 @@ impl FixedBitSet {
     #[must_use]
     pub fn capacity(&self) -> usize {
         self.len
+    }
+
+    /// Grows the capacity to `new_len`, preserving the set bits. Shrinking
+    /// is not supported; a smaller `new_len` leaves the set unchanged.
+    pub fn grow(&mut self, new_len: usize) {
+        if new_len <= self.len {
+            return;
+        }
+        self.words.resize(new_len.div_ceil(64), 0);
+        self.len = new_len;
     }
 
     /// Inserts `bit` into the set. Returns `true` if the bit was newly set.
@@ -247,6 +258,23 @@ mod tests {
             s.insert(b);
         }
         assert_eq!(s.to_vec(), vec![3, 5, 64, 70, 199]);
+    }
+
+    #[test]
+    fn grow_preserves_bits_and_rejects_shrinks() {
+        let mut s = FixedBitSet::with_capacity(10);
+        s.insert(3);
+        s.insert(9);
+        s.grow(200);
+        assert_eq!(s.capacity(), 200);
+        assert!(s.contains(3));
+        assert!(s.contains(9));
+        assert!(!s.contains(150));
+        s.insert(150);
+        assert_eq!(s.to_vec(), vec![3, 9, 150]);
+        s.grow(5); // no shrink
+        assert_eq!(s.capacity(), 200);
+        assert!(s.contains(150));
     }
 
     #[test]

@@ -20,7 +20,11 @@
 //! * [`reach`] — all-pairs reachability ([`ReachMatrix`]): a flat row-major
 //!   bit matrix over the condensation, built by in-place row unions over a
 //!   topological order, with row-level ops ([`reach::ReachRow`]) for
-//!   bitset-algebra consumers.
+//!   bitset-algebra consumers and in-place delta maintenance for node and
+//!   edge inserts.
+//! * [`delta`] — the delta taxonomy for incremental maintenance
+//!   ([`DeltaClass`]) and the [`DirtyRows`] change sets the maintenance
+//!   routines report to downstream caches.
 //! * [`algo`] — assorted DAG utilities (roots, leaves, layering, transitive
 //!   reduction) used by the workload generators and renderers.
 //! * [`dot`] — Graphviz DOT export for debugging and the CLI displayer.
@@ -48,6 +52,7 @@
 pub mod algo;
 pub mod bitset;
 pub mod csr;
+pub mod delta;
 pub mod digraph;
 pub mod dot;
 pub mod error;
@@ -59,6 +64,7 @@ pub mod traversal;
 
 pub use bitset::FixedBitSet;
 pub use csr::Csr;
+pub use delta::{DeltaClass, DeltaOutcome, DirtyRows};
 pub use digraph::DiGraph;
 pub use error::GraphError;
 pub use id::{EdgeId, NodeId};

@@ -10,7 +10,9 @@ use wolves_moml::write_text_format;
 use wolves_workflow::{WorkflowSpec, WorkflowView};
 
 use crate::error::ServiceError;
-use crate::proto::{read_frame, write_frame, Corrected, Request, Response, StatsReport, Verdict};
+use crate::proto::{
+    read_frame, write_frame, Corrected, MutateOp, Mutated, Request, Response, StatsReport, Verdict,
+};
 use crate::store::WorkflowId;
 
 /// A persistent connection to a `wolves-service` server. One request is in
@@ -124,6 +126,18 @@ impl ServiceClient {
         })? {
             Response::Provenance(tasks) => Ok(tasks),
             other => Err(unexpected("provenance", &other)),
+        }
+    }
+
+    /// Applies one mutation to a registered workflow (edit in place — no
+    /// re-upload; caches covering unaffected composites survive).
+    ///
+    /// # Errors
+    /// Propagates transport and server errors.
+    pub fn mutate(&mut self, workflow: WorkflowId, op: MutateOp) -> Result<Mutated, ServiceError> {
+        match self.call(&Request::Mutate { workflow, op })? {
+            Response::Mutated(mutated) => Ok(mutated),
+            other => Err(unexpected("mutated", &other)),
         }
     }
 
@@ -296,11 +310,16 @@ mod tests {
         assert_eq!(report.completed, 100);
         assert_eq!(report.errors, 0);
         assert!(report.requests_per_sec() > 0.0);
-        // each workflow was validated repeatedly: exactly one miss per
-        // workflow, everything else a cache hit
+        // composite-granular counters are deterministic under concurrency:
+        // exactly one compute per (workflow, composite) — 4 × 7 misses —
+        // with every other composite check served from cache. Request-level
+        // misses depend on which racing client computed a composite first,
+        // but at least one per workflow and they partition the 100 requests.
         let stats = store.stats();
-        assert_eq!(stats.validate_misses(), 4);
-        assert_eq!(stats.validate_hits(), 96);
+        assert_eq!(stats.composite_misses(), 4 * 7);
+        assert_eq!(stats.composite_hits(), 100 * 7 - 4 * 7);
+        assert!(stats.validate_misses() >= 4);
+        assert_eq!(stats.validate_hits() + stats.validate_misses(), 100);
         server.shutdown();
     }
 }

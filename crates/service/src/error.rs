@@ -24,6 +24,11 @@ pub enum ServiceError {
     Parse(String),
     /// Correction failed inside `wolves-core`.
     Correction(String),
+    /// A mutation request could not be applied to the workflow.
+    Mutation(String),
+    /// A composite name mentioned in a request does not exist in the
+    /// workflow's current view.
+    UnknownCompositeName(String),
     /// An I/O error on the underlying connection.
     Io(std::io::Error),
     /// The server answered a request with an error message.
@@ -43,6 +48,10 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Protocol(message) => write!(f, "protocol error: {message}"),
             ServiceError::Parse(message) => write!(f, "parse error: {message}"),
             ServiceError::Correction(message) => write!(f, "correction failed: {message}"),
+            ServiceError::Mutation(message) => write!(f, "mutation failed: {message}"),
+            ServiceError::UnknownCompositeName(name) => {
+                write!(f, "unknown composite task '{name}'")
+            }
             ServiceError::Io(e) => write!(f, "i/o error: {e}"),
             ServiceError::Remote(message) => write!(f, "server error: {message}"),
         }

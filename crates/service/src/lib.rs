@@ -6,8 +6,9 @@
 //! requests to many clients at once.
 //!
 //! * [`store`] — a sharded [`store::WorkflowStore`]: workflows hashed over
-//!   `N` independently locked shards, with per-version validation-verdict
-//!   caching and reachability-matrix reuse.
+//!   `N` independently locked shards, with composite-granular, epoch-keyed
+//!   verdict caching, in-place `mutate` support and reachability-matrix
+//!   reuse (mutations maintain the matrix incrementally).
 //! * [`proto`] — the typed request/response protocol, framed as
 //!   newline-delimited text reusing the native format of
 //!   [`wolves_moml::textfmt`].
@@ -45,6 +46,6 @@ pub mod store;
 
 pub use client::{validate_throughput, BatchConfig, ServiceClient, ThroughputReport};
 pub use error::ServiceError;
-pub use proto::{Request, Response, StatsReport, Verdict};
+pub use proto::{MutateOp, Mutated, Request, Response, StatsReport, Verdict};
 pub use server::{serve, ServerConfig, ServerHandle};
 pub use store::{WorkflowId, WorkflowStore};

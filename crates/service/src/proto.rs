@@ -17,9 +17,17 @@
 //! correct<TAB><id><TAB><strategy>  ok<TAB>corrected<TAB><ver><TAB><before><TAB><after>
 //!                                   <textfmt of the corrected view…>
 //! provenance<TAB><id><TAB><task>   ok<TAB>provenance<TAB><n> + task names
+//! mutate<TAB><id><TAB><op>…        ok<TAB>mutated<TAB><epoch><TAB><class><TAB><inv><TAB><ret><TAB><ver>
 //! stats                             ok<TAB>stats + one line per shard
 //! shutdown                          ok<TAB>shutdown
 //! ```
+//!
+//! `mutate` ops edit a registered spec/view in place (no re-upload):
+//! `add-task <name>`, `remove-task <name>`, `add-edge <from> <to>`,
+//! `remove-edge <from> <to>`, `split <composite> <a,b;c,…>` and
+//! `merge <new-name> <c1;c2;…>` — task and composite names are
+//! tab-free by construction; `split`/`merge` additionally reserve `,`
+//! and `;` as list separators.
 //!
 //! Errors are reported as `err<TAB><message>`. The format reuses the text
 //! serialisation the CLI already speaks, so a workflow file can be piped to
@@ -65,10 +73,82 @@ pub enum Request {
         /// Name of the subject task.
         subject: String,
     },
+    /// Edit a registered workflow in place (mutation epochs: caches covering
+    /// unaffected composites survive the edit).
+    Mutate {
+        /// The workflow to edit.
+        workflow: WorkflowId,
+        /// The edit to apply.
+        op: MutateOp,
+    },
     /// Fetch per-shard serving statistics.
     Stats,
     /// Ask the server to stop accepting connections and exit.
     Shutdown,
+}
+
+/// One edit applied by a [`Request::Mutate`]. Tasks and composites are
+/// addressed by name (clients never learn server-side ids beyond the
+/// workflow id).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MutateOp {
+    /// Add an atomic task; the current view gains a singleton composite of
+    /// the same name.
+    AddTask {
+        /// Name of the new task.
+        name: String,
+    },
+    /// Remove a task (and its dependencies); the current view drops it from
+    /// its composite.
+    RemoveTask {
+        /// Name of the task to remove.
+        name: String,
+    },
+    /// Add a data dependency between two named tasks.
+    AddEdge {
+        /// Source task name.
+        from: String,
+        /// Target task name.
+        to: String,
+    },
+    /// Remove the data dependency between two named tasks.
+    RemoveEdge {
+        /// Source task name.
+        from: String,
+        /// Target task name.
+        to: String,
+    },
+    /// Split a composite task of the current view into the given parts
+    /// (member task names; the parts must partition the composite).
+    Split {
+        /// Name of the composite to split.
+        composite: String,
+        /// The parts, each a list of member task names.
+        parts: Vec<Vec<String>>,
+    },
+    /// Merge composite tasks of the current view into one.
+    Merge {
+        /// Name of the merged composite.
+        name: String,
+        /// Names of the composites to merge.
+        composites: Vec<String>,
+    },
+}
+
+/// Result of a [`Request::Mutate`] as reported over the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mutated {
+    /// The workflow's mutation epoch after the edit.
+    pub epoch: u64,
+    /// Delta class the reachability maintenance used
+    /// (`monotone-safe` / `local-rebuild` / `structural`).
+    pub class: String,
+    /// Cached composite verdicts invalidated by the edit.
+    pub invalidated: usize,
+    /// Cached composite verdicts that survived the edit.
+    pub retained: usize,
+    /// The current view version after the edit.
+    pub version: usize,
 }
 
 /// Validation verdict as reported over the wire.
@@ -105,10 +185,17 @@ pub struct ShardStat {
     pub shard: usize,
     /// Workflows stored in the shard.
     pub workflows: usize,
-    /// Validation-cache hits.
+    /// Validation-cache hits (requests answered wholly from cache).
     pub validate_hits: u64,
-    /// Validation-cache misses (fresh validations).
+    /// Validation-cache misses (requests that computed at least one
+    /// composite verdict).
     pub validate_misses: u64,
+    /// Composite-granular cache hits (individual composite verdicts served
+    /// from cache).
+    pub composite_hits: u64,
+    /// Composite-granular cache misses (individual composite verdicts
+    /// computed).
+    pub composite_misses: u64,
     /// Total nanoseconds spent answering validate requests.
     pub validate_ns: u64,
     /// Requests of any kind routed to the shard.
@@ -137,6 +224,18 @@ impl StatsReport {
         self.shards.iter().map(|s| s.validate_misses).sum()
     }
 
+    /// Total composite-granular cache hits across shards.
+    #[must_use]
+    pub fn composite_hits(&self) -> u64 {
+        self.shards.iter().map(|s| s.composite_hits).sum()
+    }
+
+    /// Total composite-granular cache misses across shards.
+    #[must_use]
+    pub fn composite_misses(&self) -> u64 {
+        self.shards.iter().map(|s| s.composite_misses).sum()
+    }
+
     /// Total requests routed to any shard.
     #[must_use]
     pub fn requests(&self) -> u64 {
@@ -161,6 +260,8 @@ pub enum Response {
     Corrected(Corrected),
     /// Names of the tasks in the subject's view-level provenance.
     Provenance(Vec<String>),
+    /// Mutation outcome.
+    Mutated(Mutated),
     /// Statistics snapshot.
     Stats(StatsReport),
     /// The server acknowledged a shutdown request.
@@ -256,6 +357,22 @@ impl Request {
             Request::Provenance { workflow, subject } => {
                 vec![format!("provenance\t{workflow}\t{subject}")]
             }
+            Request::Mutate { workflow, op } => {
+                let tail = match op {
+                    MutateOp::AddTask { name } => format!("add-task\t{name}"),
+                    MutateOp::RemoveTask { name } => format!("remove-task\t{name}"),
+                    MutateOp::AddEdge { from, to } => format!("add-edge\t{from}\t{to}"),
+                    MutateOp::RemoveEdge { from, to } => format!("remove-edge\t{from}\t{to}"),
+                    MutateOp::Split { composite, parts } => {
+                        let parts: Vec<String> = parts.iter().map(|p| p.join(",")).collect();
+                        format!("split\t{composite}\t{}", parts.join(";"))
+                    }
+                    MutateOp::Merge { name, composites } => {
+                        format!("merge\t{name}\t{}", composites.join(";"))
+                    }
+                };
+                vec![format!("mutate\t{workflow}\t{tail}")]
+            }
             Request::Stats => vec!["stats".to_owned()],
             Request::Shutdown => vec!["shutdown".to_owned()],
         }
@@ -300,6 +417,55 @@ impl Request {
                     subject: (*subject).to_owned(),
                 })
             }
+            "mutate" => {
+                let workflow = parse_id(fields.get(1).copied().unwrap_or_default())?;
+                let op_name = fields.get(2).copied().unwrap_or_default();
+                let arg = |index: usize, what: &str| -> Result<String, ServiceError> {
+                    fields
+                        .get(index)
+                        .filter(|s| !s.is_empty())
+                        .map(|s| (*s).to_owned())
+                        .ok_or_else(|| {
+                            ServiceError::Protocol(format!("mutate {op_name} needs a {what}"))
+                        })
+                };
+                let op = match op_name {
+                    "add-task" => MutateOp::AddTask {
+                        name: arg(3, "task name")?,
+                    },
+                    "remove-task" => MutateOp::RemoveTask {
+                        name: arg(3, "task name")?,
+                    },
+                    "add-edge" => MutateOp::AddEdge {
+                        from: arg(3, "source task")?,
+                        to: arg(4, "target task")?,
+                    },
+                    "remove-edge" => MutateOp::RemoveEdge {
+                        from: arg(3, "source task")?,
+                        to: arg(4, "target task")?,
+                    },
+                    "split" => MutateOp::Split {
+                        composite: arg(3, "composite name")?,
+                        parts: arg(4, "part list")?
+                            .split(';')
+                            .map(|part| part.split(',').map(str::to_owned).collect())
+                            .collect(),
+                    },
+                    "merge" => MutateOp::Merge {
+                        name: arg(3, "composite name")?,
+                        composites: arg(4, "composite list")?
+                            .split(';')
+                            .map(str::to_owned)
+                            .collect(),
+                    },
+                    other => {
+                        return Err(ServiceError::Protocol(format!(
+                            "unknown mutate op '{other}'"
+                        )))
+                    }
+                };
+                Ok(Request::Mutate { workflow, op })
+            }
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(ServiceError::Protocol(format!("unknown verb '{other}'"))),
@@ -337,15 +503,23 @@ impl Response {
                 lines.extend(tasks.iter().cloned());
                 lines
             }
+            Response::Mutated(m) => {
+                vec![format!(
+                    "ok\tmutated\t{}\t{}\t{}\t{}\t{}",
+                    m.epoch, m.class, m.invalidated, m.retained, m.version
+                )]
+            }
             Response::Stats(stats) => {
                 let mut lines = vec![format!("ok\tstats\t{}", stats.registry_samples)];
                 for s in &stats.shards {
                     lines.push(format!(
-                        "shard\t{}\t{}\t{}\t{}\t{}\t{}",
+                        "shard\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
                         s.shard,
                         s.workflows,
                         s.validate_hits,
                         s.validate_misses,
+                        s.composite_hits,
+                        s.composite_misses,
                         s.validate_ns,
                         s.requests
                     ));
@@ -412,6 +586,19 @@ impl Response {
                 payload: lines[1..].join("\n"),
             })),
             ("ok", Some("provenance")) => Ok(Response::Provenance(lines[1..].to_vec())),
+            ("ok", Some("mutated")) => Ok(Response::Mutated(Mutated {
+                epoch: parse_u64(fields.get(2).copied().unwrap_or_default(), "epoch")?,
+                class: fields.get(3).copied().unwrap_or_default().to_owned(),
+                invalidated: parse_usize(
+                    fields.get(4).copied().unwrap_or_default(),
+                    "invalidated count",
+                )?,
+                retained: parse_usize(
+                    fields.get(5).copied().unwrap_or_default(),
+                    "retained count",
+                )?,
+                version: parse_usize(fields.get(6).copied().unwrap_or_default(), "version")?,
+            })),
             ("ok", Some("stats")) => {
                 let registry_samples = parse_usize(
                     fields.get(2).copied().unwrap_or_default(),
@@ -420,7 +607,7 @@ impl Response {
                 let mut shards = Vec::new();
                 for line in &lines[1..] {
                     let f: Vec<&str> = line.split('\t').collect();
-                    if f.first().copied() != Some("shard") || f.len() != 7 {
+                    if f.first().copied() != Some("shard") || f.len() != 9 {
                         return Err(ServiceError::Protocol(format!(
                             "malformed shard line '{line}'"
                         )));
@@ -430,8 +617,10 @@ impl Response {
                         workflows: parse_usize(f[2], "workflow count")?,
                         validate_hits: parse_u64(f[3], "hit count")?,
                         validate_misses: parse_u64(f[4], "miss count")?,
-                        validate_ns: parse_u64(f[5], "latency")?,
-                        requests: parse_u64(f[6], "request count")?,
+                        composite_hits: parse_u64(f[5], "composite hit count")?,
+                        composite_misses: parse_u64(f[6], "composite miss count")?,
+                        validate_ns: parse_u64(f[7], "latency")?,
+                        requests: parse_u64(f[8], "request count")?,
                     });
                 }
                 Ok(Response::Stats(StatsReport {
@@ -490,6 +679,59 @@ mod tests {
     }
 
     #[test]
+    fn mutate_requests_round_trip_through_lines() {
+        let ops = [
+            MutateOp::AddTask {
+                name: "Fresh task".to_owned(),
+            },
+            MutateOp::RemoveTask {
+                name: "Old task".to_owned(),
+            },
+            MutateOp::AddEdge {
+                from: "Select entries".to_owned(),
+                to: "Split entries".to_owned(),
+            },
+            MutateOp::RemoveEdge {
+                from: "a".to_owned(),
+                to: "b".to_owned(),
+            },
+            MutateOp::Split {
+                composite: "Curate & align (16)".to_owned(),
+                parts: vec![
+                    vec!["Curate annotations".to_owned()],
+                    vec!["Create alignment".to_owned()],
+                ],
+            },
+            MutateOp::Merge {
+                name: "Front end".to_owned(),
+                composites: vec![
+                    "Retrieve entries (13)".to_owned(),
+                    "Annotations (14)".to_owned(),
+                ],
+            },
+        ];
+        for op in ops {
+            round_trip_request(&Request::Mutate {
+                workflow: WorkflowId(9),
+                op,
+            });
+        }
+        let bad = |line: &str| Request::from_lines(&[line.to_owned()]).unwrap_err();
+        assert!(matches!(
+            bad("mutate\t1\tfrobnicate"),
+            ServiceError::Protocol(_)
+        ));
+        assert!(matches!(
+            bad("mutate\t1\tadd-task"),
+            ServiceError::Protocol(_)
+        ));
+        assert!(matches!(
+            bad("mutate\t1\tadd-edge\ta"),
+            ServiceError::Protocol(_)
+        ));
+    }
+
+    #[test]
     fn responses_round_trip_through_lines() {
         round_trip_response(&Response::Registered(WorkflowId(42)));
         round_trip_response(&Response::Verdict(Verdict {
@@ -505,12 +747,21 @@ mod tests {
             payload: "workflow\tdemo\ntask\ta".to_owned(),
         }));
         round_trip_response(&Response::Provenance(vec!["a".to_owned(), "b".to_owned()]));
+        round_trip_response(&Response::Mutated(Mutated {
+            epoch: 17,
+            class: "monotone-safe".to_owned(),
+            invalidated: 2,
+            retained: 5,
+            version: 1,
+        }));
         round_trip_response(&Response::Stats(StatsReport {
             shards: vec![ShardStat {
                 shard: 0,
                 workflows: 3,
                 validate_hits: 10,
                 validate_misses: 2,
+                composite_hits: 70,
+                composite_misses: 14,
                 validate_ns: 12345,
                 requests: 15,
             }],

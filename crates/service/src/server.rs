@@ -242,6 +242,7 @@ fn respond(store: &WorkflowStore, request: Request) -> (Response, bool) {
         Request::Provenance { workflow, subject } => store
             .provenance(workflow, &subject)
             .map(Response::Provenance),
+        Request::Mutate { workflow, op } => store.mutate(workflow, op).map(Response::Mutated),
         Request::Stats => Ok(Response::Stats(store.stats())),
         Request::Shutdown => return (Response::ShuttingDown, true),
     };

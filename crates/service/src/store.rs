@@ -2,22 +2,33 @@
 //!
 //! Workflows are spread over `N` shards by hashing their id; each shard is an
 //! independently `RwLock`-guarded map, so requests for workflows on different
-//! shards never contend. Two levels of caching keep repeated requests cheap:
+//! shards never contend. Caching is **composite-granular and keyed by
+//! mutation epoch**:
 //!
 //! * **Reachability reuse** — a registered [`WorkflowSpec`] is stored behind
 //!   an `Arc` and its lazily built `ReachMatrix` is primed at registration
-//!   time, so no validate/correct request ever rebuilds reachability.
-//! * **Verdict caching** — every stored view version carries a `OnceLock`'d
-//!   validation verdict; repeated `Validate` requests on the same version are
-//!   answered from the cache (counted as shard *hits*).
+//!   time. Mutations maintain the matrix *in place* where the delta class
+//!   allows (see `wolves_workflow::mutation`), so edits don't pay a rebuild
+//!   either.
+//! * **Verdict caching** — every stored view carries one cached soundness
+//!   verdict *per composite task*, tagged with the workflow's mutation
+//!   epoch. A `mutate` request invalidates only the composites whose
+//!   reachability rows the edit dirtied (plus the edit's endpoints, whose
+//!   boundaries may have moved); every other cached verdict is re-tagged to
+//!   the new epoch and keeps serving hits.
+//! * **Provenance index caching** — the per-view [`ViewProvenanceIndex`] is
+//!   epoch-tagged too and survives mutations that cannot change the induced
+//!   view graph (e.g. edges added inside one composite).
 //!
-//! Corrections append the corrected view as a new version (versions are
-//! immutable once stored, which is what makes the verdict cache sound) and
-//! feed observed timings into the [`EstimationRegistry`] so the estimator
-//! learns from live traffic.
+//! Corrections still append the corrected view as a new immutable version.
+//! Mutations edit the registered workflow in place under the shard write
+//! lock, using copy-on-write (`Arc::make_mut`) so in-flight readers keep a
+//! consistent pre-mutation snapshot. Task additions/removals rebase the
+//! workflow: older view versions would no longer partition the task set, so
+//! the version history is truncated to the (updated) current view.
 
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -25,15 +36,17 @@ use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use parking_lot::RwLock;
+use wolves_graph::DirtyRows;
+
 use wolves_core::correct::{correct_view, Strategy};
 use wolves_core::estimate::{CorrectionSample, EstimationRegistry, WorkloadClass};
-use wolves_core::validate::validate;
+use wolves_core::soundness::soundness_verdict;
 use wolves_moml::{read_text_format, write_text_format};
 use wolves_provenance::ViewProvenanceIndex;
-use wolves_workflow::{WorkflowSpec, WorkflowView};
+use wolves_workflow::{CompositeTaskId, SpecMutation, TaskId, WorkflowSpec, WorkflowView};
 
 use crate::error::ServiceError;
-use crate::proto::{Corrected, ShardStat, StatsReport, Verdict};
+use crate::proto::{Corrected, MutateOp, Mutated, ShardStat, StatsReport, Verdict};
 
 /// Identifier of a registered workflow, assigned by the store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -45,40 +58,61 @@ impl fmt::Display for WorkflowId {
     }
 }
 
-/// One immutable view version plus its lazily computed verdict and
-/// provenance index.
+/// The cached soundness verdict of one composite task.
+#[derive(Debug, Clone)]
+struct CompositeSummary {
+    sound: bool,
+    name: String,
+}
+
+/// One composite's cache slot: the epoch it is valid for and a `OnceLock`
+/// cell so exactly one racer computes per `(composite, epoch)` — everyone
+/// else blocks on the cell and counts as a hit, keeping the counters
+/// deterministic under concurrency.
+#[derive(Debug, Clone)]
+struct CachedVerdict {
+    epoch: u64,
+    cell: Arc<OnceLock<CompositeSummary>>,
+}
+
+/// One stored view plus its composite-granular caches.
 #[derive(Debug)]
 struct StoredView {
     view: Arc<WorkflowView>,
-    verdict: OnceLock<VerdictSummary>,
-    /// Matrix-backed provenance index, built on the first provenance query
-    /// for this version and reused by every later one (version immutability
-    /// makes the cache sound, exactly like the verdict).
-    provenance: OnceLock<ViewProvenanceIndex>,
+    verdicts: RwLock<HashMap<CompositeTaskId, CachedVerdict>>,
+    /// Matrix-backed provenance index, built on first provenance query and
+    /// reused until a mutation that can change the induced view graph.
+    provenance: RwLock<Option<(u64, Arc<ViewProvenanceIndex>)>>,
 }
 
-#[derive(Debug, Clone)]
-struct VerdictSummary {
-    sound: bool,
-    unsound: Vec<String>,
+impl Clone for StoredView {
+    fn clone(&self) -> Self {
+        StoredView {
+            view: Arc::clone(&self.view),
+            verdicts: RwLock::new(self.verdicts.read().clone()),
+            provenance: RwLock::new(self.provenance.read().clone()),
+        }
+    }
 }
 
 impl StoredView {
     fn new(view: WorkflowView) -> Arc<Self> {
         Arc::new(StoredView {
             view: Arc::new(view),
-            verdict: OnceLock::new(),
-            provenance: OnceLock::new(),
+            verdicts: RwLock::new(HashMap::new()),
+            provenance: RwLock::new(None),
         })
     }
 }
 
-/// One registered workflow: the spec and its view versions.
+/// One registered workflow: the spec, its view versions and the mutation
+/// epoch keying every cache entry.
 #[derive(Debug)]
 struct Entry {
     spec: Arc<WorkflowSpec>,
     views: Vec<Arc<StoredView>>,
     current: usize,
+    epoch: u64,
 }
 
 /// Monotone serving counters of one shard. All counters are relaxed atomics:
@@ -87,6 +121,8 @@ struct Entry {
 struct ShardMetrics {
     validate_hits: AtomicU64,
     validate_misses: AtomicU64,
+    composite_hits: AtomicU64,
+    composite_misses: AtomicU64,
     validate_ns: AtomicU64,
     requests: AtomicU64,
 }
@@ -95,6 +131,23 @@ struct ShardMetrics {
 struct Shard {
     entries: RwLock<HashMap<u64, Entry>>,
     metrics: ShardMetrics,
+}
+
+/// Which cached composite verdicts a mutation invalidates.
+enum Affected {
+    /// Every cached verdict (structural deltas, task add/remove).
+    All,
+    /// Only the listed composites; everything else survives re-tagged.
+    Composites(BTreeSet<CompositeTaskId>),
+}
+
+impl Affected {
+    fn contains(&self, composite: CompositeTaskId) -> bool {
+        match self {
+            Affected::All => true,
+            Affected::Composites(set) => set.contains(&composite),
+        }
+    }
 }
 
 /// The sharded workflow store described in the module docs.
@@ -152,6 +205,7 @@ impl WorkflowStore {
             spec: Arc::new(spec),
             views: view.map(StoredView::new).into_iter().collect(),
             current: 0,
+            epoch: 0,
         };
         let shard = self.shard_of(id);
         shard.metrics.requests.fetch_add(1, Ordering::Relaxed);
@@ -168,13 +222,15 @@ impl WorkflowStore {
         Ok(self.register(imported.spec, imported.view))
     }
 
-    /// Snapshot of a workflow's spec and a view version (current when
-    /// `version` is `None`), taken under the shard read lock.
+    /// Snapshot of a workflow's spec, a view version (current when `version`
+    /// is `None`) and the mutation epoch, taken under the shard read lock.
+    /// The three are mutually consistent: mutations replace the `Arc`s
+    /// copy-on-write under the write lock.
     fn snapshot(
         &self,
         id: WorkflowId,
         version: Option<usize>,
-    ) -> Result<(Arc<WorkflowSpec>, Arc<StoredView>, usize), ServiceError> {
+    ) -> Result<(Arc<WorkflowSpec>, Arc<StoredView>, usize, u64), ServiceError> {
         let shard = self.shard_of(id);
         shard.metrics.requests.fetch_add(1, Ordering::Relaxed);
         let entries = shard.entries.read();
@@ -189,10 +245,17 @@ impl WorkflowStore {
             .views
             .get(index)
             .ok_or(ServiceError::UnknownView(id, index))?;
-        Ok((Arc::clone(&entry.spec), Arc::clone(stored), index))
+        Ok((
+            Arc::clone(&entry.spec),
+            Arc::clone(stored),
+            index,
+            entry.epoch,
+        ))
     }
 
-    /// Validates a view version, serving the cached verdict when one exists.
+    /// Validates a view version composite by composite, serving every
+    /// epoch-fresh cached verdict and computing only the rest. The response
+    /// counts as a cache hit when *no* composite had to be computed.
     ///
     /// # Errors
     /// Reports unknown workflows and view versions.
@@ -202,41 +265,206 @@ impl WorkflowStore {
         version: Option<usize>,
     ) -> Result<Verdict, ServiceError> {
         let start = Instant::now();
-        let (spec, stored, index) = self.snapshot(id, version)?;
-        // exactly one caller's closure runs per version — racers block on
-        // the OnceLock and are counted as cache hits, keeping the hit/miss
-        // counters deterministic (one miss per version) under concurrency
-        let mut computed = false;
-        let summary = stored.verdict.get_or_init(|| {
-            computed = true;
-            let report = validate(&spec, &stored.view);
-            VerdictSummary {
-                sound: report.is_sound(),
-                unsound: report
-                    .reports()
-                    .iter()
-                    .filter(|c| !c.verdict.is_sound())
-                    .map(|c| c.name.clone())
-                    .collect(),
+        let (spec, stored, index, epoch) = self.snapshot(id, version)?;
+        let view = Arc::clone(&stored.view);
+        let mut computed = 0u64;
+        let mut served = 0u64;
+        let mut unsound = Vec::new();
+        for (composite_id, composite) in view.composites() {
+            let cell = {
+                let map = stored.verdicts.read();
+                map.get(&composite_id)
+                    .filter(|cached| cached.epoch == epoch)
+                    .map(|cached| Arc::clone(&cached.cell))
+            };
+            let cell = cell.unwrap_or_else(|| {
+                let mut map = stored.verdicts.write();
+                match map.get(&composite_id) {
+                    Some(cached) if cached.epoch == epoch => Arc::clone(&cached.cell),
+                    // the entry is fresher than our snapshot (a mutation won
+                    // the race): compute one-off without disturbing the cache
+                    Some(cached) if cached.epoch > epoch => Arc::new(OnceLock::new()),
+                    _ => {
+                        let cell = Arc::new(OnceLock::new());
+                        map.insert(
+                            composite_id,
+                            CachedVerdict {
+                                epoch,
+                                cell: Arc::clone(&cell),
+                            },
+                        );
+                        cell
+                    }
+                }
+            });
+            let mut ran = false;
+            let summary = cell.get_or_init(|| {
+                ran = true;
+                CompositeSummary {
+                    sound: soundness_verdict(&spec, composite.members()).is_sound(),
+                    name: composite.name.clone(),
+                }
+            });
+            if ran {
+                computed += 1;
+            } else {
+                served += 1;
             }
-        });
-        let cached = !computed;
+            if !summary.sound {
+                unsound.push(summary.name.clone());
+            }
+        }
+        let cached = computed == 0;
         let metrics = &self.shard_of(id).metrics;
         if cached {
             metrics.validate_hits.fetch_add(1, Ordering::Relaxed);
         } else {
             metrics.validate_misses.fetch_add(1, Ordering::Relaxed);
         }
+        metrics.composite_hits.fetch_add(served, Ordering::Relaxed);
+        metrics
+            .composite_misses
+            .fetch_add(computed, Ordering::Relaxed);
         metrics.validate_ns.fetch_add(
             u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
             Ordering::Relaxed,
         );
         Ok(Verdict {
-            sound: summary.sound,
+            sound: unsound.is_empty(),
             version: index,
             cached,
-            unsound: summary.unsound.clone(),
+            unsound,
         })
+    }
+
+    /// Applies one mutation to a registered workflow under the shard write
+    /// lock, with composite-granular cache invalidation: only the cached
+    /// verdicts whose composites the edit could have changed are dropped;
+    /// the rest are re-tagged to the new epoch and keep serving hits.
+    /// Copy-on-write keeps concurrently running reads on a consistent
+    /// pre-mutation snapshot.
+    ///
+    /// # Errors
+    /// Reports unknown workflows, tasks and composites, and edits the model
+    /// layer rejects (duplicate names, missing dependencies, non-partition
+    /// splits).
+    pub fn mutate(&self, id: WorkflowId, op: MutateOp) -> Result<Mutated, ServiceError> {
+        let shard = self.shard_of(id);
+        shard.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        let mut entries = shard.entries.write();
+        let entry = entries
+            .get_mut(&id.0)
+            .ok_or(ServiceError::UnknownWorkflow(id))?;
+        if entry.views.is_empty() {
+            return Err(ServiceError::NoView(id));
+        }
+        let old_epoch = entry.epoch;
+        let new_epoch = old_epoch + 1;
+
+        let mutation = |e: wolves_workflow::WorkflowError| ServiceError::Mutation(e.to_string());
+        let resolve_task = |spec: &WorkflowSpec, name: &str| -> Result<TaskId, ServiceError> {
+            spec.task_by_name(name)
+                .ok_or_else(|| ServiceError::UnknownTask(name.to_owned()))
+        };
+
+        // `truncate`: task-set edits rebase the workflow — older view
+        // versions would no longer partition the tasks, so only the updated
+        // current view survives.
+        let (class, affected, provenance_survives, truncate) = match op {
+            MutateOp::AddTask { name } => {
+                let spec = Arc::make_mut(&mut entry.spec);
+                let report = spec
+                    .apply(SpecMutation::AddTask { name: name.clone() })
+                    .map_err(mutation)?;
+                let task = report.task.expect("AddTask reports the created task");
+                let stored = Arc::make_mut(&mut entry.views[entry.current]);
+                let view = Arc::make_mut(&mut stored.view);
+                let composite = view.add_composite(name, vec![task]).map_err(mutation)?;
+                (
+                    report.class.name(),
+                    Affected::Composites([composite].into_iter().collect()),
+                    false,
+                    true,
+                )
+            }
+            MutateOp::RemoveTask { name } => {
+                let task = resolve_task(&entry.spec, &name)?;
+                let stored = Arc::make_mut(&mut entry.views[entry.current]);
+                let view = Arc::make_mut(&mut stored.view);
+                view.remove_member(task).map_err(mutation)?;
+                let spec = Arc::make_mut(&mut entry.spec);
+                let report = spec
+                    .apply(SpecMutation::RemoveTask { task })
+                    .map_err(mutation)?;
+                (report.class.name(), Affected::All, false, true)
+            }
+            MutateOp::AddEdge { from, to } => {
+                let from = resolve_task(&entry.spec, &from)?;
+                let to = resolve_task(&entry.spec, &to)?;
+                let report = Arc::make_mut(&mut entry.spec)
+                    .apply(SpecMutation::AddDependency { from, to })
+                    .map_err(mutation)?;
+                let (affected, internal) = edge_affected_composites(entry, from, to, &report.dirty);
+                (report.class.name(), affected, internal, false)
+            }
+            MutateOp::RemoveEdge { from, to } => {
+                let from = resolve_task(&entry.spec, &from)?;
+                let to = resolve_task(&entry.spec, &to)?;
+                let report = Arc::make_mut(&mut entry.spec)
+                    .apply(SpecMutation::RemoveDependency { from, to })
+                    .map_err(mutation)?;
+                let (_, internal) = edge_affected_composites(entry, from, to, &report.dirty);
+                // removals shrink reachability: every verdict may change,
+                // but an intra-composite edge still cannot change the
+                // induced view graph, so the provenance index survives
+                (report.class.name(), Affected::All, internal, false)
+            }
+            MutateOp::Split { composite, parts } => {
+                let stored = Arc::make_mut(&mut entry.views[entry.current]);
+                let view = Arc::make_mut(&mut stored.view);
+                let target = composite_by_name(view, &composite)?;
+                let spec = &entry.spec;
+                let part_ids: Vec<Vec<TaskId>> = parts
+                    .iter()
+                    .map(|part| {
+                        part.iter()
+                            .map(|name| resolve_task(spec, name))
+                            .collect::<Result<Vec<_>, _>>()
+                    })
+                    .collect::<Result<_, _>>()?;
+                view.split_composite(target, part_ids).map_err(mutation)?;
+                (
+                    "view-edit",
+                    Affected::Composites([target].into_iter().collect()),
+                    false,
+                    false,
+                )
+            }
+            MutateOp::Merge { name, composites } => {
+                let stored = Arc::make_mut(&mut entry.views[entry.current]);
+                let view = Arc::make_mut(&mut stored.view);
+                let ids: Vec<CompositeTaskId> = composites
+                    .iter()
+                    .map(|c| composite_by_name(view, c))
+                    .collect::<Result<_, _>>()?;
+                view.merge_composites(&ids, name).map_err(mutation)?;
+                (
+                    "view-edit",
+                    Affected::Composites(ids.into_iter().collect()),
+                    false,
+                    false,
+                )
+            }
+        };
+
+        Ok(finish_mutation(
+            entry,
+            class,
+            &affected,
+            provenance_survives,
+            truncate,
+            new_epoch,
+        ))
     }
 
     /// Corrects the current view with `strategy`. When the view was unsound,
@@ -247,7 +475,7 @@ impl WorkflowStore {
     /// # Errors
     /// Reports unknown workflows and corrector failures.
     pub fn correct(&self, id: WorkflowId, strategy: Strategy) -> Result<Corrected, ServiceError> {
-        let (spec, stored, index) = self.snapshot(id, None)?;
+        let (spec, stored, index, epoch) = self.snapshot(id, None)?;
         let corrector = strategy.corrector();
         let (corrected, report) = correct_view(&spec, &stored.view, corrector.as_ref())?;
         for correction in &report.corrections {
@@ -280,15 +508,15 @@ impl WorkflowStore {
         let entry = entries
             .get_mut(&id.0)
             .ok_or(ServiceError::UnknownWorkflow(id))?;
-        if entry.current != index {
-            // a concurrent correction already replaced the version we
-            // corrected; adopt the winner instead of appending a duplicate
+        if entry.current != index || entry.epoch != epoch {
+            // a concurrent correction or mutation already replaced the
+            // version we corrected; adopt the winner instead of appending
             let winner = &entry.views[entry.current];
             return Ok(Corrected {
                 version: entry.current,
                 composites_before: report.composites_before,
                 composites_after: winner.view.composite_count(),
-                payload: write_text_format(&spec, Some(&winner.view)),
+                payload: write_text_format(&entry.spec, Some(&winner.view)),
             });
         }
         entry.views.push(new_view);
@@ -305,21 +533,38 @@ impl WorkflowStore {
     /// workflow's current view, returning the provenance task names in
     /// deterministic (task-id) order.
     ///
-    /// Served off the per-version [`ViewProvenanceIndex`]: the induced view
-    /// graph and its reachability matrix are built once per view version
-    /// (outside the shard lock) and every query afterwards is row lookups —
-    /// no per-request graph construction or traversal.
+    /// Served off the epoch-tagged per-view [`ViewProvenanceIndex`]: the
+    /// induced view graph and its reachability matrix are built once and
+    /// survive both repeated queries and mutations that cannot change the
+    /// induced graph; every query is row lookups, no per-request graph
+    /// construction.
     ///
     /// # Errors
     /// Reports unknown workflows and task names.
     pub fn provenance(&self, id: WorkflowId, subject: &str) -> Result<Vec<String>, ServiceError> {
-        let (spec, stored, _) = self.snapshot(id, None)?;
+        let (spec, stored, _, epoch) = self.snapshot(id, None)?;
         let task = spec
             .task_by_name(subject)
             .ok_or_else(|| ServiceError::UnknownTask(subject.to_owned()))?;
-        let index = stored
+        let cached = stored
             .provenance
-            .get_or_init(|| ViewProvenanceIndex::new(&spec, &stored.view));
+            .read()
+            .as_ref()
+            .filter(|(cached_epoch, _)| *cached_epoch == epoch)
+            .map(|(_, index)| Arc::clone(index));
+        let index = match cached {
+            Some(index) => index,
+            None => {
+                let built = Arc::new(ViewProvenanceIndex::new(&spec, &stored.view));
+                let mut slot = stored.provenance.write();
+                match slot.as_ref() {
+                    // don't clobber an index a fresher epoch already cached
+                    Some((cached_epoch, _)) if *cached_epoch > epoch => {}
+                    _ => *slot = Some((epoch, Arc::clone(&built))),
+                }
+                built
+            }
+        };
         let answer = index.provenance(&stored.view, task);
         Ok(answer
             .tasks
@@ -340,6 +585,8 @@ impl WorkflowStore {
                 workflows: shard.entries.read().len(),
                 validate_hits: shard.metrics.validate_hits.load(Ordering::Relaxed),
                 validate_misses: shard.metrics.validate_misses.load(Ordering::Relaxed),
+                composite_hits: shard.metrics.composite_hits.load(Ordering::Relaxed),
+                composite_misses: shard.metrics.composite_misses.load(Ordering::Relaxed),
                 validate_ns: shard.metrics.validate_ns.load(Ordering::Relaxed),
                 requests: shard.metrics.requests.load(Ordering::Relaxed),
             })
@@ -351,10 +598,120 @@ impl WorkflowStore {
     }
 }
 
+/// Shared tail of [`WorkflowStore::mutate`]: version truncation, the
+/// retag-or-drop pass over the cached verdicts, the provenance cache and the
+/// epoch bump.
+fn finish_mutation(
+    entry: &mut Entry,
+    class: &str,
+    affected: &Affected,
+    provenance_survives: bool,
+    truncate: bool,
+    new_epoch: u64,
+) -> Mutated {
+    let old_epoch = new_epoch - 1;
+    if truncate && entry.views.len() > 1 {
+        let kept = Arc::clone(&entry.views[entry.current]);
+        entry.views = vec![kept];
+        entry.current = 0;
+    }
+    let stored = &entry.views[entry.current];
+    let live: BTreeSet<CompositeTaskId> = stored.view.composite_ids().collect();
+    let mut invalidated = 0usize;
+    let mut retained = 0usize;
+    {
+        let mut map = stored.verdicts.write();
+        map.retain(|&composite, cached| {
+            let survives = cached.epoch == old_epoch
+                && !affected.contains(composite)
+                && live.contains(&composite);
+            if survives {
+                cached.epoch = new_epoch;
+                retained += 1;
+            } else {
+                invalidated += 1;
+            }
+            survives
+        });
+    }
+    {
+        let mut slot = stored.provenance.write();
+        match slot.as_mut() {
+            Some((epoch, _)) if provenance_survives && *epoch == old_epoch => {
+                *epoch = new_epoch;
+            }
+            _ => *slot = None,
+        }
+    }
+    entry.epoch = new_epoch;
+    Mutated {
+        epoch: new_epoch,
+        class: class.to_owned(),
+        invalidated,
+        retained,
+        version: entry.current,
+    }
+}
+
+/// Computes which composites of the current view an edge mutation affects:
+/// the composites holding the endpoints (their boundary sets can move even
+/// when the reachability closure is unchanged) plus every composite with a
+/// member in a dirty reachability row. The boolean reports whether the edge
+/// is internal to one composite — the induced view graph is then unchanged
+/// and the provenance index survives the edit.
+fn edge_affected_composites(
+    entry: &Entry,
+    from: TaskId,
+    to: TaskId,
+    dirty: &DirtyRows,
+) -> (Affected, bool) {
+    let view = &entry.views[entry.current].view;
+    let from_composite = view.composite_of(from);
+    let to_composite = view.composite_of(to);
+    let internal = from_composite.is_some() && from_composite == to_composite;
+    if dirty.is_all() {
+        return (Affected::All, internal);
+    }
+    let mut affected: BTreeSet<CompositeTaskId> =
+        from_composite.into_iter().chain(to_composite).collect();
+    if !dirty.is_clean() {
+        let reach = entry.spec.reachability();
+        for (id, composite) in view.composites() {
+            if affected.contains(&id) {
+                continue;
+            }
+            let touched = composite.members().iter().any(|&task| {
+                reach
+                    .component_of(task)
+                    .map_or(true, |comp| dirty.contains(comp))
+            });
+            if touched {
+                affected.insert(id);
+            }
+        }
+    }
+    (Affected::Composites(affected), internal)
+}
+
+/// Resolves a composite task of `view` by display name.
+fn composite_by_name(view: &WorkflowView, name: &str) -> Result<CompositeTaskId, ServiceError> {
+    view.composites()
+        .find(|(_, composite)| composite.name == name)
+        .map(|(id, _)| id)
+        .ok_or_else(|| ServiceError::UnknownCompositeName(name.to_owned()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use wolves_repo::figure1;
+
+    fn add_edge(from: &str, to: &str) -> MutateOp {
+        MutateOp::AddEdge {
+            from: from.to_owned(),
+            to: to.to_owned(),
+        }
+    }
 
     #[test]
     fn register_validate_and_cache() {
@@ -371,6 +728,10 @@ mod tests {
         let stats = store.stats();
         assert_eq!(stats.validate_hits(), 1);
         assert_eq!(stats.validate_misses(), 1);
+        // composite granularity: 7 computed on the first request, 7 served
+        // from cache on the second
+        assert_eq!(stats.composite_misses(), 7);
+        assert_eq!(stats.composite_hits(), 7);
         assert_eq!(stats.workflows(), 1);
     }
 
@@ -473,5 +834,258 @@ mod tests {
         assert_eq!(stats.workflows(), 32);
         let populated = stats.shards.iter().filter(|s| s.workflows > 0).count();
         assert!(populated >= 2, "expected ≥2 shards in use, got {populated}");
+    }
+
+    #[test]
+    fn mutate_preserves_unaffected_cached_verdicts() {
+        let store = WorkflowStore::new(1);
+        let fixture = figure1();
+        let id = store.register(fixture.spec, Some(fixture.view));
+        let first = store.validate(id, None).unwrap();
+        assert!(!first.sound);
+        let stats = store.stats();
+        assert_eq!(stats.composite_misses(), 7);
+        assert_eq!(stats.composite_hits(), 0);
+
+        // an intra-composite edge whose endpoints were already connected:
+        // the reachability closure is untouched (monotone-safe, empty dirty
+        // set), so only the endpoint composite is invalidated — its boundary
+        // could have moved
+        let outcome = store
+            .mutate(
+                id,
+                add_edge("Check additional annotations", "Build phylo tree"),
+            )
+            .unwrap();
+        assert_eq!(outcome.epoch, 1);
+        assert_eq!(outcome.class, "monotone-safe");
+        assert_eq!(outcome.invalidated, 1);
+        assert_eq!(outcome.retained, 6);
+
+        let second = store.validate(id, None).unwrap();
+        assert!(!second.sound);
+        assert!(!second.cached);
+        let stats = store.stats();
+        assert_eq!(
+            stats.composite_misses(),
+            8,
+            "only 'Build Phylo Tree (19)' recomputed"
+        );
+        assert_eq!(
+            stats.composite_hits(),
+            6,
+            "six cached verdicts survived the edit"
+        );
+    }
+
+    #[test]
+    fn mutate_add_edge_dirties_ancestor_composites_only() {
+        let store = WorkflowStore::new(1);
+        let fixture = figure1();
+        let id = store.register(fixture.spec, Some(fixture.view));
+        store.validate(id, None).unwrap();
+        // Curate annotations -> Create alignment extends the closure of the
+        // ancestors whose rows actually change: 'Annotations (14)' (task 3)
+        // and the endpoint composite 16. Tasks 1 and 2 already reached
+        // Create alignment through the sequences branch, so 13 — and 15,
+        // 17, 18, 19 — survive untouched.
+        let outcome = store
+            .mutate(id, add_edge("Curate annotations", "Create alignment"))
+            .unwrap();
+        assert_eq!(outcome.class, "monotone-safe");
+        assert_eq!(outcome.invalidated, 2);
+        assert_eq!(outcome.retained, 5);
+        let verdict = store.validate(id, None).unwrap();
+        // 16 is still unsound: Create alignment (also an input) cannot reach
+        // Curate annotations (also an output)
+        assert_eq!(verdict.unsound, vec!["Curate & align (16)".to_owned()]);
+        let stats = store.stats();
+        assert_eq!(stats.composite_misses(), 7 + 2);
+        assert_eq!(stats.composite_hits(), 5);
+    }
+
+    #[test]
+    fn mutate_split_repairs_and_merge_edits_in_place() {
+        let store = WorkflowStore::new(1);
+        let fixture = figure1();
+        let id = store.register(fixture.spec, Some(fixture.view));
+        assert!(!store.validate(id, None).unwrap().sound);
+        // the user's own correction loop: split the unsound composite
+        let outcome = store
+            .mutate(
+                id,
+                MutateOp::Split {
+                    composite: "Curate & align (16)".to_owned(),
+                    parts: vec![
+                        vec!["Curate annotations".to_owned()],
+                        vec!["Create alignment".to_owned()],
+                    ],
+                },
+            )
+            .unwrap();
+        assert_eq!(outcome.class, "view-edit");
+        assert_eq!(outcome.invalidated, 1, "only the split composite dropped");
+        assert_eq!(outcome.retained, 6);
+        let verdict = store.validate(id, None).unwrap();
+        assert!(verdict.sound);
+        let stats = store.stats();
+        // the two split parts computed fresh; the other six served cached
+        assert_eq!(stats.composite_misses(), 7 + 2);
+        assert_eq!(stats.composite_hits(), 6);
+
+        // merge two sound composites back together
+        let outcome = store
+            .mutate(
+                id,
+                MutateOp::Merge {
+                    name: "Front end".to_owned(),
+                    composites: vec![
+                        "Retrieve entries (13)".to_owned(),
+                        "Annotations (14)".to_owned(),
+                    ],
+                },
+            )
+            .unwrap();
+        assert_eq!(outcome.class, "view-edit");
+        assert_eq!(outcome.invalidated, 2);
+        assert!(store.validate(id, None).unwrap().sound);
+
+        // error paths
+        assert!(matches!(
+            store.mutate(
+                id,
+                MutateOp::Merge {
+                    name: "x".to_owned(),
+                    composites: vec!["No such composite".to_owned()],
+                }
+            ),
+            Err(ServiceError::UnknownCompositeName(_))
+        ));
+        assert!(matches!(
+            store.mutate(id, add_edge("nope", "Display tree")),
+            Err(ServiceError::UnknownTask(_))
+        ));
+        assert!(matches!(
+            store.mutate(WorkflowId(999), add_edge("a", "b")),
+            Err(ServiceError::UnknownWorkflow(_))
+        ));
+    }
+
+    #[test]
+    fn mutate_task_ops_rebase_the_version_history() {
+        let store = WorkflowStore::new(2);
+        let fixture = figure1();
+        let id = store.register(fixture.spec, Some(fixture.view));
+        store.correct(id, Strategy::Strong).unwrap();
+        let outcome = store
+            .mutate(
+                id,
+                MutateOp::AddTask {
+                    name: "Archive results".to_owned(),
+                },
+            )
+            .unwrap();
+        assert_eq!(outcome.class, "monotone-safe");
+        assert_eq!(outcome.version, 0, "history rebased to the mutated view");
+        assert!(matches!(
+            store.validate(id, Some(1)),
+            Err(ServiceError::UnknownView(_, 1))
+        ));
+        // the new task joins the view as a singleton and is fully served
+        store
+            .mutate(id, add_edge("Display tree", "Archive results"))
+            .unwrap();
+        assert!(store.validate(id, None).unwrap().sound);
+        let names = store.provenance(id, "Archive results").unwrap();
+        assert!(names.contains(&"Display tree".to_owned()));
+        // duplicate task names are rejected by the model layer
+        assert!(matches!(
+            store.mutate(
+                id,
+                MutateOp::AddTask {
+                    name: "Archive results".to_owned(),
+                }
+            ),
+            Err(ServiceError::Mutation(_))
+        ));
+        // removing the task again is structural and drops it from the view
+        let outcome = store
+            .mutate(
+                id,
+                MutateOp::RemoveTask {
+                    name: "Archive results".to_owned(),
+                },
+            )
+            .unwrap();
+        assert_eq!(outcome.class, "structural");
+        assert!(store.validate(id, None).unwrap().sound);
+        assert!(matches!(
+            store.provenance(id, "Archive results"),
+            Err(ServiceError::UnknownTask(_))
+        ));
+    }
+
+    #[test]
+    fn mutate_remove_edge_is_structural_and_observed_by_validation() {
+        let store = WorkflowStore::new(1);
+        let fixture = figure1();
+        let id = store.register(fixture.spec, Some(fixture.view));
+        store.correct(id, Strategy::Strong).unwrap();
+        assert!(store.validate(id, None).unwrap().sound);
+        // removing Split entries -> Extract sequences severs the path that
+        // kept 'Retrieve entries (13)' sound towards the sequences branch
+        let outcome = store
+            .mutate(
+                id,
+                MutateOp::RemoveEdge {
+                    from: "Split entries".to_owned(),
+                    to: "Extract sequences".to_owned(),
+                },
+            )
+            .unwrap();
+        assert_eq!(outcome.class, "structural");
+        assert_eq!(
+            outcome.retained, 0,
+            "structural deltas invalidate everything"
+        );
+        // removing a dependency that does not exist is a model-layer error
+        assert!(matches!(
+            store.mutate(
+                id,
+                MutateOp::RemoveEdge {
+                    from: "Split entries".to_owned(),
+                    to: "Extract sequences".to_owned(),
+                }
+            ),
+            Err(ServiceError::Mutation(_))
+        ));
+    }
+
+    #[test]
+    fn provenance_cache_survives_internal_edges_and_tracks_cross_edges() {
+        let store = WorkflowStore::new(1);
+        let fixture = figure1();
+        let id = store.register(fixture.spec, Some(fixture.view));
+        let before = store.provenance(id, "Create alignment").unwrap();
+        assert!(!before.contains(&"Check additional annotations".to_owned()));
+
+        // internal edge (both endpoints in 'Build Phylo Tree (19)', already
+        // connected): the induced view graph is unchanged, the cached index
+        // survives and the answers stay put
+        store
+            .mutate(id, add_edge("Check additional annotations", "Display tree"))
+            .unwrap();
+        assert_eq!(store.provenance(id, "Create alignment").unwrap(), before);
+
+        // a cross-composite edge 19 -> 15 rewires the induced graph: the
+        // index is rebuilt and the provenance answer gains 19's tasks
+        store
+            .mutate(
+                id,
+                add_edge("Process additional annotations", "Extract sequences"),
+            )
+            .unwrap();
+        let after = store.provenance(id, "Create alignment").unwrap();
+        assert!(after.contains(&"Check additional annotations".to_owned()));
     }
 }

@@ -15,6 +15,8 @@ pub enum WorkflowError {
     UnknownTaskName(String),
     /// Two tasks with the same name were added to one specification.
     DuplicateTaskName(String),
+    /// No data dependency exists between the two tasks.
+    UnknownDependency(TaskId, TaskId),
     /// A composite task id does not belong to the view.
     UnknownComposite(CompositeTaskId),
     /// A composite task would be empty.
@@ -41,6 +43,9 @@ impl fmt::Display for WorkflowError {
             WorkflowError::UnknownTaskName(name) => write!(f, "unknown task name '{name}'"),
             WorkflowError::DuplicateTaskName(name) => {
                 write!(f, "duplicate task name '{name}'")
+            }
+            WorkflowError::UnknownDependency(from, to) => {
+                write!(f, "no data dependency {from} -> {to}")
             }
             WorkflowError::UnknownComposite(c) => write!(f, "unknown composite task {c}"),
             WorkflowError::EmptyComposite(name) => {

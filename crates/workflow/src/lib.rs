@@ -38,6 +38,7 @@
 pub mod boundary;
 pub mod builder;
 pub mod error;
+pub mod mutation;
 pub mod render;
 pub mod spec;
 pub mod task;
@@ -46,6 +47,7 @@ pub mod view;
 pub use boundary::Boundary;
 pub use builder::WorkflowBuilder;
 pub use error::WorkflowError;
+pub use mutation::{MutationReport, SpecDelta, SpecDeltaKind, SpecMutation};
 pub use spec::WorkflowSpec;
 pub use task::{AtomicTask, DataDependency, TaskId};
 pub use view::{CompositeTask, CompositeTaskId, WorkflowView};

@@ -3,9 +3,10 @@
 use std::collections::BTreeMap;
 use std::sync::OnceLock;
 
-use wolves_graph::{DiGraph, ReachMatrix};
+use wolves_graph::{DeltaClass, DiGraph, DirtyRows, ReachMatrix};
 
 use crate::error::WorkflowError;
+use crate::mutation::{MutationReport, SpecDelta, SpecDeltaKind, SpecMutation};
 use crate::task::{AtomicTask, DataDependency, TaskId};
 
 /// A workflow specification: a DAG of atomic tasks connected by data
@@ -13,22 +14,40 @@ use crate::task::{AtomicTask, DataDependency, TaskId};
 ///
 /// The specification owns a lazily computed all-pairs reachability matrix;
 /// every soundness question ultimately reduces to `reach(t1, t2)` queries
-/// against it. Mutating the specification invalidates the cache.
+/// against it. Mutations run through the epoch machinery (see
+/// [`crate::mutation`]): each edit bumps the epoch, appends to the delta
+/// log, and maintains the cached matrix *in place* where the delta class
+/// allows — additive edits (task/dependency inserts) never pay a full
+/// rebuild; removals discard the cache and rebuild lazily.
 #[derive(Debug)]
 pub struct WorkflowSpec {
     name: String,
     graph: DiGraph<AtomicTask, DataDependency>,
     by_name: BTreeMap<String, TaskId>,
     reach: OnceLock<ReachMatrix>,
+    epoch: u64,
+    /// Matrix rows dirtied since the last [`WorkflowSpec::take_dirty`].
+    dirty: DirtyRows,
+    log: Vec<SpecDelta>,
 }
 
 impl Clone for WorkflowSpec {
+    /// Cloning preserves the epoch, the delta log **and** the cached
+    /// reachability matrix, so copy-on-write holders (e.g. the serving
+    /// layer's `Arc::make_mut`) stay incremental across clones.
     fn clone(&self) -> Self {
+        let reach = OnceLock::new();
+        if let Some(matrix) = self.reach.get() {
+            let _ = reach.set(matrix.clone());
+        }
         WorkflowSpec {
             name: self.name.clone(),
             graph: self.graph.clone(),
             by_name: self.by_name.clone(),
-            reach: OnceLock::new(),
+            reach,
+            epoch: self.epoch,
+            dirty: self.dirty.clone(),
+            log: self.log.clone(),
         }
     }
 }
@@ -42,6 +61,9 @@ impl WorkflowSpec {
             graph: DiGraph::new(),
             by_name: BTreeMap::new(),
             reach: OnceLock::new(),
+            epoch: 0,
+            dirty: DirtyRows::clean(0),
+            log: Vec::new(),
         }
     }
 
@@ -68,14 +90,8 @@ impl WorkflowSpec {
     /// # Errors
     /// Fails if a task with the same name already exists.
     pub fn add_task(&mut self, task: AtomicTask) -> Result<TaskId, WorkflowError> {
-        if self.by_name.contains_key(&task.name) {
-            return Err(WorkflowError::DuplicateTaskName(task.name));
-        }
-        let name = task.name.clone();
-        let id = self.graph.add_node(task);
-        self.by_name.insert(name, id);
-        self.invalidate();
-        Ok(id)
+        self.add_task_mutation(task)
+            .map(|report| report.task.expect("AddTask reports the created task"))
     }
 
     /// Adds a data dependency `from -> to`.
@@ -91,9 +107,185 @@ impl WorkflowSpec {
         to: TaskId,
         dependency: DataDependency,
     ) -> Result<(), WorkflowError> {
+        self.add_dependency_mutation(from, to, dependency)
+            .map(|_| ())
+    }
+
+    /// Removes the data dependency `from -> to`.
+    ///
+    /// # Errors
+    /// Fails if no such dependency exists.
+    pub fn remove_dependency(&mut self, from: TaskId, to: TaskId) -> Result<(), WorkflowError> {
+        self.remove_dependency_mutation(from, to).map(|_| ())
+    }
+
+    /// Removes a task and every dependency touching it, returning its
+    /// payload.
+    ///
+    /// # Errors
+    /// Fails if the id does not belong to this specification.
+    pub fn remove_task(&mut self, id: TaskId) -> Result<AtomicTask, WorkflowError> {
+        let task = self
+            .graph
+            .remove_node(id)
+            .map_err(|_| WorkflowError::UnknownTask(id))?;
+        self.by_name.remove(&task.name);
+        self.reach = OnceLock::new();
+        let _ = self.record(
+            SpecDeltaKind::TaskRemoved(id),
+            DeltaClass::Structural,
+            DirtyRows::all(),
+            None,
+        );
+        Ok(task)
+    }
+
+    /// Applies one typed mutation, returning the epoch, delta class and
+    /// dirty rows the edit produced. This is the entry point the serving
+    /// layer's `mutate` requests go through; the granular methods
+    /// ([`WorkflowSpec::add_task`] etc.) share the same machinery.
+    ///
+    /// # Errors
+    /// Propagates the underlying edit's failure (duplicate names, unknown
+    /// endpoints, missing dependencies).
+    pub fn apply(&mut self, mutation: SpecMutation) -> Result<MutationReport, WorkflowError> {
+        match mutation {
+            SpecMutation::AddTask { name } => self.add_task_mutation(AtomicTask::new(name)),
+            SpecMutation::RemoveTask { task } => {
+                self.remove_task(task)?;
+                Ok(MutationReport {
+                    epoch: self.epoch,
+                    class: DeltaClass::Structural,
+                    dirty: DirtyRows::all(),
+                    task: None,
+                })
+            }
+            SpecMutation::AddDependency { from, to } => {
+                self.add_dependency_mutation(from, to, DataDependency::unnamed())
+            }
+            SpecMutation::RemoveDependency { from, to } => {
+                self.remove_dependency_mutation(from, to)
+            }
+        }
+    }
+
+    /// The specification's mutation epoch: 0 at creation, bumped by every
+    /// successful mutation. Caches derived from the spec key their validity
+    /// on this counter.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The typed delta log, in epoch order. The log is bounded: once it
+    /// reaches [`WorkflowSpec::DELTA_LOG_CAP`] entries the oldest half is
+    /// dropped, so long-lived specs (e.g. in the serving layer, where every
+    /// copy-on-write clone copies the log) hold the most recent edits only —
+    /// each entry still carries its epoch, so gaps are detectable.
+    #[must_use]
+    pub fn delta_log(&self) -> &[SpecDelta] {
+        &self.log
+    }
+
+    /// Upper bound on retained delta-log entries.
+    pub const DELTA_LOG_CAP: usize = 1024;
+
+    /// The matrix rows dirtied since the last [`WorkflowSpec::take_dirty`]
+    /// (union over all mutations in between).
+    #[must_use]
+    pub fn dirty_rows(&self) -> &DirtyRows {
+        &self.dirty
+    }
+
+    /// Takes and resets the accumulated dirty-row set. Incremental
+    /// consumers call this once per refresh; the returned set covers every
+    /// mutation since the previous take.
+    pub fn take_dirty(&mut self) -> DirtyRows {
+        let comp_count = self.reach.get().map_or(0, ReachMatrix::comp_count);
+        std::mem::replace(&mut self.dirty, DirtyRows::clean(comp_count))
+    }
+
+    fn add_task_mutation(&mut self, task: AtomicTask) -> Result<MutationReport, WorkflowError> {
+        if self.by_name.contains_key(&task.name) {
+            return Err(WorkflowError::DuplicateTaskName(task.name));
+        }
+        let name = task.name.clone();
+        let id = self.graph.add_node(task);
+        self.by_name.insert(name, id);
+        let (class, dirty) = match self.reach.get_mut() {
+            Some(matrix) => {
+                let outcome = matrix.insert_node(id);
+                (outcome.class, outcome.dirty)
+            }
+            None => (DeltaClass::Structural, DirtyRows::all()),
+        };
+        Ok(self.record(SpecDeltaKind::TaskAdded(id), class, dirty, Some(id)))
+    }
+
+    fn add_dependency_mutation(
+        &mut self,
+        from: TaskId,
+        to: TaskId,
+        dependency: DataDependency,
+    ) -> Result<MutationReport, WorkflowError> {
         self.graph.add_edge_unique(from, to, dependency)?;
-        self.invalidate();
-        Ok(())
+        let (class, dirty) = match self.reach.get_mut() {
+            Some(matrix) => match matrix.insert_edge(from, to) {
+                Ok(outcome) => (outcome.class, outcome.dirty),
+                // defensive: an endpoint the matrix never saw forces a
+                // rebuild (cannot happen when tasks enter via add_task)
+                Err(_) => {
+                    self.reach = OnceLock::new();
+                    (DeltaClass::Structural, DirtyRows::all())
+                }
+            },
+            None => (DeltaClass::Structural, DirtyRows::all()),
+        };
+        Ok(self.record(SpecDeltaKind::DependencyAdded(from, to), class, dirty, None))
+    }
+
+    fn remove_dependency_mutation(
+        &mut self,
+        from: TaskId,
+        to: TaskId,
+    ) -> Result<MutationReport, WorkflowError> {
+        let edge = self
+            .graph
+            .find_edge(from, to)
+            .ok_or(WorkflowError::UnknownDependency(from, to))?;
+        self.graph.remove_edge(edge)?;
+        self.reach = OnceLock::new();
+        Ok(self.record(
+            SpecDeltaKind::DependencyRemoved(from, to),
+            DeltaClass::Structural,
+            DirtyRows::all(),
+            None,
+        ))
+    }
+
+    fn record(
+        &mut self,
+        kind: SpecDeltaKind,
+        class: DeltaClass,
+        dirty: DirtyRows,
+        task: Option<TaskId>,
+    ) -> MutationReport {
+        self.epoch += 1;
+        if self.log.len() >= Self::DELTA_LOG_CAP {
+            // drop the oldest half in one move; amortised O(1) per mutation
+            self.log.drain(..Self::DELTA_LOG_CAP / 2);
+        }
+        self.log.push(SpecDelta {
+            epoch: self.epoch,
+            kind,
+        });
+        self.dirty.union(&dirty);
+        MutationReport {
+            epoch: self.epoch,
+            class,
+            dirty,
+            task,
+        }
     }
 
     /// Looks up a task id by name.
@@ -189,10 +381,6 @@ impl WorkflowSpec {
     /// Fails if the specification is cyclic.
     pub fn topological_order(&self) -> Result<Vec<TaskId>, WorkflowError> {
         wolves_graph::topo::topological_sort(&self.graph).map_err(Into::into)
-    }
-
-    fn invalidate(&mut self) {
-        self.reach = OnceLock::new();
     }
 }
 
@@ -293,5 +481,142 @@ mod tests {
         let cloned = spec.clone();
         assert_eq!(cloned.task_count(), 4);
         assert!(cloned.reaches(ids[0], ids[3]));
+    }
+
+    #[test]
+    fn clone_preserves_the_reach_cache_and_epoch() {
+        let (mut spec, ids) = linear_spec();
+        let _ = spec.reachability();
+        spec.add_dependency(ids[0], ids[2], DataDependency::unnamed())
+            .unwrap();
+        let epoch = spec.epoch();
+        let cloned = spec.clone();
+        assert_eq!(cloned.epoch(), epoch);
+        assert_eq!(cloned.delta_log().len(), spec.delta_log().len());
+        // the clone answers from the carried-over matrix without a rebuild
+        assert!(cloned.reaches(ids[0], ids[3]));
+        assert!(!cloned.dirty_rows().is_clean());
+    }
+
+    #[test]
+    fn epoch_counts_every_mutation() {
+        let (mut spec, ids) = linear_spec();
+        // 4 task adds + 3 dependency adds
+        assert_eq!(spec.epoch(), 7);
+        assert_eq!(spec.delta_log().len(), 7);
+        spec.remove_dependency(ids[0], ids[1]).unwrap();
+        assert_eq!(spec.epoch(), 8);
+        assert!(matches!(
+            spec.delta_log().last().unwrap().kind,
+            SpecDeltaKind::DependencyRemoved(_, _)
+        ));
+        // failed mutations bump nothing
+        assert!(spec.remove_dependency(ids[0], ids[1]).is_err());
+        assert_eq!(spec.epoch(), 8);
+    }
+
+    #[test]
+    fn apply_routes_all_four_mutations() {
+        let (mut spec, ids) = linear_spec();
+        let _ = spec.reachability();
+        let report = spec
+            .apply(SpecMutation::AddTask {
+                name: "late".to_owned(),
+            })
+            .unwrap();
+        let late = report.task.unwrap();
+        assert_eq!(report.class, DeltaClass::MonotoneSafe);
+        let report = spec
+            .apply(SpecMutation::AddDependency {
+                from: ids[3],
+                to: late,
+            })
+            .unwrap();
+        assert_eq!(report.class, DeltaClass::MonotoneSafe);
+        assert!(spec.reaches(ids[0], late));
+        let report = spec
+            .apply(SpecMutation::RemoveDependency {
+                from: ids[3],
+                to: late,
+            })
+            .unwrap();
+        assert_eq!(report.class, DeltaClass::Structural);
+        assert!(report.dirty.is_all());
+        assert!(!spec.reaches(ids[0], late));
+        let report = spec.apply(SpecMutation::RemoveTask { task: late }).unwrap();
+        assert_eq!(report.class, DeltaClass::Structural);
+        assert_eq!(spec.task_by_name("late"), None);
+        assert!(spec.apply(SpecMutation::RemoveTask { task: late }).is_err());
+    }
+
+    #[test]
+    fn incremental_edge_inserts_keep_the_matrix_live() {
+        let (mut spec, ids) = linear_spec();
+        let _ = spec.reachability();
+        let _ = spec.take_dirty();
+        // a cross edge that changes nothing: t0 already reaches t2
+        let report = spec
+            .apply(SpecMutation::AddDependency {
+                from: ids[0],
+                to: ids[2],
+            })
+            .unwrap();
+        assert_eq!(report.class, DeltaClass::MonotoneSafe);
+        assert!(report.dirty.is_clean());
+        // a back edge closes a cycle: local row merge, not a rebuild
+        let report = spec
+            .apply(SpecMutation::AddDependency {
+                from: ids[3],
+                to: ids[1],
+            })
+            .unwrap();
+        assert_eq!(report.class, DeltaClass::LocalRebuild);
+        assert!(!report.dirty.is_clean());
+        assert!(spec.reaches(ids[3], ids[1]));
+        assert!(spec.reachability().strictly_reachable(ids[2], ids[2]));
+        // accumulated dirt covers both mutations and resets on take
+        assert!(!spec.dirty_rows().is_clean());
+        let taken = spec.take_dirty();
+        assert!(!taken.is_clean());
+        assert!(spec.dirty_rows().is_clean());
+    }
+
+    #[test]
+    fn delta_log_is_bounded_but_epochs_keep_counting() {
+        let mut spec = WorkflowSpec::new("bounded");
+        let a = spec.add_task(AtomicTask::new("a")).unwrap();
+        let b = spec.add_task(AtomicTask::new("b")).unwrap();
+        for _ in 0..WorkflowSpec::DELTA_LOG_CAP {
+            spec.add_dependency(a, b, DataDependency::unnamed())
+                .unwrap();
+            spec.remove_dependency(a, b).unwrap();
+        }
+        assert!(spec.delta_log().len() <= WorkflowSpec::DELTA_LOG_CAP);
+        let expected_epoch = 2 + 2 * WorkflowSpec::DELTA_LOG_CAP as u64;
+        assert_eq!(spec.epoch(), expected_epoch);
+        // the retained tail is the newest contiguous run
+        let log = spec.delta_log();
+        assert_eq!(log.last().unwrap().epoch, expected_epoch);
+        for window in log.windows(2) {
+            assert_eq!(window[1].epoch, window[0].epoch + 1);
+        }
+    }
+
+    #[test]
+    fn mutations_without_a_built_matrix_mark_everything_dirty() {
+        let mut spec = WorkflowSpec::new("fresh");
+        let a = spec.add_task(AtomicTask::new("a")).unwrap();
+        let b = spec.add_task(AtomicTask::new("b")).unwrap();
+        spec.add_dependency(a, b, DataDependency::unnamed())
+            .unwrap();
+        assert!(spec.dirty_rows().is_all());
+        // first query builds the matrix; later additive edits are tracked
+        assert!(spec.reaches(a, b));
+        let _ = spec.take_dirty();
+        let c = spec.add_task(AtomicTask::new("c")).unwrap();
+        spec.add_dependency(b, c, DataDependency::unnamed())
+            .unwrap();
+        assert!(!spec.dirty_rows().is_all());
+        assert!(spec.reaches(a, c));
     }
 }

@@ -332,6 +332,60 @@ impl WorkflowView {
         Ok(new_id)
     }
 
+    /// Adds a new composite task covering `members`, none of which may
+    /// already belong to a composite. This is how views track spec-level
+    /// task additions: the serving layer wraps each freshly added task in a
+    /// singleton composite so the view stays a partition.
+    ///
+    /// # Errors
+    /// Fails on empty member sets and on members already assigned.
+    pub fn add_composite(
+        &mut self,
+        name: impl Into<String>,
+        members: Vec<TaskId>,
+    ) -> Result<CompositeTaskId, WorkflowError> {
+        let composite = CompositeTask::new(name, members)?;
+        let duplicated: Vec<TaskId> = composite
+            .members()
+            .iter()
+            .copied()
+            .filter(|m| self.task_to_composite.contains_key(m))
+            .collect();
+        if !duplicated.is_empty() {
+            return Err(WorkflowError::NotAPartition {
+                missing: Vec::new(),
+                duplicated,
+            });
+        }
+        let id = CompositeTaskId::from_index(self.composites.len());
+        for &m in composite.members() {
+            self.task_to_composite.insert(m, id);
+        }
+        self.composites.push(Some(composite));
+        Ok(id)
+    }
+
+    /// Removes `task` from its composite (tracking a spec-level task
+    /// removal). A composite left empty is dropped from the view. Returns
+    /// the composite the task belonged to.
+    ///
+    /// # Errors
+    /// Fails if the task belongs to no composite.
+    pub fn remove_member(&mut self, task: TaskId) -> Result<CompositeTaskId, WorkflowError> {
+        let id = self
+            .composite_of(task)
+            .ok_or(WorkflowError::UnknownTask(task))?;
+        self.task_to_composite.remove(&task);
+        let slot = self.composites[id.index()]
+            .as_mut()
+            .expect("composite_of points at a live composite");
+        slot.members.remove(&task);
+        if slot.members.is_empty() {
+            self.composites[id.index()] = None;
+        }
+        Ok(id)
+    }
+
     /// Builds the induced view-level graph: one node per composite task, and
     /// an edge `A -> B` whenever the specification has a data dependency from
     /// a member of `A` to a member of `B` (A ≠ B). This is the graph users
@@ -533,6 +587,42 @@ mod tests {
         assert_eq!(view.composite_of(ids[1]), Some(merged));
         assert_eq!(view.composite(merged).unwrap().len(), 2);
         assert!(view.validate_against(&spec).is_ok());
+    }
+
+    #[test]
+    fn add_composite_and_remove_member_track_spec_edits() {
+        let (mut spec, ids) = spec_chain(3);
+        let mut view = WorkflowView::singletons(&spec, "fine");
+        // a new spec task enters the view as a singleton composite
+        let extra = spec
+            .add_task(crate::task::AtomicTask::new("extra"))
+            .unwrap();
+        let added = view.add_composite("extra", vec![extra]).unwrap();
+        assert_eq!(view.composite_of(extra), Some(added));
+        assert!(view.validate_against(&spec).is_ok());
+        // already-assigned members are rejected
+        assert!(matches!(
+            view.add_composite("dup", vec![ids[0]]),
+            Err(WorkflowError::NotAPartition { .. })
+        ));
+        // removing the task's membership drops the emptied composite
+        spec.remove_task(extra).unwrap();
+        let removed_from = view.remove_member(extra).unwrap();
+        assert_eq!(removed_from, added);
+        assert!(view.composite(added).is_err());
+        assert!(view.validate_against(&spec).is_ok());
+        assert!(view.remove_member(extra).is_err());
+    }
+
+    #[test]
+    fn remove_member_keeps_multi_member_composites() {
+        let (spec, ids) = spec_chain(3);
+        let mut view =
+            WorkflowView::from_groups(&spec, "v", vec![("all".into(), ids.clone())]).unwrap();
+        let all = view.composite_of(ids[1]).unwrap();
+        view.remove_member(ids[1]).unwrap();
+        assert_eq!(view.composite(all).unwrap().len(), 2);
+        assert_eq!(view.composite_of(ids[1]), None);
     }
 
     #[test]

@@ -40,14 +40,14 @@ pub mod prelude {
         correct_view, Corrector, OptimalCorrector, Split, Strategy, StrongCorrector, WeakCorrector,
     };
     pub use wolves_core::feedback::FeedbackSession;
-    pub use wolves_core::validate::{validate, validate_by_definition};
+    pub use wolves_core::validate::{validate, validate_by_definition, DefinitionIndex};
     pub use wolves_provenance::{
         compare_to_ground_truth, view_level_provenance, workflow_level_provenance,
     };
     pub use wolves_workflow::builder::ViewBuilder;
     pub use wolves_workflow::{
-        AtomicTask, CompositeTask, CompositeTaskId, TaskId, WorkflowBuilder, WorkflowSpec,
-        WorkflowView,
+        AtomicTask, CompositeTask, CompositeTaskId, SpecMutation, TaskId, WorkflowBuilder,
+        WorkflowSpec, WorkflowView,
     };
 }
 

@@ -105,9 +105,10 @@ fn every_suite_view_can_be_corrected_by_both_polynomial_correctors() {
     }
 }
 
-/// Builds the `wolves` binary (tier-1 `cargo test` does not build workspace
-/// binaries) and returns its path. Uses the same cargo and target directory
-/// as the running test, so the build is a cheap no-op when already fresh.
+/// Builds the `wolves-cli` binary (tier-1 `cargo test` does not build
+/// workspace binaries) and returns its path. Uses the same cargo and target
+/// directory as the running test, so the build is a cheap no-op when already
+/// fresh.
 fn wolves_binary() -> std::path::PathBuf {
     let exe = std::env::current_exe().expect("test executable path");
     let profile_dir = exe
@@ -117,14 +118,14 @@ fn wolves_binary() -> std::path::PathBuf {
     let cargo = std::env::var_os("CARGO").unwrap_or_else(|| "cargo".into());
     let mut build = std::process::Command::new(cargo);
     build
-        .args(["build", "-q", "-p", "wolves-cli", "--bin", "wolves"])
+        .args(["build", "-q", "-p", "wolves-cli", "--bin", "wolves-cli"])
         .current_dir(env!("CARGO_MANIFEST_DIR"));
     if profile_dir.file_name().is_some_and(|n| n == "release") {
         build.arg("--release");
     }
     let status = build.status().expect("spawn cargo build for the CLI");
-    assert!(status.success(), "building the wolves binary failed");
-    let binary = profile_dir.join(format!("wolves{}", std::env::consts::EXE_SUFFIX));
+    assert!(status.success(), "building the wolves-cli binary failed");
+    let binary = profile_dir.join(format!("wolves-cli{}", std::env::consts::EXE_SUFFIX));
     assert!(binary.exists(), "no binary at {}", binary.display());
     binary
 }

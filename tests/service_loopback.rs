@@ -5,7 +5,7 @@
 use wolves::core::correct::Strategy;
 use wolves::moml::write_text_format;
 use wolves::service::{
-    serve, validate_throughput, BatchConfig, ServerConfig, ServiceClient, ServiceError,
+    serve, validate_throughput, BatchConfig, MutateOp, ServerConfig, ServiceClient, ServiceError,
 };
 
 #[test]
@@ -66,10 +66,46 @@ fn full_protocol_round_trip_over_loopback() {
     assert_eq!(stats.registry_samples, 1);
     assert_eq!(stats.shards.len(), 2);
 
+    // mutation epochs over the wire: an edit inside one composite keeps the
+    // other cached verdicts alive (visible through `retained` and the
+    // composite hit counters), and the view still validates sound
+    let composite_hits_before = client.stats().expect("stats").composite_hits();
+    let mutated = client
+        .mutate(
+            id,
+            MutateOp::AddEdge {
+                from: "Check additional annotations".to_owned(),
+                to: "Build phylo tree".to_owned(),
+            },
+        )
+        .expect("mutate");
+    assert_eq!(mutated.class, "monotone-safe");
+    assert_eq!(mutated.invalidated, 1, "only the endpoint composite drops");
+    assert_eq!(mutated.retained, 7, "the other cached verdicts survive");
+    let verdict = client.validate(id, None).expect("validate after mutate");
+    assert!(verdict.sound);
+    assert!(!verdict.cached, "one composite had to be recomputed");
+    let composite_hits_after = client.stats().expect("stats").composite_hits();
+    assert_eq!(
+        composite_hits_after - composite_hits_before,
+        7,
+        "seven of eight composite verdicts served from the surviving cache"
+    );
+
     // server-side errors arrive as typed remote errors, not broken streams
     let err = client
         .provenance(id, "No such task")
         .expect_err("unknown task");
+    assert!(matches!(err, ServiceError::Remote(_)));
+    let err = client
+        .mutate(
+            id,
+            MutateOp::RemoveEdge {
+                from: "Display tree".to_owned(),
+                to: "Select entries from DB".to_owned(),
+            },
+        )
+        .expect_err("no such dependency");
     assert!(matches!(err, ServiceError::Remote(_)));
 
     client.shutdown().expect("shutdown");
@@ -104,10 +140,14 @@ fn concurrent_clients_share_the_verdict_cache() {
     assert_eq!(report.completed, 240);
     assert_eq!(report.errors, 0);
 
-    // exactly one miss per workflow; every other request hit the cache
+    // composite-granular counters are deterministic even with racing
+    // clients: exactly one compute per (workflow, composite) — the
+    // OnceLock'd cells make every racer block and count as a hit
     let stats = store.stats();
-    assert_eq!(stats.validate_misses(), 6);
-    assert_eq!(stats.validate_hits(), 234);
+    assert_eq!(stats.composite_misses(), 6 * 7);
+    assert_eq!(stats.composite_hits(), 240 * 7 - 6 * 7);
+    assert!(stats.validate_misses() >= 6);
+    assert_eq!(stats.validate_hits() + stats.validate_misses(), 240);
     assert_eq!(stats.workflows(), 6);
     server.shutdown();
 }

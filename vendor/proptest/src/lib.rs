@@ -2,7 +2,7 @@
 //! property-testing framework.
 //!
 //! The build environment has no network access, so the workspace vendors a
-//! minimal generator-only implementation of the API surface its tests use:
+//! minimal implementation of the API surface its tests use:
 //!
 //! * [`strategy::Strategy`] with `prop_map` / `prop_flat_map`,
 //! * integer-range and tuple strategies, [`strategy::Just`],
@@ -11,43 +11,86 @@
 //! * [`test_runner::ProptestConfig::with_cases`].
 //!
 //! Differences from real proptest: value generation is seeded
-//! deterministically per test case (case index), there is **no shrinking**
-//! (a failing case panics with the assertion message straight away), and
-//! assertion macros are plain `assert!`s. This keeps runs reproducible and
-//! fast while preserving the property-based coverage of the test suites.
+//! deterministically per test case (case index) and assertion macros are
+//! plain `assert!`s. Shrinking is implemented at the **random-tape** level
+//! (the Hypothesis approach): generation records every raw `u64` the
+//! strategies draw, and on failure the runner greedily rewrites individual
+//! draws (`0`, then halving — integers shrink towards their range start,
+//! vectors bisect through their length draw), replaying the modified tape
+//! through the same strategies. The loop is bounded by
+//! [`test_runner::ProptestConfig::max_shrink_iters`]; the minimal still-
+//! failing case is re-run uncaught so the test fails with the *shrunken*
+//! counterexample's assertion instead of the original (often huge) one.
 
 #![forbid(unsafe_code)]
 
-/// Deterministic test-case RNG and run configuration.
+/// Deterministic test-case RNG, run configuration and the property runner.
 pub mod test_runner {
-    /// SplitMix64 generator used to derive all test-case values.
+    use crate::strategy::Strategy;
+
+    /// SplitMix64 generator used to derive all test-case values. Every
+    /// emitted `u64` is recorded on a tape so failing cases can be shrunk by
+    /// replaying a rewritten tape (see the crate docs).
     #[derive(Debug, Clone)]
     pub struct TestRng {
         state: u64,
+        tape: Vec<u64>,
+        position: usize,
+        replay: bool,
     }
 
     impl TestRng {
-        /// Creates a generator for the given test-case index.
+        /// Creates a recording generator for the given test-case index.
         pub fn deterministic(case: u64) -> Self {
             // golden-ratio offset separates neighbouring case streams
             TestRng {
                 state: case.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xDEAD_BEEF_CAFE_F00D,
+                tape: Vec::new(),
+                position: 0,
+                replay: false,
             }
         }
 
-        /// Returns the next pseudo-random `u64`.
-        pub fn next_u64(&mut self) -> u64 {
-            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-            let mut z = self.state;
-            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-            z ^ (z >> 31)
+        /// Creates a generator replaying a recorded tape; draws past the end
+        /// of the tape return `0` (the smallest value).
+        pub fn replaying(tape: &[u64]) -> Self {
+            TestRng {
+                state: 0,
+                tape: tape.to_vec(),
+                position: 0,
+                replay: true,
+            }
         }
 
-        /// Returns a value uniformly distributed in `[0, bound)`.
+        /// Returns the next pseudo-random `u64` (recorded or replayed).
+        pub fn next_u64(&mut self) -> u64 {
+            let value = if self.position < self.tape.len() {
+                self.tape[self.position]
+            } else if self.replay {
+                0
+            } else {
+                self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = self.state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                let fresh = z ^ (z >> 31);
+                self.tape.push(fresh);
+                fresh
+            };
+            self.position += 1;
+            value
+        }
+
+        /// Returns a value uniformly distributed in `[0, bound)`. The modulo
+        /// keeps any replayed tape value in bounds, which is what makes tape
+        /// rewriting safe.
         pub fn below(&mut self, bound: u64) -> u64 {
             assert!(bound > 0, "cannot sample below 0");
             self.next_u64() % bound
+        }
+
+        fn into_tape(self) -> Vec<u64> {
+            self.tape
         }
     }
 
@@ -57,19 +100,111 @@ pub mod test_runner {
     pub struct ProptestConfig {
         /// Number of generated cases per property.
         pub cases: u32,
+        /// Upper bound on shrink attempts (replays of a rewritten tape)
+        /// after a failing case — the fixed iteration cap that keeps
+        /// shrinking from dominating a failing test run.
+        pub max_shrink_iters: u32,
     }
 
     impl ProptestConfig {
         /// Creates a configuration running `cases` cases per property.
         pub fn with_cases(cases: u32) -> Self {
-            ProptestConfig { cases }
+            ProptestConfig {
+                cases,
+                ..ProptestConfig::default()
+            }
         }
     }
 
     impl Default for ProptestConfig {
         fn default() -> Self {
-            ProptestConfig { cases: 64 }
+            ProptestConfig {
+                cases: 64,
+                max_shrink_iters: 512,
+            }
         }
+    }
+
+    /// Runs `test` over `config.cases` generated inputs; on failure, shrinks
+    /// the recorded random tape and re-runs the minimal still-failing input
+    /// uncaught, so the test reports the smallest counterexample found.
+    ///
+    /// This is the engine behind the [`crate::proptest!`] macro.
+    pub fn run_property<S, F>(config: &ProptestConfig, strategy: &S, mut test: F)
+    where
+        S: Strategy,
+        F: FnMut(S::Value),
+    {
+        for case in 0..u64::from(config.cases) {
+            let mut rng = TestRng::deterministic(case);
+            let value = strategy.new_value(&mut rng);
+            let tape = rng.into_tape();
+            if attempt(&mut test, value) {
+                continue;
+            }
+            let (minimal, steps, attempts) =
+                shrink_tape(strategy, tape, config.max_shrink_iters, &mut test);
+            eprintln!(
+                "proptest shim: case {case} failed; accepted {steps} shrink step(s) over \
+                 {attempts} attempt(s); re-running the minimal counterexample:"
+            );
+            let mut rng = TestRng::replaying(&minimal);
+            test(strategy.new_value(&mut rng));
+            panic!("proptest shim: the shrunken case passed on re-run; the property is flaky");
+        }
+    }
+
+    /// Runs one case, catching its panic. `true` means the case passed.
+    fn attempt<T>(test: &mut impl FnMut(T), value: T) -> bool {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| test(value))).is_ok()
+    }
+
+    /// Greedy bounded tape shrinking: for each draw try `0`, then halving,
+    /// keeping any rewrite under which the property still fails. Halving a
+    /// range draw halves the integer (towards the range start); halving a
+    /// `vec` length draw bisects the vector. The panic hook is silenced for
+    /// the duration so the (expected) failures of shrink attempts don't spam
+    /// stderr; note the hook is process-global, so concurrent failing tests
+    /// may print less during someone else's shrink phase.
+    fn shrink_tape<S: Strategy>(
+        strategy: &S,
+        mut tape: Vec<u64>,
+        max_attempts: u32,
+        test: &mut impl FnMut(S::Value),
+    ) -> (Vec<u64>, usize, usize) {
+        let previous_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let mut attempts = 0usize;
+        let mut steps = 0usize;
+        'outer: loop {
+            let mut improved = false;
+            for index in 0..tape.len() {
+                for candidate in [0u64, tape[index] / 2] {
+                    if candidate == tape[index] {
+                        continue;
+                    }
+                    if attempts >= max_attempts as usize {
+                        break 'outer;
+                    }
+                    attempts += 1;
+                    let mut rewritten = tape.clone();
+                    rewritten[index] = candidate;
+                    let mut rng = TestRng::replaying(&rewritten);
+                    let value = strategy.new_value(&mut rng);
+                    if !attempt(test, value) {
+                        tape = rewritten;
+                        steps += 1;
+                        improved = true;
+                        break;
+                    }
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        std::panic::set_hook(previous_hook);
+        (tape, steps, attempts)
     }
 }
 
@@ -264,7 +399,8 @@ macro_rules! prop_assert_ne {
 }
 
 /// Declares property tests: each `#[test] fn name(pat in strategy, ..)` item
-/// becomes a regular test that runs the body over `cases` generated inputs.
+/// becomes a regular test running the body over `cases` generated inputs
+/// through [`test_runner::run_property`] (bounded tape shrinking included).
 #[macro_export]
 macro_rules! proptest {
     (@impl $config:expr; $($(#[$meta:meta])* fn $name:ident($($pat:pat_param in $strat:expr),* $(,)?) $body:block)*) => {
@@ -273,12 +409,7 @@ macro_rules! proptest {
             fn $name() {
                 let config: $crate::test_runner::ProptestConfig = $config;
                 let strategies = ($($strat,)*);
-                for case in 0..config.cases {
-                    let mut rng = $crate::test_runner::TestRng::deterministic(case as u64);
-                    let ($($pat,)*) =
-                        $crate::strategy::Strategy::new_value(&strategies, &mut rng);
-                    $body
-                }
+                $crate::test_runner::run_property(&config, &strategies, |($($pat,)*)| $body);
             }
         )*
     };
@@ -293,7 +424,7 @@ macro_rules! proptest {
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
-    use crate::test_runner::TestRng;
+    use crate::test_runner::{run_property, TestRng};
 
     #[test]
     fn ranges_and_tuples_generate_in_bounds() {
@@ -333,6 +464,82 @@ mod tests {
         let mut a = TestRng::deterministic(5);
         let mut b = TestRng::deterministic(5);
         assert_eq!(strat.new_value(&mut a), strat.new_value(&mut b));
+    }
+
+    #[test]
+    fn replaying_past_the_tape_yields_zeroes() {
+        let mut recording = TestRng::deterministic(3);
+        let strat = (0usize..100, 0usize..100);
+        let _ = strat.new_value(&mut recording);
+        let mut replaying = TestRng::replaying(&[]);
+        assert_eq!(strat.new_value(&mut replaying), (0, 0));
+    }
+
+    #[test]
+    fn shrinking_minimises_an_integer_counterexample() {
+        // the property fails for x >= 10 over 0..1000; shrinking must land
+        // in [10, 19] (one more halving would make the case pass)
+        let observed = std::sync::Mutex::new(Vec::<usize>::new());
+        let config = ProptestConfig::with_cases(4);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_property(&config, &(0usize..1000,), |(x,)| {
+                observed.lock().unwrap().push(x);
+                assert!(x < 10, "x = {x}");
+            });
+        }));
+        assert!(outcome.is_err(), "the property must fail");
+        let minimal = *observed
+            .lock()
+            .unwrap()
+            .last()
+            .expect("at least one case ran");
+        assert!(
+            (10..20).contains(&minimal),
+            "shrinking should reach [10, 20), got {minimal}"
+        );
+    }
+
+    #[test]
+    fn shrinking_bisects_vectors() {
+        // fails whenever the vec has >= 4 elements: the minimal
+        // counterexample is any 4-element vector, reached by halving the
+        // length draw
+        let observed = std::sync::Mutex::new(Vec::<usize>::new());
+        let config = ProptestConfig::with_cases(8);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_property(
+                &config,
+                &(crate::collection::vec(0usize..100, 0..32),),
+                |(xs,)| {
+                    observed.lock().unwrap().push(xs.len());
+                    assert!(xs.len() < 4, "len = {}", xs.len());
+                },
+            );
+        }));
+        assert!(outcome.is_err(), "the property must fail");
+        let minimal = *observed.lock().unwrap().last().unwrap();
+        assert!(
+            (4..8).contains(&minimal),
+            "shrinking should bisect towards 4 elements, got {minimal}"
+        );
+    }
+
+    #[test]
+    fn shrink_attempts_respect_the_iteration_cap() {
+        let runs = std::sync::Mutex::new(0usize);
+        let config = ProptestConfig {
+            cases: 1,
+            max_shrink_iters: 7,
+        };
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_property(&config, &(0u64..u64::MAX,), |(_x,)| {
+                *runs.lock().unwrap() += 1;
+                panic!("always fails");
+            });
+        }));
+        assert!(outcome.is_err());
+        // 1 original failure + at most 7 shrink attempts + 1 final re-run
+        assert!(*runs.lock().unwrap() <= 9);
     }
 
     proptest! {
