@@ -1,0 +1,233 @@
+//! Durability benchmark for `wolves-service`: WAL append overhead versus
+//! the in-memory store, and cold-recovery time after a restart.
+//!
+//! Workload per backend: register a mid-size generated workflow, drive `N`
+//! mutations (grow a task, wire it in), then "restart" — drop the store and
+//! reopen the data directory, replaying snapshot + write-ahead log — and
+//! measure how long recovery takes, both from a raw log and after snapshot
+//! compaction.
+//!
+//! Usage:
+//!
+//! ```text
+//! persist_bench                     # full run, JSON on stdout
+//! persist_bench --quick             # fewer mutations (CI)
+//! persist_bench --out BENCH_persist.json
+//! ```
+//!
+//! The output is machine-readable JSON (handwritten — no serde in the
+//! workspace), one row per backend configuration, so the WAL-overhead
+//! trajectory can be recorded across PRs.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use wolves_repo::{layered_workflow, topological_block_view, LayeredConfig};
+use wolves_service::{FileBackend, MutateOp, PersistConfig, WorkflowId, WorkflowStore};
+
+struct Row {
+    backend: &'static str,
+    mutations: usize,
+    elapsed_ms: f64,
+    mutations_per_sec: f64,
+    overhead_vs_memory: f64,
+    recovery_ms: f64,
+    compacted_recovery_ms: f64,
+    replayed_records: usize,
+}
+
+enum Backend {
+    Memory,
+    Wal { fsync_every: usize },
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("usage: persist_bench [--quick] [--out <file>]");
+        return;
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path: Option<String> = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned());
+    let mutations = if quick { 300 } else { 2000 };
+
+    // fsync_every: 0 = the default OS-flush policy (process-crash durable,
+    // what the kill-and-recover acceptance test exercises); 16 = bounded
+    // power-loss window; 1 = strict fsync-per-record
+    let configs: [(&'static str, Backend); 4] = [
+        ("memory", Backend::Memory),
+        ("wal-os-flush", Backend::Wal { fsync_every: 0 }),
+        ("wal-fsync-16", Backend::Wal { fsync_every: 16 }),
+        ("wal-fsync-every-record", Backend::Wal { fsync_every: 1 }),
+    ];
+    let mut rows: Vec<Row> = Vec::new();
+    let mut memory_rate = 0.0f64;
+    for (name, backend) in configs {
+        let row = run_backend(name, &backend, mutations, memory_rate);
+        if matches!(backend, Backend::Memory) {
+            memory_rate = row.mutations_per_sec;
+        }
+        rows.push(row);
+    }
+
+    let json = render_json(&rows, quick);
+    if let Some(path) = out_path {
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("cannot write '{path}': {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+    println!("{json}");
+}
+
+fn temp_root(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("wolves-persist-bench-{tag}-{}", std::process::id()))
+}
+
+fn open_store(root: &PathBuf, fsync_every: usize) -> WorkflowStore {
+    let backend = FileBackend::open(PersistConfig {
+        shards: 2,
+        fsync_every,
+        // large enough that rotation frequency reflects real settings
+        segment_bytes: 4 * 1024 * 1024,
+        ..PersistConfig::new(root)
+    })
+    .expect("open the bench data dir");
+    WorkflowStore::open(Arc::new(backend))
+        .expect("recover the bench store")
+        .0
+}
+
+/// Registers the base workflow and applies the mutation stream, returning
+/// the wall-clock of the mutation loop alone.
+fn drive(store: &WorkflowStore, mutations: usize) -> (WorkflowId, f64) {
+    let spec = layered_workflow(&LayeredConfig::sized(96), 42);
+    let view = topological_block_view(&spec, 6, "blocks").expect("layered spec is a DAG");
+    let anchor = spec
+        .tasks()
+        .next()
+        .map(|(_, task)| task.name.clone())
+        .expect("non-empty workflow");
+    let id = store.try_register(spec, Some(view)).expect("register");
+    let start = Instant::now();
+    for index in 0..mutations / 2 {
+        let name = format!("grown-{index}");
+        store
+            .mutate(id, MutateOp::AddTask { name: name.clone() })
+            .expect("add task");
+        let from = if index == 0 {
+            anchor.clone()
+        } else {
+            format!("grown-{}", index - 1)
+        };
+        store
+            .mutate(id, MutateOp::AddEdge { from, to: name })
+            .expect("add edge");
+    }
+    (id, start.elapsed().as_secs_f64() * 1e3)
+}
+
+fn run_backend(name: &'static str, backend: &Backend, mutations: usize, memory_rate: f64) -> Row {
+    match backend {
+        Backend::Memory => {
+            let store = WorkflowStore::new(2);
+            let (_, elapsed_ms) = drive(&store, mutations);
+            let rate = mutations as f64 / (elapsed_ms / 1e3);
+            Row {
+                backend: name,
+                mutations,
+                elapsed_ms,
+                mutations_per_sec: rate,
+                overhead_vs_memory: 1.0,
+                recovery_ms: 0.0,
+                compacted_recovery_ms: 0.0,
+                replayed_records: 0,
+            }
+        }
+        Backend::Wal { fsync_every } => {
+            let root = temp_root(name);
+            let _ = std::fs::remove_dir_all(&root);
+            let store = open_store(&root, *fsync_every);
+            let (id, elapsed_ms) = drive(&store, mutations);
+            let rate = mutations as f64 / (elapsed_ms / 1e3);
+            drop(store);
+
+            // cold recovery: replay whatever snapshot + log the "crash" left
+            let start = Instant::now();
+            let backend = FileBackend::open(PersistConfig {
+                shards: 2,
+                fsync_every: *fsync_every,
+                segment_bytes: 4 * 1024 * 1024,
+                ..PersistConfig::new(&root)
+            })
+            .expect("reopen");
+            let (store, report) = WorkflowStore::open(Arc::new(backend)).expect("recover");
+            let recovery_ms = start.elapsed().as_secs_f64() * 1e3;
+            let replayed_records = report.replayed_records;
+            assert!(store.validate(id, None).is_ok(), "recovered store answers");
+
+            // recovery itself compacts, so the next start replays the
+            // snapshot only
+            drop(store);
+            let start = Instant::now();
+            let store = open_store(&root, *fsync_every);
+            let compacted_recovery_ms = start.elapsed().as_secs_f64() * 1e3;
+            assert!(store.validate(id, None).is_ok());
+            drop(store);
+            let _ = std::fs::remove_dir_all(&root);
+
+            Row {
+                backend: name,
+                mutations,
+                elapsed_ms,
+                mutations_per_sec: rate,
+                overhead_vs_memory: if rate > 0.0 {
+                    memory_rate / rate
+                } else {
+                    f64::NAN
+                },
+                recovery_ms,
+                compacted_recovery_ms,
+                replayed_records,
+            }
+        }
+    }
+}
+
+fn render_json(rows: &[Row], quick: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"benchmark\": \"wolves-service durable store\",");
+    let _ = writeln!(
+        out,
+        "  \"workload\": \"register + mutation stream + restart (snapshot/WAL recovery)\","
+    );
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    out.push_str("  \"rows\": [\n");
+    for (index, row) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"backend\": \"{}\", \"mutations\": {}, \"elapsed_ms\": {:.2}, \
+             \"mutations_per_sec\": {:.0}, \"overhead_vs_memory\": {:.2}, \
+             \"recovery_ms\": {:.2}, \"compacted_recovery_ms\": {:.2}, \
+             \"replayed_records\": {}}}",
+            row.backend,
+            row.mutations,
+            row.elapsed_ms,
+            row.mutations_per_sec,
+            row.overhead_vs_memory,
+            row.recovery_ms,
+            row.compacted_recovery_ms,
+            row.replayed_records
+        );
+        out.push_str(if index + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

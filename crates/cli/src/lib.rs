@@ -15,12 +15,15 @@
 //! Beyond Figure 2, the serving layer (`wolves-service`) is exposed through
 //! `wolves serve` (see the binary) and the [`remote_register`],
 //! [`remote_validate`], [`remote_correct`], [`remote_mutate`],
-//! [`remote_provenance`], [`remote_stats`] and [`remote_shutdown`] client
-//! commands, plus [`fixture_command`] to materialise the paper fixtures as
-//! input files. `wolves mutate` drives the interactive correction loop:
-//! registered workflows are edited in place (add/remove task or edge, split
-//! or merge composites) and the server invalidates only the cached verdicts
-//! the edit could have changed.
+//! [`remote_provenance`], [`remote_export`], [`remote_snapshot`],
+//! [`remote_stats`] and [`remote_shutdown`] client commands, plus
+//! [`fixture_command`] to materialise the paper fixtures as input files.
+//! `wolves mutate` drives the interactive correction loop: registered
+//! workflows are edited in place (add/remove task or edge, split or merge
+//! composites) and the server invalidates only the cached verdicts the edit
+//! could have changed; [`remote_export`] downloads the edited workflow back
+//! in registrable form. [`recover_command`] (`wolves recover`) checks and
+//! replays a `--data-dir` offline.
 //!
 //! The binary (`wolves`) parses arguments and dispatches to these functions;
 //! they all return plain strings so they are directly testable.
@@ -533,6 +536,65 @@ pub fn remote_mutate(
     ))
 }
 
+/// `wolves request <addr> export <id> [--out <file>]`: downloads the
+/// workflow's current spec + view in registrable textfmt — the resync path
+/// after server-side mutations and corrections.
+///
+/// # Errors
+/// Reports unwritable output paths and transport/server failures.
+pub fn remote_export(
+    addr: &str,
+    workflow: WorkflowId,
+    out_path: Option<&str>,
+) -> Result<String, CliError> {
+    let payload = connect(addr)?.export(workflow)?;
+    match out_path {
+        Some(path) => {
+            std::fs::write(path, &payload)
+                .map_err(|e| CliError::Operation(format!("cannot write '{path}': {e}")))?;
+            Ok(format!("workflow {workflow} exported to {path}\n"))
+        }
+        None => Ok(payload),
+    }
+}
+
+/// `wolves request <addr> snapshot`: forces a snapshot of every shard
+/// (durable servers compact their write-ahead logs).
+///
+/// # Errors
+/// Reports transport/server failures.
+pub fn remote_snapshot(addr: &str) -> Result<String, CliError> {
+    let shards = connect(addr)?.snapshot()?;
+    Ok(format!("snapshotted {shards} shard(s)\n"))
+}
+
+/// `wolves recover <dir>`: offline integrity check + replay report of a
+/// durable data directory. Loads the directory's journal, replays it into a
+/// store (through the same paths `wolves serve --data-dir` uses, including
+/// the post-replay compaction snapshot) and reports what was recovered.
+///
+/// # Errors
+/// Reports unreadable directories, corruption and replay divergence.
+pub fn recover_command(dir: &str) -> Result<String, CliError> {
+    let root = std::path::Path::new(dir);
+    let recorded =
+        wolves_service::FileBackend::recorded_shard_count(root).map_err(CliError::Service)?;
+    let shards = recorded
+        .ok_or_else(|| CliError::Operation(format!("'{dir}' is not a wolves data directory")))?;
+    let (store, report) = wolves_service::open_data_dir(root, None).map_err(CliError::Service)?;
+    let mut out = format!("data directory '{dir}' ({shards} shard(s)): intact\n{report}");
+    let stats = store.stats();
+    for shard in &stats.shards {
+        let _ = writeln!(
+            out,
+            "shard {}: {} workflow(s)",
+            shard.shard, shard.workflows
+        );
+    }
+    let _ = writeln!(out, "log compacted; next start replays snapshots only");
+    Ok(out)
+}
+
 /// `wolves request <addr> stats`: prints the per-shard serving counters.
 ///
 /// # Errors
@@ -703,6 +765,24 @@ mod tests {
 
         let stats = remote_stats(&addr).unwrap();
         assert!(stats.contains("estimation registry holds 1 correction samples"));
+
+        // export returns the *mutated* workflow in registrable form: the
+        // re-registered copy has the extra edge and the corrected view
+        let exported = remote_export(&addr, id, None).unwrap();
+        assert!(exported.contains("edge\tCheck additional annotations\tBuild phylo tree"));
+        let reimported = parse_workflow("resync.txt", &exported).unwrap();
+        assert_eq!(reimported.spec.dependency_count(), 13);
+        assert_eq!(reimported.view.unwrap().composite_count(), 8);
+        let out_path = std::env::temp_dir().join("wolves-cli-remote-export.txt");
+        let written = remote_export(&addr, id, Some(&out_path.to_string_lossy())).unwrap();
+        assert!(written.contains("exported to"));
+        assert!(std::fs::read_to_string(&out_path)
+            .unwrap()
+            .contains("workflow\tphylogenomic-inference"));
+
+        // snapshot is a no-op on the in-memory server but still answers
+        let snapshotted = remote_snapshot(&addr).unwrap();
+        assert!(snapshotted.contains("snapshotted 2 shard(s)"));
 
         assert!(matches!(
             remote_validate(&addr, WorkflowId(77), None),

@@ -9,24 +9,54 @@
 //! wolves export <file> --format moml|text     convert between formats
 //! wolves fixture figure1|figure3              print a paper fixture
 //! wolves demo                                 run the Figure 1 walk-through
-//! wolves serve [--addr A] [--shards N] [--threads N]
+//! wolves serve [--addr A] [--shards N] [--threads N] [--data-dir D]
+//! wolves recover <dir>                        offline check + replay report
 //! wolves request <addr> <verb> …              talk to a running server
 //! wolves mutate <addr> <id> <op> …            edit a registered workflow in place
 //! ```
 //!
-//! Unknown subcommands, unknown options and malformed arguments exit with a
-//! nonzero status and print the usage text on stderr. Input files ending in
+//! Unknown subcommands, unknown options and malformed arguments exit with
+//! status 1 and print the usage text on stderr. `wolves serve` exits with
+//! status 2 when it cannot bind its address and status 3 when a
+//! `--data-dir` cannot be recovered (`wolves recover` shares status 3), so
+//! supervisors can tell the failure modes apart. Input files ending in
 //! `.xml`/`.moml` are parsed as MOML; everything else uses the native text
 //! format (see `wolves-moml`).
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use wolves_cli::{
     correct_command, export_command, fixture_command, import_command, load_workflow,
-    naive_check_command, remote_correct, remote_mutate, remote_provenance, remote_register,
-    remote_shutdown, remote_stats, remote_validate, render_command, show_command, validate_command,
+    naive_check_command, recover_command, remote_correct, remote_export, remote_mutate,
+    remote_provenance, remote_register, remote_shutdown, remote_snapshot, remote_stats,
+    remote_validate, render_command, show_command, validate_command,
 };
-use wolves_service::{serve, ServerConfig, WorkflowId};
+use wolves_service::{open_data_dir, serve_with_store, ServerConfig, WorkflowId, WorkflowStore};
+
+/// Exit code of malformed invocations and general operation failures.
+const EXIT_GENERAL: u8 = 1;
+/// Exit code when `wolves serve` cannot bind its address.
+const EXIT_BIND: u8 = 2;
+/// Exit code when a `--data-dir` cannot be recovered (corruption, replay
+/// divergence, shard-count mismatch) — also used by `wolves recover`.
+const EXIT_RECOVERY: u8 = 3;
+
+/// A CLI failure: the message for stderr plus the process exit code.
+#[derive(Debug)]
+struct Failure {
+    code: u8,
+    message: String,
+}
+
+impl From<String> for Failure {
+    fn from(message: String) -> Self {
+        Failure {
+            code: EXIT_GENERAL,
+            message,
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,9 +65,9 @@ fn main() -> ExitCode {
             print!("{output}");
             ExitCode::SUCCESS
         }
-        Err(message) => {
-            eprintln!("error: {message}");
-            ExitCode::FAILURE
+        Err(failure) => {
+            eprintln!("error: {}", failure.message);
+            ExitCode::from(failure.code)
         }
     }
 }
@@ -101,9 +131,18 @@ fn parse_number<T: std::str::FromStr>(value: &str, what: &str) -> Result<T, Stri
         .map_err(|_| format!("invalid {what} '{value}'\n{USAGE}"))
 }
 
-fn run(args: &[String]) -> Result<String, String> {
+fn run(args: &[String]) -> Result<String, Failure> {
     let command = args.first().map(String::as_str).unwrap_or("help");
     let rest = args.get(1..).unwrap_or_default();
+    match command {
+        // these two distinguish their failure modes through the exit code
+        "serve" => serve_blocking(rest),
+        "recover" => recover_blocking(rest),
+        other => run_simple(other, rest).map_err(Failure::from),
+    }
+}
+
+fn run_simple(command: &str, rest: &[String]) -> Result<String, String> {
     match command {
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         "demo" => {
@@ -124,7 +163,6 @@ fn run(args: &[String]) -> Result<String, String> {
             };
             fixture_command(&name).map_err(|e| e.to_string())
         }
-        "serve" => serve_blocking(rest),
         "request" => request(rest),
         "mutate" => mutate(rest),
         "show" | "validate" | "correct" | "render" | "export" => {
@@ -185,24 +223,58 @@ fn run(args: &[String]) -> Result<String, String> {
 }
 
 /// `wolves serve`: starts the server and blocks until a client sends a
-/// `shutdown` request.
-fn serve_blocking(args: &[String]) -> Result<String, String> {
-    let (positionals, flags) = parse_args("serve", args, &["addr", "shards", "threads"])?;
+/// `shutdown` request. With `--data-dir` the store is recovered from (and
+/// persisted to) the given directory.
+///
+/// Failure modes exit distinctly: recovery failures (corrupt or mismatched
+/// data dir) with [`EXIT_RECOVERY`], bind failures with [`EXIT_BIND`] —
+/// so supervisors can tell "fix the data" from "fix the address" apart.
+fn serve_blocking(args: &[String]) -> Result<String, Failure> {
+    let (positionals, flags) =
+        parse_args("serve", args, &["addr", "shards", "threads", "data-dir"])?;
     if !positionals.is_empty() {
-        return Err(format!("'serve' takes no positional arguments\n{USAGE}"));
+        return Err(format!("'serve' takes no positional arguments\n{USAGE}").into());
     }
+    let explicit_shards = flag(&flags, "shards")
+        .map(|v| parse_number::<usize>(v, "shard count"))
+        .transpose()?;
+    let data_dir = flag(&flags, "data-dir");
+    let recovery = |message: String| Failure {
+        code: EXIT_RECOVERY,
+        message,
+    };
+    // recover (or initialise) the store before binding anything
+    let (store, banner) = match data_dir {
+        Some(dir) => {
+            // an existing data dir pins its own shard layout; it is honoured
+            // unless --shards explicitly disagrees (then the meta check
+            // fails loudly)
+            let (store, report) = open_data_dir(std::path::Path::new(dir), explicit_shards)
+                .map_err(|e| recovery(format!("cannot recover '{dir}': {e}")))?;
+            let banner = format!("durable store in '{dir}': {report}");
+            (Arc::new(store), banner)
+        }
+        None => {
+            let shards = explicit_shards.unwrap_or(4);
+            (
+                Arc::new(WorkflowStore::new(shards)),
+                "in-memory store (no --data-dir: state is lost on exit)\n".to_owned(),
+            )
+        }
+    };
     let config = ServerConfig {
         addr: flag(&flags, "addr").unwrap_or("127.0.0.1:7878").to_owned(),
-        shards: flag(&flags, "shards")
-            .map(|v| parse_number(v, "shard count"))
-            .transpose()?
-            .unwrap_or(4),
+        shards: store.shard_count(),
         workers: flag(&flags, "threads")
             .map(|v| parse_number(v, "thread count"))
             .transpose()?
             .unwrap_or(4),
     };
-    let handle = serve(&config).map_err(|e| format!("cannot bind '{}': {e}", config.addr))?;
+    let handle = serve_with_store(&config, store).map_err(|e| Failure {
+        code: EXIT_BIND,
+        message: format!("cannot bind '{}': {e}", config.addr),
+    })?;
+    print!("{banner}");
     println!(
         "wolves-service listening on {} ({} shards, {} worker threads)",
         handle.local_addr(),
@@ -215,6 +287,19 @@ fn serve_blocking(args: &[String]) -> Result<String, String> {
     Ok("server stopped\n".to_owned())
 }
 
+/// `wolves recover <dir>`: offline integrity check + replay report; exits
+/// with [`EXIT_RECOVERY`] when the directory cannot be recovered.
+fn recover_blocking(args: &[String]) -> Result<String, Failure> {
+    let (positionals, _) = parse_args("recover", args, &[])?;
+    let [dir] = positionals.as_slice() else {
+        return Err(format!("'recover' needs exactly one data directory\n{USAGE}").into());
+    };
+    recover_command(dir).map_err(|e| Failure {
+        code: EXIT_RECOVERY,
+        message: e.to_string(),
+    })
+}
+
 /// `wolves request <addr> <verb> …`: one-shot client requests.
 fn request(args: &[String]) -> Result<String, String> {
     let (positionals, flags) = parse_args("request", args, &["strategy", "out", "view-version"])?;
@@ -225,6 +310,7 @@ fn request(args: &[String]) -> Result<String, String> {
     let allowed_for_verb: &[&str] = match verb.as_str() {
         "validate" => &["view-version"],
         "correct" => &["strategy", "out"],
+        "export" => &["out"],
         _ => &[],
     };
     if let Some((name, _)) = flags
@@ -276,6 +362,15 @@ fn request(args: &[String]) -> Result<String, String> {
             expect_args(2)?;
             remote_provenance(addr, parse_id(verb_args.first())?, &verb_args[1])
                 .map_err(|e| e.to_string())
+        }
+        "export" => {
+            expect_args(1)?;
+            remote_export(addr, parse_id(verb_args.first())?, flag(&flags, "out"))
+                .map_err(|e| e.to_string())
+        }
+        "snapshot" => {
+            expect_args(0)?;
+            remote_snapshot(addr).map_err(|e| e.to_string())
         }
         "stats" => {
             expect_args(0)?;
@@ -335,13 +430,23 @@ usage:
   wolves demo                                 run the built-in Figure 1 walk-through
 
 serving (wolves-service):
-  wolves serve [--addr <host:port>] [--shards N] [--threads N]
+  wolves serve [--addr <host:port>] [--shards N] [--threads N] [--data-dir <dir>]
                                               serve validation/correction requests
-                                              (default 127.0.0.1:7878, 4 shards, 4 threads)
+                                              (default 127.0.0.1:7878, 4 shards, 4 threads);
+                                              --data-dir makes the store durable:
+                                              snapshot + write-ahead log per shard,
+                                              recovered on restart (exit 2: bind
+                                              failure, exit 3: recovery failure)
+  wolves recover <dir>                        offline integrity check + replay report
+                                              of a --data-dir (exit 3 on corruption)
   wolves request <addr> register <file>       register a workflow, prints its id
   wolves request <addr> validate <id> [--view-version N]
   wolves request <addr> correct <id> [--strategy weak|strong|optimal] [--out <file>]
   wolves request <addr> provenance <id> <task>
+  wolves request <addr> export <id> [--out <file>]
+                                              download the current spec+view in
+                                              registrable textfmt (client resync)
+  wolves request <addr> snapshot              force a snapshot (compacts the WAL)
   wolves request <addr> stats
   wolves request <addr> shutdown
 
@@ -370,7 +475,7 @@ mod tests {
 
     #[test]
     fn unknown_commands_report_usage() {
-        let err = run(&["frobnicate".to_owned()]).unwrap_err();
+        let err = run(&["frobnicate".to_owned()]).unwrap_err().message;
         assert!(err.contains("usage"));
         assert!(run(&[]).unwrap().contains("usage"));
     }
@@ -379,21 +484,31 @@ mod tests {
     fn malformed_arguments_report_usage() {
         let args = |list: &[&str]| list.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>();
         // unknown option
-        let err = run(&args(&["validate", "f.txt", "--bogus", "x"])).unwrap_err();
+        let err = run(&args(&["validate", "f.txt", "--bogus", "x"]))
+            .unwrap_err()
+            .message;
         assert!(err.contains("unknown option '--bogus'"));
         assert!(err.contains("usage"));
         // option without a value
-        let err = run(&args(&["correct", "f.txt", "--strategy"])).unwrap_err();
+        let err = run(&args(&["correct", "f.txt", "--strategy"]))
+            .unwrap_err()
+            .message;
         assert!(err.contains("needs a value"));
         // too many positionals
-        let err = run(&args(&["validate", "a.txt", "b.txt"])).unwrap_err();
+        let err = run(&args(&["validate", "a.txt", "b.txt"]))
+            .unwrap_err()
+            .message;
         assert!(err.contains("exactly one input file"));
         // request verb arity and id parsing
-        let err = run(&args(&["request"])).unwrap_err();
+        let err = run(&args(&["request"])).unwrap_err().message;
         assert!(err.contains("needs an address"));
-        let err = run(&args(&["request", "127.0.0.1:1", "validate", "nope"])).unwrap_err();
+        let err = run(&args(&["request", "127.0.0.1:1", "validate", "nope"]))
+            .unwrap_err()
+            .message;
         assert!(err.contains("invalid workflow id"));
-        let err = run(&args(&["request", "127.0.0.1:1", "frobnicate"])).unwrap_err();
+        let err = run(&args(&["request", "127.0.0.1:1", "frobnicate"]))
+            .unwrap_err()
+            .message;
         assert!(err.contains("unknown request verb"));
         // options foreign to the verb are rejected, not silently ignored
         let err = run(&args(&[
@@ -403,7 +518,8 @@ mod tests {
             "--strategy",
             "weak",
         ]))
-        .unwrap_err();
+        .unwrap_err()
+        .message;
         assert!(err.contains("unknown option '--strategy' for 'request stats'"));
         let err = run(&args(&[
             "request",
@@ -413,15 +529,20 @@ mod tests {
             "--out",
             "f",
         ]))
-        .unwrap_err();
+        .unwrap_err()
+        .message;
         assert!(err.contains("unknown option '--out' for 'request validate'"));
         // fixture arity errors name the actual problem
-        let err = run(&args(&["fixture", "figure1", "figure3"])).unwrap_err();
+        let err = run(&args(&["fixture", "figure1", "figure3"]))
+            .unwrap_err()
+            .message;
         assert!(err.contains("exactly one fixture name"));
         // serve argument validation (no server is started on error paths)
-        let err = run(&args(&["serve", "extra"])).unwrap_err();
+        let err = run(&args(&["serve", "extra"])).unwrap_err().message;
         assert!(err.contains("no positional arguments"));
-        let err = run(&args(&["serve", "--shards", "many"])).unwrap_err();
+        let err = run(&args(&["serve", "--shards", "many"]))
+            .unwrap_err()
+            .message;
         assert!(err.contains("invalid shard count"));
     }
 
@@ -467,6 +588,7 @@ mod tests {
             "lots".to_owned(),
         ])
         .unwrap_err()
+        .message
         .contains("invalid naive node limit"));
         let corrected = run(&[
             "correct".to_owned(),
@@ -484,11 +606,14 @@ mod tests {
     fn request_commands_drive_a_real_server() {
         // bind on an ephemeral port, then drive the whole verb set through
         // the same code paths the binary uses
-        let handle = serve(&ServerConfig {
-            shards: 2,
-            workers: 4,
-            ..ServerConfig::default()
-        })
+        let handle = serve_with_store(
+            &ServerConfig {
+                shards: 2,
+                workers: 4,
+                ..ServerConfig::default()
+            },
+            Arc::new(WorkflowStore::new(2)),
+        )
         .unwrap();
         let addr = handle.local_addr().to_string();
         let path = std::env::temp_dir().join("wolves-cli-main-request.txt");

@@ -84,6 +84,83 @@ impl<N, E> DiGraph<N, E> {
         self.nodes.len()
     }
 
+    /// Upper bound (exclusive) on edge indices ever allocated, including
+    /// tombstones. Together with [`DiGraph::node_bound`] this describes the
+    /// exact slot layout a serialised graph must reproduce so that ids
+    /// assigned after a restore match the ids a live graph would assign.
+    #[must_use]
+    pub fn edge_bound(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Rebuilds a graph from explicit slot vectors, `None` marking a
+    /// tombstone. This is the restore path of persistent storage: node and
+    /// edge ids are allocated by slot index, so a graph restored from the
+    /// slots of a serialised one assigns exactly the same ids to future
+    /// insertions as the original would have.
+    ///
+    /// # Errors
+    /// Returns an error if an edge references a tombstoned/out-of-range
+    /// node or is a self loop.
+    pub fn from_slots(
+        nodes: Vec<Option<N>>,
+        edges: Vec<Option<(NodeId, NodeId, E)>>,
+    ) -> Result<Self, GraphError> {
+        let mut graph = DiGraph {
+            nodes: nodes
+                .into_iter()
+                .map(|weight| NodeSlot {
+                    weight,
+                    outgoing: Vec::new(),
+                    incoming: Vec::new(),
+                })
+                .collect::<Vec<_>>(),
+            edges: Vec::new(),
+            live_nodes: 0,
+            live_edges: 0,
+        };
+        graph.live_nodes = graph
+            .nodes
+            .iter()
+            .filter(|slot| slot.weight.is_some())
+            .count();
+        for (index, slot) in edges.into_iter().enumerate() {
+            let id = EdgeId::from_index(index);
+            match slot {
+                Some((source, target, weight)) => {
+                    if source == target {
+                        return Err(GraphError::SelfLoop(source));
+                    }
+                    if !graph.contains_node(source) {
+                        return Err(GraphError::InvalidNode(source));
+                    }
+                    if !graph.contains_node(target) {
+                        return Err(GraphError::InvalidNode(target));
+                    }
+                    graph.edges.push(EdgeSlot {
+                        weight: Some(weight),
+                        source,
+                        target,
+                    });
+                    graph.nodes[source.index()].outgoing.push(id);
+                    graph.nodes[target.index()].incoming.push(id);
+                    graph.live_edges += 1;
+                }
+                None => {
+                    // the endpoints of a tombstoned edge are never read
+                    // (every accessor checks the weight first); any valid
+                    // NodeId works as a placeholder
+                    graph.edges.push(EdgeSlot {
+                        weight: None,
+                        source: NodeId::from_index(0),
+                        target: NodeId::from_index(0),
+                    });
+                }
+            }
+        }
+        Ok(graph)
+    }
+
     /// Returns `true` if the graph contains no live nodes.
     #[must_use]
     pub fn is_empty(&self) -> bool {
@@ -526,6 +603,48 @@ mod tests {
         assert!(!ids.contains(&b));
         assert!(ids.contains(&a));
         assert_eq!(g.edges().count(), 2);
+    }
+
+    #[test]
+    fn from_slots_reproduces_tombstones_and_future_ids() {
+        let (mut g, [a, b, c, d]) = diamond();
+        g.remove_node(b).unwrap();
+        let e_cd = g.find_edge(c, d).unwrap();
+        g.remove_edge(e_cd).unwrap();
+        // serialise to slots by hand
+        let nodes: Vec<Option<&str>> = (0..g.node_bound())
+            .map(|i| g.node_weight(NodeId::from_index(i)).ok().copied())
+            .collect();
+        let edges: Vec<Option<(NodeId, NodeId, u32)>> = (0..g.edge_bound())
+            .map(|i| {
+                let id = EdgeId::from_index(i);
+                g.edge_endpoints(id)
+                    .ok()
+                    .map(|(s, t)| (s, t, *g.edge_weight(id).unwrap()))
+            })
+            .collect();
+        let mut restored = DiGraph::from_slots(nodes, edges).unwrap();
+        assert_eq!(restored.node_count(), g.node_count());
+        assert_eq!(restored.edge_count(), g.edge_count());
+        assert_eq!(restored.node_bound(), g.node_bound());
+        assert_eq!(restored.edge_bound(), g.edge_bound());
+        assert!(!restored.contains_node(b));
+        assert!(!restored.contains_edge(e_cd));
+        // the next allocations land on the same ids in both graphs
+        assert_eq!(restored.add_node("e"), g.add_node("e"));
+        let restored_edge = restored.add_edge(a, d, 9u32).unwrap();
+        assert_eq!(restored_edge, g.add_edge(a, d, 9u32).unwrap());
+        // invalid slot payloads are rejected
+        assert!(DiGraph::<&str, u32>::from_slots(
+            vec![Some("x")],
+            vec![Some((NodeId::from_index(0), NodeId::from_index(1), 1u32))],
+        )
+        .is_err());
+        assert!(DiGraph::<&str, u32>::from_slots(
+            vec![Some("x")],
+            vec![Some((NodeId::from_index(0), NodeId::from_index(0), 1u32))],
+        )
+        .is_err());
     }
 
     #[test]

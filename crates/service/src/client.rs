@@ -141,6 +141,30 @@ impl ServiceClient {
         }
     }
 
+    /// Downloads a workflow's current spec + view in registrable textfmt —
+    /// resyncs a client after server-side mutations and corrections.
+    ///
+    /// # Errors
+    /// Propagates transport and server errors.
+    pub fn export(&mut self, workflow: WorkflowId) -> Result<String, ServiceError> {
+        match self.call(&Request::Export { workflow })? {
+            Response::Exported(payload) => Ok(payload),
+            other => Err(unexpected("exported", &other)),
+        }
+    }
+
+    /// Forces a snapshot of every shard (durable servers compact their
+    /// write-ahead logs). Returns the number of shards snapshotted.
+    ///
+    /// # Errors
+    /// Propagates transport and server errors.
+    pub fn snapshot(&mut self) -> Result<usize, ServiceError> {
+        match self.call(&Request::Snapshot)? {
+            Response::Snapshotted(shards) => Ok(shards),
+            other => Err(unexpected("snapshotted", &other)),
+        }
+    }
+
     /// Fetches the per-shard serving statistics.
     ///
     /// # Errors

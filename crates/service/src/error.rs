@@ -33,6 +33,13 @@ pub enum ServiceError {
     Io(std::io::Error),
     /// The server answered a request with an error message.
     Remote(String),
+    /// The storage backend failed to persist a record or snapshot. The
+    /// in-memory state may be ahead of the durable state until the next
+    /// successful snapshot.
+    Persistence(String),
+    /// A durable store could not be recovered (corrupt snapshot, corrupt
+    /// mid-log record, replay divergence, shard-count mismatch).
+    Recovery(String),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -54,6 +61,8 @@ impl std::fmt::Display for ServiceError {
             }
             ServiceError::Io(e) => write!(f, "i/o error: {e}"),
             ServiceError::Remote(message) => write!(f, "server error: {message}"),
+            ServiceError::Persistence(message) => write!(f, "persistence error: {message}"),
+            ServiceError::Recovery(message) => write!(f, "recovery error: {message}"),
         }
     }
 }

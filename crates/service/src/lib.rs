@@ -17,6 +17,14 @@
 //!   correction timings feed [`wolves_core::estimate::EstimationRegistry`].
 //! * [`client`] — a typed client plus the concurrent batch driver used by
 //!   the `wolves request` CLI and the `service_bench` throughput benchmark.
+//! * [`storage`] — the [`storage::StorageBackend`] trait the store persists
+//!   through: [`storage::MemoryBackend`] (zero-cost default) or…
+//! * [`wal`] — …[`wal::FileBackend`], a per-shard snapshot + write-ahead
+//!   log (`wolves serve --data-dir`): every register/mutate/correct is
+//!   appended before it is acknowledged, segments rotate into compacting
+//!   snapshots, and [`store::WorkflowStore::open`] replays the journal
+//!   through the live mutation paths so a restarted server answers exactly
+//!   like the one that crashed.
 //!
 //! Quickstart (in-process; the CLI wraps exactly this):
 //!
@@ -42,10 +50,14 @@ pub mod client;
 pub mod error;
 pub mod proto;
 pub mod server;
+pub mod storage;
 pub mod store;
+pub mod wal;
 
 pub use client::{validate_throughput, BatchConfig, ServiceClient, ThroughputReport};
 pub use error::ServiceError;
 pub use proto::{MutateOp, Mutated, Request, Response, StatsReport, Verdict};
-pub use server::{serve, ServerConfig, ServerHandle};
+pub use server::{serve, serve_with_store, ServerConfig, ServerHandle};
+pub use storage::{MemoryBackend, RecoveryReport, StorageBackend};
 pub use store::{WorkflowId, WorkflowStore};
+pub use wal::{open_data_dir, FileBackend, PersistConfig};

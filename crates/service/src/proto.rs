@@ -18,6 +18,8 @@
 //!                                   <textfmt of the corrected view…>
 //! provenance<TAB><id><TAB><task>   ok<TAB>provenance<TAB><n> + task names
 //! mutate<TAB><id><TAB><op>…        ok<TAB>mutated<TAB><epoch><TAB><class><TAB><inv><TAB><ret><TAB><ver>
+//! export<TAB><id>                  ok<TAB>exported + the registrable textfmt
+//! snapshot                          ok<TAB>snapshotted<TAB><shards>
 //! stats                             ok<TAB>stats + one line per shard
 //! shutdown                          ok<TAB>shutdown
 //! ```
@@ -81,6 +83,15 @@ pub enum Request {
         /// The edit to apply.
         op: MutateOp,
     },
+    /// Download a workflow's current spec + view in registrable textfmt —
+    /// how clients resync after server-side mutations and corrections.
+    Export {
+        /// The workflow to export.
+        workflow: WorkflowId,
+    },
+    /// Force a snapshot of every shard (durable backends truncate their
+    /// write-ahead logs; a no-op on the in-memory backend).
+    Snapshot,
     /// Fetch per-shard serving statistics.
     Stats,
     /// Ask the server to stop accepting connections and exit.
@@ -262,6 +273,10 @@ pub enum Response {
     Provenance(Vec<String>),
     /// Mutation outcome.
     Mutated(Mutated),
+    /// The exported workflow in the native text format.
+    Exported(String),
+    /// Number of shards that were snapshotted.
+    Snapshotted(usize),
     /// Statistics snapshot.
     Stats(StatsReport),
     /// The server acknowledged a shutdown request.
@@ -373,6 +388,8 @@ impl Request {
                 };
                 vec![format!("mutate\t{workflow}\t{tail}")]
             }
+            Request::Export { workflow } => vec![format!("export\t{workflow}")],
+            Request::Snapshot => vec!["snapshot".to_owned()],
             Request::Stats => vec!["stats".to_owned()],
             Request::Shutdown => vec!["shutdown".to_owned()],
         }
@@ -466,6 +483,10 @@ impl Request {
                 };
                 Ok(Request::Mutate { workflow, op })
             }
+            "export" => Ok(Request::Export {
+                workflow: parse_id(fields.get(1).copied().unwrap_or_default())?,
+            }),
+            "snapshot" => Ok(Request::Snapshot),
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(ServiceError::Protocol(format!("unknown verb '{other}'"))),
@@ -509,6 +530,12 @@ impl Response {
                     m.epoch, m.class, m.invalidated, m.retained, m.version
                 )]
             }
+            Response::Exported(payload) => {
+                let mut lines = vec!["ok\texported".to_owned()];
+                lines.extend(payload.lines().map(str::to_owned));
+                lines
+            }
+            Response::Snapshotted(shards) => vec![format!("ok\tsnapshotted\t{shards}")],
             Response::Stats(stats) => {
                 let mut lines = vec![format!("ok\tstats\t{}", stats.registry_samples)];
                 for s in &stats.shards {
@@ -599,6 +626,11 @@ impl Response {
                 )?,
                 version: parse_usize(fields.get(6).copied().unwrap_or_default(), "version")?,
             })),
+            ("ok", Some("exported")) => Ok(Response::Exported(lines[1..].join("\n"))),
+            ("ok", Some("snapshotted")) => Ok(Response::Snapshotted(parse_usize(
+                fields.get(2).copied().unwrap_or_default(),
+                "shard count",
+            )?)),
             ("ok", Some("stats")) => {
                 let registry_samples = parse_usize(
                     fields.get(2).copied().unwrap_or_default(),
@@ -674,6 +706,10 @@ mod tests {
             workflow: WorkflowId(3),
             subject: "Build phylo tree".to_owned(),
         });
+        round_trip_request(&Request::Export {
+            workflow: WorkflowId(12),
+        });
+        round_trip_request(&Request::Snapshot);
         round_trip_request(&Request::Stats);
         round_trip_request(&Request::Shutdown);
     }
@@ -767,6 +803,10 @@ mod tests {
             }],
             registry_samples: 4,
         }));
+        round_trip_response(&Response::Exported(
+            "workflow\tdemo\ntask\ta\ntask\tb\nedge\ta\tb".to_owned(),
+        ));
+        round_trip_response(&Response::Snapshotted(4));
         round_trip_response(&Response::ShuttingDown);
         round_trip_response(&Response::Error("boom".to_owned()));
     }

@@ -105,8 +105,10 @@ impl ServerHandle {
     }
 
     /// Begins shutdown without waiting for the threads; follow with
-    /// [`ServerHandle::join`].
+    /// [`ServerHandle::join`]. Batched-but-unsynced WAL records are pushed
+    /// to stable storage first.
     pub fn request_shutdown(&self) {
+        let _ = self.store.backend().sync();
         self.shared.begin_shutdown();
     }
 
@@ -127,11 +129,26 @@ impl ServerHandle {
     }
 }
 
-/// Binds a listener and starts the acceptor + worker threads.
+/// Binds a listener and starts the acceptor + worker threads on a fresh
+/// in-memory store.
 ///
 /// # Errors
 /// Reports bind failures.
 pub fn serve(config: &ServerConfig) -> std::io::Result<ServerHandle> {
+    serve_with_store(config, Arc::new(WorkflowStore::new(config.shards)))
+}
+
+/// [`serve`] on a caller-provided store — how `wolves serve --data-dir`
+/// plugs in a store recovered from a durable backend
+/// ([`crate::store::WorkflowStore::open`]); binding and recovery stay
+/// separable failures.
+///
+/// # Errors
+/// Reports bind failures.
+pub fn serve_with_store(
+    config: &ServerConfig,
+    store: Arc<WorkflowStore>,
+) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(config.addr.as_str())?;
     let shared = Arc::new(Shared {
         addr: listener.local_addr()?,
@@ -139,7 +156,6 @@ pub fn serve(config: &ServerConfig) -> std::io::Result<ServerHandle> {
         connections: Mutex::new(Vec::new()),
         next_connection: AtomicU64::new(0),
     });
-    let store = Arc::new(WorkflowStore::new(config.shards));
     let (sender, receiver) = mpsc::channel::<TcpStream>();
     let receiver = Arc::new(Mutex::new(receiver));
 
@@ -243,8 +259,15 @@ fn respond(store: &WorkflowStore, request: Request) -> (Response, bool) {
             .provenance(workflow, &subject)
             .map(Response::Provenance),
         Request::Mutate { workflow, op } => store.mutate(workflow, op).map(Response::Mutated),
+        Request::Export { workflow } => store.export(workflow).map(Response::Exported),
+        Request::Snapshot => store.snapshot_all().map(Response::Snapshotted),
         Request::Stats => Ok(Response::Stats(store.stats())),
-        Request::Shutdown => return (Response::ShuttingDown, true),
+        Request::Shutdown => {
+            // push batched-but-unsynced WAL records to stable storage
+            // before acknowledging the shutdown
+            let _ = store.backend().sync();
+            return (Response::ShuttingDown, true);
+        }
     };
     (
         response.unwrap_or_else(|e| Response::Error(e.to_string())),

@@ -1,0 +1,601 @@
+//! The storage backend abstraction of the serving layer.
+//!
+//! [`crate::store::WorkflowStore`] talks to durable storage exclusively
+//! through the [`StorageBackend`] trait:
+//!
+//! * [`MemoryBackend`] — the zero-cost default: every call is a no-op, the
+//!   store behaves exactly as the purely in-memory store always has.
+//! * [`crate::wal::FileBackend`] — a per-shard **snapshot + write-ahead
+//!   log**: every registration, mutation and correction is appended as one
+//!   framed [`WalRecord`] before the request is acknowledged; when a shard's
+//!   log grows past the segment threshold the store writes a full
+//!   [`SnapshotEntry`] dump of the shard and the log restarts empty
+//!   (compaction by rotation).
+//!
+//! Recovery replays a [`ShardJournal`] — the newest complete snapshot plus
+//! the records of the active log segment — through the exact same
+//! `WorkflowSpec::apply` / view-edit paths live requests use, so a recovered
+//! store serves bit-identical answers (same epochs, same composite-id and
+//! task-id assignment, same cache keying) as the store that crashed.
+//!
+//! All on-disk formats are line-based: payload lines come from
+//! `wolves_workflow::persist` (slot-exact spec/view serialisation) and
+//! `crate::proto` (mutation ops), framed with explicit line counts and an
+//! FNV-1a checksum so a torn tail is distinguishable from mid-log
+//! corruption.
+
+use std::fmt;
+
+use wolves_workflow::persist::{delta_from_line, delta_to_line};
+use wolves_workflow::SpecDelta;
+
+use crate::error::ServiceError;
+use crate::proto::{MutateOp, Request};
+use crate::store::WorkflowId;
+
+/// FNV-1a 64-bit hash of a string — the checksum of WAL records and
+/// snapshot files (no external dependency, stable across platforms).
+#[must_use]
+pub fn fnv64(text: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in text.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn corrupt(message: impl Into<String>) -> ServiceError {
+    ServiceError::Recovery(message.into())
+}
+
+/// One workflow's full durable state: what a snapshot stores per entry and
+/// what a `register` WAL record carries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotEntry {
+    /// The workflow id (preserved across restarts).
+    pub id: u64,
+    /// The store-level mutation epoch of the entry.
+    pub epoch: u64,
+    /// Index of the current view version.
+    pub current: usize,
+    /// Slot-exact spec serialisation (`wolves_workflow::persist`).
+    pub spec_lines: Vec<String>,
+    /// Slot-exact serialisation of every retained view version, in version
+    /// order.
+    pub views: Vec<Vec<String>>,
+}
+
+impl SnapshotEntry {
+    /// Flattens the entry into framed lines (`entry` header, spec lines,
+    /// one `view-block` header per view).
+    #[must_use]
+    pub fn to_lines(&self) -> Vec<String> {
+        let mut lines = Vec::with_capacity(1 + self.spec_lines.len());
+        lines.push(format!(
+            "entry\t{}\t{}\t{}\t{}\t{}",
+            self.id,
+            self.epoch,
+            self.current,
+            self.spec_lines.len(),
+            self.views.len()
+        ));
+        lines.extend(self.spec_lines.iter().cloned());
+        for view in &self.views {
+            lines.push(format!("view-block\t{}", view.len()));
+            lines.extend(view.iter().cloned());
+        }
+        lines
+    }
+
+    /// Parses one entry starting at `lines[*pos]`, advancing the cursor.
+    ///
+    /// # Errors
+    /// Reports malformed headers and truncated blocks.
+    pub fn from_lines(lines: &[String], pos: &mut usize) -> Result<Self, ServiceError> {
+        let header = lines
+            .get(*pos)
+            .ok_or_else(|| corrupt("missing entry header"))?;
+        let fields: Vec<&str> = header.split('\t').collect();
+        if fields.first() != Some(&"entry") || fields.len() != 6 {
+            return Err(corrupt(format!("malformed entry header '{header}'")));
+        }
+        let number = |index: usize, what: &str| -> Result<u64, ServiceError> {
+            fields[index]
+                .parse::<u64>()
+                .map_err(|_| corrupt(format!("invalid {what} '{}'", fields[index])))
+        };
+        let id = number(1, "workflow id")?;
+        let epoch = number(2, "epoch")?;
+        let current = number(3, "current version")? as usize;
+        let spec_count = number(4, "spec line count")? as usize;
+        let view_count = number(5, "view count")? as usize;
+        *pos += 1;
+        let take = |pos: &mut usize, count: usize| -> Result<Vec<String>, ServiceError> {
+            let slice = lines
+                .get(*pos..*pos + count)
+                .ok_or_else(|| corrupt("entry block truncated"))?;
+            *pos += count;
+            Ok(slice.to_vec())
+        };
+        let spec_lines = take(pos, spec_count)?;
+        let mut views = Vec::with_capacity(view_count);
+        for _ in 0..view_count {
+            let header = lines
+                .get(*pos)
+                .ok_or_else(|| corrupt("missing view-block header"))?;
+            let count = header
+                .strip_prefix("view-block\t")
+                .and_then(|n| n.parse::<usize>().ok())
+                .ok_or_else(|| corrupt(format!("malformed view-block header '{header}'")))?;
+            *pos += 1;
+            views.push(take(pos, count)?);
+        }
+        Ok(SnapshotEntry {
+            id,
+            epoch,
+            current,
+            spec_lines,
+            views,
+        })
+    }
+}
+
+/// One durable operation appended to a shard's write-ahead log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// A workflow was registered; the payload is its full snapshot entry
+    /// (so replay installs exactly the registered state, preserved ids
+    /// included).
+    Register {
+        /// The assigned workflow id.
+        id: u64,
+        /// The registered state.
+        entry: SnapshotEntry,
+    },
+    /// A mutation was applied. Replay routes the op through the live
+    /// `mutate` path and cross-checks the resulting epoch and spec deltas
+    /// against the logged ones.
+    Mutate {
+        /// The mutated workflow.
+        id: u64,
+        /// The entry's epoch *after* the mutation.
+        epoch: u64,
+        /// The applied op (serialised through the wire grammar of
+        /// [`crate::proto`]).
+        op: MutateOp,
+        /// The typed spec deltas the op produced, consumed from the spec's
+        /// bounded delta log before eviction could drop them.
+        deltas: Vec<SpecDelta>,
+    },
+    /// A correction appended a new view version and made it current.
+    Correct {
+        /// The corrected workflow.
+        id: u64,
+        /// The index the corrected view was appended at.
+        version: usize,
+        /// Slot-exact serialisation of the corrected view.
+        view_lines: Vec<String>,
+    },
+}
+
+impl WalRecord {
+    /// The workflow the record concerns.
+    #[must_use]
+    pub fn workflow(&self) -> u64 {
+        match self {
+            WalRecord::Register { id, .. }
+            | WalRecord::Mutate { id, .. }
+            | WalRecord::Correct { id, .. } => *id,
+        }
+    }
+
+    /// Serialises the record as a framed block: a `rec` header, the payload
+    /// lines, and an `end` line carrying the FNV-1a checksum of everything
+    /// before it.
+    #[must_use]
+    pub fn to_lines(&self) -> Vec<String> {
+        let (header, payload) = match self {
+            WalRecord::Register { id, entry } => {
+                let payload = entry.to_lines();
+                (format!("rec\tregister\t{id}\t{}", payload.len()), payload)
+            }
+            WalRecord::Mutate {
+                id,
+                epoch,
+                op,
+                deltas,
+            } => {
+                let mut payload = Request::Mutate {
+                    workflow: WorkflowId(*id),
+                    op: op.clone(),
+                }
+                .to_lines();
+                payload.extend(deltas.iter().map(delta_to_line));
+                (
+                    format!("rec\tmutate\t{id}\t{epoch}\t{}", payload.len()),
+                    payload,
+                )
+            }
+            WalRecord::Correct {
+                id,
+                version,
+                view_lines,
+            } => (
+                format!("rec\tcorrect\t{id}\t{version}\t{}", view_lines.len()),
+                view_lines.clone(),
+            ),
+        };
+        let mut lines = Vec::with_capacity(payload.len() + 2);
+        lines.push(header);
+        lines.extend(payload);
+        let checksum = fnv64(&lines.join("\n"));
+        lines.push(format!("end\t{checksum:016x}"));
+        lines
+    }
+
+    /// Parses one record starting at `lines[*pos]`, advancing the cursor.
+    ///
+    /// # Errors
+    /// Reports malformed headers, truncated payloads and checksum
+    /// mismatches — the caller decides whether a failure at the tail of a
+    /// log is a torn write or corruption.
+    pub fn from_lines(lines: &[String], pos: &mut usize) -> Result<Self, ServiceError> {
+        let start = *pos;
+        let header = lines
+            .get(start)
+            .ok_or_else(|| corrupt("missing record header"))?;
+        let fields: Vec<&str> = header.split('\t').collect();
+        if fields.first() != Some(&"rec") || fields.len() < 4 {
+            return Err(corrupt(format!("malformed record header '{header}'")));
+        }
+        let count: usize = fields[fields.len() - 1]
+            .parse()
+            .map_err(|_| corrupt(format!("invalid line count in '{header}'")))?;
+        let payload = lines
+            .get(start + 1..start + 1 + count)
+            .ok_or_else(|| corrupt("record payload truncated"))?;
+        let end = lines
+            .get(start + 1 + count)
+            .ok_or_else(|| corrupt("record missing its end line"))?;
+        let recorded = end
+            .strip_prefix("end\t")
+            .and_then(|sum| u64::from_str_radix(sum, 16).ok())
+            .ok_or_else(|| corrupt(format!("malformed end line '{end}'")))?;
+        let framed = lines[start..start + 1 + count].join("\n");
+        if fnv64(&framed) != recorded {
+            return Err(corrupt("record checksum mismatch"));
+        }
+        let parse_u64 = |field: &str, what: &str| -> Result<u64, ServiceError> {
+            field
+                .parse::<u64>()
+                .map_err(|_| corrupt(format!("invalid {what} '{field}'")))
+        };
+        let record = match fields[1] {
+            "register" => {
+                let id = parse_u64(fields[2], "workflow id")?;
+                let mut inner = 0usize;
+                let entry = SnapshotEntry::from_lines(payload, &mut inner)?;
+                if inner != payload.len() || entry.id != id {
+                    return Err(corrupt("register record payload inconsistent"));
+                }
+                WalRecord::Register { id, entry }
+            }
+            "mutate" => {
+                if fields.len() != 5 {
+                    return Err(corrupt(format!("malformed mutate header '{header}'")));
+                }
+                let id = parse_u64(fields[2], "workflow id")?;
+                let epoch = parse_u64(fields[3], "epoch")?;
+                let op_line = payload
+                    .first()
+                    .ok_or_else(|| corrupt("mutate record missing its op line"))?;
+                let request = Request::from_lines(std::slice::from_ref(op_line))
+                    .map_err(|e| corrupt(format!("bad mutate op: {e}")))?;
+                let Request::Mutate { workflow, op } = request else {
+                    return Err(corrupt(format!("not a mutate op: '{op_line}'")));
+                };
+                if workflow.0 != id {
+                    return Err(corrupt("mutate record id mismatch"));
+                }
+                let deltas = payload[1..]
+                    .iter()
+                    .map(|line| {
+                        delta_from_line(line).map_err(|e| corrupt(format!("bad delta: {e}")))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                WalRecord::Mutate {
+                    id,
+                    epoch,
+                    op,
+                    deltas,
+                }
+            }
+            "correct" => {
+                if fields.len() != 5 {
+                    return Err(corrupt(format!("malformed correct header '{header}'")));
+                }
+                WalRecord::Correct {
+                    id: parse_u64(fields[2], "workflow id")?,
+                    version: parse_u64(fields[3], "version")? as usize,
+                    view_lines: payload.to_vec(),
+                }
+            }
+            other => return Err(corrupt(format!("unknown record kind '{other}'"))),
+        };
+        *pos = start + 2 + count;
+        Ok(record)
+    }
+}
+
+/// What [`StorageBackend::append`] tells the store about the shard's log.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AppendOutcome {
+    /// The active segment crossed the size threshold: the store should take
+    /// a snapshot of the shard (which rotates the segment and truncates the
+    /// log).
+    pub wants_snapshot: bool,
+}
+
+/// The recovered state of one shard: the newest complete snapshot plus the
+/// records of the active log segment, in append order.
+#[derive(Debug, Default)]
+pub struct ShardJournal {
+    /// Entries of the newest complete snapshot.
+    pub entries: Vec<SnapshotEntry>,
+    /// WAL records appended after that snapshot.
+    pub records: Vec<WalRecord>,
+    /// Bytes of torn trailing garbage that were discarded (a crash mid
+    /// append); 0 for a cleanly closed log.
+    pub torn_bytes: u64,
+}
+
+/// Summary of a completed recovery, surfaced by `wolves recover` and the
+/// `--data-dir` server start-up banner.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Shards recovered.
+    pub shards: usize,
+    /// Workflows restored (snapshot entries + replayed registrations).
+    pub workflows: usize,
+    /// Workflows restored from snapshots.
+    pub snapshot_entries: usize,
+    /// WAL records replayed.
+    pub replayed_records: usize,
+    /// Shards whose log ended in a torn record (discarded tail).
+    pub torn_tails: usize,
+    /// Human-readable per-shard lines for the CLI report.
+    pub notes: Vec<String>,
+}
+
+impl fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "recovered {} workflow(s) over {} shard(s): {} from snapshots, \
+             {} WAL record(s) replayed, {} torn tail(s) discarded",
+            self.workflows,
+            self.shards,
+            self.snapshot_entries,
+            self.replayed_records,
+            self.torn_tails
+        )?;
+        for note in &self.notes {
+            writeln!(f, "  {note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The storage backend the sharded store writes through and recovers from.
+///
+/// Implementations must serialise appends *per shard* (the store calls them
+/// under the shard write lock, so per-shard ordering is already guaranteed;
+/// the backend only needs interior mutability).
+pub trait StorageBackend: Send + Sync + fmt::Debug {
+    /// `true` when records actually hit stable storage (enables the store's
+    /// serialisability pre-checks on registration).
+    fn durable(&self) -> bool;
+
+    /// Number of shards the backend is laid out for.
+    fn shard_count(&self) -> usize;
+
+    /// Appends one record to the shard's active log segment.
+    ///
+    /// # Errors
+    /// Reports I/O failures; the store surfaces them as
+    /// [`ServiceError::Persistence`].
+    fn append(&self, shard: usize, record: &WalRecord) -> Result<AppendOutcome, ServiceError>;
+
+    /// Writes a full snapshot of the shard and rotates its log segment: the
+    /// snapshot becomes the new recovery base and the old segment (plus the
+    /// previous snapshot) is deleted — this is the compaction step.
+    ///
+    /// # Errors
+    /// Reports I/O failures.
+    fn write_snapshot(&self, shard: usize, entries: &[SnapshotEntry]) -> Result<(), ServiceError>;
+
+    /// Hands over the journal found on open, once. The store replays it in
+    /// [`crate::store::WorkflowStore::open`]; subsequent calls return empty
+    /// journals.
+    ///
+    /// # Errors
+    /// Reports corruption discovered while decoding the journal.
+    fn take_journal(&self) -> Result<Vec<ShardJournal>, ServiceError>;
+
+    /// Forces buffered records to stable storage (used on graceful
+    /// shutdown; fsync batching may leave a tail unsynced otherwise).
+    ///
+    /// # Errors
+    /// Reports I/O failures.
+    fn sync(&self) -> Result<(), ServiceError>;
+}
+
+/// The default backend: nothing is persisted, every call is a no-op. A
+/// store on this backend behaves exactly like the historical in-memory
+/// store.
+#[derive(Debug)]
+pub struct MemoryBackend {
+    shards: usize,
+}
+
+impl MemoryBackend {
+    /// Creates a memory backend for `shards` shards.
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        MemoryBackend {
+            shards: shards.max(1),
+        }
+    }
+}
+
+impl StorageBackend for MemoryBackend {
+    fn durable(&self) -> bool {
+        false
+    }
+
+    fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    fn append(&self, _shard: usize, _record: &WalRecord) -> Result<AppendOutcome, ServiceError> {
+        Ok(AppendOutcome::default())
+    }
+
+    fn write_snapshot(
+        &self,
+        _shard: usize,
+        _entries: &[SnapshotEntry],
+    ) -> Result<(), ServiceError> {
+        Ok(())
+    }
+
+    fn take_journal(&self) -> Result<Vec<ShardJournal>, ServiceError> {
+        Ok((0..self.shards).map(|_| ShardJournal::default()).collect())
+    }
+
+    fn sync(&self) -> Result<(), ServiceError> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wolves_workflow::persist::{spec_to_lines, view_to_lines};
+    use wolves_workflow::{SpecDeltaKind, TaskId};
+
+    fn sample_entry() -> SnapshotEntry {
+        let fixture = wolves_repo::figure1();
+        SnapshotEntry {
+            id: 7,
+            epoch: 3,
+            current: 0,
+            spec_lines: spec_to_lines(&fixture.spec),
+            views: vec![view_to_lines(&fixture.view)],
+        }
+    }
+
+    #[test]
+    fn snapshot_entries_round_trip() {
+        let entry = sample_entry();
+        let lines = entry.to_lines();
+        let mut pos = 0;
+        let parsed = SnapshotEntry::from_lines(&lines, &mut pos).unwrap();
+        assert_eq!(pos, lines.len());
+        assert_eq!(parsed, entry);
+        // truncation is detected
+        let mut pos = 0;
+        assert!(SnapshotEntry::from_lines(&lines[..lines.len() - 2], &mut pos).is_err());
+    }
+
+    #[test]
+    fn wal_records_round_trip_with_checksums() {
+        let records = [
+            WalRecord::Register {
+                id: 7,
+                entry: sample_entry(),
+            },
+            WalRecord::Mutate {
+                id: 7,
+                epoch: 4,
+                op: MutateOp::AddEdge {
+                    from: "a".to_owned(),
+                    to: "b".to_owned(),
+                },
+                deltas: vec![SpecDelta {
+                    epoch: 25,
+                    kind: SpecDeltaKind::DependencyAdded(
+                        TaskId::from_index(0),
+                        TaskId::from_index(1),
+                    ),
+                }],
+            },
+            WalRecord::Correct {
+                id: 7,
+                version: 1,
+                view_lines: view_to_lines(&wolves_repo::figure1().view),
+            },
+        ];
+        let mut stream: Vec<String> = Vec::new();
+        for record in &records {
+            stream.extend(record.to_lines());
+        }
+        let mut pos = 0;
+        for record in &records {
+            let parsed = WalRecord::from_lines(&stream, &mut pos).unwrap();
+            assert_eq!(&parsed, record);
+            assert_eq!(parsed.workflow(), 7);
+        }
+        assert_eq!(pos, stream.len());
+    }
+
+    #[test]
+    fn corrupted_records_fail_the_checksum() {
+        let record = WalRecord::Mutate {
+            id: 1,
+            epoch: 2,
+            op: MutateOp::AddTask {
+                name: "x".to_owned(),
+            },
+            deltas: Vec::new(),
+        };
+        let mut lines = record.to_lines();
+        // flip a payload byte: the checksum in the end line no longer holds
+        lines[1] = lines[1].replace('x', "y");
+        let mut pos = 0;
+        let err = WalRecord::from_lines(&lines, &mut pos).unwrap_err();
+        assert!(matches!(err, ServiceError::Recovery(_)));
+        // a truncated record is an error too (the caller classifies it)
+        let lines = record.to_lines();
+        let mut pos = 0;
+        assert!(WalRecord::from_lines(&lines[..lines.len() - 1], &mut pos).is_err());
+    }
+
+    #[test]
+    fn memory_backend_is_a_no_op() {
+        let backend = MemoryBackend::new(3);
+        assert!(!backend.durable());
+        assert_eq!(backend.shard_count(), 3);
+        let outcome = backend
+            .append(
+                0,
+                &WalRecord::Correct {
+                    id: 1,
+                    version: 0,
+                    view_lines: Vec::new(),
+                },
+            )
+            .unwrap();
+        assert!(!outcome.wants_snapshot);
+        backend.write_snapshot(2, &[]).unwrap();
+        assert_eq!(backend.take_journal().unwrap().len(), 3);
+        backend.sync().unwrap();
+    }
+
+    #[test]
+    fn fnv64_is_stable() {
+        assert_eq!(fnv64(""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv64("a"), fnv64("b"));
+    }
+}

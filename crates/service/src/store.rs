@@ -26,6 +26,15 @@
 //! consistent pre-mutation snapshot. Task additions/removals rebase the
 //! workflow: older view versions would no longer partition the task set, so
 //! the version history is truncated to the (updated) current view.
+//!
+//! **Durability** is layered behind [`StorageBackend`]: the default
+//! [`MemoryBackend`] keeps today's in-memory behaviour at zero cost, while
+//! a [`crate::wal::FileBackend`] appends every register/mutate/correct to a
+//! per-shard write-ahead log (under the same shard write lock, so log order
+//! is store order) and periodically compacts it into full snapshots.
+//! [`WorkflowStore::open`] recovers a backend's journal by replaying it
+//! through the live request paths, restoring epochs, versions, ids and
+//! cache keying exactly.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeSet, HashMap};
@@ -43,10 +52,19 @@ use wolves_core::estimate::{CorrectionSample, EstimationRegistry, WorkloadClass}
 use wolves_core::soundness::soundness_verdict;
 use wolves_moml::{read_text_format, write_text_format};
 use wolves_provenance::ViewProvenanceIndex;
-use wolves_workflow::{CompositeTaskId, SpecMutation, TaskId, WorkflowSpec, WorkflowView};
+use wolves_workflow::persist::{
+    check_spec_serialisable, check_view_serialisable, spec_from_lines, spec_to_lines,
+    view_from_lines, view_to_lines,
+};
+use wolves_workflow::{
+    CompositeTaskId, SpecDelta, SpecMutation, TaskId, WorkflowSpec, WorkflowView,
+};
 
 use crate::error::ServiceError;
 use crate::proto::{Corrected, MutateOp, Mutated, ShardStat, StatsReport, Verdict};
+use crate::storage::{
+    MemoryBackend, RecoveryReport, ShardJournal, SnapshotEntry, StorageBackend, WalRecord,
+};
 
 /// Identifier of a registered workflow, assigned by the store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -113,6 +131,29 @@ struct Entry {
     views: Vec<Arc<StoredView>>,
     current: usize,
     epoch: u64,
+    /// Spec epoch up to which the storage backend has consumed the typed
+    /// delta log. Every mutation hands the deltas in
+    /// `(logged_epoch, spec.epoch()]` to the write-ahead log *before* the
+    /// bounded log could evict them (and errors loudly if it ever did).
+    logged_epoch: u64,
+}
+
+impl Entry {
+    /// The entry's full durable state, as stored in snapshots and
+    /// `register` WAL records.
+    fn snapshot(&self, id: u64) -> SnapshotEntry {
+        SnapshotEntry {
+            id,
+            epoch: self.epoch,
+            current: self.current,
+            spec_lines: spec_to_lines(&self.spec),
+            views: self
+                .views
+                .iter()
+                .map(|stored| view_to_lines(&stored.view))
+                .collect(),
+        }
+    }
 }
 
 /// Monotone serving counters of one shard. All counters are relaxed atomics:
@@ -156,13 +197,20 @@ pub struct WorkflowStore {
     shards: Vec<Shard>,
     next_id: AtomicU64,
     registry: EstimationRegistry,
+    backend: Arc<dyn StorageBackend>,
 }
 
 impl WorkflowStore {
-    /// Creates a store with `shard_count` shards (at least one).
+    /// Creates a purely in-memory store with `shard_count` shards (at least
+    /// one) — a [`MemoryBackend`] behind the scenes, with today's zero-cost
+    /// behaviour.
     #[must_use]
     pub fn new(shard_count: usize) -> Self {
-        let shards = (0..shard_count.max(1))
+        Self::with_backend(Arc::new(MemoryBackend::new(shard_count)))
+    }
+
+    fn with_backend(backend: Arc<dyn StorageBackend>) -> Self {
+        let shards = (0..backend.shard_count())
             .map(|_| Shard {
                 entries: RwLock::new(HashMap::new()),
                 metrics: ShardMetrics::default(),
@@ -172,7 +220,184 @@ impl WorkflowStore {
             shards,
             next_id: AtomicU64::new(0),
             registry: EstimationRegistry::new(),
+            backend,
         }
+    }
+
+    /// Opens a store on a storage backend, recovering whatever the backend
+    /// journals: the newest snapshot of each shard is installed, then the
+    /// write-ahead log is replayed **through the live request paths**
+    /// (`WorkflowSpec::apply` for mutations, version append for
+    /// corrections), so the recovered store serves bit-identical answers —
+    /// same epochs, same task/composite-id assignment, same cache keying —
+    /// as the store that crashed. Replayed epochs and spec deltas are
+    /// cross-checked against the logged ones; a divergence aborts recovery.
+    ///
+    /// After a successful replay every shard is snapshotted once, which
+    /// compacts the recovered log away and bounds the next start-up.
+    ///
+    /// # Errors
+    /// Reports journal corruption, replay divergence and I/O failures.
+    pub fn open(backend: Arc<dyn StorageBackend>) -> Result<(Self, RecoveryReport), ServiceError> {
+        let store = Self::with_backend(Arc::clone(&backend));
+        let journal = backend.take_journal()?;
+        let mut report = RecoveryReport {
+            shards: store.shards.len(),
+            ..RecoveryReport::default()
+        };
+        for (index, shard) in journal.into_iter().enumerate() {
+            store.replay_shard(index, shard, &mut report)?;
+        }
+        report.workflows = store
+            .shards
+            .iter()
+            .map(|shard| shard.entries.read().len())
+            .sum();
+        if report.snapshot_entries + report.replayed_records > 0 {
+            // compact: the replayed journal becomes the new snapshot base
+            store.snapshot_all()?;
+        }
+        Ok((store, report))
+    }
+
+    /// Replays one shard's journal in append order.
+    fn replay_shard(
+        &self,
+        index: usize,
+        journal: ShardJournal,
+        report: &mut RecoveryReport,
+    ) -> Result<(), ServiceError> {
+        let mut note_entries = 0usize;
+        let mut note_records = 0usize;
+        if journal.torn_bytes > 0 {
+            report.torn_tails += 1;
+            report.notes.push(format!(
+                "shard {index}: discarded {} byte(s) of torn WAL tail",
+                journal.torn_bytes
+            ));
+        }
+        for entry in journal.entries {
+            self.install_entry(entry)?;
+            note_entries += 1;
+        }
+        for record in journal.records {
+            note_records += 1;
+            match record {
+                WalRecord::Register { id, entry } => {
+                    if entry.id != id {
+                        return Err(ServiceError::Recovery(format!(
+                            "register record for workflow {id} carries entry {}",
+                            entry.id
+                        )));
+                    }
+                    self.install_entry(entry)?;
+                }
+                WalRecord::Mutate {
+                    id,
+                    epoch,
+                    op,
+                    deltas,
+                } => {
+                    let (mutated, replayed_deltas) =
+                        self.mutate_inner(WorkflowId(id), op, false)?;
+                    if mutated.epoch != epoch || replayed_deltas != deltas {
+                        return Err(ServiceError::Recovery(format!(
+                            "replay diverged on workflow {id}: logged epoch {epoch}, \
+                             replayed epoch {}",
+                            mutated.epoch
+                        )));
+                    }
+                }
+                WalRecord::Correct {
+                    id,
+                    version,
+                    view_lines,
+                } => self.install_correction(id, version, &view_lines)?,
+            }
+        }
+        report.snapshot_entries += note_entries;
+        report.replayed_records += note_records;
+        if note_entries + note_records > 0 {
+            report.notes.push(format!(
+                "shard {index}: {note_entries} snapshot entr(ies), \
+                 {note_records} WAL record(s)"
+            ));
+        }
+        Ok(())
+    }
+
+    /// Installs one recovered workflow entry (from a snapshot or a replayed
+    /// `register` record).
+    fn install_entry(&self, snapshot: SnapshotEntry) -> Result<(), ServiceError> {
+        let recover = |e: wolves_workflow::WorkflowError| ServiceError::Recovery(e.to_string());
+        let spec = spec_from_lines(&snapshot.spec_lines).map_err(recover)?;
+        let mut views = Vec::with_capacity(snapshot.views.len());
+        for lines in &snapshot.views {
+            let view = view_from_lines(lines).map_err(recover)?;
+            view.validate_against(&spec).map_err(recover)?;
+            views.push(StoredView::new(view));
+        }
+        if !views.is_empty() && snapshot.current >= views.len() {
+            return Err(ServiceError::Recovery(format!(
+                "workflow {}: current version {} out of range ({} view(s))",
+                snapshot.id,
+                snapshot.current,
+                views.len()
+            )));
+        }
+        let _ = spec.reachability();
+        let entry = Entry {
+            logged_epoch: spec.epoch(),
+            spec: Arc::new(spec),
+            views,
+            current: snapshot.current,
+            epoch: snapshot.epoch,
+        };
+        let id = WorkflowId(snapshot.id);
+        let shard = self.shard_of(id);
+        let mut entries = shard.entries.write();
+        if entries.insert(snapshot.id, entry).is_some() {
+            return Err(ServiceError::Recovery(format!(
+                "workflow {} recovered twice",
+                snapshot.id
+            )));
+        }
+        self.next_id.fetch_max(snapshot.id, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Replays a logged correction: appends the recorded view version and
+    /// makes it current.
+    fn install_correction(
+        &self,
+        id: u64,
+        version: usize,
+        view_lines: &[String],
+    ) -> Result<(), ServiceError> {
+        let recover = |e: wolves_workflow::WorkflowError| ServiceError::Recovery(e.to_string());
+        let view = view_from_lines(view_lines).map_err(recover)?;
+        let shard = self.shard_of(WorkflowId(id));
+        let mut entries = shard.entries.write();
+        let entry = entries
+            .get_mut(&id)
+            .ok_or(ServiceError::UnknownWorkflow(WorkflowId(id)))?;
+        view.validate_against(&entry.spec).map_err(recover)?;
+        if version != entry.views.len() {
+            return Err(ServiceError::Recovery(format!(
+                "correction replay diverged on workflow {id}: logged version {version}, \
+                 next version {}",
+                entry.views.len()
+            )));
+        }
+        entry.views.push(StoredView::new(view));
+        entry.current = version;
+        Ok(())
+    }
+
+    /// The storage backend behind the store.
+    #[must_use]
+    pub fn backend(&self) -> &Arc<dyn StorageBackend> {
+        &self.backend
     }
 
     /// Number of shards.
@@ -187,39 +412,140 @@ impl WorkflowStore {
         &self.registry
     }
 
-    fn shard_of(&self, id: WorkflowId) -> &Shard {
+    fn shard_index_of(&self, id: WorkflowId) -> usize {
         let mut hasher = DefaultHasher::new();
         id.0.hash(&mut hasher);
-        let index = (hasher.finish() as usize) % self.shards.len();
-        &self.shards[index]
+        (hasher.finish() as usize) % self.shards.len()
+    }
+
+    fn shard_of(&self, id: WorkflowId) -> &Shard {
+        &self.shards[self.shard_index_of(id)]
     }
 
     /// Registers a workflow and optional view, returning the assigned id.
     ///
     /// The spec's reachability matrix is primed here, outside any lock, so
     /// every later request shares the already-built matrix.
+    ///
+    /// # Panics
+    /// Panics if a durable backend fails to persist the registration; use
+    /// [`WorkflowStore::try_register`] to handle persistence failures.
     pub fn register(&self, spec: WorkflowSpec, view: Option<WorkflowView>) -> WorkflowId {
+        self.try_register(spec, view)
+            .expect("workflow registration failed to persist")
+    }
+
+    /// Registers a workflow and optional view, returning the assigned id.
+    ///
+    /// # Errors
+    /// Reports views that do not partition the spec's tasks and, on durable
+    /// backends, serialisation and persistence failures (the registration
+    /// is rolled back, so memory and disk stay consistent).
+    pub fn try_register(
+        &self,
+        spec: WorkflowSpec,
+        view: Option<WorkflowView>,
+    ) -> Result<WorkflowId, ServiceError> {
+        let persist = |e: wolves_workflow::WorkflowError| ServiceError::Persistence(e.to_string());
+        if self.backend.durable() {
+            // refuse names the line format cannot carry before anything is
+            // allocated or written
+            check_spec_serialisable(&spec).map_err(persist)?;
+            if let Some(view) = &view {
+                check_view_serialisable(view).map_err(persist)?;
+            }
+        }
         let _ = spec.reachability();
         let id = WorkflowId(self.next_id.fetch_add(1, Ordering::Relaxed) + 1);
         let entry = Entry {
+            logged_epoch: spec.epoch(),
             spec: Arc::new(spec),
             views: view.map(StoredView::new).into_iter().collect(),
             current: 0,
             epoch: 0,
         };
-        let shard = self.shard_of(id);
+        // the in-memory backend keeps its zero-cost contract: no snapshot
+        // serialisation, no record building
+        let record = self.backend.durable().then(|| WalRecord::Register {
+            id: id.0,
+            entry: entry.snapshot(id.0),
+        });
+        let index = self.shard_index_of(id);
+        let shard = &self.shards[index];
         shard.metrics.requests.fetch_add(1, Ordering::Relaxed);
-        shard.entries.write().insert(id.0, entry);
-        id
+        let mut entries = shard.entries.write();
+        entries.insert(id.0, entry);
+        let Some(record) = record else {
+            return Ok(id);
+        };
+        match self.backend.append(index, &record) {
+            Ok(outcome) => {
+                if outcome.wants_snapshot {
+                    self.snapshot_shard(index, &entries)?;
+                }
+                Ok(id)
+            }
+            Err(e) => {
+                // roll back: nothing else can reference the id yet
+                entries.remove(&id.0);
+                Err(e)
+            }
+        }
     }
 
     /// Registers a workflow from a native text-format payload.
     ///
     /// # Errors
-    /// Reports payloads that do not parse as the text format.
+    /// Reports payloads that do not parse as the text format, and
+    /// persistence failures on durable backends.
     pub fn register_text(&self, payload: &str) -> Result<WorkflowId, ServiceError> {
         let imported = read_text_format(payload)?;
-        Ok(self.register(imported.spec, imported.view))
+        self.try_register(imported.spec, imported.view)
+    }
+
+    /// Writes a snapshot of one shard through the backend (the caller holds
+    /// the shard lock, so the dump is a consistent cut).
+    fn snapshot_shard(
+        &self,
+        index: usize,
+        entries: &HashMap<u64, Entry>,
+    ) -> Result<(), ServiceError> {
+        let mut ids: Vec<u64> = entries.keys().copied().collect();
+        ids.sort_unstable();
+        let dump: Vec<SnapshotEntry> = ids.iter().map(|id| entries[id].snapshot(*id)).collect();
+        self.backend.write_snapshot(index, &dump)
+    }
+
+    /// Snapshots every shard through the backend, truncating each shard's
+    /// write-ahead log (compaction). This is what the `snapshot` protocol
+    /// verb runs; on the in-memory backend it is a no-op. Returns the
+    /// number of shards snapshotted.
+    ///
+    /// # Errors
+    /// Reports backend I/O failures.
+    pub fn snapshot_all(&self) -> Result<usize, ServiceError> {
+        for (index, shard) in self.shards.iter().enumerate() {
+            let entries = shard.entries.write();
+            self.snapshot_shard(index, &entries)?;
+        }
+        Ok(self.shards.len())
+    }
+
+    /// Exports a workflow's current state (spec + current view) in the
+    /// registrable native text format — what a client needs to resync after
+    /// server-side mutations and corrections.
+    ///
+    /// # Errors
+    /// Reports unknown workflows.
+    pub fn export(&self, id: WorkflowId) -> Result<String, ServiceError> {
+        let shard = self.shard_of(id);
+        shard.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        let entries = shard.entries.read();
+        let entry = entries
+            .get(&id.0)
+            .ok_or(ServiceError::UnknownWorkflow(id))?;
+        let view = entry.views.get(entry.current).map(|stored| &*stored.view);
+        Ok(write_text_format(&entry.spec, view))
     }
 
     /// Snapshot of a workflow's spec, a view version (current when `version`
@@ -344,12 +670,40 @@ impl WorkflowStore {
     /// Copy-on-write keeps concurrently running reads on a consistent
     /// pre-mutation snapshot.
     ///
+    /// On a durable backend the edit is appended to the shard's write-ahead
+    /// log (op + consumed spec deltas) before the call returns, still under
+    /// the shard write lock, so the log order is the store order.
+    ///
     /// # Errors
-    /// Reports unknown workflows, tasks and composites, and edits the model
+    /// Reports unknown workflows, tasks and composites, edits the model
     /// layer rejects (duplicate names, missing dependencies, non-partition
-    /// splits).
+    /// splits), and persistence failures.
     pub fn mutate(&self, id: WorkflowId, op: MutateOp) -> Result<Mutated, ServiceError> {
-        let shard = self.shard_of(id);
+        self.mutate_inner(id, op, true).map(|(mutated, _)| mutated)
+    }
+
+    /// [`WorkflowStore::mutate`] with recording control: recovery replays
+    /// logged ops through this path with `record` off (re-appending them
+    /// would duplicate the log). Returns the consumed spec deltas alongside
+    /// the outcome so replay can cross-check them against the record.
+    fn mutate_inner(
+        &self,
+        id: WorkflowId,
+        op: MutateOp,
+        record: bool,
+    ) -> Result<(Mutated, Vec<SpecDelta>), ServiceError> {
+        let durable = self.backend.durable();
+        if durable && record {
+            // refuse names the single-line WAL/wire grammar cannot carry
+            // before anything is applied (replayed ops were checked when
+            // they were first logged)
+            check_op_serialisable(&op)?;
+        }
+        // only durable recording needs the op after the apply-match consumes
+        // it; the in-memory path skips the clone
+        let logged_op = (durable && record).then(|| op.clone());
+        let index = self.shard_index_of(id);
+        let shard = &self.shards[index];
         shard.metrics.requests.fetch_add(1, Ordering::Relaxed);
         let mut entries = shard.entries.write();
         let entry = entries
@@ -457,14 +811,43 @@ impl WorkflowStore {
             }
         };
 
-        Ok(finish_mutation(
+        let mutated = finish_mutation(
             entry,
             class,
             &affected,
             provenance_survives,
             truncate,
             new_epoch,
-        ))
+        );
+        // hand the new spec deltas to the write-ahead log before the
+        // bounded delta log could evict them (the in-memory backend keeps
+        // its zero-cost contract: no delta collection, no record building)
+        let deltas = if durable {
+            consume_deltas(entry)?
+        } else {
+            Vec::new()
+        };
+        entry.logged_epoch = entry.spec.epoch();
+        if durable && record {
+            let wal_record = WalRecord::Mutate {
+                id: id.0,
+                epoch: mutated.epoch,
+                op: logged_op.expect("cloned for the durable recording path"),
+                deltas: deltas.clone(),
+            };
+            match self.backend.append(index, &wal_record) {
+                Ok(outcome) => {
+                    if outcome.wants_snapshot {
+                        self.snapshot_shard(index, &entries)?;
+                    }
+                }
+                // self-heal a failed append with a full snapshot (which
+                // rotates the log past the gap); if that fails too, the
+                // durable state is behind memory — report it
+                Err(e) => self.snapshot_shard(index, &entries).map_err(|_| e)?,
+            }
+        }
+        Ok((mutated, deltas))
     }
 
     /// Corrects the current view with `strategy`. When the view was unsound,
@@ -503,7 +886,8 @@ impl WorkflowStore {
         }
         let payload = write_text_format(&spec, Some(&corrected));
         let new_view = StoredView::new(corrected);
-        let shard = self.shard_of(id);
+        let shard_index = self.shard_index_of(id);
+        let shard = &self.shards[shard_index];
         let mut entries = shard.entries.write();
         let entry = entries
             .get_mut(&id.0)
@@ -519,10 +903,30 @@ impl WorkflowStore {
                 payload: write_text_format(&entry.spec, Some(&winner.view)),
             });
         }
+        let view_lines = self
+            .backend
+            .durable()
+            .then(|| view_to_lines(&new_view.view));
         entry.views.push(new_view);
         entry.current = entry.views.len() - 1;
+        let version = entry.current;
+        if let Some(view_lines) = view_lines {
+            let record = WalRecord::Correct {
+                id: id.0,
+                version,
+                view_lines,
+            };
+            match self.backend.append(shard_index, &record) {
+                Ok(outcome) => {
+                    if outcome.wants_snapshot {
+                        self.snapshot_shard(shard_index, &entries)?;
+                    }
+                }
+                Err(e) => self.snapshot_shard(shard_index, &entries).map_err(|_| e)?,
+            }
+        }
         Ok(Corrected {
-            version: entry.current,
+            version,
             composites_before: report.composites_before,
             composites_after: report.composites_after,
             payload,
@@ -653,6 +1057,81 @@ fn finish_mutation(
     }
 }
 
+/// Refuses mutation ops whose names cannot survive the single-line,
+/// TAB-separated wire/WAL grammar: a TAB or line break would corrupt the
+/// frame — or worse, silently truncate the name on replay, recovering a
+/// store that diverges from the one that crashed. Only durable backends
+/// enforce this (the wire protocol cannot produce such names; this guards
+/// in-process callers of [`WorkflowStore::mutate`]).
+fn check_op_serialisable(op: &MutateOp) -> Result<(), ServiceError> {
+    let check = |what: &str, text: &str, reserved: &[char]| -> Result<(), ServiceError> {
+        if text.contains(['\t', '\n', '\r']) || text.contains(reserved) {
+            return Err(ServiceError::Persistence(format!(
+                "{what} {text:?} contains a TAB, line break or reserved separator; the \
+                 write-ahead log's line grammar cannot carry it"
+            )));
+        }
+        Ok(())
+    };
+    match op {
+        MutateOp::AddTask { name } | MutateOp::RemoveTask { name } => check("task name", name, &[]),
+        MutateOp::AddEdge { from, to } | MutateOp::RemoveEdge { from, to } => {
+            check("task name", from, &[])?;
+            check("task name", to, &[])
+        }
+        MutateOp::Split { composite, parts } => {
+            check("composite name", composite, &[])?;
+            for part in parts {
+                for member in part {
+                    // ';' and ',' are the wire grammar's list separators
+                    check("task name", member, &[';', ','])?;
+                }
+            }
+            Ok(())
+        }
+        MutateOp::Merge { name, composites } => {
+            check("composite name", name, &[])?;
+            for composite in composites {
+                check("composite name", composite, &[';'])?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Collects the spec deltas produced since the write-ahead log last
+/// consumed the entry's delta log ([`Entry::logged_epoch`]). The delta log
+/// is bounded ([`WorkflowSpec::set_delta_log_cap`]); because every mutation
+/// consumes its deltas synchronously under the shard write lock the bound
+/// can never evict an unconsumed delta — but if it ever did (a bug, or a
+/// cap set to less than one mutation's worth of deltas), this errors loudly
+/// instead of silently persisting a log with holes.
+fn consume_deltas(entry: &Entry) -> Result<Vec<SpecDelta>, ServiceError> {
+    let logged = entry.logged_epoch;
+    let spec_epoch = entry.spec.epoch();
+    if spec_epoch == logged {
+        return Ok(Vec::new());
+    }
+    let fresh: Vec<SpecDelta> = entry
+        .spec
+        .delta_log()
+        .iter()
+        .filter(|delta| delta.epoch > logged)
+        .cloned()
+        .collect();
+    let contiguous = fresh.first().map(|delta| delta.epoch) == Some(logged + 1)
+        && fresh.len() as u64 == spec_epoch - logged;
+    if !contiguous {
+        return Err(ServiceError::Persistence(format!(
+            "the spec delta log evicted epochs {}..={} before the write-ahead log consumed \
+             them; raise the bound with WorkflowSpec::set_delta_log_cap",
+            logged + 1,
+            spec_epoch
+        )));
+    }
+    Ok(fresh)
+}
+
 /// Computes which composites of the current view an edge mutation affects:
 /// the composites holding the endpoints (their boundary sets can move even
 /// when the reachability closure is unchanged) plus every composite with a
@@ -704,6 +1183,7 @@ fn composite_by_name(view: &WorkflowView, name: &str) -> Result<CompositeTaskId,
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wal::{FileBackend, PersistConfig};
     use wolves_repo::figure1;
 
     fn add_edge(from: &str, to: &str) -> MutateOp {
@@ -711,6 +1191,247 @@ mod tests {
             from: from.to_owned(),
             to: to.to_owned(),
         }
+    }
+
+    fn temp_root(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::AtomicU64;
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "wolves-store-{tag}-{}-{unique}",
+            std::process::id()
+        ))
+    }
+
+    fn durable_config(root: &std::path::Path) -> PersistConfig {
+        PersistConfig {
+            shards: 2,
+            ..PersistConfig::new(root)
+        }
+    }
+
+    /// Drives a store through the full verb set and captures every served
+    /// answer, so recovered state can be compared answer-for-answer.
+    fn drive_and_observe(store: &WorkflowStore, id: WorkflowId) -> Vec<String> {
+        let mut observed = Vec::new();
+        let verdict = store.validate(id, None).unwrap();
+        observed.push(format!(
+            "validate v{} sound={} unsound={:?}",
+            verdict.version, verdict.sound, verdict.unsound
+        ));
+        for subject in ["Format alignment", "Display tree"] {
+            observed.push(format!(
+                "provenance {subject}: {:?}",
+                store.provenance(id, subject).unwrap()
+            ));
+        }
+        observed.push(format!("export:\n{}", store.export(id).unwrap()));
+        observed
+    }
+
+    #[test]
+    fn durable_store_recovers_identical_answers_after_restart() {
+        let root = temp_root("recover");
+        let backend = Arc::new(FileBackend::open(durable_config(&root)).unwrap());
+        let (store, report) = WorkflowStore::open(backend).unwrap();
+        assert_eq!(report.workflows, 0);
+        let fixture = figure1();
+        let id = store
+            .try_register(fixture.spec, Some(fixture.view))
+            .unwrap();
+        store.correct(id, Strategy::Strong).unwrap();
+        let mutated = store
+            .mutate(
+                id,
+                add_edge("Check additional annotations", "Build phylo tree"),
+            )
+            .unwrap();
+        assert_eq!(mutated.epoch, 1);
+        store
+            .mutate(
+                id,
+                MutateOp::Merge {
+                    name: "Front end".to_owned(),
+                    composites: vec![
+                        "Retrieve entries (13)".to_owned(),
+                        "Annotations (14)".to_owned(),
+                    ],
+                },
+            )
+            .unwrap();
+        let mutated = store
+            .mutate(
+                id,
+                MutateOp::AddTask {
+                    name: "Archive results".to_owned(),
+                },
+            )
+            .unwrap();
+        assert_eq!(mutated.epoch, 3);
+        store
+            .mutate(id, add_edge("Display tree", "Archive results"))
+            .unwrap();
+        let before = drive_and_observe(&store, id);
+        drop(store);
+
+        let backend = Arc::new(FileBackend::open(durable_config(&root)).unwrap());
+        let (recovered, report) = WorkflowStore::open(backend).unwrap();
+        assert_eq!(report.workflows, 1);
+        assert!(report.replayed_records >= 5, "{report}");
+        assert_eq!(drive_and_observe(&recovered, id), before);
+        // the epoch counter resumes exactly where the crashed store stopped
+        let mutated = recovered
+            .mutate(id, add_edge("Curate annotations", "Archive results"))
+            .unwrap();
+        assert_eq!(mutated.epoch, 5);
+        // recovery compacted: a third open replays the snapshot, not records
+        drop(recovered);
+        let backend = Arc::new(FileBackend::open(durable_config(&root)).unwrap());
+        let (_again, report) = WorkflowStore::open(backend).unwrap();
+        assert_eq!(report.workflows, 1);
+        assert_eq!(report.snapshot_entries, 1);
+        assert_eq!(report.replayed_records, 1, "only the post-compaction edit");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn recovered_ids_and_versions_match_the_live_store() {
+        let root = temp_root("ids");
+        let backend = Arc::new(FileBackend::open(durable_config(&root)).unwrap());
+        let (store, _) = WorkflowStore::open(backend).unwrap();
+        let first = {
+            let f = figure1();
+            store.try_register(f.spec, Some(f.view)).unwrap()
+        };
+        let second = {
+            let f = figure1();
+            store.try_register(f.spec, Some(f.view)).unwrap()
+        };
+        store.correct(second, Strategy::Weak).unwrap();
+        drop(store);
+        let backend = Arc::new(FileBackend::open(durable_config(&root)).unwrap());
+        let (recovered, _) = WorkflowStore::open(backend).unwrap();
+        // old ids answer; a fresh registration continues the id sequence
+        assert!(recovered.validate(first, None).is_ok());
+        assert_eq!(recovered.validate(second, None).unwrap().version, 1);
+        assert!(recovered.validate(second, Some(0)).is_ok());
+        let f = figure1();
+        let third = recovered.try_register(f.spec, Some(f.view)).unwrap();
+        assert_eq!(third.0, second.0 + 1);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn consume_deltas_errors_loudly_on_eviction() {
+        let mut spec = figure1().spec;
+        spec.set_delta_log_cap(2);
+        let epoch_before = spec.epoch();
+        for i in 0..4 {
+            spec.apply(SpecMutation::AddTask {
+                name: format!("extra-{i}"),
+            })
+            .unwrap();
+        }
+        let entry = Entry {
+            // pretend the WAL last consumed up to `epoch_before`: the four
+            // deltas since were already evicted down to the cap of 2
+            logged_epoch: epoch_before,
+            epoch: 4,
+            current: 0,
+            views: Vec::new(),
+            spec: Arc::new(spec),
+        };
+        let err = consume_deltas(&entry).unwrap_err();
+        assert!(matches!(err, ServiceError::Persistence(_)));
+        assert!(err.to_string().contains("set_delta_log_cap"), "{err}");
+        // a caught-up entry consumes nothing
+        let caught_up = Entry {
+            logged_epoch: entry.spec.epoch(),
+            spec: Arc::clone(&entry.spec),
+            views: Vec::new(),
+            current: 0,
+            epoch: 4,
+        };
+        assert!(consume_deltas(&caught_up).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unserialisable_names_are_rejected_by_durable_registration() {
+        let root = temp_root("names");
+        let backend = Arc::new(FileBackend::open(durable_config(&root)).unwrap());
+        let (store, _) = WorkflowStore::open(backend).unwrap();
+        let mut spec = WorkflowSpec::new("bad");
+        spec.add_task(wolves_workflow::AtomicTask::new("task\nwith newline"))
+            .unwrap();
+        assert!(matches!(
+            store.try_register(spec, None),
+            Err(ServiceError::Persistence(_))
+        ));
+        // the in-memory store accepts the same spec (nothing to serialise)
+        let memory = WorkflowStore::new(1);
+        let mut spec = WorkflowSpec::new("bad");
+        spec.add_task(wolves_workflow::AtomicTask::new("task\nwith newline"))
+            .unwrap();
+        assert!(memory.try_register(spec, None).is_ok());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn unserialisable_op_names_are_rejected_by_durable_mutation() {
+        let root = temp_root("op-names");
+        let backend = Arc::new(FileBackend::open(durable_config(&root)).unwrap());
+        let (store, _) = WorkflowStore::open(backend).unwrap();
+        let fixture = figure1();
+        let id = store
+            .try_register(fixture.spec, Some(fixture.view))
+            .unwrap();
+        let epoch_probe = |store: &WorkflowStore| {
+            store
+                .mutate(
+                    id,
+                    MutateOp::AddTask {
+                        name: format!("probe-{}", store.stats().requests()),
+                    },
+                )
+                .unwrap()
+                .epoch
+        };
+        let before = epoch_probe(&store);
+        for op in [
+            MutateOp::AddTask {
+                name: "a\nb".to_owned(),
+            },
+            MutateOp::AddTask {
+                name: "a\tb".to_owned(),
+            },
+            MutateOp::Merge {
+                name: "ok".to_owned(),
+                composites: vec!["a;b".to_owned()],
+            },
+            MutateOp::Split {
+                composite: "ok".to_owned(),
+                parts: vec![vec!["a,b".to_owned()]],
+            },
+        ] {
+            let err = store.mutate(id, op).unwrap_err();
+            assert!(matches!(err, ServiceError::Persistence(_)), "{err}");
+        }
+        // the rejections applied nothing: the epoch advanced only by the
+        // probes themselves
+        assert_eq!(epoch_probe(&store), before + 1);
+        // the in-memory store still accepts such names (nothing to log)
+        let memory = WorkflowStore::new(1);
+        let f = figure1();
+        let mem_id = memory.try_register(f.spec, Some(f.view)).unwrap();
+        assert!(memory
+            .mutate(
+                mem_id,
+                MutateOp::AddTask {
+                    name: "a\tb".to_owned(),
+                },
+            )
+            .is_ok());
+        std::fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]

@@ -32,6 +32,9 @@ pub enum WorkflowError {
     },
     /// The workflow specification must be acyclic but a cycle was found.
     CyclicSpecification(TaskId),
+    /// A persisted spec/view/mutation line could not be parsed (see
+    /// [`crate::persist`]).
+    Persist(String),
     /// Error bubbled up from the graph substrate.
     Graph(wolves_graph::GraphError),
 }
@@ -63,6 +66,7 @@ impl fmt::Display for WorkflowError {
             WorkflowError::CyclicSpecification(t) => {
                 write!(f, "workflow specification has a cycle through {t}")
             }
+            WorkflowError::Persist(message) => write!(f, "persist error: {message}"),
             WorkflowError::Graph(e) => write!(f, "graph error: {e}"),
         }
     }

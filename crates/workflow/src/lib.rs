@@ -39,6 +39,7 @@ pub mod boundary;
 pub mod builder;
 pub mod error;
 pub mod mutation;
+pub mod persist;
 pub mod render;
 pub mod spec;
 pub mod task;

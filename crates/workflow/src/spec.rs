@@ -29,6 +29,9 @@ pub struct WorkflowSpec {
     /// Matrix rows dirtied since the last [`WorkflowSpec::take_dirty`].
     dirty: DirtyRows,
     log: Vec<SpecDelta>,
+    /// Upper bound on retained delta-log entries (see
+    /// [`WorkflowSpec::set_delta_log_cap`]).
+    log_cap: usize,
 }
 
 impl Clone for WorkflowSpec {
@@ -48,6 +51,7 @@ impl Clone for WorkflowSpec {
             epoch: self.epoch,
             dirty: self.dirty.clone(),
             log: self.log.clone(),
+            log_cap: self.log_cap,
         }
     }
 }
@@ -64,6 +68,34 @@ impl WorkflowSpec {
             epoch: 0,
             dirty: DirtyRows::clean(0),
             log: Vec::new(),
+            log_cap: Self::DELTA_LOG_CAP,
+        }
+    }
+
+    /// Rebuilds a specification from restored parts — the storage layer's
+    /// recovery path. The graph must carry the exact slot layout (including
+    /// tombstones) of the serialised spec so future task/dependency ids are
+    /// assigned identically; `epoch` resumes the mutation counter and the
+    /// delta log restarts empty (every retained delta was consumed by the
+    /// write-ahead log before the snapshot was taken).
+    pub(crate) fn restore(
+        name: String,
+        graph: DiGraph<AtomicTask, DataDependency>,
+        by_name: BTreeMap<String, TaskId>,
+        epoch: u64,
+        log_cap: usize,
+    ) -> Self {
+        WorkflowSpec {
+            name,
+            graph,
+            by_name,
+            reach: OnceLock::new(),
+            epoch,
+            // a restored spec has no incremental history: consumers must
+            // treat every derived row as dirty until they rebuild
+            dirty: DirtyRows::all(),
+            log: Vec::new(),
+            log_cap,
         }
     }
 
@@ -178,8 +210,9 @@ impl WorkflowSpec {
     }
 
     /// The typed delta log, in epoch order. The log is bounded: once it
-    /// reaches [`WorkflowSpec::DELTA_LOG_CAP`] entries the oldest half is
-    /// dropped, so long-lived specs (e.g. in the serving layer, where every
+    /// reaches the configured cap ([`WorkflowSpec::delta_log_cap`],
+    /// default [`WorkflowSpec::DELTA_LOG_CAP`]) the oldest half is dropped,
+    /// so long-lived specs (e.g. in the serving layer, where every
     /// copy-on-write clone copies the log) hold the most recent edits only —
     /// each entry still carries its epoch, so gaps are detectable.
     #[must_use]
@@ -187,8 +220,31 @@ impl WorkflowSpec {
         &self.log
     }
 
-    /// Upper bound on retained delta-log entries.
+    /// Default upper bound on retained delta-log entries.
     pub const DELTA_LOG_CAP: usize = 1024;
+
+    /// The configured upper bound on retained delta-log entries.
+    #[must_use]
+    pub fn delta_log_cap(&self) -> usize {
+        self.log_cap
+    }
+
+    /// Reconfigures the delta-log bound (clamped to at least 2 so the
+    /// drop-oldest-half eviction always retains the newest entry).
+    ///
+    /// Consumers that tail the log — the serving layer's write-ahead log
+    /// consumes each delta synchronously under the shard write lock — can
+    /// lower the cap to bound clone cost, or raise it when deltas are
+    /// drained in larger batches. Eviction only ever drops entries that are
+    /// older than the cap allows; a consumer that falls behind detects the
+    /// gap through the per-entry epochs.
+    pub fn set_delta_log_cap(&mut self, cap: usize) {
+        self.log_cap = cap.max(2);
+        if self.log.len() >= self.log_cap {
+            let drop = self.log.len() - self.log_cap / 2;
+            self.log.drain(..drop);
+        }
+    }
 
     /// The matrix rows dirtied since the last [`WorkflowSpec::take_dirty`]
     /// (union over all mutations in between).
@@ -271,9 +327,9 @@ impl WorkflowSpec {
         task: Option<TaskId>,
     ) -> MutationReport {
         self.epoch += 1;
-        if self.log.len() >= Self::DELTA_LOG_CAP {
+        if self.log.len() >= self.log_cap {
             // drop the oldest half in one move; amortised O(1) per mutation
-            self.log.drain(..Self::DELTA_LOG_CAP / 2);
+            self.log.drain(..self.log_cap.div_ceil(2));
         }
         self.log.push(SpecDelta {
             epoch: self.epoch,
@@ -600,6 +656,36 @@ mod tests {
         for window in log.windows(2) {
             assert_eq!(window[1].epoch, window[0].epoch + 1);
         }
+    }
+
+    #[test]
+    fn delta_log_cap_is_configurable() {
+        let mut spec = WorkflowSpec::new("capped");
+        let a = spec.add_task(AtomicTask::new("a")).unwrap();
+        let b = spec.add_task(AtomicTask::new("b")).unwrap();
+        assert_eq!(spec.delta_log_cap(), WorkflowSpec::DELTA_LOG_CAP);
+        spec.set_delta_log_cap(8);
+        assert_eq!(spec.delta_log_cap(), 8);
+        for _ in 0..16 {
+            spec.add_dependency(a, b, DataDependency::unnamed())
+                .unwrap();
+            spec.remove_dependency(a, b).unwrap();
+        }
+        assert!(spec.delta_log().len() <= 8);
+        // the retained tail stays contiguous and newest-first
+        let log = spec.delta_log();
+        assert_eq!(log.last().unwrap().epoch, spec.epoch());
+        for window in log.windows(2) {
+            assert_eq!(window[1].epoch, window[0].epoch + 1);
+        }
+        // shrinking below the current length trims immediately; the floor
+        // of 2 keeps the newest entry alive
+        spec.set_delta_log_cap(0);
+        assert_eq!(spec.delta_log_cap(), 2);
+        assert!(spec.delta_log().len() <= 2);
+        assert_eq!(spec.delta_log().last().unwrap().epoch, spec.epoch());
+        // the clone carries the configured cap
+        assert_eq!(spec.clone().delta_log_cap(), 2);
     }
 
     #[test]

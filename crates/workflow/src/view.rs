@@ -180,6 +180,53 @@ impl WorkflowView {
         self.composites.iter().flatten().count()
     }
 
+    /// Number of composite slots ever allocated, including tombstones left
+    /// by splits, merges and member removals. Composite ids are slot
+    /// indices, so persistent storage must reproduce this bound exactly for
+    /// ids assigned after a restore to match the live view's.
+    #[must_use]
+    pub fn composite_slot_count(&self) -> usize {
+        self.composites.len()
+    }
+
+    /// Rebuilds a view from explicit composite slots, `None` marking a
+    /// tombstone — the storage layer's recovery path, the slot-level inverse
+    /// of [`WorkflowView::composites`] plus
+    /// [`WorkflowView::composite_slot_count`]. Whether the slots partition a
+    /// specification's tasks is *not* checked here (the spec is restored
+    /// separately); callers follow up with
+    /// [`WorkflowView::validate_against`].
+    ///
+    /// # Errors
+    /// Fails if a task belongs to more than one slot.
+    pub fn from_slots(
+        name: impl Into<String>,
+        slots: Vec<Option<CompositeTask>>,
+    ) -> Result<Self, WorkflowError> {
+        let mut task_to_composite = BTreeMap::new();
+        let mut duplicated = Vec::new();
+        for (index, slot) in slots.iter().enumerate() {
+            let Some(composite) = slot else { continue };
+            let id = CompositeTaskId::from_index(index);
+            for &member in composite.members() {
+                if task_to_composite.insert(member, id).is_some() {
+                    duplicated.push(member);
+                }
+            }
+        }
+        if !duplicated.is_empty() {
+            return Err(WorkflowError::NotAPartition {
+                missing: Vec::new(),
+                duplicated,
+            });
+        }
+        Ok(WorkflowView {
+            name: name.into(),
+            composites: slots,
+            task_to_composite,
+        })
+    }
+
     /// Iterates over `(id, composite)` pairs in id order.
     pub fn composites(&self) -> impl Iterator<Item = (CompositeTaskId, &CompositeTask)> + '_ {
         self.composites

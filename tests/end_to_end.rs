@@ -188,6 +188,85 @@ fn cli_exit_codes_distinguish_success_from_malformed_invocations() {
 }
 
 #[test]
+fn serve_and_recover_exit_codes_distinguish_failure_modes() {
+    let binary = wolves_binary();
+    let run = |args: &[&str]| {
+        std::process::Command::new(&binary)
+            .args(args)
+            .output()
+            .expect("run the wolves binary")
+    };
+    let temp = std::env::temp_dir().join(format!("wolves-e2e-exit-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&temp);
+    std::fs::create_dir_all(&temp).unwrap();
+
+    // bind failure — the address is already taken — exits 2, not 1
+    let occupied = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = occupied.local_addr().unwrap().to_string();
+    let output = run(&["serve", "--addr", &addr]);
+    assert_eq!(output.status.code(), Some(2), "bind failure must exit 2");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("cannot bind"), "stderr: {stderr}");
+    drop(occupied);
+
+    // data-dir recovery failure — corrupt meta file — exits 3 on both
+    // `serve --data-dir` and `recover`
+    let corrupt = temp.join("corrupt-store");
+    std::fs::create_dir_all(&corrupt).unwrap();
+    std::fs::write(corrupt.join("meta.txt"), "not a wolves store\n").unwrap();
+    let corrupt_str = corrupt.to_string_lossy().to_string();
+    let output = run(&["serve", "--addr", "127.0.0.1:0", "--data-dir", &corrupt_str]);
+    assert_eq!(
+        output.status.code(),
+        Some(3),
+        "recovery failure must exit 3"
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("cannot recover"), "stderr: {stderr}");
+    let output = run(&["recover", &corrupt_str]);
+    assert_eq!(output.status.code(), Some(3));
+
+    // malformed recover invocations stay on the generic exit code 1
+    let output = run(&["recover"]);
+    assert_eq!(output.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&output.stderr).contains("usage"));
+    // a directory that is not a data dir is an operation error
+    let empty = temp.join("not-a-store");
+    std::fs::create_dir_all(&empty).unwrap();
+    let output = run(&["recover", &empty.to_string_lossy()]);
+    assert_eq!(output.status.code(), Some(3));
+
+    // happy path: recover a directory written by a real durable store
+    {
+        use std::sync::Arc;
+        use wolves::service::{FileBackend, PersistConfig, WorkflowStore};
+        let good = temp.join("good-store");
+        let config = PersistConfig {
+            shards: 2,
+            ..PersistConfig::new(&good)
+        };
+        let backend = Arc::new(FileBackend::open(config).unwrap());
+        let (store, _) = WorkflowStore::open(backend).unwrap();
+        let fixture = figure1();
+        store
+            .try_register(fixture.spec, Some(fixture.view))
+            .unwrap();
+        drop(store);
+        let output = run(&["recover", &good.to_string_lossy()]);
+        assert_eq!(
+            output.status.code(),
+            Some(0),
+            "stderr: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        assert!(stdout.contains("intact"), "stdout: {stdout}");
+        assert!(stdout.contains("recovered 1 workflow"), "stdout: {stdout}");
+    }
+    std::fs::remove_dir_all(&temp).unwrap();
+}
+
+#[test]
 fn moml_and_text_formats_agree_on_suite_workflows() {
     for case in standard_suite(0..1) {
         let moml = to_moml(&case.spec, Some(&case.view));

@@ -1,0 +1,390 @@
+//! Crash-recovery integration tests of the durable serving layer: a store
+//! on the snapshot + write-ahead-log backend, killed mid-stream and
+//! restarted, must serve answers identical to the store that never crashed
+//! — same verdicts, same provenance, same epochs, same future ids.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use wolves::service::{
+    serve_with_store, FileBackend, MutateOp, PersistConfig, ServerConfig, ServiceClient,
+    ServiceError, WorkflowId, WorkflowStore,
+};
+
+fn temp_root(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "wolves-recovery-{tag}-{}-{unique}",
+        std::process::id()
+    ))
+}
+
+/// A small-segment, batched-fsync config so the tests exercise rotation and
+/// the unsynced-tail path, not just the happy append loop.
+fn config(root: &Path) -> PersistConfig {
+    PersistConfig {
+        shards: 2,
+        fsync_every: 8,
+        segment_bytes: 16 * 1024,
+        ..PersistConfig::new(root)
+    }
+}
+
+fn open_store(root: &Path) -> (WorkflowStore, wolves::service::RecoveryReport) {
+    let backend = Arc::new(FileBackend::open(config(root)).expect("open the data dir"));
+    WorkflowStore::open(backend).expect("recover the store")
+}
+
+/// Captures every externally observable answer of a workflow: per-version
+/// verdicts, provenance of every task, the export payload and the epoch
+/// (observed through a no-op-free probe: the epoch is part of mutate
+/// outcomes, so it is captured by the callers where a mutation happens).
+fn observe(store: &WorkflowStore, id: WorkflowId) -> Vec<String> {
+    let mut out = Vec::new();
+    let export = store.export(id).expect("export");
+    let mut version = 0usize;
+    while let Ok(verdict) = store.validate(id, Some(version)) {
+        out.push(format!(
+            "v{version}: sound={} unsound={:?}",
+            verdict.sound, verdict.unsound
+        ));
+        version += 1;
+    }
+    for line in export.lines() {
+        if let Some(task) = line.strip_prefix("task\t") {
+            out.push(format!(
+                "prov {task}: {:?}",
+                store.provenance(id, task).expect("provenance")
+            ));
+        }
+    }
+    out.push(format!("stats workflows={}", store.stats().workflows()));
+    out.push(export);
+    out
+}
+
+#[test]
+fn killed_server_restarts_with_identical_answers_after_100_mutations() {
+    let root = temp_root("server");
+    let (store, _) = open_store(&root);
+    let server = serve_with_store(
+        &ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            shards: 2,
+            workers: 2,
+        },
+        Arc::new(store),
+    )
+    .expect("bind the durable server");
+    let mut client = ServiceClient::connect(server.local_addr()).expect("connect");
+
+    let fixture = wolves::repo::figure1();
+    let id = client
+        .register(&fixture.spec, Some(&fixture.view))
+        .expect("register");
+    client
+        .correct(id, wolves::core::correct::Strategy::Strong)
+        .expect("correct");
+
+    // drive >100 mutations through the wire: grow a chain of new tasks,
+    // each wired beneath the previous one (small enough to stay fast, big
+    // enough to force several WAL segment rotations)
+    let mut last_epoch = 0;
+    for index in 0..55 {
+        let name = format!("grown-{index}");
+        let added = client
+            .mutate(id, MutateOp::AddTask { name: name.clone() })
+            .expect("add task");
+        let from = if index == 0 {
+            "Display tree".to_owned()
+        } else {
+            format!("grown-{}", index - 1)
+        };
+        let wired = client
+            .mutate(id, MutateOp::AddEdge { from, to: name })
+            .expect("add edge");
+        assert_eq!(wired.epoch, added.epoch + 1);
+        last_epoch = wired.epoch;
+    }
+    assert!(last_epoch >= 100, "drove {last_epoch} mutations");
+
+    let store = server.store();
+    let before = observe(&store, id);
+
+    // kill: abandon the server without any shutdown handshake — worker
+    // threads, sockets and unsynced WAL tail are simply dropped on the
+    // floor, like SIGKILL would
+    drop(client);
+    std::mem::forget(server);
+    drop(store);
+
+    let (recovered, report) = open_store(&root);
+    assert_eq!(report.workflows, 1);
+    assert!(
+        report.snapshot_entries + report.replayed_records > 0,
+        "{report}"
+    );
+    let server = serve_with_store(
+        &ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            shards: 2,
+            workers: 2,
+        },
+        Arc::new(recovered),
+    )
+    .expect("bind the restarted server");
+    let store = server.store();
+    assert_eq!(observe(&store, id), before, "recovered answers diverged");
+
+    // the epoch counter resumes exactly where the killed server stopped
+    let mut client = ServiceClient::connect(server.local_addr()).expect("reconnect");
+    let mutated = client
+        .mutate(
+            id,
+            MutateOp::AddEdge {
+                from: "Display tree".to_owned(),
+                to: "grown-5".to_owned(),
+            },
+        )
+        .expect("mutate after recovery");
+    assert_eq!(mutated.epoch, last_epoch + 1);
+
+    // export round-trips into a fresh registration (client resync)
+    let payload = client.export(id).expect("export");
+    let resynced = client.register_text(&payload).expect("re-register");
+    assert_ne!(resynced, id);
+    let verdict = client.validate(resynced, None).expect("validate resync");
+    assert_eq!(verdict.sound, client.validate(id, None).expect("v").sound);
+
+    // a forced snapshot compacts the log: the next restart replays no
+    // individual records
+    client.snapshot().expect("snapshot");
+    client.shutdown().expect("shutdown");
+    server.join();
+    let (_, report) = open_store(&root);
+    assert_eq!(report.replayed_records, 0, "{report}");
+    assert_eq!(report.workflows, 2);
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn torn_final_record_is_discarded_and_the_prefix_recovers() {
+    let root = temp_root("torn");
+    let (store, _) = open_store(&root);
+    let fixture = wolves::repo::figure1();
+    let id = store
+        .try_register(fixture.spec, Some(fixture.view))
+        .expect("register");
+    for index in 0..5 {
+        store
+            .mutate(
+                id,
+                MutateOp::AddTask {
+                    name: format!("extra-{index}"),
+                },
+            )
+            .expect("mutate");
+    }
+    let before = observe(&store, id);
+    drop(store);
+
+    // simulate a crash mid-append: a half-written record at the tail of
+    // every shard's active log
+    for shard in 0..2 {
+        let dir = root.join(format!("shard-{shard}"));
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            if path.extension().is_some_and(|e| e == "log") {
+                use std::io::Write as _;
+                let mut file = std::fs::OpenOptions::new().append(true).open(path).unwrap();
+                file.write_all(b"rec\tmutate\t1\t99\t2\nmutate\t1\tadd-")
+                    .unwrap();
+            }
+        }
+    }
+
+    let (recovered, report) = open_store(&root);
+    assert_eq!(report.torn_tails, 2, "{report}");
+    assert_eq!(observe(&recovered, id), before);
+    // the next mutation continues cleanly past the discarded tail
+    recovered
+        .mutate(
+            id,
+            MutateOp::AddTask {
+                name: "after-the-tear".to_owned(),
+            },
+        )
+        .expect("mutate after torn recovery");
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn mid_log_corruption_is_refused_not_guessed() {
+    let root = temp_root("corrupt");
+    let (store, _) = open_store(&root);
+    let fixture = wolves::repo::figure1();
+    let id = store
+        .try_register(fixture.spec, Some(fixture.view))
+        .expect("register");
+    for index in 0..4 {
+        store
+            .mutate(
+                id,
+                MutateOp::AddTask {
+                    name: format!("extra-{index}"),
+                },
+            )
+            .expect("mutate");
+    }
+    drop(store);
+
+    // flip a byte inside the FIRST record of the shard that holds the
+    // workflow — later records are intact, so this is not a torn tail
+    let mut corrupted = false;
+    for shard in 0..2 {
+        let path = root.join(format!("shard-{shard}")).join("wal-0.log");
+        let content = std::fs::read_to_string(&path).unwrap();
+        if content.contains("extra-0") {
+            std::fs::write(&path, content.replacen("extra-0", "extra-X", 1)).unwrap();
+            corrupted = true;
+        }
+    }
+    assert!(corrupted, "no shard held the mutation records");
+    let err = FileBackend::open(config(&root))
+        .map(|backend| WorkflowStore::open(Arc::new(backend)).map(|_| ()))
+        .and_then(std::convert::identity)
+        .unwrap_err();
+    assert!(matches!(err, ServiceError::Recovery(_)), "{err}");
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A model-driven random edit: ops reference tasks by position in the
+    /// insertion-order model so every generated script is replayable.
+    #[derive(Debug, Clone)]
+    enum Op {
+        AddTask(usize),
+        AddEdge(usize, usize),
+        RemoveEdge(usize, usize),
+        RemoveTask(usize),
+        Correct,
+    }
+
+    /// Applies one op to a store, translating model positions into live
+    /// task names. Model-invalid picks (duplicate edges, missing deps) are
+    /// allowed to fail — identically on every store.
+    fn apply(store: &WorkflowStore, id: WorkflowId, names: &mut Vec<String>, op: &Op) {
+        let outcome = match op {
+            Op::AddTask(counter) => {
+                let name = format!("task-{counter}");
+                let result = store.mutate(id, MutateOp::AddTask { name: name.clone() });
+                if result.is_ok() {
+                    names.push(name);
+                }
+                result.map(|_| ())
+            }
+            Op::AddEdge(from, to) if names.len() >= 2 => {
+                let from = names[from % names.len()].clone();
+                let to = names[to % names.len()].clone();
+                store.mutate(id, MutateOp::AddEdge { from, to }).map(|_| ())
+            }
+            Op::RemoveEdge(from, to) if names.len() >= 2 => {
+                let from = names[from % names.len()].clone();
+                let to = names[to % names.len()].clone();
+                store
+                    .mutate(id, MutateOp::RemoveEdge { from, to })
+                    .map(|_| ())
+            }
+            Op::RemoveTask(pick) if !names.is_empty() => {
+                let index = pick % names.len();
+                let name = names[index].clone();
+                let result = store.mutate(id, MutateOp::RemoveTask { name });
+                if result.is_ok() {
+                    names.remove(index);
+                }
+                result.map(|_| ())
+            }
+            Op::Correct => store
+                .correct(id, wolves::core::correct::Strategy::Strong)
+                .map(|_| ()),
+            _ => Ok(()),
+        };
+        // failures must be deterministic: both the durable and the
+        // uninterrupted store see the same model, so a rejected edit is
+        // rejected everywhere — nothing to assert per store
+        let _ = outcome;
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Vec<Op>> {
+        proptest::collection::vec((0u8..5, 0usize..16, 0usize..16), 4..28).prop_map(|raw| {
+            let mut counter = 0usize;
+            raw.into_iter()
+                .map(|(kind, a, b)| match kind {
+                    0 | 1 => {
+                        counter += 1;
+                        Op::AddTask(counter)
+                    }
+                    2 => Op::AddEdge(a, b),
+                    3 => Op::RemoveEdge(a, b),
+                    4 if a % 3 == 0 => Op::Correct,
+                    _ => Op::RemoveTask(a),
+                })
+                .collect()
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// For random mutation sequences and a random kill point, the
+        /// durable store killed and restarted mid-stream ends bit-identical
+        /// (observable answers, epochs, future ids) to a store that ran
+        /// uninterrupted.
+        #[test]
+        fn random_scripts_survive_a_mid_stream_kill(
+            script in op_strategy(),
+            kill_at in 0usize..28,
+        ) {
+            let root = temp_root("prop");
+            let kill_at = kill_at % script.len().max(1);
+
+            let twin = WorkflowStore::new(2);
+            let (durable, _) = open_store(&root);
+            let fixture = wolves::repo::figure1();
+            let id = durable
+                .try_register(fixture.spec.clone(), Some(fixture.view.clone()))
+                .unwrap();
+            let twin_id = twin.try_register(fixture.spec, Some(fixture.view)).unwrap();
+            prop_assert_eq!(id, twin_id);
+
+            let mut names: Vec<String> = Vec::new();
+            let mut twin_names: Vec<String> = Vec::new();
+            for op in &script[..kill_at] {
+                apply(&durable, id, &mut names, op);
+                apply(&twin, id, &mut twin_names, op);
+            }
+            // kill the durable store (no shutdown, no final sync)
+            drop(durable);
+            let (durable, _) = open_store(&root);
+            for op in &script[kill_at..] {
+                apply(&durable, id, &mut names, op);
+                apply(&twin, id, &mut twin_names, op);
+            }
+            prop_assert_eq!(&names, &twin_names);
+            prop_assert_eq!(observe(&durable, id), observe(&twin, id));
+
+            // one more restart: the final state itself recovers
+            let after = observe(&durable, id);
+            drop(durable);
+            let (durable, _) = open_store(&root);
+            prop_assert_eq!(observe(&durable, id), after);
+            drop(durable);
+            std::fs::remove_dir_all(&root).unwrap();
+        }
+    }
+}
