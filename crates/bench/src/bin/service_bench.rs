@@ -15,9 +15,11 @@
 //! across PRs.
 
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use wolves_repo::{figure1, layered_workflow, topological_block_view, LayeredConfig};
-use wolves_service::{serve, validate_throughput, BatchConfig, ServerConfig, WorkflowId};
+use wolves_service::{serve, validate_throughput, BatchConfig, MutateOp, ServerConfig, WorkflowId};
 
 struct Row {
     shards: usize,
@@ -29,6 +31,18 @@ struct Row {
     requests_per_sec: f64,
     cache_hits: u64,
     cache_misses: u64,
+}
+
+/// Reader throughput with and without a concurrent mutator: the epoch-
+/// snapshot read path promises reads never block behind writers, so the
+/// contended rate should stay close to the idle rate (the residual gap is
+/// verdict recomputation for the composites the mutations invalidate).
+struct ReadUnderWrite {
+    idle_rps: f64,
+    contended_rps: f64,
+    ratio: f64,
+    mutations: u64,
+    snapshot_publishes: u64,
 }
 
 fn main() {
@@ -62,7 +76,8 @@ fn main() {
         }
     }
 
-    let json = render_json(&rows, quick);
+    let read_under_write = run_read_under_write(quick);
+    let json = render_json(&rows, &read_under_write, quick);
     if let Some(path) = out_path {
         if let Err(e) = std::fs::write(&path, &json) {
             eprintln!("cannot write '{path}': {e}");
@@ -118,7 +133,79 @@ fn run_grid_point(shards: usize, workers: usize, clients: usize, requests: usize
     }
 }
 
-fn render_json(rows: &[Row], quick: bool) -> String {
+/// The read-under-write grid point: the same validate workload twice over
+/// one server — once idle, once with a mutator thread toggling an edge of
+/// the first workflow (~2k mutations/sec, every one published as a fresh
+/// snapshot and invalidating a cached verdict).
+fn run_read_under_write(quick: bool) -> ReadUnderWrite {
+    let (clients, requests) = if quick { (4, 50) } else { (8, 200) };
+    let server = serve(&ServerConfig {
+        shards: 4,
+        workers: 4,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback server");
+    let store = server.store();
+
+    let mut ids: Vec<WorkflowId> = Vec::new();
+    for seed in 0..8u64 {
+        let fixture = figure1();
+        ids.push(store.register(fixture.spec, Some(fixture.view)));
+        let spec = layered_workflow(&LayeredConfig::sized(96), seed);
+        let view = topological_block_view(&spec, 6, "blocks").expect("layered spec is a DAG");
+        ids.push(store.register(spec, Some(view)));
+    }
+    let batch = BatchConfig {
+        clients,
+        requests_per_client: requests,
+    };
+
+    let idle = validate_throughput(server.local_addr(), &ids, batch).expect("idle pass");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mutator = {
+        let store = Arc::clone(&store);
+        let stop = Arc::clone(&stop);
+        let target = ids[0];
+        std::thread::spawn(move || {
+            let mut mutations = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let op = if mutations % 2 == 0 {
+                    MutateOp::AddEdge {
+                        from: "Check additional annotations".to_owned(),
+                        to: "Build phylo tree".to_owned(),
+                    }
+                } else {
+                    MutateOp::RemoveEdge {
+                        from: "Check additional annotations".to_owned(),
+                        to: "Build phylo tree".to_owned(),
+                    }
+                };
+                store.mutate(target, op).expect("toggle edge");
+                mutations += 1;
+                std::thread::sleep(std::time::Duration::from_micros(500));
+            }
+            mutations
+        })
+    };
+    let contended = validate_throughput(server.local_addr(), &ids, batch).expect("contended pass");
+    stop.store(true, Ordering::Relaxed);
+    let mutations = mutator.join().expect("mutator thread");
+    let snapshot_publishes = store.stats().snapshot_publishes();
+    server.shutdown();
+
+    let idle_rps = idle.requests_per_sec();
+    let contended_rps = contended.requests_per_sec();
+    ReadUnderWrite {
+        idle_rps,
+        contended_rps,
+        ratio: idle_rps / contended_rps.max(1e-9),
+        mutations,
+        snapshot_publishes,
+    }
+}
+
+fn render_json(rows: &[Row], read_under_write: &ReadUnderWrite, quick: bool) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"benchmark\": \"wolves-service throughput\",");
@@ -143,6 +230,17 @@ fn render_json(rows: &[Row], quick: bool) -> String {
         );
         out.push_str(if index + 1 < rows.len() { ",\n" } else { "\n" });
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    let _ = writeln!(
+        out,
+        "  \"read_under_write\": {{\"idle_rps\": {:.1}, \"contended_rps\": {:.1}, \
+         \"ratio\": {:.3}, \"mutations\": {}, \"snapshot_publishes\": {}}}",
+        read_under_write.idle_rps,
+        read_under_write.contended_rps,
+        read_under_write.ratio,
+        read_under_write.mutations,
+        read_under_write.snapshot_publishes
+    );
+    out.push_str("}\n");
     out
 }

@@ -38,7 +38,7 @@ use wolves_core::estimate::{EstimationRegistry, WorkloadClass};
 use wolves_core::validate::{validate, validate_by_definition, validate_naive};
 use wolves_graph::dot::{to_dot, DotOptions};
 use wolves_moml::{from_moml, read_text_format, to_moml, write_text_format, ImportedWorkflow};
-use wolves_service::{MutateOp, ServiceClient, ServiceError, WorkflowId};
+use wolves_service::{MutateOp, ServiceClient, ServiceError, WatchEvent, WatchMode, WorkflowId};
 use wolves_workflow::render::{describe_spec, describe_view};
 use wolves_workflow::{WorkflowSpec, WorkflowView};
 
@@ -606,7 +606,8 @@ pub fn remote_stats(addr: &str) -> Result<String, CliError> {
         let _ = writeln!(
             out,
             "shard {}: {} workflows, {} requests, validate cache {} hits / {} misses \
-             (composites {} / {}), {:.1?} validating",
+             (composites {} / {}), {:.1?} validating, {} snapshots published, \
+             {} watcher(s) ({} dropped)",
             shard.shard,
             shard.workflows,
             shard.requests,
@@ -614,14 +615,21 @@ pub fn remote_stats(addr: &str) -> Result<String, CliError> {
             shard.validate_misses,
             shard.composite_hits,
             shard.composite_misses,
-            std::time::Duration::from_nanos(shard.validate_ns)
+            std::time::Duration::from_nanos(shard.validate_ns),
+            shard.snapshot_publishes,
+            shard.active_watchers,
+            shard.dropped_watchers
         );
     }
     let _ = writeln!(
         out,
-        "total: {} workflows, {} requests; estimation registry holds {} correction samples",
+        "total: {} workflows, {} requests, {} snapshot publishes, {} active / {} dropped \
+         watchers; estimation registry holds {} correction samples",
         stats.workflows(),
         stats.requests(),
+        stats.snapshot_publishes(),
+        stats.active_watchers(),
+        stats.dropped_watchers(),
         stats.registry_samples
     );
     Ok(out)
@@ -634,6 +642,111 @@ pub fn remote_stats(addr: &str) -> Result<String, CliError> {
 pub fn remote_shutdown(addr: &str) -> Result<String, CliError> {
     connect(addr)?.shutdown()?;
     Ok("server shutting down\n".to_owned())
+}
+
+/// Parses the `--mode` argument of `wolves watch`.
+///
+/// # Errors
+/// Reports unknown modes (expected `tail`, `resync` or a sequence number).
+pub fn parse_watch_mode(mode: &str) -> Result<WatchMode, CliError> {
+    match mode {
+        "tail" => Ok(WatchMode::Tail),
+        "resync" => Ok(WatchMode::Resync),
+        other => other.parse::<u64>().map(WatchMode::From).map_err(|_| {
+            CliError::Operation(format!(
+                "unknown watch mode '{other}' (expected tail, resync or a sequence number)"
+            ))
+        }),
+    }
+}
+
+/// `wolves watch <addr> <id> [--mode tail|resync|<seq>] [--max-events N]`:
+/// subscribes to a workflow's committed changes and streams one line per
+/// event to `sink` until `max_events` events arrived (`None` = until the
+/// stream ends). A `resync` event ends the subscription: the gap-free tail
+/// is gone and the caller must re-`export`. Returns a closing summary.
+///
+/// # Errors
+/// Reports transport/server failures and sink write failures.
+pub fn remote_watch(
+    addr: &str,
+    workflow: WorkflowId,
+    mode: WatchMode,
+    max_events: Option<usize>,
+    sink: &mut dyn std::io::Write,
+) -> Result<String, CliError> {
+    let emit = |sink: &mut dyn std::io::Write, line: &str| -> Result<(), CliError> {
+        writeln!(sink, "{line}").map_err(|e| CliError::Operation(format!("cannot write: {e}")))
+    };
+    let mut stream = connect(addr)?.watch(workflow, mode)?;
+    let ack = stream.ack();
+    emit(
+        sink,
+        &format!(
+            "watching workflow {} from seq {} (epoch {})",
+            ack.workflow, ack.seq, ack.epoch
+        ),
+    )?;
+    if let Some(payload) = &ack.payload {
+        emit(
+            sink,
+            &format!(
+                "-- consistent export ({} lines) --",
+                payload.lines().count()
+            ),
+        )?;
+        for line in payload.lines() {
+            emit(sink, line)?;
+        }
+        emit(sink, "-- end of export; tailing --")?;
+    }
+    let mut received = 0usize;
+    let mut lagged = false;
+    while max_events.map_or(true, |max| received < max) {
+        match stream.next_event()? {
+            WatchEvent::Mutated {
+                seq, op, outcome, ..
+            } => {
+                emit(
+                    sink,
+                    &format!(
+                        "seq {seq} epoch {}: mutated ({}) — {}; {} invalidated, {} retained",
+                        outcome.epoch,
+                        op.to_tail().replace('\t', " "),
+                        outcome.class,
+                        outcome.invalidated,
+                        outcome.retained
+                    ),
+                )?;
+            }
+            WatchEvent::Corrected { seq, version, .. } => {
+                emit(
+                    sink,
+                    &format!("seq {seq}: corrected — now view version {version}"),
+                )?;
+            }
+            WatchEvent::Resync { seq, .. } => {
+                emit(
+                    sink,
+                    &format!(
+                        "seq {seq}: resync — the gap-free tail ended; \
+                         re-export and re-subscribe"
+                    ),
+                )?;
+                lagged = true;
+                received += 1;
+                break;
+            }
+        }
+        received += 1;
+    }
+    // safe after a resync too: the server is back in request mode and
+    // answers the unwatch idempotently
+    stream.stop()?;
+    Ok(format!(
+        "watched workflow {workflow}: {received} event(s){}\n",
+        if lagged { ", ended by resync" } else { "" }
+    ))
 }
 
 #[cfg(test)]
@@ -791,5 +904,57 @@ mod tests {
 
         assert!(remote_shutdown(&addr).is_ok());
         server.join();
+    }
+
+    #[test]
+    fn remote_watch_streams_mutation_events() {
+        let server = wolves_service::serve(&wolves_service::ServerConfig {
+            shards: 2,
+            workers: 2,
+            ..wolves_service::ServerConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let store = server.store();
+        let fixture = figure1();
+        let id = store.register(fixture.spec, Some(fixture.view));
+
+        // mutate only once the subscription is registered, so both events
+        // land inside the watch window deterministically
+        let mutator_store = std::sync::Arc::clone(&store);
+        let mutator = std::thread::spawn(move || {
+            while mutator_store.stats().active_watchers() == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            let edge = |from: &str, to: &str| MutateOp::AddEdge {
+                from: from.to_owned(),
+                to: to.to_owned(),
+            };
+            mutator_store
+                .mutate(id, edge("Check additional annotations", "Build phylo tree"))
+                .unwrap();
+            mutator_store
+                .mutate(id, edge("Select entries from DB", "Extract sequences"))
+                .unwrap();
+        });
+
+        let mut sink = Vec::new();
+        let summary = remote_watch(&addr, id, WatchMode::Tail, Some(2), &mut sink).unwrap();
+        mutator.join().unwrap();
+        assert!(summary.contains("2 event(s)"), "got: {summary}");
+        let text = String::from_utf8(sink).unwrap();
+        assert!(text.contains("watching workflow 1 from seq 0"), "{text}");
+        assert!(
+            text.contains("mutated (add-edge Check additional annotations Build phylo tree)"),
+            "{text}"
+        );
+        assert!(text.contains("seq 1 epoch 1"), "{text}");
+        assert!(text.contains("seq 2 epoch 2"), "{text}");
+
+        assert!(parse_watch_mode("resync").is_ok());
+        assert!(matches!(parse_watch_mode("17"), Ok(WatchMode::From(17))));
+        assert!(parse_watch_mode("sideways").is_err());
+
+        server.shutdown();
     }
 }

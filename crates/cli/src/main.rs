@@ -13,6 +13,7 @@
 //! wolves recover <dir>                        offline check + replay report
 //! wolves request <addr> <verb> …              talk to a running server
 //! wolves mutate <addr> <id> <op> …            edit a registered workflow in place
+//! wolves watch <addr> <id> [--mode M]         stream a workflow's committed changes
 //! ```
 //!
 //! Unknown subcommands, unknown options and malformed arguments exit with
@@ -28,9 +29,9 @@ use std::sync::Arc;
 
 use wolves_cli::{
     correct_command, export_command, fixture_command, import_command, load_workflow,
-    naive_check_command, recover_command, remote_correct, remote_export, remote_mutate,
-    remote_provenance, remote_register, remote_shutdown, remote_snapshot, remote_stats,
-    remote_validate, render_command, show_command, validate_command,
+    naive_check_command, parse_watch_mode, recover_command, remote_correct, remote_export,
+    remote_mutate, remote_provenance, remote_register, remote_shutdown, remote_snapshot,
+    remote_stats, remote_validate, remote_watch, render_command, show_command, validate_command,
 };
 use wolves_service::{open_data_dir, serve_with_store, ServerConfig, WorkflowId, WorkflowStore};
 
@@ -165,6 +166,7 @@ fn run_simple(command: &str, rest: &[String]) -> Result<String, String> {
         }
         "request" => request(rest),
         "mutate" => mutate(rest),
+        "watch" => watch(rest),
         "show" | "validate" | "correct" | "render" | "export" => {
             let allowed: &[&str] = match command {
                 "correct" => &["strategy", "out"],
@@ -384,6 +386,29 @@ fn request(args: &[String]) -> Result<String, String> {
     }
 }
 
+/// `wolves watch <addr> <id> [--mode tail|resync|<seq>] [--max-events N]`:
+/// stream a workflow's committed changes to stdout.
+fn watch(args: &[String]) -> Result<String, String> {
+    let (positionals, flags) = parse_args("watch", args, &["mode", "max-events"])?;
+    let [addr, id] = positionals.as_slice() else {
+        return Err(format!(
+            "'watch' needs an address and a workflow id\n{USAGE}"
+        ));
+    };
+    let workflow = parse_number::<u64>(id, "workflow id").map(WorkflowId)?;
+    let mode = flag(&flags, "mode")
+        .map(parse_watch_mode)
+        .transpose()
+        .map_err(|e| e.to_string())?
+        .unwrap_or(wolves_service::WatchMode::Tail);
+    let max_events = flag(&flags, "max-events")
+        .map(|v| parse_number::<usize>(v, "event count"))
+        .transpose()?;
+    // events stream to stdout as they arrive; the returned summary follows
+    let mut stdout = std::io::stdout();
+    remote_watch(addr, workflow, mode, max_events, &mut stdout).map_err(|e| e.to_string())
+}
+
 /// `wolves mutate <addr> <id> <op> …`: edit a registered workflow in place.
 fn mutate(args: &[String]) -> Result<String, String> {
     let (positionals, _) = parse_args("mutate", args, &[])?;
@@ -449,6 +474,12 @@ serving (wolves-service):
   wolves request <addr> snapshot              force a snapshot (compacts the WAL)
   wolves request <addr> stats
   wolves request <addr> shutdown
+  wolves watch <addr> <id> [--mode tail|resync|<seq>] [--max-events N]
+                                              stream the workflow's committed
+                                              changes (ops, spec deltas, verdict
+                                              transitions) as they happen; resync
+                                              mode first prints a consistent
+                                              export, then tails gap-free
 
 interactive editing (mutation epochs):
   wolves mutate <addr> <id> add-task <name>

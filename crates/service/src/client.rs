@@ -12,6 +12,7 @@ use wolves_workflow::{WorkflowSpec, WorkflowView};
 use crate::error::ServiceError;
 use crate::proto::{
     read_frame, write_frame, Corrected, MutateOp, Mutated, Request, Response, StatsReport, Verdict,
+    WatchEvent, WatchMode, Watching,
 };
 use crate::store::WorkflowId;
 
@@ -184,6 +185,89 @@ impl ServiceClient {
         match self.call(&Request::Shutdown)? {
             Response::ShuttingDown => Ok(()),
             other => Err(unexpected("shutdown", &other)),
+        }
+    }
+
+    /// Switches the connection into subscription mode: the server pushes
+    /// one [`WatchEvent`] frame per committed change of `workflow` until
+    /// [`WatchStream::stop`] (which hands the connection back) or drop.
+    /// [`WatchMode::Resync`] makes the acknowledgement carry a full
+    /// `export` payload consistent with the acknowledged sequence number —
+    /// an atomic export-then-tail.
+    ///
+    /// # Errors
+    /// Propagates transport and server errors (the connection is consumed
+    /// either way; reconnect on failure).
+    pub fn watch(
+        mut self,
+        workflow: WorkflowId,
+        mode: WatchMode,
+    ) -> Result<WatchStream, ServiceError> {
+        match self.call(&Request::Watch { workflow, mode })? {
+            Response::Watching(ack) => Ok(WatchStream {
+                reader: self.reader,
+                writer: self.writer,
+                ack,
+            }),
+            other => Err(unexpected("watching", &other)),
+        }
+    }
+}
+
+/// A connection in subscription mode (see [`ServiceClient::watch`]).
+#[derive(Debug)]
+pub struct WatchStream {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    ack: Watching,
+}
+
+impl WatchStream {
+    /// The subscription acknowledgement: base sequence number, epoch, and
+    /// the resync payload when the watch was opened in
+    /// [`WatchMode::Resync`].
+    #[must_use]
+    pub fn ack(&self) -> &Watching {
+        &self.ack
+    }
+
+    /// Blocks until the server pushes the next event. A
+    /// [`WatchEvent::Resync`] means the gap-free tail ended (slow consumer
+    /// or an unservable `from` cursor): re-export and re-subscribe.
+    ///
+    /// # Errors
+    /// Reports transport failures and a server-closed connection.
+    pub fn next_event(&mut self) -> Result<WatchEvent, ServiceError> {
+        let frame = read_frame(&mut self.reader)?
+            .ok_or_else(|| ServiceError::Protocol("server closed the watch stream".to_owned()))?;
+        WatchEvent::from_lines(&frame)
+    }
+
+    /// Ends the subscription and hands the connection back as a
+    /// [`ServiceClient`]. Events already in flight are drained and
+    /// discarded (the server acknowledges the unwatch after them).
+    ///
+    /// # Errors
+    /// Reports transport failures and protocol violations.
+    pub fn stop(mut self) -> Result<ServiceClient, ServiceError> {
+        write_frame(&mut self.writer, &Request::Unwatch.to_lines())?;
+        loop {
+            let frame = read_frame(&mut self.reader)?.ok_or_else(|| {
+                ServiceError::Protocol("server closed the watch stream".to_owned())
+            })?;
+            if frame
+                .first()
+                .is_some_and(|line| line.starts_with("event\t"))
+            {
+                continue; // in-flight event racing the unwatch
+            }
+            return match Response::from_lines(&frame)? {
+                Response::Unwatched => Ok(ServiceClient {
+                    reader: self.reader,
+                    writer: self.writer,
+                }),
+                other => Err(unexpected("unwatched", &other)),
+            };
         }
     }
 }

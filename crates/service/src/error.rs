@@ -40,6 +40,10 @@ pub enum ServiceError {
     /// A durable store could not be recovered (corrupt snapshot, corrupt
     /// mid-log record, replay divergence, shard-count mismatch).
     Recovery(String),
+    /// A watch subscription fell behind the event stream and was dropped
+    /// (slow consumer): the gap-free tail is gone, so the subscriber must
+    /// resync via `export` (or a `resync`-mode watch) and re-subscribe.
+    Lagged,
 }
 
 impl std::fmt::Display for ServiceError {
@@ -63,6 +67,11 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Remote(message) => write!(f, "server error: {message}"),
             ServiceError::Persistence(message) => write!(f, "persistence error: {message}"),
             ServiceError::Recovery(message) => write!(f, "recovery error: {message}"),
+            ServiceError::Lagged => write!(
+                f,
+                "watch subscription lagged behind the event stream and was dropped; \
+                 resync via export and re-subscribe"
+            ),
         }
     }
 }

@@ -6,9 +6,13 @@
 //! requests to many clients at once.
 //!
 //! * [`store`] — a sharded [`store::WorkflowStore`]: workflows hashed over
-//!   `N` independently locked shards, with composite-granular, epoch-keyed
-//!   verdict caching, in-place `mutate` support and reachability-matrix
-//!   reuse (mutations maintain the matrix incrementally).
+//!   `N` shards, each publishing its state through a copy-on-write epoch
+//!   snapshot cell — reads (`validate`, `provenance`, `export`, `stats`)
+//!   never block behind mutators — with composite-granular, epoch-keyed
+//!   verdict caching and reachability-matrix reuse (mutations maintain the
+//!   matrix incrementally). `watch` subscriptions stream every committed
+//!   change (op, typed spec deltas, verdict transition) gap-free to CDC
+//!   consumers.
 //! * [`proto`] — the typed request/response protocol, framed as
 //!   newline-delimited text reusing the native format of
 //!   [`wolves_moml::textfmt`].
@@ -47,6 +51,7 @@
 #![forbid(unsafe_code)]
 
 pub mod client;
+mod epoch;
 pub mod error;
 pub mod proto;
 pub mod server;
@@ -54,10 +59,12 @@ pub mod storage;
 pub mod store;
 pub mod wal;
 
-pub use client::{validate_throughput, BatchConfig, ServiceClient, ThroughputReport};
+pub use client::{validate_throughput, BatchConfig, ServiceClient, ThroughputReport, WatchStream};
 pub use error::ServiceError;
-pub use proto::{MutateOp, Mutated, Request, Response, StatsReport, Verdict};
+pub use proto::{
+    MutateOp, Mutated, Request, Response, StatsReport, Verdict, WatchEvent, WatchMode, Watching,
+};
 pub use server::{serve, serve_with_store, ServerConfig, ServerHandle};
 pub use storage::{MemoryBackend, RecoveryReport, StorageBackend};
-pub use store::{WorkflowId, WorkflowStore};
+pub use store::{WatchSubscription, WorkflowId, WorkflowStore, WATCH_QUEUE_CAP};
 pub use wal::{open_data_dir, FileBackend, PersistConfig};

@@ -21,8 +21,19 @@
 //! export<TAB><id>                  ok<TAB>exported + the registrable textfmt
 //! snapshot                          ok<TAB>snapshotted<TAB><shards>
 //! stats                             ok<TAB>stats + one line per shard
+//! watch<TAB><id>[<TAB><mode>]      ok<TAB>watching<TAB><id><TAB><seq><TAB><epoch><TAB><mode>
+//! unwatch                           ok<TAB>unwatched
 //! shutdown                          ok<TAB>shutdown
 //! ```
+//!
+//! `watch` switches the connection into subscription mode: the server pushes
+//! one [`WatchEvent`] frame (`event<TAB>…`) per committed change of the
+//! watched workflow until the client sends another frame (conventionally
+//! `unwatch`) or disconnects. The optional mode is `resync` (the ack carries
+//! a full `export` payload consistent with the acked sequence number) or a
+//! previously seen sequence number (the server emits an explicit `resync`
+//! event first when that number is no longer current, because a watch can
+//! only tail — it never replays history).
 //!
 //! `mutate` ops edit a registered spec/view in place (no re-upload):
 //! `add-task <name>`, `remove-task <name>`, `add-edge <from> <to>`,
@@ -38,6 +49,8 @@
 use std::io::{BufRead, Write};
 
 use wolves_core::correct::Strategy;
+use wolves_workflow::persist::{delta_from_line, delta_to_line};
+use wolves_workflow::SpecDelta;
 
 use crate::error::ServiceError;
 use crate::store::WorkflowId;
@@ -94,8 +107,37 @@ pub enum Request {
     Snapshot,
     /// Fetch per-shard serving statistics.
     Stats,
+    /// Subscribe the connection to a workflow's change feed: the server
+    /// pushes one [`WatchEvent`] frame per committed mutation/correction
+    /// until the client sends another frame or disconnects.
+    Watch {
+        /// The workflow to watch.
+        workflow: WorkflowId,
+        /// How the subscription starts.
+        mode: WatchMode,
+    },
+    /// Leave subscription mode (a no-op outside of it); answered with
+    /// [`Response::Unwatched`] once the server stops pushing events.
+    Unwatch,
     /// Ask the server to stop accepting connections and exit.
     Shutdown,
+}
+
+/// How a [`Request::Watch`] subscription starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WatchMode {
+    /// Tail from the workflow's current state; the ack reports the base
+    /// sequence number and epoch.
+    Tail,
+    /// Atomic export-and-tail: the ack additionally carries the workflow's
+    /// full textfmt payload, consistent with the acked sequence number —
+    /// the gap-free way to build a replica.
+    Resync,
+    /// Tail, claiming the client last saw this sequence number. When it is
+    /// no longer the workflow's current one the server emits an explicit
+    /// `resync` event before any change events (watches tail; they never
+    /// replay history).
+    From(u64),
 }
 
 /// One edit applied by a [`Request::Mutate`]. Tasks and composites are
@@ -146,6 +188,76 @@ pub enum MutateOp {
     },
 }
 
+impl MutateOp {
+    /// The op's TAB-separated wire tail (`add-edge\tfrom\tto`, …), shared by
+    /// `mutate` request headers and `mutated` watch events.
+    #[must_use]
+    pub fn to_tail(&self) -> String {
+        match self {
+            MutateOp::AddTask { name } => format!("add-task\t{name}"),
+            MutateOp::RemoveTask { name } => format!("remove-task\t{name}"),
+            MutateOp::AddEdge { from, to } => format!("add-edge\t{from}\t{to}"),
+            MutateOp::RemoveEdge { from, to } => format!("remove-edge\t{from}\t{to}"),
+            MutateOp::Split { composite, parts } => {
+                let parts: Vec<String> = parts.iter().map(|p| p.join(",")).collect();
+                format!("split\t{composite}\t{}", parts.join(";"))
+            }
+            MutateOp::Merge { name, composites } => {
+                format!("merge\t{name}\t{}", composites.join(";"))
+            }
+        }
+    }
+
+    /// Parses an op from the TAB-split `fields` of a header line, with the
+    /// op name at index `at`.
+    ///
+    /// # Errors
+    /// Reports unknown op names and missing arguments.
+    pub fn from_fields(fields: &[&str], at: usize) -> Result<Self, ServiceError> {
+        let op_name = fields.get(at).copied().unwrap_or_default();
+        let arg = |index: usize, what: &str| -> Result<String, ServiceError> {
+            fields
+                .get(at + index)
+                .filter(|s| !s.is_empty())
+                .map(|s| (*s).to_owned())
+                .ok_or_else(|| ServiceError::Protocol(format!("mutate {op_name} needs a {what}")))
+        };
+        match op_name {
+            "add-task" => Ok(MutateOp::AddTask {
+                name: arg(1, "task name")?,
+            }),
+            "remove-task" => Ok(MutateOp::RemoveTask {
+                name: arg(1, "task name")?,
+            }),
+            "add-edge" => Ok(MutateOp::AddEdge {
+                from: arg(1, "source task")?,
+                to: arg(2, "target task")?,
+            }),
+            "remove-edge" => Ok(MutateOp::RemoveEdge {
+                from: arg(1, "source task")?,
+                to: arg(2, "target task")?,
+            }),
+            "split" => Ok(MutateOp::Split {
+                composite: arg(1, "composite name")?,
+                parts: arg(2, "part list")?
+                    .split(';')
+                    .map(|part| part.split(',').map(str::to_owned).collect())
+                    .collect(),
+            }),
+            "merge" => Ok(MutateOp::Merge {
+                name: arg(1, "composite name")?,
+                composites: arg(2, "composite list")?
+                    .split(';')
+                    .map(str::to_owned)
+                    .collect(),
+            }),
+            other => Err(ServiceError::Protocol(format!(
+                "unknown mutate op '{other}'"
+            ))),
+        }
+    }
+}
+
 /// Result of a [`Request::Mutate`] as reported over the wire.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Mutated {
@@ -171,6 +283,10 @@ pub struct Verdict {
     pub version: usize,
     /// `true` when the verdict came from the shard's validation cache.
     pub cached: bool,
+    /// The workflow's mutation epoch the verdict was computed against.
+    /// Readers observing a store under concurrent mutation see this advance
+    /// monotonically — snapshots are published atomically, never torn.
+    pub epoch: u64,
     /// Names of the unsound composite tasks.
     pub unsound: Vec<String>,
 }
@@ -211,6 +327,14 @@ pub struct ShardStat {
     pub validate_ns: u64,
     /// Requests of any kind routed to the shard.
     pub requests: u64,
+    /// Copy-on-write state snapshots published by mutators (registrations,
+    /// mutations, corrections, recovery installs).
+    pub snapshot_publishes: u64,
+    /// Watch subscriptions currently registered on the shard.
+    pub active_watchers: u64,
+    /// Watch subscriptions dropped because they could not keep up with the
+    /// event stream (slow consumers).
+    pub dropped_watchers: u64,
 }
 
 /// Store-wide statistics snapshot.
@@ -258,6 +382,218 @@ impl StatsReport {
     pub fn workflows(&self) -> usize {
         self.shards.iter().map(|s| s.workflows).sum()
     }
+
+    /// Total copy-on-write snapshot publishes across shards.
+    #[must_use]
+    pub fn snapshot_publishes(&self) -> u64 {
+        self.shards.iter().map(|s| s.snapshot_publishes).sum()
+    }
+
+    /// Total active watch subscriptions across shards.
+    #[must_use]
+    pub fn active_watchers(&self) -> u64 {
+        self.shards.iter().map(|s| s.active_watchers).sum()
+    }
+
+    /// Total slow-consumer watch subscriptions dropped across shards.
+    #[must_use]
+    pub fn dropped_watchers(&self) -> u64 {
+        self.shards.iter().map(|s| s.dropped_watchers).sum()
+    }
+}
+
+/// Acknowledgement of a [`Request::Watch`] subscription.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Watching {
+    /// The watched workflow.
+    pub workflow: WorkflowId,
+    /// The workflow's change-sequence number at subscription time. The
+    /// first pushed event carries `seq + 1`; a gap-free consumer checks
+    /// contiguity from here.
+    pub seq: u64,
+    /// The workflow's mutation epoch at subscription time.
+    pub epoch: u64,
+    /// In [`WatchMode::Resync`], the workflow's full textfmt payload,
+    /// consistent with `seq`.
+    pub payload: Option<String>,
+}
+
+/// One change event pushed to a watching connection. Events are tagged with
+/// the workflow's per-entry sequence number (`seq`, bumped by every
+/// committed mutation *and* correction) and carry everything a replica
+/// needs to reproduce the change — the CDC stream is lossless by
+/// construction: replaying it from a resync payload reproduces `export`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WatchEvent {
+    /// A mutation committed (and, on durable backends, was WAL-appended
+    /// before this event was fanned out).
+    Mutated {
+        /// The watched workflow.
+        workflow: WorkflowId,
+        /// The workflow's change-sequence number after the mutation.
+        seq: u64,
+        /// The committed op, replayable via `mutate`.
+        op: MutateOp,
+        /// The mutation outcome (epoch, delta class, cache effect).
+        outcome: Mutated,
+        /// The typed spec deltas the op produced (empty for view-only
+        /// edits).
+        deltas: Vec<SpecDelta>,
+    },
+    /// A correction appended a new current view version.
+    Corrected {
+        /// The watched workflow.
+        workflow: WorkflowId,
+        /// The workflow's change-sequence number after the correction.
+        seq: u64,
+        /// The version the corrected view was appended as.
+        version: usize,
+        /// The corrected view, line-exact as persisted (slot-exact replay,
+        /// not a textfmt round trip).
+        view_lines: Vec<String>,
+    },
+    /// The stream cannot continue gap-free from what the client has (a
+    /// stated sequence number that is no longer current, or a slow consumer
+    /// whose queue overflowed): re-`export` (or re-subscribe in resync
+    /// mode) to catch up.
+    Resync {
+        /// The watched workflow.
+        workflow: WorkflowId,
+        /// The workflow's current change-sequence number.
+        seq: u64,
+    },
+}
+
+impl WatchEvent {
+    /// The watched workflow.
+    #[must_use]
+    pub fn workflow(&self) -> WorkflowId {
+        match self {
+            WatchEvent::Mutated { workflow, .. }
+            | WatchEvent::Corrected { workflow, .. }
+            | WatchEvent::Resync { workflow, .. } => *workflow,
+        }
+    }
+
+    /// The event's change-sequence number.
+    #[must_use]
+    pub fn seq(&self) -> u64 {
+        match self {
+            WatchEvent::Mutated { seq, .. }
+            | WatchEvent::Corrected { seq, .. }
+            | WatchEvent::Resync { seq, .. } => *seq,
+        }
+    }
+
+    /// Serialises the event into frame lines (`event<TAB>…` header).
+    #[must_use]
+    pub fn to_lines(&self) -> Vec<String> {
+        match self {
+            WatchEvent::Mutated {
+                workflow,
+                seq,
+                op,
+                outcome,
+                deltas,
+            } => {
+                let mut lines = vec![
+                    format!(
+                        "event\tmutated\t{workflow}\t{seq}\t{}\t{}\t{}\t{}\t{}",
+                        outcome.epoch,
+                        outcome.class,
+                        outcome.invalidated,
+                        outcome.retained,
+                        outcome.version
+                    ),
+                    format!("op\t{}", op.to_tail()),
+                ];
+                lines.extend(deltas.iter().map(delta_to_line));
+                lines
+            }
+            WatchEvent::Corrected {
+                workflow,
+                seq,
+                version,
+                view_lines,
+            } => {
+                let mut lines = vec![format!("event\tcorrected\t{workflow}\t{seq}\t{version}")];
+                lines.extend(view_lines.iter().cloned());
+                lines
+            }
+            WatchEvent::Resync { workflow, seq } => {
+                vec![format!("event\tresync\t{workflow}\t{seq}")]
+            }
+        }
+    }
+
+    /// Parses an event from frame lines.
+    ///
+    /// # Errors
+    /// Reports non-event frames and malformed fields.
+    pub fn from_lines(lines: &[String]) -> Result<Self, ServiceError> {
+        let header = lines
+            .first()
+            .ok_or_else(|| ServiceError::Protocol("empty event frame".to_owned()))?;
+        let fields: Vec<&str> = header.split('\t').collect();
+        if fields.first().copied() != Some("event") {
+            return Err(ServiceError::Protocol(format!(
+                "not a watch event frame: '{header}'"
+            )));
+        }
+        let workflow = parse_id(fields.get(2).copied().unwrap_or_default())?;
+        let seq = parse_u64(fields.get(3).copied().unwrap_or_default(), "sequence")?;
+        match fields.get(1).copied() {
+            Some("mutated") => {
+                let outcome = Mutated {
+                    epoch: parse_u64(fields.get(4).copied().unwrap_or_default(), "epoch")?,
+                    class: fields.get(5).copied().unwrap_or_default().to_owned(),
+                    invalidated: parse_usize(
+                        fields.get(6).copied().unwrap_or_default(),
+                        "invalidated count",
+                    )?,
+                    retained: parse_usize(
+                        fields.get(7).copied().unwrap_or_default(),
+                        "retained count",
+                    )?,
+                    version: parse_usize(fields.get(8).copied().unwrap_or_default(), "version")?,
+                };
+                let op_line = lines.get(1).ok_or_else(|| {
+                    ServiceError::Protocol("mutated event misses its op line".to_owned())
+                })?;
+                let op_fields: Vec<&str> = op_line.split('\t').collect();
+                if op_fields.first().copied() != Some("op") {
+                    return Err(ServiceError::Protocol(format!(
+                        "malformed event op line '{op_line}'"
+                    )));
+                }
+                let op = MutateOp::from_fields(&op_fields, 1)?;
+                let deltas = lines[2..]
+                    .iter()
+                    .map(|line| {
+                        delta_from_line(line).map_err(|e| ServiceError::Protocol(e.to_string()))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(WatchEvent::Mutated {
+                    workflow,
+                    seq,
+                    op,
+                    outcome,
+                    deltas,
+                })
+            }
+            Some("corrected") => Ok(WatchEvent::Corrected {
+                workflow,
+                seq,
+                version: parse_usize(fields.get(4).copied().unwrap_or_default(), "version")?,
+                view_lines: lines[1..].to_vec(),
+            }),
+            Some("resync") => Ok(WatchEvent::Resync { workflow, seq }),
+            other => Err(ServiceError::Protocol(format!(
+                "unknown event kind '{}'",
+                other.unwrap_or_default()
+            ))),
+        }
+    }
 }
 
 /// A response from server to client.
@@ -279,6 +615,10 @@ pub enum Response {
     Snapshotted(usize),
     /// Statistics snapshot.
     Stats(StatsReport),
+    /// The connection is now subscribed to a workflow's change feed.
+    Watching(Watching),
+    /// The connection left subscription mode.
+    Unwatched,
     /// The server acknowledged a shutdown request.
     ShuttingDown,
     /// The request failed server-side.
@@ -373,24 +713,17 @@ impl Request {
                 vec![format!("provenance\t{workflow}\t{subject}")]
             }
             Request::Mutate { workflow, op } => {
-                let tail = match op {
-                    MutateOp::AddTask { name } => format!("add-task\t{name}"),
-                    MutateOp::RemoveTask { name } => format!("remove-task\t{name}"),
-                    MutateOp::AddEdge { from, to } => format!("add-edge\t{from}\t{to}"),
-                    MutateOp::RemoveEdge { from, to } => format!("remove-edge\t{from}\t{to}"),
-                    MutateOp::Split { composite, parts } => {
-                        let parts: Vec<String> = parts.iter().map(|p| p.join(",")).collect();
-                        format!("split\t{composite}\t{}", parts.join(";"))
-                    }
-                    MutateOp::Merge { name, composites } => {
-                        format!("merge\t{name}\t{}", composites.join(";"))
-                    }
-                };
-                vec![format!("mutate\t{workflow}\t{tail}")]
+                vec![format!("mutate\t{workflow}\t{}", op.to_tail())]
             }
             Request::Export { workflow } => vec![format!("export\t{workflow}")],
             Request::Snapshot => vec!["snapshot".to_owned()],
             Request::Stats => vec!["stats".to_owned()],
+            Request::Watch { workflow, mode } => match mode {
+                WatchMode::Tail => vec![format!("watch\t{workflow}")],
+                WatchMode::Resync => vec![format!("watch\t{workflow}\tresync")],
+                WatchMode::From(seq) => vec![format!("watch\t{workflow}\t{seq}")],
+            },
+            Request::Unwatch => vec!["unwatch".to_owned()],
             Request::Shutdown => vec!["shutdown".to_owned()],
         }
     }
@@ -436,51 +769,7 @@ impl Request {
             }
             "mutate" => {
                 let workflow = parse_id(fields.get(1).copied().unwrap_or_default())?;
-                let op_name = fields.get(2).copied().unwrap_or_default();
-                let arg = |index: usize, what: &str| -> Result<String, ServiceError> {
-                    fields
-                        .get(index)
-                        .filter(|s| !s.is_empty())
-                        .map(|s| (*s).to_owned())
-                        .ok_or_else(|| {
-                            ServiceError::Protocol(format!("mutate {op_name} needs a {what}"))
-                        })
-                };
-                let op = match op_name {
-                    "add-task" => MutateOp::AddTask {
-                        name: arg(3, "task name")?,
-                    },
-                    "remove-task" => MutateOp::RemoveTask {
-                        name: arg(3, "task name")?,
-                    },
-                    "add-edge" => MutateOp::AddEdge {
-                        from: arg(3, "source task")?,
-                        to: arg(4, "target task")?,
-                    },
-                    "remove-edge" => MutateOp::RemoveEdge {
-                        from: arg(3, "source task")?,
-                        to: arg(4, "target task")?,
-                    },
-                    "split" => MutateOp::Split {
-                        composite: arg(3, "composite name")?,
-                        parts: arg(4, "part list")?
-                            .split(';')
-                            .map(|part| part.split(',').map(str::to_owned).collect())
-                            .collect(),
-                    },
-                    "merge" => MutateOp::Merge {
-                        name: arg(3, "composite name")?,
-                        composites: arg(4, "composite list")?
-                            .split(';')
-                            .map(str::to_owned)
-                            .collect(),
-                    },
-                    other => {
-                        return Err(ServiceError::Protocol(format!(
-                            "unknown mutate op '{other}'"
-                        )))
-                    }
-                };
+                let op = MutateOp::from_fields(&fields, 2)?;
                 Ok(Request::Mutate { workflow, op })
             }
             "export" => Ok(Request::Export {
@@ -488,6 +777,16 @@ impl Request {
             }),
             "snapshot" => Ok(Request::Snapshot),
             "stats" => Ok(Request::Stats),
+            "watch" => {
+                let workflow = parse_id(fields.get(1).copied().unwrap_or_default())?;
+                let mode = match fields.get(2).copied() {
+                    None | Some("") => WatchMode::Tail,
+                    Some("resync") => WatchMode::Resync,
+                    Some(seq) => WatchMode::From(parse_u64(seq, "watch sequence")?),
+                };
+                Ok(Request::Watch { workflow, mode })
+            }
+            "unwatch" => Ok(Request::Unwatch),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(ServiceError::Protocol(format!("unknown verb '{other}'"))),
         }
@@ -502,11 +801,12 @@ impl Response {
             Response::Registered(id) => vec![format!("ok\tregistered\t{id}")],
             Response::Verdict(v) => {
                 let mut lines = vec![format!(
-                    "ok\tverdict\t{}\t{}\t{}\t{}",
+                    "ok\tverdict\t{}\t{}\t{}\t{}\t{}",
                     if v.sound { "sound" } else { "unsound" },
                     v.version,
                     if v.cached { "hit" } else { "miss" },
-                    v.unsound.len()
+                    v.unsound.len(),
+                    v.epoch
                 )];
                 lines.extend(v.unsound.iter().cloned());
                 lines
@@ -540,7 +840,7 @@ impl Response {
                 let mut lines = vec![format!("ok\tstats\t{}", stats.registry_samples)];
                 for s in &stats.shards {
                     lines.push(format!(
-                        "shard\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+                        "shard\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
                         s.shard,
                         s.workflows,
                         s.validate_hits,
@@ -548,11 +848,32 @@ impl Response {
                         s.composite_hits,
                         s.composite_misses,
                         s.validate_ns,
-                        s.requests
+                        s.requests,
+                        s.snapshot_publishes,
+                        s.active_watchers,
+                        s.dropped_watchers
                     ));
                 }
                 lines
             }
+            Response::Watching(w) => {
+                let mut lines = vec![format!(
+                    "ok\twatching\t{}\t{}\t{}\t{}",
+                    w.workflow,
+                    w.seq,
+                    w.epoch,
+                    if w.payload.is_some() {
+                        "resync"
+                    } else {
+                        "tail"
+                    }
+                )];
+                if let Some(payload) = &w.payload {
+                    lines.extend(payload.lines().map(str::to_owned));
+                }
+                lines
+            }
+            Response::Unwatched => vec!["ok\tunwatched".to_owned()],
             Response::ShuttingDown => vec!["ok\tshutdown".to_owned()],
             Response::Error(message) => {
                 vec![format!("err\t{}", message.replace(['\t', '\n'], " "))]
@@ -593,10 +914,12 @@ impl Response {
                 };
                 let version = parse_usize(fields.get(3).copied().unwrap_or_default(), "version")?;
                 let cached = fields.get(4).copied() == Some("hit");
+                let epoch = parse_u64(fields.get(6).copied().unwrap_or_default(), "epoch")?;
                 Ok(Response::Verdict(Verdict {
                     sound,
                     version,
                     cached,
+                    epoch,
                     unsound: lines[1..].to_vec(),
                 }))
             }
@@ -639,7 +962,7 @@ impl Response {
                 let mut shards = Vec::new();
                 for line in &lines[1..] {
                     let f: Vec<&str> = line.split('\t').collect();
-                    if f.first().copied() != Some("shard") || f.len() != 9 {
+                    if f.first().copied() != Some("shard") || f.len() != 12 {
                         return Err(ServiceError::Protocol(format!(
                             "malformed shard line '{line}'"
                         )));
@@ -653,6 +976,9 @@ impl Response {
                         composite_misses: parse_u64(f[6], "composite miss count")?,
                         validate_ns: parse_u64(f[7], "latency")?,
                         requests: parse_u64(f[8], "request count")?,
+                        snapshot_publishes: parse_u64(f[9], "publish count")?,
+                        active_watchers: parse_u64(f[10], "watcher count")?,
+                        dropped_watchers: parse_u64(f[11], "dropped watcher count")?,
                     });
                 }
                 Ok(Response::Stats(StatsReport {
@@ -660,6 +986,24 @@ impl Response {
                     registry_samples,
                 }))
             }
+            ("ok", Some("watching")) => {
+                let resync = match fields.get(5).copied() {
+                    Some("resync") => true,
+                    Some("tail") | None => false,
+                    Some(other) => {
+                        return Err(ServiceError::Protocol(format!(
+                            "invalid watch mode '{other}'"
+                        )))
+                    }
+                };
+                Ok(Response::Watching(Watching {
+                    workflow: parse_id(fields.get(2).copied().unwrap_or_default())?,
+                    seq: parse_u64(fields.get(3).copied().unwrap_or_default(), "sequence")?,
+                    epoch: parse_u64(fields.get(4).copied().unwrap_or_default(), "epoch")?,
+                    payload: resync.then(|| lines[1..].join("\n")),
+                }))
+            }
+            ("ok", Some("unwatched")) => Ok(Response::Unwatched),
             ("ok", Some("shutdown")) => Ok(Response::ShuttingDown),
             _ => Err(ServiceError::Protocol(format!(
                 "unknown response header '{header}'"
@@ -711,6 +1055,19 @@ mod tests {
         });
         round_trip_request(&Request::Snapshot);
         round_trip_request(&Request::Stats);
+        round_trip_request(&Request::Watch {
+            workflow: WorkflowId(4),
+            mode: WatchMode::Tail,
+        });
+        round_trip_request(&Request::Watch {
+            workflow: WorkflowId(4),
+            mode: WatchMode::Resync,
+        });
+        round_trip_request(&Request::Watch {
+            workflow: WorkflowId(4),
+            mode: WatchMode::From(31),
+        });
+        round_trip_request(&Request::Unwatch);
         round_trip_request(&Request::Shutdown);
     }
 
@@ -774,6 +1131,7 @@ mod tests {
             sound: false,
             version: 0,
             cached: true,
+            epoch: 3,
             unsound: vec!["Curate & align (16)".to_owned()],
         }));
         round_trip_response(&Response::Corrected(Corrected {
@@ -800,6 +1158,9 @@ mod tests {
                 composite_misses: 14,
                 validate_ns: 12345,
                 requests: 15,
+                snapshot_publishes: 9,
+                active_watchers: 2,
+                dropped_watchers: 1,
             }],
             registry_samples: 4,
         }));
@@ -807,8 +1168,83 @@ mod tests {
             "workflow\tdemo\ntask\ta\ntask\tb\nedge\ta\tb".to_owned(),
         ));
         round_trip_response(&Response::Snapshotted(4));
+        round_trip_response(&Response::Watching(Watching {
+            workflow: WorkflowId(6),
+            seq: 12,
+            epoch: 5,
+            payload: None,
+        }));
+        round_trip_response(&Response::Watching(Watching {
+            workflow: WorkflowId(6),
+            seq: 12,
+            epoch: 5,
+            payload: Some("workflow\tdemo\ntask\ta".to_owned()),
+        }));
+        round_trip_response(&Response::Unwatched);
         round_trip_response(&Response::ShuttingDown);
         round_trip_response(&Response::Error("boom".to_owned()));
+    }
+
+    #[test]
+    fn watch_events_round_trip_through_lines() {
+        use wolves_workflow::{SpecDeltaKind, TaskId};
+
+        let round_trip = |event: &WatchEvent| {
+            let lines = event.to_lines();
+            assert!(lines[0].starts_with("event\t"));
+            let parsed = WatchEvent::from_lines(&lines).unwrap();
+            assert_eq!(&parsed, event);
+        };
+        round_trip(&WatchEvent::Mutated {
+            workflow: WorkflowId(3),
+            seq: 8,
+            op: MutateOp::AddEdge {
+                from: "Split entries".to_owned(),
+                to: "Display tree".to_owned(),
+            },
+            outcome: Mutated {
+                epoch: 5,
+                class: "monotone-safe".to_owned(),
+                invalidated: 1,
+                retained: 6,
+                version: 0,
+            },
+            deltas: vec![SpecDelta {
+                epoch: 5,
+                kind: SpecDeltaKind::DependencyAdded(TaskId::from_index(2), TaskId::from_index(9)),
+            }],
+        });
+        round_trip(&WatchEvent::Mutated {
+            workflow: WorkflowId(3),
+            seq: 9,
+            op: MutateOp::Merge {
+                name: "Front end".to_owned(),
+                composites: vec!["a".to_owned(), "b".to_owned()],
+            },
+            outcome: Mutated {
+                epoch: 5,
+                class: "view-edit".to_owned(),
+                invalidated: 2,
+                retained: 5,
+                version: 0,
+            },
+            deltas: Vec::new(),
+        });
+        round_trip(&WatchEvent::Corrected {
+            workflow: WorkflowId(3),
+            seq: 10,
+            version: 2,
+            view_lines: vec!["view\tdemo".to_owned(), "composite\tx\t0,1".to_owned()],
+        });
+        round_trip(&WatchEvent::Resync {
+            workflow: WorkflowId(3),
+            seq: 10,
+        });
+
+        // non-event frames are refused, so a client draining a watch stream
+        // can tell responses from events by the header alone
+        let err = WatchEvent::from_lines(&["ok\tunwatched".to_owned()]).unwrap_err();
+        assert!(matches!(err, ServiceError::Protocol(_)));
     }
 
     #[test]

@@ -9,16 +9,22 @@
 //! with a loopback connection, and closes every tracked connection, so
 //! [`ServerHandle::join`] returns even when clients leave connections idle.
 
-use std::io::BufReader;
+use std::io::{BufRead, BufReader};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
-use crate::proto::{read_frame, write_frame, Request, Response};
-use crate::store::WorkflowStore;
+use crate::proto::{read_frame, write_frame, Request, Response, WatchEvent, Watching};
+use crate::store::{WatchSubscription, WorkflowStore};
+
+/// How long a watch-serving worker waits on the subscription queue before
+/// probing the connection for client frames (`unwatch`, disconnect) and the
+/// shutdown flag.
+const WATCH_POLL: Duration = Duration::from_millis(25);
 
 /// Configuration of a [`serve`] call.
 #[derive(Debug, Clone)]
@@ -226,8 +232,41 @@ fn handle_connection(stream: TcpStream, store: &WorkflowStore, shared: &Shared) 
     };
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
-    while let Ok(Some(frame)) = read_frame(&mut reader) {
+    // a frame `run_watch` read off the connection while leaving
+    // subscription mode, to be served before blocking on the socket again
+    let mut pending: Option<Vec<String>> = None;
+    loop {
+        let frame = match pending.take() {
+            Some(frame) => frame,
+            None => match read_frame(&mut reader) {
+                Ok(Some(frame)) => frame,
+                _ => break,
+            },
+        };
         let (response, stop) = match Request::from_lines(&frame) {
+            Ok(Request::Watch { workflow, mode }) => match store.watch(workflow, mode) {
+                Ok(subscription) => {
+                    let ack = Response::Watching(Watching {
+                        workflow: subscription.workflow(),
+                        seq: subscription.seq(),
+                        epoch: subscription.epoch(),
+                        payload: subscription.payload().map(str::to_owned),
+                    });
+                    if write_frame(&mut writer, &ack.to_lines()).is_err() {
+                        store.unwatch(&subscription);
+                        break;
+                    }
+                    match run_watch(&mut reader, &mut writer, store, shared, &subscription) {
+                        WatchOutcome::Resume => continue,
+                        WatchOutcome::Frame(frame) => {
+                            pending = Some(frame);
+                            continue;
+                        }
+                        WatchOutcome::Disconnect => break,
+                    }
+                }
+                Err(e) => (Response::Error(e.to_string()), false),
+            },
             Ok(request) => respond(store, request),
             Err(e) => (Response::Error(e.to_string()), false),
         };
@@ -240,6 +279,130 @@ fn handle_connection(stream: TcpStream, store: &WorkflowStore, shared: &Shared) 
         }
         if shared.is_shutdown() {
             break;
+        }
+    }
+}
+
+/// Why [`run_watch`] returned control to the request loop.
+enum WatchOutcome {
+    /// The subscription ended (client `unwatch`, or a lag-drop that was
+    /// answered with an explicit resync event); keep serving requests.
+    Resume,
+    /// The client sent a non-`unwatch` frame while watching: the
+    /// subscription is torn down and the frame should be served normally.
+    Frame(Vec<String>),
+    /// The client disconnected or the server is shutting down.
+    Disconnect,
+}
+
+/// What a momentary non-blocking look at the connection found.
+enum Probe {
+    Idle,
+    Data,
+    Gone,
+}
+
+/// Peeks at the connection without committing to a blocking read: buffered
+/// bytes (or readable socket data) mean the client sent a frame; EOF or a
+/// socket error mean it is gone.
+fn probe_client(reader: &mut BufReader<TcpStream>) -> Probe {
+    if !reader.buffer().is_empty() {
+        return Probe::Data;
+    }
+    if reader
+        .get_ref()
+        .set_read_timeout(Some(Duration::from_millis(1)))
+        .is_err()
+    {
+        return Probe::Gone;
+    }
+    let probe = match reader.fill_buf() {
+        Ok([]) => Probe::Gone, // clean EOF
+        Ok(_) => Probe::Data,
+        Err(e)
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) =>
+        {
+            Probe::Idle
+        }
+        Err(_) => Probe::Gone,
+    };
+    // back to blocking mode for the request loop's frame reads
+    if reader.get_ref().set_read_timeout(None).is_err() {
+        return Probe::Gone;
+    }
+    probe
+}
+
+/// Serves one subscription: pushes committed events as they arrive,
+/// periodically checking the shutdown flag and the connection. A lag-drop
+/// (the store already removed the subscriber) is surfaced to the client as
+/// an explicit `resync` event before returning to request mode; an
+/// `unwatch` frame is acknowledged with `ok\tunwatched`.
+fn run_watch(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    store: &WorkflowStore,
+    shared: &Shared,
+    subscription: &WatchSubscription,
+) -> WatchOutcome {
+    loop {
+        if shared.is_shutdown() {
+            store.unwatch(subscription);
+            return WatchOutcome::Disconnect;
+        }
+        match subscription.recv_timeout(WATCH_POLL) {
+            Ok(Some(event)) => {
+                if write_frame(writer, &event.to_lines()).is_err() {
+                    store.unwatch(subscription);
+                    return WatchOutcome::Disconnect;
+                }
+                // drain the queue before spending a probe on the socket
+                continue;
+            }
+            Ok(None) => {}
+            Err(crate::error::ServiceError::Lagged) => {
+                // the store dropped this slow consumer; hand the client an
+                // explicit resync cursor so it can export and re-subscribe
+                let seq = store
+                    .cursor(subscription.workflow())
+                    .map_or(subscription.seq(), |(seq, _)| seq);
+                let resync = WatchEvent::Resync {
+                    workflow: subscription.workflow(),
+                    seq,
+                };
+                if write_frame(writer, &resync.to_lines()).is_err() {
+                    return WatchOutcome::Disconnect;
+                }
+                return WatchOutcome::Resume;
+            }
+            Err(_) => {
+                // subscription closed without lagging (store dropped)
+                store.unwatch(subscription);
+                return WatchOutcome::Resume;
+            }
+        }
+        match probe_client(reader) {
+            Probe::Idle => {}
+            Probe::Gone => {
+                store.unwatch(subscription);
+                return WatchOutcome::Disconnect;
+            }
+            Probe::Data => {
+                store.unwatch(subscription);
+                let Ok(Some(frame)) = read_frame(reader) else {
+                    return WatchOutcome::Disconnect;
+                };
+                if matches!(Request::from_lines(&frame), Ok(Request::Unwatch)) {
+                    if write_frame(writer, &Response::Unwatched.to_lines()).is_err() {
+                        return WatchOutcome::Disconnect;
+                    }
+                    return WatchOutcome::Resume;
+                }
+                return WatchOutcome::Frame(frame);
+            }
         }
     }
 }
@@ -262,6 +425,14 @@ fn respond(store: &WorkflowStore, request: Request) -> (Response, bool) {
         Request::Export { workflow } => store.export(workflow).map(Response::Exported),
         Request::Snapshot => store.snapshot_all().map(Response::Snapshotted),
         Request::Stats => Ok(Response::Stats(store.stats())),
+        // subscriptions are connection-scoped and handled by the request
+        // loop itself; this arm is unreachable in practice
+        Request::Watch { .. } => Err(crate::error::ServiceError::Protocol(
+            "watch is handled by the connection loop".to_owned(),
+        )),
+        // idempotent outside subscription mode (e.g. after a lag-drop
+        // already ended the subscription server-side)
+        Request::Unwatch => Ok(Response::Unwatched),
         Request::Shutdown => {
             // push batched-but-unsynced WAL records to stable storage
             // before acknowledging the shutdown

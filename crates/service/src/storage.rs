@@ -59,6 +59,9 @@ pub struct SnapshotEntry {
     pub epoch: u64,
     /// Index of the current view version.
     pub current: usize,
+    /// Change-sequence number (mutations and corrections); watch streams
+    /// resume gap-free from it after recovery.
+    pub seq: u64,
     /// Slot-exact spec serialisation (`wolves_workflow::persist`).
     pub spec_lines: Vec<String>,
     /// Slot-exact serialisation of every retained view version, in version
@@ -73,10 +76,11 @@ impl SnapshotEntry {
     pub fn to_lines(&self) -> Vec<String> {
         let mut lines = Vec::with_capacity(1 + self.spec_lines.len());
         lines.push(format!(
-            "entry\t{}\t{}\t{}\t{}\t{}",
+            "entry\t{}\t{}\t{}\t{}\t{}\t{}",
             self.id,
             self.epoch,
             self.current,
+            self.seq,
             self.spec_lines.len(),
             self.views.len()
         ));
@@ -97,7 +101,7 @@ impl SnapshotEntry {
             .get(*pos)
             .ok_or_else(|| corrupt("missing entry header"))?;
         let fields: Vec<&str> = header.split('\t').collect();
-        if fields.first() != Some(&"entry") || fields.len() != 6 {
+        if fields.first() != Some(&"entry") || fields.len() != 7 {
             return Err(corrupt(format!("malformed entry header '{header}'")));
         }
         let number = |index: usize, what: &str| -> Result<u64, ServiceError> {
@@ -108,8 +112,9 @@ impl SnapshotEntry {
         let id = number(1, "workflow id")?;
         let epoch = number(2, "epoch")?;
         let current = number(3, "current version")? as usize;
-        let spec_count = number(4, "spec line count")? as usize;
-        let view_count = number(5, "view count")? as usize;
+        let seq = number(4, "sequence number")?;
+        let spec_count = number(5, "spec line count")? as usize;
+        let view_count = number(6, "view count")? as usize;
         *pos += 1;
         let take = |pos: &mut usize, count: usize| -> Result<Vec<String>, ServiceError> {
             let slice = lines
@@ -135,6 +140,7 @@ impl SnapshotEntry {
             id,
             epoch,
             current,
+            seq,
             spec_lines,
             views,
         })
@@ -390,8 +396,8 @@ impl fmt::Display for RecoveryReport {
 /// The storage backend the sharded store writes through and recovers from.
 ///
 /// Implementations must serialise appends *per shard* (the store calls them
-/// under the shard write lock, so per-shard ordering is already guaranteed;
-/// the backend only needs interior mutability).
+/// under the shard's mutator mutex, so per-shard ordering is already
+/// guaranteed; the backend only needs interior mutability).
 pub trait StorageBackend: Send + Sync + fmt::Debug {
     /// `true` when records actually hit stable storage (enables the store's
     /// serialisability pre-checks on registration).
@@ -491,6 +497,7 @@ mod tests {
             id: 7,
             epoch: 3,
             current: 0,
+            seq: 5,
             spec_lines: spec_to_lines(&fixture.spec),
             views: vec![view_to_lines(&fixture.view)],
         }

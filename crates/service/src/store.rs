@@ -1,9 +1,13 @@
 //! The sharded, cached workflow store.
 //!
-//! Workflows are spread over `N` shards by hashing their id; each shard is an
-//! independently `RwLock`-guarded map, so requests for workflows on different
-//! shards never contend. Caching is **composite-granular and keyed by
-//! mutation epoch**:
+//! Workflows are spread over `N` shards by hashing their id. Each shard's
+//! state lives behind a copy-on-write `SnapshotCell`: readers (`validate`,
+//! `provenance`, `export`, `stats`) atomically grab an `Arc` of the current
+//! immutable shard state and never block behind mutation work; mutators
+//! serialise on a per-shard mutex, build the next state via `Arc::make_mut`,
+//! persist it, publish it as a single pointer swap — and then fan the change
+//! out to `watch` subscribers (see [`WorkflowStore::watch`]). Caching is
+//! **composite-granular and keyed by mutation epoch**:
 //!
 //! * **Reachability reuse** — a registered [`WorkflowSpec`] is stored behind
 //!   an `Arc` and its lazily built `ReachMatrix` is primed at registration
@@ -21,30 +25,34 @@
 //!   view graph (e.g. edges added inside one composite).
 //!
 //! Corrections still append the corrected view as a new immutable version.
-//! Mutations edit the registered workflow in place under the shard write
-//! lock, using copy-on-write (`Arc::make_mut`) so in-flight readers keep a
-//! consistent pre-mutation snapshot. Task additions/removals rebase the
-//! workflow: older view versions would no longer partition the task set, so
-//! the version history is truncated to the (updated) current view.
+//! Mutations clone the entry copy-on-write off the published snapshot, so
+//! in-flight readers keep a consistent pre-mutation state for as long as
+//! they hold it. Task additions/removals rebase the workflow: older view
+//! versions would no longer partition the task set, so the version history
+//! is truncated to the (updated) current view.
 //!
 //! **Durability** is layered behind [`StorageBackend`]: the default
 //! [`MemoryBackend`] keeps today's in-memory behaviour at zero cost, while
 //! a [`crate::wal::FileBackend`] appends every register/mutate/correct to a
-//! per-shard write-ahead log (under the same shard write lock, so log order
-//! is store order) and periodically compacts it into full snapshots.
-//! [`WorkflowStore::open`] recovers a backend's journal by replaying it
-//! through the live request paths, restoring epochs, versions, ids and
-//! cache keying exactly.
+//! per-shard write-ahead log (under the same per-shard mutator mutex, so
+//! log order is store order) and periodically compacts it into full
+//! snapshots. The append happens strictly *before* the new state is
+//! published and before any watch event is fanned out — a crash never
+//! leaves a subscriber holding an event the recovered store doesn't know
+//! about. [`WorkflowStore::open`] recovers a backend's journal by replaying
+//! it through the live request paths, restoring epochs, versions, ids,
+//! change-sequence numbers and cache keying exactly.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, OnceLock};
+use std::time::{Duration, Instant};
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use wolves_graph::DirtyRows;
 
 use wolves_core::correct::{correct_view, Strategy};
@@ -60,11 +68,19 @@ use wolves_workflow::{
     CompositeTaskId, SpecDelta, SpecMutation, TaskId, WorkflowSpec, WorkflowView,
 };
 
+use crate::epoch::SnapshotCell;
 use crate::error::ServiceError;
-use crate::proto::{Corrected, MutateOp, Mutated, ShardStat, StatsReport, Verdict};
+use crate::proto::{
+    Corrected, MutateOp, Mutated, ShardStat, StatsReport, Verdict, WatchEvent, WatchMode,
+};
 use crate::storage::{
     MemoryBackend, RecoveryReport, ShardJournal, SnapshotEntry, StorageBackend, WalRecord,
 };
+
+/// Default per-subscriber watch queue bound. A subscriber that falls this
+/// many events behind the commit stream is dropped with
+/// [`ServiceError::Lagged`] rather than ever back-pressuring a mutator.
+pub const WATCH_QUEUE_CAP: usize = 256;
 
 /// Identifier of a registered workflow, assigned by the store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -124,13 +140,20 @@ impl StoredView {
 }
 
 /// One registered workflow: the spec, its view versions and the mutation
-/// epoch keying every cache entry.
-#[derive(Debug)]
+/// epoch keying every cache entry. Cloning is cheap (`Arc` handles plus
+/// counters) — it is what `Arc::make_mut` pays per entry when a mutator
+/// clones the shard state copy-on-write.
+#[derive(Debug, Clone)]
 struct Entry {
     spec: Arc<WorkflowSpec>,
     views: Vec<Arc<StoredView>>,
     current: usize,
     epoch: u64,
+    /// Change-sequence number: bumped by every committed change of the
+    /// entry — mutations *and* corrections (the epoch only counts
+    /// mutations). Watch events are tagged with it, so a gap-free event
+    /// stream is exactly a contiguous `seq` run.
+    seq: u64,
     /// Spec epoch up to which the storage backend has consumed the typed
     /// delta log. Every mutation hands the deltas in
     /// `(logged_epoch, spec.epoch()]` to the write-ahead log *before* the
@@ -146,6 +169,7 @@ impl Entry {
             id,
             epoch: self.epoch,
             current: self.current,
+            seq: self.seq,
             spec_lines: spec_to_lines(&self.spec),
             views: self
                 .views
@@ -166,12 +190,79 @@ struct ShardMetrics {
     composite_misses: AtomicU64,
     validate_ns: AtomicU64,
     requests: AtomicU64,
+    dropped_watchers: AtomicU64,
+}
+
+/// One shard's immutable state, published through a [`SnapshotCell`].
+#[derive(Debug, Clone, Default)]
+struct ShardState {
+    entries: HashMap<u64, Entry>,
+}
+
+/// One registered watch subscription, server side.
+#[derive(Debug)]
+struct Watcher {
+    workflow: u64,
+    token: u64,
+    /// Events with `seq <= base_seq` predate the subscription and are
+    /// skipped during fan-out.
+    base_seq: u64,
+    /// Set before the sender is dropped when the bounded queue overflows,
+    /// so the receiver can tell a lag-drop from a clean teardown.
+    lagged: Arc<AtomicBool>,
+    sender: SyncSender<WatchEvent>,
 }
 
 #[derive(Debug)]
 struct Shard {
-    entries: RwLock<HashMap<u64, Entry>>,
+    /// The published state; readers `load()` it and never take a lock that
+    /// a mutator could hold across real work.
+    state: SnapshotCell<ShardState>,
+    /// Serialises all write paths (register, mutate, correct, recovery
+    /// installs, watch registration) — the WAL append order is the commit
+    /// order. Readers never touch it.
+    mutator: Mutex<()>,
+    /// The watch subscriber registry. Registration additionally holds
+    /// `mutator`, so the set of watchers a mutation observes at entry is
+    /// exactly the set fan-out will serve at exit — no subscriber can slip
+    /// in mid-mutation and miss its first event.
+    watchers: Mutex<Vec<Watcher>>,
     metrics: ShardMetrics,
+}
+
+impl Shard {
+    fn has_watcher_for(&self, workflow: u64) -> bool {
+        self.watchers
+            .lock()
+            .iter()
+            .any(|watcher| watcher.workflow == workflow)
+    }
+
+    /// Fans one committed event out to the workflow's subscribers. Called
+    /// under the mutator mutex, strictly after the WAL append and the state
+    /// publish. Slow consumers (full queue) are dropped with their `lagged`
+    /// flag set; disconnected receivers are cleaned up silently.
+    fn fan_out(&self, event: &WatchEvent) {
+        let workflow = event.workflow().0;
+        let seq = event.seq();
+        let mut watchers = self.watchers.lock();
+        watchers.retain(|watcher| {
+            if watcher.workflow != workflow || seq <= watcher.base_seq {
+                return true;
+            }
+            match watcher.sender.try_send(event.clone()) {
+                Ok(()) => true,
+                Err(TrySendError::Full(_)) => {
+                    watcher.lagged.store(true, Ordering::SeqCst);
+                    self.metrics
+                        .dropped_watchers
+                        .fetch_add(1, Ordering::Relaxed);
+                    false
+                }
+                Err(TrySendError::Disconnected(_)) => false,
+            }
+        });
+    }
 }
 
 /// Which cached composite verdicts a mutation invalidates.
@@ -191,11 +282,84 @@ impl Affected {
     }
 }
 
+/// A live watch subscription handed out by [`WorkflowStore::watch`].
+///
+/// Events arrive on a bounded queue; when the subscriber cannot keep up the
+/// store drops it (setting a lag marker) rather than blocking mutators or
+/// other subscribers. Dropping the subscription (or calling
+/// [`WorkflowStore::unwatch`]) tears the registration down cleanly — the
+/// next fan-out to the dead queue removes any leftover registry entry.
+#[derive(Debug)]
+pub struct WatchSubscription {
+    workflow: WorkflowId,
+    shard_index: usize,
+    token: u64,
+    seq: u64,
+    epoch: u64,
+    payload: Option<String>,
+    lagged: Arc<AtomicBool>,
+    receiver: Receiver<WatchEvent>,
+}
+
+impl WatchSubscription {
+    /// The watched workflow.
+    #[must_use]
+    pub fn workflow(&self) -> WorkflowId {
+        self.workflow
+    }
+
+    /// The workflow's change-sequence number at subscription time: the
+    /// first received event carries `seq() + 1`, and a gap-free consumer
+    /// checks contiguity from here.
+    #[must_use]
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The workflow's mutation epoch at subscription time.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// In [`WatchMode::Resync`], the workflow's full textfmt payload,
+    /// consistent with [`WatchSubscription::seq`].
+    #[must_use]
+    pub fn payload(&self) -> Option<&str> {
+        self.payload.as_deref()
+    }
+
+    /// Waits up to `timeout` for the next event. Returns `Ok(None)` on
+    /// timeout (the subscription is still live).
+    ///
+    /// # Errors
+    /// [`ServiceError::Lagged`] once a lag-dropped subscription's buffered
+    /// events are drained — the gap-free tail is gone, resync to continue;
+    /// [`ServiceError::Protocol`] when the subscription was closed for any
+    /// other reason (e.g. an explicit [`WorkflowStore::unwatch`]).
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Option<WatchEvent>, ServiceError> {
+        match self.receiver.recv_timeout(timeout) {
+            Ok(event) => Ok(Some(event)),
+            Err(mpsc::RecvTimeoutError::Timeout) => Ok(None),
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                if self.lagged.load(Ordering::SeqCst) {
+                    Err(ServiceError::Lagged)
+                } else {
+                    Err(ServiceError::Protocol(
+                        "watch subscription closed".to_owned(),
+                    ))
+                }
+            }
+        }
+    }
+}
+
 /// The sharded workflow store described in the module docs.
 #[derive(Debug)]
 pub struct WorkflowStore {
     shards: Vec<Shard>,
     next_id: AtomicU64,
+    next_watch_token: AtomicU64,
     registry: EstimationRegistry,
     backend: Arc<dyn StorageBackend>,
 }
@@ -212,13 +376,16 @@ impl WorkflowStore {
     fn with_backend(backend: Arc<dyn StorageBackend>) -> Self {
         let shards = (0..backend.shard_count())
             .map(|_| Shard {
-                entries: RwLock::new(HashMap::new()),
+                state: SnapshotCell::new(ShardState::default()),
+                mutator: Mutex::new(()),
+                watchers: Mutex::new(Vec::new()),
                 metrics: ShardMetrics::default(),
             })
             .collect();
         WorkflowStore {
             shards,
             next_id: AtomicU64::new(0),
+            next_watch_token: AtomicU64::new(0),
             registry: EstimationRegistry::new(),
             backend,
         }
@@ -251,7 +418,7 @@ impl WorkflowStore {
         report.workflows = store
             .shards
             .iter()
-            .map(|shard| shard.entries.read().len())
+            .map(|shard| shard.state.load().entries.len())
             .sum();
         if report.snapshot_entries + report.replayed_records > 0 {
             // compact: the replayed journal becomes the new snapshot base
@@ -352,22 +519,32 @@ impl WorkflowStore {
             views,
             current: snapshot.current,
             epoch: snapshot.epoch,
+            seq: snapshot.seq,
         };
         let id = WorkflowId(snapshot.id);
         let shard = self.shard_of(id);
-        let mut entries = shard.entries.write();
-        if entries.insert(snapshot.id, entry).is_some() {
+        let _guard = shard.mutator.lock();
+        let mut next = shard.state.load();
+        if Arc::make_mut(&mut next)
+            .entries
+            .insert(snapshot.id, entry)
+            .is_some()
+        {
+            // the clone is dropped unpublished: the duplicate never lands
             return Err(ServiceError::Recovery(format!(
                 "workflow {} recovered twice",
                 snapshot.id
             )));
         }
+        shard.state.publish(next);
         self.next_id.fetch_max(snapshot.id, Ordering::Relaxed);
         Ok(())
     }
 
     /// Replays a logged correction: appends the recorded view version and
-    /// makes it current.
+    /// makes it current. Also the replica-side path for `corrected` watch
+    /// events (see [`WorkflowStore::apply_watch_event`]), so it bumps the
+    /// change-sequence number and fans out to any local subscribers.
     fn install_correction(
         &self,
         id: u64,
@@ -377,8 +554,11 @@ impl WorkflowStore {
         let recover = |e: wolves_workflow::WorkflowError| ServiceError::Recovery(e.to_string());
         let view = view_from_lines(view_lines).map_err(recover)?;
         let shard = self.shard_of(WorkflowId(id));
-        let mut entries = shard.entries.write();
-        let entry = entries
+        let _guard = shard.mutator.lock();
+        let mut next = shard.state.load();
+        let state = Arc::make_mut(&mut next);
+        let entry = state
+            .entries
             .get_mut(&id)
             .ok_or(ServiceError::UnknownWorkflow(WorkflowId(id)))?;
         view.validate_against(&entry.spec).map_err(recover)?;
@@ -391,6 +571,18 @@ impl WorkflowStore {
         }
         entry.views.push(StoredView::new(view));
         entry.current = version;
+        entry.seq += 1;
+        let seq = entry.seq;
+        let event = shard.has_watcher_for(id).then(|| WatchEvent::Corrected {
+            workflow: WorkflowId(id),
+            seq,
+            version,
+            view_lines: view_lines.to_vec(),
+        });
+        shard.state.publish(next);
+        if let Some(event) = event {
+            shard.fan_out(&event);
+        }
         Ok(())
     }
 
@@ -463,6 +655,7 @@ impl WorkflowStore {
             views: view.map(StoredView::new).into_iter().collect(),
             current: 0,
             epoch: 0,
+            seq: 0,
         };
         // the in-memory backend keeps its zero-cost contract: no snapshot
         // serialisation, no record building
@@ -473,24 +666,23 @@ impl WorkflowStore {
         let index = self.shard_index_of(id);
         let shard = &self.shards[index];
         shard.metrics.requests.fetch_add(1, Ordering::Relaxed);
-        let mut entries = shard.entries.write();
-        entries.insert(id.0, entry);
-        let Some(record) = record else {
-            return Ok(id);
-        };
-        match self.backend.append(index, &record) {
-            Ok(outcome) => {
-                if outcome.wants_snapshot {
-                    self.snapshot_shard(index, &entries)?;
-                }
-                Ok(id)
-            }
-            Err(e) => {
-                // roll back: nothing else can reference the id yet
-                entries.remove(&id.0);
-                Err(e)
+        let _guard = shard.mutator.lock();
+        let mut next = shard.state.load();
+        Arc::make_mut(&mut next).entries.insert(id.0, entry);
+        let mut wants_snapshot = false;
+        if let Some(record) = record {
+            match self.backend.append(index, &record) {
+                Ok(outcome) => wants_snapshot = outcome.wants_snapshot,
+                // roll back by dropping the unpublished clone: neither
+                // memory nor disk saw the registration
+                Err(e) => return Err(e),
             }
         }
+        shard.state.publish(Arc::clone(&next));
+        if wants_snapshot {
+            self.snapshot_shard(index, &next.entries)?;
+        }
+        Ok(id)
     }
 
     /// Registers a workflow from a native text-format payload.
@@ -504,7 +696,7 @@ impl WorkflowStore {
     }
 
     /// Writes a snapshot of one shard through the backend (the caller holds
-    /// the shard lock, so the dump is a consistent cut).
+    /// the shard's mutator mutex, so the dump is a consistent cut).
     fn snapshot_shard(
         &self,
         index: usize,
@@ -525,8 +717,11 @@ impl WorkflowStore {
     /// Reports backend I/O failures.
     pub fn snapshot_all(&self) -> Result<usize, ServiceError> {
         for (index, shard) in self.shards.iter().enumerate() {
-            let entries = shard.entries.write();
-            self.snapshot_shard(index, &entries)?;
+            // hold the mutator mutex for a consistent cut; readers are
+            // unaffected — they keep loading the published snapshot
+            let _guard = shard.mutator.lock();
+            let state = shard.state.load();
+            self.snapshot_shard(index, &state.entries)?;
         }
         Ok(self.shards.len())
     }
@@ -540,8 +735,9 @@ impl WorkflowStore {
     pub fn export(&self, id: WorkflowId) -> Result<String, ServiceError> {
         let shard = self.shard_of(id);
         shard.metrics.requests.fetch_add(1, Ordering::Relaxed);
-        let entries = shard.entries.read();
-        let entry = entries
+        let state = shard.state.load();
+        let entry = state
+            .entries
             .get(&id.0)
             .ok_or(ServiceError::UnknownWorkflow(id))?;
         let view = entry.views.get(entry.current).map(|stored| &*stored.view);
@@ -549,9 +745,10 @@ impl WorkflowStore {
     }
 
     /// Snapshot of a workflow's spec, a view version (current when `version`
-    /// is `None`) and the mutation epoch, taken under the shard read lock.
-    /// The three are mutually consistent: mutations replace the `Arc`s
-    /// copy-on-write under the write lock.
+    /// is `None`) and the mutation epoch, off the shard's published state.
+    /// The three are mutually consistent: mutators build the next state
+    /// copy-on-write and publish it atomically — a reader never observes a
+    /// half-applied mutation, and never waits behind one.
     fn snapshot(
         &self,
         id: WorkflowId,
@@ -559,8 +756,9 @@ impl WorkflowStore {
     ) -> Result<(Arc<WorkflowSpec>, Arc<StoredView>, usize, u64), ServiceError> {
         let shard = self.shard_of(id);
         shard.metrics.requests.fetch_add(1, Ordering::Relaxed);
-        let entries = shard.entries.read();
-        let entry = entries
+        let state = shard.state.load();
+        let entry = state
+            .entries
             .get(&id.0)
             .ok_or(ServiceError::UnknownWorkflow(id))?;
         if entry.views.is_empty() {
@@ -659,20 +857,23 @@ impl WorkflowStore {
             sound: unsound.is_empty(),
             version: index,
             cached,
+            epoch,
             unsound,
         })
     }
 
-    /// Applies one mutation to a registered workflow under the shard write
-    /// lock, with composite-granular cache invalidation: only the cached
-    /// verdicts whose composites the edit could have changed are dropped;
-    /// the rest are re-tagged to the new epoch and keep serving hits.
-    /// Copy-on-write keeps concurrently running reads on a consistent
-    /// pre-mutation snapshot.
+    /// Applies one mutation to a registered workflow under the shard's
+    /// mutator mutex, with composite-granular cache invalidation: only the
+    /// cached verdicts whose composites the edit could have changed are
+    /// dropped; the rest are re-tagged to the new epoch and keep serving
+    /// hits. The next shard state is built copy-on-write and published
+    /// atomically, so concurrent readers stay on a consistent pre-mutation
+    /// snapshot and never block.
     ///
     /// On a durable backend the edit is appended to the shard's write-ahead
-    /// log (op + consumed spec deltas) before the call returns, still under
-    /// the shard write lock, so the log order is the store order.
+    /// log (op + consumed spec deltas) *before* the new state is published
+    /// and before any watch event is fanned out, so the log order is the
+    /// store order and no subscriber ever holds an event the log misses.
     ///
     /// # Errors
     /// Reports unknown workflows, tasks and composites, edits the model
@@ -699,14 +900,23 @@ impl WorkflowStore {
             // they were first logged)
             check_op_serialisable(&op)?;
         }
-        // only durable recording needs the op after the apply-match consumes
-        // it; the in-memory path skips the clone
-        let logged_op = (durable && record).then(|| op.clone());
         let index = self.shard_index_of(id);
         let shard = &self.shards[index];
         shard.metrics.requests.fetch_add(1, Ordering::Relaxed);
-        let mut entries = shard.entries.write();
-        let entry = entries
+        // serialise mutators; readers keep loading the published snapshot.
+        // Watch registration also takes this mutex, so the watcher set
+        // observed here is exactly the set the fan-out below serves.
+        let _mutator = shard.mutator.lock();
+        let wants_event = record && shard.has_watcher_for(id.0);
+        // only durable recording and watch fan-out need the op after the
+        // apply-match consumes it; the bare in-memory path skips the clone
+        let logged_op = ((durable && record) || wants_event).then(|| op.clone());
+        // copy-on-write: build the next shard state off to the side; every
+        // error return below drops it unpublished, leaving readers on the
+        // untouched current snapshot
+        let mut next = shard.state.load();
+        let entry = Arc::make_mut(&mut next)
+            .entries
             .get_mut(&id.0)
             .ok_or(ServiceError::UnknownWorkflow(id))?;
         if entry.views.is_empty() {
@@ -819,33 +1029,56 @@ impl WorkflowStore {
             truncate,
             new_epoch,
         );
-        // hand the new spec deltas to the write-ahead log before the
-        // bounded delta log could evict them (the in-memory backend keeps
-        // its zero-cost contract: no delta collection, no record building)
-        let deltas = if durable {
+        // every change (mutations here, corrections below) bumps the
+        // per-entry sequence number; watch subscribers use its contiguity
+        // to prove the event stream is gap-free
+        entry.seq += 1;
+        let seq = entry.seq;
+        // hand the new spec deltas to the write-ahead log and the watch
+        // fan-out before the bounded delta log could evict them (the bare
+        // in-memory backend keeps its zero-cost contract: no delta
+        // collection, no record building)
+        let deltas = if durable || wants_event {
             consume_deltas(entry)?
         } else {
             Vec::new()
         };
         entry.logged_epoch = entry.spec.epoch();
+        let mut wants_snapshot = false;
         if durable && record {
             let wal_record = WalRecord::Mutate {
                 id: id.0,
                 epoch: mutated.epoch,
-                op: logged_op.expect("cloned for the durable recording path"),
+                op: logged_op.clone().expect("cloned for the recording path"),
                 deltas: deltas.clone(),
             };
             match self.backend.append(index, &wal_record) {
-                Ok(outcome) => {
-                    if outcome.wants_snapshot {
-                        self.snapshot_shard(index, &entries)?;
-                    }
-                }
-                // self-heal a failed append with a full snapshot (which
-                // rotates the log past the gap); if that fails too, the
-                // durable state is behind memory — report it
-                Err(e) => self.snapshot_shard(index, &entries).map_err(|_| e)?,
+                Ok(outcome) => wants_snapshot = outcome.wants_snapshot,
+                // self-heal a failed append with a full snapshot of the
+                // *next* state (which rotates the log past the gap); if
+                // that fails too, nothing has been published — memory and
+                // durable state both still hold the pre-mutation snapshot
+                Err(e) => self.snapshot_shard(index, &next.entries).map_err(|_| e)?,
             }
+        }
+        // the commit point: readers switch to the mutated state here
+        shard.state.publish(Arc::clone(&next));
+        if wants_event {
+            // after the WAL append (no subscriber ever holds an event the
+            // log misses) and after publish (an event's reader-visible
+            // state is never behind the event)
+            shard.fan_out(&WatchEvent::Mutated {
+                workflow: id,
+                seq,
+                op: logged_op.expect("cloned for the fan-out path"),
+                outcome: mutated.clone(),
+                deltas: deltas.clone(),
+            });
+        }
+        if wants_snapshot {
+            // a snapshot failure here leaves memory and WAL committed; the
+            // caller learns durable compaction is behind
+            self.snapshot_shard(index, &next.entries)?;
         }
         Ok((mutated, deltas))
     }
@@ -888,8 +1121,11 @@ impl WorkflowStore {
         let new_view = StoredView::new(corrected);
         let shard_index = self.shard_index_of(id);
         let shard = &self.shards[shard_index];
-        let mut entries = shard.entries.write();
-        let entry = entries
+        let _mutator = shard.mutator.lock();
+        let wants_event = shard.has_watcher_for(id.0);
+        let mut next = shard.state.load();
+        let entry = Arc::make_mut(&mut next)
+            .entries
             .get_mut(&id.0)
             .ok_or(ServiceError::UnknownWorkflow(id))?;
         if entry.current != index || entry.epoch != epoch {
@@ -903,27 +1139,40 @@ impl WorkflowStore {
                 payload: write_text_format(&entry.spec, Some(&winner.view)),
             });
         }
-        let view_lines = self
-            .backend
-            .durable()
-            .then(|| view_to_lines(&new_view.view));
+        let view_lines =
+            (self.backend.durable() || wants_event).then(|| view_to_lines(&new_view.view));
         entry.views.push(new_view);
         entry.current = entry.views.len() - 1;
+        entry.seq += 1;
+        let seq = entry.seq;
         let version = entry.current;
-        if let Some(view_lines) = view_lines {
+        let mut wants_snapshot = false;
+        if self.backend.durable() {
             let record = WalRecord::Correct {
                 id: id.0,
                 version,
-                view_lines,
+                view_lines: view_lines.clone().expect("collected for the durable path"),
             };
             match self.backend.append(shard_index, &record) {
-                Ok(outcome) => {
-                    if outcome.wants_snapshot {
-                        self.snapshot_shard(shard_index, &entries)?;
-                    }
-                }
-                Err(e) => self.snapshot_shard(shard_index, &entries).map_err(|_| e)?,
+                Ok(outcome) => wants_snapshot = outcome.wants_snapshot,
+                // self-heal before publish, as in `mutate_inner`: on a
+                // double failure nothing is published and memory rolls back
+                Err(e) => self
+                    .snapshot_shard(shard_index, &next.entries)
+                    .map_err(|_| e)?,
             }
+        }
+        shard.state.publish(Arc::clone(&next));
+        if wants_event {
+            shard.fan_out(&WatchEvent::Corrected {
+                workflow: id,
+                seq,
+                version,
+                view_lines: view_lines.expect("collected for the fan-out path"),
+            });
+        }
+        if wants_snapshot {
+            self.snapshot_shard(shard_index, &next.entries)?;
         }
         Ok(Corrected {
             version,
@@ -986,18 +1235,184 @@ impl WorkflowStore {
             .enumerate()
             .map(|(index, shard)| ShardStat {
                 shard: index,
-                workflows: shard.entries.read().len(),
+                workflows: shard.state.load().entries.len(),
                 validate_hits: shard.metrics.validate_hits.load(Ordering::Relaxed),
                 validate_misses: shard.metrics.validate_misses.load(Ordering::Relaxed),
                 composite_hits: shard.metrics.composite_hits.load(Ordering::Relaxed),
                 composite_misses: shard.metrics.composite_misses.load(Ordering::Relaxed),
                 validate_ns: shard.metrics.validate_ns.load(Ordering::Relaxed),
                 requests: shard.metrics.requests.load(Ordering::Relaxed),
+                snapshot_publishes: shard.state.publish_count(),
+                active_watchers: shard.watchers.lock().len() as u64,
+                dropped_watchers: shard.metrics.dropped_watchers.load(Ordering::Relaxed),
             })
             .collect();
         StatsReport {
             shards,
             registry_samples: self.registry.len(),
+        }
+    }
+
+    /// Subscribes to a workflow's committed changes with the default
+    /// per-subscriber queue bound ([`WATCH_QUEUE_CAP`]).
+    ///
+    /// # Errors
+    /// Reports unknown workflows.
+    pub fn watch(
+        &self,
+        id: WorkflowId,
+        mode: WatchMode,
+    ) -> Result<WatchSubscription, ServiceError> {
+        self.watch_with_capacity(id, mode, WATCH_QUEUE_CAP)
+    }
+
+    /// [`WorkflowStore::watch`] with an explicit queue bound (tests pin the
+    /// slow-consumer drop with a tiny queue).
+    ///
+    /// Registration holds the shard's mutator mutex, so the subscription
+    /// cut is atomic with respect to mutations: every change committed
+    /// after this call returns is delivered (or the subscriber is
+    /// explicitly lag-dropped), and nothing committed before it leaks in.
+    /// In [`WatchMode::Resync`] the returned subscription carries an
+    /// `export`-format payload consistent with the acknowledged sequence
+    /// number; in [`WatchMode::From`] a stated sequence number that is not
+    /// current pre-seeds the queue with a [`WatchEvent::Resync`].
+    ///
+    /// # Errors
+    /// Reports unknown workflows.
+    pub fn watch_with_capacity(
+        &self,
+        id: WorkflowId,
+        mode: WatchMode,
+        capacity: usize,
+    ) -> Result<WatchSubscription, ServiceError> {
+        let shard_index = self.shard_index_of(id);
+        let shard = &self.shards[shard_index];
+        // atomic with mutations: no event can commit between reading the
+        // cut below and registering the watcher
+        let _mutator = shard.mutator.lock();
+        let state = shard.state.load();
+        let entry = state
+            .entries
+            .get(&id.0)
+            .ok_or(ServiceError::UnknownWorkflow(id))?;
+        let seq = entry.seq;
+        let epoch = entry.epoch;
+        let payload = matches!(mode, WatchMode::Resync).then(|| {
+            let view = entry.views.get(entry.current).map(|stored| &*stored.view);
+            write_text_format(&entry.spec, view)
+        });
+        let (sender, receiver) = mpsc::sync_channel(capacity.max(1));
+        if let WatchMode::From(stated) = mode {
+            if stated != seq {
+                // the stated cursor cannot be tailed gap-free; tell the
+                // subscriber to resync before any live event arrives
+                let _ = sender.try_send(WatchEvent::Resync { workflow: id, seq });
+            }
+        }
+        let lagged = Arc::new(AtomicBool::new(false));
+        let token = self.next_watch_token.fetch_add(1, Ordering::Relaxed);
+        shard.watchers.lock().push(Watcher {
+            workflow: id.0,
+            token,
+            base_seq: seq,
+            lagged: Arc::clone(&lagged),
+            sender,
+        });
+        Ok(WatchSubscription {
+            workflow: id,
+            shard_index,
+            token,
+            seq,
+            epoch,
+            payload,
+            lagged,
+            receiver,
+        })
+    }
+
+    /// Tears a subscription down server-side. Idempotent: a watcher already
+    /// lag-dropped (or never registered) is a no-op. The subscription's
+    /// receiver keeps draining any events fanned out before the teardown.
+    pub fn unwatch(&self, subscription: &WatchSubscription) {
+        self.shards[subscription.shard_index]
+            .watchers
+            .lock()
+            .retain(|watcher| watcher.token != subscription.token);
+    }
+
+    /// The workflow's current change cursor: `(seq, epoch)`. The sequence
+    /// number counts every committed change (mutations and corrections);
+    /// the epoch counts mutations only.
+    ///
+    /// # Errors
+    /// Reports unknown workflows.
+    pub fn cursor(&self, id: WorkflowId) -> Result<(u64, u64), ServiceError> {
+        let shard = self.shard_of(id);
+        let state = shard.state.load();
+        let entry = state
+            .entries
+            .get(&id.0)
+            .ok_or(ServiceError::UnknownWorkflow(id))?;
+        Ok((entry.seq, entry.epoch))
+    }
+
+    /// Applies one received watch event to this store as a CDC replica,
+    /// cross-checking the replayed outcome against the event's: epochs,
+    /// sequence numbers and (when this store collects them) spec deltas
+    /// must all match, so a replica that drifts fails loudly instead of
+    /// silently diverging.
+    ///
+    /// # Errors
+    /// Reports unknown workflows, ops the replica rejects, replay
+    /// divergence, and [`ServiceError::Lagged`] for a
+    /// [`WatchEvent::Resync`] (the caller must re-`export` and rebuild).
+    pub fn apply_watch_event(&self, event: &WatchEvent) -> Result<(), ServiceError> {
+        let diverged = |what: &str, ours: u64, theirs: u64| {
+            ServiceError::Recovery(format!(
+                "watch replay diverged: replica {what} {ours} != event {what} {theirs}"
+            ))
+        };
+        match event {
+            WatchEvent::Mutated {
+                workflow,
+                seq,
+                op,
+                outcome,
+                deltas,
+            } => {
+                let (mutated, applied) = self.mutate_inner(*workflow, op.clone(), true)?;
+                if mutated.epoch != outcome.epoch {
+                    return Err(diverged("epoch", mutated.epoch, outcome.epoch));
+                }
+                let (replica_seq, _) = self.cursor(*workflow)?;
+                if replica_seq != *seq {
+                    return Err(diverged("seq", replica_seq, *seq));
+                }
+                // a durable replica collects the deltas itself; compare
+                // them to the event's (an in-memory replica collects none)
+                if !applied.is_empty() && applied != *deltas {
+                    return Err(ServiceError::Recovery(
+                        "watch replay diverged: replica spec deltas differ from the event's"
+                            .to_owned(),
+                    ));
+                }
+                Ok(())
+            }
+            WatchEvent::Corrected {
+                workflow,
+                seq,
+                version,
+                view_lines,
+            } => {
+                self.install_correction(workflow.0, *version, view_lines)?;
+                let (replica_seq, _) = self.cursor(*workflow)?;
+                if replica_seq != *seq {
+                    return Err(diverged("seq", replica_seq, *seq));
+                }
+                Ok(())
+            }
+            WatchEvent::Resync { .. } => Err(ServiceError::Lagged),
         }
     }
 }
@@ -1107,29 +1522,14 @@ fn check_op_serialisable(op: &MutateOp) -> Result<(), ServiceError> {
 /// cap set to less than one mutation's worth of deltas), this errors loudly
 /// instead of silently persisting a log with holes.
 fn consume_deltas(entry: &Entry) -> Result<Vec<SpecDelta>, ServiceError> {
-    let logged = entry.logged_epoch;
-    let spec_epoch = entry.spec.epoch();
-    if spec_epoch == logged {
-        return Ok(Vec::new());
-    }
-    let fresh: Vec<SpecDelta> = entry
-        .spec
-        .delta_log()
-        .iter()
-        .filter(|delta| delta.epoch > logged)
-        .cloned()
-        .collect();
-    let contiguous = fresh.first().map(|delta| delta.epoch) == Some(logged + 1)
-        && fresh.len() as u64 == spec_epoch - logged;
-    if !contiguous {
-        return Err(ServiceError::Persistence(format!(
+    entry.spec.deltas_since(entry.logged_epoch).ok_or_else(|| {
+        ServiceError::Persistence(format!(
             "the spec delta log evicted epochs {}..={} before the write-ahead log consumed \
              them; raise the bound with WorkflowSpec::set_delta_log_cap",
-            logged + 1,
-            spec_epoch
-        )));
-    }
-    Ok(fresh)
+            entry.logged_epoch + 1,
+            entry.spec.epoch()
+        ))
+    })
 }
 
 /// Computes which composites of the current view an edge mutation affects:
@@ -1337,6 +1737,7 @@ mod tests {
             // deltas since were already evicted down to the cap of 2
             logged_epoch: epoch_before,
             epoch: 4,
+            seq: 4,
             current: 0,
             views: Vec::new(),
             spec: Arc::new(spec),
@@ -1351,6 +1752,7 @@ mod tests {
             views: Vec::new(),
             current: 0,
             epoch: 4,
+            seq: 4,
         };
         assert!(consume_deltas(&caught_up).unwrap().is_empty());
     }

@@ -698,6 +698,7 @@ mod tests {
             id: 1,
             epoch: 1,
             current: 0,
+            seq: 1,
             spec_lines: wolves_workflow::persist::spec_to_lines(&fixture.spec),
             views: vec![wolves_workflow::persist::view_to_lines(&fixture.view)],
         };

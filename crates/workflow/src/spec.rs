@@ -220,6 +220,31 @@ impl WorkflowSpec {
         &self.log
     }
 
+    /// The contiguous slice of deltas newer than `epoch`, in epoch order —
+    /// the fan-out hook for consumers that tail the bounded log (the serving
+    /// layer's write-ahead log and its change-data-capture subscribers).
+    /// Returns `None` when the bound already evicted part of the requested
+    /// range, so a consumer that fell behind sees the gap instead of a
+    /// silently holed stream.
+    #[must_use]
+    pub fn deltas_since(&self, epoch: u64) -> Option<Vec<SpecDelta>> {
+        if self.epoch == epoch {
+            return Some(Vec::new());
+        }
+        if self.epoch < epoch {
+            return None;
+        }
+        let fresh: Vec<SpecDelta> = self
+            .log
+            .iter()
+            .filter(|delta| delta.epoch > epoch)
+            .cloned()
+            .collect();
+        let contiguous = fresh.first().map(|delta| delta.epoch) == Some(epoch + 1)
+            && fresh.len() as u64 == self.epoch - epoch;
+        contiguous.then_some(fresh)
+    }
+
     /// Default upper bound on retained delta-log entries.
     pub const DELTA_LOG_CAP: usize = 1024;
 

@@ -9,7 +9,7 @@ use std::sync::Arc;
 
 use wolves::service::{
     serve_with_store, FileBackend, MutateOp, PersistConfig, ServerConfig, ServiceClient,
-    ServiceError, WorkflowId, WorkflowStore,
+    ServiceError, WatchMode, WorkflowId, WorkflowStore,
 };
 
 fn temp_root(tag: &str) -> PathBuf {
@@ -258,6 +258,195 @@ fn mid_log_corruption_is_refused_not_guessed() {
         .unwrap_err();
     assert!(matches!(err, ServiceError::Recovery(_)), "{err}");
     std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// Watch events are fanned out only *after* the WAL append: a watcher can
+/// never hold an event the log misses, so a kill-after-delivery always
+/// recovers every change a subscriber was told about.
+#[test]
+fn every_delivered_watch_event_survives_a_kill() {
+    let root = temp_root("watch-kill");
+    let (store, _) = open_store(&root);
+    let fixture = wolves::repo::figure1();
+    let id = store
+        .try_register(fixture.spec, Some(fixture.view))
+        .expect("register");
+
+    // subscribe from sequence zero with the consistent export payload
+    let subscription = store.watch(id, WatchMode::Resync).expect("watch");
+    assert_eq!(subscription.seq(), 0);
+    let genesis = subscription.payload().expect("resync payload").to_owned();
+
+    for index in 0..10 {
+        let name = format!("watched-{index}");
+        store
+            .mutate(id, MutateOp::AddTask { name: name.clone() })
+            .expect("add task");
+        store
+            .mutate(
+                id,
+                MutateOp::AddEdge {
+                    from: "Display tree".to_owned(),
+                    to: name,
+                },
+            )
+            .expect("add edge");
+    }
+
+    // the subscriber drains everything it was promised, then the store is
+    // killed without a shutdown handshake (fsync batching leaves a tail
+    // the OS, not the process, holds)
+    let mut events = Vec::new();
+    while events.len() < 20 {
+        match subscription
+            .recv_timeout(std::time::Duration::from_millis(500))
+            .expect("healthy subscription")
+        {
+            Some(event) => events.push(event),
+            None => panic!("watcher starved after {} events", events.len()),
+        }
+    }
+    drop(store);
+
+    // every delivered event is in the recovered log: a replica built from
+    // the genesis payload plus the delivered stream matches the recovered
+    // store exactly
+    let (recovered, report) = open_store(&root);
+    assert_eq!(report.workflows, 1);
+    let replica = WorkflowStore::new(2);
+    let replica_id = replica.register_text(&genesis).expect("replica genesis");
+    assert_eq!(replica_id, id);
+    for event in &events {
+        replica.apply_watch_event(event).expect("replay");
+    }
+    assert_eq!(
+        recovered.cursor(id).expect("cursor"),
+        replica.cursor(id).expect("replica cursor"),
+        "the recovered store lost a change a watcher was told about"
+    );
+    assert_eq!(
+        recovered.export(id).expect("export"),
+        replica.export(id).expect("replica export")
+    );
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// A backend that can be switched to fail every append: a mutation whose
+/// WAL append fails (and whose self-heal snapshot also fails) must commit
+/// nothing — no state change, no watch event. Watchers never hear about
+/// changes that were not made durable.
+mod failing {
+    use super::*;
+    use wolves::service::storage::{
+        AppendOutcome, ShardJournal, SnapshotEntry, StorageBackend, WalRecord,
+    };
+
+    #[derive(Debug)]
+    pub struct FailingBackend {
+        shards: usize,
+        pub fail: std::sync::atomic::AtomicBool,
+    }
+
+    impl FailingBackend {
+        pub fn new(shards: usize) -> Self {
+            FailingBackend {
+                shards,
+                fail: std::sync::atomic::AtomicBool::new(false),
+            }
+        }
+
+        fn check(&self) -> Result<(), ServiceError> {
+            if self.fail.load(Ordering::SeqCst) {
+                return Err(ServiceError::Persistence("disk full".to_owned()));
+            }
+            Ok(())
+        }
+    }
+
+    impl StorageBackend for FailingBackend {
+        fn durable(&self) -> bool {
+            true
+        }
+
+        fn shard_count(&self) -> usize {
+            self.shards
+        }
+
+        fn append(
+            &self,
+            _shard: usize,
+            _record: &WalRecord,
+        ) -> Result<AppendOutcome, ServiceError> {
+            self.check().map(|()| AppendOutcome::default())
+        }
+
+        fn write_snapshot(
+            &self,
+            _shard: usize,
+            _entries: &[SnapshotEntry],
+        ) -> Result<(), ServiceError> {
+            self.check()
+        }
+
+        fn take_journal(&self) -> Result<Vec<ShardJournal>, ServiceError> {
+            Ok((0..self.shards).map(|_| ShardJournal::default()).collect())
+        }
+
+        fn sync(&self) -> Result<(), ServiceError> {
+            Ok(())
+        }
+    }
+}
+
+#[test]
+fn a_failed_append_commits_nothing_and_fans_out_no_ghost_event() {
+    let backend = Arc::new(failing::FailingBackend::new(2));
+    let handle = Arc::clone(&backend);
+    let (store, _) = WorkflowStore::open(backend).expect("open");
+    let fixture = wolves::repo::figure1();
+    let id = store
+        .try_register(fixture.spec, Some(fixture.view))
+        .expect("register");
+    let subscription = store.watch(id, WatchMode::Tail).expect("watch");
+    let before = store.export(id).expect("export");
+
+    handle.fail.store(true, Ordering::SeqCst);
+    let err = store
+        .mutate(
+            id,
+            MutateOp::AddTask {
+                name: "ghost".to_owned(),
+            },
+        )
+        .expect_err("the append failed");
+    assert!(matches!(err, ServiceError::Persistence(_)), "{err}");
+
+    // nothing happened: no state change, no sequence advance, no event
+    assert_eq!(store.cursor(id).expect("cursor"), (0, 0));
+    assert_eq!(store.export(id).expect("export"), before);
+    assert!(
+        matches!(
+            subscription.recv_timeout(std::time::Duration::from_millis(50)),
+            Ok(None)
+        ),
+        "a watcher heard about a change that was never made durable"
+    );
+
+    // the disk recovers; the next mutation commits and is delivered
+    handle.fail.store(false, Ordering::SeqCst);
+    store
+        .mutate(
+            id,
+            MutateOp::AddTask {
+                name: "real".to_owned(),
+            },
+        )
+        .expect("mutate after recovery");
+    let event = subscription
+        .recv_timeout(std::time::Duration::from_millis(500))
+        .expect("healthy subscription")
+        .expect("one event");
+    assert_eq!(event.seq(), 1);
 }
 
 mod properties {

@@ -6,6 +6,7 @@ use wolves::core::correct::Strategy;
 use wolves::moml::write_text_format;
 use wolves::service::{
     serve, validate_throughput, BatchConfig, MutateOp, ServerConfig, ServiceClient, ServiceError,
+    WatchEvent, WatchMode,
 };
 
 #[test]
@@ -109,6 +110,83 @@ fn full_protocol_round_trip_over_loopback() {
     assert!(matches!(err, ServiceError::Remote(_)));
 
     client.shutdown().expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn watch_streams_cdc_events_over_the_wire() {
+    let server = serve(&ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        shards: 2,
+        workers: 4,
+    })
+    .expect("bind a loopback server");
+    let addr = server.local_addr();
+    let mut editor = ServiceClient::connect(addr).expect("connect the editor");
+
+    let fixture = wolves::repo::figure1();
+    let payload = write_text_format(&fixture.spec, Some(&fixture.view));
+    let id = editor.register_text(&payload).expect("register figure 1");
+
+    // watching an unknown workflow is a typed remote error, and the client
+    // survives it
+    let watcher = ServiceClient::connect(addr).expect("connect the watcher");
+    let err = watcher
+        .watch(wolves::service::WorkflowId(999), WatchMode::Tail)
+        .expect_err("unknown workflow");
+    assert!(matches!(err, ServiceError::Remote(_)));
+
+    // resync mode hands over the export payload atomically with the cut;
+    // the ack arriving means the server registered the subscription, so
+    // everything the editor commits from here on is delivered
+    let watcher = ServiceClient::connect(addr).expect("reconnect the watcher");
+    let mut stream = watcher.watch(id, WatchMode::Resync).expect("watch");
+    assert_eq!(stream.ack().workflow, id);
+    assert_eq!(stream.ack().seq, 0);
+    assert_eq!(
+        stream.ack().payload.as_deref().expect("resync payload"),
+        editor.export(id).expect("export")
+    );
+
+    let op = MutateOp::AddEdge {
+        from: "Check additional annotations".to_owned(),
+        to: "Build phylo tree".to_owned(),
+    };
+    editor.mutate(id, op.clone()).expect("mutate");
+    editor.correct(id, Strategy::Strong).expect("correct");
+
+    match stream.next_event().expect("first event") {
+        WatchEvent::Mutated {
+            workflow,
+            seq,
+            op: streamed,
+            outcome,
+            deltas,
+        } => {
+            assert_eq!(workflow, id);
+            assert_eq!(seq, 1);
+            assert_eq!(streamed, op);
+            assert_eq!(outcome.epoch, 1);
+            assert!(!deltas.is_empty(), "the typed spec deltas ride along");
+        }
+        other => panic!("expected the mutation event, got {other:?}"),
+    }
+    match stream.next_event().expect("second event") {
+        WatchEvent::Corrected { seq, version, .. } => {
+            assert_eq!(seq, 2);
+            assert_eq!(version, 1);
+        }
+        other => panic!("expected the correction event, got {other:?}"),
+    }
+
+    // a clean unsubscribe returns the connection to request mode: the same
+    // socket serves plain requests again
+    let mut watcher = stream.stop().expect("stop the stream");
+    let verdict = watcher.validate(id, None).expect("validate after unwatch");
+    assert_eq!(verdict.epoch, 1);
+    assert_eq!(server.store().stats().active_watchers(), 0);
+
+    editor.shutdown().expect("shutdown");
     server.join();
 }
 
