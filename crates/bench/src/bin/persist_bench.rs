@@ -25,7 +25,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use wolves_repo::{layered_workflow, topological_block_view, LayeredConfig};
-use wolves_service::{FileBackend, MutateOp, PersistConfig, WorkflowId, WorkflowStore};
+use wolves_service::{
+    FileBackend, HistogramSnapshot, MutateOp, PersistConfig, Stage, Verb, WorkflowId, WorkflowStore,
+};
 
 struct Row {
     backend: &'static str,
@@ -36,6 +38,19 @@ struct Row {
     recovery_ms: f64,
     compacted_recovery_ms: f64,
     replayed_records: usize,
+    /// Server-side mutate latency percentiles (log2-bucket upper bounds),
+    /// in microseconds, plus the WAL append/fsync stage breakdown.
+    mutate_p50_us: f64,
+    mutate_p99_us: f64,
+    wal_append_p50_us: f64,
+    wal_append_p99_us: f64,
+    fsync_p50_us: f64,
+    fsync_p99_us: f64,
+}
+
+/// Log2-bucket upper bound for quantile `q`, converted to microseconds.
+fn percentile_us(snapshot: &HistogramSnapshot, q: f64) -> f64 {
+    snapshot.quantile(q) as f64 / 1e3
 }
 
 enum Backend {
@@ -139,6 +154,7 @@ fn run_backend(name: &'static str, backend: &Backend, mutations: usize, memory_r
             let store = WorkflowStore::new(2);
             let (_, elapsed_ms) = drive(&store, mutations);
             let rate = mutations as f64 / (elapsed_ms / 1e3);
+            let mutate = store.verb_histogram(Verb::Mutate);
             Row {
                 backend: name,
                 mutations,
@@ -148,6 +164,12 @@ fn run_backend(name: &'static str, backend: &Backend, mutations: usize, memory_r
                 recovery_ms: 0.0,
                 compacted_recovery_ms: 0.0,
                 replayed_records: 0,
+                mutate_p50_us: percentile_us(&mutate, 0.50),
+                mutate_p99_us: percentile_us(&mutate, 0.99),
+                wal_append_p50_us: 0.0,
+                wal_append_p99_us: 0.0,
+                fsync_p50_us: 0.0,
+                fsync_p99_us: 0.0,
             }
         }
         Backend::Wal { fsync_every } => {
@@ -156,6 +178,9 @@ fn run_backend(name: &'static str, backend: &Backend, mutations: usize, memory_r
             let store = open_store(&root, *fsync_every);
             let (id, elapsed_ms) = drive(&store, mutations);
             let rate = mutations as f64 / (elapsed_ms / 1e3);
+            let mutate = store.verb_histogram(Verb::Mutate);
+            let wal_append = store.stage_histogram(Stage::WalAppend);
+            let fsync = store.stage_histogram(Stage::Fsync);
             drop(store);
 
             // cold recovery: replay whatever snapshot + log the "crash" left
@@ -195,6 +220,12 @@ fn run_backend(name: &'static str, backend: &Backend, mutations: usize, memory_r
                 recovery_ms,
                 compacted_recovery_ms,
                 replayed_records,
+                mutate_p50_us: percentile_us(&mutate, 0.50),
+                mutate_p99_us: percentile_us(&mutate, 0.99),
+                wal_append_p50_us: percentile_us(&wal_append, 0.50),
+                wal_append_p99_us: percentile_us(&wal_append, 0.99),
+                fsync_p50_us: percentile_us(&fsync, 0.50),
+                fsync_p99_us: percentile_us(&fsync, 0.99),
             }
         }
     }
@@ -216,7 +247,10 @@ fn render_json(rows: &[Row], quick: bool) -> String {
             "    {{\"backend\": \"{}\", \"mutations\": {}, \"elapsed_ms\": {:.2}, \
              \"mutations_per_sec\": {:.0}, \"overhead_vs_memory\": {:.2}, \
              \"recovery_ms\": {:.2}, \"compacted_recovery_ms\": {:.2}, \
-             \"replayed_records\": {}}}",
+             \"replayed_records\": {}, \
+             \"mutate_p50_us\": {:.3}, \"mutate_p99_us\": {:.3}, \
+             \"wal_append_p50_us\": {:.3}, \"wal_append_p99_us\": {:.3}, \
+             \"fsync_p50_us\": {:.3}, \"fsync_p99_us\": {:.3}}}",
             row.backend,
             row.mutations,
             row.elapsed_ms,
@@ -224,7 +258,13 @@ fn render_json(rows: &[Row], quick: bool) -> String {
             row.overhead_vs_memory,
             row.recovery_ms,
             row.compacted_recovery_ms,
-            row.replayed_records
+            row.replayed_records,
+            row.mutate_p50_us,
+            row.mutate_p99_us,
+            row.wal_append_p50_us,
+            row.wal_append_p99_us,
+            row.fsync_p50_us,
+            row.fsync_p99_us
         );
         out.push_str(if index + 1 < rows.len() { ",\n" } else { "\n" });
     }

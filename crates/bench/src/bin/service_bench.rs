@@ -19,7 +19,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use wolves_repo::{figure1, layered_workflow, topological_block_view, LayeredConfig};
-use wolves_service::{serve, validate_throughput, BatchConfig, MutateOp, ServerConfig, WorkflowId};
+use wolves_service::{
+    serve, validate_throughput, BatchConfig, MutateOp, ServerConfig, Verb, WorkflowId,
+};
 
 struct Row {
     shards: usize,
@@ -31,6 +33,11 @@ struct Row {
     requests_per_sec: f64,
     cache_hits: u64,
     cache_misses: u64,
+    /// Server-side validate latency percentiles (log2-bucket upper bounds),
+    /// in microseconds — measured inside the store, so they exclude client
+    /// and socket time.
+    validate_p50_us: f64,
+    validate_p99_us: f64,
 }
 
 /// Reader throughput with and without a concurrent mutator: the epoch-
@@ -43,18 +50,32 @@ struct ReadUnderWrite {
     ratio: f64,
     mutations: u64,
     snapshot_publishes: u64,
+    /// Server-side percentiles from the contended pass, in microseconds.
+    validate_p50_us: f64,
+    validate_p99_us: f64,
+    mutate_p50_us: f64,
+    mutate_p99_us: f64,
+}
+
+/// Log2-bucket upper bound for quantile `q`, converted to microseconds.
+fn percentile_us(snapshot: &wolves_service::HistogramSnapshot, q: f64) -> f64 {
+    snapshot.quantile(q) as f64 / 1e3
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        println!("usage: service_bench [--quick] [--out <file>]");
+        println!("usage: service_bench [--quick] [--out <file>] [--metrics-out <file>]");
         return;
     }
     let quick = args.iter().any(|a| a == "--quick");
     let out_path: Option<String> = args
         .iter()
         .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned());
+    let metrics_out: Option<String> = args
+        .iter()
+        .position(|a| a == "--metrics-out")
         .and_then(|i| args.get(i + 1).cloned());
 
     let (shard_grid, worker_grid, clients, requests_per_client): (Vec<usize>, Vec<usize>, _, _) =
@@ -76,7 +97,14 @@ fn main() {
         }
     }
 
-    let read_under_write = run_read_under_write(quick);
+    let (read_under_write, exposition) = run_read_under_write(quick);
+    if let Some(path) = metrics_out {
+        if let Err(e) = std::fs::write(&path, &exposition) {
+            eprintln!("cannot write '{path}': {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
     let json = render_json(&rows, &read_under_write, quick);
     if let Some(path) = out_path {
         if let Err(e) = std::fs::write(&path, &json) {
@@ -118,6 +146,7 @@ fn run_grid_point(shards: usize, workers: usize, clients: usize, requests: usize
     )
     .expect("throughput driver");
     let stats = store.stats();
+    let validate = store.verb_histogram(Verb::Validate);
     server.shutdown();
 
     Row {
@@ -130,6 +159,8 @@ fn run_grid_point(shards: usize, workers: usize, clients: usize, requests: usize
         requests_per_sec: report.requests_per_sec(),
         cache_hits: stats.validate_hits(),
         cache_misses: stats.validate_misses(),
+        validate_p50_us: percentile_us(&validate, 0.50),
+        validate_p99_us: percentile_us(&validate, 0.99),
     }
 }
 
@@ -137,7 +168,7 @@ fn run_grid_point(shards: usize, workers: usize, clients: usize, requests: usize
 /// one server — once idle, once with a mutator thread toggling an edge of
 /// the first workflow (~2k mutations/sec, every one published as a fresh
 /// snapshot and invalidating a cached verdict).
-fn run_read_under_write(quick: bool) -> ReadUnderWrite {
+fn run_read_under_write(quick: bool) -> (ReadUnderWrite, String) {
     let (clients, requests) = if quick { (4, 50) } else { (8, 200) };
     let server = serve(&ServerConfig {
         shards: 4,
@@ -192,17 +223,27 @@ fn run_read_under_write(quick: bool) -> ReadUnderWrite {
     stop.store(true, Ordering::Relaxed);
     let mutations = mutator.join().expect("mutator thread");
     let snapshot_publishes = store.stats().snapshot_publishes();
+    let validate = store.verb_histogram(Verb::Validate);
+    let mutate = store.verb_histogram(Verb::Mutate);
+    let exposition = store.metrics_text();
     server.shutdown();
 
     let idle_rps = idle.requests_per_sec();
     let contended_rps = contended.requests_per_sec();
-    ReadUnderWrite {
-        idle_rps,
-        contended_rps,
-        ratio: idle_rps / contended_rps.max(1e-9),
-        mutations,
-        snapshot_publishes,
-    }
+    (
+        ReadUnderWrite {
+            idle_rps,
+            contended_rps,
+            ratio: idle_rps / contended_rps.max(1e-9),
+            mutations,
+            snapshot_publishes,
+            validate_p50_us: percentile_us(&validate, 0.50),
+            validate_p99_us: percentile_us(&validate, 0.99),
+            mutate_p50_us: percentile_us(&mutate, 0.50),
+            mutate_p99_us: percentile_us(&mutate, 0.99),
+        },
+        exposition,
+    )
 }
 
 fn render_json(rows: &[Row], read_under_write: &ReadUnderWrite, quick: bool) -> String {
@@ -217,7 +258,8 @@ fn render_json(rows: &[Row], read_under_write: &ReadUnderWrite, quick: bool) -> 
             out,
             "    {{\"shards\": {}, \"workers\": {}, \"clients\": {}, \"completed\": {}, \
              \"errors\": {}, \"elapsed_ms\": {:.3}, \"requests_per_sec\": {:.1}, \
-             \"cache_hits\": {}, \"cache_misses\": {}}}",
+             \"cache_hits\": {}, \"cache_misses\": {}, \
+             \"validate_p50_us\": {:.3}, \"validate_p99_us\": {:.3}}}",
             row.shards,
             row.workers,
             row.clients,
@@ -226,7 +268,9 @@ fn render_json(rows: &[Row], read_under_write: &ReadUnderWrite, quick: bool) -> 
             row.elapsed_ms,
             row.requests_per_sec,
             row.cache_hits,
-            row.cache_misses
+            row.cache_misses,
+            row.validate_p50_us,
+            row.validate_p99_us
         );
         out.push_str(if index + 1 < rows.len() { ",\n" } else { "\n" });
     }
@@ -234,12 +278,18 @@ fn render_json(rows: &[Row], read_under_write: &ReadUnderWrite, quick: bool) -> 
     let _ = writeln!(
         out,
         "  \"read_under_write\": {{\"idle_rps\": {:.1}, \"contended_rps\": {:.1}, \
-         \"ratio\": {:.3}, \"mutations\": {}, \"snapshot_publishes\": {}}}",
+         \"ratio\": {:.3}, \"mutations\": {}, \"snapshot_publishes\": {}, \
+         \"validate_p50_us\": {:.3}, \"validate_p99_us\": {:.3}, \
+         \"mutate_p50_us\": {:.3}, \"mutate_p99_us\": {:.3}}}",
         read_under_write.idle_rps,
         read_under_write.contended_rps,
         read_under_write.ratio,
         read_under_write.mutations,
-        read_under_write.snapshot_publishes
+        read_under_write.snapshot_publishes,
+        read_under_write.validate_p50_us,
+        read_under_write.validate_p99_us,
+        read_under_write.mutate_p50_us,
+        read_under_write.mutate_p99_us
     );
     out.push_str("}\n");
     out

@@ -635,6 +635,26 @@ pub fn remote_stats(addr: &str) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `wolves metrics <addr> [slow]`: fetches the server's telemetry — the
+/// Prometheus-style text exposition (per-verb and per-commit-stage latency
+/// histograms, serving counters, watch gauges, WAL timings), or the
+/// slow-request dump when `slow` is set.
+///
+/// # Errors
+/// Reports transport/server failures.
+pub fn remote_metrics(addr: &str, slow: bool) -> Result<String, CliError> {
+    let mut client = connect(addr)?;
+    let mut text = if slow {
+        client.metrics_slow()?
+    } else {
+        client.metrics()?
+    };
+    if !text.ends_with('\n') {
+        text.push('\n');
+    }
+    Ok(text)
+}
+
 /// `wolves request <addr> shutdown`: asks the server to exit.
 ///
 /// # Errors
@@ -896,6 +916,15 @@ mod tests {
         // snapshot is a no-op on the in-memory server but still answers
         let snapshotted = remote_snapshot(&addr).unwrap();
         assert!(snapshotted.contains("snapshotted 2 shard(s)"));
+
+        // the telemetry scrape reflects the requests issued above
+        let metrics = remote_metrics(&addr, false).unwrap();
+        assert!(metrics.contains("# TYPE wolves_request_duration_seconds histogram"));
+        assert!(metrics.contains("wolves_request_duration_seconds_count{verb=\"validate\"} 2"));
+        assert!(metrics.contains("wolves_request_duration_seconds_count{verb=\"mutate\"} 1"));
+        let slow = remote_metrics(&addr, true).unwrap();
+        assert!(slow.starts_with("slow-requests\t"));
+        assert!(slow.contains("slow\tvalidate\t"));
 
         assert!(matches!(
             remote_validate(&addr, WorkflowId(77), None),

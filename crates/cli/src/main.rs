@@ -30,8 +30,9 @@ use std::sync::Arc;
 use wolves_cli::{
     correct_command, export_command, fixture_command, import_command, load_workflow,
     naive_check_command, parse_watch_mode, recover_command, remote_correct, remote_export,
-    remote_mutate, remote_provenance, remote_register, remote_shutdown, remote_snapshot,
-    remote_stats, remote_validate, remote_watch, render_command, show_command, validate_command,
+    remote_metrics, remote_mutate, remote_provenance, remote_register, remote_shutdown,
+    remote_snapshot, remote_stats, remote_validate, remote_watch, render_command, show_command,
+    validate_command,
 };
 use wolves_service::{open_data_dir, serve_with_store, ServerConfig, WorkflowId, WorkflowStore};
 
@@ -167,6 +168,7 @@ fn run_simple(command: &str, rest: &[String]) -> Result<String, String> {
         "request" => request(rest),
         "mutate" => mutate(rest),
         "watch" => watch(rest),
+        "metrics" => metrics(rest),
         "show" | "validate" | "correct" | "render" | "export" => {
             let allowed: &[&str] = match command {
                 "correct" => &["strategy", "out"],
@@ -409,6 +411,22 @@ fn watch(args: &[String]) -> Result<String, String> {
     remote_watch(addr, workflow, mode, max_events, &mut stdout).map_err(|e| e.to_string())
 }
 
+/// `wolves metrics <addr> [slow]`: scrape the server's telemetry.
+fn metrics(args: &[String]) -> Result<String, String> {
+    let (positionals, _) = parse_args("metrics", args, &[])?;
+    let (addr, slow) = match positionals.as_slice() {
+        [addr] => (addr, false),
+        [addr, mode] if mode == "slow" => (addr, true),
+        [_, mode] => {
+            return Err(format!(
+                "unknown metrics mode '{mode}' (expected 'slow')\n{USAGE}"
+            ))
+        }
+        _ => return Err(format!("'metrics' needs a server address\n{USAGE}")),
+    };
+    remote_metrics(addr, slow).map_err(|e| e.to_string())
+}
+
 /// `wolves mutate <addr> <id> <op> …`: edit a registered workflow in place.
 fn mutate(args: &[String]) -> Result<String, String> {
     let (positionals, _) = parse_args("mutate", args, &[])?;
@@ -474,6 +492,12 @@ serving (wolves-service):
   wolves request <addr> snapshot              force a snapshot (compacts the WAL)
   wolves request <addr> stats
   wolves request <addr> shutdown
+  wolves metrics <addr> [slow]                scrape the server's telemetry as
+                                              Prometheus-style text: per-verb and
+                                              per-commit-stage latency histograms,
+                                              WAL timings and watch gauges; 'slow'
+                                              dumps the worst requests with their
+                                              stage breakdowns
   wolves watch <addr> <id> [--mode tail|resync|<seq>] [--max-events N]
                                               stream the workflow's committed
                                               changes (ops, spec deltas, verdict

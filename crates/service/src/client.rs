@@ -177,6 +177,31 @@ impl ServiceClient {
         }
     }
 
+    /// Fetches the server's telemetry as Prometheus-style text exposition:
+    /// per-verb and per-commit-stage latency histograms, serving counters,
+    /// watch gauges and WAL observation.
+    ///
+    /// # Errors
+    /// Propagates transport and server errors.
+    pub fn metrics(&mut self) -> Result<String, ServiceError> {
+        match self.call(&Request::Metrics { slow: false })? {
+            Response::Metrics(text) => Ok(text),
+            other => Err(unexpected("metrics", &other)),
+        }
+    }
+
+    /// Fetches the server's slow-request dump: the worst-N requests with
+    /// their commit-stage breakdowns, worst first.
+    ///
+    /// # Errors
+    /// Propagates transport and server errors.
+    pub fn metrics_slow(&mut self) -> Result<String, ServiceError> {
+        match self.call(&Request::Metrics { slow: true })? {
+            Response::Metrics(text) => Ok(text),
+            other => Err(unexpected("metrics", &other)),
+        }
+    }
+
     /// Asks the server to shut down.
     ///
     /// # Errors

@@ -40,6 +40,14 @@ pub enum ServiceError {
     /// A durable store could not be recovered (corrupt snapshot, corrupt
     /// mid-log record, replay divergence, shard-count mismatch).
     Recovery(String),
+    /// A wire payload declared a schema version this build does not speak
+    /// (e.g. a `stats` shard line from an incompatible peer).
+    SchemaVersion {
+        /// The schema version this build speaks.
+        expected: &'static str,
+        /// The schema version the payload declared.
+        found: String,
+    },
     /// A watch subscription fell behind the event stream and was dropped
     /// (slow consumer): the gap-free tail is gone, so the subscriber must
     /// resync via `export` (or a `resync`-mode watch) and re-subscribe.
@@ -67,6 +75,11 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Remote(message) => write!(f, "server error: {message}"),
             ServiceError::Persistence(message) => write!(f, "persistence error: {message}"),
             ServiceError::Recovery(message) => write!(f, "recovery error: {message}"),
+            ServiceError::SchemaVersion { expected, found } => write!(
+                f,
+                "schema version mismatch: this build speaks '{expected}' but the peer sent \
+                 '{found}'; upgrade whichever side is older"
+            ),
             ServiceError::Lagged => write!(
                 f,
                 "watch subscription lagged behind the event stream and was dropped; \

@@ -21,6 +21,10 @@
 //!   correction timings feed [`wolves_core::estimate::EstimationRegistry`].
 //! * [`client`] — a typed client plus the concurrent batch driver used by
 //!   the `wolves request` CLI and the `service_bench` throughput benchmark.
+//! * [`obs`] — the telemetry layer: lock-free log₂-bucketed latency
+//!   histograms recorded per verb and per commit stage, a bounded
+//!   slow-request ring, and the Prometheus-style text exposition served by
+//!   the `metrics` protocol verb.
 //! * [`storage`] — the [`storage::StorageBackend`] trait the store persists
 //!   through: [`storage::MemoryBackend`] (zero-cost default) or…
 //! * [`wal`] — …[`wal::FileBackend`], a per-shard snapshot + write-ahead
@@ -53,6 +57,7 @@
 pub mod client;
 mod epoch;
 pub mod error;
+pub mod obs;
 pub mod proto;
 pub mod server;
 pub mod storage;
@@ -61,8 +66,10 @@ pub mod wal;
 
 pub use client::{validate_throughput, BatchConfig, ServiceClient, ThroughputReport, WatchStream};
 pub use error::ServiceError;
+pub use obs::{Histogram, HistogramSnapshot, Stage, StorageObservation, Telemetry, Verb};
 pub use proto::{
     MutateOp, Mutated, Request, Response, StatsReport, Verdict, WatchEvent, WatchMode, Watching,
+    STATS_SCHEMA_VERSION,
 };
 pub use server::{serve, serve_with_store, ServerConfig, ServerHandle};
 pub use storage::{MemoryBackend, RecoveryReport, StorageBackend};

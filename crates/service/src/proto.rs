@@ -107,6 +107,12 @@ pub enum Request {
     Snapshot,
     /// Fetch per-shard serving statistics.
     Stats,
+    /// Fetch the server's telemetry: the Prometheus-style text exposition,
+    /// or (with `slow`) the slow-request ring dump.
+    Metrics {
+        /// `true` dumps the slow-request ring instead of the exposition.
+        slow: bool,
+    },
     /// Subscribe the connection to a workflow's change feed: the server
     /// pushes one [`WatchEvent`] frame per committed mutation/correction
     /// until the client sends another frame or disconnects.
@@ -304,6 +310,13 @@ pub struct Corrected {
     /// The corrected workflow + view in the native text format.
     pub payload: String,
 }
+
+/// Schema version token leading every `stats` shard line, making the
+/// positional field list self-describing. Bumped whenever the field list
+/// changes; parsers reject a mismatched token with
+/// [`ServiceError::SchemaVersion`] instead of silently misreading shifted
+/// fields.
+pub const STATS_SCHEMA_VERSION: &str = "v2";
 
 /// One shard's serving counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -615,6 +628,9 @@ pub enum Response {
     Snapshotted(usize),
     /// Statistics snapshot.
     Stats(StatsReport),
+    /// Telemetry text: the Prometheus-style exposition, or the slow-request
+    /// dump for `metrics slow`.
+    Metrics(String),
     /// The connection is now subscribed to a workflow's change feed.
     Watching(Watching),
     /// The connection left subscription mode.
@@ -718,6 +734,11 @@ impl Request {
             Request::Export { workflow } => vec![format!("export\t{workflow}")],
             Request::Snapshot => vec!["snapshot".to_owned()],
             Request::Stats => vec!["stats".to_owned()],
+            Request::Metrics { slow } => vec![if *slow {
+                "metrics\tslow".to_owned()
+            } else {
+                "metrics".to_owned()
+            }],
             Request::Watch { workflow, mode } => match mode {
                 WatchMode::Tail => vec![format!("watch\t{workflow}")],
                 WatchMode::Resync => vec![format!("watch\t{workflow}\tresync")],
@@ -777,6 +798,13 @@ impl Request {
             }),
             "snapshot" => Ok(Request::Snapshot),
             "stats" => Ok(Request::Stats),
+            "metrics" => match fields.get(1).copied() {
+                None | Some("") => Ok(Request::Metrics { slow: false }),
+                Some("slow") => Ok(Request::Metrics { slow: true }),
+                Some(other) => Err(ServiceError::Protocol(format!(
+                    "unknown metrics mode '{other}'"
+                ))),
+            },
             "watch" => {
                 let workflow = parse_id(fields.get(1).copied().unwrap_or_default())?;
                 let mode = match fields.get(2).copied() {
@@ -840,7 +868,7 @@ impl Response {
                 let mut lines = vec![format!("ok\tstats\t{}", stats.registry_samples)];
                 for s in &stats.shards {
                     lines.push(format!(
-                        "shard\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+                        "shard\t{STATS_SCHEMA_VERSION}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
                         s.shard,
                         s.workflows,
                         s.validate_hits,
@@ -854,6 +882,11 @@ impl Response {
                         s.dropped_watchers
                     ));
                 }
+                lines
+            }
+            Response::Metrics(text) => {
+                let mut lines = vec!["ok\tmetrics".to_owned()];
+                lines.extend(text.lines().map(str::to_owned));
                 lines
             }
             Response::Watching(w) => {
@@ -962,23 +995,34 @@ impl Response {
                 let mut shards = Vec::new();
                 for line in &lines[1..] {
                     let f: Vec<&str> = line.split('\t').collect();
-                    if f.first().copied() != Some("shard") || f.len() != 12 {
+                    if f.first().copied() != Some("shard") || f.len() < 2 {
+                        return Err(ServiceError::Protocol(format!(
+                            "malformed shard line '{line}'"
+                        )));
+                    }
+                    if f[1] != STATS_SCHEMA_VERSION {
+                        return Err(ServiceError::SchemaVersion {
+                            expected: STATS_SCHEMA_VERSION,
+                            found: f[1].to_owned(),
+                        });
+                    }
+                    if f.len() != 13 {
                         return Err(ServiceError::Protocol(format!(
                             "malformed shard line '{line}'"
                         )));
                     }
                     shards.push(ShardStat {
-                        shard: parse_usize(f[1], "shard index")?,
-                        workflows: parse_usize(f[2], "workflow count")?,
-                        validate_hits: parse_u64(f[3], "hit count")?,
-                        validate_misses: parse_u64(f[4], "miss count")?,
-                        composite_hits: parse_u64(f[5], "composite hit count")?,
-                        composite_misses: parse_u64(f[6], "composite miss count")?,
-                        validate_ns: parse_u64(f[7], "latency")?,
-                        requests: parse_u64(f[8], "request count")?,
-                        snapshot_publishes: parse_u64(f[9], "publish count")?,
-                        active_watchers: parse_u64(f[10], "watcher count")?,
-                        dropped_watchers: parse_u64(f[11], "dropped watcher count")?,
+                        shard: parse_usize(f[2], "shard index")?,
+                        workflows: parse_usize(f[3], "workflow count")?,
+                        validate_hits: parse_u64(f[4], "hit count")?,
+                        validate_misses: parse_u64(f[5], "miss count")?,
+                        composite_hits: parse_u64(f[6], "composite hit count")?,
+                        composite_misses: parse_u64(f[7], "composite miss count")?,
+                        validate_ns: parse_u64(f[8], "latency")?,
+                        requests: parse_u64(f[9], "request count")?,
+                        snapshot_publishes: parse_u64(f[10], "publish count")?,
+                        active_watchers: parse_u64(f[11], "watcher count")?,
+                        dropped_watchers: parse_u64(f[12], "dropped watcher count")?,
                     });
                 }
                 Ok(Response::Stats(StatsReport {
@@ -986,6 +1030,7 @@ impl Response {
                     registry_samples,
                 }))
             }
+            ("ok", Some("metrics")) => Ok(Response::Metrics(lines[1..].join("\n"))),
             ("ok", Some("watching")) => {
                 let resync = match fields.get(5).copied() {
                     Some("resync") => true,
@@ -1055,6 +1100,12 @@ mod tests {
         });
         round_trip_request(&Request::Snapshot);
         round_trip_request(&Request::Stats);
+        round_trip_request(&Request::Metrics { slow: false });
+        round_trip_request(&Request::Metrics { slow: true });
+        assert!(matches!(
+            Request::from_lines(&["metrics\tfast".to_owned()]).unwrap_err(),
+            ServiceError::Protocol(_)
+        ));
         round_trip_request(&Request::Watch {
             workflow: WorkflowId(4),
             mode: WatchMode::Tail,
@@ -1167,6 +1218,11 @@ mod tests {
         round_trip_response(&Response::Exported(
             "workflow\tdemo\ntask\ta\ntask\tb\nedge\ta\tb".to_owned(),
         ));
+        round_trip_response(&Response::Metrics(
+            "# TYPE wolves_request_duration_seconds histogram\n\
+             wolves_request_duration_seconds_bucket{verb=\"validate\",le=\"+Inf\"} 3"
+                .to_owned(),
+        ));
         round_trip_response(&Response::Snapshotted(4));
         round_trip_response(&Response::Watching(Watching {
             workflow: WorkflowId(6),
@@ -1183,6 +1239,48 @@ mod tests {
         round_trip_response(&Response::Unwatched);
         round_trip_response(&Response::ShuttingDown);
         round_trip_response(&Response::Error("boom".to_owned()));
+    }
+
+    #[test]
+    fn stats_shard_lines_are_versioned_and_pin_the_field_count() {
+        let report = StatsReport {
+            shards: vec![ShardStat {
+                shard: 1,
+                workflows: 2,
+                validate_hits: 3,
+                validate_misses: 4,
+                composite_hits: 5,
+                composite_misses: 6,
+                validate_ns: 7,
+                requests: 8,
+                snapshot_publishes: 9,
+                active_watchers: 10,
+                dropped_watchers: 11,
+            }],
+            registry_samples: 0,
+        };
+        let lines = Response::Stats(report.clone()).to_lines();
+        assert_eq!(lines[1], "shard\tv2\t1\t2\t3\t4\t5\t6\t7\t8\t9\t10\t11");
+        assert_eq!(lines[1].split('\t').count(), 13);
+        assert_eq!(
+            Response::from_lines(&lines).unwrap(),
+            Response::Stats(report)
+        );
+        // a mismatched schema version is rejected loudly, not misread
+        let stale = vec![lines[0].clone(), lines[1].replacen("\tv2\t", "\tv1\t", 1)];
+        assert!(matches!(
+            Response::from_lines(&stale).unwrap_err(),
+            ServiceError::SchemaVersion {
+                expected: "v2",
+                found
+            } if found == "v1"
+        ));
+        // the version token alone is not enough: the field count is pinned
+        let padded = vec![lines[0].clone(), format!("{}\t99", lines[1])];
+        assert!(matches!(
+            Response::from_lines(&padded).unwrap_err(),
+            ServiceError::Protocol(_)
+        ));
     }
 
     #[test]

@@ -18,6 +18,7 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
+use crate::obs::{duration_ns, Stage};
 use crate::proto::{read_frame, write_frame, Request, Response, WatchEvent, Watching};
 use crate::store::{WatchSubscription, WorkflowStore};
 
@@ -243,7 +244,12 @@ fn handle_connection(stream: TcpStream, store: &WorkflowStore, shared: &Shared) 
                 _ => break,
             },
         };
-        let (response, stop) = match Request::from_lines(&frame) {
+        let parse_start = std::time::Instant::now();
+        let parsed = Request::from_lines(&frame);
+        store
+            .telemetry()
+            .stage(Stage::Parse, duration_ns(parse_start.elapsed()));
+        let (response, stop) = match parsed {
             Ok(Request::Watch { workflow, mode }) => match store.watch(workflow, mode) {
                 Ok(subscription) => {
                     let ack = Response::Watching(Watching {
@@ -425,6 +431,11 @@ fn respond(store: &WorkflowStore, request: Request) -> (Response, bool) {
         Request::Export { workflow } => store.export(workflow).map(Response::Exported),
         Request::Snapshot => store.snapshot_all().map(Response::Snapshotted),
         Request::Stats => Ok(Response::Stats(store.stats())),
+        Request::Metrics { slow } => Ok(Response::Metrics(if slow {
+            store.slow_requests_text()
+        } else {
+            store.metrics_text()
+        })),
         // subscriptions are connection-scoped and handled by the request
         // loop itself; this arm is unreachable in practice
         Request::Watch { .. } => Err(crate::error::ServiceError::Protocol(

@@ -341,6 +341,10 @@ pub struct AppendOutcome {
     /// a snapshot of the shard (which rotates the segment and truncates the
     /// log).
     pub wants_snapshot: bool,
+    /// Nanoseconds this append spent in fsync (0 when the fsync policy did
+    /// not trigger one) — lets the store split the commit-stage span into
+    /// its WAL-append and fsync parts.
+    pub fsync_ns: u64,
 }
 
 /// The recovered state of one shard: the newest complete snapshot plus the
@@ -435,6 +439,13 @@ pub trait StorageBackend: Send + Sync + fmt::Debug {
     /// # Errors
     /// Reports I/O failures.
     fn sync(&self) -> Result<(), ServiceError>;
+
+    /// What the backend has observed since it was opened: WAL append
+    /// volume/latency, fsync latency, rotations and compaction wall time.
+    /// The default (for backends that persist nothing) is all-empty.
+    fn observe(&self) -> crate::obs::StorageObservation {
+        crate::obs::StorageObservation::default()
+    }
 }
 
 /// The default backend: nothing is persisted, every call is a no-op. A
@@ -595,6 +606,12 @@ mod tests {
             )
             .unwrap();
         assert!(!outcome.wants_snapshot);
+        assert_eq!(outcome.fsync_ns, 0);
+        let observed = backend.observe();
+        assert_eq!(observed.append_bytes, 0);
+        assert_eq!(observed.rotations, 0);
+        assert!(observed.append.is_empty());
+        assert!(observed.fsync.is_empty());
         backend.write_snapshot(2, &[]).unwrap();
         assert_eq!(backend.take_journal().unwrap().len(), 3);
         backend.sync().unwrap();

@@ -70,6 +70,10 @@ use wolves_workflow::{
 
 use crate::epoch::SnapshotCell;
 use crate::error::ServiceError;
+use crate::obs::{
+    duration_ns, seconds, write_sample, HistogramSnapshot, Stage, Telemetry, Verb, VerbTimers,
+    STAGES, VERBS,
+};
 use crate::proto::{
     Corrected, MutateOp, Mutated, ShardStat, StatsReport, Verdict, WatchEvent, WatchMode,
 };
@@ -188,9 +192,12 @@ struct ShardMetrics {
     validate_misses: AtomicU64,
     composite_hits: AtomicU64,
     composite_misses: AtomicU64,
-    validate_ns: AtomicU64,
     requests: AtomicU64,
     dropped_watchers: AtomicU64,
+    /// Per-verb latency histograms; the `stats` wire field `validate_ns`
+    /// is derived from the validate histogram's sum (the old lossy summed
+    /// counter is gone).
+    verbs: VerbTimers,
 }
 
 /// One shard's immutable state, published through a [`SnapshotCell`].
@@ -210,6 +217,9 @@ struct Watcher {
     /// Set before the sender is dropped when the bounded queue overflows,
     /// so the receiver can tell a lag-drop from a clean teardown.
     lagged: Arc<AtomicBool>,
+    /// Events currently sitting in the subscriber's queue (incremented on
+    /// fan-out, decremented on receive) — the watch-queue depth gauge.
+    depth: Arc<AtomicU64>,
     sender: SyncSender<WatchEvent>,
 }
 
@@ -251,7 +261,10 @@ impl Shard {
                 return true;
             }
             match watcher.sender.try_send(event.clone()) {
-                Ok(()) => true,
+                Ok(()) => {
+                    watcher.depth.fetch_add(1, Ordering::Relaxed);
+                    true
+                }
                 Err(TrySendError::Full(_)) => {
                     watcher.lagged.store(true, Ordering::SeqCst);
                     self.metrics
@@ -298,6 +311,7 @@ pub struct WatchSubscription {
     epoch: u64,
     payload: Option<String>,
     lagged: Arc<AtomicBool>,
+    depth: Arc<AtomicU64>,
     receiver: Receiver<WatchEvent>,
 }
 
@@ -339,7 +353,16 @@ impl WatchSubscription {
     /// other reason (e.g. an explicit [`WorkflowStore::unwatch`]).
     pub fn recv_timeout(&self, timeout: Duration) -> Result<Option<WatchEvent>, ServiceError> {
         match self.receiver.recv_timeout(timeout) {
-            Ok(event) => Ok(Some(event)),
+            Ok(event) => {
+                // keep the queue-depth gauge honest; saturate rather than
+                // wrap if a drain ever races a teardown
+                let _ = self
+                    .depth
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |depth| {
+                        depth.checked_sub(1)
+                    });
+                Ok(Some(event))
+            }
             Err(mpsc::RecvTimeoutError::Timeout) => Ok(None),
             Err(mpsc::RecvTimeoutError::Disconnected) => {
                 if self.lagged.load(Ordering::SeqCst) {
@@ -362,6 +385,7 @@ pub struct WorkflowStore {
     next_watch_token: AtomicU64,
     registry: EstimationRegistry,
     backend: Arc<dyn StorageBackend>,
+    telemetry: Telemetry,
 }
 
 impl WorkflowStore {
@@ -388,6 +412,7 @@ impl WorkflowStore {
             next_watch_token: AtomicU64::new(0),
             registry: EstimationRegistry::new(),
             backend,
+            telemetry: Telemetry::new(),
         }
     }
 
@@ -407,6 +432,7 @@ impl WorkflowStore {
     /// Reports journal corruption, replay divergence and I/O failures.
     pub fn open(backend: Arc<dyn StorageBackend>) -> Result<(Self, RecoveryReport), ServiceError> {
         let store = Self::with_backend(Arc::clone(&backend));
+        let replay_start = Instant::now();
         let journal = backend.take_journal()?;
         let mut report = RecoveryReport {
             shards: store.shards.len(),
@@ -415,6 +441,9 @@ impl WorkflowStore {
         for (index, shard) in journal.into_iter().enumerate() {
             store.replay_shard(index, shard, &mut report)?;
         }
+        store
+            .telemetry
+            .set_recovery_replay_ns(duration_ns(replay_start.elapsed()));
         report.workflows = store
             .shards
             .iter()
@@ -638,6 +667,7 @@ impl WorkflowStore {
         spec: WorkflowSpec,
         view: Option<WorkflowView>,
     ) -> Result<WorkflowId, ServiceError> {
+        let start = Instant::now();
         let persist = |e: wolves_workflow::WorkflowError| ServiceError::Persistence(e.to_string());
         if self.backend.durable() {
             // refuse names the line format cannot carry before anything is
@@ -647,7 +677,9 @@ impl WorkflowStore {
                 check_view_serialisable(view).map_err(persist)?;
             }
         }
+        let compute_start = Instant::now();
         let _ = spec.reachability();
+        let compute_ns = duration_ns(compute_start.elapsed());
         let id = WorkflowId(self.next_id.fetch_add(1, Ordering::Relaxed) + 1);
         let entry = Entry {
             logged_epoch: spec.epoch(),
@@ -670,18 +702,38 @@ impl WorkflowStore {
         let mut next = shard.state.load();
         Arc::make_mut(&mut next).entries.insert(id.0, entry);
         let mut wants_snapshot = false;
+        let mut append_ns = 0u64;
+        let mut fsync_ns = 0u64;
         if let Some(record) = record {
+            let append_start = Instant::now();
             match self.backend.append(index, &record) {
-                Ok(outcome) => wants_snapshot = outcome.wants_snapshot,
+                Ok(outcome) => {
+                    wants_snapshot = outcome.wants_snapshot;
+                    fsync_ns = outcome.fsync_ns;
+                    append_ns = duration_ns(append_start.elapsed()).saturating_sub(fsync_ns);
+                }
                 // roll back by dropping the unpublished clone: neither
                 // memory nor disk saw the registration
                 Err(e) => return Err(e),
             }
         }
+        let publish_start = Instant::now();
         shard.state.publish(Arc::clone(&next));
+        let publish_ns = duration_ns(publish_start.elapsed());
         if wants_snapshot {
             self.snapshot_shard(index, &next.entries)?;
         }
+        let spans = [
+            (Stage::Compute, compute_ns),
+            (Stage::WalAppend, append_ns),
+            (Stage::Fsync, fsync_ns),
+            (Stage::SnapshotPublish, publish_ns),
+        ];
+        let total_ns = duration_ns(start.elapsed());
+        shard.metrics.verbs.record(Verb::Register, total_ns);
+        self.telemetry.record_spans(&spans);
+        self.telemetry
+            .offer_slow(Verb::Register, Some(id.0), total_ns, &spans);
         Ok(id)
     }
 
@@ -691,7 +743,10 @@ impl WorkflowStore {
     /// Reports payloads that do not parse as the text format, and
     /// persistence failures on durable backends.
     pub fn register_text(&self, payload: &str) -> Result<WorkflowId, ServiceError> {
+        let parse_start = Instant::now();
         let imported = read_text_format(payload)?;
+        self.telemetry
+            .stage(Stage::Parse, duration_ns(parse_start.elapsed()));
         self.try_register(imported.spec, imported.view)
     }
 
@@ -733,6 +788,7 @@ impl WorkflowStore {
     /// # Errors
     /// Reports unknown workflows.
     pub fn export(&self, id: WorkflowId) -> Result<String, ServiceError> {
+        let start = Instant::now();
         let shard = self.shard_of(id);
         shard.metrics.requests.fetch_add(1, Ordering::Relaxed);
         let state = shard.state.load();
@@ -741,7 +797,12 @@ impl WorkflowStore {
             .get(&id.0)
             .ok_or(ServiceError::UnknownWorkflow(id))?;
         let view = entry.views.get(entry.current).map(|stored| &*stored.view);
-        Ok(write_text_format(&entry.spec, view))
+        let payload = write_text_format(&entry.spec, view);
+        shard
+            .metrics
+            .verbs
+            .record(Verb::Export, duration_ns(start.elapsed()));
+        Ok(payload)
     }
 
     /// Snapshot of a workflow's spec, a view version (current when `version`
@@ -793,6 +854,7 @@ impl WorkflowStore {
         let view = Arc::clone(&stored.view);
         let mut computed = 0u64;
         let mut served = 0u64;
+        let mut compute_ns = 0u64;
         let mut unsound = Vec::new();
         for (composite_id, composite) in view.composites() {
             let cell = {
@@ -824,8 +886,11 @@ impl WorkflowStore {
             let mut ran = false;
             let summary = cell.get_or_init(|| {
                 ran = true;
+                let compute_start = Instant::now();
+                let sound = soundness_verdict(&spec, composite.members()).is_sound();
+                compute_ns += duration_ns(compute_start.elapsed());
                 CompositeSummary {
-                    sound: soundness_verdict(&spec, composite.members()).is_sound(),
+                    sound,
                     name: composite.name.clone(),
                 }
             });
@@ -849,10 +914,17 @@ impl WorkflowStore {
         metrics
             .composite_misses
             .fetch_add(computed, Ordering::Relaxed);
-        metrics.validate_ns.fetch_add(
-            u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
-            Ordering::Relaxed,
-        );
+        let total_ns = duration_ns(start.elapsed());
+        // everything that is not verdict computation is cache traffic:
+        // snapshot load, per-composite cell lookups, re-tag checks
+        let spans = [
+            (Stage::CacheLookup, total_ns.saturating_sub(compute_ns)),
+            (Stage::Compute, compute_ns),
+        ];
+        metrics.verbs.record(Verb::Validate, total_ns);
+        self.telemetry.record_spans(&spans);
+        self.telemetry
+            .offer_slow(Verb::Validate, Some(id.0), total_ns, &spans);
         Ok(Verdict {
             sound: unsound.is_empty(),
             version: index,
@@ -893,6 +965,7 @@ impl WorkflowStore {
         op: MutateOp,
         record: bool,
     ) -> Result<(Mutated, Vec<SpecDelta>), ServiceError> {
+        let start = Instant::now();
         let durable = self.backend.durable();
         if durable && record {
             // refuse names the single-line WAL/wire grammar cannot carry
@@ -934,6 +1007,7 @@ impl WorkflowStore {
         // `truncate`: task-set edits rebase the workflow — older view
         // versions would no longer partition the tasks, so only the updated
         // current view survives.
+        let compute_start = Instant::now();
         let (class, affected, provenance_survives, truncate) = match op {
             MutateOp::AddTask { name } => {
                 let spec = Arc::make_mut(&mut entry.spec);
@@ -1021,6 +1095,10 @@ impl WorkflowStore {
             }
         };
 
+        let compute_ns = duration_ns(compute_start.elapsed());
+        // the retag-or-drop pass over the cached verdicts is cache work,
+        // not model computation
+        let lookup_start = Instant::now();
         let mutated = finish_mutation(
             entry,
             class,
@@ -1029,6 +1107,7 @@ impl WorkflowStore {
             truncate,
             new_epoch,
         );
+        let lookup_ns = duration_ns(lookup_start.elapsed());
         // every change (mutations here, corrections below) bumps the
         // per-entry sequence number; watch subscribers use its contiguity
         // to prove the event stream is gap-free
@@ -1045,6 +1124,8 @@ impl WorkflowStore {
         };
         entry.logged_epoch = entry.spec.epoch();
         let mut wants_snapshot = false;
+        let mut append_ns = 0u64;
+        let mut fsync_ns = 0u64;
         if durable && record {
             let wal_record = WalRecord::Mutate {
                 id: id.0,
@@ -1052,8 +1133,13 @@ impl WorkflowStore {
                 op: logged_op.clone().expect("cloned for the recording path"),
                 deltas: deltas.clone(),
             };
+            let append_start = Instant::now();
             match self.backend.append(index, &wal_record) {
-                Ok(outcome) => wants_snapshot = outcome.wants_snapshot,
+                Ok(outcome) => {
+                    wants_snapshot = outcome.wants_snapshot;
+                    fsync_ns = outcome.fsync_ns;
+                    append_ns = duration_ns(append_start.elapsed()).saturating_sub(fsync_ns);
+                }
                 // self-heal a failed append with a full snapshot of the
                 // *next* state (which rotates the log past the gap); if
                 // that fails too, nothing has been published — memory and
@@ -1062,11 +1148,15 @@ impl WorkflowStore {
             }
         }
         // the commit point: readers switch to the mutated state here
+        let publish_start = Instant::now();
         shard.state.publish(Arc::clone(&next));
+        let publish_ns = duration_ns(publish_start.elapsed());
+        let mut fanout_ns = 0u64;
         if wants_event {
             // after the WAL append (no subscriber ever holds an event the
             // log misses) and after publish (an event's reader-visible
             // state is never behind the event)
+            let fanout_start = Instant::now();
             shard.fan_out(&WatchEvent::Mutated {
                 workflow: id,
                 seq,
@@ -1074,12 +1164,27 @@ impl WorkflowStore {
                 outcome: mutated.clone(),
                 deltas: deltas.clone(),
             });
+            fanout_ns = duration_ns(fanout_start.elapsed());
+            shard.metrics.verbs.record(Verb::WatchFanout, fanout_ns);
         }
         if wants_snapshot {
             // a snapshot failure here leaves memory and WAL committed; the
             // caller learns durable compaction is behind
             self.snapshot_shard(index, &next.entries)?;
         }
+        let spans = [
+            (Stage::CacheLookup, lookup_ns),
+            (Stage::Compute, compute_ns),
+            (Stage::WalAppend, append_ns),
+            (Stage::Fsync, fsync_ns),
+            (Stage::SnapshotPublish, publish_ns),
+            (Stage::WatchFanout, fanout_ns),
+        ];
+        let total_ns = duration_ns(start.elapsed());
+        shard.metrics.verbs.record(Verb::Mutate, total_ns);
+        self.telemetry.record_spans(&spans);
+        self.telemetry
+            .offer_slow(Verb::Mutate, Some(id.0), total_ns, &spans);
         Ok((mutated, deltas))
     }
 
@@ -1091,9 +1196,22 @@ impl WorkflowStore {
     /// # Errors
     /// Reports unknown workflows and corrector failures.
     pub fn correct(&self, id: WorkflowId, strategy: Strategy) -> Result<Corrected, ServiceError> {
+        let start = Instant::now();
+        let record_correct = |spans: &[(Stage, u64)]| {
+            let total_ns = duration_ns(start.elapsed());
+            self.shard_of(id)
+                .metrics
+                .verbs
+                .record(Verb::Correct, total_ns);
+            self.telemetry.record_spans(spans);
+            self.telemetry
+                .offer_slow(Verb::Correct, Some(id.0), total_ns, spans);
+        };
         let (spec, stored, index, epoch) = self.snapshot(id, None)?;
         let corrector = strategy.corrector();
+        let compute_start = Instant::now();
         let (corrected, report) = correct_view(&spec, &stored.view, corrector.as_ref())?;
+        let compute_ns = duration_ns(compute_start.elapsed());
         for correction in &report.corrections {
             if let Ok(original) = stored.view.composite(correction.original) {
                 let class = WorkloadClass::classify(&spec, original.members());
@@ -1110,6 +1228,7 @@ impl WorkflowStore {
             }
         }
         if report.was_already_sound() {
+            record_correct(&[(Stage::Compute, compute_ns)]);
             return Ok(Corrected {
                 version: index,
                 composites_before: report.composites_before,
@@ -1132,12 +1251,14 @@ impl WorkflowStore {
             // a concurrent correction or mutation already replaced the
             // version we corrected; adopt the winner instead of appending
             let winner = &entry.views[entry.current];
-            return Ok(Corrected {
+            let adopted = Corrected {
                 version: entry.current,
                 composites_before: report.composites_before,
                 composites_after: winner.view.composite_count(),
                 payload: write_text_format(&entry.spec, Some(&winner.view)),
-            });
+            };
+            record_correct(&[(Stage::Compute, compute_ns)]);
+            return Ok(adopted);
         }
         let view_lines =
             (self.backend.durable() || wants_event).then(|| view_to_lines(&new_view.view));
@@ -1147,14 +1268,21 @@ impl WorkflowStore {
         let seq = entry.seq;
         let version = entry.current;
         let mut wants_snapshot = false;
+        let mut append_ns = 0u64;
+        let mut fsync_ns = 0u64;
         if self.backend.durable() {
             let record = WalRecord::Correct {
                 id: id.0,
                 version,
                 view_lines: view_lines.clone().expect("collected for the durable path"),
             };
+            let append_start = Instant::now();
             match self.backend.append(shard_index, &record) {
-                Ok(outcome) => wants_snapshot = outcome.wants_snapshot,
+                Ok(outcome) => {
+                    wants_snapshot = outcome.wants_snapshot;
+                    fsync_ns = outcome.fsync_ns;
+                    append_ns = duration_ns(append_start.elapsed()).saturating_sub(fsync_ns);
+                }
                 // self-heal before publish, as in `mutate_inner`: on a
                 // double failure nothing is published and memory rolls back
                 Err(e) => self
@@ -1162,18 +1290,31 @@ impl WorkflowStore {
                     .map_err(|_| e)?,
             }
         }
+        let publish_start = Instant::now();
         shard.state.publish(Arc::clone(&next));
+        let publish_ns = duration_ns(publish_start.elapsed());
+        let mut fanout_ns = 0u64;
         if wants_event {
+            let fanout_start = Instant::now();
             shard.fan_out(&WatchEvent::Corrected {
                 workflow: id,
                 seq,
                 version,
                 view_lines: view_lines.expect("collected for the fan-out path"),
             });
+            fanout_ns = duration_ns(fanout_start.elapsed());
+            shard.metrics.verbs.record(Verb::WatchFanout, fanout_ns);
         }
         if wants_snapshot {
             self.snapshot_shard(shard_index, &next.entries)?;
         }
+        record_correct(&[
+            (Stage::Compute, compute_ns),
+            (Stage::WalAppend, append_ns),
+            (Stage::Fsync, fsync_ns),
+            (Stage::SnapshotPublish, publish_ns),
+            (Stage::WatchFanout, fanout_ns),
+        ]);
         Ok(Corrected {
             version,
             composites_before: report.composites_before,
@@ -1195,6 +1336,8 @@ impl WorkflowStore {
     /// # Errors
     /// Reports unknown workflows and task names.
     pub fn provenance(&self, id: WorkflowId, subject: &str) -> Result<Vec<String>, ServiceError> {
+        let start = Instant::now();
+        let mut compute_ns = 0u64;
         let (spec, stored, _, epoch) = self.snapshot(id, None)?;
         let task = spec
             .task_by_name(subject)
@@ -1208,7 +1351,9 @@ impl WorkflowStore {
         let index = match cached {
             Some(index) => index,
             None => {
+                let compute_start = Instant::now();
                 let built = Arc::new(ViewProvenanceIndex::new(&spec, &stored.view));
+                compute_ns = duration_ns(compute_start.elapsed());
                 let mut slot = stored.provenance.write();
                 match slot.as_ref() {
                     // don't clobber an index a fresher epoch already cached
@@ -1219,11 +1364,24 @@ impl WorkflowStore {
             }
         };
         let answer = index.provenance(&stored.view, task);
-        Ok(answer
+        let names = answer
             .tasks
             .iter()
             .filter_map(|&t| spec.task(t).ok().map(|task| task.name.clone()))
-            .collect())
+            .collect();
+        let total_ns = duration_ns(start.elapsed());
+        let spans = [
+            (Stage::CacheLookup, total_ns.saturating_sub(compute_ns)),
+            (Stage::Compute, compute_ns),
+        ];
+        self.shard_of(id)
+            .metrics
+            .verbs
+            .record(Verb::Provenance, total_ns);
+        self.telemetry.record_spans(&spans);
+        self.telemetry
+            .offer_slow(Verb::Provenance, Some(id.0), total_ns, &spans);
+        Ok(names)
     }
 
     /// Snapshot of the per-shard serving counters.
@@ -1240,7 +1398,10 @@ impl WorkflowStore {
                 validate_misses: shard.metrics.validate_misses.load(Ordering::Relaxed),
                 composite_hits: shard.metrics.composite_hits.load(Ordering::Relaxed),
                 composite_misses: shard.metrics.composite_misses.load(Ordering::Relaxed),
-                validate_ns: shard.metrics.validate_ns.load(Ordering::Relaxed),
+                // the wire field survives, but it is now the (lossless)
+                // sum of the validate latency histogram, not a second
+                // separately-maintained counter
+                validate_ns: shard.metrics.verbs.snapshot(Verb::Validate).sum,
                 requests: shard.metrics.requests.load(Ordering::Relaxed),
                 snapshot_publishes: shard.state.publish_count(),
                 active_watchers: shard.watchers.lock().len() as u64,
@@ -1251,6 +1412,180 @@ impl WorkflowStore {
             shards,
             registry_samples: self.registry.len(),
         }
+    }
+
+    /// Merged (cross-shard) latency histogram of one request verb.
+    #[must_use]
+    pub fn verb_histogram(&self, verb: Verb) -> HistogramSnapshot {
+        let mut merged = HistogramSnapshot::default();
+        for shard in &self.shards {
+            merged.merge(&shard.metrics.verbs.snapshot(verb));
+        }
+        merged
+    }
+
+    /// Latency histogram of one commit stage.
+    #[must_use]
+    pub fn stage_histogram(&self, stage: Stage) -> HistogramSnapshot {
+        self.telemetry.stage_snapshot(stage)
+    }
+
+    /// The store-global telemetry registries (commit-stage timers, the
+    /// slow-request ring, recovery timing).
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// The slow-request dump served by the `metrics slow` protocol verb:
+    /// the worst-N requests with their stage breakdowns, worst first.
+    #[must_use]
+    pub fn slow_requests_text(&self) -> String {
+        self.telemetry.slow_text()
+    }
+
+    /// Renders the Prometheus-style text exposition served by the
+    /// `metrics` protocol verb: per-verb and per-commit-stage latency
+    /// histograms (cumulative buckets, seconds), serving counters, watch
+    /// gauges and the storage backend's WAL observation.
+    #[must_use]
+    pub fn metrics_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "# TYPE wolves_request_duration_seconds histogram");
+        for verb in VERBS {
+            self.verb_histogram(verb).write_exposition(
+                &mut out,
+                "wolves_request_duration_seconds",
+                &[("verb", verb.name())],
+            );
+        }
+        let _ = writeln!(out, "# TYPE wolves_requests_total counter");
+        for verb in VERBS {
+            write_sample(
+                &mut out,
+                "wolves_requests_total",
+                &[("verb", verb.name())],
+                self.verb_histogram(verb).count(),
+            );
+        }
+        let _ = writeln!(out, "# TYPE wolves_commit_stage_duration_seconds histogram");
+        for stage in STAGES {
+            self.telemetry.stage_snapshot(stage).write_exposition(
+                &mut out,
+                "wolves_commit_stage_duration_seconds",
+                &[("stage", stage.name())],
+            );
+        }
+        let mut workflows = 0u64;
+        let mut validate_hits = 0u64;
+        let mut validate_misses = 0u64;
+        let mut composite_hits = 0u64;
+        let mut composite_misses = 0u64;
+        let mut requests = 0u64;
+        let mut dropped_watchers = 0u64;
+        let mut snapshot_publishes = 0u64;
+        let mut active_watchers = 0u64;
+        let mut queue_depth = 0u64;
+        for shard in &self.shards {
+            workflows += shard.state.load().entries.len() as u64;
+            validate_hits += shard.metrics.validate_hits.load(Ordering::Relaxed);
+            validate_misses += shard.metrics.validate_misses.load(Ordering::Relaxed);
+            composite_hits += shard.metrics.composite_hits.load(Ordering::Relaxed);
+            composite_misses += shard.metrics.composite_misses.load(Ordering::Relaxed);
+            requests += shard.metrics.requests.load(Ordering::Relaxed);
+            dropped_watchers += shard.metrics.dropped_watchers.load(Ordering::Relaxed);
+            snapshot_publishes += shard.state.publish_count();
+            let watchers = shard.watchers.lock();
+            active_watchers += watchers.len() as u64;
+            queue_depth += watchers
+                .iter()
+                .map(|watcher| watcher.depth.load(Ordering::Relaxed))
+                .sum::<u64>();
+        }
+        write_sample(&mut out, "wolves_shards", &[], self.shards.len() as u64);
+        write_sample(&mut out, "wolves_workflows", &[], workflows);
+        write_sample(
+            &mut out,
+            "wolves_validate_cache_hits_total",
+            &[],
+            validate_hits,
+        );
+        write_sample(
+            &mut out,
+            "wolves_validate_cache_misses_total",
+            &[],
+            validate_misses,
+        );
+        write_sample(
+            &mut out,
+            "wolves_composite_cache_hits_total",
+            &[],
+            composite_hits,
+        );
+        write_sample(
+            &mut out,
+            "wolves_composite_cache_misses_total",
+            &[],
+            composite_misses,
+        );
+        write_sample(&mut out, "wolves_store_requests_total", &[], requests);
+        write_sample(
+            &mut out,
+            "wolves_snapshot_publishes_total",
+            &[],
+            snapshot_publishes,
+        );
+        write_sample(&mut out, "wolves_active_watchers", &[], active_watchers);
+        write_sample(&mut out, "wolves_watch_queue_depth", &[], queue_depth);
+        write_sample(
+            &mut out,
+            "wolves_dropped_watchers_total",
+            &[],
+            dropped_watchers,
+        );
+        let observed = self.backend.observe();
+        write_sample(
+            &mut out,
+            "wolves_wal_append_bytes_total",
+            &[],
+            observed.append_bytes,
+        );
+        write_sample(
+            &mut out,
+            "wolves_wal_rotations_total",
+            &[],
+            observed.rotations,
+        );
+        let _ = writeln!(out, "# TYPE wolves_wal_append_duration_seconds histogram");
+        observed
+            .append
+            .write_exposition(&mut out, "wolves_wal_append_duration_seconds", &[]);
+        let _ = writeln!(out, "# TYPE wolves_wal_fsync_duration_seconds histogram");
+        observed
+            .fsync
+            .write_exposition(&mut out, "wolves_wal_fsync_duration_seconds", &[]);
+        let _ = writeln!(
+            out,
+            "# TYPE wolves_wal_compaction_duration_seconds histogram"
+        );
+        observed.compaction.write_exposition(
+            &mut out,
+            "wolves_wal_compaction_duration_seconds",
+            &[],
+        );
+        let _ = writeln!(
+            out,
+            "wolves_recovery_replay_seconds {}",
+            seconds(self.telemetry.recovery_replay_ns())
+        );
+        write_sample(
+            &mut out,
+            "wolves_slow_requests_retained",
+            &[],
+            self.telemetry.slow().worst().len() as u64,
+        );
+        out
     }
 
     /// Subscribes to a workflow's committed changes with the default
@@ -1303,11 +1638,17 @@ impl WorkflowStore {
             write_text_format(&entry.spec, view)
         });
         let (sender, receiver) = mpsc::sync_channel(capacity.max(1));
+        let depth = Arc::new(AtomicU64::new(0));
         if let WatchMode::From(stated) = mode {
             if stated != seq {
                 // the stated cursor cannot be tailed gap-free; tell the
                 // subscriber to resync before any live event arrives
-                let _ = sender.try_send(WatchEvent::Resync { workflow: id, seq });
+                if sender
+                    .try_send(WatchEvent::Resync { workflow: id, seq })
+                    .is_ok()
+                {
+                    depth.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
         let lagged = Arc::new(AtomicBool::new(false));
@@ -1317,6 +1658,7 @@ impl WorkflowStore {
             token,
             base_seq: seq,
             lagged: Arc::clone(&lagged),
+            depth: Arc::clone(&depth),
             sender,
         });
         Ok(WatchSubscription {
@@ -1327,6 +1669,7 @@ impl WorkflowStore {
             epoch,
             payload,
             lagged,
+            depth,
             receiver,
         })
     }

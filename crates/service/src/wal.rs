@@ -27,10 +27,13 @@
 use std::fs::{self, File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 use parking_lot::Mutex;
 
 use crate::error::ServiceError;
+use crate::obs::{duration_ns, Histogram, StorageObservation};
 use crate::storage::{
     fnv64, AppendOutcome, ShardJournal, SnapshotEntry, StorageBackend, WalRecord,
 };
@@ -98,12 +101,26 @@ impl ShardWal {
     }
 }
 
+/// Lock-free storage counters of a [`FileBackend`]: what
+/// [`StorageBackend::observe`] reports. Recording rides the operations
+/// that already hold the per-shard WAL mutex; the counters themselves are
+/// relaxed atomics so scraping never contends with appends.
+#[derive(Debug, Default)]
+struct StorageTelemetry {
+    append_bytes: AtomicU64,
+    rotations: AtomicU64,
+    append: Histogram,
+    fsync: Histogram,
+    compaction: Histogram,
+}
+
 /// The snapshot + write-ahead-log backend described in the module docs.
 #[derive(Debug)]
 pub struct FileBackend {
     config: PersistConfig,
     shards: Vec<Mutex<ShardWal>>,
     journal: Mutex<Option<Vec<ShardJournal>>>,
+    telemetry: StorageTelemetry,
 }
 
 impl FileBackend {
@@ -132,6 +149,7 @@ impl FileBackend {
             config,
             shards,
             journal: Mutex::new(Some(journals)),
+            telemetry: StorageTelemetry::default(),
         })
     }
 
@@ -459,6 +477,7 @@ impl StorageBackend for FileBackend {
     }
 
     fn append(&self, shard: usize, record: &WalRecord) -> Result<AppendOutcome, ServiceError> {
+        let start = Instant::now();
         let mut wal = self.shards[shard].lock();
         let mut block = record.to_lines().join("\n");
         block.push('\n');
@@ -473,18 +492,30 @@ impl StorageBackend for FileBackend {
         }
         wal.bytes += block.len() as u64;
         wal.pending_sync += 1;
+        let mut fsync_ns = 0u64;
         if self.config.fsync_every > 0 && wal.pending_sync >= self.config.fsync_every {
+            let sync_start = Instant::now();
             wal.file
                 .sync_data()
                 .map_err(|e| io_err("cannot sync the WAL", &e))?;
+            fsync_ns = duration_ns(sync_start.elapsed());
+            self.telemetry.fsync.record_ns(fsync_ns);
             wal.pending_sync = 0;
         }
+        self.telemetry
+            .append_bytes
+            .fetch_add(block.len() as u64, Ordering::Relaxed);
+        self.telemetry
+            .append
+            .record_ns(duration_ns(start.elapsed()).saturating_sub(fsync_ns));
         Ok(AppendOutcome {
             wants_snapshot: wal.bytes >= self.config.segment_bytes,
+            fsync_ns,
         })
     }
 
     fn write_snapshot(&self, shard: usize, entries: &[SnapshotEntry]) -> Result<(), ServiceError> {
+        let start = Instant::now();
         let mut wal = self.shards[shard].lock();
         let old_generation = wal.generation;
         let generation = old_generation + 1;
@@ -510,6 +541,10 @@ impl StorageBackend for FileBackend {
         wal.file = file;
         wal.bytes = 0;
         wal.pending_sync = 0;
+        self.telemetry.rotations.fetch_add(1, Ordering::Relaxed);
+        self.telemetry
+            .compaction
+            .record_ns(duration_ns(start.elapsed()));
         Ok(())
     }
 
@@ -525,12 +560,24 @@ impl StorageBackend for FileBackend {
     fn sync(&self) -> Result<(), ServiceError> {
         for shard in &self.shards {
             let mut wal = shard.lock();
+            let start = Instant::now();
             wal.file
                 .sync_data()
                 .map_err(|e| io_err("cannot sync the WAL", &e))?;
+            self.telemetry.fsync.record(start.elapsed());
             wal.pending_sync = 0;
         }
         Ok(())
+    }
+
+    fn observe(&self) -> StorageObservation {
+        StorageObservation {
+            append_bytes: self.telemetry.append_bytes.load(Ordering::Relaxed),
+            rotations: self.telemetry.rotations.load(Ordering::Relaxed),
+            append: self.telemetry.append.snapshot(),
+            fsync: self.telemetry.fsync.snapshot(),
+            compaction: self.telemetry.compaction.snapshot(),
+        }
     }
 }
 
