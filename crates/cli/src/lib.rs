@@ -16,8 +16,15 @@
 //! `wolves serve` (see the binary) and the [`remote_register`],
 //! [`remote_validate`], [`remote_correct`], [`remote_mutate`],
 //! [`remote_provenance`], [`remote_export`], [`remote_snapshot`],
-//! [`remote_stats`] and [`remote_shutdown`] client commands, plus
-//! [`fixture_command`] to materialise the paper fixtures as input files.
+//! [`remote_heal`], [`remote_stats`] and [`remote_shutdown`] client
+//! commands, plus [`fixture_command`] to materialise the paper fixtures as
+//! input files. Every remote command takes an optional
+//! [`RequestPolicy`] (the CLI's
+//! `--timeout-ms`/`--retries` flags): with a policy, transient failures —
+//! connection refused, timeouts, an overloaded or degraded server — are
+//! retried with capped exponential backoff, and mutations retry
+//! idempotently through expected-epoch CAS so a lost acknowledgement can
+//! never double-apply an edit.
 //! `wolves mutate` drives the interactive correction loop: registered
 //! workflows are edited in place (add/remove task or edge, split or merge
 //! composites) and the server invalidates only the cached verdicts the edit
@@ -38,7 +45,10 @@ use wolves_core::estimate::{EstimationRegistry, WorkloadClass};
 use wolves_core::validate::{validate, validate_by_definition, validate_naive};
 use wolves_graph::dot::{to_dot, DotOptions};
 use wolves_moml::{from_moml, read_text_format, to_moml, write_text_format, ImportedWorkflow};
-use wolves_service::{MutateOp, ServiceClient, ServiceError, WatchEvent, WatchMode, WorkflowId};
+use wolves_service::{
+    MutateOp, MutateOutcome, RequestPolicy, ServiceClient, ServiceError, WatchEvent, WatchMode,
+    WorkflowId,
+};
 use wolves_workflow::render::{describe_spec, describe_view};
 use wolves_workflow::{WorkflowSpec, WorkflowView};
 
@@ -357,15 +367,35 @@ fn connect(addr: &str) -> Result<ServiceClient, CliError> {
     ServiceClient::connect(addr).map_err(CliError::from)
 }
 
+/// Runs `operation` against the server: once over a plain connection when
+/// `policy` is `None`, or under the policy's per-attempt timeout and
+/// transient-error retry loop (fresh connection per attempt) otherwise.
+fn call_with<T>(
+    addr: &str,
+    policy: Option<&RequestPolicy>,
+    mut operation: impl FnMut(&mut ServiceClient) -> Result<T, ServiceError>,
+) -> Result<T, CliError> {
+    match policy {
+        Some(policy) => policy.call(addr, operation).map_err(CliError::from),
+        None => operation(&mut connect(addr)?).map_err(CliError::from),
+    }
+}
+
 /// `wolves request <addr> register <file>`: registers a workflow file with a
-/// running server and prints the assigned id.
+/// running server and prints the assigned id. Under a retry policy this is
+/// at-least-once: a lost acknowledgement can leave a duplicate registration
+/// (unlike `mutate`, which retries through an epoch CAS).
 ///
 /// # Errors
 /// Reports unreadable files and transport/server failures.
-pub fn remote_register(addr: &str, path: &str) -> Result<String, CliError> {
+pub fn remote_register(
+    addr: &str,
+    path: &str,
+    policy: Option<&RequestPolicy>,
+) -> Result<String, CliError> {
     let imported = load_workflow(path)?;
     let payload = write_text_format(&imported.spec, imported.view.as_ref());
-    let id = connect(addr)?.register_text(&payload)?;
+    let id = call_with(addr, policy, |client| client.register_text(&payload))?;
     Ok(format!("registered workflow {id}\n"))
 }
 
@@ -378,8 +408,9 @@ pub fn remote_validate(
     addr: &str,
     workflow: WorkflowId,
     version: Option<usize>,
+    policy: Option<&RequestPolicy>,
 ) -> Result<String, CliError> {
-    let verdict = connect(addr)?.validate(workflow, version)?;
+    let verdict = call_with(addr, policy, |client| client.validate(workflow, version))?;
     let mut out = format!(
         "workflow {workflow} view version {}: {} (cache {})\n",
         verdict.version,
@@ -404,10 +435,11 @@ pub fn remote_correct(
     workflow: WorkflowId,
     strategy_name: &str,
     out_path: Option<&str>,
+    policy: Option<&RequestPolicy>,
 ) -> Result<String, CliError> {
     let strategy = Strategy::parse(strategy_name)
         .ok_or_else(|| CliError::Operation(format!("unknown corrector '{strategy_name}'")))?;
-    let corrected = connect(addr)?.correct(workflow, strategy)?;
+    let corrected = call_with(addr, policy, |client| client.correct(workflow, strategy))?;
     let mut out = format!(
         "workflow {workflow}: composite tasks {} -> {} (now view version {})\n",
         corrected.composites_before, corrected.composites_after, corrected.version
@@ -429,8 +461,9 @@ pub fn remote_provenance(
     addr: &str,
     workflow: WorkflowId,
     subject: &str,
+    policy: Option<&RequestPolicy>,
 ) -> Result<String, CliError> {
-    let tasks = connect(addr)?.provenance(workflow, subject)?;
+    let tasks = call_with(addr, policy, |client| client.provenance(workflow, subject))?;
     let mut out = format!("provenance of '{subject}' ({} tasks):\n", tasks.len());
     for task in &tasks {
         let _ = writeln!(out, "  {task}");
@@ -517,7 +550,10 @@ pub fn parse_mutate_op(op: &str, args: &[String]) -> Result<MutateOp, CliError> 
 /// `wolves mutate <addr> <id> <op> …`: edits a registered workflow in place
 /// and reports the epoch, the delta class and how many cached composite
 /// verdicts survived — the interactive correction loop without re-uploading
-/// the workflow.
+/// the workflow. Under a retry policy the edit is sent through the
+/// expected-epoch CAS protocol: retries are idempotent, and a retry whose
+/// earlier send applied (the acknowledgement was lost) reports the applied
+/// epoch instead of double-applying.
 ///
 /// # Errors
 /// Reports malformed ops and transport/server failures.
@@ -526,9 +562,21 @@ pub fn remote_mutate(
     workflow: WorkflowId,
     op: &str,
     args: &[String],
+    policy: Option<&RequestPolicy>,
 ) -> Result<String, CliError> {
     let op = parse_mutate_op(op, args)?;
-    let outcome = connect(addr)?.mutate(workflow, op)?;
+    let outcome = match policy {
+        Some(policy) => match policy.mutate(addr, workflow, op)? {
+            MutateOutcome::Applied(outcome) => outcome,
+            MutateOutcome::AppliedEarlier { epoch } => {
+                return Ok(format!(
+                    "workflow {workflow} epoch {epoch}: mutation already applied by an \
+                     earlier attempt (its acknowledgement was lost in transit)\n"
+                ));
+            }
+        },
+        None => connect(addr)?.mutate(workflow, op)?,
+    };
     Ok(format!(
         "workflow {workflow} epoch {}: {} delta; {} cached verdicts invalidated, \
          {} retained (view version {})\n",
@@ -546,8 +594,9 @@ pub fn remote_export(
     addr: &str,
     workflow: WorkflowId,
     out_path: Option<&str>,
+    policy: Option<&RequestPolicy>,
 ) -> Result<String, CliError> {
-    let payload = connect(addr)?.export(workflow)?;
+    let payload = call_with(addr, policy, |client| client.export(workflow))?;
     match out_path {
         Some(path) => {
             std::fs::write(path, &payload)
@@ -563,9 +612,23 @@ pub fn remote_export(
 ///
 /// # Errors
 /// Reports transport/server failures.
-pub fn remote_snapshot(addr: &str) -> Result<String, CliError> {
-    let shards = connect(addr)?.snapshot()?;
+pub fn remote_snapshot(addr: &str, policy: Option<&RequestPolicy>) -> Result<String, CliError> {
+    let shards = call_with(addr, policy, ServiceClient::snapshot)?;
     Ok(format!("snapshotted {shards} shard(s)\n"))
+}
+
+/// `wolves request <addr> heal`: asks a degraded server to re-open writes.
+/// Each degraded shard retries a compacting snapshot of its current
+/// in-memory state; shards whose storage still fails stay read-only and are
+/// reported so the operator can retry after fixing the disk.
+///
+/// # Errors
+/// Reports transport/server failures.
+pub fn remote_heal(addr: &str, policy: Option<&RequestPolicy>) -> Result<String, CliError> {
+    let (healed, still_degraded) = call_with(addr, policy, ServiceClient::heal)?;
+    Ok(format!(
+        "healed {healed} shard(s), {still_degraded} still degraded\n"
+    ))
 }
 
 /// `wolves recover <dir>`: offline integrity check + replay report of a
@@ -599,8 +662,8 @@ pub fn recover_command(dir: &str) -> Result<String, CliError> {
 ///
 /// # Errors
 /// Reports transport/server failures.
-pub fn remote_stats(addr: &str) -> Result<String, CliError> {
-    let stats = connect(addr)?.stats()?;
+pub fn remote_stats(addr: &str, policy: Option<&RequestPolicy>) -> Result<String, CliError> {
+    let stats = call_with(addr, policy, ServiceClient::stats)?;
     let mut out = String::new();
     for shard in &stats.shards {
         let _ = writeln!(
@@ -659,8 +722,8 @@ pub fn remote_metrics(addr: &str, slow: bool) -> Result<String, CliError> {
 ///
 /// # Errors
 /// Reports transport/server failures.
-pub fn remote_shutdown(addr: &str) -> Result<String, CliError> {
-    connect(addr)?.shutdown()?;
+pub fn remote_shutdown(addr: &str, policy: Option<&RequestPolicy>) -> Result<String, CliError> {
+    call_with(addr, policy, ServiceClient::shutdown)?;
     Ok("server shutting down\n".to_owned())
 }
 
@@ -864,22 +927,25 @@ mod tests {
 
         let path = std::env::temp_dir().join("wolves-cli-remote-test.txt");
         std::fs::write(&path, fixture_command("figure1").unwrap()).unwrap();
-        let registered = remote_register(&addr, &path.to_string_lossy()).unwrap();
+        let registered = remote_register(&addr, &path.to_string_lossy(), None).unwrap();
         assert!(registered.contains("registered workflow 1"));
 
         let id = WorkflowId(1);
-        let unsound = remote_validate(&addr, id, None).unwrap();
+        let unsound = remote_validate(&addr, id, None, None).unwrap();
         assert!(unsound.contains("UNSOUND"));
         assert!(unsound.contains("cache miss"));
 
-        let corrected = remote_correct(&addr, id, "strong", None).unwrap();
+        let corrected = remote_correct(&addr, id, "strong", None, None).unwrap();
         assert!(corrected.contains("7 -> 8"));
-        assert!(remote_correct(&addr, id, "bogus", None).is_err());
+        assert!(remote_correct(&addr, id, "bogus", None, None).is_err());
 
-        let sound = remote_validate(&addr, id, None).unwrap();
+        // the same verbs also run under a retry policy (fresh connection,
+        // per-attempt timeout) with identical output
+        let policy = RequestPolicy::with_timeout_ms(5_000);
+        let sound = remote_validate(&addr, id, None, Some(&policy)).unwrap();
         assert!(sound.contains("SOUND"));
 
-        let provenance = remote_provenance(&addr, id, "Format alignment").unwrap();
+        let provenance = remote_provenance(&addr, id, "Format alignment", None).unwrap();
         assert!(provenance.contains("Create alignment"));
 
         let mutated = remote_mutate(
@@ -890,48 +956,70 @@ mod tests {
                 "Check additional annotations".to_owned(),
                 "Build phylo tree".to_owned(),
             ],
+            None,
         )
         .unwrap();
         assert!(mutated.contains("monotone-safe delta"));
         assert!(mutated.contains("retained"));
-        assert!(remote_mutate(&addr, id, "frobnicate", &[]).is_err());
+        assert!(remote_mutate(&addr, id, "frobnicate", &[], None).is_err());
 
-        let stats = remote_stats(&addr).unwrap();
+        // a policy-driven mutate goes through the epoch-CAS protocol
+        let mutated = remote_mutate(
+            &addr,
+            id,
+            "add-edge",
+            &[
+                "Select entries from DB".to_owned(),
+                "Extract sequences".to_owned(),
+            ],
+            Some(&policy),
+        )
+        .unwrap();
+        assert!(mutated.contains("epoch 2"), "got: {mutated}");
+
+        let stats = remote_stats(&addr, None).unwrap();
         assert!(stats.contains("estimation registry holds 1 correction samples"));
+
+        // no shard is degraded, so heal is a no-op that still answers
+        let healed = remote_heal(&addr, None).unwrap();
+        assert!(healed.contains("healed 0 shard(s), 0 still degraded"));
 
         // export returns the *mutated* workflow in registrable form: the
         // re-registered copy has the extra edge and the corrected view
-        let exported = remote_export(&addr, id, None).unwrap();
+        let exported = remote_export(&addr, id, None, None).unwrap();
         assert!(exported.contains("edge\tCheck additional annotations\tBuild phylo tree"));
         let reimported = parse_workflow("resync.txt", &exported).unwrap();
-        assert_eq!(reimported.spec.dependency_count(), 13);
+        assert_eq!(reimported.spec.dependency_count(), 14);
         assert_eq!(reimported.view.unwrap().composite_count(), 8);
         let out_path = std::env::temp_dir().join("wolves-cli-remote-export.txt");
-        let written = remote_export(&addr, id, Some(&out_path.to_string_lossy())).unwrap();
+        let written = remote_export(&addr, id, Some(&out_path.to_string_lossy()), None).unwrap();
         assert!(written.contains("exported to"));
         assert!(std::fs::read_to_string(&out_path)
             .unwrap()
             .contains("workflow\tphylogenomic-inference"));
 
         // snapshot is a no-op on the in-memory server but still answers
-        let snapshotted = remote_snapshot(&addr).unwrap();
+        let snapshotted = remote_snapshot(&addr, None).unwrap();
         assert!(snapshotted.contains("snapshotted 2 shard(s)"));
 
         // the telemetry scrape reflects the requests issued above
         let metrics = remote_metrics(&addr, false).unwrap();
         assert!(metrics.contains("# TYPE wolves_request_duration_seconds histogram"));
         assert!(metrics.contains("wolves_request_duration_seconds_count{verb=\"validate\"} 2"));
-        assert!(metrics.contains("wolves_request_duration_seconds_count{verb=\"mutate\"} 1"));
+        assert!(metrics.contains("wolves_request_duration_seconds_count{verb=\"mutate\"} 2"));
         let slow = remote_metrics(&addr, true).unwrap();
         assert!(slow.starts_with("slow-requests\t"));
         assert!(slow.contains("slow\tvalidate\t"));
 
+        // server errors come back as their typed variants, not opaque text
         assert!(matches!(
-            remote_validate(&addr, WorkflowId(77), None),
-            Err(CliError::Service(ServiceError::Remote(_)))
+            remote_validate(&addr, WorkflowId(77), None, None),
+            Err(CliError::Service(ServiceError::UnknownWorkflow(
+                WorkflowId(77)
+            )))
         ));
 
-        assert!(remote_shutdown(&addr).is_ok());
+        assert!(remote_shutdown(&addr, None).is_ok());
         server.join();
     }
 

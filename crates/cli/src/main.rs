@@ -30,11 +30,14 @@ use std::sync::Arc;
 use wolves_cli::{
     correct_command, export_command, fixture_command, import_command, load_workflow,
     naive_check_command, parse_watch_mode, recover_command, remote_correct, remote_export,
-    remote_metrics, remote_mutate, remote_provenance, remote_register, remote_shutdown,
-    remote_snapshot, remote_stats, remote_validate, remote_watch, render_command, show_command,
-    validate_command,
+    remote_heal, remote_metrics, remote_mutate, remote_provenance, remote_register,
+    remote_shutdown, remote_snapshot, remote_stats, remote_validate, remote_watch, render_command,
+    show_command, validate_command,
 };
-use wolves_service::{open_data_dir, serve_with_store, ServerConfig, WorkflowId, WorkflowStore};
+use wolves_service::{
+    open_data_dir, open_faulted_data_dir, serve_with_store, FaultPlan, RequestPolicy, ServerConfig,
+    WorkflowId, WorkflowStore,
+};
 
 /// Exit code of malformed invocations and general operation failures.
 const EXIT_GENERAL: u8 = 1;
@@ -234,8 +237,11 @@ fn run_simple(command: &str, rest: &[String]) -> Result<String, String> {
 /// data dir) with [`EXIT_RECOVERY`], bind failures with [`EXIT_BIND`] —
 /// so supervisors can tell "fix the data" from "fix the address" apart.
 fn serve_blocking(args: &[String]) -> Result<String, Failure> {
-    let (positionals, flags) =
-        parse_args("serve", args, &["addr", "shards", "threads", "data-dir"])?;
+    let (positionals, flags) = parse_args(
+        "serve",
+        args,
+        &["addr", "shards", "threads", "data-dir", "fault-plan"],
+    )?;
     if !positionals.is_empty() {
         return Err(format!("'serve' takes no positional arguments\n{USAGE}").into());
     }
@@ -243,6 +249,17 @@ fn serve_blocking(args: &[String]) -> Result<String, Failure> {
         .map(|v| parse_number::<usize>(v, "shard count"))
         .transpose()?;
     let data_dir = flag(&flags, "data-dir");
+    // --fault-plan scripts deterministic storage failures into the durable
+    // backend — the chaos-testing mode of the serving layer
+    let fault_plan = flag(&flags, "fault-plan")
+        .map(|text| FaultPlan::parse(text).map_err(|e| format!("{e}\n{USAGE}")))
+        .transpose()?;
+    if fault_plan.is_some() && data_dir.is_none() {
+        return Err(format!(
+            "'--fault-plan' injects storage faults and needs '--data-dir'\n{USAGE}"
+        )
+        .into());
+    }
     let recovery = |message: String| Failure {
         code: EXIT_RECOVERY,
         message,
@@ -253,8 +270,12 @@ fn serve_blocking(args: &[String]) -> Result<String, Failure> {
             // an existing data dir pins its own shard layout; it is honoured
             // unless --shards explicitly disagrees (then the meta check
             // fails loudly)
-            let (store, report) = open_data_dir(std::path::Path::new(dir), explicit_shards)
-                .map_err(|e| recovery(format!("cannot recover '{dir}': {e}")))?;
+            let root = std::path::Path::new(dir);
+            let (store, report) = match fault_plan {
+                Some(plan) => open_faulted_data_dir(root, explicit_shards, plan),
+                None => open_data_dir(root, explicit_shards),
+            }
+            .map_err(|e| recovery(format!("cannot recover '{dir}': {e}")))?;
             let banner = format!("durable store in '{dir}': {report}");
             (Arc::new(store), banner)
         }
@@ -273,6 +294,7 @@ fn serve_blocking(args: &[String]) -> Result<String, Failure> {
             .map(|v| parse_number(v, "thread count"))
             .transpose()?
             .unwrap_or(4),
+        ..ServerConfig::default()
     };
     let handle = serve_with_store(&config, store).map_err(|e| Failure {
         code: EXIT_BIND,
@@ -304,18 +326,42 @@ fn recover_blocking(args: &[String]) -> Result<String, Failure> {
     })
 }
 
+/// Builds the retry policy of `--timeout-ms` / `--retries`, or `None` when
+/// neither flag is given (plain single-attempt connection, no deadline).
+fn request_policy(flags: &Flags) -> Result<Option<RequestPolicy>, String> {
+    let timeout_ms = flag(flags, "timeout-ms")
+        .map(|v| parse_number::<u64>(v, "timeout"))
+        .transpose()?;
+    let retries = flag(flags, "retries")
+        .map(|v| parse_number::<u32>(v, "retry count"))
+        .transpose()?;
+    if timeout_ms.is_none() && retries.is_none() {
+        return Ok(None);
+    }
+    let mut policy = RequestPolicy::with_timeout_ms(timeout_ms.unwrap_or(10_000));
+    if let Some(retries) = retries {
+        policy = policy.retries(retries);
+    }
+    Ok(Some(policy))
+}
+
 /// `wolves request <addr> <verb> …`: one-shot client requests.
 fn request(args: &[String]) -> Result<String, String> {
-    let (positionals, flags) = parse_args("request", args, &["strategy", "out", "view-version"])?;
+    let (positionals, flags) = parse_args(
+        "request",
+        args,
+        &["strategy", "out", "view-version", "timeout-ms", "retries"],
+    )?;
     let [addr, verb, verb_args @ ..] = positionals.as_slice() else {
         return Err(format!("'request' needs an address and a verb\n{USAGE}"));
     };
-    // each verb accepts only its own options; anything else is malformed
+    // each verb accepts only its own options (plus the policy flags every
+    // verb shares); anything else is malformed
     let allowed_for_verb: &[&str] = match verb.as_str() {
-        "validate" => &["view-version"],
-        "correct" => &["strategy", "out"],
-        "export" => &["out"],
-        _ => &[],
+        "validate" => &["view-version", "timeout-ms", "retries"],
+        "correct" => &["strategy", "out", "timeout-ms", "retries"],
+        "export" => &["out", "timeout-ms", "retries"],
+        _ => &["timeout-ms", "retries"],
     };
     if let Some((name, _)) = flags
         .iter()
@@ -339,17 +385,20 @@ fn request(args: &[String]) -> Result<String, String> {
             ))
         }
     };
+    let policy = request_policy(&flags)?;
+    let policy = policy.as_ref();
     match verb.as_str() {
         "register" => {
             expect_args(1)?;
-            remote_register(addr, &verb_args[0]).map_err(|e| e.to_string())
+            remote_register(addr, &verb_args[0], policy).map_err(|e| e.to_string())
         }
         "validate" => {
             expect_args(1)?;
             let version = flag(&flags, "view-version")
                 .map(|v| parse_number::<usize>(v, "view version"))
                 .transpose()?;
-            remote_validate(addr, parse_id(verb_args.first())?, version).map_err(|e| e.to_string())
+            remote_validate(addr, parse_id(verb_args.first())?, version, policy)
+                .map_err(|e| e.to_string())
         }
         "correct" => {
             expect_args(1)?;
@@ -359,30 +408,40 @@ fn request(args: &[String]) -> Result<String, String> {
                 parse_id(verb_args.first())?,
                 strategy,
                 flag(&flags, "out"),
+                policy,
             )
             .map_err(|e| e.to_string())
         }
         "provenance" => {
             expect_args(2)?;
-            remote_provenance(addr, parse_id(verb_args.first())?, &verb_args[1])
+            remote_provenance(addr, parse_id(verb_args.first())?, &verb_args[1], policy)
                 .map_err(|e| e.to_string())
         }
         "export" => {
             expect_args(1)?;
-            remote_export(addr, parse_id(verb_args.first())?, flag(&flags, "out"))
-                .map_err(|e| e.to_string())
+            remote_export(
+                addr,
+                parse_id(verb_args.first())?,
+                flag(&flags, "out"),
+                policy,
+            )
+            .map_err(|e| e.to_string())
         }
         "snapshot" => {
             expect_args(0)?;
-            remote_snapshot(addr).map_err(|e| e.to_string())
+            remote_snapshot(addr, policy).map_err(|e| e.to_string())
+        }
+        "heal" => {
+            expect_args(0)?;
+            remote_heal(addr, policy).map_err(|e| e.to_string())
         }
         "stats" => {
             expect_args(0)?;
-            remote_stats(addr).map_err(|e| e.to_string())
+            remote_stats(addr, policy).map_err(|e| e.to_string())
         }
         "shutdown" => {
             expect_args(0)?;
-            remote_shutdown(addr).map_err(|e| e.to_string())
+            remote_shutdown(addr, policy).map_err(|e| e.to_string())
         }
         other => Err(format!("unknown request verb '{other}'\n{USAGE}")),
     }
@@ -428,15 +487,18 @@ fn metrics(args: &[String]) -> Result<String, String> {
 }
 
 /// `wolves mutate <addr> <id> <op> …`: edit a registered workflow in place.
+/// With `--timeout-ms`/`--retries` the edit retries idempotently through the
+/// expected-epoch CAS protocol (a lost ack can never double-apply).
 fn mutate(args: &[String]) -> Result<String, String> {
-    let (positionals, _) = parse_args("mutate", args, &[])?;
+    let (positionals, flags) = parse_args("mutate", args, &["timeout-ms", "retries"])?;
     let [addr, id, op, op_args @ ..] = positionals.as_slice() else {
         return Err(format!(
             "'mutate' needs an address, a workflow id and an op\n{USAGE}"
         ));
     };
     let workflow = parse_number::<u64>(id, "workflow id").map(WorkflowId)?;
-    remote_mutate(addr, workflow, op, op_args).map_err(|e| e.to_string())
+    let policy = request_policy(&flags)?;
+    remote_mutate(addr, workflow, op, op_args, policy.as_ref()).map_err(|e| e.to_string())
 }
 
 /// The Figure 1 walk-through: what the paper's demonstration shows, end to
@@ -474,12 +536,18 @@ usage:
 
 serving (wolves-service):
   wolves serve [--addr <host:port>] [--shards N] [--threads N] [--data-dir <dir>]
+               [--fault-plan <plan>]
                                               serve validation/correction requests
                                               (default 127.0.0.1:7878, 4 shards, 4 threads);
                                               --data-dir makes the store durable:
                                               snapshot + write-ahead log per shard,
                                               recovered on restart (exit 2: bind
-                                              failure, exit 3: recovery failure)
+                                              failure, exit 3: recovery failure);
+                                              --fault-plan scripts deterministic
+                                              storage faults for chaos testing, e.g.
+                                              'append-err=2,snap-err=1,seed=7'
+                                              (append-err=N[xC] torn=N sync-err=N[xC]
+                                              snap-err=N[xC] full=K slow=N:MS[xC] seed=S)
   wolves recover <dir>                        offline integrity check + replay report
                                               of a --data-dir (exit 3 on corruption)
   wolves request <addr> register <file>       register a workflow, prints its id
@@ -490,8 +558,13 @@ serving (wolves-service):
                                               download the current spec+view in
                                               registrable textfmt (client resync)
   wolves request <addr> snapshot              force a snapshot (compacts the WAL)
+  wolves request <addr> heal                  re-open writes on degraded shards
+                                              (each retries a compacting snapshot)
   wolves request <addr> stats
   wolves request <addr> shutdown
+  every request verb also accepts [--timeout-ms N] [--retries N]: per-attempt
+  socket timeout plus capped-exponential-backoff retries of transient failures
+  (connection refused, timeouts, overloaded or degraded server)
   wolves metrics <addr> [slow]                scrape the server's telemetry as
                                               Prometheus-style text: per-verb and
                                               per-commit-stage latency histograms,
@@ -514,7 +587,10 @@ interactive editing (mutation epochs):
   wolves mutate <addr> <id> merge <new-name> <c1;c2>
                                               edit a registered workflow in place;
                                               only cached verdicts the edit could
-                                              have changed are recomputed
+                                              have changed are recomputed; with
+                                              [--timeout-ms N] [--retries N] the
+                                              edit retries idempotently through an
+                                              expected-epoch compare-and-set
 ";
 
 #[cfg(test)]
@@ -599,6 +675,33 @@ mod tests {
             .unwrap_err()
             .message;
         assert!(err.contains("invalid shard count"));
+        // fault plans only make sense against a durable backend…
+        let err = run(&args(&["serve", "--fault-plan", "append-err=2"]))
+            .unwrap_err()
+            .message;
+        assert!(err.contains("needs '--data-dir'"));
+        // …and malformed plans are rejected before anything is opened
+        let err = run(&args(&[
+            "serve",
+            "--fault-plan",
+            "bogus",
+            "--data-dir",
+            "/tmp/never-created",
+        ]))
+        .unwrap_err()
+        .message;
+        assert!(err.contains("bad fault-plan directive"));
+        // retry-policy flags validate their values
+        let err = run(&args(&[
+            "request",
+            "127.0.0.1:1",
+            "stats",
+            "--timeout-ms",
+            "lots",
+        ]))
+        .unwrap_err()
+        .message;
+        assert!(err.contains("invalid timeout"));
     }
 
     #[test]
@@ -688,6 +791,21 @@ mod tests {
         assert!(out.contains("SOUND"));
         let out = request(&args(&[&addr, "stats"])).unwrap();
         assert!(out.contains("correction samples"));
+        // nothing is degraded, so heal is an answered no-op
+        let out = request(&args(&[&addr, "heal"])).unwrap();
+        assert!(out.contains("healed 0 shard(s)"));
+        // the policy flags ride along on any verb
+        let out = request(&args(&[
+            &addr,
+            "validate",
+            "1",
+            "--timeout-ms",
+            "5000",
+            "--retries",
+            "1",
+        ]))
+        .unwrap();
+        assert!(out.contains("SOUND"));
         // the interactive editing loop over `wolves mutate`
         let out = mutate(&args(&[
             &addr,
@@ -707,6 +825,18 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("view-edit delta"));
+        // a retrying mutate goes through the expected-epoch CAS protocol
+        let out = mutate(&args(&[
+            &addr,
+            "1",
+            "remove-edge",
+            "Select entries from DB",
+            "Extract sequences",
+            "--retries",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("epoch 3"), "got: {out}");
         let out = request(&args(&[&addr, "validate", "1"])).unwrap();
         assert!(out.contains("SOUND"));
         // malformed mutate invocations

@@ -30,10 +30,26 @@ impl ServiceClient {
     /// # Errors
     /// Reports connection failures.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServiceError> {
+        Self::connect_with(addr, None)
+    }
+
+    /// [`ServiceClient::connect`] with a socket read/write timeout: a
+    /// request whose response does not arrive within `timeout` fails with
+    /// an I/O timeout instead of blocking forever. `None` keeps the
+    /// historical blocking behaviour.
+    ///
+    /// # Errors
+    /// Reports connection failures.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        timeout: Option<Duration>,
+    ) -> Result<Self, ServiceError> {
         let stream = TcpStream::connect(addr)?;
         // see the server side: Nagle + delayed ACKs would add ~40ms to
         // every request/response exchange
         let _ = stream.set_nodelay(true);
+        stream.set_read_timeout(timeout)?;
+        stream.set_write_timeout(timeout)?;
         let reader = BufReader::new(stream.try_clone()?);
         Ok(ServiceClient {
             reader,
@@ -41,8 +57,10 @@ impl ServiceClient {
         })
     }
 
-    /// Sends one request and reads its response. Server-side failures are
-    /// surfaced as [`ServiceError::Remote`].
+    /// Sends one request and reads its response. Server-side failures
+    /// arrive as typed `err` frames and are decoded back into the
+    /// [`ServiceError`] variant the server raised (unknown kinds fall back
+    /// to [`ServiceError::Remote`]).
     ///
     /// # Errors
     /// Reports I/O failures, protocol violations and server-side errors.
@@ -52,7 +70,7 @@ impl ServiceClient {
             .ok_or_else(|| ServiceError::Protocol("server closed the connection".to_owned()))?;
         let response = Response::from_lines(&frame)?;
         if let Response::Error(message) = response {
-            return Err(ServiceError::Remote(message));
+            return Err(ServiceError::from_wire(&message));
         }
         Ok(response)
     }
@@ -136,9 +154,57 @@ impl ServiceClient {
     /// # Errors
     /// Propagates transport and server errors.
     pub fn mutate(&mut self, workflow: WorkflowId, op: MutateOp) -> Result<Mutated, ServiceError> {
-        match self.call(&Request::Mutate { workflow, op })? {
+        self.mutate_cas(workflow, op, None)
+    }
+
+    /// [`ServiceClient::mutate`] with an optional expected-epoch CAS guard:
+    /// with `Some(epoch)` the server applies the edit only if the workflow
+    /// is still at that mutation epoch, making retries idempotent (see
+    /// [`RequestPolicy::mutate`]).
+    ///
+    /// # Errors
+    /// Propagates transport and server errors, including
+    /// [`ServiceError::EpochConflict`] on a stale guard.
+    pub fn mutate_cas(
+        &mut self,
+        workflow: WorkflowId,
+        op: MutateOp,
+        expect: Option<u64>,
+    ) -> Result<Mutated, ServiceError> {
+        match self.call(&Request::Mutate {
+            workflow,
+            op,
+            expect,
+        })? {
             Response::Mutated(mutated) => Ok(mutated),
             other => Err(unexpected("mutated", &other)),
+        }
+    }
+
+    /// Fetches a workflow's change cursor `(seq, epoch)` — the CAS base
+    /// for an idempotent mutate.
+    ///
+    /// # Errors
+    /// Propagates transport and server errors.
+    pub fn epoch(&mut self, workflow: WorkflowId) -> Result<(u64, u64), ServiceError> {
+        match self.call(&Request::Epoch { workflow })? {
+            Response::Epoch { seq, epoch } => Ok((seq, epoch)),
+            other => Err(unexpected("epoch", &other)),
+        }
+    }
+
+    /// Asks the server to heal its degraded shards (retry the storage
+    /// backend and re-open writes). Returns `(healed, still_degraded)`.
+    ///
+    /// # Errors
+    /// Propagates transport and server errors.
+    pub fn heal(&mut self) -> Result<(usize, usize), ServiceError> {
+        match self.call(&Request::Heal)? {
+            Response::Healed {
+                healed,
+                still_degraded,
+            } => Ok((healed, still_degraded)),
+            other => Err(unexpected("healed", &other)),
         }
     }
 
@@ -301,6 +367,197 @@ fn unexpected(wanted: &str, got: &Response) -> ServiceError {
     ServiceError::Protocol(format!("expected a {wanted} response, got {got:?}"))
 }
 
+/// Outcome of a policy-driven idempotent mutate
+/// ([`RequestPolicy::mutate`]).
+#[derive(Debug, Clone)]
+pub enum MutateOutcome {
+    /// The mutation applied on this attempt; the server's full outcome.
+    Applied(Mutated),
+    /// A retry found the expected epoch already consumed by exactly one
+    /// mutation: an earlier send applied and its ack was lost in transit.
+    /// The workflow's actual epoch is reported. (With concurrent writers
+    /// on the same workflow the attribution is the caller's: the CAS only
+    /// proves *some* single mutation consumed the epoch.)
+    AppliedEarlier {
+        /// The workflow's mutation epoch after the earlier apply.
+        epoch: u64,
+    },
+}
+
+/// Client-side deadline/retry discipline: per-attempt socket timeouts, a
+/// bounded number of retries on transient errors with capped exponential
+/// backoff + deterministic jitter, an overall deadline budget, and
+/// idempotent mutate retries via an expected-epoch CAS.
+///
+/// Every attempt opens a fresh connection — after a timeout the old
+/// connection's request/response pairing is unknowable, so it is never
+/// reused. Only errors [`ServiceError::is_transient`] classifies as
+/// retryable (I/O, overloaded, degraded, persistence) are retried;
+/// model-level rejections fail fast.
+#[derive(Debug, Clone)]
+pub struct RequestPolicy {
+    /// Per-attempt socket read/write timeout (`None` = block forever).
+    pub timeout: Option<Duration>,
+    /// Retries after the first attempt (0 = try exactly once).
+    pub retries: u32,
+    /// Base backoff: the sleep before retry `n` is
+    /// `min(backoff << n, backoff_cap)` plus jitter in `[0, sleep/2]`.
+    pub backoff: Duration,
+    /// Upper bound of the exponential backoff.
+    pub backoff_cap: Duration,
+    /// Overall budget across attempts and backoff sleeps (`None` =
+    /// unbounded): once exceeded, the last error is returned.
+    pub deadline: Option<Duration>,
+    /// Seed of the deterministic backoff jitter.
+    pub seed: u64,
+}
+
+impl Default for RequestPolicy {
+    fn default() -> Self {
+        RequestPolicy {
+            timeout: None,
+            retries: 2,
+            backoff: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            deadline: None,
+            seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+impl RequestPolicy {
+    /// The default policy with a per-attempt timeout of `ms` milliseconds
+    /// (0 = no timeout) — what the CLI's `--timeout-ms` flag builds. The
+    /// timeout also bounds the whole call: the deadline is set to
+    /// `ms × (retries + 1)` plus the worst-case backoff.
+    #[must_use]
+    pub fn with_timeout_ms(ms: u64) -> Self {
+        RequestPolicy {
+            timeout: (ms > 0).then(|| Duration::from_millis(ms)),
+            ..RequestPolicy::default()
+        }
+    }
+
+    /// Sets the retry budget (`--retries`).
+    #[must_use]
+    pub fn retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// The backoff before retry `attempt` (0-based): capped exponential
+    /// plus deterministic jitter.
+    fn backoff_before(&self, attempt: u32) -> Duration {
+        let base = self
+            .backoff
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.backoff_cap);
+        let base_ms = u64::try_from(base.as_millis()).unwrap_or(u64::MAX);
+        let jitter = crate::storage::mix64(self.seed ^ u64::from(attempt)) % (base_ms / 2 + 1);
+        base + Duration::from_millis(jitter)
+    }
+
+    /// `true` when a retry for `error` fits the policy: attempts remain,
+    /// the error is transient, and the deadline budget is not exhausted.
+    fn may_retry(&self, attempt: u32, error: &ServiceError, started: Instant) -> bool {
+        attempt < self.retries
+            && error.is_transient()
+            && self
+                .deadline
+                .map_or(true, |deadline| {
+                    started.elapsed() + self.backoff_before(attempt) < deadline
+                })
+    }
+
+    /// Runs `operation` against a fresh connection per attempt, retrying
+    /// transient failures under the policy's backoff/deadline discipline.
+    ///
+    /// # Errors
+    /// The last error once the policy gives up.
+    pub fn call<T>(
+        &self,
+        addr: impl ToSocketAddrs,
+        mut operation: impl FnMut(&mut ServiceClient) -> Result<T, ServiceError>,
+    ) -> Result<T, ServiceError> {
+        let started = Instant::now();
+        let mut attempt = 0u32;
+        loop {
+            let result = ServiceClient::connect_with(&addr, self.timeout)
+                .and_then(|mut c| operation(&mut c));
+            match result {
+                Ok(value) => return Ok(value),
+                Err(e) if self.may_retry(attempt, &e, started) => {
+                    std::thread::sleep(self.backoff_before(attempt));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// An idempotent mutate: fetches the workflow's mutation epoch once,
+    /// then retries the edit with that expected-epoch CAS guard — so the
+    /// mutation applies **at most once** no matter how many sends the
+    /// policy makes. A retry that finds the epoch consumed by exactly one
+    /// mutation reports [`MutateOutcome::AppliedEarlier`] (the lost-ack
+    /// case); a conflict on the very first send means a concurrent writer
+    /// won and is reported as [`ServiceError::EpochConflict`].
+    ///
+    /// # Errors
+    /// Transport and server errors once the policy gives up.
+    pub fn mutate(
+        &self,
+        addr: impl ToSocketAddrs + Clone,
+        workflow: WorkflowId,
+        op: MutateOp,
+    ) -> Result<MutateOutcome, ServiceError> {
+        let base = self.call(addr.clone(), |c| c.epoch(workflow).map(|(_, e)| e))?;
+        self.mutate_from(addr, workflow, op, base, false)
+    }
+
+    /// [`RequestPolicy::mutate`] with a caller-provided CAS base — resume
+    /// a mutation whose earlier outcome is unknown (e.g. the process died
+    /// after sending). `ambiguous` there is `true`, so an epoch conflict
+    /// that consumed exactly the expected epoch resolves to
+    /// [`MutateOutcome::AppliedEarlier`] even on the first attempt.
+    ///
+    /// # Errors
+    /// Transport and server errors once the policy gives up.
+    pub fn mutate_from(
+        &self,
+        addr: impl ToSocketAddrs,
+        workflow: WorkflowId,
+        op: MutateOp,
+        base: u64,
+        mut ambiguous: bool,
+    ) -> Result<MutateOutcome, ServiceError> {
+        let started = Instant::now();
+        let mut attempt = 0u32;
+        loop {
+            let result = ServiceClient::connect_with(&addr, self.timeout)
+                .and_then(|mut c| c.mutate_cas(workflow, op.clone(), Some(base)));
+            match result {
+                Ok(mutated) => return Ok(MutateOutcome::Applied(mutated)),
+                Err(ServiceError::EpochConflict { expected, actual })
+                    if ambiguous && expected == base && actual == base + 1 =>
+                {
+                    // exactly one mutation consumed our epoch after a send
+                    // whose ack we never saw: it was ours
+                    return Ok(MutateOutcome::AppliedEarlier { epoch: actual });
+                }
+                Err(e) if self.may_retry(attempt, &e, started) => {
+                    // once a send's fate is unknown, later conflicts on our
+                    // epoch mean it applied
+                    ambiguous = true;
+                    std::thread::sleep(self.backoff_before(attempt));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
 /// Configuration of the concurrent batch driver.
 #[derive(Debug, Clone, Copy)]
 pub struct BatchConfig {
@@ -407,11 +664,85 @@ mod tests {
         let corrected = client.correct(id, Strategy::Strong).unwrap();
         assert_eq!(corrected.composites_after, 8);
         assert!(client.validate(id, None).unwrap().sound);
+        // server-side errors come back as their typed variant, not an
+        // opaque Remote string
         let err = client.validate(WorkflowId(999), None).unwrap_err();
-        assert!(matches!(err, ServiceError::Remote(_)));
+        assert!(matches!(
+            err,
+            ServiceError::UnknownWorkflow(WorkflowId(999))
+        ));
         client.shutdown().unwrap();
         drop(client);
         server.join();
+    }
+
+    #[test]
+    fn policy_mutates_are_idempotent_under_retry() {
+        let server = serve(&ServerConfig {
+            shards: 2,
+            workers: 2,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr();
+        let mut client = ServiceClient::connect(addr).unwrap();
+        let fixture = figure1();
+        let id = client.register(&fixture.spec, Some(&fixture.view)).unwrap();
+        let policy = RequestPolicy::with_timeout_ms(5_000).retries(2);
+        let op = MutateOp::AddEdge {
+            from: "Check additional annotations".to_owned(),
+            to: "Build phylo tree".to_owned(),
+        };
+        // the normal path: fetch the epoch, apply once
+        match policy.mutate(addr, id, op.clone()).unwrap() {
+            MutateOutcome::Applied(mutated) => assert_eq!(mutated.epoch, 1),
+            MutateOutcome::AppliedEarlier { .. } => panic!("first apply cannot be earlier"),
+        }
+        // the lost-ack path: a send from CAS base 1 applied but its ack
+        // never arrived; the resume resolves the conflict to AppliedEarlier
+        // instead of applying twice
+        let op2 = MutateOp::AddEdge {
+            from: "Display tree".to_owned(),
+            to: "Format alignment".to_owned(),
+        };
+        client.mutate_cas(id, op2.clone(), Some(1)).unwrap();
+        match policy.mutate_from(addr, id, op2, 1, true).unwrap() {
+            MutateOutcome::AppliedEarlier { epoch } => assert_eq!(epoch, 2),
+            MutateOutcome::Applied(_) => panic!("the edit must not apply twice"),
+        }
+        assert_eq!(client.epoch(id).unwrap(), (2, 2));
+        // a conflict on an unambiguous first send is a concurrent writer,
+        // surfaced as the typed error
+        let err = policy
+            .mutate_from(
+                addr,
+                id,
+                MutateOp::AddEdge {
+                    from: "Display tree".to_owned(),
+                    to: "Check additional annotations".to_owned(),
+                },
+                0,
+                false,
+            )
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::EpochConflict { .. }), "{err}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn policy_gives_up_after_the_retry_budget_on_dead_servers() {
+        // a bound port that nothing listens on after drop
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        drop(listener);
+        let policy = RequestPolicy {
+            retries: 1,
+            backoff: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(2),
+            ..RequestPolicy::default()
+        };
+        let err = policy.call(addr, |c| c.stats()).unwrap_err();
+        assert!(matches!(err, ServiceError::Io(_)), "{err}");
     }
 
     #[test]

@@ -52,6 +52,28 @@ pub enum ServiceError {
     /// (slow consumer): the gap-free tail is gone, so the subscriber must
     /// resync via `export` (or a `resync`-mode watch) and re-subscribe.
     Lagged,
+    /// The shard holding the workflow is in read-only degraded mode after a
+    /// double storage failure (the WAL append failed *and* the rescue
+    /// snapshot failed). Reads keep serving from the last published state;
+    /// mutations are refused until a `heal` succeeds.
+    Degraded {
+        /// Index of the degraded shard.
+        shard: usize,
+        /// The storage failure that degraded the shard.
+        reason: String,
+    },
+    /// The server shed the request because its accept backlog passed the
+    /// configured bound. Transient: back off and retry.
+    Overloaded,
+    /// A compare-and-set mutation named an expected epoch that is no longer
+    /// the workflow's current one — either a concurrent editor won, or a
+    /// retried mutation already applied. Nothing was changed.
+    EpochConflict {
+        /// The epoch the request expected.
+        expected: u64,
+        /// The workflow's actual current epoch.
+        actual: u64,
+    },
 }
 
 impl std::fmt::Display for ServiceError {
@@ -85,6 +107,173 @@ impl std::fmt::Display for ServiceError {
                 "watch subscription lagged behind the event stream and was dropped; \
                  resync via export and re-subscribe"
             ),
+            ServiceError::Degraded { shard, reason } => write!(
+                f,
+                "shard {shard} is degraded (read-only) after a storage failure: {reason}; \
+                 reads still serve, heal the shard to re-open writes"
+            ),
+            ServiceError::Overloaded => write!(
+                f,
+                "server overloaded: the request was shed before processing; back off and retry"
+            ),
+            ServiceError::EpochConflict { expected, actual } => write!(
+                f,
+                "epoch conflict: expected {expected} but the workflow is at {actual}; \
+                 nothing was changed"
+            ),
+        }
+    }
+}
+
+impl ServiceError {
+    /// The error's stable wire tag — the first field of [`Self::to_wire`],
+    /// also used as the `kind` label of the `wolves_errors_total` counters.
+    #[must_use]
+    pub fn wire_kind(&self) -> &'static str {
+        match self {
+            ServiceError::UnknownWorkflow(_) => "unknown-workflow",
+            ServiceError::UnknownView(_, _) => "unknown-view",
+            ServiceError::NoView(_) => "no-view",
+            ServiceError::UnknownTask(_) => "unknown-task",
+            ServiceError::UnknownStrategy(_) => "unknown-strategy",
+            ServiceError::Protocol(_) => "protocol",
+            ServiceError::Parse(_) => "parse",
+            ServiceError::Correction(_) => "correction",
+            ServiceError::Mutation(_) => "mutation",
+            ServiceError::UnknownCompositeName(_) => "unknown-composite",
+            ServiceError::Io(_) => "io",
+            ServiceError::Remote(_) => "remote",
+            ServiceError::Persistence(_) => "persistence",
+            ServiceError::Recovery(_) => "recovery",
+            ServiceError::SchemaVersion { .. } => "schema-version",
+            ServiceError::Lagged => "lagged",
+            ServiceError::Degraded { .. } => "degraded",
+            ServiceError::Overloaded => "overloaded",
+            ServiceError::EpochConflict { .. } => "epoch-conflict",
+        }
+    }
+
+    /// `true` for errors a client may transparently retry after a backoff:
+    /// the request was refused before (or without) taking effect, and the
+    /// condition is expected to clear — shed load, a degraded shard that an
+    /// operator can heal, or a broken connection.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            ServiceError::Overloaded
+                | ServiceError::Degraded { .. }
+                | ServiceError::Io(_)
+                | ServiceError::Persistence(_)
+        )
+    }
+
+    /// Serialises the error as a typed wire tail: `<kind>` followed by
+    /// TAB-separated fields (free-text fields have tabs/newlines replaced by
+    /// spaces). [`Self::from_wire`] parses it back into the same variant.
+    #[must_use]
+    pub fn to_wire(&self) -> String {
+        fn clean(text: &str) -> String {
+            text.replace(['\t', '\n'], " ")
+        }
+        let kind = self.wire_kind();
+        match self {
+            ServiceError::UnknownWorkflow(id) => format!("{kind}\t{id}"),
+            ServiceError::UnknownView(id, version) => format!("{kind}\t{id}\t{version}"),
+            ServiceError::NoView(id) => format!("{kind}\t{id}"),
+            ServiceError::UnknownTask(text)
+            | ServiceError::UnknownStrategy(text)
+            | ServiceError::Protocol(text)
+            | ServiceError::Parse(text)
+            | ServiceError::Correction(text)
+            | ServiceError::Mutation(text)
+            | ServiceError::UnknownCompositeName(text)
+            | ServiceError::Remote(text)
+            | ServiceError::Persistence(text)
+            | ServiceError::Recovery(text) => format!("{kind}\t{}", clean(text)),
+            ServiceError::Io(e) => format!("{kind}\t{}", clean(&e.to_string())),
+            ServiceError::SchemaVersion { expected, found } => {
+                format!("{kind}\t{expected}\t{}", clean(found))
+            }
+            ServiceError::Lagged | ServiceError::Overloaded => kind.to_owned(),
+            ServiceError::Degraded { shard, reason } => {
+                format!("{kind}\t{shard}\t{}", clean(reason))
+            }
+            ServiceError::EpochConflict { expected, actual } => {
+                format!("{kind}\t{expected}\t{actual}")
+            }
+        }
+    }
+
+    /// Parses a wire tail produced by [`Self::to_wire`] back into a typed
+    /// error. Unknown kinds and malformed fields fall back to
+    /// [`ServiceError::Remote`] carrying the raw text — an older client
+    /// talking to a newer server still reports *something* legible.
+    #[must_use]
+    pub fn from_wire(text: &str) -> Self {
+        use crate::store::WorkflowId;
+        fn parse<T: std::str::FromStr>(field: Option<&str>) -> Option<T> {
+            field.and_then(|f| f.parse().ok())
+        }
+        let mut fields = text.splitn(3, '\t');
+        let kind = fields.next().unwrap_or_default();
+        let (a, b) = (fields.next(), fields.next());
+        let rest = || -> String {
+            match (a, b) {
+                (Some(a), Some(b)) => format!("{a}\t{b}"),
+                (Some(a), None) => a.to_owned(),
+                _ => String::new(),
+            }
+        };
+        let fallback = || ServiceError::Remote(text.to_owned());
+        match kind {
+            "unknown-workflow" => parse(a)
+                .map(|id| ServiceError::UnknownWorkflow(WorkflowId(id)))
+                .unwrap_or_else(fallback),
+            "unknown-view" => match (parse(a), parse(b)) {
+                (Some(id), Some(version)) => ServiceError::UnknownView(WorkflowId(id), version),
+                _ => fallback(),
+            },
+            "no-view" => parse(a)
+                .map(|id| ServiceError::NoView(WorkflowId(id)))
+                .unwrap_or_else(fallback),
+            "unknown-task" => ServiceError::UnknownTask(rest()),
+            "unknown-strategy" => ServiceError::UnknownStrategy(rest()),
+            "protocol" => ServiceError::Protocol(rest()),
+            "parse" => ServiceError::Parse(rest()),
+            "correction" => ServiceError::Correction(rest()),
+            "mutation" => ServiceError::Mutation(rest()),
+            "unknown-composite" => ServiceError::UnknownCompositeName(rest()),
+            "io" => ServiceError::Io(std::io::Error::other(rest())),
+            "remote" => ServiceError::Remote(rest()),
+            "persistence" => ServiceError::Persistence(rest()),
+            "recovery" => ServiceError::Recovery(rest()),
+            "schema-version" => match (a, b) {
+                // `expected` is a &'static str: only the version this build
+                // itself speaks can be re-interned — anything else means the
+                // peer is from a different build, which is Remote territory
+                (Some(expected), Some(found)) if expected == crate::proto::STATS_SCHEMA_VERSION => {
+                    ServiceError::SchemaVersion {
+                        expected: crate::proto::STATS_SCHEMA_VERSION,
+                        found: found.to_owned(),
+                    }
+                }
+                _ => fallback(),
+            },
+            "lagged" => ServiceError::Lagged,
+            "degraded" => match (parse(a), b) {
+                (Some(shard), Some(reason)) => ServiceError::Degraded {
+                    shard,
+                    reason: reason.to_owned(),
+                },
+                _ => fallback(),
+            },
+            "overloaded" => ServiceError::Overloaded,
+            "epoch-conflict" => match (parse(a), parse(b)) {
+                (Some(expected), Some(actual)) => ServiceError::EpochConflict { expected, actual },
+                _ => fallback(),
+            },
+            _ => fallback(),
         }
     }
 }
@@ -106,5 +295,146 @@ impl From<MomlError> for ServiceError {
 impl From<CoreError> for ServiceError {
     fn from(e: CoreError) -> Self {
         ServiceError::Correction(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::WorkflowId;
+
+    /// One witness per variant. The `match` below forces this list to stay
+    /// exhaustive: adding a `ServiceError` variant without a witness (and
+    /// therefore without wire coverage) breaks the build here.
+    fn witnesses() -> Vec<ServiceError> {
+        let all = vec![
+            ServiceError::UnknownWorkflow(WorkflowId(7)),
+            ServiceError::UnknownView(WorkflowId(7), 3),
+            ServiceError::NoView(WorkflowId(9)),
+            ServiceError::UnknownTask("Split entries".to_owned()),
+            ServiceError::UnknownStrategy("bogus".to_owned()),
+            ServiceError::Protocol("unknown verb 'frobnicate'".to_owned()),
+            ServiceError::Parse("line 3: missing field".to_owned()),
+            ServiceError::Correction("no sound refinement".to_owned()),
+            ServiceError::Mutation("edge would close a cycle".to_owned()),
+            ServiceError::UnknownCompositeName("Curate & align (16)".to_owned()),
+            ServiceError::Io(std::io::Error::other("connection reset")),
+            ServiceError::Remote("free-form server text".to_owned()),
+            ServiceError::Persistence("cannot append a WAL record".to_owned()),
+            ServiceError::Recovery("snapshot checksum mismatch".to_owned()),
+            ServiceError::SchemaVersion {
+                expected: crate::proto::STATS_SCHEMA_VERSION,
+                found: "v9".to_owned(),
+            },
+            ServiceError::Lagged,
+            ServiceError::Degraded {
+                shard: 2,
+                reason: "disk full".to_owned(),
+            },
+            ServiceError::Overloaded,
+            ServiceError::EpochConflict {
+                expected: 4,
+                actual: 6,
+            },
+        ];
+        for error in &all {
+            match error {
+                ServiceError::UnknownWorkflow(_)
+                | ServiceError::UnknownView(_, _)
+                | ServiceError::NoView(_)
+                | ServiceError::UnknownTask(_)
+                | ServiceError::UnknownStrategy(_)
+                | ServiceError::Protocol(_)
+                | ServiceError::Parse(_)
+                | ServiceError::Correction(_)
+                | ServiceError::Mutation(_)
+                | ServiceError::UnknownCompositeName(_)
+                | ServiceError::Io(_)
+                | ServiceError::Remote(_)
+                | ServiceError::Persistence(_)
+                | ServiceError::Recovery(_)
+                | ServiceError::SchemaVersion { .. }
+                | ServiceError::Lagged
+                | ServiceError::Degraded { .. }
+                | ServiceError::Overloaded
+                | ServiceError::EpochConflict { .. } => {}
+            }
+        }
+        all
+    }
+
+    #[test]
+    fn every_variant_round_trips_through_the_wire_encoding() {
+        let all = witnesses();
+        let mut kinds = std::collections::BTreeSet::new();
+        for error in &all {
+            let wire = error.to_wire();
+            assert!(kinds.insert(error.wire_kind()), "duplicate witness kind");
+            assert_eq!(
+                wire.split('\t').next().unwrap(),
+                error.wire_kind(),
+                "the wire tail must lead with the kind tag"
+            );
+            let parsed = ServiceError::from_wire(&wire);
+            assert_eq!(
+                std::mem::discriminant(&parsed),
+                std::mem::discriminant(error),
+                "'{wire}' decoded to the wrong variant: {parsed:?}"
+            );
+            assert_eq!(
+                parsed.to_string(),
+                error.to_string(),
+                "'{wire}' did not reproduce the message"
+            );
+            assert_eq!(parsed.wire_kind(), error.wire_kind());
+        }
+        assert_eq!(kinds.len(), all.len());
+    }
+
+    #[test]
+    fn embedded_tabs_and_newlines_cannot_break_the_framing() {
+        let error = ServiceError::Mutation("line one\nline two\ttabbed".to_owned());
+        let wire = error.to_wire();
+        assert!(!wire.contains('\n'));
+        assert_eq!(wire.matches('\t').count(), 1, "only the field separator");
+        match ServiceError::from_wire(&wire) {
+            ServiceError::Mutation(text) => assert_eq!(text, "line one line two tabbed"),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_kinds_fall_back_to_remote() {
+        let parsed = ServiceError::from_wire("quantum-flux\t42");
+        assert!(matches!(&parsed, ServiceError::Remote(text) if text == "quantum-flux\t42"));
+        // malformed fields of a known kind fall back too, keeping the text
+        assert!(matches!(
+            ServiceError::from_wire("unknown-workflow\tnot-a-number"),
+            ServiceError::Remote(_)
+        ));
+        // a schema-version tail from a build speaking a different version
+        // cannot re-intern the static token
+        assert!(matches!(
+            ServiceError::from_wire("schema-version\tv999\tv1"),
+            ServiceError::Remote(_)
+        ));
+    }
+
+    #[test]
+    fn transient_classification_covers_retryable_kinds() {
+        assert!(ServiceError::Overloaded.is_transient());
+        assert!(ServiceError::Degraded {
+            shard: 0,
+            reason: String::new()
+        }
+        .is_transient());
+        assert!(ServiceError::Io(std::io::Error::other("reset")).is_transient());
+        assert!(!ServiceError::Lagged.is_transient());
+        assert!(!ServiceError::EpochConflict {
+            expected: 1,
+            actual: 2
+        }
+        .is_transient());
+        assert!(!ServiceError::UnknownWorkflow(WorkflowId(1)).is_transient());
     }
 }

@@ -64,14 +64,21 @@ pub mod storage;
 pub mod store;
 pub mod wal;
 
-pub use client::{validate_throughput, BatchConfig, ServiceClient, ThroughputReport, WatchStream};
+pub use client::{
+    validate_throughput, BatchConfig, MutateOutcome, RequestPolicy, ServiceClient,
+    ThroughputReport, WatchStream,
+};
 pub use error::ServiceError;
-pub use obs::{Histogram, HistogramSnapshot, Stage, StorageObservation, Telemetry, Verb};
+pub use obs::{
+    ErrorCounters, Histogram, HistogramSnapshot, Stage, StorageObservation, Telemetry, Verb,
+};
 pub use proto::{
     MutateOp, Mutated, Request, Response, StatsReport, Verdict, WatchEvent, WatchMode, Watching,
     STATS_SCHEMA_VERSION,
 };
 pub use server::{serve, serve_with_store, ServerConfig, ServerHandle};
-pub use storage::{MemoryBackend, RecoveryReport, StorageBackend};
+pub use storage::{
+    FaultDirective, FaultInjector, FaultPlan, MemoryBackend, RecoveryReport, StorageBackend,
+};
 pub use store::{WatchSubscription, WorkflowId, WorkflowStore, WATCH_QUEUE_CAP};
-pub use wal::{open_data_dir, FileBackend, PersistConfig};
+pub use wal::{open_data_dir, open_faulted_data_dir, FileBackend, PersistConfig};

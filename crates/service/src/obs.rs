@@ -521,13 +521,47 @@ impl SlowRing {
     }
 }
 
+/// Error counters keyed by the typed wire kind (`degraded`,
+/// `overloaded`, `unknown-workflow`, …) — the `wolves_errors_total{kind}`
+/// series. Keys are the `&'static str` kinds from
+/// [`crate::error::ServiceError::wire_kind`], so recording never
+/// allocates a key; the map only grows to the number of distinct kinds.
+#[derive(Debug, Default)]
+pub struct ErrorCounters {
+    counts: Mutex<std::collections::BTreeMap<&'static str, u64>>,
+}
+
+impl ErrorCounters {
+    /// Bumps the counter for one error kind.
+    pub fn record(&self, kind: &'static str) {
+        *self.counts.lock().entry(kind).or_insert(0) += 1;
+    }
+
+    /// A point-in-time copy of all counters, sorted by kind.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        self.counts
+            .lock()
+            .iter()
+            .map(|(&kind, &count)| (kind, count))
+            .collect()
+    }
+
+    /// Total errors recorded across all kinds.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.lock().values().sum()
+    }
+}
+
 /// Store-global telemetry: the commit-stage histograms, the slow-request
-/// ring and recovery timing. Per-verb histograms live per shard (in the
-/// shard metrics) and are merged at scrape time.
+/// ring, error counters and recovery timing. Per-verb histograms live per
+/// shard (in the shard metrics) and are merged at scrape time.
 #[derive(Debug)]
 pub struct Telemetry {
     stages: StageTimers,
     slow: SlowRing,
+    errors: ErrorCounters,
     recovery_replay_ns: AtomicU64,
 }
 
@@ -544,8 +578,15 @@ impl Telemetry {
         Telemetry {
             stages: StageTimers::default(),
             slow: SlowRing::new(SLOW_RING_CAP),
+            errors: ErrorCounters::default(),
             recovery_replay_ns: AtomicU64::new(0),
         }
+    }
+
+    /// The error counters (the `wolves_errors_total{kind}` series).
+    #[must_use]
+    pub fn errors(&self) -> &ErrorCounters {
+        &self.errors
     }
 
     /// Records one commit-stage duration.
@@ -780,6 +821,19 @@ mod tests {
         assert_eq!(verb_names.len(), VERBS.len());
         let stage_names: std::collections::BTreeSet<_> = STAGES.iter().map(|s| s.name()).collect();
         assert_eq!(stage_names.len(), STAGES.len());
+    }
+
+    #[test]
+    fn error_counters_accumulate_per_kind() {
+        let counters = ErrorCounters::default();
+        counters.record("degraded");
+        counters.record("overloaded");
+        counters.record("degraded");
+        assert_eq!(
+            counters.snapshot(),
+            vec![("degraded", 2), ("overloaded", 1)]
+        );
+        assert_eq!(counters.total(), 3);
     }
 
     #[test]

@@ -17,14 +17,26 @@
 //! correct<TAB><id><TAB><strategy>  ok<TAB>corrected<TAB><ver><TAB><before><TAB><after>
 //!                                   <textfmt of the corrected view…>
 //! provenance<TAB><id><TAB><task>   ok<TAB>provenance<TAB><n> + task names
-//! mutate<TAB><id><TAB><op>…        ok<TAB>mutated<TAB><epoch><TAB><class><TAB><inv><TAB><ret><TAB><ver>
+//! mutate<TAB><id>[<TAB>@<epoch>]<TAB><op>…
+//!                                   ok<TAB>mutated<TAB><epoch><TAB><class><TAB><inv><TAB><ret><TAB><ver>
 //! export<TAB><id>                  ok<TAB>exported + the registrable textfmt
 //! snapshot                          ok<TAB>snapshotted<TAB><shards>
 //! stats                             ok<TAB>stats + one line per shard
+//! epoch<TAB><id>                   ok<TAB>epoch<TAB><seq><TAB><epoch>
+//! heal                              ok<TAB>healed<TAB><healed><TAB><still-degraded>
 //! watch<TAB><id>[<TAB><mode>]      ok<TAB>watching<TAB><id><TAB><seq><TAB><epoch><TAB><mode>
 //! unwatch                           ok<TAB>unwatched
 //! shutdown                          ok<TAB>shutdown
 //! ```
+//!
+//! A `mutate` with an `@<epoch>` marker is a compare-and-set: it applies
+//! only while the workflow's mutation epoch still equals `<epoch>` and is
+//! otherwise refused with an `epoch-conflict` error — the primitive that
+//! makes client-side mutate retries idempotent (a retried mutation whose
+//! first attempt actually committed bumps the epoch, so the retry conflicts
+//! instead of applying twice). `epoch` reads the current cursor to arm the
+//! CAS; `heal` retries the storage backend of every degraded shard and
+//! re-opens writes on success.
 //!
 //! `watch` switches the connection into subscription mode: the server pushes
 //! one [`WatchEvent`] frame (`event<TAB>…`) per committed change of the
@@ -42,9 +54,12 @@
 //! tab-free by construction; `split`/`merge` additionally reserve `,`
 //! and `;` as list separators.
 //!
-//! Errors are reported as `err<TAB><message>`. The format reuses the text
-//! serialisation the CLI already speaks, so a workflow file can be piped to
-//! the server verbatim — no new dependency, no binary encoding.
+//! Errors are reported as `err<TAB><typed tail>`, where the tail is the
+//! [`ServiceError::to_wire`] encoding (`<kind>` + TAB-separated fields), so
+//! clients decode the exact error variant instead of pattern-matching
+//! message text. The format reuses the text serialisation the CLI already
+//! speaks, so a workflow file can be piped to the server verbatim — no new
+//! dependency, no binary encoding.
 
 use std::io::{BufRead, Write};
 
@@ -95,6 +110,11 @@ pub enum Request {
         workflow: WorkflowId,
         /// The edit to apply.
         op: MutateOp,
+        /// Compare-and-set guard: when set, the edit applies only while the
+        /// workflow's mutation epoch still equals this value and is refused
+        /// with [`ServiceError::EpochConflict`] otherwise. `None` (the
+        /// historical wire format, unchanged) applies unconditionally.
+        expect: Option<u64>,
     },
     /// Download a workflow's current spec + view in registrable textfmt —
     /// how clients resync after server-side mutations and corrections.
@@ -107,6 +127,16 @@ pub enum Request {
     Snapshot,
     /// Fetch per-shard serving statistics.
     Stats,
+    /// Read a workflow's change cursor (sequence number + mutation epoch) —
+    /// how a client arms the compare-and-set guard of a retried mutation.
+    Epoch {
+        /// The workflow to read.
+        workflow: WorkflowId,
+    },
+    /// Retry the storage backend of every degraded shard and re-open writes
+    /// where the retry succeeds. A no-op (reported as 0/0) when nothing is
+    /// degraded.
+    Heal,
     /// Fetch the server's telemetry: the Prometheus-style text exposition,
     /// or (with `slow`) the slow-request ring dump.
     Metrics {
@@ -628,6 +658,21 @@ pub enum Response {
     Snapshotted(usize),
     /// Statistics snapshot.
     Stats(StatsReport),
+    /// A workflow's change cursor: sequence number and mutation epoch.
+    Epoch {
+        /// The workflow's change-sequence number (mutations + corrections).
+        seq: u64,
+        /// The workflow's mutation epoch.
+        epoch: u64,
+    },
+    /// Outcome of a [`Request::Heal`]: shards re-opened for writes and
+    /// shards still degraded after the retry.
+    Healed {
+        /// Shards whose backend retry succeeded (writes re-opened).
+        healed: usize,
+        /// Shards whose backend retry failed again (still read-only).
+        still_degraded: usize,
+    },
     /// Telemetry text: the Prometheus-style exposition, or the slow-request
     /// dump for `metrics slow`.
     Metrics(String),
@@ -637,7 +682,10 @@ pub enum Response {
     Unwatched,
     /// The server acknowledged a shutdown request.
     ShuttingDown,
-    /// The request failed server-side.
+    /// The request failed server-side. The payload is the typed
+    /// [`ServiceError::to_wire`] tail; [`ServiceError::from_wire`] decodes
+    /// it back into the variant the server raised (free-form text decodes
+    /// to [`ServiceError::Remote`]).
     Error(String),
 }
 
@@ -728,12 +776,19 @@ impl Request {
             Request::Provenance { workflow, subject } => {
                 vec![format!("provenance\t{workflow}\t{subject}")]
             }
-            Request::Mutate { workflow, op } => {
-                vec![format!("mutate\t{workflow}\t{}", op.to_tail())]
-            }
+            Request::Mutate {
+                workflow,
+                op,
+                expect,
+            } => match expect {
+                Some(epoch) => vec![format!("mutate\t{workflow}\t@{epoch}\t{}", op.to_tail())],
+                None => vec![format!("mutate\t{workflow}\t{}", op.to_tail())],
+            },
             Request::Export { workflow } => vec![format!("export\t{workflow}")],
             Request::Snapshot => vec!["snapshot".to_owned()],
             Request::Stats => vec!["stats".to_owned()],
+            Request::Epoch { workflow } => vec![format!("epoch\t{workflow}")],
+            Request::Heal => vec!["heal".to_owned()],
             Request::Metrics { slow } => vec![if *slow {
                 "metrics\tslow".to_owned()
             } else {
@@ -790,14 +845,27 @@ impl Request {
             }
             "mutate" => {
                 let workflow = parse_id(fields.get(1).copied().unwrap_or_default())?;
-                let op = MutateOp::from_fields(&fields, 2)?;
-                Ok(Request::Mutate { workflow, op })
+                // optional CAS marker `@<epoch>` between the id and the op
+                let (expect, at) = match fields.get(2).and_then(|f| f.strip_prefix('@')) {
+                    Some(epoch) => (Some(parse_u64(epoch, "expected epoch")?), 3),
+                    None => (None, 2),
+                };
+                let op = MutateOp::from_fields(&fields, at)?;
+                Ok(Request::Mutate {
+                    workflow,
+                    op,
+                    expect,
+                })
             }
             "export" => Ok(Request::Export {
                 workflow: parse_id(fields.get(1).copied().unwrap_or_default())?,
             }),
             "snapshot" => Ok(Request::Snapshot),
             "stats" => Ok(Request::Stats),
+            "epoch" => Ok(Request::Epoch {
+                workflow: parse_id(fields.get(1).copied().unwrap_or_default())?,
+            }),
+            "heal" => Ok(Request::Heal),
             "metrics" => match fields.get(1).copied() {
                 None | Some("") => Ok(Request::Metrics { slow: false }),
                 Some("slow") => Ok(Request::Metrics { slow: true }),
@@ -864,6 +932,11 @@ impl Response {
                 lines
             }
             Response::Snapshotted(shards) => vec![format!("ok\tsnapshotted\t{shards}")],
+            Response::Epoch { seq, epoch } => vec![format!("ok\tepoch\t{seq}\t{epoch}")],
+            Response::Healed {
+                healed,
+                still_degraded,
+            } => vec![format!("ok\thealed\t{healed}\t{still_degraded}")],
             Response::Stats(stats) => {
                 let mut lines = vec![format!("ok\tstats\t{}", stats.registry_samples)];
                 for s in &stats.shards {
@@ -909,7 +982,9 @@ impl Response {
             Response::Unwatched => vec!["ok\tunwatched".to_owned()],
             Response::ShuttingDown => vec!["ok\tshutdown".to_owned()],
             Response::Error(message) => {
-                vec![format!("err\t{}", message.replace(['\t', '\n'], " "))]
+                // the typed wire tail is TAB-structured — only newlines
+                // (which would break the framing) are flattened
+                vec![format!("err\t{}", message.replace('\n', " "))]
             }
         }
     }
@@ -987,6 +1062,17 @@ impl Response {
                 fields.get(2).copied().unwrap_or_default(),
                 "shard count",
             )?)),
+            ("ok", Some("epoch")) => Ok(Response::Epoch {
+                seq: parse_u64(fields.get(2).copied().unwrap_or_default(), "sequence")?,
+                epoch: parse_u64(fields.get(3).copied().unwrap_or_default(), "epoch")?,
+            }),
+            ("ok", Some("healed")) => Ok(Response::Healed {
+                healed: parse_usize(fields.get(2).copied().unwrap_or_default(), "healed count")?,
+                still_degraded: parse_usize(
+                    fields.get(3).copied().unwrap_or_default(),
+                    "degraded count",
+                )?,
+            }),
             ("ok", Some("stats")) => {
                 let registry_samples = parse_usize(
                     fields.get(2).copied().unwrap_or_default(),
@@ -1100,6 +1186,10 @@ mod tests {
         });
         round_trip_request(&Request::Snapshot);
         round_trip_request(&Request::Stats);
+        round_trip_request(&Request::Epoch {
+            workflow: WorkflowId(5),
+        });
+        round_trip_request(&Request::Heal);
         round_trip_request(&Request::Metrics { slow: false });
         round_trip_request(&Request::Metrics { slow: true });
         assert!(matches!(
@@ -1157,9 +1247,39 @@ mod tests {
         for op in ops {
             round_trip_request(&Request::Mutate {
                 workflow: WorkflowId(9),
+                op: op.clone(),
+                expect: None,
+            });
+            round_trip_request(&Request::Mutate {
+                workflow: WorkflowId(9),
                 op,
+                expect: Some(41),
             });
         }
+        // the CAS marker changes the wire only when present: the no-expect
+        // form is the historical format, byte for byte
+        assert_eq!(
+            Request::Mutate {
+                workflow: WorkflowId(3),
+                op: MutateOp::AddTask {
+                    name: "x".to_owned()
+                },
+                expect: None,
+            }
+            .to_lines(),
+            vec!["mutate\t3\tadd-task\tx".to_owned()]
+        );
+        assert_eq!(
+            Request::Mutate {
+                workflow: WorkflowId(3),
+                op: MutateOp::AddTask {
+                    name: "x".to_owned()
+                },
+                expect: Some(7),
+            }
+            .to_lines(),
+            vec!["mutate\t3\t@7\tadd-task\tx".to_owned()]
+        );
         let bad = |line: &str| Request::from_lines(&[line.to_owned()]).unwrap_err();
         assert!(matches!(
             bad("mutate\t1\tfrobnicate"),
@@ -1171,6 +1291,10 @@ mod tests {
         ));
         assert!(matches!(
             bad("mutate\t1\tadd-edge\ta"),
+            ServiceError::Protocol(_)
+        ));
+        assert!(matches!(
+            bad("mutate\t1\t@nope\tadd-task\tx"),
             ServiceError::Protocol(_)
         ));
     }
@@ -1239,6 +1363,26 @@ mod tests {
         round_trip_response(&Response::Unwatched);
         round_trip_response(&Response::ShuttingDown);
         round_trip_response(&Response::Error("boom".to_owned()));
+        round_trip_response(&Response::Epoch { seq: 12, epoch: 7 });
+        round_trip_response(&Response::Healed {
+            healed: 2,
+            still_degraded: 1,
+        });
+        // typed error tails are TAB-structured and must survive the frame
+        let wire = ServiceError::Degraded {
+            shard: 1,
+            reason: "disk full".to_owned(),
+        }
+        .to_wire();
+        round_trip_response(&Response::Error(wire.clone()));
+        let lines = Response::Error(wire).to_lines();
+        match Response::from_lines(&lines).unwrap() {
+            Response::Error(tail) => assert!(matches!(
+                ServiceError::from_wire(&tail),
+                ServiceError::Degraded { shard: 1, .. }
+            )),
+            other => panic!("not an error response: {other:?}"),
+        }
     }
 
     #[test]

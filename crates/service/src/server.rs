@@ -11,13 +11,14 @@
 
 use std::io::{BufRead, BufReader};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
+use crate::error::ServiceError;
 use crate::obs::{duration_ns, Stage};
 use crate::proto::{read_frame, write_frame, Request, Response, WatchEvent, Watching};
 use crate::store::{WatchSubscription, WorkflowStore};
@@ -37,6 +38,23 @@ pub struct ServerConfig {
     pub shards: usize,
     /// Number of worker threads.
     pub workers: usize,
+    /// Socket read timeout in milliseconds (0 disables): a connection
+    /// whose client sends nothing for this long is closed and its worker
+    /// reclaimed — an idle or stalled client can no longer pin a worker
+    /// thread forever. Watch subscriptions are exempt (the server pushes
+    /// to them; they are polled, not blocked on).
+    pub read_timeout_ms: u64,
+    /// Socket write timeout in milliseconds (0 disables): a client that
+    /// stops reading its responses cannot block a worker indefinitely.
+    pub write_timeout_ms: u64,
+    /// Per-request admission deadline in milliseconds (0 disables): a
+    /// connection that waited longer than this in the accept queue is shed
+    /// with [`ServiceError::Overloaded`] instead of being served late.
+    pub deadline_ms: u64,
+    /// Accept-backlog bound (0 disables): when this many accepted
+    /// connections are already queued for workers, further connections are
+    /// shed immediately with [`ServiceError::Overloaded`].
+    pub backlog_limit: usize,
 }
 
 impl Default for ServerConfig {
@@ -45,8 +63,18 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_owned(),
             shards: 4,
             workers: 4,
+            read_timeout_ms: 30_000,
+            write_timeout_ms: 30_000,
+            deadline_ms: 10_000,
+            backlog_limit: 1024,
         }
     }
+}
+
+/// `Some(duration)` for a positive millisecond count, `None` for the
+/// disabled sentinel 0.
+fn timeout_of(ms: u64) -> Option<Duration> {
+    (ms > 0).then(|| Duration::from_millis(ms))
 }
 
 /// State shared between the acceptor, the workers and the handle.
@@ -56,6 +84,13 @@ struct Shared {
     shutdown: AtomicBool,
     connections: Mutex<Vec<(u64, TcpStream)>>,
     next_connection: AtomicU64,
+    /// Accepted connections handed to the worker channel but not yet
+    /// picked up — the accept backlog the shedding bound applies to.
+    queued: AtomicUsize,
+    read_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
+    deadline: Option<Duration>,
+    backlog_limit: usize,
 }
 
 impl Shared {
@@ -162,8 +197,13 @@ pub fn serve_with_store(
         shutdown: AtomicBool::new(false),
         connections: Mutex::new(Vec::new()),
         next_connection: AtomicU64::new(0),
+        queued: AtomicUsize::new(0),
+        read_timeout: timeout_of(config.read_timeout_ms),
+        write_timeout: timeout_of(config.write_timeout_ms),
+        deadline: timeout_of(config.deadline_ms),
+        backlog_limit: config.backlog_limit,
     });
-    let (sender, receiver) = mpsc::channel::<TcpStream>();
+    let (sender, receiver) = mpsc::channel::<(TcpStream, Instant)>();
     let receiver = Arc::new(Mutex::new(receiver));
 
     let mut threads = Vec::with_capacity(config.workers.max(1) + 1);
@@ -177,13 +217,23 @@ pub fn serve_with_store(
     }
 
     let acceptor_shared = Arc::clone(&shared);
+    let acceptor_store = Arc::clone(&store);
     threads.push(std::thread::spawn(move || {
         for stream in listener.incoming() {
             if acceptor_shared.is_shutdown() {
                 break;
             }
-            let Ok(stream) = stream else { continue };
-            if sender.send(stream).is_err() {
+            let Ok(mut stream) = stream else { continue };
+            if acceptor_shared.backlog_limit > 0
+                && acceptor_shared.queued.load(Ordering::SeqCst) >= acceptor_shared.backlog_limit
+            {
+                // load-shed at the door: a best-effort typed error frame
+                // tells the client to back off, then the connection drops
+                shed(&mut stream, &acceptor_store);
+                continue;
+            }
+            acceptor_shared.queued.fetch_add(1, Ordering::SeqCst);
+            if sender.send((stream, Instant::now())).is_err() {
                 break;
             }
         }
@@ -197,8 +247,17 @@ pub fn serve_with_store(
     })
 }
 
+/// Sheds one connection with a best-effort [`ServiceError::Overloaded`]
+/// frame; the drop that follows closes it.
+fn shed(stream: &mut TcpStream, store: &WorkflowStore) {
+    let error = ServiceError::Overloaded;
+    store.record_error(&error);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+    let _ = write_frame(stream, &Response::Error(error.to_wire()).to_lines());
+}
+
 fn worker_loop(
-    receiver: &Mutex<mpsc::Receiver<TcpStream>>,
+    receiver: &Mutex<mpsc::Receiver<(TcpStream, Instant)>>,
     store: &WorkflowStore,
     shared: &Shared,
 ) {
@@ -206,7 +265,18 @@ fn worker_loop(
         // hold the mutex only while waiting for the next connection
         let next = { receiver.lock().recv() };
         match next {
-            Ok(stream) => {
+            Ok((mut stream, enqueued)) => {
+                shared.queued.fetch_sub(1, Ordering::SeqCst);
+                if let Some(deadline) = shared.deadline {
+                    // the admission deadline: a connection that aged out in
+                    // the queue is shed, not served late
+                    if enqueued.elapsed() > deadline {
+                        shed(&mut stream, store);
+                        continue;
+                    }
+                }
+                let _ = stream.set_read_timeout(shared.read_timeout);
+                let _ = stream.set_write_timeout(shared.write_timeout);
                 let id = shared.track(&stream);
                 // re-check AFTER tracking: a begin_shutdown() racing with
                 // this hand-off either set the flag before track() (seen
@@ -271,10 +341,16 @@ fn handle_connection(stream: TcpStream, store: &WorkflowStore, shared: &Shared) 
                         WatchOutcome::Disconnect => break,
                     }
                 }
-                Err(e) => (Response::Error(e.to_string()), false),
+                Err(e) => {
+                    store.record_error(&e);
+                    (Response::Error(e.to_wire()), false)
+                }
             },
             Ok(request) => respond(store, request),
-            Err(e) => (Response::Error(e.to_string()), false),
+            Err(e) => {
+                store.record_error(&e);
+                (Response::Error(e.to_wire()), false)
+            }
         };
         if write_frame(&mut writer, &response.to_lines()).is_err() {
             break;
@@ -310,8 +386,9 @@ enum Probe {
 
 /// Peeks at the connection without committing to a blocking read: buffered
 /// bytes (or readable socket data) mean the client sent a frame; EOF or a
-/// socket error mean it is gone.
-fn probe_client(reader: &mut BufReader<TcpStream>) -> Probe {
+/// socket error mean it is gone. `restore` is the connection's configured
+/// read timeout, reinstated after the 1ms probe.
+fn probe_client(reader: &mut BufReader<TcpStream>, restore: Option<Duration>) -> Probe {
     if !reader.buffer().is_empty() {
         return Probe::Data;
     }
@@ -335,8 +412,8 @@ fn probe_client(reader: &mut BufReader<TcpStream>) -> Probe {
         }
         Err(_) => Probe::Gone,
     };
-    // back to blocking mode for the request loop's frame reads
-    if reader.get_ref().set_read_timeout(None).is_err() {
+    // back to the configured timeout for the request loop's frame reads
+    if reader.get_ref().set_read_timeout(restore).is_err() {
         return Probe::Gone;
     }
     probe
@@ -390,7 +467,7 @@ fn run_watch(
                 return WatchOutcome::Resume;
             }
         }
-        match probe_client(reader) {
+        match probe_client(reader, shared.read_timeout) {
             Probe::Idle => {}
             Probe::Gone => {
                 store.unwatch(subscription);
@@ -427,9 +504,25 @@ fn respond(store: &WorkflowStore, request: Request) -> (Response, bool) {
         Request::Provenance { workflow, subject } => store
             .provenance(workflow, &subject)
             .map(Response::Provenance),
-        Request::Mutate { workflow, op } => store.mutate(workflow, op).map(Response::Mutated),
+        Request::Mutate {
+            workflow,
+            op,
+            expect,
+        } => store
+            .mutate_cas(workflow, op, expect)
+            .map(Response::Mutated),
         Request::Export { workflow } => store.export(workflow).map(Response::Exported),
         Request::Snapshot => store.snapshot_all().map(Response::Snapshotted),
+        Request::Epoch { workflow } => store
+            .cursor(workflow)
+            .map(|(seq, epoch)| Response::Epoch { seq, epoch }),
+        Request::Heal => {
+            let (healed, still_degraded) = store.heal();
+            Ok(Response::Healed {
+                healed,
+                still_degraded,
+            })
+        }
         Request::Stats => Ok(Response::Stats(store.stats())),
         Request::Metrics { slow } => Ok(Response::Metrics(if slow {
             store.slow_requests_text()
@@ -452,7 +545,10 @@ fn respond(store: &WorkflowStore, request: Request) -> (Response, bool) {
         }
     };
     (
-        response.unwrap_or_else(|e| Response::Error(e.to_string())),
+        response.unwrap_or_else(|e| {
+            store.record_error(&e);
+            Response::Error(e.to_wire())
+        }),
         false,
     )
 }

@@ -25,6 +25,9 @@
 //! corruption.
 
 use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use wolves_workflow::persist::{delta_from_line, delta_to_line};
 use wolves_workflow::SpecDelta;
@@ -215,6 +218,9 @@ impl WalRecord {
                 let mut payload = Request::Mutate {
                     workflow: WorkflowId(*id),
                     op: op.clone(),
+                    // CAS guards are request-time only: the logged record is
+                    // the committed outcome, so the WAL format is unchanged
+                    expect: None,
                 }
                 .to_lines();
                 payload.extend(deltas.iter().map(delta_to_line));
@@ -298,7 +304,12 @@ impl WalRecord {
                     .ok_or_else(|| corrupt("mutate record missing its op line"))?;
                 let request = Request::from_lines(std::slice::from_ref(op_line))
                     .map_err(|e| corrupt(format!("bad mutate op: {e}")))?;
-                let Request::Mutate { workflow, op } = request else {
+                let Request::Mutate {
+                    workflow,
+                    op,
+                    expect: _,
+                } = request
+                else {
                     return Err(corrupt(format!("not a mutate op: '{op_line}'")));
                 };
                 if workflow.0 != id {
@@ -496,6 +507,335 @@ impl StorageBackend for MemoryBackend {
     }
 }
 
+/// One scripted fault of a [`FaultPlan`]. Operation indices are 1-based:
+/// appends count per shard, snapshot writes and syncs count backend-wide —
+/// both are serialised by the store's per-shard mutator locks, so for a
+/// given workload the counts (and therefore the injected faults) are fully
+/// deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultDirective {
+    /// Appends `from .. from + count` fail with an injected I/O error.
+    AppendErr {
+        /// First failing append (1-based, per shard).
+        from: u64,
+        /// How many consecutive appends fail.
+        count: u64,
+    },
+    /// Append number `at` tears: a short garbage fragment is left at the
+    /// tail of the shard's active log (when the injector knows the data
+    /// directory) and the append fails — the reproducible version of a
+    /// power cut mid-`write(2)`.
+    Torn {
+        /// The torn append (1-based, per shard).
+        at: u64,
+    },
+    /// Syncs `from .. from + count` fail with an injected `EIO`.
+    SyncErr {
+        /// First failing sync (1-based, backend-wide).
+        from: u64,
+        /// How many consecutive syncs fail.
+        count: u64,
+    },
+    /// Snapshot writes `from .. from + count` fail with an injected I/O
+    /// error — combined with [`FaultDirective::AppendErr`] this forces the
+    /// store's double failure (append + rescue snapshot) and degrades the
+    /// shard.
+    SnapErr {
+        /// First failing snapshot write (1-based, backend-wide).
+        from: u64,
+        /// How many consecutive snapshot writes fail.
+        count: u64,
+    },
+    /// The virtual disk is full: once `bytes` of records have been
+    /// appended, every further append and snapshot write fails with an
+    /// injected `ENOSPC`.
+    DiskFull {
+        /// Append budget in bytes.
+        bytes: u64,
+    },
+    /// Appends `from .. from + count` stall for `millis` milliseconds
+    /// (plus a small seed-derived jitter) before executing — a latency
+    /// spike, not a failure.
+    Slow {
+        /// First slow append (1-based, per shard).
+        from: u64,
+        /// How many consecutive appends stall.
+        count: u64,
+        /// Base stall in milliseconds.
+        millis: u64,
+    },
+}
+
+/// A deterministic, seeded fault script for a [`FaultInjector`].
+///
+/// The text grammar (the `--fault-plan` CLI flag) is a comma-separated list
+/// of directives:
+///
+/// ```text
+/// append-err=N[xC]   fail appends N..N+C (C defaults to 1)
+/// torn=N             tear append N (garbage tail + failure)
+/// sync-err=N[xC]     fail syncs N..N+C
+/// snap-err=N[xC]     fail snapshot writes N..N+C
+/// full=K             disk full after K appended bytes
+/// slow=N:MS[xC]      stall appends N..N+C by MS milliseconds
+/// seed=S             seed for the jitter of slow directives
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed deriving the deterministic jitter of [`FaultDirective::Slow`]
+    /// stalls.
+    pub seed: u64,
+    /// The scripted faults, all active at once.
+    pub directives: Vec<FaultDirective>,
+}
+
+impl FaultPlan {
+    /// Parses the comma-separated plan grammar documented on the type.
+    ///
+    /// # Errors
+    /// Reports unknown directives and malformed numbers as
+    /// [`ServiceError::Parse`].
+    pub fn parse(text: &str) -> Result<Self, ServiceError> {
+        let bad = |part: &str| ServiceError::Parse(format!("bad fault-plan directive '{part}'"));
+        let mut plan = FaultPlan::default();
+        for part in text.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, value) = part.split_once('=').ok_or_else(|| bad(part))?;
+            let number = |text: &str| text.parse::<u64>().map_err(|_| bad(part));
+            // trailing `xC` repetition count, defaulting to 1
+            let windowed = |text: &str| -> Result<(u64, u64), ServiceError> {
+                match text.split_once('x') {
+                    Some((from, count)) => Ok((number(from)?, number(count)?.max(1))),
+                    None => Ok((number(text)?, 1)),
+                }
+            };
+            let directive = match key {
+                "append-err" => {
+                    let (from, count) = windowed(value)?;
+                    FaultDirective::AppendErr { from, count }
+                }
+                "torn" => FaultDirective::Torn { at: number(value)? },
+                "sync-err" => {
+                    let (from, count) = windowed(value)?;
+                    FaultDirective::SyncErr { from, count }
+                }
+                "snap-err" => {
+                    let (from, count) = windowed(value)?;
+                    FaultDirective::SnapErr { from, count }
+                }
+                "full" => FaultDirective::DiskFull {
+                    bytes: number(value)?,
+                },
+                "slow" => {
+                    let (at, rest) = value.split_once(':').ok_or_else(|| bad(part))?;
+                    let (millis, count) = windowed(rest)?;
+                    FaultDirective::Slow {
+                        from: number(at)?,
+                        count,
+                        millis,
+                    }
+                }
+                "seed" => {
+                    plan.seed = number(value)?;
+                    continue;
+                }
+                _ => return Err(bad(part)),
+            };
+            plan.directives.push(directive);
+        }
+        Ok(plan)
+    }
+}
+
+fn injected(what: impl fmt::Display) -> ServiceError {
+    ServiceError::Persistence(format!("injected fault: {what}"))
+}
+
+/// SplitMix64 — derives the deterministic jitter of slow directives (and
+/// of the client-side retry backoff in [`crate::client::RequestPolicy`]).
+pub(crate) fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic fault-injecting wrapper around any [`StorageBackend`]:
+/// it counts the operations flowing through and executes the faults a
+/// [`FaultPlan`] scripts for them, so every failure path — torn writes,
+/// fsync `EIO`, a full disk, latency spikes — is reproducible in tests and
+/// smoke runs. Operations outside the scripted windows pass straight
+/// through to the wrapped backend.
+#[derive(Debug)]
+pub struct FaultInjector {
+    inner: Arc<dyn StorageBackend>,
+    plan: FaultPlan,
+    /// Data directory of the wrapped backend; lets [`FaultDirective::Torn`]
+    /// damage the real log tail. Without it a torn directive is a plain
+    /// append failure.
+    root: Option<PathBuf>,
+    appends: Vec<AtomicU64>,
+    syncs: AtomicU64,
+    snapshots: AtomicU64,
+    appended_bytes: AtomicU64,
+}
+
+impl FaultInjector {
+    /// Wraps `inner` with the given plan. Torn directives degrade to plain
+    /// append failures (no on-disk layout to damage); use
+    /// [`Self::with_root`] for a file-backed inner backend.
+    #[must_use]
+    pub fn new(inner: Arc<dyn StorageBackend>, plan: FaultPlan) -> Self {
+        let shards = inner.shard_count();
+        FaultInjector {
+            inner,
+            plan,
+            root: None,
+            appends: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            syncs: AtomicU64::new(0),
+            snapshots: AtomicU64::new(0),
+            appended_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Wraps a file-backed backend whose data directory is `root`, enabling
+    /// [`FaultDirective::Torn`] to leave real garbage at the active log's
+    /// tail.
+    #[must_use]
+    pub fn with_root(
+        inner: Arc<dyn StorageBackend>,
+        plan: FaultPlan,
+        root: impl Into<PathBuf>,
+    ) -> Self {
+        let mut injector = FaultInjector::new(inner, plan);
+        injector.root = Some(root.into());
+        injector
+    }
+
+    /// The active fault plan.
+    #[must_use]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Appends a short garbage fragment (shorter than any real record, so a
+    /// later successful append fully overwrites it) to the shard's newest
+    /// active log segment.
+    fn tear_tail(&self, shard: usize) {
+        use std::io::Write as _;
+        let Some(root) = &self.root else { return };
+        let dir = root.join(format!("shard-{shard}"));
+        let mut best: Option<(u64, PathBuf)> = None;
+        let Ok(listing) = std::fs::read_dir(&dir) else {
+            return;
+        };
+        for entry in listing.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if let Some(gen) = name
+                .strip_prefix("wal-")
+                .and_then(|rest| rest.strip_suffix(".log"))
+                .and_then(|g| g.parse::<u64>().ok())
+            {
+                if best.as_ref().map_or(true, |(newest, _)| gen > *newest) {
+                    best = Some((gen, entry.path()));
+                }
+            }
+        }
+        if let Some((_, path)) = best {
+            if let Ok(mut file) = std::fs::OpenOptions::new().append(true).open(path) {
+                let _ = file.write_all(b"rec\tmut");
+            }
+        }
+    }
+
+    fn full_after(&self) -> Option<u64> {
+        self.plan.directives.iter().find_map(|d| match d {
+            FaultDirective::DiskFull { bytes } => Some(*bytes),
+            _ => None,
+        })
+    }
+}
+
+impl StorageBackend for FaultInjector {
+    fn durable(&self) -> bool {
+        self.inner.durable()
+    }
+
+    fn shard_count(&self) -> usize {
+        self.inner.shard_count()
+    }
+
+    fn append(&self, shard: usize, record: &WalRecord) -> Result<AppendOutcome, ServiceError> {
+        let n = self.appends[shard].fetch_add(1, Ordering::SeqCst) + 1;
+        for directive in &self.plan.directives {
+            match *directive {
+                FaultDirective::Slow {
+                    from,
+                    count,
+                    millis,
+                } if n >= from && n < from + count => {
+                    let jitter = mix64(self.plan.seed ^ n) % (millis / 2 + 1);
+                    std::thread::sleep(std::time::Duration::from_millis(millis + jitter));
+                }
+                FaultDirective::Torn { at } if n == at => {
+                    self.tear_tail(shard);
+                    return Err(injected(format_args!("torn write on append {n}")));
+                }
+                FaultDirective::AppendErr { from, count } if n >= from && n < from + count => {
+                    return Err(injected(format_args!("append {n} failed")));
+                }
+                _ => {}
+            }
+        }
+        if let Some(limit) = self.full_after() {
+            let block: usize = record.to_lines().iter().map(|l| l.len() + 1).sum();
+            let before = self
+                .appended_bytes
+                .fetch_add(block as u64, Ordering::SeqCst);
+            if before + block as u64 > limit {
+                return Err(injected("disk full"));
+            }
+        }
+        self.inner.append(shard, record)
+    }
+
+    fn write_snapshot(&self, shard: usize, entries: &[SnapshotEntry]) -> Result<(), ServiceError> {
+        let n = self.snapshots.fetch_add(1, Ordering::SeqCst) + 1;
+        for directive in &self.plan.directives {
+            if let FaultDirective::SnapErr { from, count } = *directive {
+                if n >= from && n < from + count {
+                    return Err(injected(format_args!("snapshot write {n} failed")));
+                }
+            }
+        }
+        if let Some(limit) = self.full_after() {
+            if self.appended_bytes.load(Ordering::SeqCst) > limit {
+                return Err(injected("disk full"));
+            }
+        }
+        self.inner.write_snapshot(shard, entries)
+    }
+
+    fn take_journal(&self) -> Result<Vec<ShardJournal>, ServiceError> {
+        self.inner.take_journal()
+    }
+
+    fn sync(&self) -> Result<(), ServiceError> {
+        let n = self.syncs.fetch_add(1, Ordering::SeqCst) + 1;
+        for directive in &self.plan.directives {
+            if let FaultDirective::SyncErr { from, count } = *directive {
+                if n >= from && n < from + count {
+                    return Err(injected(format_args!("sync {n} failed (EIO)")));
+                }
+            }
+        }
+        self.inner.sync()
+    }
+
+    fn observe(&self) -> crate::obs::StorageObservation {
+        self.inner.observe()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -621,5 +961,87 @@ mod tests {
     fn fnv64_is_stable() {
         assert_eq!(fnv64(""), 0xcbf2_9ce4_8422_2325);
         assert_ne!(fnv64("a"), fnv64("b"));
+    }
+
+    #[test]
+    fn fault_plans_parse_the_cli_grammar() {
+        let plan = FaultPlan::parse(
+            "append-err=2x3, torn=5,sync-err=1,snap-err=4x2,full=4096,slow=3:20x2,seed=9",
+        )
+        .unwrap();
+        assert_eq!(plan.seed, 9);
+        assert_eq!(
+            plan.directives,
+            vec![
+                FaultDirective::AppendErr { from: 2, count: 3 },
+                FaultDirective::Torn { at: 5 },
+                FaultDirective::SyncErr { from: 1, count: 1 },
+                FaultDirective::SnapErr { from: 4, count: 2 },
+                FaultDirective::DiskFull { bytes: 4096 },
+                FaultDirective::Slow {
+                    from: 3,
+                    count: 2,
+                    millis: 20
+                },
+            ]
+        );
+        assert_eq!(FaultPlan::parse("").unwrap(), FaultPlan::default());
+        for bad in [
+            "gremlins=1",
+            "append-err",
+            "append-err=x",
+            "slow=3",
+            "torn=huge",
+        ] {
+            assert!(
+                matches!(FaultPlan::parse(bad), Err(ServiceError::Parse(_))),
+                "'{bad}' should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_injector_scripts_deterministic_failures() {
+        let plan = FaultPlan::parse("append-err=2x2,snap-err=1,sync-err=2").unwrap();
+        let injector = FaultInjector::new(Arc::new(MemoryBackend::new(2)), plan);
+        assert!(!injector.durable());
+        assert_eq!(injector.shard_count(), 2);
+        let record = WalRecord::Correct {
+            id: 1,
+            version: 0,
+            view_lines: Vec::new(),
+        };
+        // appends 2 and 3 fail, counted per shard
+        for shard in 0..2 {
+            assert!(injector.append(shard, &record).is_ok());
+            assert!(injector.append(shard, &record).is_err());
+            assert!(injector.append(shard, &record).is_err());
+            assert!(injector.append(shard, &record).is_ok());
+        }
+        // the first snapshot write fails, the second passes
+        assert!(injector.write_snapshot(0, &[]).is_err());
+        assert!(injector.write_snapshot(0, &[]).is_ok());
+        // the second sync fails
+        assert!(injector.sync().is_ok());
+        assert!(injector.sync().is_err());
+        assert!(injector.sync().is_ok());
+        assert_eq!(injector.take_journal().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn a_full_disk_fails_appends_and_snapshots_beyond_the_budget() {
+        let record = WalRecord::Correct {
+            id: 1,
+            version: 0,
+            view_lines: vec!["view\tdemo".to_owned()],
+        };
+        let block: usize = record.to_lines().iter().map(|l| l.len() + 1).sum();
+        let plan = FaultPlan::parse(&format!("full={}", block * 2)).unwrap();
+        let injector = FaultInjector::new(Arc::new(MemoryBackend::new(1)), plan);
+        assert!(injector.append(0, &record).is_ok());
+        assert!(injector.append(0, &record).is_ok());
+        let err = injector.append(0, &record).unwrap_err();
+        assert!(err.to_string().contains("disk full"), "{err}");
+        assert!(injector.write_snapshot(0, &[]).is_err());
     }
 }

@@ -237,10 +237,29 @@ struct Shard {
     /// exactly the set fan-out will serve at exit — no subscriber can slip
     /// in mid-mutation and miss its first event.
     watchers: Mutex<Vec<Watcher>>,
+    /// `Some(reason)` when the shard is degraded (read-only): a WAL append
+    /// *and* its rescue snapshot both failed, so the backend cannot commit
+    /// new writes. Reads keep serving the last published snapshot;
+    /// mutations fail fast with [`ServiceError::Degraded`] until
+    /// [`WorkflowStore::heal`] re-opens writes. Checked and set only under
+    /// `mutator`, so the degrade/heal transitions serialise with commits.
+    degraded: Mutex<Option<String>>,
     metrics: ShardMetrics,
 }
 
 impl Shard {
+    /// Fails fast with [`ServiceError::Degraded`] when the shard is
+    /// read-only. Called under `mutator` at the top of every write path.
+    fn writable(&self, index: usize) -> Result<(), ServiceError> {
+        match &*self.degraded.lock() {
+            Some(reason) => Err(ServiceError::Degraded {
+                shard: index,
+                reason: reason.clone(),
+            }),
+            None => Ok(()),
+        }
+    }
+
     fn has_watcher_for(&self, workflow: u64) -> bool {
         self.watchers
             .lock()
@@ -403,6 +422,7 @@ impl WorkflowStore {
                 state: SnapshotCell::new(ShardState::default()),
                 mutator: Mutex::new(()),
                 watchers: Mutex::new(Vec::new()),
+                degraded: Mutex::new(None),
                 metrics: ShardMetrics::default(),
             })
             .collect();
@@ -495,7 +515,7 @@ impl WorkflowStore {
                     deltas,
                 } => {
                     let (mutated, replayed_deltas) =
-                        self.mutate_inner(WorkflowId(id), op, false)?;
+                        self.mutate_inner(WorkflowId(id), op, false, None)?;
                     if mutated.epoch != epoch || replayed_deltas != deltas {
                         return Err(ServiceError::Recovery(format!(
                             "replay diverged on workflow {id}: logged epoch {epoch}, \
@@ -699,6 +719,7 @@ impl WorkflowStore {
         let shard = &self.shards[index];
         shard.metrics.requests.fetch_add(1, Ordering::Relaxed);
         let _guard = shard.mutator.lock();
+        shard.writable(index)?;
         let mut next = shard.state.load();
         Arc::make_mut(&mut next).entries.insert(id.0, entry);
         let mut wants_snapshot = false;
@@ -712,9 +733,16 @@ impl WorkflowStore {
                     fsync_ns = outcome.fsync_ns;
                     append_ns = duration_ns(append_start.elapsed()).saturating_sub(fsync_ns);
                 }
-                // roll back by dropping the unpublished clone: neither
-                // memory nor disk saw the registration
-                Err(e) => return Err(e),
+                // self-heal a failed append with a full snapshot of the
+                // *next* state (rotation supersedes the damaged segment);
+                // a double failure rolls back by dropping the unpublished
+                // clone — neither memory nor disk saw the registration —
+                // and degrades the shard to read-only
+                Err(e) => {
+                    if let Err(rescue) = self.snapshot_shard(index, &next.entries) {
+                        return Err(self.degrade(index, shard, &e, &rescue));
+                    }
+                }
             }
         }
         let publish_start = Instant::now();
@@ -761,6 +789,74 @@ impl WorkflowStore {
         ids.sort_unstable();
         let dump: Vec<SnapshotEntry> = ids.iter().map(|id| entries[id].snapshot(*id)).collect();
         self.backend.write_snapshot(index, &dump)
+    }
+
+    /// Marks one shard degraded (read-only) after a double storage failure
+    /// — a WAL append *and* its rescue snapshot both failed — and returns
+    /// the [`ServiceError::Degraded`] the failed write reports. The caller
+    /// holds the shard's mutator mutex; nothing was published, so readers
+    /// keep serving the last committed snapshot.
+    fn degrade(
+        &self,
+        index: usize,
+        shard: &Shard,
+        append: &ServiceError,
+        rescue: &ServiceError,
+    ) -> ServiceError {
+        let reason = format!("append failed: {append}; rescue snapshot failed: {rescue}");
+        *shard.degraded.lock() = Some(reason.clone());
+        let error = ServiceError::Degraded {
+            shard: index,
+            reason,
+        };
+        self.record_error(&error);
+        error
+    }
+
+    /// Indices of the shards currently degraded (read-only).
+    #[must_use]
+    pub fn degraded_shards(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter(|(_, shard)| shard.degraded.lock().is_some())
+            .map(|(index, _)| index)
+            .collect()
+    }
+
+    /// Attempts to re-open writes on every degraded shard: under the
+    /// shard's mutator mutex the backend is retried with a full snapshot
+    /// of the shard's current in-memory state (exactly the acked state —
+    /// nothing unacked was ever published), whose rotation supersedes any
+    /// damaged log segment. A shard whose snapshot succeeds clears its
+    /// degraded flag and accepts mutations again — no restart, no data
+    /// loss. Returns `(healed, still_degraded)`.
+    pub fn heal(&self) -> (usize, usize) {
+        let mut healed = 0usize;
+        let mut still_degraded = 0usize;
+        for (index, shard) in self.shards.iter().enumerate() {
+            let _guard = shard.mutator.lock();
+            if shard.degraded.lock().is_none() {
+                continue;
+            }
+            // best-effort flush of anything the backend buffered before
+            // the failure; the snapshot below is the actual heal
+            let _ = self.backend.sync();
+            let state = shard.state.load();
+            if self.snapshot_shard(index, &state.entries).is_ok() {
+                *shard.degraded.lock() = None;
+                healed += 1;
+            } else {
+                still_degraded += 1;
+            }
+        }
+        (healed, still_degraded)
+    }
+
+    /// Counts one error response under its typed wire kind — the
+    /// `wolves_errors_total{kind}` series.
+    pub fn record_error(&self, error: &ServiceError) {
+        self.telemetry.errors().record(error.wire_kind());
     }
 
     /// Snapshots every shard through the backend, truncating each shard's
@@ -952,7 +1048,28 @@ impl WorkflowStore {
     /// layer rejects (duplicate names, missing dependencies, non-partition
     /// splits), and persistence failures.
     pub fn mutate(&self, id: WorkflowId, op: MutateOp) -> Result<Mutated, ServiceError> {
-        self.mutate_inner(id, op, true).map(|(mutated, _)| mutated)
+        self.mutate_cas(id, op, None)
+    }
+
+    /// [`WorkflowStore::mutate`] with an optional compare-and-set guard:
+    /// when `expect` is `Some(epoch)`, the edit applies only if the
+    /// workflow's mutation epoch still equals `epoch` — otherwise nothing
+    /// changes and [`ServiceError::EpochConflict`] reports the actual
+    /// epoch. This is what makes retried mutations idempotent: a client
+    /// that resends a mutation whose ack was lost sees a conflict (the
+    /// first send already bumped the epoch) instead of applying twice.
+    ///
+    /// # Errors
+    /// Everything [`WorkflowStore::mutate`] reports, plus
+    /// [`ServiceError::EpochConflict`] on a stale `expect`.
+    pub fn mutate_cas(
+        &self,
+        id: WorkflowId,
+        op: MutateOp,
+        expect: Option<u64>,
+    ) -> Result<Mutated, ServiceError> {
+        self.mutate_inner(id, op, true, expect)
+            .map(|(mutated, _)| mutated)
     }
 
     /// [`WorkflowStore::mutate`] with recording control: recovery replays
@@ -964,6 +1081,7 @@ impl WorkflowStore {
         id: WorkflowId,
         op: MutateOp,
         record: bool,
+        expect: Option<u64>,
     ) -> Result<(Mutated, Vec<SpecDelta>), ServiceError> {
         let start = Instant::now();
         let durable = self.backend.durable();
@@ -980,6 +1098,7 @@ impl WorkflowStore {
         // Watch registration also takes this mutex, so the watcher set
         // observed here is exactly the set the fan-out below serves.
         let _mutator = shard.mutator.lock();
+        shard.writable(index)?;
         let wants_event = record && shard.has_watcher_for(id.0);
         // only durable recording and watch fan-out need the op after the
         // apply-match consumes it; the bare in-memory path skips the clone
@@ -996,6 +1115,16 @@ impl WorkflowStore {
             return Err(ServiceError::NoView(id));
         }
         let old_epoch = entry.epoch;
+        if let Some(expected) = expect {
+            // the CAS guard: checked under the mutator mutex, before any
+            // state is touched, so a stale expectation changes nothing
+            if expected != old_epoch {
+                return Err(ServiceError::EpochConflict {
+                    expected,
+                    actual: old_epoch,
+                });
+            }
+        }
         let new_epoch = old_epoch + 1;
 
         let mutation = |e: wolves_workflow::WorkflowError| ServiceError::Mutation(e.to_string());
@@ -1144,7 +1273,12 @@ impl WorkflowStore {
                 // *next* state (which rotates the log past the gap); if
                 // that fails too, nothing has been published — memory and
                 // durable state both still hold the pre-mutation snapshot
-                Err(e) => self.snapshot_shard(index, &next.entries).map_err(|_| e)?,
+                // — and the shard degrades to read-only
+                Err(e) => {
+                    if let Err(rescue) = self.snapshot_shard(index, &next.entries) {
+                        return Err(self.degrade(index, shard, &e, &rescue));
+                    }
+                }
             }
         }
         // the commit point: readers switch to the mutated state here
@@ -1241,6 +1375,7 @@ impl WorkflowStore {
         let shard_index = self.shard_index_of(id);
         let shard = &self.shards[shard_index];
         let _mutator = shard.mutator.lock();
+        shard.writable(shard_index)?;
         let wants_event = shard.has_watcher_for(id.0);
         let mut next = shard.state.load();
         let entry = Arc::make_mut(&mut next)
@@ -1284,10 +1419,13 @@ impl WorkflowStore {
                     append_ns = duration_ns(append_start.elapsed()).saturating_sub(fsync_ns);
                 }
                 // self-heal before publish, as in `mutate_inner`: on a
-                // double failure nothing is published and memory rolls back
-                Err(e) => self
-                    .snapshot_shard(shard_index, &next.entries)
-                    .map_err(|_| e)?,
+                // double failure nothing is published, memory rolls back
+                // and the shard degrades to read-only
+                Err(e) => {
+                    if let Err(rescue) = self.snapshot_shard(shard_index, &next.entries) {
+                        return Err(self.degrade(shard_index, shard, &e, &rescue));
+                    }
+                }
             }
         }
         let publish_start = Instant::now();
@@ -1585,6 +1723,26 @@ impl WorkflowStore {
             &[],
             self.telemetry.slow().worst().len() as u64,
         );
+        let _ = writeln!(out, "# TYPE wolves_shard_degraded gauge");
+        for (index, shard) in self.shards.iter().enumerate() {
+            let shard_label = index.to_string();
+            write_sample(
+                &mut out,
+                "wolves_shard_degraded",
+                &[("shard", &shard_label)],
+                u64::from(shard.degraded.lock().is_some()),
+            );
+        }
+        write_sample(
+            &mut out,
+            "wolves_degraded_shards",
+            &[],
+            self.degraded_shards().len() as u64,
+        );
+        let _ = writeln!(out, "# TYPE wolves_errors_total counter");
+        for (kind, count) in self.telemetry.errors().snapshot() {
+            write_sample(&mut out, "wolves_errors_total", &[("kind", kind)], count);
+        }
         out
     }
 
@@ -1724,7 +1882,7 @@ impl WorkflowStore {
                 outcome,
                 deltas,
             } => {
-                let (mutated, applied) = self.mutate_inner(*workflow, op.clone(), true)?;
+                let (mutated, applied) = self.mutate_inner(*workflow, op.clone(), true, None)?;
                 if mutated.epoch != outcome.epoch {
                     return Err(diverged("epoch", mutated.epoch, outcome.epoch));
                 }
@@ -2061,6 +2219,101 @@ mod tests {
         let f = figure1();
         let third = recovered.try_register(f.spec, Some(f.view)).unwrap();
         assert_eq!(third.0, second.0 + 1);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn cas_mutations_apply_at_most_once() {
+        let store = WorkflowStore::new(2);
+        let fixture = figure1();
+        let id = store.register(fixture.spec, Some(fixture.view));
+        assert_eq!(store.cursor(id).unwrap(), (0, 0));
+        let op = add_edge("Check additional annotations", "Build phylo tree");
+        let mutated = store.mutate_cas(id, op.clone(), Some(0)).unwrap();
+        assert_eq!(mutated.epoch, 1);
+        // the retry scenario: the first send applied (ack lost), the
+        // resend carries the same expectation and must change nothing
+        let err = store.mutate_cas(id, op, Some(0)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ServiceError::EpochConflict {
+                    expected: 0,
+                    actual: 1
+                }
+            ),
+            "{err}"
+        );
+        assert_eq!(store.cursor(id).unwrap(), (1, 1));
+        // a fresh expectation applies normally
+        let mutated = store
+            .mutate_cas(id, add_edge("Display tree", "Format alignment"), Some(1))
+            .unwrap();
+        assert_eq!(mutated.epoch, 2);
+    }
+
+    #[test]
+    fn a_double_storage_failure_degrades_the_shard_and_heal_reopens_writes() {
+        use crate::storage::{FaultInjector, FaultPlan};
+        let root = temp_root("degrade");
+        let config = PersistConfig {
+            shards: 1,
+            ..PersistConfig::new(&root)
+        };
+        let backend = Arc::new(FileBackend::open(config).unwrap());
+        // append 2 (the first mutation) fails, and so does its rescue
+        // snapshot — the double failure that degrades the shard
+        let plan = FaultPlan::parse("append-err=2,snap-err=1").unwrap();
+        let faulted = Arc::new(FaultInjector::new(backend, plan));
+        let (store, _) = WorkflowStore::open(faulted).unwrap();
+        let fixture = figure1();
+        let id = store
+            .try_register(fixture.spec, Some(fixture.view))
+            .unwrap();
+        let op = add_edge("Check additional annotations", "Build phylo tree");
+        let err = store.mutate(id, op.clone()).unwrap_err();
+        assert!(
+            matches!(err, ServiceError::Degraded { shard: 0, .. }),
+            "{err}"
+        );
+        assert_eq!(store.degraded_shards(), vec![0]);
+        // reads keep serving off the last published snapshot
+        assert!(store.validate(id, None).is_ok());
+        assert!(store.export(id).is_ok());
+        assert!(store.provenance(id, "Display tree").is_ok());
+        // further writes fail fast without touching the backend
+        assert!(matches!(
+            store.mutate(id, op.clone()),
+            Err(ServiceError::Degraded { .. })
+        ));
+        let metrics = store.metrics_text();
+        assert!(
+            metrics.contains("wolves_shard_degraded{shard=\"0\"} 1"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("wolves_errors_total{kind=\"degraded\"}"),
+            "{metrics}"
+        );
+        // heal: the retried snapshot rotates past the damage and re-opens
+        // writes — no restart
+        assert_eq!(store.heal(), (1, 0));
+        assert!(store.degraded_shards().is_empty());
+        assert!(store
+            .metrics_text()
+            .contains("wolves_shard_degraded{shard=\"0\"} 0"));
+        let mutated = store.mutate(id, op).unwrap();
+        assert_eq!(mutated.epoch, 1, "the failed mutation was never applied");
+        drop(store);
+        // recovery on a clean backend sees exactly the acked history
+        let config = PersistConfig {
+            shards: 1,
+            ..PersistConfig::new(&root)
+        };
+        let backend = Arc::new(FileBackend::open(config).unwrap());
+        let (recovered, report) = WorkflowStore::open(backend).unwrap();
+        assert_eq!(report.workflows, 1);
+        assert_eq!(recovered.cursor(id).unwrap(), (1, 1));
         std::fs::remove_dir_all(&root).unwrap();
     }
 

@@ -189,13 +189,35 @@ pub fn open_data_dir(
     root: &Path,
     explicit_shards: Option<usize>,
 ) -> Result<(crate::store::WorkflowStore, crate::storage::RecoveryReport), ServiceError> {
+    open_faulted_data_dir(root, explicit_shards, crate::storage::FaultPlan::default())
+}
+
+/// [`open_data_dir`] with a scripted fault plan: the recovered store runs
+/// on a [`crate::storage::FaultInjector`] wrapping the file backend, so
+/// every append/snapshot/fsync flowing through executes the plan's
+/// directives. An empty plan behaves exactly like [`open_data_dir`] (the
+/// injector delegates everything). This is what `wolves serve
+/// --fault-plan` plugs in — a chaos-testing entry point, not a production
+/// mode.
+///
+/// # Errors
+/// Reports I/O failures, shard-count mismatches and journal corruption.
+pub fn open_faulted_data_dir(
+    root: &Path,
+    explicit_shards: Option<usize>,
+    plan: crate::storage::FaultPlan,
+) -> Result<(crate::store::WorkflowStore, crate::storage::RecoveryReport), ServiceError> {
     let recorded = FileBackend::recorded_shard_count(root)?;
     let shards = explicit_shards.or(recorded).unwrap_or(4);
-    let backend = FileBackend::open(PersistConfig {
+    let backend = std::sync::Arc::new(FileBackend::open(PersistConfig {
         shards,
         ..PersistConfig::new(root)
-    })?;
-    crate::store::WorkflowStore::open(std::sync::Arc::new(backend))
+    })?);
+    if plan.directives.is_empty() {
+        return crate::store::WorkflowStore::open(backend);
+    }
+    let faulted = crate::storage::FaultInjector::with_root(backend, plan, root.to_path_buf());
+    crate::store::WorkflowStore::open(std::sync::Arc::new(faulted))
 }
 
 fn parse_meta(content: &str) -> Result<usize, ServiceError> {

@@ -15,6 +15,7 @@ fn full_protocol_round_trip_over_loopback() {
         addr: "127.0.0.1:0".to_owned(),
         shards: 2,
         workers: 4,
+        ..ServerConfig::default()
     })
     .expect("bind a loopback server");
     let addr = server.local_addr();
@@ -93,11 +94,11 @@ fn full_protocol_round_trip_over_loopback() {
         "seven of eight composite verdicts served from the surviving cache"
     );
 
-    // server-side errors arrive as typed remote errors, not broken streams
+    // server-side errors arrive as their typed variants, not broken streams
     let err = client
         .provenance(id, "No such task")
         .expect_err("unknown task");
-    assert!(matches!(err, ServiceError::Remote(_)));
+    assert!(matches!(err, ServiceError::UnknownTask(_)), "got {err:?}");
     let err = client
         .mutate(
             id,
@@ -107,7 +108,7 @@ fn full_protocol_round_trip_over_loopback() {
             },
         )
         .expect_err("no such dependency");
-    assert!(matches!(err, ServiceError::Remote(_)));
+    assert!(matches!(err, ServiceError::Mutation(_)), "got {err:?}");
 
     client.shutdown().expect("shutdown");
     server.join();
@@ -119,6 +120,7 @@ fn watch_streams_cdc_events_over_the_wire() {
         addr: "127.0.0.1:0".to_owned(),
         shards: 2,
         workers: 4,
+        ..ServerConfig::default()
     })
     .expect("bind a loopback server");
     let addr = server.local_addr();
@@ -134,7 +136,10 @@ fn watch_streams_cdc_events_over_the_wire() {
     let err = watcher
         .watch(wolves::service::WorkflowId(999), WatchMode::Tail)
         .expect_err("unknown workflow");
-    assert!(matches!(err, ServiceError::Remote(_)));
+    assert!(
+        matches!(err, ServiceError::UnknownWorkflow(_)),
+        "got {err:?}"
+    );
 
     // resync mode hands over the export payload atomically with the cut;
     // the ack arriving means the server registered the subscription, so
@@ -196,6 +201,7 @@ fn concurrent_clients_share_the_verdict_cache() {
         addr: "127.0.0.1:0".to_owned(),
         shards: 4,
         workers: 4,
+        ..ServerConfig::default()
     })
     .expect("bind a loopback server");
     let store = server.store();
@@ -228,4 +234,38 @@ fn concurrent_clients_share_the_verdict_cache() {
     assert_eq!(stats.validate_hits() + stats.validate_misses(), 240);
     assert_eq!(stats.workflows(), 6);
     server.shutdown();
+}
+
+#[test]
+fn idle_clients_cannot_pin_the_worker_pool() {
+    // regression: without read timeouts on accepted sockets, a client that
+    // connected and then sent nothing pinned a worker thread forever — with
+    // a single worker the whole server stopped answering
+    let server = serve(&ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        shards: 1,
+        workers: 1,
+        read_timeout_ms: 150,
+        ..ServerConfig::default()
+    })
+    .expect("bind a loopback server");
+    let addr = server.local_addr();
+
+    // the silent connection grabs the only worker and never speaks
+    let silent = std::net::TcpStream::connect(addr).expect("connect silently");
+
+    // the real client queued behind it is served once the read timeout
+    // reclaims the worker (well inside this client's own 10s budget)
+    let fixture = wolves::repo::figure1();
+    let payload = write_text_format(&fixture.spec, Some(&fixture.view));
+    let mut client = ServiceClient::connect_with(addr, Some(std::time::Duration::from_secs(10)))
+        .expect("connect the real client");
+    let id = client
+        .register_text(&payload)
+        .expect("served despite the idle connection");
+    assert!(!client.validate(id, None).expect("validate").sound);
+
+    drop(silent);
+    client.shutdown().expect("shutdown");
+    server.join();
 }
