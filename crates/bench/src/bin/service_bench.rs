@@ -1,6 +1,8 @@
 //! Throughput benchmark for `wolves-service`: requests/sec over a grid of
 //! shard counts × worker-thread counts, driven by the concurrent batch
-//! client over a real loopback TCP connection.
+//! client over a real loopback TCP connection — plus the evented-core
+//! grids: pipelining speedup, idle-connection scaling and WAL group-commit
+//! cost under strict fsync.
 //!
 //! Usage:
 //!
@@ -8,6 +10,7 @@
 //! service_bench                     # full grid, JSON on stdout
 //! service_bench --quick             # smaller grid / fewer requests (CI)
 //! service_bench --out BENCH_service.json
+//! service_bench --conn-smoke 10000  # hold N idle conns through a burst
 //! ```
 //!
 //! The output is machine-readable JSON (handwritten — no serde in the
@@ -15,12 +18,16 @@
 //! across PRs.
 
 use std::fmt::Write as _;
+use std::net::TcpStream;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use wolves_repo::{figure1, layered_workflow, topological_block_view, LayeredConfig};
 use wolves_service::{
-    serve, validate_throughput, BatchConfig, MutateOp, ServerConfig, Verb, WorkflowId,
+    serve, validate_throughput, BatchConfig, DurabilityBarrier, FileBackend, MutateOp,
+    PersistConfig, ServerConfig, Verb, WorkflowId, WorkflowStore,
 };
 
 struct Row {
@@ -65,8 +72,19 @@ fn percentile_us(snapshot: &wolves_service::HistogramSnapshot, q: f64) -> f64 {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        println!("usage: service_bench [--quick] [--out <file>] [--metrics-out <file>]");
+        println!(
+            "usage: service_bench [--quick] [--out <file>] [--metrics-out <file>] \
+             [--conn-smoke <idle-conns>]"
+        );
         return;
+    }
+    if let Some(target) = args
+        .iter()
+        .position(|a| a == "--conn-smoke")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        std::process::exit(run_connection_smoke(target));
     }
     let quick = args.iter().any(|a| a == "--quick");
     let out_path: Option<String> = args
@@ -105,7 +123,17 @@ fn main() {
         }
         eprintln!("wrote {path}");
     }
-    let json = render_json(&rows, &read_under_write, quick);
+    let pipelining = run_pipelining(quick);
+    let scaling = run_connection_scaling(quick);
+    let group_commit = run_group_commit(quick);
+    let json = render_json(
+        &rows,
+        &read_under_write,
+        &pipelining,
+        &scaling,
+        &group_commit,
+        quick,
+    );
     if let Some(path) = out_path {
         if let Err(e) = std::fs::write(&path, &json) {
             eprintln!("cannot write '{path}': {e}");
@@ -142,6 +170,7 @@ fn run_grid_point(shards: usize, workers: usize, clients: usize, requests: usize
         BatchConfig {
             clients,
             requests_per_client: requests,
+            pipeline: 1,
         },
     )
     .expect("throughput driver");
@@ -189,6 +218,7 @@ fn run_read_under_write(quick: bool) -> (ReadUnderWrite, String) {
     let batch = BatchConfig {
         clients,
         requests_per_client: requests,
+        pipeline: 1,
     };
 
     let idle = validate_throughput(server.local_addr(), &ids, batch).expect("idle pass");
@@ -246,7 +276,454 @@ fn run_read_under_write(quick: bool) -> (ReadUnderWrite, String) {
     )
 }
 
-fn render_json(rows: &[Row], read_under_write: &ReadUnderWrite, quick: bool) -> String {
+/// One-write-per-request vs pipelined vs server-side batch verb, same
+/// connection count: the round-trip collapse the evented core exists for.
+struct Pipelining {
+    clients: usize,
+    depth: usize,
+    baseline_rps: f64,
+    pipelined_rps: f64,
+    batched_rps: f64,
+    /// `pipelined_rps / baseline_rps` — the acceptance bar is ≥ 3.
+    speedup: f64,
+}
+
+/// Validate throughput while N idle connections sit on the evented loop —
+/// idle clients must cost file descriptors, not threads or throughput.
+struct ScalingRow {
+    idle_target: usize,
+    idle_open: usize,
+    completed: usize,
+    errors: usize,
+    requests_per_sec: f64,
+}
+
+/// Concurrent-mutator throughput on a real [`FileBackend`], OS-flush
+/// (`fsync_every=0`) vs strict (`fsync_every=1`): group commit should keep
+/// the strict ratio close to 1 because concurrent appends share one leader
+/// fsync.
+struct GroupCommit {
+    mutators: usize,
+    mutations_per_thread: usize,
+    os_flush_rps: f64,
+    strict_rps: f64,
+    /// `os_flush_rps / strict_rps` — the acceptance bar is ≤ 1.2.
+    ratio: f64,
+    /// Leader fsyncs recorded by the strict run.
+    batches: u64,
+    /// Appends that rode another mutator's fsync in the strict run.
+    absorbed: u64,
+    mean_batch: f64,
+}
+
+fn temp_root(tag: &str) -> PathBuf {
+    use std::sync::atomic::AtomicU64;
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "wolves-service-bench-{tag}-{}-{unique}",
+        std::process::id()
+    ))
+}
+
+/// An evented server (thread-pool fallback off Linux) preloaded with eight
+/// Figure 1 workflows.
+fn evented_fixture_server(
+    shards: usize,
+    workers: usize,
+) -> (wolves_service::ServerHandle, Vec<WorkflowId>) {
+    let server = serve(&ServerConfig {
+        shards,
+        workers,
+        evented: true,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback server");
+    let store = server.store();
+    let ids: Vec<WorkflowId> = (0..8)
+        .map(|_| {
+            let fixture = figure1();
+            store.register(fixture.spec, Some(fixture.view))
+        })
+        .collect();
+    (server, ids)
+}
+
+fn run_pipelining(quick: bool) -> Pipelining {
+    let (clients, requests, depth) = if quick { (4, 400, 32) } else { (4, 2000, 32) };
+    let (server, ids) = evented_fixture_server(4, 4);
+    let addr = server.local_addr();
+
+    let baseline = validate_throughput(
+        addr,
+        &ids,
+        BatchConfig {
+            clients,
+            requests_per_client: requests,
+            pipeline: 1,
+        },
+    )
+    .expect("baseline pass");
+    let pipelined = validate_throughput(
+        addr,
+        &ids,
+        BatchConfig {
+            clients,
+            requests_per_client: requests,
+            pipeline: depth,
+        },
+    )
+    .expect("pipelined pass");
+
+    // the batch verb: same requests, one nested frame per `depth` window
+    let start = Instant::now();
+    let batched_completed: usize = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for client_index in 0..clients {
+            let ids = &ids;
+            handles.push(scope.spawn(move || {
+                let Ok(mut client) = wolves_service::ServiceClient::connect(addr) else {
+                    return 0usize;
+                };
+                let mut completed = 0usize;
+                let mut sent = 0usize;
+                while sent < requests {
+                    let window = depth.min(requests - sent);
+                    let batch: Vec<wolves_service::Request> = (0..window)
+                        .map(|offset| wolves_service::Request::Validate {
+                            workflow: ids[(client_index + sent + offset) % ids.len()],
+                            version: None,
+                        })
+                        .collect();
+                    match client.batch(batch) {
+                        Ok(outcomes) => {
+                            completed += outcomes.iter().filter(|o| o.is_ok()).count();
+                        }
+                        Err(_) => break,
+                    }
+                    sent += window;
+                }
+                completed
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap_or(0)).sum()
+    });
+    let batched_rps = batched_completed as f64 / start.elapsed().as_secs_f64().max(1e-9);
+    server.shutdown();
+
+    let baseline_rps = baseline.requests_per_sec();
+    let pipelined_rps = pipelined.requests_per_sec();
+    Pipelining {
+        clients,
+        depth,
+        baseline_rps,
+        pipelined_rps,
+        batched_rps,
+        speedup: pipelined_rps / baseline_rps.max(1e-9),
+    }
+}
+
+fn run_connection_scaling(quick: bool) -> Vec<ScalingRow> {
+    let idle_grid: Vec<usize> = if quick {
+        vec![0, 500]
+    } else {
+        vec![0, 1000, 5000]
+    };
+    let requests = if quick { 200 } else { 500 };
+    let mut rows = Vec::new();
+    for &idle_target in &idle_grid {
+        let (server, ids) = evented_fixture_server(2, 4);
+        let addr = server.local_addr();
+        let mut idle = Vec::with_capacity(idle_target);
+        for _ in 0..idle_target {
+            // stop at the fd limit instead of failing the whole bench; the
+            // row records how many actually opened
+            let Ok(stream) = TcpStream::connect(addr) else {
+                break;
+            };
+            idle.push(stream);
+        }
+        let report = validate_throughput(
+            addr,
+            &ids,
+            BatchConfig {
+                clients: 4,
+                requests_per_client: requests,
+                pipeline: 8,
+            },
+        )
+        .expect("scaling pass");
+        rows.push(ScalingRow {
+            idle_target,
+            idle_open: idle.len(),
+            completed: report.completed,
+            errors: report.errors,
+            requests_per_sec: report.requests_per_sec(),
+        });
+        drop(idle);
+        server.shutdown();
+    }
+    rows
+}
+
+/// Per-thread pipelined batch depth of the mutation burst: mutations defer
+/// durability into one [`DurabilityBarrier`] per batch, exactly like the
+/// evented server settles a pipelined connection's frames.
+const GC_PIPELINE: usize = 8;
+
+/// One mutation burst against a fresh durable store: `mutators` threads ×
+/// `per_thread` mutate+validate rounds, each thread on its own workflow,
+/// settled in pipelined batches of [`GC_PIPELINE`]. Returns the rate plus
+/// the backend's group-commit observation.
+fn mutation_burst(
+    fsync_every: usize,
+    mutators: usize,
+    per_thread: usize,
+) -> (f64, wolves_service::StorageObservation) {
+    let root = temp_root(&format!("gc{fsync_every}"));
+    // one shard: every mutator funnels into the same segment, which is the
+    // worst case for per-append fsyncs and exactly what group commit is for
+    let backend = FileBackend::open(PersistConfig {
+        shards: 1,
+        fsync_every,
+        ..PersistConfig::new(&root)
+    })
+    .expect("open file backend");
+    let (store, _report) = WorkflowStore::open(Arc::new(backend)).expect("recover empty dir");
+    // realistic op weight: each mutator owns a ~500-task layered workflow
+    // and toggles a long forward edge (first layer → last layer; the
+    // generator never connects layers that far apart, so the add is always
+    // fresh and trivially acyclic)
+    let targets: Vec<(WorkflowId, String, String)> = (0..mutators)
+        .map(|seed| {
+            let spec = layered_workflow(&LayeredConfig::sized(512), seed as u64);
+            let (mut from, mut to, mut deepest) = (String::new(), String::new(), 0usize);
+            for (_, task) in spec.tasks() {
+                let layer: usize = task
+                    .params
+                    .get("layer")
+                    .and_then(|l| l.parse().ok())
+                    .unwrap_or(0);
+                if layer == 0 && from.is_empty() {
+                    from = task.name.clone();
+                }
+                if layer >= deepest {
+                    deepest = layer;
+                    to = task.name.clone();
+                }
+            }
+            let view = topological_block_view(&spec, 48, "blocks").expect("layered spec is a DAG");
+            let id = store
+                .try_register(spec, Some(view))
+                .expect("register workflow durably");
+            (id, from, to)
+        })
+        .collect();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for (target, from, to) in &targets {
+            let store = &store;
+            scope.spawn(move || {
+                let mut index = 0;
+                while index < per_thread {
+                    let batch_end = (index + GC_PIPELINE).min(per_thread);
+                    let mut barrier = DurabilityBarrier::default();
+                    for i in index..batch_end {
+                        let op = if i % 2 == 0 {
+                            MutateOp::AddEdge {
+                                from: from.clone(),
+                                to: to.clone(),
+                            }
+                        } else {
+                            MutateOp::RemoveEdge {
+                                from: from.clone(),
+                                to: to.clone(),
+                            }
+                        };
+                        let (_, ticket) = store
+                            .mutate_deferred(*target, op, None)
+                            .expect("toggle edge");
+                        barrier.fold(ticket);
+                        // closed loop: every edit is followed by a
+                        // soundness check of the view, as in the paper's
+                        // workflow — the mutation bumped the epoch, so this
+                        // recomputes verdicts rather than serving cached
+                        // ones
+                        store.validate(*target, None).expect("revalidate view");
+                    }
+                    // acknowledge the batch: one group-commit wait covers
+                    // all of its records (a no-op in os-flush mode)
+                    store.await_durability(&barrier).expect("settle batch");
+                    index = batch_end;
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    let observed = store.backend().observe();
+    drop(store);
+    let _ = std::fs::remove_dir_all(&root);
+    let total = (mutators * per_thread) as f64;
+    (total / elapsed.as_secs_f64().max(1e-9), observed)
+}
+
+fn run_group_commit(quick: bool) -> GroupCommit {
+    // enough concurrent mutators that a leader's fsync has a full group
+    // stacked behind it — the acceptance floor is 8, the amortisation story
+    // needs more
+    let mutators = if quick { 32 } else { 64 };
+    let per_thread = if quick { 50 } else { 200 };
+    let (os_flush_rps, _) = mutation_burst(0, mutators, per_thread);
+    let (strict_rps, observed) = mutation_burst(1, mutators, per_thread);
+    let batches = observed.group_commit_batch.count();
+    let absorbed = observed.group_commit_absorbed;
+    GroupCommit {
+        mutators,
+        mutations_per_thread: per_thread,
+        os_flush_rps,
+        strict_rps,
+        ratio: os_flush_rps / strict_rps.max(1e-9),
+        batches,
+        absorbed,
+        mean_batch: (absorbed + batches) as f64 / batches.max(1) as f64,
+    }
+}
+
+/// The CI smoke: hold `target` idle connections on the evented loop while a
+/// mutation burst and a pipelined validate pass run through it, then prove
+/// a sample of the idle connections is still served. Non-zero exit on any
+/// failure.
+fn run_connection_smoke(target: usize) -> i32 {
+    // holding idle connections is the point of this smoke, so the idle
+    // reclamation sweep is off — opening and probing tens of thousands of
+    // sockets takes longer than any sensible production idle timeout
+    let server = serve(&ServerConfig {
+        shards: 2,
+        workers: 4,
+        evented: true,
+        read_timeout_ms: 0,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback server");
+    let store = server.store();
+    let ids: Vec<WorkflowId> = (0..8)
+        .map(|_| {
+            let fixture = figure1();
+            store.register(fixture.spec, Some(fixture.view))
+        })
+        .collect();
+    let addr = server.local_addr();
+
+    let probe_count = 8.min(target.max(1));
+    let mut probes = Vec::new();
+    for _ in 0..probe_count {
+        match wolves_service::ServiceClient::connect(addr) {
+            Ok(client) => probes.push(client),
+            Err(e) => {
+                eprintln!("conn-smoke: cannot open probe connection: {e}");
+                return 1;
+            }
+        }
+    }
+    let mut idle = Vec::with_capacity(target.saturating_sub(probe_count));
+    while idle.len() + probe_count < target {
+        match TcpStream::connect(addr) {
+            Ok(stream) => idle.push(stream),
+            Err(e) => {
+                eprintln!(
+                    "conn-smoke: opened only {} of {target} connections: {e} \
+                     (raise `ulimit -n`?)",
+                    idle.len() + probe_count
+                );
+                return 1;
+            }
+        }
+    }
+
+    // the burst: 8 TCP mutator clients toggling their own workflows while
+    // the idle connections sit on the loop
+    let burst_ok = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for &target_id in &ids {
+            handles.push(scope.spawn(move || {
+                let Ok(mut client) = wolves_service::ServiceClient::connect(addr) else {
+                    return false;
+                };
+                for index in 0..100usize {
+                    let op = if index % 2 == 0 {
+                        MutateOp::AddEdge {
+                            from: "Check additional annotations".to_owned(),
+                            to: "Build phylo tree".to_owned(),
+                        }
+                    } else {
+                        MutateOp::RemoveEdge {
+                            from: "Check additional annotations".to_owned(),
+                            to: "Build phylo tree".to_owned(),
+                        }
+                    };
+                    if client.mutate(target_id, op).is_err() {
+                        return false;
+                    }
+                }
+                true
+            }));
+        }
+        handles.into_iter().all(|h| h.join().unwrap_or(false))
+    });
+    if !burst_ok {
+        eprintln!("conn-smoke: mutation burst failed under {target} idle connections");
+        return 1;
+    }
+
+    let report = validate_throughput(
+        addr,
+        &ids,
+        BatchConfig {
+            clients: 4,
+            requests_per_client: 200,
+            pipeline: 8,
+        },
+    )
+    .expect("smoke validate pass");
+    if report.errors > 0 || report.completed == 0 {
+        eprintln!(
+            "conn-smoke: validate pass degraded: {} completed, {} errors",
+            report.completed, report.errors
+        );
+        return 1;
+    }
+
+    // the probes sat idle through the whole burst; they must still be live
+    for (index, probe) in probes.iter_mut().enumerate() {
+        if let Err(e) = probe.stats() {
+            eprintln!("conn-smoke: idle probe {index} no longer served: {e}");
+            return 1;
+        }
+    }
+    let open = server.store().metrics_text();
+    let gauge = open
+        .lines()
+        .find(|l| l.starts_with("wolves_open_connections "))
+        .map(str::to_owned)
+        .unwrap_or_default();
+    drop(idle);
+    drop(probes);
+    server.shutdown();
+    println!(
+        "conn-smoke: held {target} connections through burst + {} validates ({gauge})",
+        report.completed
+    );
+    0
+}
+
+fn render_json(
+    rows: &[Row],
+    read_under_write: &ReadUnderWrite,
+    pipelining: &Pipelining,
+    scaling: &[ScalingRow],
+    group_commit: &GroupCommit,
+    quick: bool,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"benchmark\": \"wolves-service throughput\",");
@@ -280,7 +757,7 @@ fn render_json(rows: &[Row], read_under_write: &ReadUnderWrite, quick: bool) -> 
         "  \"read_under_write\": {{\"idle_rps\": {:.1}, \"contended_rps\": {:.1}, \
          \"ratio\": {:.3}, \"mutations\": {}, \"snapshot_publishes\": {}, \
          \"validate_p50_us\": {:.3}, \"validate_p99_us\": {:.3}, \
-         \"mutate_p50_us\": {:.3}, \"mutate_p99_us\": {:.3}}}",
+         \"mutate_p50_us\": {:.3}, \"mutate_p99_us\": {:.3}}},",
         read_under_write.idle_rps,
         read_under_write.contended_rps,
         read_under_write.ratio,
@@ -290,6 +767,46 @@ fn render_json(rows: &[Row], read_under_write: &ReadUnderWrite, quick: bool) -> 
         read_under_write.validate_p99_us,
         read_under_write.mutate_p50_us,
         read_under_write.mutate_p99_us
+    );
+    let _ = writeln!(
+        out,
+        "  \"pipelining\": {{\"clients\": {}, \"depth\": {}, \"baseline_rps\": {:.1}, \
+         \"pipelined_rps\": {:.1}, \"batched_rps\": {:.1}, \"speedup\": {:.3}}},",
+        pipelining.clients,
+        pipelining.depth,
+        pipelining.baseline_rps,
+        pipelining.pipelined_rps,
+        pipelining.batched_rps,
+        pipelining.speedup
+    );
+    out.push_str("  \"connection_scaling\": [\n");
+    for (index, row) in scaling.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"idle_target\": {}, \"idle_open\": {}, \"completed\": {}, \
+             \"errors\": {}, \"requests_per_sec\": {:.1}}}",
+            row.idle_target, row.idle_open, row.completed, row.errors, row.requests_per_sec
+        );
+        out.push_str(if index + 1 < scaling.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(
+        out,
+        "  \"group_commit\": {{\"mutators\": {}, \"mutations_per_thread\": {}, \
+         \"os_flush_rps\": {:.1}, \"strict_rps\": {:.1}, \"ratio\": {:.3}, \
+         \"batches\": {}, \"absorbed\": {}, \"mean_batch\": {:.3}}}",
+        group_commit.mutators,
+        group_commit.mutations_per_thread,
+        group_commit.os_flush_rps,
+        group_commit.strict_rps,
+        group_commit.ratio,
+        group_commit.batches,
+        group_commit.absorbed,
+        group_commit.mean_batch
     );
     out.push_str("}\n");
     out

@@ -46,8 +46,8 @@ use wolves_core::validate::{validate, validate_by_definition, validate_naive};
 use wolves_graph::dot::{to_dot, DotOptions};
 use wolves_moml::{from_moml, read_text_format, to_moml, write_text_format, ImportedWorkflow};
 use wolves_service::{
-    MutateOp, MutateOutcome, RequestPolicy, ServiceClient, ServiceError, WatchEvent, WatchMode,
-    WorkflowId,
+    MutateOp, MutateOutcome, Request, RequestPolicy, Response, ServiceClient, ServiceError,
+    WatchEvent, WatchMode, WorkflowId,
 };
 use wolves_workflow::render::{describe_spec, describe_view};
 use wolves_workflow::{WorkflowSpec, WorkflowView};
@@ -420,6 +420,68 @@ pub fn remote_validate(
     for name in &verdict.unsound {
         let _ = writeln!(out, "  [UNSOUND] {name}");
     }
+    Ok(out)
+}
+
+/// `wolves request <addr> validate <id> --pipeline <depth>`: issues `depth`
+/// validates of the same workflow pipelined over one connection — every
+/// request frame leaves in a single write before any response is read — and
+/// prints the verdict plus the measured pipelined round-trip cost.
+///
+/// # Errors
+/// Reports transport/server failures; per-request server errors are counted
+/// and the first one is reported.
+pub fn remote_validate_pipelined(
+    addr: &str,
+    workflow: WorkflowId,
+    version: Option<usize>,
+    depth: usize,
+    policy: Option<&RequestPolicy>,
+) -> Result<String, CliError> {
+    let depth = depth.max(1);
+    let started = std::time::Instant::now();
+    let outcomes = call_with(addr, policy, |client| {
+        let requests: Vec<Request> = (0..depth)
+            .map(|_| Request::Validate { workflow, version })
+            .collect();
+        client.pipeline(&requests)
+    })?;
+    let elapsed = started.elapsed();
+    let ok = outcomes.iter().filter(|outcome| outcome.is_ok()).count();
+    let errors = depth - ok;
+    let mut out = String::new();
+    let verdict = outcomes.iter().rev().find_map(|outcome| match outcome {
+        Ok(Response::Verdict(verdict)) => Some(verdict),
+        _ => None,
+    });
+    match verdict {
+        Some(verdict) => {
+            let _ = writeln!(
+                out,
+                "workflow {workflow} view version {}: {} (cache {})",
+                verdict.version,
+                if verdict.sound { "SOUND" } else { "UNSOUND" },
+                if verdict.cached { "hit" } else { "miss" }
+            );
+            for name in &verdict.unsound {
+                let _ = writeln!(out, "  [UNSOUND] {name}");
+            }
+        }
+        None => {
+            if let Some(Err(first)) = outcomes.iter().find(|outcome| outcome.is_err()) {
+                return Err(CliError::from(ServiceError::Protocol(format!(
+                    "all {depth} pipelined validates failed; first error: {first}"
+                ))));
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "pipelined {depth} validates in one write: {ok} ok, {errors} err, {:.3} ms total \
+         ({:.0} req/s)",
+        elapsed.as_secs_f64() * 1e3,
+        ok as f64 / elapsed.as_secs_f64().max(1e-9)
+    );
     Ok(out)
 }
 

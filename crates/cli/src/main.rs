@@ -31,8 +31,8 @@ use wolves_cli::{
     correct_command, export_command, fixture_command, import_command, load_workflow,
     naive_check_command, parse_watch_mode, recover_command, remote_correct, remote_export,
     remote_heal, remote_metrics, remote_mutate, remote_provenance, remote_register,
-    remote_shutdown, remote_snapshot, remote_stats, remote_validate, remote_watch, render_command,
-    show_command, validate_command,
+    remote_shutdown, remote_snapshot, remote_stats, remote_validate, remote_validate_pipelined,
+    remote_watch, render_command, show_command, validate_command,
 };
 use wolves_service::{
     open_data_dir, open_faulted_data_dir, serve_with_store, FaultPlan, RequestPolicy, ServerConfig,
@@ -240,7 +240,7 @@ fn serve_blocking(args: &[String]) -> Result<String, Failure> {
     let (positionals, flags) = parse_args(
         "serve",
         args,
-        &["addr", "shards", "threads", "data-dir", "fault-plan"],
+        &["addr", "shards", "threads", "data-dir", "fault-plan", "io"],
     )?;
     if !positionals.is_empty() {
         return Err(format!("'serve' takes no positional arguments\n{USAGE}").into());
@@ -287,6 +287,13 @@ fn serve_blocking(args: &[String]) -> Result<String, Failure> {
             )
         }
     };
+    let evented = match flag(&flags, "io") {
+        None | Some("evented") => flag(&flags, "io").is_some(),
+        Some("threads") => false,
+        Some(other) => {
+            return Err(format!("unknown '--io' mode '{other}' (evented|threads)\n{USAGE}").into())
+        }
+    };
     let config = ServerConfig {
         addr: flag(&flags, "addr").unwrap_or("127.0.0.1:7878").to_owned(),
         shards: store.shard_count(),
@@ -294,6 +301,7 @@ fn serve_blocking(args: &[String]) -> Result<String, Failure> {
             .map(|v| parse_number(v, "thread count"))
             .transpose()?
             .unwrap_or(4),
+        evented,
         ..ServerConfig::default()
     };
     let handle = serve_with_store(&config, store).map_err(|e| Failure {
@@ -302,10 +310,15 @@ fn serve_blocking(args: &[String]) -> Result<String, Failure> {
     })?;
     print!("{banner}");
     println!(
-        "wolves-service listening on {} ({} shards, {} worker threads)",
+        "wolves-service listening on {} ({} shards, {} worker threads, {} I/O)",
         handle.local_addr(),
         config.shards.max(1),
-        config.workers.max(1)
+        config.workers.max(1),
+        if config.evented && wolves_service::readiness_supported() {
+            "evented"
+        } else {
+            "thread-pool"
+        }
     );
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
@@ -350,7 +363,14 @@ fn request(args: &[String]) -> Result<String, String> {
     let (positionals, flags) = parse_args(
         "request",
         args,
-        &["strategy", "out", "view-version", "timeout-ms", "retries"],
+        &[
+            "strategy",
+            "out",
+            "view-version",
+            "timeout-ms",
+            "retries",
+            "pipeline",
+        ],
     )?;
     let [addr, verb, verb_args @ ..] = positionals.as_slice() else {
         return Err(format!("'request' needs an address and a verb\n{USAGE}"));
@@ -358,7 +378,7 @@ fn request(args: &[String]) -> Result<String, String> {
     // each verb accepts only its own options (plus the policy flags every
     // verb shares); anything else is malformed
     let allowed_for_verb: &[&str] = match verb.as_str() {
-        "validate" => &["view-version", "timeout-ms", "retries"],
+        "validate" => &["view-version", "timeout-ms", "retries", "pipeline"],
         "correct" => &["strategy", "out", "timeout-ms", "retries"],
         "export" => &["out", "timeout-ms", "retries"],
         _ => &["timeout-ms", "retries"],
@@ -397,8 +417,16 @@ fn request(args: &[String]) -> Result<String, String> {
             let version = flag(&flags, "view-version")
                 .map(|v| parse_number::<usize>(v, "view version"))
                 .transpose()?;
-            remote_validate(addr, parse_id(verb_args.first())?, version, policy)
-                .map_err(|e| e.to_string())
+            let workflow = parse_id(verb_args.first())?;
+            match flag(&flags, "pipeline")
+                .map(|v| parse_number::<usize>(v, "pipeline depth"))
+                .transpose()?
+            {
+                // N validates coalesced into one write over one connection
+                Some(depth) => remote_validate_pipelined(addr, workflow, version, depth, policy)
+                    .map_err(|e| e.to_string()),
+                None => remote_validate(addr, workflow, version, policy).map_err(|e| e.to_string()),
+            }
         }
         "correct" => {
             expect_args(1)?;
@@ -536,9 +564,13 @@ usage:
 
 serving (wolves-service):
   wolves serve [--addr <host:port>] [--shards N] [--threads N] [--data-dir <dir>]
-               [--fault-plan <plan>]
+               [--fault-plan <plan>] [--io evented|threads]
                                               serve validation/correction requests
                                               (default 127.0.0.1:7878, 4 shards, 4 threads);
+                                              --io evented runs the epoll readiness
+                                              loop (Linux; idle connections cost no
+                                              threads, pipelined frames batch), --io
+                                              threads the portable thread pool (default);
                                               --data-dir makes the store durable:
                                               snapshot + write-ahead log per shard,
                                               recovered on restart (exit 2: bind
@@ -551,7 +583,10 @@ serving (wolves-service):
   wolves recover <dir>                        offline integrity check + replay report
                                               of a --data-dir (exit 3 on corruption)
   wolves request <addr> register <file>       register a workflow, prints its id
-  wolves request <addr> validate <id> [--view-version N]
+  wolves request <addr> validate <id> [--view-version N] [--pipeline <depth>]
+                                              --pipeline issues <depth> validates in
+                                              one coalesced write (one round trip)
+                                              and reports the aggregate rate
   wolves request <addr> correct <id> [--strategy weak|strong|optimal] [--out <file>]
   wolves request <addr> provenance <id> <task>
   wolves request <addr> export <id> [--out <file>]

@@ -11,8 +11,8 @@ use wolves_workflow::{WorkflowSpec, WorkflowView};
 
 use crate::error::ServiceError;
 use crate::proto::{
-    read_frame, write_frame, Corrected, MutateOp, Mutated, Request, Response, StatsReport, Verdict,
-    WatchEvent, WatchMode, Watching,
+    encode_frame, read_frame, write_frame, Corrected, MutateOp, Mutated, Request, Response,
+    StatsReport, Verdict, WatchEvent, WatchMode, Watching,
 };
 use crate::store::WorkflowId;
 
@@ -73,6 +73,74 @@ impl ServiceClient {
             return Err(ServiceError::from_wire(&message));
         }
         Ok(response)
+    }
+
+    /// Issues `requests` pipelined: every frame is coalesced into **one**
+    /// socket write, then the responses are drained in request order — N
+    /// round-trip latencies collapse into one. Per-request failures land in
+    /// their slot (the connection stays usable); only transport failures
+    /// abort the whole call, after which the connection's request/response
+    /// pairing is unknowable and it should be dropped.
+    ///
+    /// Connection-control requests (`watch`, `unwatch`, `shutdown`) do not
+    /// belong in a pipeline: a `shutdown` mid-pipeline stops the server
+    /// before later responses are written.
+    ///
+    /// # Errors
+    /// Reports I/O failures and protocol violations.
+    #[allow(clippy::type_complexity)]
+    pub fn pipeline(
+        &mut self,
+        requests: &[Request],
+    ) -> Result<Vec<Result<Response, ServiceError>>, ServiceError> {
+        let mut wire = String::new();
+        for request in requests {
+            encode_frame(&mut wire, &request.to_lines());
+        }
+        std::io::Write::write_all(&mut self.writer, wire.as_bytes())?;
+        let mut responses = Vec::with_capacity(requests.len());
+        for _ in requests {
+            let frame = read_frame(&mut self.reader)?.ok_or_else(|| {
+                ServiceError::Protocol("server closed the connection mid-pipeline".to_owned())
+            })?;
+            responses.push(match Response::from_lines(&frame)? {
+                Response::Error(message) => Err(ServiceError::from_wire(&message)),
+                other => Ok(other),
+            });
+        }
+        Ok(responses)
+    }
+
+    /// Issues `requests` as one server-side `batch` frame: one request
+    /// frame, one response frame, one round trip — the server answers the
+    /// sub-requests in order and per-request failures land in their slot.
+    /// Unlike [`ServiceClient::pipeline`] the coalescing survives proxies
+    /// that serialise on frame boundaries, at the cost of buffering the
+    /// whole batch response server-side.
+    ///
+    /// # Errors
+    /// Reports I/O failures and protocol violations (including a response
+    /// batch of the wrong length).
+    #[allow(clippy::type_complexity)]
+    pub fn batch(
+        &mut self,
+        requests: Vec<Request>,
+    ) -> Result<Vec<Result<Response, ServiceError>>, ServiceError> {
+        let expected = requests.len();
+        match self.call(&Request::Batch(requests))? {
+            Response::Batch(responses) if responses.len() == expected => Ok(responses
+                .into_iter()
+                .map(|response| match response {
+                    Response::Error(message) => Err(ServiceError::from_wire(&message)),
+                    other => Ok(other),
+                })
+                .collect()),
+            Response::Batch(responses) => Err(ServiceError::Protocol(format!(
+                "batch of {expected} answered with {} responses",
+                responses.len()
+            ))),
+            other => Err(unexpected("batch", &other)),
+        }
     }
 
     /// Registers a workflow from a native text-format payload.
@@ -462,11 +530,9 @@ impl RequestPolicy {
     fn may_retry(&self, attempt: u32, error: &ServiceError, started: Instant) -> bool {
         attempt < self.retries
             && error.is_transient()
-            && self
-                .deadline
-                .map_or(true, |deadline| {
-                    started.elapsed() + self.backoff_before(attempt) < deadline
-                })
+            && self.deadline.map_or(true, |deadline| {
+                started.elapsed() + self.backoff_before(attempt) < deadline
+            })
     }
 
     /// Runs `operation` against a fresh connection per attempt, retrying
@@ -565,6 +631,21 @@ pub struct BatchConfig {
     pub clients: usize,
     /// Validate requests issued per client.
     pub requests_per_client: usize,
+    /// Requests in flight per connection: 0 or 1 issues one request per
+    /// round trip; a larger depth sends that many validates in one
+    /// coalesced write ([`ServiceClient::pipeline`]) before draining the
+    /// responses.
+    pub pipeline: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            clients: 1,
+            requests_per_client: 1,
+            pipeline: 1,
+        }
+    }
 }
 
 /// Outcome of one [`validate_throughput`] run.
@@ -615,16 +696,39 @@ pub fn validate_throughput(
                 let Ok(mut client) = ServiceClient::connect(addrs.as_slice()) else {
                     return (0, config.requests_per_client);
                 };
-                for request_index in 0..config.requests_per_client {
+                let depth = config.pipeline.max(1);
+                let mut request_index = 0usize;
+                while request_index < config.requests_per_client {
                     if workflows.is_empty() {
                         errors += 1;
+                        request_index += 1;
                         continue;
                     }
-                    let workflow = workflows[(client_index + request_index) % workflows.len()];
-                    match client.validate(workflow, None) {
-                        Ok(_) => completed += 1,
-                        Err(_) => errors += 1,
+                    let window = depth.min(config.requests_per_client - request_index);
+                    let requests: Vec<Request> = (0..window)
+                        .map(|offset| Request::Validate {
+                            workflow: workflows
+                                [(client_index + request_index + offset) % workflows.len()],
+                            version: None,
+                        })
+                        .collect();
+                    match client.pipeline(&requests) {
+                        Ok(outcomes) => {
+                            for outcome in outcomes {
+                                match outcome {
+                                    Ok(_) => completed += 1,
+                                    Err(_) => errors += 1,
+                                }
+                            }
+                        }
+                        // a transport failure loses the connection and
+                        // every request this client had left
+                        Err(_) => {
+                            errors += config.requests_per_client - request_index;
+                            break;
+                        }
                     }
+                    request_index += window;
                 }
                 (completed, errors)
             }));
@@ -674,6 +778,84 @@ mod tests {
         client.shutdown().unwrap();
         drop(client);
         server.join();
+    }
+
+    #[test]
+    fn pipeline_and_batch_answer_in_order_with_slotted_errors() {
+        let server = serve(&ServerConfig {
+            shards: 2,
+            workers: 2,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let mut client = ServiceClient::connect(server.local_addr()).unwrap();
+        let fixture = figure1();
+        let id = client.register(&fixture.spec, Some(&fixture.view)).unwrap();
+        let requests = vec![
+            Request::Validate {
+                workflow: id,
+                version: None,
+            },
+            Request::Validate {
+                workflow: WorkflowId(999),
+                version: None,
+            },
+            Request::Epoch { workflow: id },
+        ];
+        // pipelined: one write, three responses in order, the bad
+        // workflow's error in its slot
+        let outcomes = client.pipeline(&requests).unwrap();
+        assert_eq!(outcomes.len(), 3);
+        assert!(matches!(outcomes[0], Ok(Response::Verdict(_))));
+        assert!(matches!(
+            outcomes[1],
+            Err(ServiceError::UnknownWorkflow(WorkflowId(999)))
+        ));
+        assert!(matches!(outcomes[2], Ok(Response::Epoch { .. })));
+        // batched: same shape through the server-side batch verb
+        let outcomes = client.batch(requests).unwrap();
+        assert_eq!(outcomes.len(), 3);
+        assert!(matches!(outcomes[0], Ok(Response::Verdict(_))));
+        assert!(matches!(
+            outcomes[1],
+            Err(ServiceError::UnknownWorkflow(WorkflowId(999)))
+        ));
+        assert!(matches!(outcomes[2], Ok(Response::Epoch { .. })));
+        // the connection stays usable for plain calls afterwards
+        assert!(client.validate(id, None).is_ok());
+        server.shutdown();
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn pipelined_throughput_driver_works_against_the_evented_server() {
+        let server = serve(&ServerConfig {
+            shards: 2,
+            workers: 4,
+            evented: true,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let store = server.store();
+        let ids: Vec<WorkflowId> = (0..4)
+            .map(|_| {
+                let f = figure1();
+                store.register(f.spec, Some(f.view))
+            })
+            .collect();
+        let report = validate_throughput(
+            server.local_addr(),
+            &ids,
+            BatchConfig {
+                clients: 4,
+                requests_per_client: 24,
+                pipeline: 8,
+            },
+        )
+        .unwrap();
+        assert_eq!(report.completed, 96);
+        assert_eq!(report.errors, 0);
+        server.shutdown();
     }
 
     #[test]
@@ -768,6 +950,7 @@ mod tests {
             BatchConfig {
                 clients: 4,
                 requests_per_client: 25,
+                pipeline: 1,
             },
         )
         .unwrap();

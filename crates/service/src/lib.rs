@@ -16,9 +16,15 @@
 //! * [`proto`] — the typed request/response protocol, framed as
 //!   newline-delimited text reusing the native format of
 //!   [`wolves_moml::textfmt`].
-//! * [`server`] — a thread-pool TCP server (plain `std::net`, no runtime
-//!   dependency) with graceful shutdown and per-shard serving counters; live
-//!   correction timings feed [`wolves_core::estimate::EstimationRegistry`].
+//! * [`server`] — the TCP serving layer (plain `std::net`, no runtime
+//!   dependency): an evented readiness-polling core (epoll event loop,
+//!   non-blocking connections, request pipelining, worker-pool dispatch)
+//!   with a thread-pool fallback mode, graceful shutdown and per-shard
+//!   serving counters; live correction timings feed
+//!   [`wolves_core::estimate::EstimationRegistry`].
+//! * [`poll`] — the minimal readiness-polling primitive under the evented
+//!   server: raw `epoll`/`eventfd` syscalls behind a safe [`poll::Poller`] /
+//!   [`poll::Waker`] API (Linux), with a portable fallback elsewhere.
 //! * [`client`] — a typed client plus the concurrent batch driver used by
 //!   the `wolves request` CLI and the `service_bench` throughput benchmark.
 //! * [`obs`] — the telemetry layer: lock-free log₂-bucketed latency
@@ -52,12 +58,16 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// unsafe is denied crate-wide; the one exception is the FFI layer of
+// `poll`, which declares the raw epoll/eventfd syscalls (no external
+// crates are available) and carries its own scoped allow
+#![deny(unsafe_code)]
 
 pub mod client;
 mod epoch;
 pub mod error;
 pub mod obs;
+pub mod poll;
 pub mod proto;
 pub mod server;
 pub mod storage;
@@ -70,8 +80,10 @@ pub use client::{
 };
 pub use error::ServiceError;
 pub use obs::{
-    ErrorCounters, Histogram, HistogramSnapshot, Stage, StorageObservation, Telemetry, Verb,
+    ErrorCounters, Histogram, HistogramSnapshot, ServerGauges, Stage, StorageObservation,
+    Telemetry, Verb,
 };
+pub use poll::{readiness_supported, Event, Interest, Poller, Waker};
 pub use proto::{
     MutateOp, Mutated, Request, Response, StatsReport, Verdict, WatchEvent, WatchMode, Watching,
     STATS_SCHEMA_VERSION,
@@ -80,5 +92,8 @@ pub use server::{serve, serve_with_store, ServerConfig, ServerHandle};
 pub use storage::{
     FaultDirective, FaultInjector, FaultPlan, MemoryBackend, RecoveryReport, StorageBackend,
 };
-pub use store::{WatchSubscription, WorkflowId, WorkflowStore, WATCH_QUEUE_CAP};
+pub use store::{
+    DurabilityBarrier, DurabilityTicket, WatchSubscription, WorkflowId, WorkflowStore,
+    WATCH_QUEUE_CAP,
+};
 pub use wal::{open_data_dir, open_faulted_data_dir, FileBackend, PersistConfig};

@@ -248,6 +248,35 @@ impl HistogramSnapshot {
         let _ = writeln!(out, "{name}_sum{plain} {}", seconds(self.sum));
         let _ = writeln!(out, "{name}_count{plain} {}", self.count());
     }
+
+    /// [`HistogramSnapshot::write_exposition`] for histograms whose samples
+    /// are plain values, not nanoseconds (e.g. group-commit batch sizes):
+    /// `le` bounds and the sum stay raw integers instead of being scaled to
+    /// seconds.
+    pub fn write_exposition_raw(&self, out: &mut String, name: &str, labels: &[(&str, &str)]) {
+        use std::fmt::Write as _;
+        let mut cumulative = 0u64;
+        for (index, &bucket) in self.counts.iter().enumerate() {
+            if bucket == 0 {
+                continue;
+            }
+            cumulative += bucket;
+            let _ = writeln!(
+                out,
+                "{name}_bucket{} {cumulative}",
+                label_block(labels, Some(&bucket_upper(index).to_string()))
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{name}_bucket{} {}",
+            label_block(labels, Some("+Inf")),
+            self.count()
+        );
+        let plain = label_block(labels, None);
+        let _ = writeln!(out, "{name}_sum{plain} {}", self.sum);
+        let _ = writeln!(out, "{name}_count{plain} {}", self.count());
+    }
 }
 
 /// Renders a `{k="v",…}` label block, optionally with a trailing `le`
@@ -671,8 +700,9 @@ impl Telemetry {
 }
 
 /// What a storage backend has observed since it was opened: WAL append
-/// volume and latency, fsync latency, segment rotations and compaction
-/// (snapshot-write) wall time. The default (memory backend) is all-empty.
+/// volume and latency, fsync latency, segment rotations, compaction
+/// (snapshot-write) wall time and group-commit behaviour. The default
+/// (memory backend) is all-empty.
 #[derive(Debug, Clone, Default)]
 pub struct StorageObservation {
     /// Total bytes appended to write-ahead logs.
@@ -685,6 +715,75 @@ pub struct StorageObservation {
     pub fsync: HistogramSnapshot,
     /// Compaction (snapshot write + rotation) durations.
     pub compaction: HistogramSnapshot,
+    /// Group-commit batch sizes: how many appended records each leader
+    /// fsync covered (raw counts, not nanoseconds — expose with
+    /// [`HistogramSnapshot::write_exposition_raw`]). Empty outside strict
+    /// (`fsync_every=1`) mode.
+    pub group_commit_batch: HistogramSnapshot,
+    /// fsyncs the group-commit protocol absorbed: appends that rode a
+    /// leader's fsync instead of issuing their own (`sum(batch - 1)`).
+    pub group_commit_absorbed: u64,
+}
+
+/// Gauges and counters owned by the serving layer (not the store): open
+/// connections and event-loop wakeups. The server updates them from its
+/// accept/event paths; the store stitches them into the `metrics`
+/// exposition when a server attaches them via
+/// [`crate::store::WorkflowStore::attach_server_gauges`]. All counters are
+/// relaxed atomics — statistics, not synchronisation.
+#[derive(Debug, Default)]
+pub struct ServerGauges {
+    open_connections: AtomicU64,
+    accepted_total: AtomicU64,
+    wakeups: AtomicU64,
+    pipelined_batches: AtomicU64,
+}
+
+impl ServerGauges {
+    /// Notes one accepted connection.
+    pub fn connection_opened(&self) {
+        self.open_connections.fetch_add(1, Ordering::Relaxed);
+        self.accepted_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Notes one closed connection.
+    pub fn connection_closed(&self) {
+        self.open_connections.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Notes one event-loop wakeup (a completed `epoll_wait`).
+    pub fn wakeup(&self) {
+        self.wakeups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Notes one multi-frame (pipelined) dispatch batch.
+    pub fn pipelined_batch(&self) {
+        self.pipelined_batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Currently open connections.
+    #[must_use]
+    pub fn open_connections(&self) -> u64 {
+        self.open_connections.load(Ordering::Relaxed)
+    }
+
+    /// Connections accepted since the server started.
+    #[must_use]
+    pub fn accepted_total(&self) -> u64 {
+        self.accepted_total.load(Ordering::Relaxed)
+    }
+
+    /// Event-loop wakeups since the server started.
+    #[must_use]
+    pub fn wakeups(&self) -> u64 {
+        self.wakeups.load(Ordering::Relaxed)
+    }
+
+    /// Dispatch batches that carried more than one pipelined frame.
+    #[must_use]
+    pub fn pipelined_batches(&self) -> u64 {
+        self.pipelined_batches.load(Ordering::Relaxed)
+    }
 }
 
 #[cfg(test)]

@@ -1,15 +1,32 @@
-//! The thread-pool TCP server.
+//! The TCP serving layer: an evented readiness-polling core with a
+//! thread-pool fallback.
 //!
-//! One acceptor thread hands accepted connections to a fixed pool of worker
-//! threads over a channel (worker-per-connection: a worker owns a connection
-//! until the client disconnects, answering any number of requests on it).
+//! **Evented mode** ([`ServerConfig::evented`], Linux): one event-loop
+//! thread owns the listener, an [`crate::poll::Poller`] and every
+//! connection. Connections are non-blocking with per-connection read/write
+//! buffers, so thousands of idle clients cost no threads. The loop splits
+//! every *complete* frame out of a connection's read buffer and dispatches
+//! the whole batch to a worker pool in one job — pipelined requests are
+//! answered in order and their responses leave in one coalesced `write`.
+//! Workers post finished response bytes to a completion queue and wake the
+//! loop through an `eventfd` [`crate::poll::Waker`] (also how shutdown
+//! interrupts `epoll_wait` — no loopback connection anywhere). A `watch`
+//! frame hands its connection off to a dedicated blocking thread, since a
+//! subscription turns the socket into a server-push channel.
+//!
+//! **Thread-pool mode** (default, portable): one acceptor thread hands
+//! accepted connections to a fixed pool of worker threads over a channel
+//! (worker-per-connection: a worker owns a connection until the client
+//! disconnects, answering any number of requests on it). The listener is
+//! non-blocking and the acceptor polls the shutdown flag between accepts.
 //!
 //! Shutdown — triggered by a client's `shutdown` request or by
-//! [`ServerHandle::request_shutdown`] — raises a flag, wakes the acceptor
-//! with a loopback connection, and closes every tracked connection, so
-//! [`ServerHandle::join`] returns even when clients leave connections idle.
+//! [`ServerHandle::request_shutdown`] — raises a flag, wakes the event loop
+//! (or lets the acceptor's poll see the flag), and closes every tracked
+//! connection, so [`ServerHandle::join`] returns even when clients leave
+//! connections idle.
 
-use std::io::{BufRead, BufReader};
+use std::io::{BufRead, BufReader, Read};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
@@ -19,14 +36,19 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 
 use crate::error::ServiceError;
-use crate::obs::{duration_ns, Stage};
+use crate::obs::{duration_ns, ServerGauges, Stage};
+use crate::poll::Waker;
 use crate::proto::{read_frame, write_frame, Request, Response, WatchEvent, Watching};
-use crate::store::{WatchSubscription, WorkflowStore};
+use crate::store::{DurabilityBarrier, WatchSubscription, WorkflowStore};
 
 /// How long a watch-serving worker waits on the subscription queue before
 /// probing the connection for client frames (`unwatch`, disconnect) and the
 /// shutdown flag.
 const WATCH_POLL: Duration = Duration::from_millis(25);
+
+/// How long the thread-pool acceptor naps when no connection is pending
+/// before re-checking the shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
 
 /// Configuration of a [`serve`] call.
 #[derive(Debug, Clone)]
@@ -42,7 +64,9 @@ pub struct ServerConfig {
     /// whose client sends nothing for this long is closed and its worker
     /// reclaimed — an idle or stalled client can no longer pin a worker
     /// thread forever. Watch subscriptions are exempt (the server pushes
-    /// to them; they are polled, not blocked on).
+    /// to them; they are polled, not blocked on). In evented mode idle
+    /// connections cost no thread, but the same timeout still reclaims
+    /// their descriptors.
     pub read_timeout_ms: u64,
     /// Socket write timeout in milliseconds (0 disables): a client that
     /// stops reading its responses cannot block a worker indefinitely.
@@ -50,11 +74,20 @@ pub struct ServerConfig {
     /// Per-request admission deadline in milliseconds (0 disables): a
     /// connection that waited longer than this in the accept queue is shed
     /// with [`ServiceError::Overloaded`] instead of being served late.
+    /// Thread-pool mode only — the evented loop accepts immediately and
+    /// bounds the *dispatch* queue instead.
     pub deadline_ms: u64,
-    /// Accept-backlog bound (0 disables): when this many accepted
-    /// connections are already queued for workers, further connections are
-    /// shed immediately with [`ServiceError::Overloaded`].
+    /// Backlog bound (0 disables). Thread-pool mode: when this many
+    /// accepted connections are already queued for workers, further
+    /// connections are shed immediately with [`ServiceError::Overloaded`].
+    /// Evented mode: when this many dispatched request batches are in
+    /// flight to the worker pool, further batches are answered with
+    /// [`ServiceError::Overloaded`] instead of being queued.
     pub backlog_limit: usize,
+    /// `true` runs the evented readiness-polling core (Linux). On other
+    /// platforms — where [`crate::poll::readiness_supported`] is `false` —
+    /// the flag is ignored and the portable thread-pool server runs.
+    pub evented: bool,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +100,7 @@ impl Default for ServerConfig {
             write_timeout_ms: 30_000,
             deadline_ms: 10_000,
             backlog_limit: 1024,
+            evented: false,
         }
     }
 }
@@ -77,20 +111,29 @@ fn timeout_of(ms: u64) -> Option<Duration> {
     (ms > 0).then(|| Duration::from_millis(ms))
 }
 
-/// State shared between the acceptor, the workers and the handle.
+/// State shared between the acceptor/event loop, the workers and the
+/// handle.
 #[derive(Debug)]
 struct Shared {
     addr: SocketAddr,
     shutdown: AtomicBool,
     connections: Mutex<Vec<(u64, TcpStream)>>,
     next_connection: AtomicU64,
-    /// Accepted connections handed to the worker channel but not yet
-    /// picked up — the accept backlog the shedding bound applies to.
+    /// Thread-pool mode: accepted connections handed to the worker channel
+    /// but not yet picked up. Evented mode: request batches dispatched to
+    /// the worker pool but not yet completed. Either way, the backlog the
+    /// shedding bound applies to.
     queued: AtomicUsize,
     read_timeout: Option<Duration>,
     write_timeout: Option<Duration>,
     deadline: Option<Duration>,
     backlog_limit: usize,
+    gauges: Arc<ServerGauges>,
+    /// The evented loop's eventfd; `None` in thread-pool mode.
+    waker: Option<Arc<Waker>>,
+    /// Watch connections the evented loop handed off to blocking threads;
+    /// joined by [`ServerHandle::join`].
+    extra_threads: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl Shared {
@@ -107,13 +150,15 @@ impl Shared {
         self.connections.lock().retain(|(other, _)| *other != id);
     }
 
-    /// Raises the shutdown flag, wakes the acceptor and closes every open
-    /// connection (unblocking workers stuck reading from idle clients).
+    /// Raises the shutdown flag, wakes the event loop (evented mode; the
+    /// thread-pool acceptor polls the flag between accepts) and closes
+    /// every tracked connection, unblocking workers stuck reading from
+    /// idle clients.
     fn begin_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        // a throwaway connection unblocks accept(); if the listener is
-        // already gone the connect simply fails
-        let _ = TcpStream::connect(self.addr);
+        if let Some(waker) = &self.waker {
+            waker.wake();
+        }
         for (_, stream) in self.connections.lock().iter() {
             let _ = stream.shutdown(Shutdown::Both);
         }
@@ -154,11 +199,16 @@ impl ServerHandle {
         self.shared.begin_shutdown();
     }
 
-    /// Waits for the acceptor and all workers to exit — either after a
-    /// shutdown was requested, or once a client sends a `shutdown` request
-    /// (this is what `wolves serve` blocks on).
+    /// Waits for the acceptor/event loop, all workers and any watch
+    /// hand-off threads to exit — either after a shutdown was requested,
+    /// or once a client sends a `shutdown` request (this is what
+    /// `wolves serve` blocks on).
     pub fn join(mut self) {
         for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+        let handed_off: Vec<_> = self.shared.extra_threads.lock().drain(..).collect();
+        for thread in handed_off {
             let _ = thread.join();
         }
     }
@@ -171,8 +221,8 @@ impl ServerHandle {
     }
 }
 
-/// Binds a listener and starts the acceptor + worker threads on a fresh
-/// in-memory store.
+/// Binds a listener and starts the serving threads on a fresh in-memory
+/// store.
 ///
 /// # Errors
 /// Reports bind failures.
@@ -192,6 +242,26 @@ pub fn serve_with_store(
     store: Arc<WorkflowStore>,
 ) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(config.addr.as_str())?;
+    let gauges = Arc::new(ServerGauges::default());
+    store.attach_server_gauges(Arc::clone(&gauges));
+    #[cfg(target_os = "linux")]
+    if config.evented {
+        return evented::serve(config, store, listener, gauges);
+    }
+    serve_threaded(config, store, listener, gauges)
+}
+
+/// The portable thread-pool server (and the fallback when the evented core
+/// is unavailable).
+fn serve_threaded(
+    config: &ServerConfig,
+    store: Arc<WorkflowStore>,
+    listener: TcpListener,
+    gauges: Arc<ServerGauges>,
+) -> std::io::Result<ServerHandle> {
+    // a non-blocking listener lets the acceptor poll the shutdown flag
+    // instead of relying on a loopback connection to unblock accept()
+    listener.set_nonblocking(true)?;
     let shared = Arc::new(Shared {
         addr: listener.local_addr()?,
         shutdown: AtomicBool::new(false),
@@ -202,6 +272,9 @@ pub fn serve_with_store(
         write_timeout: timeout_of(config.write_timeout_ms),
         deadline: timeout_of(config.deadline_ms),
         backlog_limit: config.backlog_limit,
+        gauges,
+        waker: None,
+        extra_threads: Mutex::new(Vec::new()),
     });
     let (sender, receiver) = mpsc::channel::<(TcpStream, Instant)>();
     let receiver = Arc::new(Mutex::new(receiver));
@@ -219,22 +292,34 @@ pub fn serve_with_store(
     let acceptor_shared = Arc::clone(&shared);
     let acceptor_store = Arc::clone(&store);
     threads.push(std::thread::spawn(move || {
-        for stream in listener.incoming() {
+        loop {
             if acceptor_shared.is_shutdown() {
                 break;
             }
-            let Ok(mut stream) = stream else { continue };
-            if acceptor_shared.backlog_limit > 0
-                && acceptor_shared.queued.load(Ordering::SeqCst) >= acceptor_shared.backlog_limit
-            {
-                // load-shed at the door: a best-effort typed error frame
-                // tells the client to back off, then the connection drops
-                shed(&mut stream, &acceptor_store);
-                continue;
-            }
-            acceptor_shared.queued.fetch_add(1, Ordering::SeqCst);
-            if sender.send((stream, Instant::now())).is_err() {
-                break;
+            match listener.accept() {
+                Ok((mut stream, _)) => {
+                    // the workers use blocking I/O on the accepted socket
+                    let _ = stream.set_nonblocking(false);
+                    if acceptor_shared.backlog_limit > 0
+                        && acceptor_shared.queued.load(Ordering::SeqCst)
+                            >= acceptor_shared.backlog_limit
+                    {
+                        // load-shed at the door: a best-effort typed error
+                        // frame tells the client to back off, then the
+                        // connection drops
+                        shed(&mut stream, &acceptor_store);
+                        continue;
+                    }
+                    acceptor_shared.queued.fetch_add(1, Ordering::SeqCst);
+                    if sender.send((stream, Instant::now())).is_err() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => std::thread::sleep(ACCEPT_POLL),
             }
         }
         // dropping the listener and the sender lets idle workers drain
@@ -278,34 +363,105 @@ fn worker_loop(
                 let _ = stream.set_read_timeout(shared.read_timeout);
                 let _ = stream.set_write_timeout(shared.write_timeout);
                 let id = shared.track(&stream);
+                shared.gauges.connection_opened();
                 // re-check AFTER tracking: a begin_shutdown() racing with
                 // this hand-off either set the flag before track() (seen
                 // here) or finds the stream in the tracked list and closes
                 // it — either way the worker cannot block on an idle client
                 if shared.is_shutdown() {
                     shared.untrack(id);
+                    shared.gauges.connection_closed();
                     break;
                 }
-                handle_connection(stream, store, shared);
+                handle_connection(stream, Vec::new(), None, store, shared);
                 shared.untrack(id);
+                shared.gauges.connection_closed();
             }
             Err(_) => break, // acceptor gone and channel drained
         }
     }
 }
 
-fn handle_connection(stream: TcpStream, store: &WorkflowStore, shared: &Shared) {
+/// A buffered reader that replays bytes the evented loop had already pulled
+/// off the socket before handing the connection to a blocking thread, then
+/// continues from the socket itself. With an empty replay buffer it behaves
+/// exactly like the underlying `BufReader`.
+struct ReplayReader {
+    leftover: Vec<u8>,
+    at: usize,
+    inner: BufReader<TcpStream>,
+}
+
+impl ReplayReader {
+    fn new(leftover: Vec<u8>, stream: TcpStream) -> ReplayReader {
+        ReplayReader {
+            leftover,
+            at: 0,
+            inner: BufReader::new(stream),
+        }
+    }
+
+    /// Unconsumed bytes are already in hand (no socket read needed).
+    fn buffered(&self) -> bool {
+        self.at < self.leftover.len() || !self.inner.buffer().is_empty()
+    }
+
+    fn socket(&self) -> &TcpStream {
+        self.inner.get_ref()
+    }
+}
+
+impl Read for ReplayReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.at < self.leftover.len() {
+            let n = (self.leftover.len() - self.at).min(buf.len());
+            buf[..n].copy_from_slice(&self.leftover[self.at..self.at + n]);
+            self.at += n;
+            return Ok(n);
+        }
+        self.inner.read(buf)
+    }
+}
+
+impl BufRead for ReplayReader {
+    fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+        if self.at < self.leftover.len() {
+            return Ok(&self.leftover[self.at..]);
+        }
+        self.inner.fill_buf()
+    }
+
+    fn consume(&mut self, amt: usize) {
+        if self.at < self.leftover.len() {
+            self.at = (self.at + amt).min(self.leftover.len());
+        } else {
+            self.inner.consume(amt);
+        }
+    }
+}
+
+/// Serves one connection with blocking I/O: the worker-pool path from the
+/// first byte, and the landing spot for watch connections the evented loop
+/// hands off (`leftover` replays bytes read ahead of the hand-off;
+/// `initial` is a frame already parsed out of them).
+fn handle_connection(
+    stream: TcpStream,
+    leftover: Vec<u8>,
+    initial: Option<Vec<String>>,
+    store: &WorkflowStore,
+    shared: &Shared,
+) {
     // without TCP_NODELAY, Nagle + delayed ACKs cost ~40ms per small
     // request/response exchange on loopback
     let _ = stream.set_nodelay(true);
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
-    let mut reader = BufReader::new(read_half);
+    let mut reader = ReplayReader::new(leftover, read_half);
     let mut writer = stream;
-    // a frame `run_watch` read off the connection while leaving
-    // subscription mode, to be served before blocking on the socket again
-    let mut pending: Option<Vec<String>> = None;
+    // a frame already in hand: the evented loop's hand-off frame, or one
+    // `run_watch` read off the connection while leaving subscription mode
+    let mut pending: Option<Vec<String>> = initial;
     loop {
         let frame = match pending.take() {
             Some(frame) => frame,
@@ -388,12 +544,12 @@ enum Probe {
 /// bytes (or readable socket data) mean the client sent a frame; EOF or a
 /// socket error mean it is gone. `restore` is the connection's configured
 /// read timeout, reinstated after the 1ms probe.
-fn probe_client(reader: &mut BufReader<TcpStream>, restore: Option<Duration>) -> Probe {
-    if !reader.buffer().is_empty() {
+fn probe_client(reader: &mut ReplayReader, restore: Option<Duration>) -> Probe {
+    if reader.buffered() {
         return Probe::Data;
     }
     if reader
-        .get_ref()
+        .socket()
         .set_read_timeout(Some(Duration::from_millis(1)))
         .is_err()
     {
@@ -413,7 +569,7 @@ fn probe_client(reader: &mut BufReader<TcpStream>, restore: Option<Duration>) ->
         Err(_) => Probe::Gone,
     };
     // back to the configured timeout for the request loop's frame reads
-    if reader.get_ref().set_read_timeout(restore).is_err() {
+    if reader.socket().set_read_timeout(restore).is_err() {
         return Probe::Gone;
     }
     probe
@@ -425,7 +581,7 @@ fn probe_client(reader: &mut BufReader<TcpStream>, restore: Option<Duration>) ->
 /// an explicit `resync` event before returning to request mode; an
 /// `unwatch` frame is acknowledged with `ok\tunwatched`.
 fn run_watch(
-    reader: &mut BufReader<TcpStream>,
+    reader: &mut ReplayReader,
     writer: &mut TcpStream,
     store: &WorkflowStore,
     shared: &Shared,
@@ -529,6 +685,21 @@ fn respond(store: &WorkflowStore, request: Request) -> (Response, bool) {
         } else {
             store.metrics_text()
         })),
+        Request::Batch(requests) => {
+            // sub-request failures land in their slot; the batch goes on
+            // (connection-control verbs were refused at parse, so no
+            // sub-response can ask for shutdown). Sub-mutations defer
+            // their durability wait into one shared barrier — the whole
+            // batch settles with one group-commit wait, not one per slot.
+            let mut barrier = DurabilityBarrier::default();
+            let mut responses = Vec::with_capacity(requests.len());
+            for request in requests {
+                let (response, _) = respond_deferring(store, request, &mut barrier);
+                responses.push(response);
+            }
+            settle(store, &barrier, &mut responses);
+            Ok(Response::Batch(responses))
+        }
         // subscriptions are connection-scoped and handled by the request
         // loop itself; this arm is unreachable in practice
         Request::Watch { .. } => Err(crate::error::ServiceError::Protocol(
@@ -551,6 +722,665 @@ fn respond(store: &WorkflowStore, request: Request) -> (Response, bool) {
         }),
         false,
     )
+}
+
+/// [`respond`] with mutation durability *deferred*: a `mutate` frame (or a
+/// batch sub-mutation) is applied and published, but its group-commit wait
+/// is folded into `barrier` instead of being paid inline. The caller MUST
+/// run [`settle`] over the collected responses before any of them leaves
+/// the server — that is what keeps the acknowledged-after-durable contract
+/// while letting a pipelined batch share one wait (and, in strict-fsync
+/// mode, typically one fsync) across all of its mutations.
+fn respond_deferring(
+    store: &WorkflowStore,
+    request: Request,
+    barrier: &mut DurabilityBarrier,
+) -> (Response, bool) {
+    match request {
+        Request::Mutate {
+            workflow,
+            op,
+            expect,
+        } => (
+            store
+                .mutate_deferred(workflow, op, expect)
+                .map(|(mutated, ticket)| {
+                    barrier.fold(ticket);
+                    Response::Mutated(mutated)
+                })
+                .unwrap_or_else(|e| {
+                    store.record_error(&e);
+                    Response::Error(e.to_wire())
+                }),
+            false,
+        ),
+        Request::Batch(requests) => {
+            let mut responses = Vec::with_capacity(requests.len());
+            for request in requests {
+                let (response, _) = respond_deferring(store, request, barrier);
+                responses.push(response);
+            }
+            (Response::Batch(responses), false)
+        }
+        other => respond(store, other),
+    }
+}
+
+/// Settles a batch's shared durability barrier. On a fsync failure every
+/// mutation outcome in `responses` is replaced with the error: none of
+/// those records is power-loss durable yet, so none may be acknowledged as
+/// applied — exactly what the inline [`WorkflowStore::mutate`] path reports
+/// for a single request (the records stay staged, so a later group commit
+/// retries them).
+fn settle(store: &WorkflowStore, barrier: &DurabilityBarrier, responses: &mut [Response]) {
+    if barrier.is_empty() {
+        return;
+    }
+    if let Err(e) = store.await_durability(barrier) {
+        store.record_error(&e);
+        let wire = e.to_wire();
+        fn degrade(response: &mut Response, wire: &str) {
+            match response {
+                Response::Mutated(_) => *response = Response::Error(wire.to_owned()),
+                Response::Batch(subs) => {
+                    for sub in subs {
+                        degrade(sub, wire);
+                    }
+                }
+                _ => {}
+            }
+        }
+        for response in responses {
+            degrade(response, &wire);
+        }
+    }
+}
+
+/// The evented readiness-polling core (Linux-only; see the module docs).
+#[cfg(target_os = "linux")]
+mod evented {
+    use std::collections::{HashMap, VecDeque};
+    use std::io::{Read as _, Write as _};
+
+    use super::*;
+    use crate::poll::{raw_fd_of, Event, Interest, Poller};
+    use crate::proto::FRAME_END;
+
+    const LISTENER_TOKEN: u64 = 0;
+    const WAKER_TOKEN: u64 = 1;
+    const FIRST_CONN_TOKEN: u64 = 2;
+
+    /// Ceiling on a connection's buffered unparsed request bytes; a client
+    /// that exceeds it without ever completing a frame is dropped.
+    const READ_BUF_CAP: usize = 16 << 20;
+
+    /// Poll granularity of the loop's housekeeping (idle sweep, shutdown
+    /// re-check as a backstop to the waker).
+    const SWEEP_EVERY: Duration = Duration::from_millis(500);
+
+    /// One dispatch to the worker pool: every complete frame a connection
+    /// had buffered, answered as a unit so responses stay in order.
+    struct Job {
+        token: u64,
+        frames: Vec<Vec<String>>,
+    }
+
+    /// A worker's finished batch: the concatenated response frames, ready
+    /// to write.
+    struct Completion {
+        token: u64,
+        bytes: Vec<u8>,
+        stop: bool,
+    }
+
+    /// Per-connection state owned by the event loop.
+    struct Conn {
+        stream: TcpStream,
+        read_buf: Vec<u8>,
+        write_buf: Vec<u8>,
+        write_pos: usize,
+        /// A dispatched batch is in flight; no second dispatch until its
+        /// completion lands (this is what keeps responses in order).
+        busy: bool,
+        interest: Interest,
+        last_activity: Instant,
+        /// A parsed `watch` frame waiting for the connection to quiesce
+        /// (in-flight batch answered, responses flushed) before the
+        /// connection is handed to a blocking thread.
+        pending_watch: Option<Vec<String>>,
+    }
+
+    pub(super) fn serve(
+        config: &ServerConfig,
+        store: Arc<WorkflowStore>,
+        listener: TcpListener,
+        gauges: Arc<ServerGauges>,
+    ) -> std::io::Result<ServerHandle> {
+        let poller = Poller::new()?;
+        let waker = Arc::new(Waker::new()?);
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            addr: listener.local_addr()?,
+            shutdown: AtomicBool::new(false),
+            connections: Mutex::new(Vec::new()),
+            next_connection: AtomicU64::new(0),
+            queued: AtomicUsize::new(0),
+            read_timeout: timeout_of(config.read_timeout_ms),
+            write_timeout: timeout_of(config.write_timeout_ms),
+            deadline: timeout_of(config.deadline_ms),
+            backlog_limit: config.backlog_limit,
+            gauges,
+            waker: Some(Arc::clone(&waker)),
+            extra_threads: Mutex::new(Vec::new()),
+        });
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let completions = Arc::new(Mutex::new(VecDeque::new()));
+
+        let mut threads = Vec::with_capacity(config.workers.max(1) + 1);
+        for _ in 0..config.workers.max(1) {
+            let receiver = Arc::clone(&receiver);
+            let store = Arc::clone(&store);
+            let shared = Arc::clone(&shared);
+            let completions = Arc::clone(&completions);
+            let waker = Arc::clone(&waker);
+            threads.push(std::thread::spawn(move || {
+                worker(&receiver, &store, &shared, &completions, &waker);
+            }));
+        }
+
+        let loop_store = Arc::clone(&store);
+        let loop_shared = Arc::clone(&shared);
+        threads.push(std::thread::spawn(move || {
+            event_loop(
+                &poller,
+                listener,
+                &loop_store,
+                &loop_shared,
+                &completions,
+                &waker,
+                &sender,
+            );
+            // however the loop exits, flag shutdown so handed-off watch
+            // threads close and join() returns
+            loop_shared.begin_shutdown();
+        }));
+
+        Ok(ServerHandle {
+            store,
+            shared,
+            threads,
+        })
+    }
+
+    /// Serves dispatched frame batches; the evented counterpart of
+    /// [`worker_loop`].
+    fn worker(
+        receiver: &Mutex<mpsc::Receiver<Job>>,
+        store: &WorkflowStore,
+        shared: &Shared,
+        completions: &Mutex<VecDeque<Completion>>,
+        waker: &Waker,
+    ) {
+        loop {
+            let job = { receiver.lock().recv() };
+            let Ok(job) = job else { break };
+            shared.queued.fetch_sub(1, Ordering::SeqCst);
+            if job.frames.len() > 1 {
+                shared.gauges.pipelined_batch();
+            }
+            // answer the whole batch with ONE durability settle: mutations
+            // defer their group-commit wait into a shared barrier, and no
+            // response is serialised until the barrier is down — pipelined
+            // mutators pay one wait (and usually one fsync) per batch
+            let mut responses = Vec::with_capacity(job.frames.len());
+            let mut barrier = DurabilityBarrier::default();
+            let mut stop = false;
+            for frame in &job.frames {
+                let parse_start = Instant::now();
+                let parsed = Request::from_lines(frame);
+                store
+                    .telemetry()
+                    .stage(Stage::Parse, duration_ns(parse_start.elapsed()));
+                let (response, wants_stop) = match parsed {
+                    Ok(request) => respond_deferring(store, request, &mut barrier),
+                    Err(e) => {
+                        store.record_error(&e);
+                        (Response::Error(e.to_wire()), false)
+                    }
+                };
+                responses.push(response);
+                if wants_stop {
+                    stop = true;
+                    break;
+                }
+            }
+            settle(store, &barrier, &mut responses);
+            let mut bytes = Vec::new();
+            for response in &responses {
+                push_frame(&mut bytes, &response.to_lines());
+            }
+            completions.lock().push_back(Completion {
+                token: job.token,
+                bytes,
+                stop,
+            });
+            waker.wake();
+        }
+    }
+
+    /// Serialises one frame into `out` exactly like [`write_frame`], minus
+    /// the I/O — responses for a pipelined batch accumulate into one buffer
+    /// and leave in one `write`.
+    fn push_frame(out: &mut Vec<u8>, lines: &[String]) {
+        let mut frame = String::with_capacity(lines.iter().map(|l| l.len() + 2).sum::<usize>() + 2);
+        crate::proto::encode_frame(&mut frame, lines);
+        out.extend_from_slice(frame.as_bytes());
+    }
+
+    /// Splits every complete frame off the front of `buf`, leaving the
+    /// incomplete tail in place. Extraction stops right after a `watch`
+    /// frame — everything behind it stays buffered for the blocking
+    /// hand-off thread to replay. Line handling (CR trimming,
+    /// dot-unstuffing) matches [`read_frame`].
+    fn take_frames(buf: &mut Vec<u8>) -> (Vec<Vec<String>>, Option<Vec<String>>) {
+        let mut frames = Vec::new();
+        let mut watch = None;
+        let mut lines: Vec<String> = Vec::new();
+        let mut consumed = 0usize;
+        let mut at = 0usize;
+        while let Some(nl) = buf[at..].iter().position(|&b| b == b'\n') {
+            let end = at + nl;
+            let raw = buf[at..end].strip_suffix(b"\r").unwrap_or(&buf[at..end]);
+            let text = String::from_utf8_lossy(raw);
+            at = end + 1;
+            if text == FRAME_END {
+                let frame = std::mem::take(&mut lines);
+                consumed = at;
+                let is_watch = frame
+                    .first()
+                    .is_some_and(|header| header == "watch" || header.starts_with("watch\t"));
+                if is_watch {
+                    watch = Some(frame);
+                    break;
+                }
+                frames.push(frame);
+            } else {
+                let line = match text.strip_prefix('.') {
+                    Some(stripped) => stripped.to_owned(),
+                    None => text.into_owned(),
+                };
+                lines.push(line);
+            }
+        }
+        buf.drain(..consumed);
+        (frames, watch)
+    }
+
+    /// Drains as much of the connection's pending response bytes as the
+    /// socket accepts right now.
+    ///
+    /// # Errors
+    /// Reports fatal socket errors (`WouldBlock` is not one: the remainder
+    /// stays buffered for the next writable event).
+    fn flush_write(conn: &mut Conn) -> std::io::Result<()> {
+        while conn.write_pos < conn.write_buf.len() {
+            match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+                Ok(0) => return Err(std::io::ErrorKind::WriteZero.into()),
+                Ok(n) => conn.write_pos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        conn.write_buf.clear();
+        conn.write_pos = 0;
+        Ok(())
+    }
+
+    /// Pulls every readable byte into the connection's read buffer;
+    /// `true` means the connection is finished (EOF, error, or a buffer
+    /// blown past [`READ_BUF_CAP`]).
+    fn fill_read_buf(conn: &mut Conn) -> bool {
+        let mut chunk = [0u8; 16384];
+        loop {
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => return true,
+                Ok(n) => {
+                    conn.read_buf.extend_from_slice(&chunk[..n]);
+                    if conn.read_buf.len() > READ_BUF_CAP {
+                        return true;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return false,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return true,
+            }
+        }
+    }
+
+    fn close_conn(poller: &Poller, conns: &mut HashMap<u64, Conn>, token: u64, shared: &Shared) {
+        if let Some(conn) = conns.remove(&token) {
+            let _ = poller.deregister(raw_fd_of(&conn.stream));
+            let _ = conn.stream.shutdown(Shutdown::Both);
+            shared.gauges.connection_closed();
+        }
+    }
+
+    /// Accepts every pending connection (level-triggered listener).
+    fn accept_ready(
+        poller: &Poller,
+        listener: &TcpListener,
+        conns: &mut HashMap<u64, Conn>,
+        next_token: &mut u64,
+        shared: &Shared,
+    ) {
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let token = *next_token;
+                    *next_token += 1;
+                    if poller
+                        .register(raw_fd_of(&stream), token, Interest::Read)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    shared.gauges.connection_opened();
+                    conns.insert(
+                        token,
+                        Conn {
+                            stream,
+                            read_buf: Vec::new(),
+                            write_buf: Vec::new(),
+                            write_pos: 0,
+                            busy: false,
+                            interest: Interest::Read,
+                            last_activity: Instant::now(),
+                            pending_watch: None,
+                        },
+                    );
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Advances one connection's state machine: flush pending responses,
+    /// extract and dispatch newly completed frames, hand a quiesced watch
+    /// connection to a blocking thread, and re-arm poller interest.
+    fn service_conn(
+        poller: &Poller,
+        conns: &mut HashMap<u64, Conn>,
+        token: u64,
+        store: &Arc<WorkflowStore>,
+        shared: &Arc<Shared>,
+        sender: &mpsc::Sender<Job>,
+    ) {
+        let mut close = false;
+        let mut handoff = false;
+        {
+            let Some(conn) = conns.get_mut(&token) else {
+                return;
+            };
+            if flush_write(conn).is_err() {
+                close = true;
+            }
+            if !close && !conn.busy && conn.pending_watch.is_none() {
+                let (frames, watch) = take_frames(&mut conn.read_buf);
+                conn.pending_watch = watch;
+                if !frames.is_empty() {
+                    if shared.backlog_limit > 0
+                        && shared.queued.load(Ordering::SeqCst) >= shared.backlog_limit
+                    {
+                        // the dispatch queue is full: shed this batch with
+                        // typed per-frame errors instead of queueing it
+                        let error = ServiceError::Overloaded;
+                        for _ in &frames {
+                            store.record_error(&error);
+                            push_frame(
+                                &mut conn.write_buf,
+                                &Response::Error(error.to_wire()).to_lines(),
+                            );
+                        }
+                        if flush_write(conn).is_err() {
+                            close = true;
+                        }
+                    } else {
+                        shared.queued.fetch_add(1, Ordering::SeqCst);
+                        conn.busy = true;
+                        if sender.send(Job { token, frames }).is_err() {
+                            close = true;
+                        }
+                    }
+                }
+            }
+            if !close
+                && !conn.busy
+                && conn.write_pos >= conn.write_buf.len()
+                && conn.pending_watch.is_some()
+            {
+                handoff = true;
+            }
+            if !close && !handoff {
+                let want = if conn.write_pos < conn.write_buf.len() {
+                    Interest::ReadWrite
+                } else {
+                    Interest::Read
+                };
+                if want != conn.interest {
+                    if poller.rearm(raw_fd_of(&conn.stream), token, want).is_err() {
+                        close = true;
+                    } else {
+                        conn.interest = want;
+                    }
+                }
+            }
+        }
+        if close {
+            close_conn(poller, conns, token, shared);
+            return;
+        }
+        if handoff {
+            let Some(conn) = conns.remove(&token) else {
+                return;
+            };
+            let _ = poller.deregister(raw_fd_of(&conn.stream));
+            let frame = conn
+                .pending_watch
+                .expect("hand-off requires a pending watch frame");
+            hand_off_watch(conn.stream, conn.read_buf, frame, store, shared);
+        }
+    }
+
+    /// Moves a watch connection onto a dedicated blocking thread running
+    /// the same subscription loop as the thread-pool server; bytes read
+    /// ahead of the hand-off are replayed first.
+    fn hand_off_watch(
+        stream: TcpStream,
+        leftover: Vec<u8>,
+        frame: Vec<String>,
+        store: &Arc<WorkflowStore>,
+        shared: &Arc<Shared>,
+    ) {
+        let _ = stream.set_nonblocking(false);
+        let _ = stream.set_read_timeout(shared.read_timeout);
+        let _ = stream.set_write_timeout(shared.write_timeout);
+        let store = Arc::clone(store);
+        let thread_shared = Arc::clone(shared);
+        let handle = std::thread::spawn(move || {
+            let id = thread_shared.track(&stream);
+            handle_connection(stream, leftover, Some(frame), &store, &thread_shared);
+            thread_shared.untrack(id);
+            thread_shared.gauges.connection_closed();
+        });
+        shared.extra_threads.lock().push(handle);
+    }
+
+    /// The readiness loop: owns the listener, the waker and every
+    /// connection; exits on shutdown (or a poller failure), dropping the
+    /// dispatch sender so idle workers drain.
+    fn event_loop(
+        poller: &Poller,
+        listener: TcpListener,
+        store: &Arc<WorkflowStore>,
+        shared: &Arc<Shared>,
+        completions: &Mutex<VecDeque<Completion>>,
+        waker: &Waker,
+        sender: &mpsc::Sender<Job>,
+    ) {
+        if poller
+            .register(raw_fd_of(&listener), LISTENER_TOKEN, Interest::Read)
+            .is_err()
+        {
+            return;
+        }
+        if poller
+            .register(waker.raw_fd(), WAKER_TOKEN, Interest::Read)
+            .is_err()
+        {
+            return;
+        }
+        let mut conns: HashMap<u64, Conn> = HashMap::new();
+        let mut events: Vec<Event> = Vec::new();
+        let mut next_token = FIRST_CONN_TOKEN;
+        let mut last_sweep = Instant::now();
+        let mut stopping = false;
+        let sweep_ms = u64::try_from(SWEEP_EVERY.as_millis()).unwrap_or(500);
+        'outer: loop {
+            if poller.wait(&mut events, Some(sweep_ms)).is_err() {
+                break;
+            }
+            for &event in &events {
+                match event.token {
+                    WAKER_TOKEN => {
+                        waker.drain();
+                        shared.gauges.wakeup();
+                        if shared.is_shutdown() {
+                            break 'outer;
+                        }
+                        let finished: Vec<Completion> = { completions.lock().drain(..).collect() };
+                        for completion in finished {
+                            if let Some(conn) = conns.get_mut(&completion.token) {
+                                conn.write_buf.extend_from_slice(&completion.bytes);
+                                conn.busy = false;
+                                conn.last_activity = Instant::now();
+                            }
+                            if completion.stop {
+                                stopping = true;
+                            }
+                            service_conn(
+                                poller,
+                                &mut conns,
+                                completion.token,
+                                store,
+                                shared,
+                                sender,
+                            );
+                        }
+                    }
+                    LISTENER_TOKEN => {
+                        accept_ready(poller, &listener, &mut conns, &mut next_token, shared);
+                    }
+                    token => {
+                        let finished = {
+                            let Some(conn) = conns.get_mut(&token) else {
+                                continue;
+                            };
+                            let mut finished = false;
+                            if event.readable {
+                                finished = fill_read_buf(conn);
+                                conn.last_activity = Instant::now();
+                            } else if event.hangup {
+                                finished = true;
+                            }
+                            finished
+                        };
+                        if finished {
+                            close_conn(poller, &mut conns, token, shared);
+                            continue;
+                        }
+                        service_conn(poller, &mut conns, token, store, shared, sender);
+                    }
+                }
+            }
+            if stopping || shared.is_shutdown() {
+                break;
+            }
+            if let Some(timeout) = shared.read_timeout {
+                if last_sweep.elapsed() >= SWEEP_EVERY {
+                    last_sweep = Instant::now();
+                    let expired: Vec<u64> = conns
+                        .iter()
+                        .filter(|(_, conn)| {
+                            !conn.busy
+                                && conn.write_pos >= conn.write_buf.len()
+                                && conn.pending_watch.is_none()
+                                && conn.last_activity.elapsed() > timeout
+                        })
+                        .map(|(&token, _)| token)
+                        .collect();
+                    for token in expired {
+                        close_conn(poller, &mut conns, token, shared);
+                    }
+                }
+            }
+        }
+        // exit: one best-effort flush of the goodbye frames, then close
+        // everything (the wrapper flags shutdown, which also stops the
+        // handed-off watch threads)
+        for conn in conns.values_mut() {
+            let _ = flush_write(conn);
+            let _ = conn.stream.shutdown(Shutdown::Both);
+            shared.gauges.connection_closed();
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn frame_splitter_handles_partials_pipelining_and_watch() {
+            // a partial frame stays buffered
+            let mut buf = b"validate\t1\n".to_vec();
+            let (frames, watch) = take_frames(&mut buf);
+            assert!(frames.is_empty());
+            assert!(watch.is_none());
+            assert_eq!(buf, b"validate\t1\n");
+
+            // two complete frames and a partial third
+            let mut buf = b"validate\t1\n.\nstats\n.\nepo".to_vec();
+            let (frames, watch) = take_frames(&mut buf);
+            assert_eq!(
+                frames,
+                vec![vec!["validate\t1".to_owned()], vec!["stats".to_owned()]]
+            );
+            assert!(watch.is_none());
+            assert_eq!(buf, b"epo");
+
+            // dot-stuffed payload lines are un-escaped like read_frame
+            let mut buf = b"register\n..hidden\n.\n".to_vec();
+            let (frames, _) = take_frames(&mut buf);
+            assert_eq!(
+                frames,
+                vec![vec!["register".to_owned(), ".hidden".to_owned()]]
+            );
+
+            // extraction stops after a watch frame; bytes behind it stay
+            let mut buf = b"stats\n.\nwatch\t3\n.\nunwatch\n.\n".to_vec();
+            let (frames, watch) = take_frames(&mut buf);
+            assert_eq!(frames, vec![vec!["stats".to_owned()]]);
+            assert_eq!(watch, Some(vec!["watch\t3".to_owned()]));
+            assert_eq!(buf, b"unwatch\n.\n");
+        }
+    }
 }
 
 #[cfg(test)]
@@ -597,6 +1427,54 @@ mod tests {
         assert_eq!(frame[0], "ok\tshutdown");
         server.join();
         // the port is released: a fresh bind to the same address succeeds
+        let rebound = TcpListener::bind(addr);
+        assert!(rebound.is_ok());
+    }
+
+    #[cfg(target_os = "linux")]
+    fn evented_server() -> ServerHandle {
+        serve(&ServerConfig {
+            shards: 2,
+            workers: 2,
+            evented: true,
+            ..ServerConfig::default()
+        })
+        .expect("bind loopback")
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn evented_server_answers_pipelined_frames_in_order() {
+        let server = evented_server();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        // one write carrying three frames (one of them malformed) — the
+        // responses must come back in request order
+        writer
+            .write_all(b"stats\n.\nfrobnicate\n.\nheal\n.\n")
+            .unwrap();
+        let first = read_frame(&mut reader).unwrap().unwrap();
+        assert!(first[0].starts_with("ok\tstats"));
+        let second = read_frame(&mut reader).unwrap().unwrap();
+        assert!(second[0].starts_with("err\t"));
+        let third = read_frame(&mut reader).unwrap().unwrap();
+        assert_eq!(third[0], "ok\thealed\t0\t0");
+        server.shutdown();
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn evented_shutdown_request_stops_the_server() {
+        let server = evented_server();
+        let addr = server.local_addr();
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        write_frame(&mut writer, &Request::Shutdown.to_lines()).unwrap();
+        let frame = read_frame(&mut reader).unwrap().unwrap();
+        assert_eq!(frame[0], "ok\tshutdown");
+        server.join();
         let rebound = TcpListener::bind(addr);
         assert!(rebound.is_ok());
     }

@@ -356,6 +356,12 @@ pub struct AppendOutcome {
     /// not trigger one) — lets the store split the commit-stage span into
     /// its WAL-append and fsync parts.
     pub fsync_ns: u64,
+    /// Group-commit ticket: a per-shard monotone sequence number of this
+    /// append when the backend defers durability to
+    /// [`StorageBackend::wait_durable`] (strict `fsync_every=1` mode on the
+    /// file backend). 0 means the append needs no durability wait — it was
+    /// already synced inline, or the policy leaves syncing to the OS.
+    pub ticket: u64,
 }
 
 /// The recovered state of one shard: the newest complete snapshot plus the
@@ -427,6 +433,22 @@ pub trait StorageBackend: Send + Sync + fmt::Debug {
     /// Reports I/O failures; the store surfaces them as
     /// [`ServiceError::Persistence`].
     fn append(&self, shard: usize, record: &WalRecord) -> Result<AppendOutcome, ServiceError>;
+
+    /// Blocks until the append identified by `ticket` (from
+    /// [`AppendOutcome::ticket`]) is on stable storage, returning the
+    /// nanoseconds spent waiting. This is the follower half of **group
+    /// commit**: the store calls it *after* releasing the shard's mutator
+    /// mutex, so concurrent mutators pile onto one leader fsync instead of
+    /// paying one each. The default (and a 0 ticket) is an immediate no-op
+    /// — backends that sync inline or not at all need nothing here.
+    ///
+    /// # Errors
+    /// Reports fsync failures; the record is written but its durability is
+    /// not yet guaranteed against power loss.
+    fn wait_durable(&self, shard: usize, ticket: u64) -> Result<u64, ServiceError> {
+        let _ = (shard, ticket);
+        Ok(0)
+    }
 
     /// Writes a full snapshot of the shard and rotates its log segment: the
     /// snapshot becomes the new recovery base and the old segment (plus the
@@ -796,6 +818,29 @@ impl StorageBackend for FaultInjector {
             }
         }
         self.inner.append(shard, record)
+    }
+
+    fn wait_durable(&self, shard: usize, ticket: u64) -> Result<u64, ServiceError> {
+        // group-commit waits ride the sync-err directive: counting them as
+        // syncs keeps the plan grammar unchanged while letting chaos tests
+        // fail a leader fsync deterministically
+        if ticket > 0
+            && self
+                .plan
+                .directives
+                .iter()
+                .any(|d| matches!(d, FaultDirective::SyncErr { .. }))
+        {
+            let n = self.syncs.fetch_add(1, Ordering::SeqCst) + 1;
+            for directive in &self.plan.directives {
+                if let FaultDirective::SyncErr { from, count } = *directive {
+                    if n >= from && n < from + count {
+                        return Err(injected(format_args!("sync {n} failed (EIO)")));
+                    }
+                }
+            }
+        }
+        self.inner.wait_durable(shard, ticket)
     }
 
     fn write_snapshot(&self, shard: usize, entries: &[SnapshotEntry]) -> Result<(), ServiceError> {

@@ -71,8 +71,8 @@ use wolves_workflow::{
 use crate::epoch::SnapshotCell;
 use crate::error::ServiceError;
 use crate::obs::{
-    duration_ns, seconds, write_sample, HistogramSnapshot, Stage, Telemetry, Verb, VerbTimers,
-    STAGES, VERBS,
+    duration_ns, seconds, write_sample, HistogramSnapshot, ServerGauges, Stage, Telemetry, Verb,
+    VerbTimers, STAGES, VERBS,
 };
 use crate::proto::{
     Corrected, MutateOp, Mutated, ShardStat, StatsReport, Verdict, WatchEvent, WatchMode,
@@ -93,6 +93,44 @@ pub struct WorkflowId(pub u64);
 impl fmt::Display for WorkflowId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.0)
+    }
+}
+
+/// The durability obligation of one deferred mutation: which shard's WAL
+/// holds its record and the group-commit ticket that must be covered by a
+/// fsync before the outcome may be acknowledged. The default (zero) ticket
+/// means nothing is owed — the backend's fsync policy needed no wait.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DurabilityTicket {
+    shard: usize,
+    ticket: u64,
+}
+
+/// Accumulated durability obligations of a pipelined batch. Tickets are
+/// monotone per shard, so folding keeps only the highest ticket per shard —
+/// awaiting that one covers every obligation folded before it.
+#[derive(Debug, Clone, Default)]
+pub struct DurabilityBarrier {
+    pending: Vec<(usize, u64)>,
+}
+
+impl DurabilityBarrier {
+    /// Folds one deferred mutation's obligation into the barrier.
+    pub fn fold(&mut self, ticket: DurabilityTicket) {
+        if ticket.ticket == 0 {
+            return;
+        }
+        match self.pending.iter_mut().find(|(s, _)| *s == ticket.shard) {
+            Some((_, high)) => *high = (*high).max(ticket.ticket),
+            None => self.pending.push((ticket.shard, ticket.ticket)),
+        }
+    }
+
+    /// True when nothing is owed — [`WorkflowStore::await_durability`]
+    /// would return immediately.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
     }
 }
 
@@ -405,6 +443,7 @@ pub struct WorkflowStore {
     registry: EstimationRegistry,
     backend: Arc<dyn StorageBackend>,
     telemetry: Telemetry,
+    server_gauges: Mutex<Option<Arc<ServerGauges>>>,
 }
 
 impl WorkflowStore {
@@ -433,7 +472,16 @@ impl WorkflowStore {
             registry: EstimationRegistry::new(),
             backend,
             telemetry: Telemetry::new(),
+            server_gauges: Mutex::new(None),
         }
+    }
+
+    /// Attaches the serving layer's connection/wakeup gauges so the
+    /// `metrics` verb can expose them alongside the store's own series. The
+    /// server calls this when it starts on the store; the latest attachment
+    /// wins.
+    pub fn attach_server_gauges(&self, gauges: Arc<ServerGauges>) {
+        *self.server_gauges.lock() = Some(gauges);
     }
 
     /// Opens a store on a storage backend, recovering whatever the backend
@@ -514,8 +562,8 @@ impl WorkflowStore {
                     op,
                     deltas,
                 } => {
-                    let (mutated, replayed_deltas) =
-                        self.mutate_inner(WorkflowId(id), op, false, None)?;
+                    let (mutated, replayed_deltas, _) =
+                        self.mutate_inner(WorkflowId(id), op, false, None, false)?;
                     if mutated.epoch != epoch || replayed_deltas != deltas {
                         return Err(ServiceError::Recovery(format!(
                             "replay diverged on workflow {id}: logged epoch {epoch}, \
@@ -718,19 +766,21 @@ impl WorkflowStore {
         let index = self.shard_index_of(id);
         let shard = &self.shards[index];
         shard.metrics.requests.fetch_add(1, Ordering::Relaxed);
-        let _guard = shard.mutator.lock();
+        let guard = shard.mutator.lock();
         shard.writable(index)?;
         let mut next = shard.state.load();
         Arc::make_mut(&mut next).entries.insert(id.0, entry);
         let mut wants_snapshot = false;
         let mut append_ns = 0u64;
         let mut fsync_ns = 0u64;
+        let mut ticket = 0u64;
         if let Some(record) = record {
             let append_start = Instant::now();
             match self.backend.append(index, &record) {
                 Ok(outcome) => {
                     wants_snapshot = outcome.wants_snapshot;
                     fsync_ns = outcome.fsync_ns;
+                    ticket = outcome.ticket;
                     append_ns = duration_ns(append_start.elapsed()).saturating_sub(fsync_ns);
                 }
                 // self-heal a failed append with a full snapshot of the
@@ -750,6 +800,12 @@ impl WorkflowStore {
         let publish_ns = duration_ns(publish_start.elapsed());
         if wants_snapshot {
             self.snapshot_shard(index, &next.entries)?;
+        }
+        // group commit: wait for durability with the mutator mutex released
+        // so concurrent writers can publish into the same fsync
+        drop(guard);
+        if ticket > 0 {
+            fsync_ns = fsync_ns.max(self.backend.wait_durable(index, ticket)?);
         }
         let spans = [
             (Stage::Compute, compute_ns),
@@ -1068,8 +1124,45 @@ impl WorkflowStore {
         op: MutateOp,
         expect: Option<u64>,
     ) -> Result<Mutated, ServiceError> {
-        self.mutate_inner(id, op, true, expect)
-            .map(|(mutated, _)| mutated)
+        self.mutate_inner(id, op, true, expect, false)
+            .map(|(mutated, _, _)| mutated)
+    }
+
+    /// [`WorkflowStore::mutate_cas`] with the durability wait *deferred*:
+    /// the mutation is applied, logged and published, but this call returns
+    /// without waiting for its WAL record to be fsynced. The returned
+    /// ticket MUST be folded into a [`DurabilityBarrier`] and awaited via
+    /// [`WorkflowStore::await_durability`] before the outcome is
+    /// acknowledged to any client. This is how a pipelined batch of
+    /// mutations shares one group-commit wait (and, in strict-fsync mode,
+    /// typically one fsync) instead of paying one per request.
+    ///
+    /// # Errors
+    /// Everything [`WorkflowStore::mutate_cas`] reports, except durability
+    /// errors — those surface from `await_durability`.
+    pub fn mutate_deferred(
+        &self,
+        id: WorkflowId,
+        op: MutateOp,
+        expect: Option<u64>,
+    ) -> Result<(Mutated, DurabilityTicket), ServiceError> {
+        self.mutate_inner(id, op, true, expect, true)
+            .map(|(mutated, _, ticket)| (mutated, ticket))
+    }
+
+    /// Blocks until every obligation folded into `barrier` is on stable
+    /// storage (per the backend's fsync policy). Returns the observed wait
+    /// in nanoseconds. A no-op for empty barriers and non-strict policies.
+    ///
+    /// # Errors
+    /// Propagates the backend's fsync failure: the covered mutations are
+    /// published in memory but not yet power-loss durable.
+    pub fn await_durability(&self, barrier: &DurabilityBarrier) -> Result<u64, ServiceError> {
+        let mut fsync_ns = 0u64;
+        for &(shard, ticket) in &barrier.pending {
+            fsync_ns = fsync_ns.max(self.backend.wait_durable(shard, ticket)?);
+        }
+        Ok(fsync_ns)
     }
 
     /// [`WorkflowStore::mutate`] with recording control: recovery replays
@@ -1082,7 +1175,8 @@ impl WorkflowStore {
         op: MutateOp,
         record: bool,
         expect: Option<u64>,
-    ) -> Result<(Mutated, Vec<SpecDelta>), ServiceError> {
+        defer: bool,
+    ) -> Result<(Mutated, Vec<SpecDelta>, DurabilityTicket), ServiceError> {
         let start = Instant::now();
         let durable = self.backend.durable();
         if durable && record {
@@ -1097,7 +1191,7 @@ impl WorkflowStore {
         // serialise mutators; readers keep loading the published snapshot.
         // Watch registration also takes this mutex, so the watcher set
         // observed here is exactly the set the fan-out below serves.
-        let _mutator = shard.mutator.lock();
+        let mutator = shard.mutator.lock();
         shard.writable(index)?;
         let wants_event = record && shard.has_watcher_for(id.0);
         // only durable recording and watch fan-out need the op after the
@@ -1255,6 +1349,7 @@ impl WorkflowStore {
         let mut wants_snapshot = false;
         let mut append_ns = 0u64;
         let mut fsync_ns = 0u64;
+        let mut ticket = 0u64;
         if durable && record {
             let wal_record = WalRecord::Mutate {
                 id: id.0,
@@ -1267,6 +1362,7 @@ impl WorkflowStore {
                 Ok(outcome) => {
                     wants_snapshot = outcome.wants_snapshot;
                     fsync_ns = outcome.fsync_ns;
+                    ticket = outcome.ticket;
                     append_ns = duration_ns(append_start.elapsed()).saturating_sub(fsync_ns);
                 }
                 // self-heal a failed append with a full snapshot of the
@@ -1306,6 +1402,22 @@ impl WorkflowStore {
             // caller learns durable compaction is behind
             self.snapshot_shard(index, &next.entries)?;
         }
+        // group commit: wait for durability with the mutator mutex released
+        // so concurrent writers can publish into the same fsync. A deferred
+        // caller skips the wait and carries the obligation out as a ticket
+        // (one barrier per pipelined batch instead of one wait per record).
+        drop(mutator);
+        let mut pending = DurabilityTicket::default();
+        if ticket > 0 {
+            if defer {
+                pending = DurabilityTicket {
+                    shard: index,
+                    ticket,
+                };
+            } else {
+                fsync_ns = fsync_ns.max(self.backend.wait_durable(index, ticket)?);
+            }
+        }
         let spans = [
             (Stage::CacheLookup, lookup_ns),
             (Stage::Compute, compute_ns),
@@ -1319,7 +1431,7 @@ impl WorkflowStore {
         self.telemetry.record_spans(&spans);
         self.telemetry
             .offer_slow(Verb::Mutate, Some(id.0), total_ns, &spans);
-        Ok((mutated, deltas))
+        Ok((mutated, deltas, pending))
     }
 
     /// Corrects the current view with `strategy`. When the view was unsound,
@@ -1374,7 +1486,7 @@ impl WorkflowStore {
         let new_view = StoredView::new(corrected);
         let shard_index = self.shard_index_of(id);
         let shard = &self.shards[shard_index];
-        let _mutator = shard.mutator.lock();
+        let mutator = shard.mutator.lock();
         shard.writable(shard_index)?;
         let wants_event = shard.has_watcher_for(id.0);
         let mut next = shard.state.load();
@@ -1405,6 +1517,7 @@ impl WorkflowStore {
         let mut wants_snapshot = false;
         let mut append_ns = 0u64;
         let mut fsync_ns = 0u64;
+        let mut ticket = 0u64;
         if self.backend.durable() {
             let record = WalRecord::Correct {
                 id: id.0,
@@ -1416,6 +1529,7 @@ impl WorkflowStore {
                 Ok(outcome) => {
                     wants_snapshot = outcome.wants_snapshot;
                     fsync_ns = outcome.fsync_ns;
+                    ticket = outcome.ticket;
                     append_ns = duration_ns(append_start.elapsed()).saturating_sub(fsync_ns);
                 }
                 // self-heal before publish, as in `mutate_inner`: on a
@@ -1445,6 +1559,12 @@ impl WorkflowStore {
         }
         if wants_snapshot {
             self.snapshot_shard(shard_index, &next.entries)?;
+        }
+        // group commit: wait for durability with the mutator mutex released
+        // so concurrent writers can publish into the same fsync
+        drop(mutator);
+        if ticket > 0 {
+            fsync_ns = fsync_ns.max(self.backend.wait_durable(shard_index, ticket)?);
         }
         record_correct(&[
             (Stage::Compute, compute_ns),
@@ -1712,6 +1832,44 @@ impl WorkflowStore {
             "wolves_wal_compaction_duration_seconds",
             &[],
         );
+        let _ = writeln!(out, "# TYPE wolves_wal_group_commit_batch histogram");
+        observed.group_commit_batch.write_exposition_raw(
+            &mut out,
+            "wolves_wal_group_commit_batch",
+            &[],
+        );
+        write_sample(
+            &mut out,
+            "wolves_wal_group_commit_absorbed_total",
+            &[],
+            observed.group_commit_absorbed,
+        );
+        if let Some(gauges) = self.server_gauges.lock().as_ref() {
+            write_sample(
+                &mut out,
+                "wolves_open_connections",
+                &[],
+                gauges.open_connections(),
+            );
+            write_sample(
+                &mut out,
+                "wolves_connections_accepted_total",
+                &[],
+                gauges.accepted_total(),
+            );
+            write_sample(
+                &mut out,
+                "wolves_event_loop_wakeups_total",
+                &[],
+                gauges.wakeups(),
+            );
+            write_sample(
+                &mut out,
+                "wolves_pipelined_batches_total",
+                &[],
+                gauges.pipelined_batches(),
+            );
+        }
         let _ = writeln!(
             out,
             "wolves_recovery_replay_seconds {}",
@@ -1882,7 +2040,8 @@ impl WorkflowStore {
                 outcome,
                 deltas,
             } => {
-                let (mutated, applied) = self.mutate_inner(*workflow, op.clone(), true, None)?;
+                let (mutated, applied, _) =
+                    self.mutate_inner(*workflow, op.clone(), true, None, false)?;
                 if mutated.epoch != outcome.epoch {
                     return Err(diverged("epoch", mutated.epoch, outcome.epoch));
                 }

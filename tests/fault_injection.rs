@@ -15,8 +15,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use wolves::service::{
-    serve_with_store, FaultInjector, FaultPlan, FileBackend, MutateOp, PersistConfig, ServerConfig,
-    ServiceClient, ServiceError, StorageBackend, WorkflowId, WorkflowStore,
+    serve_with_store, FaultInjector, FaultPlan, FileBackend, MutateOp, PersistConfig, Request,
+    Response, ServerConfig, ServiceClient, ServiceError, StorageBackend, WorkflowId, WorkflowStore,
 };
 
 fn temp_root(tag: &str) -> PathBuf {
@@ -174,6 +174,108 @@ fn a_degraded_server_serves_reads_and_heals_over_the_wire() {
     let recovered = open_clean(&root);
     assert_eq!(recovered.cursor(id).expect("cursor"), (1, 1));
     let export = recovered.export(id).expect("export");
+    assert!(export.contains("task\treal"));
+    assert!(!export.contains("ghost"));
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// Pipelined frames through a faulted server: one write carries five
+/// requests, two of which hit scripted storage faults — every failure must
+/// land in the slot of the request that caused it, the surviving requests
+/// must answer normally, and recovery must show exactly the acked edits.
+#[test]
+fn pipelined_frames_map_faults_to_the_right_in_flight_request() {
+    let root = temp_root("pipeline-faults");
+    // append 1 is the registration. In the pipeline below: append 2 (task
+    // "early") stalls 30ms but succeeds, append 3 (task "ghost") fails and
+    // its rescue snapshot (snapshot 1) fails too — the shard degrades
+    // mid-pipeline with later requests still in flight behind it.
+    let plan = FaultPlan::parse("slow=2:30,append-err=3,snap-err=1,seed=5").expect("plan");
+    let store = open_faulted(&root, plan);
+    let server = serve_with_store(
+        &ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            shards: 1,
+            workers: 2,
+            // evented on Linux (the pipelined batch is one dispatched
+            // job), thread-pool fallback elsewhere
+            evented: cfg!(target_os = "linux"),
+            ..ServerConfig::default()
+        },
+        Arc::new(store),
+    )
+    .expect("bind the chaos server");
+    let mut client = ServiceClient::connect(server.local_addr()).expect("connect");
+    let fixture = wolves::repo::figure1();
+    let id = client
+        .register(&fixture.spec, Some(&fixture.view))
+        .expect("registration is append 1");
+
+    let outcomes = client
+        .pipeline(&[
+            Request::Mutate {
+                workflow: id,
+                op: add_task("early"),
+                expect: None,
+            },
+            Request::Mutate {
+                workflow: id,
+                op: add_task("ghost"),
+                expect: None,
+            },
+            Request::Validate {
+                workflow: id,
+                version: None,
+            },
+            Request::Mutate {
+                workflow: id,
+                op: add_task("late-ghost"),
+                expect: None,
+            },
+            Request::Epoch { workflow: id },
+        ])
+        .expect("the pipeline itself must survive the faults");
+    assert_eq!(outcomes.len(), 5);
+    // slot 0: the stalled-but-successful append
+    match &outcomes[0] {
+        Ok(Response::Mutated(mutated)) => assert_eq!(mutated.epoch, 1),
+        other => panic!("slot 0 must be the acked mutate, got {other:?}"),
+    }
+    // slot 1: the double failure lands exactly here
+    assert!(
+        matches!(outcomes[1], Err(ServiceError::Degraded { shard: 0, .. })),
+        "slot 1 must carry the degraded error, got {:?}",
+        outcomes[1]
+    );
+    // slot 2: reads keep serving behind the failed mutate
+    match &outcomes[2] {
+        Ok(Response::Verdict(verdict)) => assert!(!verdict.sound),
+        other => panic!("slot 2 must be the verdict, got {other:?}"),
+    }
+    // slot 3: the degraded shard refuses the later write, in its own slot
+    assert!(
+        matches!(outcomes[3], Err(ServiceError::Degraded { .. })),
+        "slot 3 must fail fast on the degraded shard, got {:?}",
+        outcomes[3]
+    );
+    // slot 4: the epoch probe sees exactly the one acked mutation
+    match &outcomes[4] {
+        Ok(Response::Epoch { epoch, .. }) => assert_eq!(*epoch, 1),
+        other => panic!("slot 4 must be the epoch, got {other:?}"),
+    }
+
+    // the connection is uncorrupted: heal and mutate normally on it
+    assert_eq!(client.heal().expect("heal"), (1, 0));
+    let mutated = client.mutate(id, add_task("real")).expect("after heal");
+    assert_eq!(mutated.epoch, 2);
+    client.shutdown().expect("shutdown");
+    server.join();
+
+    // exactly the acked history recovers: "early" and "real", no ghosts
+    let recovered = open_clean(&root);
+    assert_eq!(recovered.cursor(id).expect("cursor"), (2, 2));
+    let export = recovered.export(id).expect("export");
+    assert!(export.contains("task\tearly"));
     assert!(export.contains("task\treal"));
     assert!(!export.contains("ghost"));
     std::fs::remove_dir_all(&root).unwrap();

@@ -171,6 +171,156 @@ fn killed_server_restarts_with_identical_answers_after_100_mutations() {
     std::fs::remove_dir_all(&root).unwrap();
 }
 
+/// Kill -9 in the middle of a group-committed burst: eight threads drive
+/// strict (`fsync_every = 1`) mutations whose acknowledgements share leader
+/// fsyncs, the process dies without any shutdown handshake, and recovery
+/// shows exactly the acked history — an ack absorbed into another waiter's
+/// fsync must be just as durable as one that paid for its own.
+#[test]
+fn group_committed_acks_survive_a_kill_mid_burst() {
+    let root = temp_root("group-commit-kill");
+    let strict_config = |root: &Path| PersistConfig {
+        shards: 2,
+        fsync_every: 1,
+        ..PersistConfig::new(root)
+    };
+    let backend = Arc::new(FileBackend::open(strict_config(&root)).expect("open strict"));
+    let (store, _) = WorkflowStore::open(backend).expect("open the store");
+    const MUTATORS: usize = 8;
+    const TOGGLES_PER_BURST: usize = 24; // even: every burst ends edge-removed
+    let ids: Vec<WorkflowId> = (0..MUTATORS)
+        .map(|_| {
+            let fixture = wolves::repo::figure1();
+            store
+                .try_register(fixture.spec, Some(fixture.view))
+                .expect("register durably")
+        })
+        .collect();
+
+    // bursts of concurrent strict mutations, one workflow per thread, each
+    // toggling an edge; every `expect` below is a durable acknowledgement.
+    // Repeat until at least one fsync was demonstrably shared, so the
+    // recovery check exercises the group-commit path and not merely the
+    // one-append-one-fsync one.
+    let mut bursts = 0usize;
+    loop {
+        bursts += 1;
+        std::thread::scope(|scope| {
+            for id in &ids {
+                scope.spawn(|| {
+                    for step in 0..TOGGLES_PER_BURST {
+                        let op = if step % 2 == 0 {
+                            MutateOp::AddEdge {
+                                from: "Check additional annotations".to_owned(),
+                                to: "Build phylo tree".to_owned(),
+                            }
+                        } else {
+                            MutateOp::RemoveEdge {
+                                from: "Check additional annotations".to_owned(),
+                                to: "Build phylo tree".to_owned(),
+                            }
+                        };
+                        store.mutate(*id, op).expect("strict mutation acked");
+                    }
+                });
+            }
+        });
+        let observed = store.backend().observe();
+        if observed.group_commit_absorbed > 0 {
+            break;
+        }
+        assert!(
+            bursts < 4,
+            "8 concurrent strict mutators never shared a leader fsync \
+             across {bursts} bursts"
+        );
+    }
+
+    // the exact observable state every ack promised
+    let cursors: Vec<_> = ids
+        .iter()
+        .map(|id| store.cursor(*id).expect("cursor"))
+        .collect();
+    let expected = (bursts * TOGGLES_PER_BURST) as u64;
+    for cursor in &cursors {
+        assert_eq!(*cursor, (expected, expected));
+    }
+    let before: Vec<_> = ids.iter().map(|id| observe(&store, *id)).collect();
+
+    // kill: no shutdown, no final sync — the store is simply abandoned
+    std::mem::forget(store);
+
+    let backend = Arc::new(FileBackend::open(strict_config(&root)).expect("reopen"));
+    let (recovered, report) = WorkflowStore::open(backend).expect("recover");
+    assert_eq!(report.workflows, MUTATORS);
+    assert!(report.replayed_records > 0, "{report}");
+    for (index, id) in ids.iter().enumerate() {
+        assert_eq!(
+            recovered.cursor(*id).expect("recovered cursor"),
+            cursors[index],
+            "workflow {index}: a group-covered ack was lost"
+        );
+        assert_eq!(observe(&recovered, *id), before[index]);
+    }
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// The deferred-durability API: a pipelined batch of `mutate_deferred`
+/// calls settled by one `await_durability` barrier is exactly as durable
+/// as per-op strict waits — every settled mutation survives a kill with
+/// no shutdown.
+#[test]
+fn deferred_barrier_settles_a_whole_batch_durably() {
+    use wolves::service::DurabilityBarrier;
+
+    let root = temp_root("deferred-barrier");
+    let strict_config = |root: &Path| PersistConfig {
+        shards: 2,
+        fsync_every: 1,
+        ..PersistConfig::new(root)
+    };
+    let backend = Arc::new(FileBackend::open(strict_config(&root)).expect("open strict"));
+    let (store, _) = WorkflowStore::open(backend).expect("open the store");
+    let fixture = wolves::repo::figure1();
+    let id = store
+        .try_register(fixture.spec, Some(fixture.view))
+        .expect("register durably");
+
+    const TOGGLES: usize = 10; // even: ends edge-removed
+    let mut barrier = DurabilityBarrier::default();
+    assert!(barrier.is_empty());
+    for step in 0..TOGGLES {
+        let op = if step % 2 == 0 {
+            MutateOp::AddEdge {
+                from: "Check additional annotations".to_owned(),
+                to: "Build phylo tree".to_owned(),
+            }
+        } else {
+            MutateOp::RemoveEdge {
+                from: "Check additional annotations".to_owned(),
+                to: "Build phylo tree".to_owned(),
+            }
+        };
+        let (mutated, ticket) = store.mutate_deferred(id, op, None).expect("apply deferred");
+        assert_eq!(mutated.epoch, (step + 1) as u64);
+        barrier.fold(ticket);
+    }
+    assert!(!barrier.is_empty());
+    store.await_durability(&barrier).expect("settle the batch");
+
+    let cursor = store.cursor(id).expect("cursor");
+    let before = observe(&store, id);
+    // kill: no shutdown, no final sync — every settled ack must survive
+    std::mem::forget(store);
+
+    let backend = Arc::new(FileBackend::open(strict_config(&root)).expect("reopen"));
+    let (recovered, report) = WorkflowStore::open(backend).expect("recover");
+    assert_eq!(report.workflows, 1);
+    assert_eq!(recovered.cursor(id).expect("recovered cursor"), cursor);
+    assert_eq!(observe(&recovered, id), before);
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
 #[test]
 fn torn_final_record_is_discarded_and_the_prefix_recovers() {
     let root = temp_root("torn");

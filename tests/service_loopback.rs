@@ -218,6 +218,7 @@ fn concurrent_clients_share_the_verdict_cache() {
         BatchConfig {
             clients: 8,
             requests_per_client: 30,
+            pipeline: 1,
         },
     )
     .expect("throughput batch");

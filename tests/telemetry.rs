@@ -300,6 +300,98 @@ impl StorageBackend for StallingBackend {
     }
 }
 
+/// A concurrent mutation burst through a strict-fsync (`fsync_every=1`)
+/// durable server: the group-commit series must account for every append
+/// (batch sum = leader batches + absorbed fsyncs) and the serving layer's
+/// connection/wakeup gauges must reach the same exposition.
+#[test]
+fn group_commit_and_server_gauges_reach_the_exposition_after_a_concurrent_burst() {
+    let root = temp_root("group-commit");
+    let _ = std::fs::remove_dir_all(&root);
+    let backend = FileBackend::open(PersistConfig {
+        shards: 2,
+        fsync_every: 1,
+        ..PersistConfig::new(&root)
+    })
+    .expect("open the data dir");
+    let (store, _) = WorkflowStore::open(Arc::new(backend)).expect("recover");
+    let server = wolves::service::serve_with_store(
+        &ServerConfig {
+            shards: 2,
+            workers: 4,
+            // evented on Linux, thread-pool fallback elsewhere — the
+            // gauges are attached either way
+            evented: cfg!(target_os = "linux"),
+            ..ServerConfig::default()
+        },
+        Arc::new(store),
+    )
+    .expect("bind the strict durable server");
+    let store = server.store();
+    let ids: Vec<_> = (0..8)
+        .map(|_| {
+            let fixture = wolves::repo::figure1();
+            store
+                .try_register(fixture.spec, Some(fixture.view))
+                .expect("register durably")
+        })
+        .collect();
+
+    // 8 concurrent TCP mutators, one workflow each: every ack waits on a
+    // (possibly shared) leader fsync
+    let per_client = 20usize;
+    let addr = server.local_addr();
+    std::thread::scope(|scope| {
+        for &id in &ids {
+            scope.spawn(move || {
+                let mut client = ServiceClient::connect(addr).expect("mutator connect");
+                for index in 0..per_client {
+                    let (from, to) = (
+                        "Check additional annotations".to_owned(),
+                        "Build phylo tree".to_owned(),
+                    );
+                    let op = if index % 2 == 0 {
+                        MutateOp::AddEdge { from, to }
+                    } else {
+                        MutateOp::RemoveEdge { from, to }
+                    };
+                    client.mutate(id, op).expect("acked mutate");
+                }
+            });
+        }
+    });
+
+    let mut client = ServiceClient::connect(addr).expect("scrape connect");
+    let samples = parse_exposition(&client.metrics().expect("metrics"));
+    // every append went through group commit: 8 registrations + the burst
+    let appends = (ids.len() + ids.len() * per_client) as f64;
+    assert_eq!(samples["wolves_wal_group_commit_batch_sum"], appends);
+    let batches = samples["wolves_wal_group_commit_batch_count"];
+    assert!(
+        batches >= 1.0 && batches <= appends,
+        "batches out of range: {batches}"
+    );
+    assert_eq!(
+        samples["wolves_wal_group_commit_absorbed_total"],
+        appends - batches,
+        "absorbed must be exactly the appends that rode another fsync"
+    );
+    // serving-layer gauges are stitched into the same exposition
+    assert!(samples["wolves_open_connections"] >= 1.0);
+    assert!(samples["wolves_connections_accepted_total"] >= 9.0);
+    assert!(samples.contains_key("wolves_pipelined_batches_total"));
+    #[cfg(target_os = "linux")]
+    assert!(
+        samples["wolves_event_loop_wakeups_total"] >= 1.0,
+        "the evented loop must have been woken by worker completions"
+    );
+
+    client.shutdown().expect("shutdown");
+    drop(client);
+    server.join();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 #[test]
 fn slow_ring_retains_a_stalled_commit_with_its_stage_breakdown() {
     let delay = Duration::from_millis(20);
