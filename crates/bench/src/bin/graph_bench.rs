@@ -16,12 +16,14 @@
 //! workspace), one row per (workload, task count) point, so the perf
 //! trajectory of the graph substrate can be recorded across PRs alongside
 //! `BENCH_service.json`. The mutation workload applies N random edge
-//! inserts to a live spec: the `*_incremental` rows maintain the matrix /
-//! definition index in place (`ReachMatrix::insert_edge`,
+//! inserts to a live spec — and then takes the same edges back out: the
+//! `*_incremental` rows maintain the matrix / definition index in place
+//! (`ReachMatrix::insert_edge` / `ReachMatrix::remove_edge`,
 //! `DefinitionIndex::refresh` over the dirty rows), the `*_rebuild` rows
 //! pay the full pipeline per edit — the speedup between the two is the
 //! headline number of the mutation-epoch engine and is emitted into the
-//! mutation JSON alongside the raw rows.
+//! mutation JSON alongside the raw rows. A `guard` object pins the
+//! removal-vs-insert latency ratio at the ~1941-task grid point for CI.
 
 use std::collections::HashSet;
 use std::fmt::Write as _;
@@ -61,10 +63,12 @@ fn main() {
         .position(|a| a == "--mutation-out")
         .and_then(|i| args.get(i + 1).cloned());
 
+    // quick (CI) keeps the 1920 target so the perf guard always measures
+    // the ~1941-task point; the full grid adds a ~10k-task point
     let targets: Vec<usize> = if quick {
-        vec![120, 480]
+        vec![120, 480, 1920]
     } else {
-        vec![120, 480, 960, 1920]
+        vec![120, 480, 960, 1920, 10080]
     };
 
     let mut rows = Vec::new();
@@ -82,7 +86,10 @@ fn main() {
             ReachMatrix::build(spec.graph()).unwrap().node_bound()
         }));
         let matrix = ReachMatrix::build(spec.graph()).unwrap();
-        let nodes: Vec<_> = spec.graph().node_ids().collect();
+        // above ~2048 nodes the n² probe loop would dwarf everything else;
+        // a fixed-size node window keeps the row comparable across points
+        let mut nodes: Vec<_> = spec.graph().node_ids().collect();
+        nodes.truncate(2048);
         rows.push(measure(
             "graph/all_pairs_queries",
             tasks,
@@ -211,6 +218,55 @@ fn mutation_workload(targets: &[usize], quick: bool) -> Vec<Row> {
             },
         ));
 
+        // removal: pre-insert the same candidate edges, then take them back
+        // out LIFO — the decremental in-place maintenance vs a full matrix
+        // rebuild per removal. The dense layered closure implies most
+        // candidates, so the median exercises the still-reachable fast path
+        // exactly like the insert median exercises the closure no-op.
+        let mut inc_graph = spec.graph().clone();
+        for &(from, to) in &candidates {
+            inc_graph
+                .add_edge_unique(from, to, DataDependency::unnamed())
+                .unwrap();
+        }
+        let mut matrix = ReachMatrix::build(&inc_graph).unwrap();
+        let mut stack = candidates.clone();
+        rows.push(measure(
+            "mutation/edge_remove_incremental",
+            tasks,
+            edges,
+            iters,
+            || {
+                let (from, to) = stack.pop().expect("enough candidates");
+                let edge = inc_graph.find_edge(from, to).expect("edge was inserted");
+                inc_graph.remove_edge(edge).unwrap();
+                matrix.remove_edge(&inc_graph, from, to).unwrap();
+                matrix.comp_count()
+            },
+        ));
+
+        let mut rebuild_graph = spec.graph().clone();
+        for &(from, to) in &candidates {
+            rebuild_graph
+                .add_edge_unique(from, to, DataDependency::unnamed())
+                .unwrap();
+        }
+        let mut stack = candidates.clone();
+        rows.push(measure(
+            "mutation/edge_remove_rebuild",
+            tasks,
+            edges,
+            iters,
+            || {
+                let (from, to) = stack.pop().expect("enough candidates");
+                let edge = rebuild_graph
+                    .find_edge(from, to)
+                    .expect("edge was inserted");
+                rebuild_graph.remove_edge(edge).unwrap();
+                ReachMatrix::build(&rebuild_graph).unwrap().node_bound()
+            },
+        ));
+
         // definition-level validation after each edit: dirty-row refresh of
         // a DefinitionIndex vs a from-scratch validate_by_definition
         let definition_iters = iters.min(40);
@@ -294,7 +350,7 @@ fn render_mutation_json(rows: &[Row], quick: bool) -> String {
     };
     let mut entries = Vec::new();
     for &tasks in &task_counts {
-        for pair in ["edge_insert", "definition"] {
+        for pair in ["edge_insert", "edge_remove", "definition"] {
             let incremental = median_of(
                 &format!("mutation/{pair}_{}", incremental_suffix(pair)),
                 tasks,
@@ -312,17 +368,43 @@ fn render_mutation_json(rows: &[Row], quick: bool) -> String {
     }
     out.push_str(&entries.join(",\n"));
     out.push('\n');
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    // CI perf guard: single-edge removal must stay within 10x of insert at
+    // the ~1941-task point (the largest grid point at or below 2048 tasks,
+    // present in both quick and full grids)
+    let guard_tasks = task_counts.iter().copied().filter(|&t| t <= 2048).max();
+    let guard = guard_tasks.and_then(|tasks| {
+        let insert = median_of("mutation/edge_insert_incremental", tasks)?;
+        let remove = median_of("mutation/edge_remove_incremental", tasks)?;
+        Some((tasks, insert, remove))
+    });
+    match guard {
+        Some((tasks, insert, remove)) => {
+            let ratio = remove / insert.max(f64::MIN_POSITIVE);
+            let _ = writeln!(out, "  \"guard\": {{");
+            let _ = writeln!(out, "    \"tasks\": {tasks},");
+            let _ = writeln!(out, "    \"insert_median_us\": {insert:.2},");
+            let _ = writeln!(out, "    \"remove_median_us\": {remove:.2},");
+            let _ = writeln!(out, "    \"remove_over_insert\": {ratio:.2},");
+            let _ = writeln!(out, "    \"within_10x\": {}", ratio <= 10.0);
+            let _ = writeln!(out, "  }}");
+        }
+        None => {
+            let _ = writeln!(out, "  \"guard\": null");
+        }
+    }
+    out.push_str("}\n");
     out
 }
 
-/// The incremental row's suffix for a speedup pair (`edge_insert` rows are
-/// named `_incremental`, `definition` rows `_refresh`).
+/// The incremental row's suffix for a speedup pair (`edge_insert` /
+/// `edge_remove` rows are named `_incremental`, `definition` rows
+/// `_refresh`).
 fn incremental_suffix(pair: &str) -> &'static str {
-    if pair == "edge_insert" {
-        "incremental"
-    } else {
+    if pair == "definition" {
         "refresh"
+    } else {
+        "incremental"
     }
 }
 
@@ -331,7 +413,8 @@ fn iterations_for(target: usize, quick: bool) -> usize {
         0..=200 => 200,
         201..=600 => 80,
         601..=1200 => 30,
-        _ => 10,
+        1201..=4000 => 10,
+        _ => 6,
     };
     if quick {
         (base / 4).max(5)

@@ -20,8 +20,8 @@
 //! unsound while every view-level dependency happens to be realised through
 //! other paths); the property-based tests pin down exactly this relationship.
 
-use wolves_graph::{DirtyRows, ReachMatrix};
-use wolves_workflow::{CompositeTaskId, TaskId, WorkflowSpec, WorkflowView};
+use wolves_graph::{DirtyRows, FixedBitSet, ReachMatrix};
+use wolves_workflow::{CompositeTaskId, InducedViewGraph, TaskId, WorkflowSpec, WorkflowView};
 
 use crate::soundness::{soundness_verdict, SoundnessVerdict};
 
@@ -164,14 +164,22 @@ pub fn validate_by_definition_incremental(
 /// The masks/rows are the expensive part at scale (O(members · V/64) to
 /// build); the index keeps them across spec mutations and re-derives only
 /// the composites whose member components appear in the [`DirtyRows`] set a
-/// mutation reported. The cheap view-level side (the induced graph over a
-/// handful of composites) is recomputed on every report, so direct-edge
-/// changes are always reflected.
+/// mutation reported — including [`wolves_graph::DeltaClass::Decremental`]
+/// deltas, whose splits can move members to *new* component indices, so a
+/// touched slot re-derives its member mask along with its reach row and its
+/// pair verdicts are refreshed in both directions.
+///
+/// The view-level side is incremental too: each composite's member set
+/// carries a fingerprint, and membership-only view edits re-derive exactly
+/// the slots whose fingerprint changed instead of rebuilding the index. The
+/// induced view graph and its reachability matrix are cached under an
+/// induced-edge fingerprint, so a refresh whose edit did not change the
+/// view-level structure skips that rebuild entirely.
 #[derive(Debug, Clone)]
 pub struct DefinitionIndex {
     /// The view's composites at build time, with a fingerprint of each
-    /// member set — membership-only view edits (e.g. `remove_member`) change
-    /// the fingerprint and force a rebuild even when the id set is stable.
+    /// member set — membership-only view edits (e.g. `remove_member`) are
+    /// detected per slot and re-derive just that slot.
     composites: Vec<(CompositeTaskId, u64)>,
     stride: usize,
     masks: Vec<u64>,
@@ -179,6 +187,64 @@ pub struct DefinitionIndex {
     /// `in_workflow[a * n + b]`: some member of composite slot `a` reaches a
     /// member of slot `b` in the workflow.
     in_workflow: Vec<bool>,
+    /// Cached view-level structure (induced graph + its closure), keyed by
+    /// [`induced_fingerprint`]. `None` until the first cached report.
+    view_side: Option<ViewSideCache>,
+}
+
+/// Cached view-level structure of a [`DefinitionIndex`]: the induced
+/// composite graph and its reachability closure, keyed by a fingerprint of
+/// the induced edge set so any spec or view edit that changes the view-level
+/// structure invalidates it.
+#[derive(Debug, Clone)]
+struct ViewSideCache {
+    fingerprint: u64,
+    induced: InducedViewGraph,
+    reach: ReachMatrix,
+}
+
+/// SplitMix64 finaliser — used to hash structural fingerprints below.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Order-independent fingerprint of the view-level structure: the composite
+/// id list plus the deduplicated set of induced cross-composite edges
+/// (slot pairs). O(composites + dependencies) with one n²-bit scratch set.
+fn induced_fingerprint(
+    spec: &WorkflowSpec,
+    view: &WorkflowView,
+    composites: &[(CompositeTaskId, u64)],
+) -> u64 {
+    let n = composites.len();
+    let slot_of: std::collections::BTreeMap<CompositeTaskId, usize> = composites
+        .iter()
+        .enumerate()
+        .map(|(slot, &(id, _))| (id, slot))
+        .collect();
+    let mut hash = splitmix64(n as u64);
+    for (slot, &(id, _)) in composites.iter().enumerate() {
+        hash ^= splitmix64(0x5EED ^ ((slot as u64) << 32) ^ id.index() as u64);
+    }
+    let mut seen = FixedBitSet::with_capacity(n * n);
+    for (from, to) in spec.dependencies() {
+        let (Some(cf), Some(ct)) = (view.composite_of(from), view.composite_of(to)) else {
+            continue;
+        };
+        if cf == ct {
+            continue;
+        }
+        let (Some(&sa), Some(&sb)) = (slot_of.get(&cf), slot_of.get(&ct)) else {
+            continue;
+        };
+        if seen.insert(sa * n + sb) {
+            hash ^= splitmix64((sa * n + sb) as u64);
+        }
+    }
+    hash
 }
 
 /// FNV-1a over the member task indices: cheap detection of membership-only
@@ -214,6 +280,7 @@ impl DefinitionIndex {
             masks: Vec::new(),
             rows: Vec::new(),
             in_workflow: Vec::new(),
+            view_side: None,
         };
         index.masks = vec![0u64; index.composites.len() * stride];
         index.rows = vec![0u64; index.composites.len() * stride];
@@ -229,10 +296,11 @@ impl DefinitionIndex {
 
     /// Refreshes the index after spec mutations whose accumulated dirty rows
     /// are `dirty` (typically `spec.take_dirty()`), then reports. Structural
-    /// dirt, any change to the view's composites (ids *or* memberships) or a
-    /// changed row stride fall back to a full rebuild; otherwise only
-    /// composites holding a member in a dirty component get their rows and
-    /// pair verdicts re-derived.
+    /// dirt, a change to the view's composite *id* set or a changed row
+    /// stride fall back to a full rebuild; otherwise exactly the composites
+    /// holding a member in a dirty component — or whose membership
+    /// fingerprint changed under a view edit — get their mask, row and pair
+    /// verdicts (both directions) re-derived.
     pub fn refresh(
         &mut self,
         spec: &WorkflowSpec,
@@ -240,47 +308,102 @@ impl DefinitionIndex {
         dirty: &DirtyRows,
     ) -> DefinitionReport {
         let workflow_reach = spec.reachability();
-        if dirty.is_all()
-            || fingerprinted_composites(view) != self.composites
-            || workflow_reach.row_stride() != self.stride
-        {
+        let fresh = fingerprinted_composites(view);
+        let ids_changed = fresh.len() != self.composites.len()
+            || fresh
+                .iter()
+                .zip(&self.composites)
+                .any(|(new, old)| new.0 != old.0);
+        if dirty.is_all() || ids_changed || workflow_reach.row_stride() != self.stride {
             *self = DefinitionIndex::new(spec, view);
-        } else if !dirty.is_clean() {
-            for slot in 0..self.composites.len() {
-                let Ok(composite) = view.composite(self.composites[slot].0) else {
-                    continue;
-                };
-                let touched = composite.members().iter().any(|&task| {
-                    workflow_reach
-                        .component_of(task)
-                        .map_or(true, |comp| dirty.contains(comp))
-                });
+        } else {
+            let mut touched_slots = Vec::new();
+            for (slot, fresh_entry) in fresh.iter().enumerate() {
+                let membership_changed = fresh_entry.1 != self.composites[slot].1;
+                let touched = membership_changed
+                    || (!dirty.is_clean()
+                        && view.composite(self.composites[slot].0).is_ok_and(|c| {
+                            c.members().iter().any(|&task| {
+                                workflow_reach
+                                    .component_of(task)
+                                    .map_or(true, |comp| dirty.contains(comp))
+                            })
+                        }));
                 if touched {
+                    // decremental splits can move members to new component
+                    // indices, so the mask is re-derived along with the row
+                    self.masks[slot * self.stride..(slot + 1) * self.stride].fill(0);
                     self.rows[slot * self.stride..(slot + 1) * self.stride].fill(0);
                     self.derive_slot(spec, view, slot);
-                    self.derive_pairs_of(slot);
+                    self.composites[slot].1 = fresh_entry.1;
+                    touched_slots.push(slot);
+                }
+            }
+            for &slot in &touched_slots {
+                self.derive_pairs_of(slot);
+            }
+            if !touched_slots.is_empty() {
+                // a changed mask also flips verdicts where the touched slot
+                // is the *target*; untouched sources re-test those pairs
+                let n = self.composites.len();
+                for a in 0..n {
+                    if touched_slots.contains(&a) {
+                        continue;
+                    }
+                    let row_a = &self.rows[a * self.stride..(a + 1) * self.stride];
+                    for &b in &touched_slots {
+                        if a == b {
+                            continue;
+                        }
+                        let mask_b = &self.masks[b * self.stride..(b + 1) * self.stride];
+                        self.in_workflow[a * n + b] = wolves_graph::kernels::and_any(row_a, mask_b);
+                    }
                 }
             }
         }
+        self.refresh_view_side(spec, view);
         self.report(spec, view)
     }
 
-    /// Combines the cached workflow-level connectivity with a freshly
-    /// computed view-level reachability into a [`DefinitionReport`].
+    /// Combines the cached workflow-level connectivity with the view-level
+    /// reachability into a [`DefinitionReport`]. The view side (induced
+    /// graph + closure) is taken from the fingerprint-keyed cache when it is
+    /// current and recomputed on the fly otherwise — this method never
+    /// mutates the index, so ad-hoc callers can hold `&self`.
     #[must_use]
     pub fn report(&self, spec: &WorkflowSpec, view: &WorkflowView) -> DefinitionReport {
-        let induced = view.induced_graph(spec);
-        let view_reach =
-            ReachMatrix::build(&induced.graph).expect("induced view graph reachability");
+        let fingerprint = induced_fingerprint(spec, view, &self.composites);
+        let fallback;
+        let (induced, view_reach) = match self
+            .view_side
+            .as_ref()
+            .filter(|cache| cache.fingerprint == fingerprint)
+        {
+            Some(cache) => (&cache.induced, &cache.reach),
+            None => {
+                let induced = view.induced_graph(spec);
+                let reach =
+                    ReachMatrix::build_from_csr(&wolves_graph::Csr::from_graph(&induced.graph));
+                fallback = (induced, reach);
+                (&fallback.0, &fallback.1)
+            }
+        };
         let n = self.composites.len();
         let mut spurious = Vec::new();
         let mut missing = Vec::new();
+        // hoist the per-composite induced-node lookups out of the n² pair
+        // loop: node_of is a map lookup, and 2·n² of them dominate the scan
+        let induced_nodes: Vec<_> = self
+            .composites
+            .iter()
+            .map(|&(id, _)| induced.node_of(id))
+            .collect();
         for (sa, &(a, _)) in self.composites.iter().enumerate() {
             for (sb, &(b, _)) in self.composites.iter().enumerate() {
                 if sa == sb {
                     continue;
                 }
-                let in_view = match (induced.node_of(a), induced.node_of(b)) {
+                let in_view = match (induced_nodes[sa], induced_nodes[sb]) {
                     (Some(na), Some(nb)) => view_reach.reachable(na, nb),
                     _ => false,
                 };
@@ -293,6 +416,27 @@ impl DefinitionIndex {
             }
         }
         DefinitionReport { spurious, missing }
+    }
+
+    /// Rebuilds the view-side cache iff the induced-edge fingerprint moved;
+    /// an edit that left the view-level structure alone skips the induced
+    /// graph and closure rebuild entirely.
+    fn refresh_view_side(&mut self, spec: &WorkflowSpec, view: &WorkflowView) {
+        let fingerprint = induced_fingerprint(spec, view, &self.composites);
+        if self
+            .view_side
+            .as_ref()
+            .is_some_and(|cache| cache.fingerprint == fingerprint)
+        {
+            return;
+        }
+        let induced = view.induced_graph(spec);
+        let reach = ReachMatrix::build_from_csr(&wolves_graph::Csr::from_graph(&induced.graph));
+        self.view_side = Some(ViewSideCache {
+            fingerprint,
+            induced,
+            reach,
+        });
     }
 
     /// (Re)derives the member mask and unioned reach row of one slot.
@@ -310,16 +454,14 @@ impl DefinitionIndex {
         let row = &mut self.rows[slot * self.stride..(slot + 1) * self.stride];
         for &task in composite.members() {
             if let Some(reach_row) = workflow_reach.reachable_row(task) {
-                for (acc, &word) in row.iter_mut().zip(reach_row.words()) {
-                    *acc |= word;
-                }
+                wolves_graph::kernels::or_into(row, reach_row.words());
             }
         }
     }
 
     /// Recomputes `in_workflow` for every ordered pair with `a` as the
-    /// source (a row change can only affect pairs where the changed
-    /// composite is the source; the masks of targets are stable).
+    /// source. Pairs with `a` as the *target* are handled by the refresh
+    /// loop when `a`'s mask changed.
     fn derive_pairs_of(&mut self, a: usize) {
         let n = self.composites.len();
         let row_a = &self.rows[a * self.stride..(a + 1) * self.stride];
@@ -328,7 +470,7 @@ impl DefinitionIndex {
                 continue;
             }
             let mask_b = &self.masks[b * self.stride..(b + 1) * self.stride];
-            self.in_workflow[a * n + b] = row_a.iter().zip(mask_b).any(|(r, m)| r & m != 0);
+            self.in_workflow[a * n + b] = wolves_graph::kernels::and_any(row_a, mask_b);
         }
     }
 }
@@ -534,15 +676,17 @@ mod tests {
         assert_eq!(refreshed.spurious, fresh.spurious);
         assert_eq!(refreshed.missing, fresh.missing);
 
-        // undoing the edit is structural: the refresh falls back to a full
-        // rebuild and the spurious dependency reappears
-        spec.apply(SpecMutation::RemoveDependency {
-            from: t[3],
-            to: t[6],
-        })
-        .unwrap();
+        // undoing the edit runs the decremental path: the refresh re-derives
+        // only the touched slots and the spurious dependency reappears
+        let report = spec
+            .apply(SpecMutation::RemoveDependency {
+                from: t[3],
+                to: t[6],
+            })
+            .unwrap();
+        assert_eq!(report.class, wolves_graph::DeltaClass::Decremental);
         let dirty = spec.take_dirty();
-        assert!(dirty.is_all());
+        assert!(!dirty.is_all());
         let reverted = index.refresh(&spec, &view, &dirty);
         assert_eq!(reverted.spurious.len(), 2);
         let fresh = validate_by_definition(&spec, &view);
@@ -767,6 +911,67 @@ mod tests {
             }
         }
 
+        /// Like [`assert_incremental_matches_rebuild`], but the script also
+        /// mutates the *view*: spec-level task removals tracked by
+        /// `remove_member`, and membership-only view edits. Exercises the
+        /// decremental spec path (SCC splits, cycle un-closing) interleaved
+        /// with per-slot view-side re-derivation.
+        fn assert_incremental_tracks_spec_and_view_edits(
+            spec: &mut WorkflowSpec,
+            view: &mut WorkflowView,
+            ops: Vec<(usize, usize, usize)>,
+        ) {
+            use wolves_workflow::SpecMutation;
+            let _ = spec.reachability();
+            let _ = spec.take_dirty();
+            let mut index = DefinitionIndex::new(spec, view);
+            for (op, raw_a, raw_b) in ops {
+                let tasks: Vec<TaskId> = spec.task_ids().collect();
+                if tasks.len() < 4 {
+                    break;
+                }
+                let from = tasks[raw_a % tasks.len()];
+                let to = tasks[raw_b % tasks.len()];
+                match op % 6 {
+                    0 => {
+                        if spec
+                            .apply(SpecMutation::RemoveDependency { from, to })
+                            .is_err()
+                        {
+                            continue;
+                        }
+                    }
+                    4 => {
+                        // spec-level task removal, tracked in the view
+                        if spec.apply(SpecMutation::RemoveTask { task: from }).is_err() {
+                            continue;
+                        }
+                        let _ = view.remove_member(from);
+                    }
+                    5 => {
+                        // membership-only view edit (no spec change)
+                        if view.remove_member(from).is_err() {
+                            continue;
+                        }
+                    }
+                    _ => {
+                        if from == to
+                            || spec
+                                .apply(SpecMutation::AddDependency { from, to })
+                                .is_err()
+                        {
+                            continue;
+                        }
+                    }
+                }
+                let dirty = spec.take_dirty();
+                let incremental = index.refresh(spec, view, &dirty);
+                let fresh = validate_by_definition(spec, view);
+                assert_eq!(incremental.spurious, fresh.spurious);
+                assert_eq!(incremental.missing, fresh.missing);
+            }
+        }
+
         proptest! {
             #[test]
             fn prop_bitset_algebra_matches_pairwise_on_dags(
@@ -798,6 +1003,24 @@ mod tests {
                 (spec, view) in arbitrary_spec_and_view(12, true)
             ) {
                 assert_reports_agree(&spec, &view);
+            }
+
+            #[test]
+            fn prop_incremental_tracks_spec_and_view_edits_on_dags(
+                (spec, view) in arbitrary_spec_and_view(12, false),
+                ops in proptest::collection::vec((0usize..6, 0usize..32, 0usize..32), 1..20)
+            ) {
+                let (mut spec, mut view) = (spec, view);
+                assert_incremental_tracks_spec_and_view_edits(&mut spec, &mut view, ops);
+            }
+
+            #[test]
+            fn prop_incremental_tracks_spec_and_view_edits_on_cyclic_specs(
+                (spec, view) in arbitrary_spec_and_view(10, true),
+                ops in proptest::collection::vec((0usize..6, 0usize..32, 0usize..32), 1..20)
+            ) {
+                let (mut spec, mut view) = (spec, view);
+                assert_incremental_tracks_spec_and_view_edits(&mut spec, &mut view, ops);
             }
 
             #[test]

@@ -85,7 +85,7 @@ impl FixedBitSet {
     /// Number of bits currently set.
     #[must_use]
     pub fn count_ones(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        crate::kernels::popcount(&self.words)
     }
 
     /// Returns `true` if no bits are set.
@@ -115,9 +115,7 @@ impl FixedBitSet {
     /// Panics if the capacities differ.
     pub fn union_with(&mut self, other: &FixedBitSet) {
         assert_eq!(self.len, other.len, "bitset capacity mismatch");
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a |= *b;
-        }
+        crate::kernels::or_into(&mut self.words, &other.words);
     }
 
     /// In-place intersection: `self &= other`.
@@ -126,9 +124,7 @@ impl FixedBitSet {
     /// Panics if the capacities differ.
     pub fn intersect_with(&mut self, other: &FixedBitSet) {
         assert_eq!(self.len, other.len, "bitset capacity mismatch");
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a &= *b;
-        }
+        crate::kernels::and_into(&mut self.words, &other.words);
     }
 
     /// In-place difference: `self &= !other`.
@@ -137,9 +133,7 @@ impl FixedBitSet {
     /// Panics if the capacities differ.
     pub fn difference_with(&mut self, other: &FixedBitSet) {
         assert_eq!(self.len, other.len, "bitset capacity mismatch");
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a &= !*b;
-        }
+        crate::kernels::andnot_into(&mut self.words, &other.words);
     }
 
     /// Returns `true` if `self` and `other` share at least one bit.
@@ -149,7 +143,7 @@ impl FixedBitSet {
     #[must_use]
     pub fn intersects(&self, other: &FixedBitSet) -> bool {
         assert_eq!(self.len, other.len, "bitset capacity mismatch");
-        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+        crate::kernels::and_any(&self.words, &other.words)
     }
 
     /// Returns `true` if every bit of `self` is also set in `other`.
@@ -159,10 +153,7 @@ impl FixedBitSet {
     #[must_use]
     pub fn is_subset(&self, other: &FixedBitSet) -> bool {
         assert_eq!(self.len, other.len, "bitset capacity mismatch");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .all(|(a, b)| a & !b == 0)
+        !crate::kernels::andnot_any(&self.words, &other.words)
     }
 
     /// Iterates over the indices of the set bits in ascending order.

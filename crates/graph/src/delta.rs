@@ -2,7 +2,7 @@
 //!
 //! Spec edits arrive as single-edge / single-node deltas. Instead of
 //! rebuilding the [`crate::ReachMatrix`] from scratch on every edit, each
-//! delta is classified into one of three maintenance classes
+//! delta is classified into one of four maintenance classes
 //! ([`DeltaClass`]), and the maintenance routine reports exactly which
 //! matrix rows it touched as a [`DirtyRows`] bitset. Downstream consumers
 //! (the definition-level validator, the serving layer's verdict caches) use
@@ -24,8 +24,15 @@ pub enum DeltaClass {
     /// cycle in place — only the touched rows are re-derived, no Tarjan
     /// re-run over the full graph. O(components × row words).
     LocalRebuild,
-    /// The delta can shrink reachability (edge/node removal): the matrix is
-    /// discarded and rebuilt from scratch on next use. O(V + E + V·E/64).
+    /// The delta shrinks reachability (edge/node removal) but was absorbed
+    /// in place: SCC splits are detected on the deleted edge's component
+    /// only, and exactly the rows that could reach the deleted edge's source
+    /// component are re-derived in topological order. Component indices stay
+    /// stable (splits append fresh indices; emptied components become dead
+    /// slots). O(affected × (deg + row words)).
+    Decremental,
+    /// The delta could not be applied in place: the matrix is discarded and
+    /// rebuilt from scratch on next use. O(V + E + V·E/64).
     Structural,
 }
 
@@ -36,6 +43,7 @@ impl DeltaClass {
         match self {
             DeltaClass::MonotoneSafe => "monotone-safe",
             DeltaClass::LocalRebuild => "local-rebuild",
+            DeltaClass::Decremental => "decremental",
             DeltaClass::Structural => "structural",
         }
     }
@@ -50,11 +58,12 @@ impl std::fmt::Display for DeltaClass {
 /// The set of reachability-matrix rows (component indices) whose contents
 /// changed under one or more deltas.
 ///
-/// Component indices are stable across [`DeltaClass::MonotoneSafe`] and
-/// [`DeltaClass::LocalRebuild`] maintenance, so dirty sets from consecutive
-/// deltas can be unioned. A [`DeltaClass::Structural`] delta renumbers
-/// components wholesale; it is represented by the `all` state, which absorbs
-/// everything in a union.
+/// Component indices are stable across [`DeltaClass::MonotoneSafe`],
+/// [`DeltaClass::LocalRebuild`] and [`DeltaClass::Decremental`] maintenance
+/// (decremental splits only *append* fresh indices and never reuse old
+/// ones), so dirty sets from consecutive deltas can be unioned. A
+/// [`DeltaClass::Structural`] delta renumbers components wholesale; it is
+/// represented by the `all` state, which absorbs everything in a union.
 #[derive(Debug, Clone)]
 pub struct DirtyRows {
     bits: FixedBitSet,
@@ -207,6 +216,7 @@ mod tests {
     fn class_names_are_stable() {
         assert_eq!(DeltaClass::MonotoneSafe.name(), "monotone-safe");
         assert_eq!(DeltaClass::LocalRebuild.name(), "local-rebuild");
+        assert_eq!(DeltaClass::Decremental.name(), "decremental");
         assert_eq!(DeltaClass::Structural.name(), "structural");
         assert_eq!(DeltaClass::Structural.to_string(), "structural");
     }

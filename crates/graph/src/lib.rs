@@ -25,6 +25,9 @@
 //! * [`delta`] — the delta taxonomy for incremental maintenance
 //!   ([`DeltaClass`]) and the [`DirtyRows`] change sets the maintenance
 //!   routines report to downstream caches.
+//! * [`kernels`] — blocked (4×64-bit) word kernels shared by every hot
+//!   row/mask loop: unrolled OR/AND/intersect/popcount over flat `&[u64]`
+//!   slices that autovectorise to 256-bit SIMD.
 //! * [`algo`] — assorted DAG utilities (roots, leaves, layering, transitive
 //!   reduction) used by the workload generators and renderers.
 //! * [`dot`] — Graphviz DOT export for debugging and the CLI displayer.
@@ -57,6 +60,7 @@ pub mod digraph;
 pub mod dot;
 pub mod error;
 pub mod id;
+pub mod kernels;
 pub mod reach;
 pub mod scc;
 pub mod topo;

@@ -10,7 +10,10 @@
 //!
 //! The matrix is one flat row-major `Vec<u64>`: row `i` (the set of
 //! components reachable from component `i`) occupies words
-//! `i·stride .. (i+1)·stride` with `stride = comp_count.div_ceil(64)`.
+//! `i·stride .. (i+1)·stride` with
+//! `stride = pad_words(comp_count.div_ceil(64))` — the stride is padded to
+//! a multiple of [`crate::kernels::LANES`] so every row op runs in whole
+//! 4-word SIMD blocks (see [`crate::kernels`]) with no remainder loop.
 //! Building the matrix unions successor rows *in place* through disjoint
 //! row slices — no per-edge row clone, no per-row allocation — and
 //! consumers can borrow whole rows ([`ReachMatrix::reachable_row`]) to run
@@ -31,8 +34,18 @@
 //!   rows on the new cycle in place — the component indices stay stable, the
 //!   merged components simply carry identical rows and are flagged cyclic.
 //!
-//! Removals shrink reachability and fall back to a full rebuild (the caller
-//! drops the matrix — see `wolves-workflow`'s mutation layer).
+//! Removals are maintained *decrementally* ([`ReachMatrix::remove_edge`],
+//! [`ReachMatrix::remove_node`]): SCC splits are detected by re-running
+//! Tarjan on the deleted edge's component only, split parts keep the old
+//! component index for one part and append fresh indices for the rest, and
+//! exactly the rows that could reach the deleted edge's source component
+//! (found by scanning its reachability column — the transposed form of a
+//! reverse BFS) are re-derived in topological order. Cross-component
+//! removals with a surviving alternate path are recognised as closure
+//! no-ops without touching any row. The `_csr` variants
+//! ([`ReachMatrix::remove_edge_csr`], [`ReachMatrix::remove_node_csr`])
+//! walk a pre-removal [`Csr`] snapshot minus the deleted element, so a
+//! cached spec-level CSR can serve removals without an O(V+E) re-snapshot.
 
 use crate::bitset::FixedBitSet;
 use crate::csr::Csr;
@@ -43,6 +56,12 @@ use crate::id::NodeId;
 use crate::scc::{condense_to_csr, strongly_connected_components_csr};
 use crate::topo::topological_sort_csr;
 use crate::traversal::{shortest_path, Direction};
+
+/// Successor enumerator shared by the decremental re-derivation paths: calls
+/// the sink with each out-neighbour of the given node, letting one Tarjan /
+/// rebuild implementation walk either a live graph or a pre-removal CSR
+/// snapshot with skip logic.
+type SuccFn<'a> = dyn Fn(usize, &mut dyn FnMut(usize)) + 'a;
 
 /// Dense all-pairs reachability over a directed graph.
 ///
@@ -55,7 +74,8 @@ pub struct ReachMatrix {
     /// Row-major reachability words: row `i` is `words[i*stride..(i+1)*stride]`,
     /// bit `j` of row `i` set iff component `j` is reachable from component `i`.
     words: Vec<u64>,
-    /// Words per row: `comp_count.div_ceil(64)`.
+    /// Words per row: `comp_count.div_ceil(64)` padded to a multiple of
+    /// [`crate::kernels::LANES`]; pad words are always zero.
     stride: usize,
     /// Number of strongly connected components (= number of rows).
     comp_count: usize,
@@ -94,7 +114,7 @@ impl ReachMatrix {
         let condensed = condense_to_csr(csr, &scc);
         let order = topological_sort_csr(&condensed).expect("condensation is always acyclic");
         let comp_count = scc.len();
-        let stride = comp_count.div_ceil(64);
+        let stride = crate::kernels::pad_words(comp_count.div_ceil(64));
         let mut words = vec![0u64; comp_count * stride];
         // Process in reverse topological order so successor rows are complete
         // before they are unioned into their predecessors.
@@ -106,7 +126,6 @@ impl ReachMatrix {
             }
         }
         let comp_size: Vec<u32> = scc
-            .components
             .iter()
             .map(|members| u32::try_from(members.len()).expect("component size exceeds u32"))
             .collect();
@@ -183,7 +202,8 @@ impl ReachMatrix {
         self.comp_count
     }
 
-    /// Words per reachability row (`comp_count.div_ceil(64)`).
+    /// Words per reachability row (`comp_count.div_ceil(64)` padded to a
+    /// multiple of [`crate::kernels::LANES`]).
     #[must_use]
     pub fn row_stride(&self) -> usize {
         self.stride
@@ -238,26 +258,13 @@ impl ReachMatrix {
             };
         }
         let comp = self.comp_count;
-        let new_stride = (comp + 1).div_ceil(64);
-        if new_stride != self.stride {
-            // widen every row; component indices and row order are preserved
-            let mut widened = vec![0u64; (comp + 1) * new_stride];
-            for row in 0..self.comp_count {
-                widened[row * new_stride..row * new_stride + self.stride]
-                    .copy_from_slice(&self.words[row * self.stride..(row + 1) * self.stride]);
-            }
-            self.words = widened;
-            self.stride = new_stride;
-        } else {
-            self.words.resize((comp + 1) * self.stride, 0);
-        }
+        self.reserve_components(comp + 1);
         self.words[comp * self.stride + comp / 64] |= 1u64 << (comp % 64);
         if index >= self.component_of.len() {
             self.component_of.resize(index + 1, usize::MAX);
         }
         self.component_of[index] = comp;
         self.comp_size.push(1);
-        self.cyclic.grow(comp + 1);
         self.comp_count = comp + 1;
         self.node_bound = self.node_bound.max(index + 1);
         let mut dirty = DirtyRows::clean(self.comp_count);
@@ -312,14 +319,7 @@ impl ReachMatrix {
             // reaches the source and the target reaches it
             let on_new_cycle = creates_cycle && target_row[u / 64] & (1u64 << (u % 64)) != 0;
             let row = &mut self.words[u * self.stride..(u + 1) * self.stride];
-            let mut changed = false;
-            for (word, &incoming) in row.iter_mut().zip(&target_row) {
-                let merged = *word | incoming;
-                if merged != *word {
-                    *word = merged;
-                    changed = true;
-                }
-            }
+            let mut changed = crate::kernels::or_into(row, &target_row);
             if on_new_cycle && self.cyclic.insert(u) {
                 changed = true;
             }
@@ -337,6 +337,371 @@ impl ReachMatrix {
         })
     }
 
+    /// Maintains the matrix across the removal of edge `from -> to`:
+    /// the decremental counterpart of [`ReachMatrix::insert_edge`]. Call
+    /// *after* the edge has been removed from `graph` (the post-removal
+    /// adjacency is consulted for surviving paths).
+    ///
+    /// The delta is always absorbed in place ([`DeltaClass::Decremental`]):
+    ///
+    /// * a cross-component removal whose source still reaches the target
+    ///   through another edge is a closure no-op (clean dirty set);
+    /// * otherwise only the rows that could reach the edge's source
+    ///   component — found by scanning its reachability column, which is
+    ///   exactly the reverse-reachable set over the condensation — are
+    ///   re-derived in topological order;
+    /// * an intra-component removal re-runs Tarjan on that component's
+    ///   members only; if the cycle survives nothing changes, and on a split
+    ///   one part keeps the old component index while the rest get fresh
+    ///   appended indices, so untouched rows stay valid verbatim.
+    ///
+    /// # Errors
+    /// Both endpoints must be known to the matrix.
+    pub fn remove_edge<N, E>(
+        &mut self,
+        graph: &DiGraph<N, E>,
+        from: NodeId,
+        to: NodeId,
+    ) -> Result<DeltaOutcome, GraphError> {
+        let succ = |n: usize, f: &mut dyn FnMut(usize)| {
+            for s in graph.successors(NodeId::from_index(n)) {
+                f(s.index());
+            }
+        };
+        self.remove_edge_inner(&succ, from, to)
+    }
+
+    /// [`ReachMatrix::remove_edge`] over a **pre-removal** [`Csr`] snapshot:
+    /// one `from -> to` instance is skipped while walking successor slices,
+    /// so a cached spec-level CSR can serve the removal without an O(V+E)
+    /// re-snapshot.
+    ///
+    /// # Errors
+    /// Both endpoints must be known to the matrix.
+    pub fn remove_edge_csr(
+        &mut self,
+        csr: &Csr,
+        from: NodeId,
+        to: NodeId,
+    ) -> Result<DeltaOutcome, GraphError> {
+        let (fi, ti) = (from.index(), to.index());
+        let succ = |n: usize, f: &mut dyn FnMut(usize)| {
+            let mut skipped = false;
+            for s in csr.successors(NodeId::from_index(n)) {
+                let si = s.index();
+                if !skipped && n == fi && si == ti {
+                    skipped = true;
+                    continue;
+                }
+                f(si);
+            }
+        };
+        self.remove_edge_inner(&succ, from, to)
+    }
+
+    /// Maintains the matrix across the removal of `node` (and implicitly all
+    /// its incident edges). Call *after* the node has been removed from
+    /// `graph`.
+    ///
+    /// A singleton component becomes a dead slot: its row is zeroed, its
+    /// index is never reused, and `comp_count` is unchanged — so surviving
+    /// component indices stay stable. A multi-member (cyclic) component is
+    /// re-decomposed over its surviving members exactly like an
+    /// intra-component edge removal.
+    ///
+    /// # Errors
+    /// The node must be known to the matrix.
+    pub fn remove_node<N, E>(
+        &mut self,
+        graph: &DiGraph<N, E>,
+        node: NodeId,
+    ) -> Result<DeltaOutcome, GraphError> {
+        let succ = |n: usize, f: &mut dyn FnMut(usize)| {
+            for s in graph.successors(NodeId::from_index(n)) {
+                f(s.index());
+            }
+        };
+        self.remove_node_inner(&succ, node)
+    }
+
+    /// [`ReachMatrix::remove_node`] over a **pre-removal** [`Csr`] snapshot:
+    /// the removed node is skipped as both source and target.
+    ///
+    /// # Errors
+    /// The node must be known to the matrix.
+    pub fn remove_node_csr(&mut self, csr: &Csr, node: NodeId) -> Result<DeltaOutcome, GraphError> {
+        let dead = node.index();
+        let succ = |n: usize, f: &mut dyn FnMut(usize)| {
+            if n == dead {
+                return;
+            }
+            for s in csr.successors(NodeId::from_index(n)) {
+                let si = s.index();
+                if si != dead {
+                    f(si);
+                }
+            }
+        };
+        self.remove_node_inner(&succ, node)
+    }
+
+    fn remove_edge_inner(
+        &mut self,
+        succ_of: &SuccFn,
+        from: NodeId,
+        to: NodeId,
+    ) -> Result<DeltaOutcome, GraphError> {
+        let cf = self
+            .component_index(from)
+            .ok_or(GraphError::InvalidNode(from))?;
+        let ct = self
+            .component_index(to)
+            .ok_or(GraphError::InvalidNode(to))?;
+        // Note on representation: after incremental cycle merges one
+        // *semantic* SCC may span several component indices carrying
+        // identical rows, so "same SCC" is tested through mutual row bits,
+        // not index equality.
+        let intra_scc = self.row_has_bit(cf, ct) && self.row_has_bit(ct, cf);
+        if !intra_scc {
+            // Cross-SCC removal. If the source still reaches the target some
+            // other way, every old path through the removed edge can be
+            // rerouted and the closure is unchanged. Witness: a surviving
+            // successor of `from` outside `from`'s SCC whose row holds ct —
+            // such a row cannot owe its ct bit to the removed edge (the
+            // witness path would have to re-enter `from` after `to`, i.e.
+            // ct reaches cf, contradicting the cross-SCC case).
+            let mut still_reachable = false;
+            succ_of(from.index(), &mut |s| {
+                if still_reachable {
+                    return;
+                }
+                if let Some(cs) = self
+                    .component_of
+                    .get(s)
+                    .copied()
+                    .filter(|&c| c != usize::MAX)
+                {
+                    if self.row_has_bit(cs, ct) && !self.row_has_bit(cs, cf) {
+                        still_reachable = true;
+                    }
+                }
+            });
+            if still_reachable {
+                return Ok(DeltaOutcome {
+                    class: DeltaClass::Decremental,
+                    dirty: DirtyRows::clean(self.comp_count),
+                });
+            }
+        } else {
+            // Intra-SCC removal: if the SCC survives (the edge was internal
+            // redundancy), its member set, successor set and hence the whole
+            // closure are unchanged — detected by a Tarjan run restricted to
+            // the SCC's members, which is tiny compared to the graph.
+            let mut in_scc = vec![false; self.comp_count];
+            for &c in &self.rows_reaching(cf) {
+                if self.row_has_bit(cf, c) {
+                    in_scc[c] = true;
+                }
+            }
+            let members = self.members_of_comps(&in_scc);
+            let parts = scc_of_subset(&members, succ_of);
+            if parts.len() == 1 {
+                return Ok(DeltaOutcome {
+                    class: DeltaClass::Decremental,
+                    dirty: DirtyRows::clean(self.comp_count),
+                });
+            }
+        }
+        let dirty = self.rederive_region(cf, succ_of);
+        Ok(DeltaOutcome {
+            class: DeltaClass::Decremental,
+            dirty,
+        })
+    }
+
+    fn remove_node_inner(
+        &mut self,
+        succ_of: &SuccFn,
+        node: NodeId,
+    ) -> Result<DeltaOutcome, GraphError> {
+        let c = self
+            .component_index(node)
+            .ok_or(GraphError::InvalidNode(node))?;
+        self.component_of[node.index()] = usize::MAX;
+        let dirty = self.rederive_region(c, succ_of);
+        Ok(DeltaOutcome {
+            class: DeltaClass::Decremental,
+            dirty,
+        })
+    }
+
+    /// The removal slow path: re-derives the *region* that can reach
+    /// component `pivot` (everything else keeps its row verbatim — a row
+    /// that never reached the pivot cannot lose any path through it).
+    ///
+    /// 1. The affected component set is read off the pivot's reachability
+    ///    *column* — the transposed, already-transitively-closed form of a
+    ///    reverse BFS over the condensation.
+    /// 2. One Tarjan run restricted to the region's member nodes recomputes
+    ///    the true SCC structure there (the region is closed under mutual
+    ///    reachability, so induced SCCs are exact).
+    /// 3. Indices are reassigned stably: an SCC that matches an old
+    ///    component exactly keeps its index, shrunken/split groups reuse
+    ///    their members' old indices where possible, genuinely new groups
+    ///    get fresh appended indices, and old indices left without members
+    ///    become dead slots. Unaffected rows stay valid under all of this
+    ///    because they hold no bit of any region component.
+    /// 4. Rows are rebuilt sinks-first (Tarjan emission order is reverse
+    ///    topological), unioning successor rows — successors outside the
+    ///    region contribute their final, untouched rows.
+    ///
+    /// Every region row (and dead slot) is marked dirty.
+    fn rederive_region(&mut self, pivot: usize, succ_of: &SuccFn) -> DirtyRows {
+        let affected = self.rows_reaching(pivot);
+        let mut in_region = vec![false; self.comp_count];
+        for &c in &affected {
+            in_region[c] = true;
+        }
+        let members = self.members_of_comps(&in_region);
+        let parts = scc_of_subset(&members, succ_of);
+        // --- index assignment ---
+        let mut consumed = vec![false; self.comp_count];
+        let mut assignment: Vec<usize> = vec![usize::MAX; parts.len()];
+        // pass 1: exact matches keep their index (the common case: an
+        // untouched ancestor component survives as an identical part)
+        for (k, part) in parts.iter().enumerate() {
+            let c0 = self.component_of[part[0]];
+            if part.iter().all(|&n| self.component_of[n] == c0)
+                && self.comp_size[c0] as usize == part.len()
+                && !consumed[c0]
+            {
+                assignment[k] = c0;
+                consumed[c0] = true;
+            }
+        }
+        // pass 2: changed groups reuse the smallest unconsumed index among
+        // their members' old components; genuinely new groups go fresh
+        let mut fresh_needed = 0usize;
+        for (k, part) in parts.iter().enumerate() {
+            if assignment[k] != usize::MAX {
+                continue;
+            }
+            let pick = part
+                .iter()
+                .map(|&n| self.component_of[n])
+                .filter(|&c| !consumed[c])
+                .min();
+            if let Some(c) = pick {
+                assignment[k] = c;
+                consumed[c] = true;
+            } else {
+                fresh_needed += 1;
+            }
+        }
+        if fresh_needed > 0 {
+            self.reserve_components(self.comp_count + fresh_needed);
+            for slot in assignment.iter_mut() {
+                if *slot == usize::MAX {
+                    *slot = self.comp_count;
+                    self.comp_count += 1;
+                    self.comp_size.push(0);
+                }
+            }
+        }
+        let mut dirty = DirtyRows::clean(self.comp_count);
+        // dead slots: affected indices whose members all moved elsewhere (or
+        // whose only member was just removed) — zeroed, never reused
+        for &c in &affected {
+            if !consumed[c] {
+                self.comp_size[c] = 0;
+                self.cyclic.remove(c);
+                self.words[c * self.stride..(c + 1) * self.stride].fill(0);
+                dirty.mark(c);
+            }
+        }
+        // apply the assignment before any row math so successor lookups see
+        // the final component indices
+        for (k, part) in parts.iter().enumerate() {
+            let c = assignment[k];
+            for &n in part {
+                self.component_of[n] = c;
+            }
+            self.comp_size[c] = u32::try_from(part.len()).expect("component size exceeds u32");
+            if part.len() > 1 {
+                self.cyclic.insert(c);
+            } else {
+                self.cyclic.remove(c);
+            }
+        }
+        // --- row recomputation, sinks first ---
+        let mut stamp = vec![usize::MAX; self.comp_count];
+        for (k, part) in parts.iter().enumerate() {
+            let c = assignment[k];
+            let row_start = c * self.stride;
+            self.words[row_start..row_start + self.stride].fill(0);
+            self.words[row_start + c / 64] |= 1u64 << (c % 64);
+            for &m in part {
+                let mut succ_comps: Vec<usize> = Vec::new();
+                succ_of(m, &mut |s| {
+                    let Some(&cs) = self.component_of.get(s) else {
+                        return;
+                    };
+                    if cs == usize::MAX || cs == c || stamp[cs] == k {
+                        return;
+                    }
+                    stamp[cs] = k;
+                    succ_comps.push(cs);
+                });
+                for cs in succ_comps {
+                    union_rows(&mut self.words, self.stride, c, cs);
+                }
+            }
+            dirty.mark(c);
+        }
+        dirty
+    }
+
+    /// Component indices whose rows hold bit `comp` — everything that can
+    /// reach `comp`, itself included.
+    fn rows_reaching(&self, comp: usize) -> Vec<usize> {
+        let word = comp / 64;
+        let mask = 1u64 << (comp % 64);
+        (0..self.comp_count)
+            .filter(|&u| self.words[u * self.stride + word] & mask != 0)
+            .collect()
+    }
+
+    /// Member node indices of the components marked in `in_set` (one scan
+    /// over `component_of`; only used on the removal slow paths).
+    fn members_of_comps(&self, in_set: &[bool]) -> Vec<usize> {
+        self.component_of
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c != usize::MAX && in_set.get(c).copied().unwrap_or(false))
+            .map(|(n, _)| n)
+            .collect()
+    }
+
+    /// Ensures the row buffer can hold `target` components, widening the
+    /// (padded) stride when needed. `comp_count` itself is the caller's to
+    /// update.
+    fn reserve_components(&mut self, target: usize) {
+        let new_stride = crate::kernels::pad_words(target.div_ceil(64));
+        if new_stride != self.stride {
+            // widen every row; component indices and row order are preserved
+            let mut widened = vec![0u64; target * new_stride];
+            for row in 0..self.comp_count {
+                widened[row * new_stride..row * new_stride + self.stride]
+                    .copy_from_slice(&self.words[row * self.stride..(row + 1) * self.stride]);
+            }
+            self.words = widened;
+            self.stride = new_stride;
+        } else {
+            self.words.resize(target * self.stride, 0);
+        }
+        self.cyclic.grow(target);
+    }
+
     fn row_has_bit(&self, row: usize, comp: usize) -> bool {
         self.words[row * self.stride + comp / 64] & (1u64 << (comp % 64)) != 0
     }
@@ -347,6 +712,79 @@ impl ReachMatrix {
             .copied()
             .filter(|&c| c != usize::MAX)
     }
+}
+
+/// Iterative Tarjan restricted to a node subset: edges leaving the subset
+/// are ignored. Returns the strongly connected components of the induced
+/// subgraph as lists of node indices. This is the split detector for
+/// intra-component removals — O(|members| + induced edges), independent of
+/// the full graph size.
+fn scc_of_subset(members: &[usize], succ_of: &SuccFn) -> Vec<Vec<usize>> {
+    use std::collections::HashMap;
+    const UNVISITED: usize = usize::MAX;
+    let local: HashMap<usize, usize> = members.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let n = members.len();
+    // local successor lists materialised once (the callback shape does not
+    // support cursor-style re-entry into a borrowed slice)
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, &m) in members.iter().enumerate() {
+        succ_of(m, &mut |s| {
+            if let Some(&j) = local.get(&s) {
+                succs[i].push(j);
+            }
+        });
+    }
+    let mut index_of = vec![UNVISITED; n];
+    let mut low_link = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut parts: Vec<Vec<usize>> = Vec::new();
+    let mut next_index = 0usize;
+    let mut call_stack: Vec<(usize, usize)> = Vec::new();
+    for root in 0..n {
+        if index_of[root] != UNVISITED {
+            continue;
+        }
+        index_of[root] = next_index;
+        low_link[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+        call_stack.push((root, 0));
+        while let Some(&mut (v, ref mut cursor)) = call_stack.last_mut() {
+            if let Some(&w) = succs[v].get(*cursor) {
+                *cursor += 1;
+                if index_of[w] == UNVISITED {
+                    index_of[w] = next_index;
+                    low_link[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call_stack.push((w, 0));
+                } else if on_stack[w] {
+                    low_link[v] = low_link[v].min(index_of[w]);
+                }
+                continue;
+            }
+            call_stack.pop();
+            if let Some(&(parent, _)) = call_stack.last() {
+                low_link[parent] = low_link[parent].min(low_link[v]);
+            }
+            if low_link[v] == index_of[v] {
+                let mut part = Vec::new();
+                loop {
+                    let w = stack.pop().expect("tarjan stack underflow");
+                    on_stack[w] = false;
+                    part.push(members[w]);
+                    if w == v {
+                        break;
+                    }
+                }
+                parts.push(part);
+            }
+        }
+    }
+    parts
 }
 
 /// One borrowed row of a [`ReachMatrix`]: the set of components reachable
@@ -379,7 +817,7 @@ impl ReachRow<'_> {
     /// Number of reachable *components* (a plain popcount).
     #[must_use]
     pub fn component_count(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        crate::kernels::popcount(self.words)
     }
 
     /// Iterates over the reachable component indices in ascending order.
@@ -406,7 +844,7 @@ impl ReachRow<'_> {
             mask.len() >= self.words.len(),
             "mask shorter than reachability row"
         );
-        self.words.iter().zip(mask).any(|(a, b)| a & b != 0)
+        crate::kernels::and_any(self.words, mask)
     }
 }
 
@@ -419,16 +857,12 @@ fn union_rows(words: &mut [u64], stride: usize, dst: usize, src: usize) {
         let (head, tail) = words.split_at_mut(src * stride);
         let dst_row = &mut head[dst * stride..dst * stride + stride];
         let src_row = &tail[..stride];
-        for (d, s) in dst_row.iter_mut().zip(src_row) {
-            *d |= *s;
-        }
+        crate::kernels::or_into(dst_row, src_row);
     } else {
         let (head, tail) = words.split_at_mut(dst * stride);
         let src_row = &head[src * stride..src * stride + stride];
         let dst_row = &mut tail[..stride];
-        for (d, s) in dst_row.iter_mut().zip(src_row) {
-            *d |= *s;
-        }
+        crate::kernels::or_into(dst_row, src_row);
     }
 }
 
@@ -763,15 +1197,16 @@ mod tests {
     }
 
     #[test]
-    fn insert_node_widens_the_stride_past_word_boundaries() {
-        // build at 63 nodes, then append nodes across the 64-bit boundary
+    fn insert_node_widens_the_stride_past_block_boundaries() {
+        // the stride is padded to 4-word (256-bit) blocks: build at 255
+        // nodes, then append nodes across the 256-component boundary
         let mut g: DiGraph<(), ()> = DiGraph::new();
-        let nodes: Vec<NodeId> = (0..63).map(|_| g.add_node(())).collect();
+        let nodes: Vec<NodeId> = (0..255).map(|_| g.add_node(())).collect();
         for w in nodes.windows(2) {
             g.add_edge(w[0], w[1], ()).unwrap();
         }
         let mut m = ReachMatrix::build(&g).unwrap();
-        assert_eq!(m.row_stride(), 1);
+        assert_eq!(m.row_stride(), 4);
         for _ in 0..3 {
             let fresh = g.add_node(());
             m.insert_node(fresh);
@@ -785,9 +1220,197 @@ mod tests {
             g.add_edge(tail, fresh, ()).unwrap();
             m.insert_edge(tail, fresh).unwrap();
         }
-        assert_eq!(m.row_stride(), 2);
+        assert_eq!(m.row_stride(), 8);
+        assert!(m.reachable(nodes[0], g.node_ids().last().unwrap()));
+        assert_eq!(m.descendant_count(nodes[0]), 258);
+        assert_eq!(m.descendant_count(nodes[254]), 4);
+    }
+
+    #[test]
+    fn small_matrices_are_padded_to_one_block() {
+        let (g, _) = diamond();
+        let m = ReachMatrix::build(&g).unwrap();
+        assert_eq!(m.row_stride(), 4);
+        for comp in 0..m.comp_count() {
+            assert_eq!(m.row_words(comp).len(), 4);
+        }
+    }
+
+    #[test]
+    fn remove_edge_with_alternate_path_is_a_clean_no_op() {
+        // 0 -> 1 -> 2 plus shortcut 0 -> 2: removing the shortcut changes
+        // nothing in the closure
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let n: Vec<NodeId> = (0..3).map(|_| g.add_node(())).collect();
+        g.add_edge(n[0], n[1], ()).unwrap();
+        g.add_edge(n[1], n[2], ()).unwrap();
+        let shortcut = g.add_edge(n[0], n[2], ()).unwrap();
+        let mut m = ReachMatrix::build(&g).unwrap();
+        g.remove_edge(shortcut).unwrap();
+        let out = m.remove_edge(&g, n[0], n[2]).unwrap();
+        assert_eq!(out.class, DeltaClass::Decremental);
+        assert!(out.dirty.is_clean());
         assert_matches_fresh_build(&m, &g);
-        assert_eq!(m.descendant_count(nodes[0]), 66);
+    }
+
+    #[test]
+    fn remove_edge_prunes_exactly_the_ancestor_rows() {
+        // chain a -> b -> c -> d, remove c -> d: rows a, b, c lose d
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let n: Vec<NodeId> = (0..4).map(|_| g.add_node(())).collect();
+        for w in n.windows(2) {
+            g.add_edge(w[0], w[1], ()).unwrap();
+        }
+        let edge = g.find_edge(n[2], n[3]).unwrap();
+        let mut m = ReachMatrix::build(&g).unwrap();
+        assert!(m.reachable(n[0], n[3]));
+        g.remove_edge(edge).unwrap();
+        let out = m.remove_edge(&g, n[2], n[3]).unwrap();
+        assert_eq!(out.class, DeltaClass::Decremental);
+        assert_eq!(out.dirty.count(), Some(3));
+        // d's own row was untouched
+        let cd = m.component_of(n[3]).unwrap();
+        assert!(!out.dirty.contains(cd));
+        assert_matches_fresh_build(&m, &g);
+        assert!(!m.reachable(n[0], n[3]));
+        assert!(m.reachable(n[0], n[2]));
+    }
+
+    #[test]
+    fn remove_edge_splits_a_cycle_into_stable_and_fresh_components() {
+        // a -> b -> c -> d -> b: removing d -> b un-closes the cycle
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let n: Vec<NodeId> = (0..4).map(|_| g.add_node(())).collect();
+        g.add_edge(n[0], n[1], ()).unwrap();
+        g.add_edge(n[1], n[2], ()).unwrap();
+        g.add_edge(n[2], n[3], ()).unwrap();
+        let back = g.add_edge(n[3], n[1], ()).unwrap();
+        let mut m = ReachMatrix::build(&g).unwrap();
+        assert!(m.strictly_reachable(n[1], n[1]));
+        let comp_count_before = m.comp_count();
+        g.remove_edge(back).unwrap();
+        let out = m.remove_edge(&g, n[3], n[1]).unwrap();
+        assert_eq!(out.class, DeltaClass::Decremental);
+        // the 3-member cycle split into 3 singleton components: 2 appended
+        assert_eq!(m.comp_count(), comp_count_before + 2);
+        assert_matches_fresh_build(&m, &g);
+        for &v in &n {
+            assert!(!m.strictly_reachable(v, v));
+        }
+        assert!(m.reachable(n[1], n[3]));
+        assert!(!m.reachable(n[3], n[1]));
+    }
+
+    #[test]
+    fn remove_edge_inside_a_redundant_cycle_is_clean() {
+        // b <-> c with both b -> c -> b and c -> b via an extra node d:
+        // b -> c, c -> d, d -> b, c -> b; removing c -> b keeps the SCC
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        g.add_edge(b, c, ()).unwrap();
+        g.add_edge(c, d, ()).unwrap();
+        g.add_edge(d, b, ()).unwrap();
+        let redundant = g.add_edge(c, b, ()).unwrap();
+        let mut m = ReachMatrix::build(&g).unwrap();
+        g.remove_edge(redundant).unwrap();
+        let out = m.remove_edge(&g, c, b).unwrap();
+        assert_eq!(out.class, DeltaClass::Decremental);
+        assert!(out.dirty.is_clean());
+        assert_matches_fresh_build(&m, &g);
+        assert!(m.strictly_reachable(b, b));
+    }
+
+    #[test]
+    fn remove_node_leaves_a_dead_slot() {
+        let (mut g, n) = diamond();
+        let mut m = ReachMatrix::build(&g).unwrap();
+        let comp_count_before = m.comp_count();
+        g.remove_node(n[1]).unwrap();
+        let out = m.remove_node(&g, n[1]).unwrap();
+        assert_eq!(out.class, DeltaClass::Decremental);
+        // indices stay stable, the slot just dies
+        assert_eq!(m.comp_count(), comp_count_before);
+        assert!(m.component_of(n[1]).is_none());
+        assert!(!m.reachable(n[0], n[1]));
+        assert!(!m.reachable(n[1], n[3]));
+        assert_matches_fresh_build(&m, &g);
+        // the diamond still closes through the other branch
+        assert!(m.reachable(n[0], n[3]));
+        assert_eq!(m.descendant_count(n[0]), 3);
+    }
+
+    #[test]
+    fn remove_node_from_a_cycle_redecomposes_the_survivors() {
+        // a -> b, cycle b -> c -> d -> b, d -> e; removing c splits the
+        // cycle into singletons and breaks a's path to d and e... except
+        // b -> d? no such edge, so a keeps only b
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let n: Vec<NodeId> = (0..5).map(|_| g.add_node(())).collect();
+        g.add_edge(n[0], n[1], ()).unwrap();
+        g.add_edge(n[1], n[2], ()).unwrap();
+        g.add_edge(n[2], n[3], ()).unwrap();
+        g.add_edge(n[3], n[1], ()).unwrap();
+        g.add_edge(n[3], n[4], ()).unwrap();
+        let mut m = ReachMatrix::build(&g).unwrap();
+        assert_eq!(m.descendant_count(n[0]), 5);
+        g.remove_node(n[2]).unwrap();
+        let out = m.remove_node(&g, n[2]).unwrap();
+        assert_eq!(out.class, DeltaClass::Decremental);
+        assert_matches_fresh_build(&m, &g);
+        assert!(!m.strictly_reachable(n[1], n[1]));
+        assert!(!m.reachable(n[1], n[3]));
+        assert!(m.reachable(n[3], n[1]));
+        assert_eq!(m.descendant_count(n[0]), 2);
+    }
+
+    #[test]
+    fn remove_edge_csr_variant_matches_the_graph_variant() {
+        // pre-removal CSR snapshot serves the removal: same behaviour as
+        // consulting the post-removal DiGraph
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let n: Vec<NodeId> = (0..5).map(|_| g.add_node(())).collect();
+        g.add_edge(n[0], n[1], ()).unwrap();
+        g.add_edge(n[1], n[2], ()).unwrap();
+        g.add_edge(n[2], n[3], ()).unwrap();
+        g.add_edge(n[3], n[1], ()).unwrap();
+        g.add_edge(n[3], n[4], ()).unwrap();
+        let pre_csr = Csr::from_graph(&g);
+        let mut via_csr = ReachMatrix::build(&g).unwrap();
+        let mut via_graph = via_csr.clone();
+        let back = g.find_edge(n[3], n[1]).unwrap();
+        g.remove_edge(back).unwrap();
+        via_csr.remove_edge_csr(&pre_csr, n[3], n[1]).unwrap();
+        via_graph.remove_edge(&g, n[3], n[1]).unwrap();
+        assert_matches_fresh_build(&via_csr, &g);
+        assert_matches_fresh_build(&via_graph, &g);
+    }
+
+    #[test]
+    fn remove_node_csr_variant_matches_the_graph_variant() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let n: Vec<NodeId> = (0..5).map(|_| g.add_node(())).collect();
+        g.add_edge(n[0], n[1], ()).unwrap();
+        g.add_edge(n[1], n[2], ()).unwrap();
+        g.add_edge(n[2], n[3], ()).unwrap();
+        g.add_edge(n[3], n[1], ()).unwrap();
+        g.add_edge(n[3], n[4], ()).unwrap();
+        let pre_csr = Csr::from_graph(&g);
+        let mut via_csr = ReachMatrix::build(&g).unwrap();
+        g.remove_node(n[3]).unwrap();
+        via_csr.remove_node_csr(&pre_csr, n[3]).unwrap();
+        assert_matches_fresh_build(&via_csr, &g);
+    }
+
+    #[test]
+    fn removals_reject_unknown_endpoints() {
+        let (g, n) = diamond();
+        let mut m = ReachMatrix::build(&g).unwrap();
+        let ghost = NodeId::from_index(77);
+        assert!(m.remove_edge(&g, n[0], ghost).is_err());
+        assert!(m.remove_edge(&g, ghost, n[0]).is_err());
+        assert!(m.remove_node(&g, ghost).is_err());
     }
 
     #[test]
@@ -861,6 +1484,108 @@ mod tests {
                 let before = m.clone();
                 g.add_edge(nodes[a], nodes[b], ()).unwrap();
                 let out = m.insert_edge(nodes[a], nodes[b]).unwrap();
+                for &u in &nodes {
+                    let comp = m.component_of(u).unwrap();
+                    if out.dirty.contains(comp) {
+                        continue;
+                    }
+                    for &v in &nodes {
+                        prop_assert_eq!(before.reachable(u, v), m.reachable(u, v));
+                        prop_assert_eq!(
+                            before.strictly_reachable(u, v),
+                            m.strictly_reachable(u, v)
+                        );
+                    }
+                }
+            }
+        }
+
+        /// Random *add/remove-interleaved* mutation scripts (node appends,
+        /// DAG-biased and back-edge inserts, edge removals, node removals)
+        /// keep the decrementally maintained matrix behaviourally identical
+        /// to a from-scratch rebuild after every step — covering SCC splits,
+        /// cycle un-closing, dead component slots and alternate-path no-ops.
+        #[test]
+        fn prop_interleaved_mutations_match_rebuild(
+            start in 3usize..8,
+            ops in proptest::collection::vec((0usize..5, 0usize..32, 0usize..32), 1..32)
+        ) {
+            let mut g: DiGraph<(), ()> = DiGraph::new();
+            let mut nodes: Vec<NodeId> = (0..start).map(|_| g.add_node(())).collect();
+            let mut m = ReachMatrix::build(&g).unwrap();
+            for (op, raw_a, raw_b) in ops {
+                match op {
+                    0 => {
+                        let fresh = g.add_node(());
+                        m.insert_node(fresh);
+                        nodes.push(fresh);
+                    }
+                    1 | 2 => {
+                        let a = raw_a % nodes.len();
+                        let b = raw_b % nodes.len();
+                        // op 1 biases towards DAG edges, op 2 keeps the raw
+                        // orientation so cycles form (and can later split)
+                        let (from, to) = if op == 1 && a > b { (b, a) } else { (a, b) };
+                        if from == to || g.find_edge(nodes[from], nodes[to]).is_some() {
+                            continue;
+                        }
+                        g.add_edge(nodes[from], nodes[to], ()).unwrap();
+                        m.insert_edge(nodes[from], nodes[to]).unwrap();
+                    }
+                    3 => {
+                        // remove an existing edge, selected by index
+                        let edges: Vec<_> = g.edge_ids().collect();
+                        if edges.is_empty() {
+                            continue;
+                        }
+                        let edge = edges[raw_a % edges.len()];
+                        let (from, to) = g.edge_endpoints(edge).unwrap();
+                        g.remove_edge(edge).unwrap();
+                        let out = m.remove_edge(&g, from, to).unwrap();
+                        prop_assert_eq!(out.class, DeltaClass::Decremental);
+                    }
+                    _ => {
+                        // remove a node (keep at least 2 so edges stay possible)
+                        if nodes.len() <= 2 {
+                            continue;
+                        }
+                        let victim = nodes.remove(raw_a % nodes.len());
+                        g.remove_node(victim).unwrap();
+                        let out = m.remove_node(&g, victim).unwrap();
+                        prop_assert_eq!(out.class, DeltaClass::Decremental);
+                    }
+                }
+                assert_matches_fresh_build(&m, &g);
+            }
+        }
+
+        /// The decremental dirty set is sound: rows NOT marked dirty answer
+        /// identically before and after each removal.
+        #[test]
+        fn prop_clean_rows_survive_removals_unchanged(
+            start in 3usize..8,
+            edges in proptest::collection::vec((0usize..8, 0usize..8), 4..20),
+            removals in proptest::collection::vec(0usize..32, 1..12)
+        ) {
+            let mut g: DiGraph<(), ()> = DiGraph::new();
+            let nodes: Vec<NodeId> = (0..start).map(|_| g.add_node(())).collect();
+            for (raw_a, raw_b) in edges {
+                let (a, b) = (raw_a % start, raw_b % start);
+                if a != b {
+                    let _ = g.add_edge_unique(nodes[a], nodes[b], ());
+                }
+            }
+            let mut m = ReachMatrix::build(&g).unwrap();
+            for pick in removals {
+                let existing: Vec<_> = g.edge_ids().collect();
+                if existing.is_empty() {
+                    break;
+                }
+                let edge = existing[pick % existing.len()];
+                let (from, to) = g.edge_endpoints(edge).unwrap();
+                let before = m.clone();
+                g.remove_edge(edge).unwrap();
+                let out = m.remove_edge(&g, from, to).unwrap();
                 for &u in &nodes {
                     let comp = m.component_of(u).unwrap();
                     if out.dirty.contains(comp) {

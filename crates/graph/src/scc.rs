@@ -15,14 +15,22 @@ use crate::digraph::DiGraph;
 use crate::id::NodeId;
 
 /// Result of a strongly-connected-component decomposition.
+///
+/// Member lists are stored **flat** — one concatenated `Vec<NodeId>` sliced
+/// by an offsets array — rather than as a `Vec<Vec<NodeId>>`: a build over a
+/// large DAG produces one component per node, and per-component heap
+/// allocations dominated the decomposition cost.
 #[derive(Debug, Clone)]
 pub struct SccDecomposition {
-    /// The components, each a non-empty list of node ids. Components are
-    /// emitted in reverse topological order of the condensation (standard
-    /// Tarjan output order).
-    pub components: Vec<Vec<NodeId>>,
-    /// Dense lookup from [`NodeId::index`] to the index of its component in
-    /// [`SccDecomposition::components`]. Removed nodes map to `usize::MAX`.
+    /// Concatenated member lists: component `c` occupies
+    /// `members[offsets[c]..offsets[c + 1]]`, each slice sorted ascending.
+    /// Components are emitted in reverse topological order of the
+    /// condensation (standard Tarjan output order).
+    members: Vec<NodeId>,
+    /// `offsets.len() == len() + 1`; see [`SccDecomposition::members_of`].
+    offsets: Vec<usize>,
+    /// Dense lookup from [`NodeId::index`] to the component index. Removed
+    /// nodes map to `usize::MAX`.
     pub component_of: Vec<usize>,
 }
 
@@ -30,20 +38,20 @@ impl SccDecomposition {
     /// Number of components.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.components.len()
+        self.offsets.len() - 1
     }
 
     /// Returns `true` if there are no components (empty graph).
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.components.is_empty()
+        self.len() == 0
     }
 
     /// Returns `true` if every component is a single node, i.e. the graph is
     /// acyclic (self-loops are impossible in [`DiGraph`]).
     #[must_use]
     pub fn is_acyclic(&self) -> bool {
-        self.components.iter().all(|c| c.len() == 1)
+        self.members.len() == self.len()
     }
 
     /// Returns the component index of a node, if the node exists.
@@ -53,6 +61,20 @@ impl SccDecomposition {
             .get(node.index())
             .copied()
             .filter(|&c| c != usize::MAX)
+    }
+
+    /// The member nodes of component `comp`, sorted ascending.
+    ///
+    /// # Panics
+    /// Panics if `comp >= self.len()`.
+    #[must_use]
+    pub fn members_of(&self, comp: usize) -> &[NodeId] {
+        &self.members[self.offsets[comp]..self.offsets[comp + 1]]
+    }
+
+    /// Iterates over the member slices of all components in emission order.
+    pub fn iter(&self) -> impl Iterator<Item = &[NodeId]> + '_ {
+        (0..self.len()).map(|comp| self.members_of(comp))
     }
 }
 
@@ -72,7 +94,9 @@ pub fn strongly_connected_components_csr(csr: &Csr) -> SccDecomposition {
     let mut low_link: Vec<usize> = vec![0; bound];
     let mut on_stack: Vec<bool> = vec![false; bound];
     let mut stack: Vec<NodeId> = Vec::new();
-    let mut components: Vec<Vec<NodeId>> = Vec::new();
+    let mut members: Vec<NodeId> = Vec::with_capacity(bound);
+    let mut offsets: Vec<usize> = Vec::with_capacity(bound + 1);
+    offsets.push(0);
     let mut component_of: Vec<usize> = vec![usize::MAX; bound];
     let mut next_index = 0usize;
     // Explicit DFS call stack: (node, cursor into its successor slice).
@@ -110,24 +134,28 @@ pub fn strongly_connected_components_csr(csr: &Csr) -> SccDecomposition {
                 low_link[parent.index()] = low_link[parent.index()].min(low_link[v.index()]);
             }
             if low_link[v.index()] == index_of[v.index()] {
-                let mut component = Vec::new();
+                let start = members.len();
+                let comp = offsets.len() - 1;
                 loop {
                     let w = stack.pop().expect("tarjan stack underflow");
                     on_stack[w.index()] = false;
-                    component_of[w.index()] = components.len();
-                    component.push(w);
+                    component_of[w.index()] = comp;
+                    members.push(w);
                     if w == v {
                         break;
                     }
                 }
-                component.sort_unstable();
-                components.push(component);
+                if members.len() - start > 1 {
+                    members[start..].sort_unstable();
+                }
+                offsets.push(members.len());
             }
         }
     }
 
     SccDecomposition {
-        components,
+        members,
+        offsets,
         component_of,
     }
 }
@@ -140,9 +168,8 @@ pub fn condensation<N, E>(graph: &DiGraph<N, E>) -> (DiGraph<Vec<NodeId>, ()>, S
     let scc = strongly_connected_components_csr(&csr);
     let mut condensed: DiGraph<Vec<NodeId>, ()> = DiGraph::with_capacity(scc.len(), scc.len());
     let comp_nodes: Vec<NodeId> = scc
-        .components
         .iter()
-        .map(|members| condensed.add_node(members.clone()))
+        .map(|members| condensed.add_node(members.to_vec()))
         .collect();
     for (cs, ct) in cross_component_edges(&csr, &scc) {
         condensed
@@ -162,21 +189,24 @@ pub fn condense_to_csr(csr: &Csr, scc: &SccDecomposition) -> Csr {
     Csr::from_edge_list(scc.len(), &edges)
 }
 
-/// Sorted, deduplicated `(source component, target component)` pairs for all
-/// cross-component edges of the snapshot.
+/// Deduplicated `(source component, target component)` pairs for all
+/// cross-component edges of the snapshot, grouped by ascending source
+/// component. Walking the flat member lists in component order lets a stamp
+/// array dedupe targets in O(V + E) — no sort, no hashing.
 fn cross_component_edges(csr: &Csr, scc: &SccDecomposition) -> Vec<(usize, usize)> {
     let mut edges: Vec<(usize, usize)> = Vec::new();
-    for source in csr.node_ids() {
-        let cs = scc.component_of[source.index()];
-        for &target in csr.successors(source) {
-            let ct = scc.component_of[target.index()];
-            if cs != ct {
-                edges.push((cs, ct));
+    let mut seen: Vec<usize> = vec![usize::MAX; scc.len()];
+    for cs in 0..scc.len() {
+        for &source in scc.members_of(cs) {
+            for &target in csr.successors(source) {
+                let ct = scc.component_of[target.index()];
+                if cs != ct && seen[ct] != cs {
+                    seen[ct] = cs;
+                    edges.push((cs, ct));
+                }
             }
         }
     }
-    edges.sort_unstable();
-    edges.dedup();
     edges
 }
 

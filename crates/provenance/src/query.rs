@@ -93,8 +93,10 @@ impl ViewProvenanceIndex {
     #[must_use]
     pub fn new(spec: &WorkflowSpec, view: &WorkflowView) -> Self {
         let induced = view.induced_graph(spec);
+        // CSR-routed build: one frozen adjacency snapshot feeds SCC,
+        // condensation and the blocked-kernel closure propagation
         let view_reach =
-            ReachMatrix::build(&induced.graph).expect("induced view graph reachability");
+            ReachMatrix::build_from_csr(&wolves_graph::Csr::from_graph(&induced.graph));
         ViewProvenanceIndex {
             induced,
             view_reach,

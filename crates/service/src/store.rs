@@ -232,10 +232,33 @@ struct ShardMetrics {
     composite_misses: AtomicU64,
     requests: AtomicU64,
     dropped_watchers: AtomicU64,
+    /// Applied mutations by delta class (the maintenance taxonomy), exposed
+    /// as `wolves_mutations_total{class=...}` — the observable proof that
+    /// removals run decrementally instead of falling back to structural
+    /// rebuilds.
+    mutations_monotone: AtomicU64,
+    mutations_local: AtomicU64,
+    mutations_decremental: AtomicU64,
+    mutations_structural: AtomicU64,
+    mutations_view_edit: AtomicU64,
     /// Per-verb latency histograms; the `stats` wire field `validate_ns`
     /// is derived from the validate histogram's sum (the old lossy summed
     /// counter is gone).
     verbs: VerbTimers,
+}
+
+impl ShardMetrics {
+    /// Bumps the counter matching one applied mutation's delta-class name.
+    fn record_mutation_class(&self, class: &str) {
+        let counter = match class {
+            "monotone-safe" => &self.mutations_monotone,
+            "local-rebuild" => &self.mutations_local,
+            "decremental" => &self.mutations_decremental,
+            "view-edit" => &self.mutations_view_edit,
+            _ => &self.mutations_structural,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// One shard's immutable state, published through a [`SnapshotCell`].
@@ -1274,11 +1297,13 @@ impl WorkflowStore {
                 let report = Arc::make_mut(&mut entry.spec)
                     .apply(SpecMutation::RemoveDependency { from, to })
                     .map_err(mutation)?;
-                let (_, internal) = edge_affected_composites(entry, from, to, &report.dirty);
-                // removals shrink reachability: every verdict may change,
-                // but an intra-composite edge still cannot change the
+                // the decremental maintenance reports exactly which
+                // reachability rows shrank, so survivor composites keep
+                // their cached verdicts just like on the insert path; an
+                // intra-composite edge additionally cannot change the
                 // induced view graph, so the provenance index survives
-                (report.class.name(), Affected::All, internal, false)
+                let (affected, internal) = edge_affected_composites(entry, from, to, &report.dirty);
+                (report.class.name(), affected, internal, false)
             }
             MutateOp::Split { composite, parts } => {
                 let stored = Arc::make_mut(&mut entry.views[entry.current]);
@@ -1319,6 +1344,7 @@ impl WorkflowStore {
         };
 
         let compute_ns = duration_ns(compute_start.elapsed());
+        shard.metrics.record_mutation_class(class);
         // the retag-or-drop pass over the cached verdicts is cache work,
         // not model computation
         let lookup_start = Instant::now();
@@ -1745,6 +1771,7 @@ impl WorkflowStore {
         let mut snapshot_publishes = 0u64;
         let mut active_watchers = 0u64;
         let mut queue_depth = 0u64;
+        let mut mutation_classes = [0u64; 5];
         for shard in &self.shards {
             workflows += shard.state.load().entries.len() as u64;
             validate_hits += shard.metrics.validate_hits.load(Ordering::Relaxed);
@@ -1753,6 +1780,11 @@ impl WorkflowStore {
             composite_misses += shard.metrics.composite_misses.load(Ordering::Relaxed);
             requests += shard.metrics.requests.load(Ordering::Relaxed);
             dropped_watchers += shard.metrics.dropped_watchers.load(Ordering::Relaxed);
+            mutation_classes[0] += shard.metrics.mutations_monotone.load(Ordering::Relaxed);
+            mutation_classes[1] += shard.metrics.mutations_local.load(Ordering::Relaxed);
+            mutation_classes[2] += shard.metrics.mutations_decremental.load(Ordering::Relaxed);
+            mutation_classes[3] += shard.metrics.mutations_structural.load(Ordering::Relaxed);
+            mutation_classes[4] += shard.metrics.mutations_view_edit.load(Ordering::Relaxed);
             snapshot_publishes += shard.state.publish_count();
             let watchers = shard.watchers.lock();
             active_watchers += watchers.len() as u64;
@@ -1788,6 +1820,24 @@ impl WorkflowStore {
             composite_misses,
         );
         write_sample(&mut out, "wolves_store_requests_total", &[], requests);
+        let _ = writeln!(out, "# TYPE wolves_mutations_total counter");
+        for (class, count) in [
+            "monotone-safe",
+            "local-rebuild",
+            "decremental",
+            "structural",
+            "view-edit",
+        ]
+        .into_iter()
+        .zip(mutation_classes)
+        {
+            write_sample(
+                &mut out,
+                "wolves_mutations_total",
+                &[("class", class)],
+                count,
+            );
+        }
         write_sample(
             &mut out,
             "wolves_snapshot_publishes_total",
@@ -2886,7 +2936,8 @@ mod tests {
             ),
             Err(ServiceError::Mutation(_))
         ));
-        // removing the task again is structural and drops it from the view
+        // removing the task again runs the decremental maintenance (the
+        // matrix is warm from the validate) and drops it from the view
         let outcome = store
             .mutate(
                 id,
@@ -2895,7 +2946,7 @@ mod tests {
                 },
             )
             .unwrap();
-        assert_eq!(outcome.class, "structural");
+        assert_eq!(outcome.class, "decremental");
         assert!(store.validate(id, None).unwrap().sound);
         assert!(matches!(
             store.provenance(id, "Archive results"),
@@ -2904,14 +2955,16 @@ mod tests {
     }
 
     #[test]
-    fn mutate_remove_edge_is_structural_and_observed_by_validation() {
+    fn mutate_remove_edge_is_decremental_and_observed_by_validation() {
         let store = WorkflowStore::new(1);
         let fixture = figure1();
         let id = store.register(fixture.spec, Some(fixture.view));
         store.correct(id, Strategy::Strong).unwrap();
         assert!(store.validate(id, None).unwrap().sound);
         // removing Split entries -> Extract sequences severs the path that
-        // kept 'Retrieve entries (13)' sound towards the sequences branch
+        // kept 'Retrieve entries (13)' sound towards the sequences branch;
+        // the warm matrix absorbs it in place and survivors keep their
+        // cached verdicts
         let outcome = store
             .mutate(
                 id,
@@ -2921,10 +2974,13 @@ mod tests {
                 },
             )
             .unwrap();
-        assert_eq!(outcome.class, "structural");
-        assert_eq!(
-            outcome.retained, 0,
-            "structural deltas invalidate everything"
+        assert_eq!(outcome.class, "decremental");
+        assert!(
+            outcome.retained > 0,
+            "decremental deltas keep untouched composites cached \
+             (retained {} / invalidated {})",
+            outcome.retained,
+            outcome.invalidated
         );
         // removing a dependency that does not exist is a model-layer error
         assert!(matches!(
@@ -2937,6 +2993,125 @@ mod tests {
             ),
             Err(ServiceError::Mutation(_))
         ));
+    }
+
+    #[test]
+    fn mutate_remove_edge_keeps_survivor_composite_verdicts_cached() {
+        let store = WorkflowStore::new(1);
+        let fixture = figure1();
+        let id = store.register(fixture.spec, Some(fixture.view));
+        store.validate(id, None).unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.composite_misses(), 7);
+        assert_eq!(stats.composite_hits(), 0);
+
+        // add a redundant intra-composite edge, re-validate, then take the
+        // edge right back out: the endpoints stay connected through the
+        // original path, so the removal rides the decremental fast path
+        // with an empty dirty set and only the endpoint composite drops
+        store
+            .mutate(
+                id,
+                add_edge("Check additional annotations", "Build phylo tree"),
+            )
+            .unwrap();
+        store.validate(id, None).unwrap();
+        let outcome = store
+            .mutate(
+                id,
+                MutateOp::RemoveEdge {
+                    from: "Check additional annotations".to_owned(),
+                    to: "Build phylo tree".to_owned(),
+                },
+            )
+            .unwrap();
+        assert_eq!(outcome.class, "decremental");
+        assert_eq!(outcome.invalidated, 1, "only the endpoint composite drops");
+        assert_eq!(outcome.retained, 6);
+
+        let verdict = store.validate(id, None).unwrap();
+        assert!(!verdict.sound, "figure 1 stays unsound either way");
+        let stats = store.stats();
+        assert_eq!(
+            stats.composite_misses(),
+            7 + 1 + 1,
+            "only 'Build Phylo Tree (19)' recomputed after each edit"
+        );
+        assert_eq!(
+            stats.composite_hits(),
+            6 + 6,
+            "six cached verdicts survived each edit"
+        );
+    }
+
+    #[test]
+    fn metrics_count_mutation_classes_and_removals_stay_nonstructural() {
+        let store = WorkflowStore::new(1);
+        let fixture = figure1();
+        let id = store.register(fixture.spec, Some(fixture.view));
+        store.validate(id, None).unwrap();
+        // an add/remove edit script: with a warm matrix every removal rides
+        // the decremental path, so the structural counter never moves
+        store
+            .mutate(
+                id,
+                add_edge("Check additional annotations", "Build phylo tree"),
+            )
+            .unwrap();
+        store
+            .mutate(
+                id,
+                MutateOp::RemoveEdge {
+                    from: "Check additional annotations".to_owned(),
+                    to: "Build phylo tree".to_owned(),
+                },
+            )
+            .unwrap();
+        store
+            .mutate(
+                id,
+                MutateOp::AddTask {
+                    name: "Archive results".to_owned(),
+                },
+            )
+            .unwrap();
+        store
+            .mutate(
+                id,
+                MutateOp::RemoveTask {
+                    name: "Archive results".to_owned(),
+                },
+            )
+            .unwrap();
+        store
+            .mutate(
+                id,
+                MutateOp::Merge {
+                    name: "Front end".to_owned(),
+                    composites: vec![
+                        "Retrieve entries (13)".to_owned(),
+                        "Annotations (14)".to_owned(),
+                    ],
+                },
+            )
+            .unwrap();
+        let text = store.metrics_text();
+        assert!(
+            text.contains("wolves_mutations_total{class=\"monotone-safe\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("wolves_mutations_total{class=\"decremental\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("wolves_mutations_total{class=\"view-edit\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("wolves_mutations_total{class=\"structural\"} 0"),
+            "{text}"
+        );
     }
 
     #[test]

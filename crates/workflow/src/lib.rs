@@ -51,4 +51,4 @@ pub use error::WorkflowError;
 pub use mutation::{MutationReport, SpecDelta, SpecDeltaKind, SpecMutation};
 pub use spec::WorkflowSpec;
 pub use task::{AtomicTask, DataDependency, TaskId};
-pub use view::{CompositeTask, CompositeTaskId, WorkflowView};
+pub use view::{CompositeTask, CompositeTaskId, InducedViewGraph, WorkflowView};

@@ -79,10 +79,11 @@ pub enum SpecDeltaKind {
 pub struct MutationReport {
     /// The specification's epoch after the mutation.
     pub epoch: u64,
-    /// How the cached reachability matrix absorbed the delta.
+    /// How the cached reachability matrix absorbed the delta: inserts are
+    /// monotone-safe or local rebuilds, removals run the decremental path.
     /// [`DeltaClass::Structural`] means the matrix was discarded and will be
-    /// rebuilt from scratch on next use (also reported when no matrix was
-    /// cached yet).
+    /// rebuilt from scratch on next use (only reported when no matrix was
+    /// cached yet, or on a defensive fallback).
     pub class: DeltaClass,
     /// Matrix rows (component indices) this mutation dirtied. `all` for
     /// structural deltas.

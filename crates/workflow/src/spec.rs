@@ -1,9 +1,9 @@
 //! Workflow specifications.
 
 use std::collections::BTreeMap;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
-use wolves_graph::{DeltaClass, DiGraph, DirtyRows, ReachMatrix};
+use wolves_graph::{Csr, DeltaClass, DiGraph, DirtyRows, ReachMatrix};
 
 use crate::error::WorkflowError;
 use crate::mutation::{MutationReport, SpecDelta, SpecDeltaKind, SpecMutation};
@@ -17,14 +17,21 @@ use crate::task::{AtomicTask, DataDependency, TaskId};
 /// against it. Mutations run through the epoch machinery (see
 /// [`crate::mutation`]): each edit bumps the epoch, appends to the delta
 /// log, and maintains the cached matrix *in place* where the delta class
-/// allows — additive edits (task/dependency inserts) never pay a full
-/// rebuild; removals discard the cache and rebuild lazily.
+/// allows — additive edits (task/dependency inserts) propagate rows
+/// forward, removals run the decremental path (SCC split detection plus
+/// bounded ancestor re-derivation over the cached CSR snapshot). No single
+/// edit pays a full rebuild once the matrix exists.
 #[derive(Debug)]
 pub struct WorkflowSpec {
     name: String,
     graph: DiGraph<AtomicTask, DataDependency>,
     by_name: BTreeMap<String, TaskId>,
     reach: OnceLock<ReachMatrix>,
+    /// Shared CSR snapshot of `graph`, built on first demand and dropped by
+    /// every mutation. All read-side consumers (SCC, closure build,
+    /// provenance induced graphs, decremental reverse-BFS) reuse this one
+    /// snapshot instead of re-walking the adjacency lists each.
+    csr: OnceLock<Arc<Csr>>,
     epoch: u64,
     /// Matrix rows dirtied since the last [`WorkflowSpec::take_dirty`].
     dirty: DirtyRows,
@@ -43,11 +50,16 @@ impl Clone for WorkflowSpec {
         if let Some(matrix) = self.reach.get() {
             let _ = reach.set(matrix.clone());
         }
+        let csr = OnceLock::new();
+        if let Some(snapshot) = self.csr.get() {
+            let _ = csr.set(Arc::clone(snapshot));
+        }
         WorkflowSpec {
             name: self.name.clone(),
             graph: self.graph.clone(),
             by_name: self.by_name.clone(),
             reach,
+            csr,
             epoch: self.epoch,
             dirty: self.dirty.clone(),
             log: self.log.clone(),
@@ -65,6 +77,7 @@ impl WorkflowSpec {
             graph: DiGraph::new(),
             by_name: BTreeMap::new(),
             reach: OnceLock::new(),
+            csr: OnceLock::new(),
             epoch: 0,
             dirty: DirtyRows::clean(0),
             log: Vec::new(),
@@ -90,6 +103,7 @@ impl WorkflowSpec {
             graph,
             by_name,
             reach: OnceLock::new(),
+            csr: OnceLock::new(),
             epoch,
             // a restored spec has no incremental history: consumers must
             // treat every derived row as dirty until they rebuild
@@ -157,19 +171,46 @@ impl WorkflowSpec {
     /// # Errors
     /// Fails if the id does not belong to this specification.
     pub fn remove_task(&mut self, id: TaskId) -> Result<AtomicTask, WorkflowError> {
-        let task = self
-            .graph
-            .remove_node(id)
-            .map_err(|_| WorkflowError::UnknownTask(id))?;
+        self.remove_task_mutation(id).map(|(task, _)| task)
+    }
+
+    fn remove_task_mutation(
+        &mut self,
+        id: TaskId,
+    ) -> Result<(AtomicTask, MutationReport), WorkflowError> {
+        // take the CSR snapshot *before* editing the graph: the decremental
+        // path walks the pre-removal adjacency and skips the dead node
+        let snapshot = std::mem::take(&mut self.csr).into_inner();
+        let task = match self.graph.remove_node(id) {
+            Ok(task) => task,
+            Err(_) => {
+                if let Some(csr) = snapshot {
+                    let _ = self.csr.set(csr);
+                }
+                return Err(WorkflowError::UnknownTask(id));
+            }
+        };
         self.by_name.remove(&task.name);
-        self.reach = OnceLock::new();
-        let _ = self.record(
-            SpecDeltaKind::TaskRemoved(id),
-            DeltaClass::Structural,
-            DirtyRows::all(),
-            None,
-        );
-        Ok(task)
+        let (class, dirty) = match self.reach.get_mut() {
+            Some(matrix) => {
+                let outcome = match snapshot {
+                    Some(csr) => matrix.remove_node_csr(&csr, id),
+                    None => matrix.remove_node(&self.graph, id),
+                };
+                match outcome {
+                    Ok(outcome) => (outcome.class, outcome.dirty),
+                    // defensive: a node the matrix never saw forces a
+                    // rebuild (cannot happen when tasks enter via add_task)
+                    Err(_) => {
+                        self.reach = OnceLock::new();
+                        (DeltaClass::Structural, DirtyRows::all())
+                    }
+                }
+            }
+            None => (DeltaClass::Structural, DirtyRows::all()),
+        };
+        let report = self.record(SpecDeltaKind::TaskRemoved(id), class, dirty, None);
+        Ok((task, report))
     }
 
     /// Applies one typed mutation, returning the epoch, delta class and
@@ -184,13 +225,7 @@ impl WorkflowSpec {
         match mutation {
             SpecMutation::AddTask { name } => self.add_task_mutation(AtomicTask::new(name)),
             SpecMutation::RemoveTask { task } => {
-                self.remove_task(task)?;
-                Ok(MutationReport {
-                    epoch: self.epoch,
-                    class: DeltaClass::Structural,
-                    dirty: DirtyRows::all(),
-                    task: None,
-                })
+                self.remove_task_mutation(task).map(|(_, report)| report)
             }
             SpecMutation::AddDependency { from, to } => {
                 self.add_dependency_mutation(from, to, DataDependency::unnamed())
@@ -293,6 +328,7 @@ impl WorkflowSpec {
         let name = task.name.clone();
         let id = self.graph.add_node(task);
         self.by_name.insert(name, id);
+        self.csr = OnceLock::new();
         let (class, dirty) = match self.reach.get_mut() {
             Some(matrix) => {
                 let outcome = matrix.insert_node(id);
@@ -310,6 +346,7 @@ impl WorkflowSpec {
         dependency: DataDependency,
     ) -> Result<MutationReport, WorkflowError> {
         self.graph.add_edge_unique(from, to, dependency)?;
+        self.csr = OnceLock::new();
         let (class, dirty) = match self.reach.get_mut() {
             Some(matrix) => match matrix.insert_edge(from, to) {
                 Ok(outcome) => (outcome.class, outcome.dirty),
@@ -334,12 +371,30 @@ impl WorkflowSpec {
             .graph
             .find_edge(from, to)
             .ok_or(WorkflowError::UnknownDependency(from, to))?;
+        // the pre-removal CSR snapshot (if warm) drives the decremental
+        // maintenance below; the removal invalidates it either way
+        let snapshot = std::mem::take(&mut self.csr).into_inner();
         self.graph.remove_edge(edge)?;
-        self.reach = OnceLock::new();
+        let (class, dirty) = match self.reach.get_mut() {
+            Some(matrix) => {
+                let outcome = match snapshot {
+                    Some(csr) => matrix.remove_edge_csr(&csr, from, to),
+                    None => matrix.remove_edge(&self.graph, from, to),
+                };
+                match outcome {
+                    Ok(outcome) => (outcome.class, outcome.dirty),
+                    Err(_) => {
+                        self.reach = OnceLock::new();
+                        (DeltaClass::Structural, DirtyRows::all())
+                    }
+                }
+            }
+            None => (DeltaClass::Structural, DirtyRows::all()),
+        };
         Ok(self.record(
             SpecDeltaKind::DependencyRemoved(from, to),
-            DeltaClass::Structural,
-            DirtyRows::all(),
+            class,
+            dirty,
             None,
         ))
     }
@@ -447,7 +502,19 @@ impl WorkflowSpec {
     #[must_use]
     pub fn reachability(&self) -> &ReachMatrix {
         self.reach
-            .get_or_init(|| ReachMatrix::build(&self.graph).expect("reachability is infallible"))
+            .get_or_init(|| ReachMatrix::build_from_csr(&self.csr_snapshot()))
+    }
+
+    /// A shared CSR snapshot of the current dependency graph, built on first
+    /// demand and reused by every read-side consumer (reachability builds,
+    /// SCC, provenance induced graphs, decremental removal maintenance)
+    /// until the next mutation invalidates it.
+    #[must_use]
+    pub fn csr_snapshot(&self) -> Arc<Csr> {
+        Arc::clone(
+            self.csr
+                .get_or_init(|| Arc::new(Csr::from_graph(&self.graph))),
+        )
     }
 
     /// Convenience wrapper for a single reachability query.
@@ -621,13 +688,46 @@ mod tests {
                 to: late,
             })
             .unwrap();
-        assert_eq!(report.class, DeltaClass::Structural);
-        assert!(report.dirty.is_all());
+        assert_eq!(report.class, DeltaClass::Decremental);
+        assert!(!report.dirty.is_all());
         assert!(!spec.reaches(ids[0], late));
         let report = spec.apply(SpecMutation::RemoveTask { task: late }).unwrap();
-        assert_eq!(report.class, DeltaClass::Structural);
+        assert_eq!(report.class, DeltaClass::Decremental);
+        assert!(!report.dirty.is_all());
         assert_eq!(spec.task_by_name("late"), None);
         assert!(spec.apply(SpecMutation::RemoveTask { task: late }).is_err());
+    }
+
+    #[test]
+    fn removals_maintain_the_matrix_in_place() {
+        let (mut spec, ids) = linear_spec();
+        let _ = spec.reachability();
+        let _ = spec.take_dirty();
+        // warm CSR snapshot: the removal must reuse it (and invalidate it)
+        let snapshot = spec.csr_snapshot();
+        let report = spec
+            .apply(SpecMutation::RemoveDependency {
+                from: ids[1],
+                to: ids[2],
+            })
+            .unwrap();
+        assert_eq!(report.class, DeltaClass::Decremental);
+        assert!(!spec.reaches(ids[0], ids[3]));
+        assert!(spec.reaches(ids[0], ids[1]));
+        assert!(spec.reaches(ids[2], ids[3]));
+        // the ancestors of the cut point are dirty, the downstream rows not
+        assert!(!report.dirty.is_all());
+        assert!(report.dirty.count().unwrap_or(0) >= 1);
+        // a fresh snapshot reflects the removal
+        let fresh = spec.csr_snapshot();
+        assert!(!Arc::ptr_eq(&snapshot, &fresh));
+        // removing a task decrementally keeps answering queries in place
+        let report = spec
+            .apply(SpecMutation::RemoveTask { task: ids[0] })
+            .unwrap();
+        assert_eq!(report.class, DeltaClass::Decremental);
+        assert!(spec.reaches(ids[2], ids[3]));
+        assert!(!spec.reaches(ids[1], ids[2]));
     }
 
     #[test]
